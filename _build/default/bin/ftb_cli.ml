@@ -1,0 +1,395 @@
+(* ftb — fault tolerance boundary analysis CLI.
+
+   Subcommands:
+     list                         list available benchmark programs
+     campaign  BENCH              run a fault-injection campaign
+     boundary  BENCH              infer a boundary from a random sample
+     adaptive  BENCH              run the progressive/adaptive sampler
+     report    BENCH              exhaustive-campaign study of one benchmark *)
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term = Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let bench_arg =
+  let doc =
+    Printf.sprintf "Benchmark program to analyse. One of: %s."
+      (String.concat ", " (Ftb_kernels.Suite.names ()))
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed for sampling.")
+
+let fraction_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "fraction"; "f" ] ~docv:"F"
+        ~doc:"Fraction of the (site, bit) sample space to draw, in (0, 1].")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV files under $(docv).")
+
+let find_program name =
+  match Ftb_kernels.Suite.find name with
+  | program -> program
+  | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+let pct = Ftb_report.Ascii.percent
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () () =
+    List.iter
+      (fun (name, program) ->
+        let p = Lazy.force program in
+        Printf.printf "%-8s %s (T = %g)\n" name p.Ftb_trace.Program.description
+          p.Ftb_trace.Program.tolerance)
+      Ftb_kernels.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available benchmark programs")
+    Term.(const run $ logs_term $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let campaign_run () name exhaustive fraction seed csv =
+  let program = find_program name in
+  let golden = Ftb_trace.Golden.run program in
+  let sites = Ftb_trace.Golden.sites golden in
+  Printf.printf "%s: %d dynamic instructions, %d fault cases\n" name sites
+    (Ftb_trace.Golden.cases golden);
+  if exhaustive then begin
+    let gt = Ftb_inject.Ground_truth.run golden in
+    Printf.printf "exhaustive campaign:\n  masked %s\n  sdc    %s\n  crash  %s\n"
+      (pct (Ftb_inject.Ground_truth.masked_ratio gt))
+      (pct (Ftb_inject.Ground_truth.sdc_ratio gt))
+      (pct (Ftb_inject.Ground_truth.crash_ratio gt));
+    match csv with
+    | None -> ()
+    | Some dir ->
+        let table = Ftb_util.Table.create [ "site"; "phase"; "sdc_ratio" ] in
+        Array.iteri
+          (fun site ratio ->
+            Ftb_util.Table.add_row table
+              [
+                string_of_int site;
+                Ftb_trace.Golden.phase_of_site golden site;
+                Printf.sprintf "%.6f" ratio;
+              ])
+          (Ftb_inject.Ground_truth.site_sdc_ratio gt);
+        let path = Ftb_util.Table.save_csv ~dir ~name:(name ^ "_site_sdc") table in
+        Printf.printf "wrote %s\n" path
+  end
+  else begin
+    let rng = Ftb_util.Rng.create ~seed in
+    let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+    let samples = Ftb_inject.Sample_run.run_cases golden cases in
+    let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes samples in
+    let total = float_of_int (Array.length samples) in
+    Printf.printf "monte carlo campaign (%s of the space, %d runs):\n"
+      (pct fraction) (Array.length samples);
+    Printf.printf "  masked %s\n  sdc    %s\n  crash  %s\n"
+      (pct (float_of_int masked /. total))
+      (pct (float_of_int sdc /. total))
+      (pct (float_of_int crash /. total))
+  end
+
+let campaign_cmd =
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:"Run the complete campaign (every bit of every dynamic instruction).")
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on a benchmark")
+    Term.(
+      const campaign_run $ logs_term $ bench_arg $ exhaustive_arg $ fraction_arg $ seed_arg
+      $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let boundary_run () name fraction filter seed evaluate =
+  let program = find_program name in
+  let golden = Ftb_trace.Golden.run program in
+  let sites = Ftb_trace.Golden.sites golden in
+  let rng = Ftb_util.Rng.create ~seed in
+  let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+  let samples = Ftb_inject.Sample_run.run_cases golden cases in
+  let boundary = Ftb_core.Boundary.infer ~filter ~sites samples in
+  let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes samples in
+  Printf.printf "%s: boundary from %d samples (%s), filter %s\n" name
+    (Array.length samples) (pct fraction)
+    (if filter then "on" else "off");
+  Printf.printf "  sample outcomes: %d masked, %d sdc, %d crash\n" masked sdc crash;
+  let supported = ref 0 in
+  Array.iter (fun s -> if s > 0 then incr supported) boundary.Ftb_core.Boundary.support;
+  Printf.printf "  sites with evidence: %d / %d (%s)\n" !supported sites
+    (pct (float_of_int !supported /. float_of_int sites));
+  Printf.printf "  uncertainty (self-verified precision): %s\n"
+    (pct (Ftb_core.Metrics.uncertainty boundary golden samples));
+  let observations = Ftb_core.Predict.observations_of_samples samples in
+  Printf.printf "  predicted overall SDC ratio: %s\n"
+    (pct
+       (Ftb_core.Predict.overall_sdc_ratio ~policy:Ftb_core.Predict.Observed_all
+          ~observations boundary golden));
+  if evaluate then begin
+    Printf.printf "running exhaustive campaign for ground-truth evaluation...\n%!";
+    let gt = Ftb_inject.Ground_truth.run golden in
+    let e = Ftb_core.Metrics.evaluate boundary gt in
+    Printf.printf "  true SDC ratio: %s\n" (pct (Ftb_inject.Ground_truth.sdc_ratio gt));
+    Printf.printf "  precision %s, recall %s\n" (pct e.Ftb_core.Metrics.precision)
+      (pct e.Ftb_core.Metrics.recall)
+  end
+
+let boundary_cmd =
+  let filter_arg =
+    Arg.(value & flag & info [ "filter" ] ~doc:"Apply the SDC filter operation (sec. 3.5).")
+  in
+  let evaluate_arg =
+    Arg.(
+      value & flag
+      & info [ "evaluate" ]
+          ~doc:"Also run the exhaustive campaign and report precision/recall.")
+  in
+  Cmd.v
+    (Cmd.info "boundary" ~doc:"Infer a fault tolerance boundary from a random sample")
+    Term.(
+      const boundary_run $ logs_term $ bench_arg $ fraction_arg $ filter_arg $ seed_arg
+      $ evaluate_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let adaptive_run () name round_fraction stop seed evaluate =
+  let program = find_program name in
+  let golden = Ftb_trace.Golden.run program in
+  let config =
+    {
+      Ftb_core.Adaptive.default_config with
+      Ftb_core.Adaptive.round_fraction;
+      stop_sdc_fraction = stop;
+    }
+  in
+  let result =
+    Ftb_core.Adaptive.run ~config
+      ~on_round:(fun ~round ~drawn ~masked ~sdc ~crash ->
+        Printf.printf "  round %2d: %d samples (%d masked, %d sdc, %d crash)\n" round drawn
+          masked sdc crash)
+      (Ftb_util.Rng.create ~seed) golden
+  in
+  Printf.printf "%s: adaptive sampling finished after %d rounds (%s)\n" name
+    result.Ftb_core.Adaptive.rounds
+    (match result.Ftb_core.Adaptive.stop_reason with
+    | Ftb_core.Adaptive.Converged -> "converged"
+    | Ftb_core.Adaptive.Pool_exhausted -> "candidate pool exhausted"
+    | Ftb_core.Adaptive.Round_cap -> "round cap reached");
+  Printf.printf "  samples used: %s of the space\n"
+    (pct result.Ftb_core.Adaptive.sample_fraction);
+  let observations =
+    Ftb_core.Predict.observations_of_samples result.Ftb_core.Adaptive.samples
+  in
+  Printf.printf "  predicted overall SDC ratio: %s\n"
+    (pct
+       (Ftb_core.Predict.overall_sdc_ratio ~policy:Ftb_core.Predict.Observed_all
+          ~observations result.Ftb_core.Adaptive.boundary golden));
+  if evaluate then begin
+    Printf.printf "running exhaustive campaign for ground-truth evaluation...\n%!";
+    let gt = Ftb_inject.Ground_truth.run golden in
+    Printf.printf "  true SDC ratio: %s\n" (pct (Ftb_inject.Ground_truth.sdc_ratio gt));
+    let e = Ftb_core.Metrics.evaluate result.Ftb_core.Adaptive.boundary gt in
+    Printf.printf "  precision %s, recall %s\n" (pct e.Ftb_core.Metrics.precision)
+      (pct e.Ftb_core.Metrics.recall)
+  end
+
+let adaptive_cmd =
+  let round_arg =
+    Arg.(
+      value & opt float 0.001
+      & info [ "round-fraction" ] ~docv:"F" ~doc:"Fraction of the space drawn per round.")
+  in
+  let stop_arg =
+    Arg.(
+      value & opt float 0.95
+      & info [ "stop" ] ~docv:"F"
+          ~doc:"Stop when at least this fraction of a round's samples are SDC.")
+  in
+  let evaluate_arg =
+    Arg.(
+      value & flag
+      & info [ "evaluate" ]
+          ~doc:"Also run the exhaustive campaign and report precision/recall.")
+  in
+  Cmd.v
+    (Cmd.info "adaptive" ~doc:"Run the progressive/adaptive sampling method (sec. 3.4)")
+    Term.(
+      const adaptive_run $ logs_term $ bench_arg $ round_arg $ stop_arg $ seed_arg
+      $ evaluate_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let protect_run () name fraction seed budgets =
+  let program = find_program name in
+  let golden = Ftb_trace.Golden.run program in
+  let sites = Ftb_trace.Golden.sites golden in
+  let rng = Ftb_util.Rng.create ~seed in
+  let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+  let samples = Ftb_inject.Sample_run.run_cases golden cases in
+  let boundary = Ftb_core.Boundary.infer ~filter:true ~sites samples in
+  let observations = Ftb_core.Predict.observations_of_samples samples in
+  let plan =
+    Ftb_core.Protection.plan ~policy:Ftb_core.Predict.Observed_all ~observations boundary
+      golden
+  in
+  Printf.printf "%s: protection plan from a %s sample (%d runs)\n" name (pct fraction)
+    (Array.length samples);
+  Printf.printf "running exhaustive campaign to score the plan...\n%!";
+  let gt = Ftb_inject.Ground_truth.run golden in
+  let evaluations = Ftb_core.Protection.evaluate plan gt ~budgets:(Array.of_list budgets) in
+  let table =
+    Ftb_util.Table.create [ "budget"; "residual SDC"; "eliminated"; "efficiency" ]
+  in
+  Array.iter
+    (fun (e : Ftb_core.Protection.evaluation) ->
+      Ftb_util.Table.add_row table
+        [
+          pct e.Ftb_core.Protection.budget;
+          pct e.Ftb_core.Protection.residual_sdc_ratio;
+          pct e.Ftb_core.Protection.eliminated_sdc;
+          pct e.Ftb_core.Protection.efficiency;
+        ])
+    evaluations;
+  print_string (Ftb_util.Table.render ~title:"Selective protection" table)
+
+let protect_cmd =
+  let budgets_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.01; 0.05; 0.1; 0.2 ]
+      & info [ "budgets" ] ~docv:"B,..."
+          ~doc:"Protection budgets as fractions of all sites.")
+  in
+  Cmd.v
+    (Cmd.info "protect" ~doc:"Rank sites for selective protection and score the ranking")
+    Term.(const protect_run $ logs_term $ bench_arg $ fraction_arg $ seed_arg $ budgets_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let models_run () name samples_per_site seed =
+  let program = find_program name in
+  let golden = Ftb_trace.Golden.run program in
+  let rng = Ftb_util.Rng.create ~seed in
+  let models =
+    Ftb_inject.Models.all_discrete
+    @ [ Ftb_inject.Models.Random_value { lo = -1e3; hi = 1e3 } ]
+  in
+  Printf.printf "%s: SDC sensitivity to the fault model (%d injections per site)\n" name
+    samples_per_site;
+  let table = Ftb_util.Table.create [ "model"; "runs"; "masked"; "sdc"; "crash" ] in
+  List.iter
+    (fun (c : Ftb_inject.Models.campaign) ->
+      Ftb_util.Table.add_row table
+        [
+          Ftb_inject.Models.name c.Ftb_inject.Models.model;
+          string_of_int c.Ftb_inject.Models.total.Ftb_inject.Models.runs;
+          pct c.Ftb_inject.Models.masked_ratio;
+          pct c.Ftb_inject.Models.sdc_ratio;
+          pct c.Ftb_inject.Models.crash_ratio;
+        ])
+    (Ftb_inject.Models.compare_models ~samples_per_site rng golden models);
+  print_string (Ftb_util.Table.render table)
+
+let models_cmd =
+  let samples_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "samples-per-site" ] ~docv:"N" ~doc:"Injections drawn per dynamic instruction.")
+  in
+  Cmd.v
+    (Cmd.info "models" ~doc:"Compare SDC ratios under alternative fault models")
+    Term.(const models_run $ logs_term $ bench_arg $ samples_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let propagation_run () name site bit fraction seed =
+  let program = find_program name in
+  let golden = Ftb_trace.Golden.run program in
+  let sites = Ftb_trace.Golden.sites golden in
+  let site = if site >= 0 then site else sites / 2 in
+  if site >= sites then begin
+    Printf.eprintf "site %d out of range (program has %d dynamic instructions)\n" site sites;
+    exit 2
+  end;
+  (* One experiment's wave... *)
+  let fault = Ftb_trace.Fault.make ~site ~bit in
+  let prop = Ftb_trace.Runner.run_propagation golden fault in
+  print_string (Ftb_report.Propagation_view.wave golden prop);
+  (* ...and the aggregate phase-to-phase matrix from a sample. *)
+  let rng = Ftb_util.Rng.create ~seed in
+  let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+  let samples = Ftb_inject.Sample_run.run_cases golden cases in
+  print_newline ();
+  print_string
+    (Ftb_report.Propagation_view.render_matrix
+       (Ftb_report.Propagation_view.phase_matrix golden samples))
+
+let propagation_cmd =
+  let site_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "site" ] ~docv:"I" ~doc:"Injection site for the wave view (default: middle).")
+  in
+  let bit_arg =
+    Arg.(value & opt int 52 & info [ "bit" ] ~docv:"B" ~doc:"Bit to flip for the wave view.")
+  in
+  Cmd.v
+    (Cmd.info "propagation"
+       ~doc:"Visualise error propagation: one experiment's wave and the phase matrix")
+    Term.(const propagation_run $ logs_term $ bench_arg $ site_arg $ bit_arg $ fraction_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let report_run () name csv =
+  let program = find_program name in
+  let context = Ftb_core.Context.prepare ~name program in
+  let result = Ftb_core.Study_exhaustive.run context in
+  print_string (Ftb_report.Render.table1 [ result ]);
+  print_newline ();
+  print_string (Ftb_report.Render.fig3 [ result ]);
+  match csv with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun p -> Printf.printf "wrote %s\n" p)
+        (Ftb_report.Render.save_all ~dir
+           (Ftb_report.Render.csv_table1 [ result ]
+           @ Ftb_report.Render.csv_fig3 [ result ]))
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Exhaustive-campaign resiliency report for one benchmark")
+    Term.(const report_run $ logs_term $ bench_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "fault tolerance boundary analysis (PPoPP'21 reproduction)" in
+  Cmd.group (Cmd.info "ftb" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; campaign_cmd; boundary_cmd; adaptive_cmd; protect_cmd; models_cmd;
+      propagation_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/cg_resilience.ml: Array Ftb_core Ftb_kernels Ftb_report Ftb_trace Ftb_util List Printf

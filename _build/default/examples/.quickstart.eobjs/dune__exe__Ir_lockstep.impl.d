@@ -1,0 +1,1 @@
+examples/ir_lockstep.ml: Array Ftb_core Ftb_inject Ftb_ir Ftb_report Ftb_trace Ftb_util Printf

@@ -1,0 +1,1 @@
+examples/monotonicity.ml: Array Float Ftb_core Ftb_inject Ftb_kernels Ftb_report Ftb_trace Ftb_util Lazy List Printf

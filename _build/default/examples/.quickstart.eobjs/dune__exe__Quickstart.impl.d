@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ftb_core Ftb_inject Ftb_kernels Ftb_report Ftb_trace Ftb_util Printf

@@ -1,0 +1,53 @@
+(* Quickstart: approximate a program's fault tolerance boundary from a 1%
+   fault-injection sample and self-verify it — no ground truth needed.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick an instrumented program. Any kernel from Ftb_kernels.Suite
+     works; writing your own only requires threading a Ctx.t through the
+     numbers you store (see lib/kernels/stencil.ml for a small example). *)
+  let program = Ftb_kernels.Suite.find "stencil" in
+  Printf.printf "program: %s\n" program.Ftb_trace.Program.description;
+
+  (* 2. Run the golden (fault-free) execution once. Every floating-point
+     data value the program stores is one dynamic instruction — one fault
+     injection site with 64 possible bit flips. *)
+  let golden = Ftb_trace.Golden.run program in
+  Printf.printf "dynamic instructions: %d (sample space: %d bit-flip cases)\n"
+    (Ftb_trace.Golden.sites golden)
+    (Ftb_trace.Golden.cases golden);
+
+  (* 3. Draw a 1% sample of (site, bit) cases and run each as a traced
+     fault-injection experiment. *)
+  let rng = Ftb_util.Rng.create ~seed:2024 in
+  let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction:0.01 in
+  let samples = Ftb_inject.Sample_run.run_cases golden cases in
+  let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes samples in
+  Printf.printf "sampled %d cases: %d masked, %d SDC, %d crash\n" (Array.length samples)
+    masked sdc crash;
+
+  (* 4. Build the fault tolerance boundary (Algorithm 1): masked
+     experiments' propagated perturbations become per-site thresholds. *)
+  let boundary =
+    Ftb_core.Boundary.infer ~filter:true ~sites:(Ftb_trace.Golden.sites golden) samples
+  in
+
+  (* 5. Use the boundary. It predicts the outcome of the other 99% of the
+     sample space without running them... *)
+  let predicted = Ftb_core.Predict.overall_sdc_ratio boundary golden in
+  Printf.printf "predicted overall SDC ratio: %s\n" (Ftb_report.Ascii.percent predicted);
+
+  (* ...and it verifies itself: the uncertainty metric is the boundary's
+     precision on the cases we did observe. Close to 100%% means the
+     boundary can be trusted; low means draw more samples. *)
+  let uncertainty = Ftb_core.Metrics.uncertainty boundary golden samples in
+  Printf.printf "self-verified uncertainty: %s\n" (Ftb_report.Ascii.percent uncertainty);
+
+  (* 6. Ask site-level questions: how much error survives at a given
+     dynamic instruction? *)
+  let site = Ftb_trace.Golden.sites golden / 2 in
+  Printf.printf "site %d (%s): golden value %.6f, tolerates ~%g of error\n" site
+    (Ftb_trace.Golden.phase_of_site golden site)
+    (Ftb_trace.Golden.value golden site)
+    (Ftb_core.Boundary.threshold boundary site)

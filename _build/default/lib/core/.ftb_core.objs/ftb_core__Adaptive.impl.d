@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Boundary Float Ftb_inject Ftb_trace Ftb_util Hashtbl Info List Predict

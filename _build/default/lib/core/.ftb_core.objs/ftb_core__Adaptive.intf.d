@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Boundary Ftb_inject Ftb_trace Ftb_util

@@ -1,0 +1,1 @@
+lib/core/boundary.ml: Array Ftb_inject Ftb_trace Ftb_util

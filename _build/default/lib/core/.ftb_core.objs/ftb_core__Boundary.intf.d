@@ -1,0 +1,1 @@
+lib/core/boundary.mli: Ftb_inject

@@ -1,0 +1,1 @@
+lib/core/context.ml: Ftb_inject Ftb_trace

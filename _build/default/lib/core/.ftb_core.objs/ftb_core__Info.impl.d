@@ -1,0 +1,1 @@
+lib/core/info.ml: Array Float Ftb_inject Ftb_trace

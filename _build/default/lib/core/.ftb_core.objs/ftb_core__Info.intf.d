@@ -1,0 +1,1 @@
+lib/core/info.mli: Ftb_inject Ftb_trace

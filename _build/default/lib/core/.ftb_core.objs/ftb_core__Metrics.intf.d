@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Boundary Ftb_inject Ftb_trace Ftb_util

@@ -1,0 +1,1 @@
+lib/core/predict.ml: Array Boundary Ftb_inject Ftb_trace Ftb_util Hashtbl

@@ -1,0 +1,1 @@
+lib/core/predict.mli: Boundary Ftb_inject Ftb_trace

@@ -1,0 +1,1 @@
+lib/core/protection.ml: Array Float Ftb_inject Fun Predict

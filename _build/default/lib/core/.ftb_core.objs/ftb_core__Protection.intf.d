@@ -1,0 +1,1 @@
+lib/core/protection.mli: Boundary Ftb_inject Ftb_trace Predict

@@ -1,0 +1,1 @@
+lib/core/regions.ml: Array Ftb_trace Ftb_util Hashtbl List

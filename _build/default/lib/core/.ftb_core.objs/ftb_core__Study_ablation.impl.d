@@ -1,0 +1,1 @@
+lib/core/study_ablation.ml: Adaptive Array Confidence Context Ftb_trace Ftb_util Metrics Predict Printf

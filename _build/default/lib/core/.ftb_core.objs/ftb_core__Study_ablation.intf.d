@@ -1,0 +1,1 @@
+lib/core/study_ablation.mli: Confidence Context

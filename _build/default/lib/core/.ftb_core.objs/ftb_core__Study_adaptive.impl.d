@@ -1,0 +1,1 @@
+lib/core/study_adaptive.ml: Adaptive Array Context Ftb_inject Ftb_util Metrics Predict

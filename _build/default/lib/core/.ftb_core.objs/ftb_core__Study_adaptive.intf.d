@@ -1,0 +1,1 @@
+lib/core/study_adaptive.mli: Adaptive Context

@@ -1,0 +1,1 @@
+lib/core/study_exhaustive.ml: Array Boundary Context Ftb_inject Ftb_trace Ftb_util Metrics Predict

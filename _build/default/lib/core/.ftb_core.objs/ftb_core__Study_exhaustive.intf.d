@@ -1,0 +1,1 @@
+lib/core/study_exhaustive.mli: Boundary Context Ftb_inject

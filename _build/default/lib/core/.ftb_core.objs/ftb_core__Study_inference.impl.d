@@ -1,0 +1,1 @@
+lib/core/study_inference.ml: Array Boundary Context Ftb_inject Ftb_trace Ftb_util Info Metrics Predict

@@ -1,0 +1,1 @@
+lib/core/study_inference.mli: Boundary Context Ftb_inject Ftb_util

@@ -1,0 +1,1 @@
+lib/core/study_overhead.ml: Array Float Ftb_trace Ftb_util List Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/core/study_overhead.mli: Ftb_trace

@@ -1,0 +1,1 @@
+lib/core/study_scaling.mli: Context

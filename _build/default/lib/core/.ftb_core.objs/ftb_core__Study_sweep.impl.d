@@ -1,0 +1,1 @@
+lib/core/study_sweep.ml: Array Context Ftb_util Study_inference

@@ -1,0 +1,1 @@
+lib/core/study_tolerance.ml: Array Boundary Float Ftb_inject Ftb_trace Ftb_util Metrics Study_exhaustive

@@ -1,0 +1,1 @@
+lib/core/study_tolerance.mli: Ftb_trace

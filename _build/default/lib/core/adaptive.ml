@@ -1,0 +1,117 @@
+module Fault = Ftb_trace.Fault
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Sample_run = Ftb_inject.Sample_run
+
+type config = {
+  round_fraction : float;
+  stop_sdc_fraction : float;
+  max_rounds : int;
+  filter : bool;
+  bias : bool;
+}
+
+let default_config =
+  { round_fraction = 0.001; stop_sdc_fraction = 0.95; max_rounds = 200; filter = true; bias = true }
+
+type stop_reason = Converged | Pool_exhausted | Round_cap
+
+type result = {
+  boundary : Boundary.t;
+  samples : Sample_run.t array;
+  rounds : int;
+  sample_fraction : float;
+  stop_reason : stop_reason;
+}
+
+let check_config config =
+  if not (config.round_fraction > 0. && config.round_fraction <= 1.) then
+    invalid_arg "Adaptive.run: round_fraction must be in (0, 1]";
+  if not (config.stop_sdc_fraction > 0. && config.stop_sdc_fraction <= 1.) then
+    invalid_arg "Adaptive.run: stop_sdc_fraction must be in (0, 1]";
+  if config.max_rounds <= 0 then invalid_arg "Adaptive.run: max_rounds must be positive"
+
+let run ?(config = default_config) ?on_round rng golden =
+  check_config config;
+  let sites = Golden.sites golden in
+  let total = Golden.cases golden in
+  let round_size = max 1 (int_of_float (Float.ceil (config.round_fraction *. float_of_int total))) in
+  let sampled = Hashtbl.create (4 * round_size) in
+  let samples = ref [] in
+  let sample_count = ref 0 in
+  let boundary = ref (Boundary.create ~sites) in
+  let info = ref (Array.make sites 0.) in
+  let stop_reason = ref Round_cap in
+  let rounds_done = ref 0 in
+  (try
+     for round = 1 to config.max_rounds do
+       (* Candidate pool: unsampled cases the current boundary does not
+          already predict masked — injecting those would teach us nothing
+          new about the boundary's upper side. *)
+       let candidates = ref [] in
+       let candidate_count = ref 0 in
+       for case = total - 1 downto 0 do
+         if not (Hashtbl.mem sampled case) then begin
+           let fault = Fault.of_case case in
+           if not (Predict.predicted_masked !boundary golden fault) then begin
+             candidates := case :: !candidates;
+             incr candidate_count
+           end
+         end
+       done;
+       if !candidate_count = 0 then begin
+         stop_reason := Pool_exhausted;
+         raise Exit
+       end;
+       let pool = Array.of_list !candidates in
+       let k = min round_size !candidate_count in
+       let drawn_indices =
+         if config.bias then begin
+           let weights =
+             Array.map
+               (fun case -> 1. /. Float.max !info.((Fault.of_case case).Fault.site) 1.)
+               pool
+           in
+           Ftb_util.Sampling.weighted_without_replacement rng ~weights ~k
+         end
+         else Ftb_util.Sampling.uniform rng ~n:!candidate_count ~k
+       in
+       let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+       Array.iter
+         (fun idx ->
+           let case = pool.(idx) in
+           Hashtbl.replace sampled case ();
+           let sample = Sample_run.run_case golden case in
+           (match sample.Sample_run.outcome with
+           | Runner.Masked -> incr masked
+           | Runner.Sdc -> incr sdc
+           | Runner.Crash -> incr crash);
+           samples := sample :: !samples;
+           incr sample_count)
+         drawn_indices;
+       rounds_done := round;
+       (match on_round with
+       | Some f -> f ~round ~drawn:k ~masked:!masked ~sdc:!sdc ~crash:!crash
+       | None -> ());
+       (* Rebuild boundary and information from scratch: the filter
+          operation can retroactively disqualify earlier propagation data
+          once a smaller SDC error is known, so incremental updates would
+          drift. The sample set is small by construction. *)
+       let all = Array.of_list (List.rev !samples) in
+       boundary := Boundary.infer ~filter:config.filter ~sites all;
+       info := Info.total (Info.collect golden all);
+       let sdc_fraction = float_of_int !sdc /. float_of_int k in
+       if !masked = 0 || sdc_fraction >= config.stop_sdc_fraction then begin
+         stop_reason := Converged;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let all = Array.of_list (List.rev !samples) in
+  {
+    boundary = !boundary;
+    samples = all;
+    rounds = !rounds_done;
+    sample_fraction = float_of_int !sample_count /. float_of_int total;
+    stop_reason = !stop_reason;
+  }

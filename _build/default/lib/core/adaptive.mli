@@ -1,0 +1,39 @@
+(** Adaptive / progressive sampling (§3.4).
+
+    Instead of drawing one batch uniformly, the sampler works in rounds of
+    [round_fraction] of the sample space. Before each round the current
+    boundary filters the candidate pool — cases it already predicts masked
+    are not worth injecting — and the remaining candidates are drawn with
+    probability [p_i ∝ 1 / max(S_i, 1)], biasing towards sites with little
+    information. Sampling stops when a round's fresh samples are almost all
+    SDC ([stop_sdc_fraction]), when the candidate pool empties, or at the
+    round cap. *)
+
+type config = {
+  round_fraction : float;  (** fraction of the space drawn per round (paper: 0.001) *)
+  stop_sdc_fraction : float;  (** stop when ≥ this fraction of a round is SDC (paper: 0.95) *)
+  max_rounds : int;  (** safety cap *)
+  filter : bool;  (** apply the §3.5 filter operation when building boundaries *)
+  bias : bool;  (** bias candidate selection by inverse information (off = uniform) *)
+}
+
+val default_config : config
+(** 0.1 % rounds, 95 % stop criterion, 200 round cap, filter on, bias on. *)
+
+type stop_reason = Converged | Pool_exhausted | Round_cap
+
+type result = {
+  boundary : Boundary.t;  (** the final approximated fault tolerance boundary *)
+  samples : Ftb_inject.Sample_run.t array;  (** every sample drawn, in draw order *)
+  rounds : int;
+  sample_fraction : float;  (** |samples| / |complete sample space| *)
+  stop_reason : stop_reason;
+}
+
+val run :
+  ?config:config ->
+  ?on_round:(round:int -> drawn:int -> masked:int -> sdc:int -> crash:int -> unit) ->
+  Ftb_util.Rng.t ->
+  Ftb_trace.Golden.t ->
+  result
+(** Run the progressive campaign against a program's golden run. *)

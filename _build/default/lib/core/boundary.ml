@@ -1,0 +1,85 @@
+module Fault = Ftb_trace.Fault
+module Runner = Ftb_trace.Runner
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+
+type t = { thresholds : float array; support : int array }
+
+let create ~sites =
+  if sites <= 0 then invalid_arg "Boundary.create: sites must be positive";
+  { thresholds = Array.make sites 0.; support = Array.make sites 0 }
+
+let sites t = Array.length t.thresholds
+let threshold t i = t.thresholds.(i)
+let copy t = { thresholds = Array.copy t.thresholds; support = Array.copy t.support }
+
+let add_masked_propagation ?min_sdc_error t ~start deviations =
+  if start < 0 || start + Array.length deviations > sites t then
+    invalid_arg "Boundary.add_masked_propagation: coverage out of range";
+  Array.iteri
+    (fun k d ->
+      let j = start + k in
+      let accepted =
+        d > 0.
+        && (match min_sdc_error with None -> true | Some floor -> d < floor.(j))
+      in
+      if accepted then begin
+        if d > t.thresholds.(j) then t.thresholds.(j) <- d;
+        t.support.(j) <- t.support.(j) + 1
+      end)
+    deviations
+
+let min_sdc_errors ~sites samples =
+  let floor = Array.make sites infinity in
+  Array.iter
+    (fun (s : Sample_run.t) ->
+      match s.Sample_run.outcome with
+      | Runner.Sdc ->
+          let site = s.Sample_run.fault.Fault.site in
+          if s.Sample_run.injected_error < floor.(site) then
+            floor.(site) <- s.Sample_run.injected_error
+      | Runner.Masked | Runner.Crash -> ())
+    samples;
+  floor
+
+let infer ?(filter = false) ~sites:n samples =
+  let t = create ~sites:n in
+  let min_sdc_error = if filter then Some (min_sdc_errors ~sites:n samples) else None in
+  Array.iter
+    (fun (s : Sample_run.t) ->
+      match s.Sample_run.propagation with
+      | Some (start, deviations) -> add_masked_propagation ?min_sdc_error t ~start deviations
+      | None -> ())
+    samples;
+  t
+
+let bits = Ftb_util.Bits.bits_per_double
+
+let exhaustive gt =
+  let golden = gt.Ground_truth.golden in
+  let n = Ftb_trace.Golden.sites golden in
+  let t = create ~sites:n in
+  for site = 0 to n - 1 do
+    let min_sdc = ref infinity in
+    for bit = 0 to bits - 1 do
+      let fault = Fault.make ~site ~bit in
+      if Ground_truth.outcome_of_fault gt fault = Runner.Sdc then begin
+        let e = Ground_truth.injected_error golden fault in
+        if e < !min_sdc then min_sdc := e
+      end
+    done;
+    let best = ref 0. and support = ref 0 in
+    for bit = 0 to bits - 1 do
+      let fault = Fault.make ~site ~bit in
+      if Ground_truth.outcome_of_fault gt fault = Runner.Masked then begin
+        let e = Ground_truth.injected_error golden fault in
+        if e < !min_sdc then begin
+          incr support;
+          if e > !best then best := e
+        end
+      end
+    done;
+    t.thresholds.(site) <- !best;
+    t.support.(site) <- !support
+  done;
+  t

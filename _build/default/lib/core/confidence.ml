@@ -1,0 +1,40 @@
+let z_95 = 1.959964
+let z_99 = 2.575829
+
+let wilson_interval ~successes ~trials ~z =
+  if trials <= 0 then invalid_arg "Confidence.wilson_interval: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Confidence.wilson_interval: successes out of range";
+  if z <= 0. then invalid_arg "Confidence.wilson_interval: z must be positive";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+  in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))
+
+let required_samples ~margin ~z ?(p = 0.5) () =
+  if margin <= 0. then invalid_arg "Confidence.required_samples: margin must be positive";
+  if z <= 0. then invalid_arg "Confidence.required_samples: z must be positive";
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Confidence.required_samples: p must be in (0, 1)";
+  int_of_float (Float.ceil (z *. z *. p *. (1. -. p) /. (margin *. margin)))
+
+type comparison = {
+  mc_samples_overall : int;
+  mc_samples_full_profile : int;
+  boundary_samples : int;
+  boundary_recall : float;
+}
+
+let compare_costs ~margin ~z ~sites ~boundary_samples ~boundary_recall =
+  let per_estimate = required_samples ~margin ~z () in
+  {
+    mc_samples_overall = per_estimate;
+    mc_samples_full_profile = per_estimate * sites;
+    boundary_samples;
+    boundary_recall;
+  }

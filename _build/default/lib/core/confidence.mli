@@ -1,0 +1,45 @@
+(** Statistical fault injection as a baseline (§1, Leveugle et al. [18]).
+
+    The traditional alternative to the boundary is a Monte-Carlo campaign
+    whose overall SDC ratio carries a statistical margin of error. This
+    module provides the standard machinery: confidence intervals for an
+    estimated ratio and the sample size needed for a target margin — which
+    quantifies the paper's framing that statistics "does not provide
+    information on code regions with no samples": the required sample size
+    is per *estimate*, so a per-site profile needs it per site. *)
+
+val wilson_interval : successes:int -> trials:int -> z:float -> float * float
+(** Wilson score interval for a binomial proportion at critical value [z]
+    (e.g. 1.96 for 95 %). Raises [Invalid_argument] when [trials <= 0],
+    [successes] outside [\[0, trials\]], or [z <= 0]. *)
+
+val required_samples : margin:float -> z:float -> ?p:float -> unit -> int
+(** Sample size for a normal-approximation margin of error [margin] at
+    critical value [z], for worst-case variance ([p = 0.5] by default):
+    [ceil (z² p (1−p) / margin²)]. Raises on non-positive margin/z or [p]
+    outside (0, 1). *)
+
+val z_95 : float
+(** 1.959964 — the 95 % two-sided critical value. *)
+
+val z_99 : float
+(** 2.575829 — the 99 % critical value. *)
+
+type comparison = {
+  mc_samples_overall : int;
+      (** Monte-Carlo runs for one program-level SDC ratio at the margin *)
+  mc_samples_full_profile : int;
+      (** runs for a per-site profile: one estimate per site *)
+  boundary_samples : int;  (** traced runs the boundary method used *)
+  boundary_recall : float;  (** what those runs bought, vs ground truth *)
+}
+
+val compare_costs :
+  margin:float ->
+  z:float ->
+  sites:int ->
+  boundary_samples:int ->
+  boundary_recall:float ->
+  comparison
+(** Put the boundary's sampling cost next to the statistical baseline for
+    the same resolution. *)

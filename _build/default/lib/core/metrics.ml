@@ -1,0 +1,73 @@
+module Fault = Ftb_trace.Fault
+module Runner = Ftb_trace.Runner
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+
+type evaluation = {
+  precision : float;
+  recall : float;
+  predicted_masked : int;
+  actual_masked : int;
+  true_positive : int;
+  cases : int;
+}
+
+let safe_ratio num denom = if denom = 0 then 1. else float_of_int num /. float_of_int denom
+
+let evaluate boundary gt =
+  let golden = gt.Ground_truth.golden in
+  let total = Ground_truth.cases gt in
+  let predicted = ref 0 and actual = ref 0 and tp = ref 0 in
+  for case = 0 to total - 1 do
+    let fault = Fault.of_case case in
+    let is_predicted = Predict.predicted_masked boundary golden fault in
+    let is_actual = Ground_truth.outcome gt case = Runner.Masked in
+    if is_predicted then incr predicted;
+    if is_actual then incr actual;
+    if is_predicted && is_actual then incr tp
+  done;
+  {
+    precision = safe_ratio !tp !predicted;
+    recall = safe_ratio !tp !actual;
+    predicted_masked = !predicted;
+    actual_masked = !actual;
+    true_positive = !tp;
+    cases = total;
+  }
+
+let uncertainty boundary golden samples =
+  let predicted = ref 0 and tp = ref 0 in
+  Array.iter
+    (fun (s : Sample_run.t) ->
+      if Predict.predicted_masked boundary golden s.Sample_run.fault then begin
+        incr predicted;
+        if s.Sample_run.outcome = Runner.Masked then incr tp
+      end)
+    samples;
+  safe_ratio !tp !predicted
+
+let delta_sdc ~golden_ratio ~approx_ratio =
+  if Array.length golden_ratio <> Array.length approx_ratio then
+    invalid_arg "Metrics.delta_sdc: length mismatch";
+  Array.map2 (fun g a -> g -. a) golden_ratio approx_ratio
+
+let delta_sdc_histogram ?(bins = 41) deltas =
+  (* Extend the top edge slightly so a ΔSDC of exactly 1 stays in range. *)
+  let h = Ftb_util.Histogram.create ~lo:(-1.) ~hi:(1. +. 1e-9) ~bins in
+  Ftb_util.Histogram.add_all h deltas;
+  h
+
+let grouped_mean values ~groups =
+  let n = Array.length values in
+  let ranges = Ftb_util.Sampling.stratified_indices ~n ~strata:groups in
+  Array.map
+    (fun (start, stop) ->
+      if stop <= start then (start, 0.)
+      else begin
+        let acc = ref 0. in
+        for i = start to stop - 1 do
+          acc := !acc +. values.(i)
+        done;
+        (start, !acc /. float_of_int (stop - start))
+      end)
+    ranges

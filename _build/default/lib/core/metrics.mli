@@ -1,0 +1,42 @@
+(** Self-verification metrics (§3.6) and the ΔSDC evaluation (§4.1).
+
+    The boundary is treated as a binary classifier of the complete sample
+    space: a case is positive when predicted Masked. Precision and recall
+    need ground truth; *uncertainty* is precision restricted to the sampled
+    cases, computable from the samples alone — the paper's self-check that
+    tells the user whether the boundary can be trusted without running an
+    exhaustive campaign. *)
+
+type evaluation = {
+  precision : float;
+      (** correctly-predicted-masked / predicted-masked over the full space;
+          [1.] when nothing is predicted masked *)
+  recall : float;
+      (** correctly-predicted-masked / actually-masked; [1.] when nothing is
+          actually masked *)
+  predicted_masked : int;
+  actual_masked : int;
+  true_positive : int;
+  cases : int;
+}
+
+val evaluate : Boundary.t -> Ftb_inject.Ground_truth.t -> evaluation
+(** Classify every case of the complete space against ground truth. *)
+
+val uncertainty : Boundary.t -> Ftb_trace.Golden.t -> Ftb_inject.Sample_run.t array -> float
+(** Precision over the sampled cases only, using the samples' own observed
+    outcomes — no ground truth needed. [1.] when no sampled case is
+    predicted masked. *)
+
+val delta_sdc : golden_ratio:float array -> approx_ratio:float array -> float array
+(** Per-site [Golden_SDC − Approx_SDC] (§4.1). Raises on length
+    mismatch. *)
+
+val delta_sdc_histogram : ?bins:int -> float array -> Ftb_util.Histogram.t
+(** Figure 3's summary: histogram of ΔSDC values over [-1, 1] (default 41
+    bins, so 0 sits in its own central bin). *)
+
+val grouped_mean : float array -> groups:int -> (int * float) array
+(** Figure 4's visual aggregation: split the site axis into [groups]
+    contiguous ranges and return [(range_start, mean)] per range. Ranges
+    are those of {!Ftb_util.Sampling.stratified_indices}. *)

@@ -1,0 +1,81 @@
+module Fault = Ftb_trace.Fault
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+
+type observations = (int, Runner.outcome) Hashtbl.t
+
+let observations_of_samples samples =
+  let table = Hashtbl.create (2 * Array.length samples) in
+  Array.iter
+    (fun (s : Sample_run.t) ->
+      Hashtbl.replace table (Fault.to_case s.Sample_run.fault) s.Sample_run.outcome)
+    samples;
+  table
+
+let no_observations : observations = Hashtbl.create 1
+let observed table case = Hashtbl.find_opt table case
+let observed_count table = Hashtbl.length table
+
+let predicted_masked boundary golden fault =
+  Ground_truth.injected_error golden fault <= Boundary.threshold boundary fault.Fault.site
+
+type policy = Boundary_only | Observed_full_sites | Observed_all
+
+let bits = Ftb_util.Bits.bits_per_double
+
+let site_sdc_ratio ?(policy = Observed_full_sites) ?(observations = no_observations)
+    boundary golden =
+  let n = Golden.sites golden in
+  if Boundary.sites boundary <> n then
+    invalid_arg "Predict.site_sdc_ratio: boundary/golden site count mismatch";
+  Array.init n (fun site ->
+      let observed_here = Array.make bits None in
+      let observed_count = ref 0 in
+      (match policy with
+      | Boundary_only -> ()
+      | Observed_full_sites | Observed_all ->
+          for bit = 0 to bits - 1 do
+            match observed observations ((site * bits) + bit) with
+            | Some outcome ->
+                observed_here.(bit) <- Some outcome;
+                incr observed_count
+            | None -> ()
+          done);
+      let use_observed_case =
+        match policy with
+        | Boundary_only -> false
+        | Observed_all -> true
+        | Observed_full_sites -> !observed_count = bits
+      in
+      let sdc = ref 0 in
+      for bit = 0 to bits - 1 do
+        let known = if use_observed_case then observed_here.(bit) else None in
+        match known with
+        | Some Runner.Sdc -> incr sdc
+        | Some (Runner.Masked | Runner.Crash) -> ()
+        | None ->
+            if not (predicted_masked boundary golden (Fault.make ~site ~bit)) then incr sdc
+      done;
+      float_of_int !sdc /. float_of_int bits)
+
+let overall_sdc_ratio ?policy ?observations boundary golden =
+  let ratios = site_sdc_ratio ?policy ?observations boundary golden in
+  Ftb_util.Stats.mean ratios
+
+let site_sdc_ratio_vs_ground_truth boundary gt =
+  let golden = gt.Ground_truth.golden in
+  let n = Golden.sites golden in
+  if Boundary.sites boundary <> n then
+    invalid_arg "Predict.site_sdc_ratio_vs_ground_truth: site count mismatch";
+  Array.init n (fun site ->
+      let sdc = ref 0 in
+      for bit = 0 to bits - 1 do
+        let fault = Fault.make ~site ~bit in
+        match Ground_truth.outcome_of_fault gt fault with
+        | Runner.Crash -> ()
+        | Runner.Masked | Runner.Sdc ->
+            if not (predicted_masked boundary golden fault) then incr sdc
+      done;
+      float_of_int !sdc /. float_of_int bits)

@@ -1,0 +1,55 @@
+(** Predicting fault-injection outcomes from a boundary.
+
+    A case (site, bit) is *predicted masked* when the error its flip would
+    inject — an exact function of the golden value — does not exceed the
+    site's threshold. Everything above the boundary is assumed SDC (§3.3);
+    this deliberately overestimates SDC where evidence is missing, which is
+    the bias the adaptive sampler corrects. *)
+
+type observations
+(** Known outcomes of already-sampled cases (by dense case index). *)
+
+val observations_of_samples : Ftb_inject.Sample_run.t array -> observations
+val no_observations : observations
+
+val observed : observations -> int -> Ftb_trace.Runner.outcome option
+val observed_count : observations -> int
+
+val predicted_masked : Boundary.t -> Ftb_trace.Golden.t -> Ftb_trace.Fault.t -> bool
+(** [injected_error ≤ Δe_site]. *)
+
+type policy =
+  | Boundary_only  (** predict every case from the boundary *)
+  | Observed_full_sites
+      (** §4.4: a site whose 64 flips were all sampled uses its true
+          outcomes instead of the boundary *)
+  | Observed_all
+      (** any sampled case uses its known outcome; unsampled cases use the
+          boundary *)
+
+val site_sdc_ratio :
+  ?policy:policy ->
+  ?observations:observations ->
+  Boundary.t ->
+  Ftb_trace.Golden.t ->
+  float array
+(** Per-site predicted SDC ratio: the fraction of the site's 64 flips that
+    are predicted (or known) to be SDC. A known Crash counts as non-SDC; an
+    unknown case above the boundary counts as SDC. Default policy is
+    [Observed_full_sites] with no observations (pure boundary). *)
+
+val overall_sdc_ratio :
+  ?policy:policy ->
+  ?observations:observations ->
+  Boundary.t ->
+  Ftb_trace.Golden.t ->
+  float
+(** Mean of {!site_sdc_ratio} over all sites — the program-level predicted
+    SDC ratio. *)
+
+val site_sdc_ratio_vs_ground_truth :
+  Boundary.t -> Ftb_inject.Ground_truth.t -> float array
+(** The §4.1 evaluation variant: per-site fraction of flips with injected
+    error above the threshold, *excluding* flips known (from the complete
+    campaign) to crash — used to compare the brute-force boundary against
+    the golden SDC ratio (Table 1 / Figure 3). *)

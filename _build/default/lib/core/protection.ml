@@ -1,0 +1,58 @@
+module Ground_truth = Ftb_inject.Ground_truth
+
+type plan = { ranked_sites : int array; predicted_ratio : float array }
+
+let plan ?policy ?observations boundary golden =
+  let predicted_ratio = Predict.site_sdc_ratio ?policy ?observations boundary golden in
+  let ranked_sites = Array.init (Array.length predicted_ratio) Fun.id in
+  (* Stable ranking: sort by descending prediction, ascending site index on
+     ties, so plans are deterministic. *)
+  Array.sort
+    (fun a b ->
+      match compare predicted_ratio.(b) predicted_ratio.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    ranked_sites;
+  { ranked_sites; predicted_ratio }
+
+let budget_sites plan ~budget =
+  if not (budget >= 0. && budget <= 1.) then
+    invalid_arg "Protection.budget_sites: budget must be in [0, 1]";
+  let k =
+    int_of_float (Float.round (budget *. float_of_int (Array.length plan.ranked_sites)))
+  in
+  Array.sub plan.ranked_sites 0 (min k (Array.length plan.ranked_sites))
+
+type evaluation = {
+  budget : float;
+  protected_sites : int;
+  eliminated_sdc : float;
+  residual_sdc_ratio : float;
+  oracle_eliminated_sdc : float;
+  efficiency : float;
+}
+
+let evaluate plan gt ~budgets =
+  let true_site_sdc = Ground_truth.site_sdc_ratio gt in
+  let sites = Array.length true_site_sdc in
+  if Array.length plan.ranked_sites <> sites then
+    invalid_arg "Protection.evaluate: plan/ground-truth site count mismatch";
+  let total_sdc = Array.fold_left ( +. ) 0. true_site_sdc in
+  let oracle = Array.copy true_site_sdc in
+  Array.sort (fun a b -> compare b a) oracle;
+  Array.map
+    (fun budget ->
+      let chosen = budget_sites plan ~budget in
+      let eliminated = Array.fold_left (fun acc s -> acc +. true_site_sdc.(s)) 0. chosen in
+      let oracle_eliminated = ref 0. in
+      Array.iteri (fun rank v -> if rank < Array.length chosen then oracle_eliminated := !oracle_eliminated +. v) oracle;
+      let share x = if total_sdc = 0. then 0. else x /. total_sdc in
+      {
+        budget;
+        protected_sites = Array.length chosen;
+        eliminated_sdc = share eliminated;
+        residual_sdc_ratio = (total_sdc -. eliminated) /. float_of_int sites;
+        oracle_eliminated_sdc = share !oracle_eliminated;
+        efficiency = (if !oracle_eliminated = 0. then 1. else eliminated /. !oracle_eliminated);
+      })
+    budgets

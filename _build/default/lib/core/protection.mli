@@ -1,0 +1,42 @@
+(** Selective protection planning.
+
+    The motivating application of the boundary (§1, §6): full duplication
+    or TMR is too expensive, and a small fraction of instructions causes
+    most SDC — so rank dynamic instructions by predicted vulnerability and
+    protect only the top of the ranking. A protected instruction's faults
+    are assumed corrected (as instruction duplication would), so protecting
+    a site removes its SDC contribution. *)
+
+type plan = {
+  ranked_sites : int array;
+      (** every site, most vulnerable first (ties broken by site index) *)
+  predicted_ratio : float array;  (** the per-site prediction used to rank *)
+}
+
+val plan :
+  ?policy:Predict.policy ->
+  ?observations:Predict.observations ->
+  Boundary.t ->
+  Ftb_trace.Golden.t ->
+  plan
+(** Rank all sites by the boundary's per-site SDC prediction (default
+    policy [Observed_full_sites], see {!Predict.site_sdc_ratio}). *)
+
+val budget_sites : plan -> budget:float -> int array
+(** [budget_sites plan ~budget] is the prefix of the ranking covered by a
+    protection budget of [budget] (a fraction of all sites, in [\[0, 1\]]).
+    Raises [Invalid_argument] outside the range. *)
+
+type evaluation = {
+  budget : float;  (** fraction of sites protected *)
+  protected_sites : int;
+  eliminated_sdc : float;  (** share of the program's true SDC removed, in [0,1] *)
+  residual_sdc_ratio : float;  (** program SDC ratio after protection *)
+  oracle_eliminated_sdc : float;
+      (** what a perfect (ground-truth) ranking would have removed at the
+          same budget *)
+  efficiency : float;  (** eliminated / oracle-eliminated; 1 when no SDC exists *)
+}
+
+val evaluate : plan -> Ftb_inject.Ground_truth.t -> budgets:float array -> evaluation array
+(** Score the plan against ground truth at each budget. *)

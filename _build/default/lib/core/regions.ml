@@ -1,0 +1,56 @@
+module Golden = Ftb_trace.Golden
+
+type summary = { phase : string; sites : int; mean : float; max : float; min : float }
+
+let summarize_by_phase golden series =
+  let n = Golden.sites golden in
+  if Array.length series <> n then
+    invalid_arg "Regions.summarize_by_phase: series length does not match site count";
+  let by_phase : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun site v ->
+      let phase = Golden.phase_of_site golden site in
+      match Hashtbl.find_opt by_phase phase with
+      | Some cell -> cell := v :: !cell
+      | None -> Hashtbl.add by_phase phase (ref [ v ]))
+    series;
+  Hashtbl.fold
+    (fun phase cell acc ->
+      let values = Array.of_list !cell in
+      let s = Ftb_util.Stats.summarize values in
+      {
+        phase;
+        sites = Array.length values;
+        mean = s.Ftb_util.Stats.mean;
+        max = s.Ftb_util.Stats.max;
+        min = s.Ftb_util.Stats.min;
+      }
+      :: acc)
+    by_phase []
+  |> List.sort (fun a b ->
+         match compare b.mean a.mean with 0 -> compare a.phase b.phase | c -> c)
+
+type assessment = Protect_first | Vulnerable | Naturally_resilient
+
+let assess ~mean_sdc =
+  if mean_sdc > 0.2 then Protect_first
+  else if mean_sdc > 0.1 then Vulnerable
+  else Naturally_resilient
+
+let assessment_to_string = function
+  | Protect_first -> "protect first"
+  | Vulnerable -> "vulnerable"
+  | Naturally_resilient -> "naturally resilient"
+
+let top_sites golden series ~k =
+  let n = Golden.sites golden in
+  if Array.length series <> n then
+    invalid_arg "Regions.top_sites: series length does not match site count";
+  if k < 0 then invalid_arg "Regions.top_sites: negative k";
+  let indexed = Array.mapi (fun site v -> (site, v)) series in
+  Array.sort
+    (fun (sa, va) (sb, vb) -> match compare vb va with 0 -> compare sa sb | c -> c)
+    indexed;
+  Array.map
+    (fun (site, v) -> (site, Golden.phase_of_site golden site, v))
+    (Array.sub indexed 0 (min k n))

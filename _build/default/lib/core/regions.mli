@@ -1,0 +1,35 @@
+(** Source-phase (region) aggregation of per-site metrics.
+
+    Figure 4's insight is that vulnerability is structured by code region:
+    initialisation stores behave differently from iteration-body stores.
+    Dynamic instructions carry their static phase (via
+    {!Ftb_trace.Static}); this module folds any per-site series — true or
+    predicted SDC ratios, thresholds, information mass — into per-phase
+    summaries an application programmer can act on. *)
+
+type summary = {
+  phase : string;
+  sites : int;  (** dynamic instructions attributed to the phase *)
+  mean : float;
+  max : float;
+  min : float;
+}
+
+val summarize_by_phase : Ftb_trace.Golden.t -> float array -> summary list
+(** Group a per-site series by each site's static phase. Summaries are
+    sorted by descending mean (most vulnerable phase first; ties broken by
+    phase name). Raises [Invalid_argument] when the series length differs
+    from the golden run's site count. *)
+
+type assessment = Protect_first | Vulnerable | Naturally_resilient
+
+val assess : mean_sdc:float -> assessment
+(** Coarse triage of a phase by its mean predicted SDC ratio:
+    [Protect_first] above 20 %, [Vulnerable] above 10 %, else
+    [Naturally_resilient]. *)
+
+val assessment_to_string : assessment -> string
+
+val top_sites : Ftb_trace.Golden.t -> float array -> k:int -> (int * string * float) array
+(** The [k] highest-valued sites of a per-site series, as
+    [(site, phase, value)], descending (ties broken by site index). *)

@@ -1,0 +1,46 @@
+(** Ablations of the adaptive sampler's design choices.
+
+    DESIGN.md calls out three knobs the paper motivates but does not
+    isolate; this study isolates them on one benchmark:
+
+    - the §3.4 *bias term* (sample low-information sites first) versus
+      uniform candidate selection;
+    - the §3.5 *filter operation* versus unfiltered Algorithm 1;
+    - the *round size* (fraction of the space drawn per progressive round).
+
+    It also positions the method against the statistical-fault-injection
+    baseline (Leveugle et al.): how many Monte-Carlo runs a ±1 % /
+    95 %-confidence estimate costs, per program and per site. *)
+
+type variant = {
+  label : string;
+  bias : bool;
+  filter : bool;
+  sample_fraction_mean : float;
+  sample_fraction_std : float;
+  predicted_sdc_mean : float;
+  abs_error_mean : float;  (** mean |predicted − golden| over trials *)
+  rounds_mean : float;
+}
+
+type round_point = {
+  round_fraction : float;
+  sample_fraction_mean : float;
+  abs_error_mean : float;
+  rounds_mean : float;
+}
+
+type result = {
+  name : string;
+  golden_sdc : float;
+  variants : variant array;  (** the 4 bias × filter combinations *)
+  round_points : round_point array;
+  baseline : Confidence.comparison;
+      (** statistical-FI cost for the same per-site resolution, using the
+          boundary's measured sample count and recall *)
+}
+
+val run :
+  ?trials:int -> ?round_fractions:float array -> seed:int -> Context.t -> result
+(** Defaults: 5 trials per configuration; round fractions
+    [{0.0005; 0.001; 0.005}]. *)

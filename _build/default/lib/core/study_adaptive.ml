@@ -1,0 +1,49 @@
+module Ground_truth = Ftb_inject.Ground_truth
+
+type trial = {
+  sample_fraction : float;
+  predicted_sdc : float;
+  rounds : int;
+  stop_reason : Adaptive.stop_reason;
+  uncertainty : float;
+}
+
+type result = {
+  name : string;
+  golden_sdc : float;
+  trials : trial array;
+  predicted_ratio : float array;
+  true_ratio : float array;
+}
+
+let run ?(config = Adaptive.default_config) ?(trials = 10) ~seed (context : Context.t) =
+  if trials <= 0 then invalid_arg "Study_adaptive.run: trials must be positive";
+  let rng = Ftb_util.Rng.create ~seed in
+  let golden = context.Context.golden in
+  let first_ratio = ref None in
+  let trial_results =
+    Array.init trials (fun _ ->
+        let outcome = Adaptive.run ~config (Ftb_util.Rng.split rng) golden in
+        let observations = Predict.observations_of_samples outcome.Adaptive.samples in
+        let ratio =
+          Predict.site_sdc_ratio ~policy:Predict.Observed_all ~observations
+            outcome.Adaptive.boundary golden
+        in
+        if !first_ratio = None then first_ratio := Some ratio;
+        {
+          sample_fraction = outcome.Adaptive.sample_fraction;
+          predicted_sdc = Ftb_util.Stats.mean ratio;
+          rounds = outcome.Adaptive.rounds;
+          stop_reason = outcome.Adaptive.stop_reason;
+          uncertainty =
+            Metrics.uncertainty outcome.Adaptive.boundary golden outcome.Adaptive.samples;
+        })
+  in
+  let predicted_ratio = match !first_ratio with Some r -> r | None -> assert false in
+  {
+    name = context.Context.name;
+    golden_sdc = Context.golden_sdc_ratio context;
+    trials = trial_results;
+    predicted_ratio;
+    true_ratio = Ground_truth.site_sdc_ratio context.Context.ground_truth;
+  }

@@ -1,0 +1,50 @@
+module Fault = Ftb_trace.Fault
+module Runner = Ftb_trace.Runner
+module Ground_truth = Ftb_inject.Ground_truth
+
+type result = {
+  name : string;
+  sites : int;
+  cases : int;
+  golden_sdc : float;
+  approx_sdc : float;
+  delta_sdc : float array;
+  non_monotonic_fraction : float;
+  boundary : Boundary.t;
+}
+
+let bits = Ftb_util.Bits.bits_per_double
+
+let non_monotonic_sites gt =
+  let golden = gt.Ground_truth.golden in
+  let n = Ftb_trace.Golden.sites golden in
+  Array.init n (fun site ->
+      let max_masked = ref neg_infinity and min_sdc = ref infinity in
+      for bit = 0 to bits - 1 do
+        let fault = Fault.make ~site ~bit in
+        let e = Ground_truth.injected_error golden fault in
+        match Ground_truth.outcome_of_fault gt fault with
+        | Runner.Masked -> if e > !max_masked then max_masked := e
+        | Runner.Sdc -> if e < !min_sdc then min_sdc := e
+        | Runner.Crash -> ()
+      done;
+      !max_masked > !min_sdc)
+
+let run (context : Context.t) =
+  let gt = context.Context.ground_truth in
+  let boundary = Boundary.exhaustive gt in
+  let golden_ratio = Ground_truth.site_sdc_ratio gt in
+  let approx_ratio = Predict.site_sdc_ratio_vs_ground_truth boundary gt in
+  let delta_sdc = Metrics.delta_sdc ~golden_ratio ~approx_ratio in
+  let flags = non_monotonic_sites gt in
+  let non_monotonic = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 flags in
+  {
+    name = context.Context.name;
+    sites = Context.sites context;
+    cases = Context.cases context;
+    golden_sdc = Ground_truth.sdc_ratio gt;
+    approx_sdc = Ftb_util.Stats.mean approx_ratio;
+    delta_sdc;
+    non_monotonic_fraction = float_of_int non_monotonic /. float_of_int (Array.length flags);
+    boundary;
+  }

@@ -1,0 +1,24 @@
+(** §4.1 — the brute-force boundary study (Table 1 and Figure 3).
+
+    Builds the fault tolerance boundary from the complete campaign, uses it
+    to re-predict every site's SDC ratio, and compares against the known
+    truth: Table 1 reports the aggregate ratios; Figure 3 the per-site
+    ΔSDC histogram and the fraction of non-monotonic sites. *)
+
+type result = {
+  name : string;
+  sites : int;
+  cases : int;
+  golden_sdc : float;  (** true SDC ratio from the campaign *)
+  approx_sdc : float;  (** SDC ratio re-predicted from the boundary *)
+  delta_sdc : float array;  (** per-site Golden − Approx *)
+  non_monotonic_fraction : float;
+      (** fraction of sites where some masked flip injects a larger error
+          than some SDC flip — the sites where the boundary must err *)
+  boundary : Boundary.t;
+}
+
+val run : Context.t -> result
+
+val non_monotonic_sites : Ftb_inject.Ground_truth.t -> bool array
+(** Per-site flag: true when max masked error > min SDC error. *)

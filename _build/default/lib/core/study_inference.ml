@@ -1,0 +1,68 @@
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+
+type trial = {
+  precision : float;
+  recall : float;
+  uncertainty : float;
+  masked_samples : int;
+  sdc_samples : int;
+  crash_samples : int;
+}
+
+type result = {
+  name : string;
+  fraction : float;
+  trials : trial array;
+  true_ratio : float array;
+  predicted_ratio : float array;
+  impact : float array;
+}
+
+let one_trial ?(filter = false) rng (context : Context.t) ~fraction =
+  let golden = context.Context.golden in
+  let cases = Sample_run.draw_uniform rng golden ~fraction in
+  let samples = Sample_run.run_cases golden cases in
+  let boundary = Boundary.infer ~filter ~sites:(Golden.sites golden) samples in
+  let evaluation = Metrics.evaluate boundary context.Context.ground_truth in
+  let masked, sdc, crash = Sample_run.count_outcomes samples in
+  let trial =
+    {
+      precision = evaluation.Metrics.precision;
+      recall = evaluation.Metrics.recall;
+      uncertainty = Metrics.uncertainty boundary golden samples;
+      masked_samples = masked;
+      sdc_samples = sdc;
+      crash_samples = crash;
+    }
+  in
+  (trial, boundary, samples)
+
+let run ?(fraction = 0.01) ?(trials = 10) ?(filter = false) ~seed (context : Context.t) =
+  if trials <= 0 then invalid_arg "Study_inference.run: trials must be positive";
+  let rng = Ftb_util.Rng.create ~seed in
+  let golden = context.Context.golden in
+  let first = ref None in
+  let trial_results =
+    Array.init trials (fun _ ->
+        let trial, boundary, samples = one_trial ~filter rng context ~fraction in
+        if !first = None then first := Some (boundary, samples);
+        trial)
+  in
+  let boundary, samples =
+    match !first with Some pair -> pair | None -> assert false
+  in
+  let observations = Predict.observations_of_samples samples in
+  let predicted_ratio =
+    Predict.site_sdc_ratio ~policy:Predict.Observed_full_sites ~observations boundary golden
+  in
+  let impact = Info.potential_impact (Info.collect golden samples) in
+  {
+    name = context.Context.name;
+    fraction;
+    trials = trial_results;
+    true_ratio = Ground_truth.site_sdc_ratio context.Context.ground_truth;
+    predicted_ratio;
+    impact;
+  }

@@ -1,0 +1,44 @@
+(** §4.2–4.3 — the inference study (Table 2 and Figure 4 rows 1–2).
+
+    Draws a uniform 1 % sample of the space, builds the boundary with
+    Algorithm 1, and evaluates it: Table 2 reports precision / recall /
+    uncertainty over repeated trials; Figure 4 row 1 compares the true
+    per-site SDC ratio with the boundary's prediction, and row 2 shows each
+    site's information mass ("potential impact"). *)
+
+type trial = {
+  precision : float;
+  recall : float;
+  uncertainty : float;
+  masked_samples : int;
+  sdc_samples : int;
+  crash_samples : int;
+}
+
+type result = {
+  name : string;
+  fraction : float;
+  trials : trial array;
+  (* Per-site series from the first trial (for Figure 4): *)
+  true_ratio : float array;
+  predicted_ratio : float array;
+  impact : float array;
+}
+
+val run :
+  ?fraction:float ->
+  ?trials:int ->
+  ?filter:bool ->
+  seed:int ->
+  Context.t ->
+  result
+(** Defaults: 1 % sampling ([fraction = 0.01]), 10 trials, no filter
+    (matching the paper's Table 2 setting). *)
+
+val one_trial :
+  ?filter:bool ->
+  Ftb_util.Rng.t ->
+  Context.t ->
+  fraction:float ->
+  trial * Boundary.t * Ftb_inject.Sample_run.t array
+(** One draw–infer–evaluate round; exposed for the CLI and tests. *)

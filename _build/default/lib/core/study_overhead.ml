@@ -1,0 +1,75 @@
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Fault = Ftb_trace.Fault
+module Lockstep = Ftb_trace.Lockstep
+
+type result = {
+  name : string;
+  sites : int;
+  plain_ns : float;
+  golden_ns : float;
+  outcome_ns : float;
+  propagation_ns : float;
+  lockstep_ns : float;
+  trace_bytes : int;
+}
+
+let median_ns ~repetitions f =
+  let times =
+    Array.init repetitions (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  Ftb_util.Stats.median times
+
+let run ?(repetitions = 11) ?plain ~name program =
+  if repetitions <= 0 then invalid_arg "Study_overhead.run: repetitions must be positive";
+  let golden = Golden.run program in
+  let sites = Golden.sites golden in
+  let fault = Fault.make ~site:(sites / 2) ~bit:30 in
+  let plain_ns =
+    match plain with Some f -> median_ns ~repetitions f | None -> nan
+  in
+  let golden_ns = median_ns ~repetitions (fun () -> Golden.run program) in
+  let outcome_ns = median_ns ~repetitions (fun () -> Runner.run_outcome golden fault) in
+  let propagation_ns =
+    median_ns ~repetitions (fun () -> Runner.run_propagation golden fault)
+  in
+  let lockstep_ns = median_ns ~repetitions (fun () -> Lockstep.run program fault) in
+  (* Trace footprint: one float (8 B) and one tag (boxed-int word, 8 B) per
+     dynamic instruction. *)
+  let trace_bytes = sites * (8 + 8) in
+  { name; sites; plain_ns; golden_ns; outcome_ns; propagation_ns; lockstep_ns; trace_bytes }
+
+let render results =
+  let t =
+    Ftb_util.Table.create
+      [
+        "benchmark"; "sites"; "plain"; "golden"; "outcome run"; "propagation"; "lockstep";
+        "trace bytes"; "slowdown";
+      ]
+  in
+  let ms ns = if Float.is_nan ns then "-" else Printf.sprintf "%.2f ms" (ns /. 1e6) in
+  List.iter
+    (fun r ->
+      let slowdown =
+        if Float.is_nan r.plain_ns || r.plain_ns <= 0. then "-"
+        else Printf.sprintf "%.1fx" (r.golden_ns /. r.plain_ns)
+      in
+      Ftb_util.Table.add_row t
+        [
+          r.name;
+          string_of_int r.sites;
+          ms r.plain_ns;
+          ms r.golden_ns;
+          ms r.outcome_ns;
+          ms r.propagation_ns;
+          ms r.lockstep_ns;
+          string_of_int r.trace_bytes;
+          slowdown;
+        ])
+    results;
+  Ftb_util.Table.render
+    ~title:
+      "Overhead (sec. 5): median wall-clock per run and golden-trace footprint" t

@@ -1,0 +1,40 @@
+(** Instrumentation and memory overhead (§5 "Overhead").
+
+    The paper flags two costs of the approach: the per-instruction tracing
+    work, and storing the golden run's full dynamic state. This study
+    measures both for a benchmark:
+
+    - wall-clock of the plain oracle vs the instrumented golden run vs an
+      outcome-only injection run vs a traced propagation run (medians over
+      repetitions);
+    - the golden-trace footprint in bytes, versus the O(1) footprint of
+      the lockstep executor.
+
+    Timings use the monotonic clock and report medians, so they are stable
+    enough for regression tracking though not a rigorous benchmark —
+    `bench/main.exe perf` has the Bechamel treatment. *)
+
+type result = {
+  name : string;
+  sites : int;
+  plain_ns : float;  (** median ns of the uninstrumented oracle, if provided *)
+  golden_ns : float;  (** median ns of a recording golden run *)
+  outcome_ns : float;  (** median ns of one outcome-only injection run *)
+  propagation_ns : float;  (** median ns of one traced propagation run *)
+  lockstep_ns : float;  (** median ns of one lockstep propagation run *)
+  trace_bytes : int;  (** golden trace footprint: values + static tags *)
+}
+
+val run :
+  ?repetitions:int ->
+  ?plain:(unit -> float array) ->
+  name:string ->
+  Ftb_trace.Program.t ->
+  result
+(** Measure a program (default 11 repetitions; median reported). [plain]
+    is the uninstrumented oracle when one exists; otherwise [plain_ns]
+    is [nan]. The injection runs target the middle site, bit 30. *)
+
+val render : result list -> string
+(** Aligned table with derived ratios (instrumentation slowdown,
+    propagation cost over outcome cost). *)

@@ -1,0 +1,66 @@
+module Golden = Ftb_trace.Golden
+module Sample_run = Ftb_inject.Sample_run
+
+type row = {
+  label : string;
+  sites : int;
+  cases : int;
+  golden_sdc : float;
+  predicted_sdc_mean : float;
+  predicted_sdc_std : float;
+  precision_mean : float;
+  precision_std : float;
+  uncertainty_mean : float;
+  uncertainty_std : float;
+  recall_mean : float;
+  recall_std : float;
+  sample_fraction : float;
+}
+
+type result = { samples : int; rows : row array }
+
+let run ?(samples = 1000) ?(trials = 10) ~seed contexts =
+  if samples <= 0 then invalid_arg "Study_scaling.run: samples must be positive";
+  if trials <= 0 then invalid_arg "Study_scaling.run: trials must be positive";
+  let rng = Ftb_util.Rng.create ~seed in
+  let rows =
+    Array.map
+      (fun (label, (context : Context.t)) ->
+        let golden = context.Context.golden in
+        let total = Golden.cases golden in
+        let k = min samples total in
+        let predicted = Array.make trials 0. in
+        let precision = Array.make trials 0. in
+        let uncertainty = Array.make trials 0. in
+        let recall = Array.make trials 0. in
+        for t = 0 to trials - 1 do
+          let cases = Ftb_util.Sampling.uniform rng ~n:total ~k in
+          let sample_set = Sample_run.run_cases golden cases in
+          let boundary = Boundary.infer ~sites:(Golden.sites golden) sample_set in
+          let evaluation = Metrics.evaluate boundary context.Context.ground_truth in
+          let observations = Predict.observations_of_samples sample_set in
+          predicted.(t) <-
+            Predict.overall_sdc_ratio ~policy:Predict.Observed_all ~observations boundary
+              golden;
+          precision.(t) <- evaluation.Metrics.precision;
+          recall.(t) <- evaluation.Metrics.recall;
+          uncertainty.(t) <- Metrics.uncertainty boundary golden sample_set
+        done;
+        {
+          label;
+          sites = Context.sites context;
+          cases = total;
+          golden_sdc = Context.golden_sdc_ratio context;
+          predicted_sdc_mean = Ftb_util.Stats.mean predicted;
+          predicted_sdc_std = Ftb_util.Stats.std predicted;
+          precision_mean = Ftb_util.Stats.mean precision;
+          precision_std = Ftb_util.Stats.std precision;
+          uncertainty_mean = Ftb_util.Stats.mean uncertainty;
+          uncertainty_std = Ftb_util.Stats.std uncertainty;
+          recall_mean = Ftb_util.Stats.mean recall;
+          recall_std = Ftb_util.Stats.std recall;
+          sample_fraction = float_of_int k /. float_of_int total;
+        })
+      contexts
+  in
+  { samples; rows }

@@ -1,0 +1,31 @@
+(** §4.6 — scalability of the iterative method (Table 4).
+
+    Approximates the boundary of the CG benchmark at two input sizes with
+    the *same absolute* number of samples (the paper uses 1000), showing
+    that the sampling *fraction* needed to understand an iterative
+    program's resiliency shrinks as the input grows: larger inputs spend a
+    larger share of their dynamic instructions in the frequently-propagated
+    iteration body. *)
+
+type row = {
+  label : string;  (** input description, e.g. ["8x8"] *)
+  sites : int;
+  cases : int;
+  golden_sdc : float;
+  predicted_sdc_mean : float;
+  predicted_sdc_std : float;
+  precision_mean : float;
+  precision_std : float;
+  uncertainty_mean : float;
+  uncertainty_std : float;
+  recall_mean : float;
+  recall_std : float;
+  sample_fraction : float;  (** samples / cases *)
+}
+
+type result = { samples : int; rows : row array }
+
+val run :
+  ?samples:int -> ?trials:int -> seed:int -> (string * Context.t) array -> result
+(** Defaults: 1000 samples, 10 trials. Each context is evaluated
+    independently; rows come back in input order. *)

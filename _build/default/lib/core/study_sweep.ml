@@ -1,0 +1,36 @@
+type point = {
+  fraction : float;
+  precision_mean : float;
+  precision_std : float;
+  recall_mean : float;
+  recall_std : float;
+}
+
+type result = { name : string; without_filter : point array; with_filter : point array }
+
+let paper_fractions = [| 0.001; 0.005; 0.01; 0.05; 0.1; 0.5 |]
+
+let sweep_one ~filter ~fractions ~trials ~rng context =
+  Array.map
+    (fun fraction ->
+      let precisions = Array.make trials 0. and recalls = Array.make trials 0. in
+      for t = 0 to trials - 1 do
+        let trial, _, _ = Study_inference.one_trial ~filter rng context ~fraction in
+        precisions.(t) <- trial.Study_inference.precision;
+        recalls.(t) <- trial.Study_inference.recall
+      done;
+      {
+        fraction;
+        precision_mean = Ftb_util.Stats.mean precisions;
+        precision_std = Ftb_util.Stats.std precisions;
+        recall_mean = Ftb_util.Stats.mean recalls;
+        recall_std = Ftb_util.Stats.std recalls;
+      })
+    fractions
+
+let run ?(fractions = paper_fractions) ?(trials = 10) ~seed (context : Context.t) =
+  if trials <= 0 then invalid_arg "Study_sweep.run: trials must be positive";
+  let rng = Ftb_util.Rng.create ~seed in
+  let without_filter = sweep_one ~filter:false ~fractions ~trials ~rng context in
+  let with_filter = sweep_one ~filter:true ~fractions ~trials ~rng context in
+  { name = context.Context.name; without_filter; with_filter }

@@ -1,0 +1,30 @@
+(** §4.4 — precision/recall versus sample size (Figure 5).
+
+    Sweeps the sampling fraction over the paper's grid
+    {0.1, 0.5, 1, 5, 10, 50} %, with and without the §3.5 filter
+    operation, and reports mean precision and recall per point. The
+    paper's observations to reproduce: recall rises steeply then levels
+    out around 80–90 %; without the filter, precision dips as more masked
+    samples feed non-monotonic propagation data into the boundary; with
+    the filter, precision stays pinned near 100 %. *)
+
+type point = {
+  fraction : float;
+  precision_mean : float;
+  precision_std : float;
+  recall_mean : float;
+  recall_std : float;
+}
+
+type result = {
+  name : string;
+  without_filter : point array;
+  with_filter : point array;
+}
+
+val paper_fractions : float array
+(** [0.001; 0.005; 0.01; 0.05; 0.1; 0.5] *)
+
+val run :
+  ?fractions:float array -> ?trials:int -> seed:int -> Context.t -> result
+(** Defaults: the paper's fraction grid and 10 trials per point. *)

@@ -1,0 +1,40 @@
+(** Sensitivity of the analysis to the acceptance threshold [T].
+
+    [T] — the largest L∞ output deviation the domain user accepts — is the
+    one free parameter of the paper's outcome model (§2.1: "an acceptable
+    tolerance level defined by the domain user"). This study sweeps [T]
+    over decades for one benchmark and reports, per point:
+
+    - the golden SDC / masked / crash split (SDC shrinks as [T] grows);
+    - the quality of a fixed-fraction inferred boundary (precision /
+      recall / uncertainty), showing the method is stable across [T];
+    - the fraction of non-monotonic sites, which depends on where [T]
+      slices each site's error-response curve.
+
+    Each sweep point rebuilds the program with the new tolerance and runs
+    its own exhaustive campaign, so expect cost proportional to the number
+    of points. *)
+
+type point = {
+  tolerance : float;
+  golden_sdc : float;
+  golden_masked : float;
+  golden_crash : float;
+  precision : float;
+  recall : float;
+  uncertainty : float;
+  non_monotonic_fraction : float;
+}
+
+type result = { name : string; fraction : float; points : point array }
+
+val run :
+  ?fraction:float ->
+  ?seed:int ->
+  name:string ->
+  tolerances:float array ->
+  (tolerance:float -> Ftb_trace.Program.t) ->
+  result
+(** [run ~name ~tolerances make] rebuilds the program per tolerance and
+    evaluates a [fraction] (default 2 %) inferred boundary against that
+    point's own exhaustive campaign. *)

@@ -1,0 +1,1 @@
+lib/inject/ground_truth.ml: Array Bytes Char Float Ftb_trace Ftb_util Printf

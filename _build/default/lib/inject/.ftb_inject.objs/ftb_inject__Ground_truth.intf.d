@@ -1,0 +1,1 @@
+lib/inject/ground_truth.mli: Bytes Ftb_trace

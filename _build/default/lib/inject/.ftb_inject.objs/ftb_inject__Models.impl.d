@@ -1,0 +1,1 @@
+lib/inject/models.ml: Array Ftb_trace Ftb_util Fun List Printf

@@ -1,0 +1,1 @@
+lib/inject/models.mli: Ftb_trace Ftb_util

@@ -1,0 +1,1 @@
+lib/inject/parallel.ml: Array Bytes Domain Ftb_trace Ground_truth List Sample_run

@@ -1,0 +1,1 @@
+lib/inject/parallel.mli: Ftb_trace Ground_truth Sample_run

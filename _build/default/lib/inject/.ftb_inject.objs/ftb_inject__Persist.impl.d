@@ -1,0 +1,1 @@
+lib/inject/persist.ml: Array Bytes Ftb_trace Fun Ground_truth List Printf Sample_run String

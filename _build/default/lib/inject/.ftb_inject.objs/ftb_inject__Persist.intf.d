@@ -1,0 +1,1 @@
+lib/inject/persist.mli: Ftb_trace Ground_truth Sample_run

@@ -1,0 +1,1 @@
+lib/inject/sample_run.ml: Array Float Ftb_trace Ftb_util

@@ -1,0 +1,1 @@
+lib/inject/sample_run.mli: Ftb_trace Ftb_util

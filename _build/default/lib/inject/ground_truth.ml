@@ -1,0 +1,97 @@
+module Fault = Ftb_trace.Fault
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+
+type t = { golden : Golden.t; outcomes : Bytes.t }
+
+let byte_of_outcome = function Runner.Masked -> '\000' | Runner.Sdc -> '\001' | Runner.Crash -> '\002'
+
+let outcome_of_byte = function
+  | '\000' -> Runner.Masked
+  | '\001' -> Runner.Sdc
+  | '\002' -> Runner.Crash
+  | c -> invalid_arg (Printf.sprintf "Ground_truth: corrupt outcome byte %d" (Char.code c))
+
+let outcome_byte = byte_of_outcome
+
+let classify_case golden case =
+  (Runner.run_outcome golden (Fault.of_case case)).Runner.outcome
+
+let of_outcomes golden outcomes =
+  let total = Golden.cases golden in
+  if Bytes.length outcomes <> total then
+    invalid_arg
+      (Printf.sprintf "Ground_truth.of_outcomes: expected %d outcome bytes, got %d" total
+         (Bytes.length outcomes));
+  Bytes.iter (fun b -> ignore (outcome_of_byte b)) outcomes;
+  { golden; outcomes }
+
+let run ?progress golden =
+  let total = Golden.cases golden in
+  let outcomes = Bytes.create total in
+  for case = 0 to total - 1 do
+    let result = Runner.run_outcome golden (Fault.of_case case) in
+    Bytes.set outcomes case (byte_of_outcome result.Runner.outcome);
+    match progress with
+    | Some f when case land 0xFFF = 0 -> f ~done_:case ~total
+    | Some _ | None -> ()
+  done;
+  (match progress with Some f -> f ~done_:total ~total | None -> ());
+  { golden; outcomes }
+
+let outcome t case = outcome_of_byte (Bytes.get t.outcomes case)
+let outcome_of_fault t fault = outcome t (Fault.to_case fault)
+let cases t = Bytes.length t.outcomes
+
+let injected_error golden (fault : Fault.t) =
+  let v = Golden.value golden fault.Fault.site in
+  let err = Ftb_util.Bits.error_of_flip ~bit:fault.Fault.bit v in
+  if Float.is_nan err then infinity else err
+
+let counts t ~masked ~sdc ~crash =
+  Bytes.iter
+    (fun b ->
+      match outcome_of_byte b with
+      | Runner.Masked -> incr masked
+      | Runner.Sdc -> incr sdc
+      | Runner.Crash -> incr crash)
+    t.outcomes
+
+let ratio_of count t = float_of_int count /. float_of_int (cases t)
+
+let global_counts t =
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  counts t ~masked ~sdc ~crash;
+  (!masked, !sdc, !crash)
+
+let sdc_ratio t =
+  let _, sdc, _ = global_counts t in
+  ratio_of sdc t
+
+let masked_ratio t =
+  let masked, _, _ = global_counts t in
+  ratio_of masked t
+
+let crash_ratio t =
+  let _, _, crash = global_counts t in
+  ratio_of crash t
+
+let bits = Ftb_util.Bits.bits_per_double
+
+let site_sdc_ratio t =
+  let sites = Golden.sites t.golden in
+  Array.init sites (fun site ->
+      let sdc = ref 0 in
+      for bit = 0 to bits - 1 do
+        if outcome t ((site * bits) + bit) = Runner.Sdc then incr sdc
+      done;
+      float_of_int !sdc /. float_of_int bits)
+
+let site_masked_count t =
+  let sites = Golden.sites t.golden in
+  Array.init sites (fun site ->
+      let masked = ref 0 in
+      for bit = 0 to bits - 1 do
+        if outcome t ((site * bits) + bit) = Runner.Masked then incr masked
+      done;
+      !masked)

@@ -1,0 +1,60 @@
+(** Exhaustive fault-injection campaign results — the ground truth.
+
+    One outcome per (site, bit) case of the complete sample space. The
+    paper uses such campaigns both to *evaluate* the inference method and
+    to build the brute-force boundary of §4.1. Outcomes are stored one byte
+    per case; injected error magnitudes are not stored because they are a
+    pure function of the golden value and the bit ({!injected_error}). *)
+
+type t = private {
+  golden : Ftb_trace.Golden.t;
+  outcomes : Bytes.t;  (** one byte per case, dense {!Ftb_trace.Fault.to_case} order *)
+}
+
+val run : ?progress:(done_:int -> total:int -> unit) -> Ftb_trace.Golden.t -> t
+(** Run the complete campaign: [sites * 64] outcome-only executions.
+    [progress] is called every few thousand cases. *)
+
+val of_outcomes : Ftb_trace.Golden.t -> Bytes.t -> t
+(** Assemble a campaign result from raw outcome bytes (one of
+    {!outcome_byte} per case, dense order). Used by the parallel campaign
+    runner and the persistence layer; validates the length and byte
+    values. *)
+
+val outcome_byte : Ftb_trace.Runner.outcome -> char
+(** The stored byte of an outcome ('\000' masked, '\001' sdc,
+    '\002' crash). *)
+
+val classify_case : Ftb_trace.Golden.t -> int -> Ftb_trace.Runner.outcome
+(** Run one dense case and return its outcome — the unit of work the
+    campaign (serial or parallel) repeats. *)
+
+val outcome : t -> int -> Ftb_trace.Runner.outcome
+(** Outcome of a dense case index. *)
+
+val outcome_of_fault : t -> Ftb_trace.Fault.t -> Ftb_trace.Runner.outcome
+
+val cases : t -> int
+(** Size of the sample space. *)
+
+val injected_error : Ftb_trace.Golden.t -> Ftb_trace.Fault.t -> float
+(** Error magnitude the fault injects: |flip(v) − v| for the golden value
+    [v] at the fault's site, [infinity] when the flip is non-finite. This
+    is exact for any run because execution is deterministic up to the
+    injection point. *)
+
+val counts : t -> masked:int ref -> sdc:int ref -> crash:int ref -> unit
+(** Accumulate global outcome counts into the given refs. *)
+
+val sdc_ratio : t -> float
+(** Global [n_sdc / N] (§2.1). *)
+
+val masked_ratio : t -> float
+val crash_ratio : t -> float
+
+val site_sdc_ratio : t -> float array
+(** Per-site SDC ratio: fraction of the site's 64 flips that end in SDC —
+    the per-instruction vulnerability profile of Figure 4. *)
+
+val site_masked_count : t -> int array
+(** Per-site number of masked flips. *)

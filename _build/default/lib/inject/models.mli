@@ -1,0 +1,68 @@
+(** Alternative transient-fault models.
+
+    The paper evaluates the canonical single-bit-flip model in 64-bit data
+    (§2.1) and notes that real upsets also hit narrower datapaths and can
+    span multiple bits. This module parameterises campaigns by fault model
+    so a user can measure how sensitive a program's SDC profile is to the
+    model assumption. Discrete models enumerate a fixed number of cases
+    per site (like the 64 flips); stochastic models draw corruptions from
+    an explicit RNG. *)
+
+type t =
+  | Bit_flip_64  (** the paper's model: one of 64 bit flips *)
+  | Bit_flip_32
+      (** a flip in the value rounded to single precision (32 cases) —
+          models FP32 datapaths *)
+  | Adjacent_burst_2
+      (** two adjacent bits flipped together (63 cases) — a minimal
+          multi-bit upset *)
+  | Random_value of { lo : float; hi : float }
+      (** the corrupted element is replaced by a uniform draw from
+          [\[lo, hi)] — the "random value" model of several FI tools *)
+
+val name : t -> string
+val all_discrete : t list
+(** [Bit_flip_64; Bit_flip_32; Adjacent_burst_2]. *)
+
+val cases_per_site : t -> int option
+(** Number of enumerable corruptions per site; [None] for stochastic
+    models. *)
+
+val corrupt : t -> rng:Ftb_util.Rng.t -> case:int -> float -> float
+(** [corrupt model ~rng ~case v] applies the model's [case]-th corruption
+    to [v]. Discrete models ignore [rng] and require
+    [0 <= case < cases_per_site]; stochastic models ignore [case]. *)
+
+type site_stats = {
+  runs : int;
+  masked : int;
+  sdc : int;
+  crash : int;
+}
+
+type campaign = {
+  model : t;
+  total : site_stats;  (** aggregate over all injections *)
+  sdc_ratio : float;
+  masked_ratio : float;
+  crash_ratio : float;
+}
+
+val monte_carlo :
+  ?samples_per_site:int ->
+  Ftb_util.Rng.t ->
+  Ftb_trace.Golden.t ->
+  t ->
+  campaign
+(** Monte-Carlo campaign under a fault model: for every dynamic
+    instruction, draw [samples_per_site] corruptions (default 4 — or every
+    case when the model is discrete and has at most that many) and
+    classify each outcome-only run. Deterministic given the RNG. *)
+
+val compare_models :
+  ?samples_per_site:int ->
+  Ftb_util.Rng.t ->
+  Ftb_trace.Golden.t ->
+  t list ->
+  campaign list
+(** Run {!monte_carlo} for each model on the same golden run. *)

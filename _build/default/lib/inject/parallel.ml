@@ -1,0 +1,58 @@
+module Golden = Ftb_trace.Golden
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let check_domains domains =
+  if domains <= 0 then invalid_arg "Parallel: domains must be positive"
+
+(* Shard [0, total) into [domains] contiguous chunks and run [work lo hi]
+   on each, the last chunk on the calling domain. *)
+let shard ~domains ~total work =
+  let chunk d = (d * total / domains, (d + 1) * total / domains) in
+  let spawned =
+    List.init (domains - 1) (fun d ->
+        let lo, hi = chunk d in
+        Domain.spawn (fun () -> work lo hi))
+  in
+  let lo, hi = chunk (domains - 1) in
+  work lo hi;
+  List.iter Domain.join spawned
+
+let ground_truth ?domains golden =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  check_domains domains;
+  if domains = 1 then Ground_truth.run golden
+  else begin
+    let total = Golden.cases golden in
+    let outcomes = Bytes.create total in
+    (* Each domain writes a disjoint byte range; Bytes.unsafe_set on
+       disjoint indices is race-free. *)
+    shard ~domains ~total (fun lo hi ->
+        for case = lo to hi - 1 do
+          Bytes.unsafe_set outcomes case
+            (Ground_truth.outcome_byte (Ground_truth.classify_case golden case))
+        done);
+    Ground_truth.of_outcomes golden outcomes
+  end
+
+let run_cases ?domains golden cases =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  check_domains domains;
+  if domains = 1 then Sample_run.run_cases golden cases
+  else begin
+    let total = Array.length cases in
+    let placeholder =
+      {
+        Sample_run.fault = Ftb_trace.Fault.make ~site:0 ~bit:0;
+        outcome = Ftb_trace.Runner.Masked;
+        injected_error = 0.;
+        propagation = None;
+      }
+    in
+    let results = Array.make total placeholder in
+    shard ~domains ~total (fun lo hi ->
+        for i = lo to hi - 1 do
+          results.(i) <- Sample_run.run_case golden cases.(i)
+        done);
+    results
+  end

@@ -1,0 +1,27 @@
+(** Multicore campaign execution (OCaml 5 domains).
+
+    A fault-injection campaign is embarrassingly parallel: every case is an
+    independent re-execution of the program against immutable inputs. This
+    module shards the case space across domains. It requires the program
+    body to be re-entrant — true of every kernel in this repository (bodies
+    allocate fresh working state per run and only read their captured
+    inputs), and a requirement documented on {!Ftb_trace.Program.t}'s
+    [body].
+
+    Determinism: results are identical to the serial runners — each case's
+    execution is self-contained, so scheduling cannot change outcomes. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] capped to 8 — campaign sharding
+    saturates memory bandwidth well before high core counts. *)
+
+val ground_truth :
+  ?domains:int -> Ftb_trace.Golden.t -> Ground_truth.t
+(** Parallel equivalent of {!Ground_truth.run}. [domains] defaults to
+    {!default_domains}; 1 falls back to the serial path. Raises
+    [Invalid_argument] when [domains <= 0]. *)
+
+val run_cases :
+  ?domains:int -> Ftb_trace.Golden.t -> int array -> Sample_run.t array
+(** Parallel equivalent of {!Sample_run.run_cases} (same order as the
+    input case array). *)

@@ -1,0 +1,136 @@
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Fault = Ftb_trace.Fault
+
+exception Format_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Format_error msg)) fmt
+
+let with_out path f =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_in path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let input_line_exn ic what =
+  match input_line ic with
+  | line -> line
+  | exception End_of_file -> fail "unexpected end of file while reading %s" what
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth: header + raw outcome bytes.                           *)
+
+let gt_magic = "ftb-ground-truth-v1"
+
+let save_ground_truth ~path gt =
+  let golden = gt.Ground_truth.golden in
+  with_out path (fun oc ->
+      Printf.fprintf oc "%s %s %d\n" gt_magic
+        golden.Golden.program.Ftb_trace.Program.name (Golden.sites golden);
+      output_bytes oc gt.Ground_truth.outcomes)
+
+let load_ground_truth ~path golden =
+  with_in path (fun ic ->
+      let header = input_line_exn ic "ground-truth header" in
+      (match String.split_on_char ' ' header with
+      | [ magic; name; sites ] ->
+          if magic <> gt_magic then fail "bad magic %S (expected %s)" magic gt_magic;
+          if name <> golden.Golden.program.Ftb_trace.Program.name then
+            fail "campaign is for program %S, golden run is %S" name
+              golden.Golden.program.Ftb_trace.Program.name;
+          let stored_sites =
+            match int_of_string_opt sites with
+            | Some n -> n
+            | None -> fail "bad site count %S" sites
+          in
+          if stored_sites <> Golden.sites golden then
+            fail "campaign has %d sites, golden run has %d" stored_sites
+              (Golden.sites golden)
+      | _ -> fail "malformed header %S" header);
+      let total = Golden.cases golden in
+      let outcomes = Bytes.create total in
+      (try really_input ic outcomes 0 total
+       with End_of_file -> fail "truncated outcome data");
+      (try Ground_truth.of_outcomes golden outcomes
+       with Invalid_argument msg -> fail "%s" msg))
+
+(* ------------------------------------------------------------------ *)
+(* Samples: header + one line per experiment.                          *)
+
+let samples_magic = "ftb-samples-v1"
+
+let outcome_tag = function
+  | Runner.Masked -> "masked"
+  | Runner.Sdc -> "sdc"
+  | Runner.Crash -> "crash"
+
+let outcome_of_tag = function
+  | "masked" -> Runner.Masked
+  | "sdc" -> Runner.Sdc
+  | "crash" -> Runner.Crash
+  | tag -> fail "unknown outcome tag %S" tag
+
+let save_samples ~path ~name samples =
+  with_out path (fun oc ->
+      Printf.fprintf oc "%s %s %d\n" samples_magic name (Array.length samples);
+      Array.iter
+        (fun (s : Sample_run.t) ->
+          Printf.fprintf oc "%d %d %s %h" s.Sample_run.fault.Fault.site
+            s.Sample_run.fault.Fault.bit (outcome_tag s.Sample_run.outcome)
+            s.Sample_run.injected_error;
+          (match s.Sample_run.propagation with
+          | None -> Printf.fprintf oc " -"
+          | Some (start, deviations) ->
+              Printf.fprintf oc " %d %d" start (Array.length deviations);
+              Array.iter (fun d -> Printf.fprintf oc " %h" d) deviations);
+          output_char oc '\n')
+        samples)
+
+let float_of_field field =
+  (* %h prints "inf"/"nan" for non-finite values; float_of_string accepts
+     both plus the 0x... hexadecimal forms. *)
+  match float_of_string_opt field with
+  | Some v -> v
+  | None -> fail "bad float field %S" field
+
+let parse_sample line =
+  match String.split_on_char ' ' line with
+  | site :: bit :: tag :: injected :: rest ->
+      let int_field what s =
+        match int_of_string_opt s with Some v -> v | None -> fail "bad %s %S" what s
+      in
+      let fault = Fault.make ~site:(int_field "site" site) ~bit:(int_field "bit" bit) in
+      let outcome = outcome_of_tag tag in
+      let injected_error = float_of_field injected in
+      let propagation =
+        match rest with
+        | [ "-" ] -> None
+        | start :: count :: deviations ->
+            let start = int_field "start" start in
+            let count = int_field "deviation count" count in
+            if List.length deviations <> count then
+              fail "expected %d deviations, found %d" count (List.length deviations);
+            Some (start, Array.of_list (List.map float_of_field deviations))
+        | _ -> fail "malformed propagation in %S" line
+      in
+      { Sample_run.fault; outcome; injected_error; propagation }
+  | _ -> fail "malformed sample line %S" line
+
+let load_samples ~path ~name =
+  with_in path (fun ic ->
+      let header = input_line_exn ic "samples header" in
+      let count =
+        match String.split_on_char ' ' header with
+        | [ magic; stored_name; count ] ->
+            if magic <> samples_magic then fail "bad magic %S" magic;
+            if stored_name <> name then
+              fail "samples are for program %S, expected %S" stored_name name;
+            (match int_of_string_opt count with
+            | Some n when n >= 0 -> n
+            | Some _ | None -> fail "bad sample count %S" count)
+        | _ -> fail "malformed header %S" header
+      in
+      Array.init count (fun i ->
+          parse_sample (input_line_exn ic (Printf.sprintf "sample %d" i))))

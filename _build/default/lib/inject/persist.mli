@@ -1,0 +1,32 @@
+(** Campaign persistence.
+
+    Exhaustive campaigns are the expensive artifact of a study — minutes to
+    hours of compute — while everything downstream (boundaries, metrics,
+    studies) is seconds. This module saves campaign results and sampled
+    experiments to disk so analyses can be re-run, shared and resumed
+    without re-injection.
+
+    Formats are versioned, self-describing text headers followed by data;
+    floats are serialised in hexadecimal notation ([%h]) so round-trips are
+    bit-exact. Loading validates the stored program name and site count
+    against the golden run it is paired with — a mismatch means the
+    program or its inputs changed and the cached campaign is stale. *)
+
+exception Format_error of string
+(** Raised on parse errors, version mismatches, or metadata that does not
+    match the paired golden run. *)
+
+val save_ground_truth : path:string -> Ground_truth.t -> unit
+(** Write a campaign's outcomes. *)
+
+val load_ground_truth : path:string -> Ftb_trace.Golden.t -> Ground_truth.t
+(** Read a campaign saved by {!save_ground_truth} and bind it to the given
+    golden run. *)
+
+val save_samples : path:string -> name:string -> Sample_run.t array -> unit
+(** Write sampled experiments, including their propagation data. [name] is
+    the program name recorded in the header. *)
+
+val load_samples : path:string -> name:string -> Sample_run.t array
+(** Read experiments saved by {!save_samples}; [name] must match the
+    header. *)

@@ -1,0 +1,55 @@
+module Fault = Ftb_trace.Fault
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+
+type t = {
+  fault : Fault.t;
+  outcome : Runner.outcome;
+  injected_error : float;
+  propagation : (int * float array) option;
+}
+
+let run_case golden case =
+  let fault = Fault.of_case case in
+  let prop = Runner.run_propagation golden fault in
+  let result = prop.Runner.result in
+  let propagation =
+    match result.Runner.outcome with
+    | Runner.Masked -> Some (prop.Runner.start, prop.Runner.deviations)
+    | Runner.Sdc | Runner.Crash -> None
+  in
+  {
+    fault;
+    outcome = result.Runner.outcome;
+    injected_error = result.Runner.injected_error;
+    propagation;
+  }
+
+let run_cases ?progress golden cases =
+  let total = Array.length cases in
+  Array.mapi
+    (fun i case ->
+      (match progress with
+      | Some f when i land 0xFF = 0 -> f ~done_:i ~total
+      | Some _ | None -> ());
+      run_case golden case)
+    cases
+
+let draw_uniform rng golden ~fraction =
+  if not (fraction > 0. && fraction <= 1.) then
+    invalid_arg "Sample_run.draw_uniform: fraction must be in (0, 1]";
+  let n = Golden.cases golden in
+  let k = max 1 (int_of_float (Float.ceil (fraction *. float_of_int n))) in
+  let k = min k n in
+  Ftb_util.Sampling.uniform rng ~n ~k
+
+let count_outcomes samples =
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  Array.iter
+    (fun s ->
+      match s.outcome with
+      | Runner.Masked -> incr masked
+      | Runner.Sdc -> incr sdc
+      | Runner.Crash -> incr crash)
+    samples;
+  (!masked, !sdc, !crash)

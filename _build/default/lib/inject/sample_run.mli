@@ -1,0 +1,30 @@
+(** Sampled fault-injection experiments with propagation data.
+
+    A Monte-Carlo campaign draws a subset of the (site, bit) sample space
+    and runs each case with tracing. Masked experiments keep their
+    propagated per-instruction deviations (the input of Algorithm 1); SDC
+    and Crash experiments keep only their injected error (SDC feeds the
+    §3.5 filter operation). *)
+
+type t = {
+  fault : Ftb_trace.Fault.t;
+  outcome : Ftb_trace.Runner.outcome;
+  injected_error : float;
+  propagation : (int * float array) option;
+      (** [(start, deviations)] — kept for Masked experiments only:
+          [deviations.(j - start)] is the perturbation observed at dynamic
+          instruction [j]. *)
+}
+
+val run_case : Ftb_trace.Golden.t -> int -> t
+(** Run one dense case index as a propagation experiment. *)
+
+val run_cases : ?progress:(done_:int -> total:int -> unit) -> Ftb_trace.Golden.t -> int array -> t array
+(** Run every given case. *)
+
+val draw_uniform : Ftb_util.Rng.t -> Ftb_trace.Golden.t -> fraction:float -> int array
+(** Uniform sample without replacement of [ceil (fraction * cases)] case
+    indices. [fraction] must be in (0, 1]. *)
+
+val count_outcomes : t array -> int * int * int
+(** [(masked, sdc, crash)] tallies. *)

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Format Ftb_trace Hashtbl Int List Printf Set String

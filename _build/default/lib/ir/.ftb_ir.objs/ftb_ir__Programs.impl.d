@@ -1,0 +1,1 @@
+lib/ir/programs.ml: Array Ftb_util Ir

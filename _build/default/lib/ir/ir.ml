@@ -1,0 +1,377 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+type freg = int
+type ireg = int
+type array_id = int
+
+type fexpr =
+  | Fconst of float
+  | Freg of freg
+  | Fload of array_id * iexpr
+  | Fadd of fexpr * fexpr
+  | Fsub of fexpr * fexpr
+  | Fmul of fexpr * fexpr
+  | Fdiv of fexpr * fexpr
+  | Fneg of fexpr
+  | Fabs of fexpr
+  | Fsqrt of fexpr
+
+and iexpr = Iconst of int | Ireg of ireg | Iadd of iexpr * iexpr | Isub of iexpr * iexpr | Imul of iexpr * iexpr
+
+type cond =
+  | Fcmp of [ `Lt | `Le | `Gt | `Ge ] * fexpr * fexpr
+  | Icmp of [ `Lt | `Le | `Eq | `Ne ] * iexpr * iexpr
+
+type stmt =
+  | Fassign of freg * fexpr * string
+  | Store of array_id * iexpr * fexpr * string
+  | Iassign of ireg * iexpr
+  | For of ireg * iexpr * iexpr * stmt list
+  | If of cond * stmt list * stmt list
+  | Guard of fexpr * string
+
+exception Ir_error of string
+
+type t = {
+  name : string;
+  tolerance : float;
+  mutable next_freg : int;
+  mutable next_ireg : int;
+  mutable arrays : (string * float array) list;  (* reverse order of declaration *)
+  mutable output : array_id option;
+  mutable body : stmt list option;
+}
+
+let create ~name ~tolerance =
+  {
+    name;
+    tolerance;
+    next_freg = 0;
+    next_ireg = 0;
+    arrays = [];
+    output = None;
+    body = None;
+  }
+
+let freg t =
+  let r = t.next_freg in
+  t.next_freg <- r + 1;
+  r
+
+let ireg t =
+  let r = t.next_ireg in
+  t.next_ireg <- r + 1;
+  r
+
+let array t ~name ~init =
+  let id = List.length t.arrays in
+  t.arrays <- (name, Array.copy init) :: t.arrays;
+  id
+
+let output_array t id =
+  (match t.output with
+  | Some _ -> invalid_arg "Ir.output_array: output already set"
+  | None -> ());
+  if id < 0 || id >= List.length t.arrays then invalid_arg "Ir.output_array: unknown array";
+  t.output <- Some id
+
+let set_body t body = t.body <- Some body
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+
+type env = {
+  fregs : float array;
+  freg_set : bool array;
+  iregs : int array;
+  ireg_set : bool array;
+  arrays : float array array;  (* indexed by array_id *)
+  record : string -> float -> float;
+  guard : string -> float -> float;
+}
+
+let rec eval_i env = function
+  | Iconst n -> n
+  | Ireg r ->
+      if not env.ireg_set.(r) then raise (Ir_error "read of unassigned integer register");
+      env.iregs.(r)
+  | Iadd (a, b) -> eval_i env a + eval_i env b
+  | Isub (a, b) -> eval_i env a - eval_i env b
+  | Imul (a, b) -> eval_i env a * eval_i env b
+
+let rec eval_f env = function
+  | Fconst v -> v
+  | Freg r ->
+      if not env.freg_set.(r) then raise (Ir_error "read of unassigned float register");
+      env.fregs.(r)
+  | Fload (a, ie) ->
+      let arr = env.arrays.(a) in
+      let i = eval_i env ie in
+      if i < 0 || i >= Array.length arr then
+        raise (Ir_error (Printf.sprintf "load out of bounds: index %d of array length %d" i (Array.length arr)));
+      arr.(i)
+  | Fadd (a, b) -> eval_f env a +. eval_f env b
+  | Fsub (a, b) -> eval_f env a -. eval_f env b
+  | Fmul (a, b) -> eval_f env a *. eval_f env b
+  | Fdiv (a, b) -> eval_f env a /. eval_f env b
+  | Fneg a -> -.eval_f env a
+  | Fabs a -> abs_float (eval_f env a)
+  | Fsqrt a -> sqrt (eval_f env a)
+
+let eval_cond env = function
+  | Fcmp (op, a, b) -> (
+      let x = eval_f env a and y = eval_f env b in
+      match op with `Lt -> x < y | `Le -> x <= y | `Gt -> x > y | `Ge -> x >= y)
+  | Icmp (op, a, b) -> (
+      let x = eval_i env a and y = eval_i env b in
+      match op with `Lt -> x < y | `Le -> x <= y | `Eq -> x = y | `Ne -> x <> y)
+
+let rec exec env stmt =
+  match stmt with
+  | Fassign (r, e, label) ->
+      env.fregs.(r) <- env.record label (eval_f env e);
+      env.freg_set.(r) <- true
+  | Store (a, ie, fe, label) ->
+      let arr = env.arrays.(a) in
+      let i = eval_i env ie in
+      if i < 0 || i >= Array.length arr then
+        raise (Ir_error (Printf.sprintf "store out of bounds: index %d of array length %d" i (Array.length arr)));
+      arr.(i) <- env.record label (eval_f env fe)
+  | Iassign (r, e) ->
+      env.iregs.(r) <- eval_i env e;
+      env.ireg_set.(r) <- true
+  | For (r, lo_e, hi_e, body) ->
+      let lo = eval_i env lo_e and hi = eval_i env hi_e in
+      for i = lo to hi - 1 do
+        env.iregs.(r) <- i;
+        env.ireg_set.(r) <- true;
+        List.iter (exec env) body
+      done
+  | If (c, then_body, else_body) ->
+      if eval_cond env c then List.iter (exec env) then_body
+      else List.iter (exec env) else_body
+  | Guard (e, what) -> ignore (env.guard what (eval_f env e))
+
+let check_complete t =
+  let body = match t.body with Some b -> b | None -> invalid_arg "Ir: program has no body" in
+  let output = match t.output with Some o -> o | None -> invalid_arg "Ir: no output array" in
+  (body, output)
+
+let make_env (t : t) ~record ~guard =
+  let arrays =
+    (* t.arrays is in reverse declaration order; array_id i is the i-th
+       declared. *)
+    let declared = List.rev t.arrays in
+    Array.of_list (List.map (fun (_, init) -> Array.copy init) declared)
+  in
+  {
+    fregs = Array.make (max 1 t.next_freg) 0.;
+    freg_set = Array.make (max 1 t.next_freg) false;
+    iregs = Array.make (max 1 t.next_ireg) 0;
+    ireg_set = Array.make (max 1 t.next_ireg) false;
+    arrays;
+    record;
+    guard;
+  }
+
+let interpret_plain t =
+  let body, output = check_complete t in
+  let env = make_env t ~record:(fun _ v -> v) ~guard:(fun _ v -> v) in
+  List.iter (exec env) body;
+  Array.copy env.arrays.(output)
+
+let to_program t =
+  let body, output = check_complete t in
+  let statics = Static.create_table () in
+  (* Pre-register every static instruction so tags are stable across runs. *)
+  let tags = Hashtbl.create 64 in
+  let register label =
+    if not (Hashtbl.mem tags label) then
+      Hashtbl.replace tags label (Static.register statics ~phase:t.name ~label)
+  in
+  let rec collect stmt =
+    match stmt with
+    | Fassign (_, _, label) | Store (_, _, _, label) -> register label
+    | Iassign _ | Guard _ -> ()
+    | For (_, _, _, stmts) -> List.iter collect stmts
+    | If (_, a, b) ->
+        List.iter collect a;
+        List.iter collect b
+  in
+  List.iter collect body;
+  let run ctx =
+    let record label v = Ctx.record ctx ~tag:(Hashtbl.find tags label) v in
+    let guard what v = Ctx.guard_finite ctx what v in
+    let env = make_env t ~record ~guard in
+    List.iter (exec env) body;
+    Array.copy env.arrays.(output)
+  in
+  Ftb_trace.Program.make ~name:t.name
+    ~description:(Printf.sprintf "IR program %s" t.name)
+    ~tolerance:t.tolerance ~statics run
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer                                                      *)
+
+let rec pp_iexpr ppf = function
+  | Iconst n -> Format.fprintf ppf "%d" n
+  | Ireg r -> Format.fprintf ppf "i%d" r
+  | Iadd (a, b) -> Format.fprintf ppf "(%a + %a)" pp_iexpr a pp_iexpr b
+  | Isub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_iexpr a pp_iexpr b
+  | Imul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_iexpr a pp_iexpr b
+
+let array_name (t : t) id =
+  match List.nth_opt (List.rev t.arrays) id with
+  | Some (name, _) -> name
+  | None -> Printf.sprintf "a%d" id
+
+let rec pp_fexpr t ppf = function
+  | Fconst v -> Format.fprintf ppf "%g" v
+  | Freg r -> Format.fprintf ppf "f%d" r
+  | Fload (a, i) -> Format.fprintf ppf "%s[%a]" (array_name t a) pp_iexpr i
+  | Fadd (a, b) -> Format.fprintf ppf "(%a + %a)" (pp_fexpr t) a (pp_fexpr t) b
+  | Fsub (a, b) -> Format.fprintf ppf "(%a - %a)" (pp_fexpr t) a (pp_fexpr t) b
+  | Fmul (a, b) -> Format.fprintf ppf "(%a * %a)" (pp_fexpr t) a (pp_fexpr t) b
+  | Fdiv (a, b) -> Format.fprintf ppf "(%a / %a)" (pp_fexpr t) a (pp_fexpr t) b
+  | Fneg a -> Format.fprintf ppf "(-%a)" (pp_fexpr t) a
+  | Fabs a -> Format.fprintf ppf "abs(%a)" (pp_fexpr t) a
+  | Fsqrt a -> Format.fprintf ppf "sqrt(%a)" (pp_fexpr t) a
+
+let pp_cond t ppf = function
+  | Fcmp (op, a, b) ->
+      let sym = match op with `Lt -> "<" | `Le -> "<=" | `Gt -> ">" | `Ge -> ">=" in
+      Format.fprintf ppf "%a %s %a" (pp_fexpr t) a sym (pp_fexpr t) b
+  | Icmp (op, a, b) ->
+      let sym = match op with `Lt -> "<" | `Le -> "<=" | `Eq -> "==" | `Ne -> "!=" in
+      Format.fprintf ppf "%a %s %a" pp_iexpr a sym pp_iexpr b
+
+let rec pp_stmt t ~indent ppf stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Fassign (r, e, label) ->
+      Format.fprintf ppf "%sf%d = %a        ; %s@." pad r (pp_fexpr t) e label
+  | Store (a, i, e, label) ->
+      Format.fprintf ppf "%s%s[%a] = %a        ; %s@." pad (array_name t a) pp_iexpr i
+        (pp_fexpr t) e label
+  | Iassign (r, e) -> Format.fprintf ppf "%si%d = %a@." pad r pp_iexpr e
+  | For (r, lo, hi, body) ->
+      Format.fprintf ppf "%sfor i%d = %a to %a - 1 {@." pad r pp_iexpr lo pp_iexpr hi;
+      List.iter (pp_stmt t ~indent:(indent + 2) ppf) body;
+      Format.fprintf ppf "%s}@." pad
+  | If (c, then_body, else_body) ->
+      Format.fprintf ppf "%sif %a {@." pad (pp_cond t) c;
+      List.iter (pp_stmt t ~indent:(indent + 2) ppf) then_body;
+      (match else_body with
+      | [] -> Format.fprintf ppf "%s}@." pad
+      | _ ->
+          Format.fprintf ppf "%s} else {@." pad;
+          List.iter (pp_stmt t ~indent:(indent + 2) ppf) else_body;
+          Format.fprintf ppf "%s}@." pad)
+  | Guard (e, what) -> Format.fprintf ppf "%sguard %a        ; %s@." pad (pp_fexpr t) e what
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "program %s (tolerance %g)@." t.name t.tolerance;
+  List.iteri
+    (fun i (name, init) ->
+      Format.fprintf ppf "  array %s[%d]%s@." name (Array.length init)
+        (match t.output with Some o when o = i -> "  ; output" | _ -> ""))
+    (List.rev t.arrays);
+  match t.body with
+  | None -> Format.fprintf ppf "  (no body)@."
+  | Some body -> List.iter (pp_stmt t ~indent:2 ppf) body
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Static validator                                                    *)
+
+module Iset = Set.Make (Int)
+
+let validate (t : t) =
+  let problems = ref [] in
+  let flag fmt = Printf.ksprintf (fun msg -> problems := msg :: !problems) fmt in
+  (match t.body with None -> flag "program has no body" | Some _ -> ());
+  (match t.output with None -> flag "no output array designated" | Some _ -> ());
+  let arrays = Array.of_list (List.rev t.arrays) in
+  let check_const_index a idx context =
+    match idx with
+    | Iconst i ->
+        let _, init = arrays.(a) in
+        if i < 0 || i >= Array.length init then
+          flag "%s: constant index %d out of bounds for array %s[%d]" context i
+            (fst arrays.(a)) (Array.length init)
+    | Ireg _ | Iadd _ | Isub _ | Imul _ -> ()
+  in
+  (* Walk expressions collecting register reads. *)
+  let rec iexpr_reads acc = function
+    | Iconst _ -> acc
+    | Ireg r -> (`I r) :: acc
+    | Iadd (a, b) | Isub (a, b) | Imul (a, b) -> iexpr_reads (iexpr_reads acc a) b
+  in
+  let rec fexpr_reads context acc = function
+    | Fconst _ -> acc
+    | Freg r -> (`F r) :: acc
+    | Fload (a, i) ->
+        check_const_index a i context;
+        iexpr_reads acc i
+    | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+        fexpr_reads context (fexpr_reads context acc a) b
+    | Fneg a | Fabs a | Fsqrt a -> fexpr_reads context acc a
+  in
+  let check_reads context (fdef, idef) reads =
+    List.iter
+      (fun read ->
+        match read with
+        | `F r ->
+            if not (Iset.mem r fdef) then
+              flag "%s: float register f%d may be read before assignment" context r
+        | `I r ->
+            if not (Iset.mem r idef) then
+              flag "%s: integer register i%d may be read before assignment" context r)
+      reads
+  in
+  (* Forward dataflow over the structured body: returns the registers
+     definitely assigned after the statement list. Loop bodies may run
+     zero times, so their definitions do not escape; If branches
+     contribute the intersection of both arms. *)
+  let rec flow (fdef, idef) stmts =
+    List.fold_left
+      (fun (fdef, idef) stmt ->
+        match stmt with
+        | Fassign (r, e, label) ->
+            check_reads label (fdef, idef) (fexpr_reads label [] e);
+            (Iset.add r fdef, idef)
+        | Store (a, i, e, label) ->
+            check_const_index a i label;
+            check_reads label (fdef, idef) (fexpr_reads label (iexpr_reads [] i) e);
+            (fdef, idef)
+        | Iassign (r, e) ->
+            check_reads "iassign" (fdef, idef) (iexpr_reads [] e);
+            (fdef, Iset.add r idef)
+        | For (r, lo, hi, body) ->
+            check_reads "for bounds" (fdef, idef) (iexpr_reads (iexpr_reads [] lo) hi);
+            (match (lo, hi) with
+            | Iconst l, Iconst h when l > h -> flag "for i%d: constant bounds %d > %d" r l h
+            | _ -> ());
+            ignore (flow (fdef, Iset.add r idef) body);
+            (fdef, idef)
+        | If (c, then_body, else_body) ->
+            (match c with
+            | Fcmp (_, a, b) ->
+                check_reads "if condition" (fdef, idef)
+                  (fexpr_reads "if condition" (fexpr_reads "if condition" [] a) b)
+            | Icmp (_, a, b) ->
+                check_reads "if condition" (fdef, idef) (iexpr_reads (iexpr_reads [] a) b));
+            let f1, i1 = flow (fdef, idef) then_body in
+            let f2, i2 = flow (fdef, idef) else_body in
+            (Iset.inter f1 f2, Iset.inter i1 i2)
+        | Guard (e, what) ->
+            check_reads what (fdef, idef) (fexpr_reads what [] e);
+            (fdef, idef))
+      (fdef, idef) stmts
+  in
+  (match t.body with
+  | Some body -> ignore (flow (Iset.empty, Iset.empty) body)
+  | None -> ());
+  match List.rev !problems with [] -> Ok () | list -> Error list

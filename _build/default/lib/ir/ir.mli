@@ -1,0 +1,121 @@
+(** A small structured register IR for numerical kernels.
+
+    The paper deploys its instrumentation at the LLVM-IR level; this module
+    shows the library is frontend-agnostic by providing a miniature typed
+    IR whose interpreter emits the same dynamic-instruction stream as the
+    hand-instrumented kernels. Floating-point assignments and array stores
+    are dynamic instructions (fault injection sites); integer index
+    arithmetic and control flow are not, matching the paper's data-element
+    fault model (§2.1).
+
+    Programs are structured (counted loops, if/else) rather than arbitrary
+    CFGs: every well-typed program terminates, and a corrupted float can
+    still change control flow through {!Fcmp} conditions — exercising the
+    divergence machinery. *)
+
+type freg = private int
+(** A floating-point virtual register. *)
+
+type ireg = private int
+(** An integer virtual register (index arithmetic; never a fault site). *)
+
+type array_id = private int
+(** A named float array. *)
+
+(** Float expressions. *)
+type fexpr =
+  | Fconst of float
+  | Freg of freg
+  | Fload of array_id * iexpr  (** [a.(i)] — bounds-checked at runtime *)
+  | Fadd of fexpr * fexpr
+  | Fsub of fexpr * fexpr
+  | Fmul of fexpr * fexpr
+  | Fdiv of fexpr * fexpr
+  | Fneg of fexpr
+  | Fabs of fexpr
+  | Fsqrt of fexpr
+
+(** Integer expressions. *)
+and iexpr =
+  | Iconst of int
+  | Ireg of ireg
+  | Iadd of iexpr * iexpr
+  | Isub of iexpr * iexpr
+  | Imul of iexpr * iexpr
+
+(** Conditions. *)
+type cond =
+  | Fcmp of [ `Lt | `Le | `Gt | `Ge ] * fexpr * fexpr
+      (** float comparison — corrupted data can redirect control flow *)
+  | Icmp of [ `Lt | `Le | `Eq | `Ne ] * iexpr * iexpr
+
+(** Statements. [label] strings identify static instructions for tracing. *)
+type stmt =
+  | Fassign of freg * fexpr * string  (** recorded dynamic instruction *)
+  | Store of array_id * iexpr * fexpr * string  (** recorded dynamic instruction *)
+  | Iassign of ireg * iexpr
+  | For of ireg * iexpr * iexpr * stmt list
+      (** [For (i, lo, hi, body)]: i = lo, lo+1, ..., hi-1 *)
+  | If of cond * stmt list * stmt list
+  | Guard of fexpr * string  (** crash (NaN trap) when the value is non-finite *)
+
+(** {1 Program construction} *)
+
+type t
+(** An IR program under construction / ready to run. *)
+
+val create : name:string -> tolerance:float -> t
+(** Fresh program. [tolerance] is the acceptance threshold [T]. *)
+
+val freg : t -> freg
+(** Allocate a float register. *)
+
+val ireg : t -> ireg
+(** Allocate an integer register. *)
+
+val array : t -> name:string -> init:float array -> array_id
+(** Declare an input/working array with initial contents (copied at every
+    run). *)
+
+val output_array : t -> array_id -> unit
+(** Designate the array whose final contents are the program output.
+    Must be called exactly once before running. *)
+
+val set_body : t -> stmt list -> unit
+(** Attach the program body. *)
+
+val to_program : t -> Ftb_trace.Program.t
+(** Lower to an instrumented {!Ftb_trace.Program.t}: running it interprets
+    the IR under the given context, so golden runs, campaigns, boundaries
+    and studies all work unchanged. Raises [Invalid_argument] if the
+    program has no body or no output array, or [Ir_error] at run time for
+    out-of-bounds accesses and reads of unassigned registers. *)
+
+exception Ir_error of string
+(** Runtime error of the interpreter (out-of-bounds store, negative loop
+    bound, etc.). Distinct from {!Ftb_trace.Ctx.Crash}, which models the
+    program's own NaN traps. *)
+
+(** {1 Convenience} *)
+
+val interpret_plain : t -> float array
+(** Run the IR without instrumentation (oracle for tests). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print a program: array declarations with sizes, the output
+    designation, and an indented statement listing. Stable output (useful
+    for golden tests and debugging generated IR). *)
+
+val to_string : t -> string
+(** [Format.asprintf "%a" pp]. *)
+
+val validate : t -> (unit, string list) Result.t
+(** Static checks, each reported as a human-readable message:
+    - the program has a body and an output array;
+    - every register read is preceded by an assignment on every path
+      (loop bodies are assumed to execute at least zero times, so a
+      definition that only happens inside a loop does not count for code
+      after it — conservative, like an uninitialised-variable lint);
+    - constant array indices are within bounds;
+    - [For] loops with constant bounds have [lo <= hi].
+    [Ok ()] when nothing is flagged. *)

@@ -1,0 +1,255 @@
+module Rng = Ftb_util.Rng
+
+let random_vector rng n = Array.init n (fun _ -> -1. +. Rng.float rng 2.)
+
+(* ------------------------------------------------------------------ *)
+
+let dot_inputs ~n ~seed =
+  let rng = Rng.create ~seed in
+  (random_vector rng n, random_vector rng n)
+
+let dot ~n ~seed ~tolerance =
+  let x_init, y_init = dot_inputs ~n ~seed in
+  let p = Ir.create ~name:"ir.dot" ~tolerance in
+  let x = Ir.array p ~name:"x" ~init:x_init in
+  let y = Ir.array p ~name:"y" ~init:y_init in
+  let out = Ir.array p ~name:"out" ~init:[| 0. |] in
+  let acc = Ir.freg p in
+  let i = Ir.ireg p in
+  Ir.set_body p
+    [
+      Ir.Fassign (acc, Ir.Fconst 0., "acc = 0");
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.Fassign
+              ( acc,
+                Ir.Fadd
+                  ( Ir.Freg acc,
+                    Ir.Fmul (Ir.Fload (x, Ir.Ireg i), Ir.Fload (y, Ir.Ireg i)) ),
+                "acc += x[i]*y[i]" );
+          ] );
+      Ir.Store (out, Ir.Iconst 0, Ir.Freg acc, "out[0] = acc");
+    ];
+  Ir.output_array p out;
+  p
+
+let dot_oracle ~n ~seed =
+  let x, y = dot_inputs ~n ~seed in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+
+let saxpy_inputs ~n ~seed =
+  let rng = Rng.create ~seed in
+  let a = -1. +. Rng.float rng 2. in
+  (a, random_vector rng n, random_vector rng n)
+
+let saxpy ~n ~seed ~tolerance =
+  let a, x_init, y_init = saxpy_inputs ~n ~seed in
+  let p = Ir.create ~name:"ir.saxpy" ~tolerance in
+  let x = Ir.array p ~name:"x" ~init:x_init in
+  let y = Ir.array p ~name:"y" ~init:y_init in
+  let i = Ir.ireg p in
+  Ir.set_body p
+    [
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.Store
+              ( y,
+                Ir.Ireg i,
+                Ir.Fadd
+                  (Ir.Fmul (Ir.Fconst a, Ir.Fload (x, Ir.Ireg i)), Ir.Fload (y, Ir.Ireg i)),
+                "y[i] = a*x[i] + y[i]" );
+          ] );
+    ];
+  Ir.output_array p y;
+  p
+
+let saxpy_oracle ~n ~seed =
+  let a, x, y = saxpy_inputs ~n ~seed in
+  Array.mapi (fun i yi -> (a *. x.(i)) +. yi) y
+
+(* ------------------------------------------------------------------ *)
+
+let stencil3_input ~n ~seed = random_vector (Rng.create ~seed) n
+
+let stencil3 ~n ~sweeps ~seed ~tolerance =
+  let init = stencil3_input ~n ~seed in
+  let p = Ir.create ~name:"ir.stencil3" ~tolerance in
+  let src = Ir.array p ~name:"src" ~init in
+  let dst = Ir.array p ~name:"dst" ~init:(Array.make n 0.) in
+  let i = Ir.ireg p and s = Ir.ireg p in
+  let at arr idx = Ir.Fload (arr, idx) in
+  let center a = Ir.Fmul (Ir.Fconst 0.5, at a (Ir.Ireg i)) in
+  let side a off =
+    Ir.Fmul (Ir.Fconst 0.25, at a (Ir.Iadd (Ir.Ireg i, Ir.Iconst off)))
+  in
+  (* One sweep src -> dst with explicit zero-padded edges, then copy back:
+     keeps the IR free of modulo tricks and every write recorded. *)
+  let sweep_body a b =
+    [
+      (* left edge: i = 0 *)
+      Ir.Store
+        ( b,
+          Ir.Iconst 0,
+          Ir.Fadd (Ir.Fmul (Ir.Fconst 0.5, at a (Ir.Iconst 0)),
+                   Ir.Fmul (Ir.Fconst 0.25, at a (Ir.Iconst 1))),
+          "edge0" );
+      Ir.For
+        ( i,
+          Ir.Iconst 1,
+          Ir.Iconst (n - 1),
+          [ Ir.Store (b, Ir.Ireg i, Ir.Fadd (Ir.Fadd (side a (-1), center a), side a 1), "interior") ] );
+      Ir.Store
+        ( b,
+          Ir.Iconst (n - 1),
+          Ir.Fadd (Ir.Fmul (Ir.Fconst 0.25, at a (Ir.Iconst (n - 2))),
+                   Ir.Fmul (Ir.Fconst 0.5, at a (Ir.Iconst (n - 1)))),
+          "edgeN" );
+      Ir.For (i, Ir.Iconst 0, Ir.Iconst n, [ Ir.Store (a, Ir.Ireg i, at b (Ir.Ireg i), "copy back") ]);
+    ]
+  in
+  Ir.set_body p [ Ir.For (s, Ir.Iconst 0, Ir.Iconst sweeps, sweep_body src dst) ];
+  Ir.output_array p src;
+  p
+
+let stencil3_oracle ~n ~sweeps ~seed =
+  let src = Array.copy (stencil3_input ~n ~seed) in
+  let dst = Array.make n 0. in
+  for _ = 1 to sweeps do
+    dst.(0) <- (0.5 *. src.(0)) +. (0.25 *. src.(1));
+    for i = 1 to n - 2 do
+      dst.(i) <- (0.25 *. src.(i - 1)) +. (0.5 *. src.(i)) +. (0.25 *. src.(i + 1))
+    done;
+    dst.(n - 1) <- (0.25 *. src.(n - 2)) +. (0.5 *. src.(n - 1));
+    Array.blit dst 0 src 0 n
+  done;
+  src
+
+(* ------------------------------------------------------------------ *)
+
+let matvec_inputs ~n ~seed =
+  let rng = Rng.create ~seed in
+  (random_vector rng (n * n), random_vector rng n)
+
+let matvec ~n ~seed ~tolerance =
+  let a_init, x_init = matvec_inputs ~n ~seed in
+  let p = Ir.create ~name:"ir.matvec" ~tolerance in
+  let a = Ir.array p ~name:"a" ~init:a_init in
+  let x = Ir.array p ~name:"x" ~init:x_init in
+  let y = Ir.array p ~name:"y" ~init:(Array.make n 0.) in
+  let acc = Ir.freg p in
+  let i = Ir.ireg p and j = Ir.ireg p in
+  Ir.set_body p
+    [
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.Fassign (acc, Ir.Fconst 0., "acc = 0");
+            Ir.For
+              ( j,
+                Ir.Iconst 0,
+                Ir.Iconst n,
+                [
+                  Ir.Fassign
+                    ( acc,
+                      Ir.Fadd
+                        ( Ir.Freg acc,
+                          Ir.Fmul
+                            ( Ir.Fload (a, Ir.Iadd (Ir.Imul (Ir.Ireg i, Ir.Iconst n), Ir.Ireg j)),
+                              Ir.Fload (x, Ir.Ireg j) ) ),
+                      "acc += a[i][j]*x[j]" );
+                ] );
+            Ir.Store (y, Ir.Ireg i, Ir.Freg acc, "y[i] = acc");
+          ] );
+    ];
+  Ir.output_array p y;
+  p
+
+let matvec_oracle ~n ~seed =
+  let a, x = matvec_inputs ~n ~seed in
+  Array.init n (fun i ->
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc := !acc +. (a.((i * n) + j) *. x.(j))
+      done;
+      !acc)
+
+(* ------------------------------------------------------------------ *)
+
+let normalize_input ~n ~seed =
+  (* Offset so the mean split is non-trivial but the norm is well away
+     from zero. *)
+  Array.map (fun v -> 0.5 +. v) (random_vector (Rng.create ~seed) n)
+
+let normalize ~n ~seed ~tolerance =
+  let init = normalize_input ~n ~seed in
+  let p = Ir.create ~name:"ir.normalize" ~tolerance in
+  let x = Ir.array p ~name:"x" ~init in
+  let mean = Ir.freg p and norm = Ir.freg p and acc = Ir.freg p in
+  let i = Ir.ireg p in
+  Ir.set_body p
+    [
+      (* mean = sum / n *)
+      Ir.Fassign (acc, Ir.Fconst 0., "acc = 0");
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [ Ir.Fassign (acc, Ir.Fadd (Ir.Freg acc, Ir.Fload (x, Ir.Ireg i)), "acc += x[i]") ] );
+      Ir.Fassign (mean, Ir.Fdiv (Ir.Freg acc, Ir.Fconst (float_of_int n)), "mean = acc/n");
+      (* threshold: zero the entries below the mean (data-dependent branch) *)
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.If
+              ( Ir.Fcmp (`Lt, Ir.Fload (x, Ir.Ireg i), Ir.Freg mean),
+                [ Ir.Store (x, Ir.Ireg i, Ir.Fconst 0., "x[i] = 0 (below mean)") ],
+                [] );
+          ] );
+      (* norm = sqrt(sum of squares), guarded against corruption *)
+      Ir.Fassign (acc, Ir.Fconst 0., "acc2 = 0");
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.Fassign
+              ( acc,
+                Ir.Fadd (Ir.Freg acc, Ir.Fmul (Ir.Fload (x, Ir.Ireg i), Ir.Fload (x, Ir.Ireg i))),
+                "acc2 += x[i]^2" );
+          ] );
+      Ir.Fassign (norm, Ir.Fsqrt (Ir.Freg acc), "norm = sqrt(acc2)");
+      Ir.Guard (Ir.Freg norm, "ir.normalize.norm");
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.Store
+              (x, Ir.Ireg i, Ir.Fdiv (Ir.Fload (x, Ir.Ireg i), Ir.Freg norm), "x[i] /= norm");
+          ] );
+    ];
+  Ir.output_array p x;
+  p
+
+let normalize_oracle ~n ~seed =
+  let x = Array.copy (normalize_input ~n ~seed) in
+  let mean = Array.fold_left ( +. ) 0. x /. float_of_int n in
+  Array.iteri (fun i v -> if v < mean then x.(i) <- 0.) x;
+  let norm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. x) in
+  Array.map (fun v -> v /. norm) x

@@ -1,0 +1,36 @@
+(** Reference kernels written in the IR.
+
+    Each constructor returns a ready-to-lower {!Ir.t} together with the
+    data it operates on; each has an OCaml oracle used by the tests. All
+    inputs are generated deterministically from the given seed. *)
+
+val dot : n:int -> seed:int -> tolerance:float -> Ir.t
+(** Dot product of two random vectors; output is a 1-element array. *)
+
+val dot_oracle : n:int -> seed:int -> float
+(** What {!dot} computes. *)
+
+val saxpy : n:int -> seed:int -> tolerance:float -> Ir.t
+(** [y <- a*x + y] over random [a], [x], [y]; output is the updated [y]. *)
+
+val saxpy_oracle : n:int -> seed:int -> float array
+
+val stencil3 : n:int -> sweeps:int -> seed:int -> tolerance:float -> Ir.t
+(** 1-D three-point averaging stencil ([0.25, 0.5, 0.25]) with zero
+    boundary, [sweeps] Jacobi sweeps; output is the final grid. *)
+
+val stencil3_oracle : n:int -> sweeps:int -> seed:int -> float array
+
+val matvec : n:int -> seed:int -> tolerance:float -> Ir.t
+(** Dense [y = A x]; output is [y]. The matrix is stored row-major in one
+    IR array. *)
+
+val matvec_oracle : n:int -> seed:int -> float array
+
+val normalize : n:int -> seed:int -> tolerance:float -> Ir.t
+(** Normalises a random vector by its (guarded) Euclidean norm, with a
+    data-dependent branch: entries below the mean are zeroed first. Uses
+    [Guard], [If]/[Fcmp] and division — the kernel that exercises crash
+    trapping and control-flow divergence in the IR interpreter. *)
+
+val normalize_oracle : n:int -> seed:int -> float array

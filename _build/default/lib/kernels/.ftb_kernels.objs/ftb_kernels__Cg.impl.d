@@ -1,0 +1,1 @@
+lib/kernels/cg.ml: Array Csr Ftb_trace Poisson Printf

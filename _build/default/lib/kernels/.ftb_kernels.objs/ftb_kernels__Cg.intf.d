@@ -1,0 +1,1 @@
+lib/kernels/cg.mli: Csr Ftb_trace

@@ -1,0 +1,1 @@
+lib/kernels/csr.ml: Array Dense Hashtbl Int List Option Printf

@@ -1,0 +1,1 @@
+lib/kernels/fft.ml: Array Ftb_trace Ftb_util List Printf

@@ -1,0 +1,1 @@
+lib/kernels/gemm.ml: Array Dense Ftb_trace Ftb_util Printf

@@ -1,0 +1,1 @@
+lib/kernels/gemm.mli: Ftb_trace

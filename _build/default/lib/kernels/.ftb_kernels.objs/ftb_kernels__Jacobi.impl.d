@@ -1,0 +1,1 @@
+lib/kernels/jacobi.ml: Array Csr Ftb_trace Poisson Printf

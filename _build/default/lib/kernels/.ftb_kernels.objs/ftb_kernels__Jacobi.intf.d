@@ -1,0 +1,1 @@
+lib/kernels/jacobi.mli: Ftb_trace

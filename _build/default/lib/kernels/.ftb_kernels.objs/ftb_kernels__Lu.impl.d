@@ -1,0 +1,1 @@
+lib/kernels/lu.ml: Array Dense Ftb_trace Ftb_util Printf

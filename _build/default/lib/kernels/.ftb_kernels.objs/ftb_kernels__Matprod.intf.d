@@ -1,0 +1,1 @@
+lib/kernels/matprod.mli: Ftb_trace

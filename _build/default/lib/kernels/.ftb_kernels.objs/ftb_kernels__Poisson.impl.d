@@ -1,0 +1,1 @@
+lib/kernels/poisson.ml: Array Csr

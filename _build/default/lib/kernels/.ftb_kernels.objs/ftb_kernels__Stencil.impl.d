@@ -1,0 +1,1 @@
+lib/kernels/stencil.ml: Array Ftb_trace Ftb_util Printf

@@ -1,0 +1,1 @@
+lib/kernels/suite.ml: Cg Fft Gemm Jacobi Lazy List Lu Matprod Printf Stencil String

@@ -1,0 +1,1 @@
+lib/kernels/suite.mli: Ftb_trace Lazy

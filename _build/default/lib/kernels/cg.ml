@@ -1,0 +1,109 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+type config = { grid : int; iterations : int; tolerance : float }
+
+let default = { grid = 8; iterations = 12; tolerance = 1e-4 }
+
+let solve_plain a b ~iterations =
+  let n = Array.length b in
+  let x = Array.make n 0. in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let rsold = ref (Array.fold_left (fun acc v -> acc +. (v *. v)) 0. r) in
+  for _ = 1 to iterations do
+    let q = Csr.spmv a p in
+    let pq = ref 0. in
+    for i = 0 to n - 1 do
+      pq := !pq +. (p.(i) *. q.(i))
+    done;
+    let alpha = !rsold /. !pq in
+    for i = 0 to n - 1 do
+      x.(i) <- x.(i) +. (alpha *. p.(i))
+    done;
+    for i = 0 to n - 1 do
+      r.(i) <- r.(i) -. (alpha *. q.(i))
+    done;
+    let rsnew = ref 0. in
+    for i = 0 to n - 1 do
+      rsnew := !rsnew +. (r.(i) *. r.(i))
+    done;
+    let beta = !rsnew /. !rsold in
+    for i = 0 to n - 1 do
+      p.(i) <- r.(i) +. (beta *. p.(i))
+    done;
+    rsold := !rsnew
+  done;
+  x
+
+let program config =
+  if config.grid <= 0 then invalid_arg "Cg.program: grid must be positive";
+  if config.iterations <= 0 then invalid_arg "Cg.program: iterations must be positive";
+  let a = Poisson.matrix ~grid:config.grid in
+  let b = Poisson.rhs ~grid:config.grid in
+  let n = Array.length b in
+  let statics = Static.create_table () in
+  let tag_x0 = Static.register statics ~phase:"cg.init" ~label:"x[i] = 0" in
+  let tag_r0 = Static.register statics ~phase:"cg.init" ~label:"r[i] = b[i]" in
+  let tag_p0 = Static.register statics ~phase:"cg.init" ~label:"p[i] = r[i]" in
+  let tag_rs0 = Static.register statics ~phase:"cg.init" ~label:"rsold = r.r" in
+  let tag_q = Static.register statics ~phase:"cg.spmv" ~label:"q[i] = (A p)[i]" in
+  let tag_pq = Static.register statics ~phase:"cg.reduce" ~label:"pq = p.q" in
+  let tag_alpha = Static.register statics ~phase:"cg.reduce" ~label:"alpha = rsold/pq" in
+  let tag_x = Static.register statics ~phase:"cg.update" ~label:"x[i] += alpha*p[i]" in
+  let tag_r = Static.register statics ~phase:"cg.update" ~label:"r[i] -= alpha*q[i]" in
+  let tag_rsnew = Static.register statics ~phase:"cg.reduce" ~label:"rsnew = r.r" in
+  let tag_beta = Static.register statics ~phase:"cg.reduce" ~label:"beta = rsnew/rsold" in
+  let tag_p = Static.register statics ~phase:"cg.update" ~label:"p[i] = r[i]+beta*p[i]" in
+  let body ctx =
+    let x = Array.make n 0. in
+    let r = Array.make n 0. in
+    let p = Array.make n 0. in
+    for i = 0 to n - 1 do
+      x.(i) <- Ctx.record ctx ~tag:tag_x0 0.
+    done;
+    for i = 0 to n - 1 do
+      r.(i) <- Ctx.record ctx ~tag:tag_r0 b.(i)
+    done;
+    for i = 0 to n - 1 do
+      p.(i) <- Ctx.record ctx ~tag:tag_p0 r.(i)
+    done;
+    let dot u v =
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. (u.(i) *. v.(i))
+      done;
+      !acc
+    in
+    let rsold = ref (Ctx.record ctx ~tag:tag_rs0 (dot r r)) in
+    for _ = 1 to config.iterations do
+      let q = Array.make n 0. in
+      for i = 0 to n - 1 do
+        let acc = ref 0. in
+        for k = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+          acc := !acc +. (a.Csr.values.(k) *. p.(a.Csr.col_idx.(k)))
+        done;
+        q.(i) <- Ctx.record ctx ~tag:tag_q !acc
+      done;
+      let pq = Ctx.record ctx ~tag:tag_pq (dot p q) in
+      let alpha = Ctx.guard_finite ctx "cg.alpha" (Ctx.record ctx ~tag:tag_alpha (!rsold /. pq)) in
+      for i = 0 to n - 1 do
+        x.(i) <- Ctx.record ctx ~tag:tag_x (x.(i) +. (alpha *. p.(i)))
+      done;
+      for i = 0 to n - 1 do
+        r.(i) <- Ctx.record ctx ~tag:tag_r (r.(i) -. (alpha *. q.(i)))
+      done;
+      let rsnew = Ctx.record ctx ~tag:tag_rsnew (dot r r) in
+      let beta = Ctx.guard_finite ctx "cg.beta" (Ctx.record ctx ~tag:tag_beta (rsnew /. !rsold)) in
+      for i = 0 to n - 1 do
+        p.(i) <- Ctx.record ctx ~tag:tag_p (r.(i) +. (beta *. p.(i)))
+      done;
+      rsold := rsnew
+    done;
+    x
+  in
+  Ftb_trace.Program.make ~name:"cg"
+    ~description:
+      (Printf.sprintf "conjugate gradient, %dx%d Poisson grid, %d fixed iterations"
+         config.grid config.grid config.iterations)
+    ~tolerance:config.tolerance ~statics body

@@ -1,0 +1,25 @@
+(** Conjugate gradient benchmark (MiniFE-style).
+
+    Solves [A x = b] for an SPD matrix with a fixed number of iterations so
+    that control flow is data-independent (the paper fixes the computation
+    sequence to keep the error-propagation comparison well defined, §2.2).
+    Dynamic instructions are every stored data element: the zero
+    initialisation of [x], the initial residual and search direction, and —
+    per iteration — the SpMV result, the scalar reductions, and the [x],
+    [r], [p] updates. *)
+
+type config = {
+  grid : int;  (** Poisson grid side; the system has [grid²] unknowns *)
+  iterations : int;  (** fixed CG iteration count *)
+  tolerance : float;  (** acceptance threshold [T] on the L∞ output error *)
+}
+
+val default : config
+(** 8×8 grid, 12 iterations, [T = 1e-4]. *)
+
+val program : config -> Ftb_trace.Program.t
+(** The instrumented program; its output is the final iterate [x]. *)
+
+val solve_plain : Csr.t -> float array -> iterations:int -> float array
+(** Uninstrumented oracle used by the unit tests: same arithmetic, same
+    iteration policy, no tracing. *)

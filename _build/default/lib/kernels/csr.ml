@@ -1,0 +1,97 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let of_triplets ~n_rows ~n_cols triplets =
+  if n_rows <= 0 || n_cols <= 0 then invalid_arg "Csr.of_triplets: non-positive dimension";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
+        invalid_arg (Printf.sprintf "Csr.of_triplets: entry (%d,%d) out of range" i j))
+    triplets;
+  (* Sum duplicates, then sort by (row, col). *)
+  let merged = Hashtbl.create (List.length triplets) in
+  List.iter
+    (fun (i, j, v) ->
+      let key = (i, j) in
+      let prior = Option.value (Hashtbl.find_opt merged key) ~default:0. in
+      Hashtbl.replace merged key (prior +. v))
+    triplets;
+  let entries =
+    Hashtbl.fold (fun (i, j) v acc -> (i, j, v) :: acc) merged []
+    |> List.sort (fun (i1, j1, _) (i2, j2, _) ->
+           match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
+  in
+  let nnz = List.length entries in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let col_idx = Array.make nnz 0 in
+  let values = Array.make nnz 0. in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(k) <- j;
+      values.(k) <- v;
+      ignore i)
+    entries;
+  for i = 1 to n_rows do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  { n_rows; n_cols; row_ptr; col_idx; values }
+
+let of_dense m =
+  let n_rows = Dense.rows m and n_cols = Dense.cols m in
+  let triplets = ref [] in
+  for i = n_rows - 1 downto 0 do
+    for j = n_cols - 1 downto 0 do
+      if m.(i).(j) <> 0. then triplets := (i, j, m.(i).(j)) :: !triplets
+    done
+  done;
+  of_triplets ~n_rows ~n_cols !triplets
+
+let to_dense t =
+  let m = Dense.create ~rows:t.n_rows ~cols:t.n_cols in
+  for i = 0 to t.n_rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      m.(i).(t.col_idx.(k)) <- t.values.(k)
+    done
+  done;
+  m
+
+let nnz t = Array.length t.values
+
+let spmv t x =
+  if Array.length x <> t.n_cols then
+    invalid_arg
+      (Printf.sprintf "Csr.spmv: %dx%d matrix with vector of length %d" t.n_rows t.n_cols
+         (Array.length x));
+  Array.init t.n_rows (fun i ->
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+      done;
+      !acc)
+
+let get t i j =
+  if i < 0 || i >= t.n_rows || j < 0 || j >= t.n_cols then
+    invalid_arg "Csr.get: index out of range";
+  let result = ref 0. in
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    if t.col_idx.(k) = j then result := t.values.(k)
+  done;
+  !result
+
+let is_symmetric t =
+  t.n_rows = t.n_cols
+  &&
+  let ok = ref true in
+  for i = 0 to t.n_rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      let j = t.col_idx.(k) in
+      if get t j i <> t.values.(k) then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,32 @@
+(** Compressed sparse row matrices — the substrate for the MiniFE-style
+    conjugate gradient benchmark. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;  (** length [n_rows + 1], monotonically increasing *)
+  col_idx : int array;  (** column of each stored entry *)
+  values : float array;  (** value of each stored entry *)
+}
+
+val of_triplets : n_rows:int -> n_cols:int -> (int * int * float) list -> t
+(** Build from (row, col, value) triplets. Duplicate coordinates are
+    summed; entries are sorted by (row, col). Raises [Invalid_argument] on
+    out-of-range coordinates or non-positive dimensions. *)
+
+val of_dense : Dense.t -> t
+(** Keep the non-zero entries of a dense matrix. *)
+
+val to_dense : t -> Dense.t
+
+val nnz : t -> int
+(** Number of stored entries. *)
+
+val spmv : t -> float array -> float array
+(** Sparse matrix–vector product with dimension checks. *)
+
+val get : t -> int -> int -> float
+(** [get m i j] — stored value or [0.]. *)
+
+val is_symmetric : t -> bool
+(** Structural and numerical symmetry test (exact equality). *)

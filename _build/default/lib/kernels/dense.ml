@@ -1,0 +1,77 @@
+type t = float array array
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Dense.create: non-positive dimension";
+  Array.make_matrix rows cols 0.
+
+let init ~rows ~cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Dense.init: non-positive dimension";
+  Array.init rows (fun i -> Array.init cols (fun j -> f i j))
+
+let copy m = Array.map Array.copy m
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+
+let random rng ~rows ~cols ~lo ~hi =
+  if hi <= lo then invalid_arg "Dense.random: hi must exceed lo";
+  init ~rows ~cols (fun _ _ -> lo +. Ftb_util.Rng.float rng (hi -. lo))
+
+let random_diagonally_dominant rng ~n =
+  let m = random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+  for i = 0 to n - 1 do
+    let row_sum = ref 0. in
+    for j = 0 to n - 1 do
+      if j <> i then row_sum := !row_sum +. abs_float m.(i).(j)
+    done;
+    (* Keep the sign random but force strict dominance. *)
+    let sign = if m.(i).(i) >= 0. then 1. else -1. in
+    m.(i).(i) <- sign *. (!row_sum +. 1. +. Ftb_util.Rng.float rng 1.)
+  done;
+  m
+
+let check_matvec m x =
+  if cols m <> Array.length x then
+    invalid_arg
+      (Printf.sprintf "Dense.matvec: %dx%d matrix with vector of length %d" (rows m) (cols m)
+         (Array.length x))
+
+let matvec m x =
+  check_matvec m x;
+  Array.map
+    (fun row ->
+      let acc = ref 0. in
+      Array.iteri (fun j a -> acc := !acc +. (a *. x.(j))) row;
+      !acc)
+    m
+
+let matmul a b =
+  if cols a <> rows b then
+    invalid_arg
+      (Printf.sprintf "Dense.matmul: %dx%d by %dx%d" (rows a) (cols a) (rows b) (cols b));
+  let n = rows a and p = cols b and inner = cols a in
+  init ~rows:n ~cols:p (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to inner - 1 do
+        acc := !acc +. (a.(i).(k) *. b.(k).(j))
+      done;
+      !acc)
+
+let transpose m =
+  let r = rows m and c = cols m in
+  if r = 0 then [||] else init ~rows:c ~cols:r (fun i j -> m.(j).(i))
+
+let flatten m = Array.concat (Array.to_list m)
+
+let max_abs_diff a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Dense.max_abs_diff: shape mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          let d = abs_float (v -. b.(i).(j)) in
+          if Float.is_nan d then acc := infinity else if d > !acc then acc := d)
+        row)
+    a;
+  !acc

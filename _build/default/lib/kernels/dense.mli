@@ -1,0 +1,35 @@
+(** Dense matrices in row-major [float array array] form, plus the
+    deterministic generators used to build benchmark inputs. *)
+
+type t = float array array
+(** [m.(i).(j)] is the entry at row [i], column [j]. Rows must share one
+    length; constructors below guarantee it. *)
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+
+val random : Ftb_util.Rng.t -> rows:int -> cols:int -> lo:float -> hi:float -> t
+(** Entries uniform in [\[lo, hi)]. *)
+
+val random_diagonally_dominant : Ftb_util.Rng.t -> n:int -> t
+(** Random square matrix with each diagonal entry boosted above its row's
+    off-diagonal absolute sum — safe for LU without pivoting. *)
+
+val matvec : t -> float array -> float array
+(** [matvec a x] with dimension checks. *)
+
+val matmul : t -> t -> t
+(** [matmul a b] with dimension checks. *)
+
+val transpose : t -> t
+
+val flatten : t -> float array
+(** Row-major flattening (used as program output vectors). *)
+
+val max_abs_diff : t -> t -> float
+(** L∞ distance between two same-shaped matrices. *)

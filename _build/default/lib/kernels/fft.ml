@@ -1,0 +1,238 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+type complex_array = { re : float array; im : float array }
+
+type config = { n1 : int; n2 : int; seed : int; tolerance : float }
+
+let default = { n1 = 16; n2 = 8; seed = 11; tolerance = 1.0 }
+
+let pi = 4. *. atan 1.
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check_complex c name =
+  if Array.length c.re <> Array.length c.im then
+    invalid_arg (Printf.sprintf "Fft.%s: re/im length mismatch" name)
+
+(* Per-stage twiddle factors of a radix-2 FFT of length [len]: for each
+   stage size m (2, 4, ..., len) the factors w_m^k, k < m/2. Precomputed
+   once per program so injection runs do not pay for cos/sin. *)
+type stage_tables = { stage_wr : float array array; stage_wi : float array array }
+
+let make_stage_tables len =
+  let stages = ref [] in
+  let m = ref 2 in
+  while !m <= len do
+    let half = !m / 2 in
+    let wr = Array.make half 0. and wi = Array.make half 0. in
+    for k = 0 to half - 1 do
+      let angle = -2. *. pi *. float_of_int k /. float_of_int !m in
+      wr.(k) <- cos angle;
+      wi.(k) <- sin angle
+    done;
+    stages := (wr, wi) :: !stages;
+    m := !m * 2
+  done;
+  let stages = List.rev !stages in
+  {
+    stage_wr = Array.of_list (List.map fst stages);
+    stage_wi = Array.of_list (List.map snd stages);
+  }
+
+(* In-place radix-2 decimation-in-time FFT of one row [off, off+len) of a
+   structure-of-arrays complex matrix. [store] wraps every write of a data
+   element component. *)
+let fft_row ~tables ~store re im ~off ~len =
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to len - 2 do
+    if i < !j then begin
+      let ri = re.(off + i) and ii = im.(off + i) in
+      let rj = re.(off + !j) and ij = im.(off + !j) in
+      re.(off + i) <- store rj;
+      im.(off + i) <- store ij;
+      re.(off + !j) <- store ri;
+      im.(off + !j) <- store ii
+    end;
+    let mask = ref (len lsr 1) in
+    while !mask > 0 && !j land !mask <> 0 do
+      j := !j lxor !mask;
+      mask := !mask lsr 1
+    done;
+    j := !j lor !mask
+  done;
+  (* Butterfly stages. *)
+  let m = ref 2 in
+  let stage = ref 0 in
+  while !m <= len do
+    let half = !m / 2 in
+    let wr_table = tables.stage_wr.(!stage) and wi_table = tables.stage_wi.(!stage) in
+    for k = 0 to half - 1 do
+      let wr = wr_table.(k) and wi = wi_table.(k) in
+      let i = ref k in
+      while !i < len do
+        let lo = off + !i and hi = off + !i + half in
+        let tr = (wr *. re.(hi)) -. (wi *. im.(hi)) in
+        let ti = (wr *. im.(hi)) +. (wi *. re.(hi)) in
+        let ur = re.(lo) and ui = im.(lo) in
+        re.(lo) <- store (ur +. tr);
+        im.(lo) <- store (ui +. ti);
+        re.(hi) <- store (ur -. tr);
+        im.(hi) <- store (ui -. ti);
+        i := !i + !m
+      done
+    done;
+    incr stage;
+    m := !m * 2
+  done
+
+let fft_plain input =
+  check_complex input "fft_plain";
+  let len = Array.length input.re in
+  if not (is_power_of_two len) then
+    invalid_arg "Fft.fft_plain: length must be a power of two";
+  let re = Array.copy input.re and im = Array.copy input.im in
+  let store v = v in
+  fft_row ~tables:(make_stage_tables len) ~store re im ~off:0 ~len;
+  { re; im }
+
+let dft_naive input =
+  check_complex input "dft_naive";
+  let n = Array.length input.re in
+  let re = Array.make n 0. and im = Array.make n 0. in
+  for k = 0 to n - 1 do
+    let sr = ref 0. and si = ref 0. in
+    for j = 0 to n - 1 do
+      let angle = -2. *. pi *. float_of_int (j * k mod n) /. float_of_int n in
+      let wr = cos angle and wi = sin angle in
+      sr := !sr +. ((input.re.(j) *. wr) -. (input.im.(j) *. wi));
+      si := !si +. ((input.re.(j) *. wi) +. (input.im.(j) *. wr))
+    done;
+    re.(k) <- !sr;
+    im.(k) <- !si
+  done;
+  { re; im }
+
+let input_signal config =
+  let n = config.n1 * config.n2 in
+  let rng = Ftb_util.Rng.create ~seed:config.seed in
+  let re = Array.init n (fun _ -> -1. +. Ftb_util.Rng.float rng 2.) in
+  let im = Array.init n (fun _ -> -1. +. Ftb_util.Rng.float rng 2.) in
+  { re; im }
+
+(* Everything a six-step run needs that does not depend on the data:
+   per-length butterfly tables and the step-3 twiddle factors for every
+   residue of (j2*k1) mod n. *)
+type plan = {
+  tables1 : stage_tables;
+  tables2 : stage_tables;
+  twiddle_re : float array;
+  twiddle_im : float array;
+}
+
+let make_plan config =
+  let n = config.n1 * config.n2 in
+  {
+    tables1 = make_stage_tables config.n1;
+    tables2 = make_stage_tables config.n2;
+    twiddle_re =
+      Array.init n (fun r -> cos (-2. *. pi *. float_of_int r /. float_of_int n));
+    twiddle_im =
+      Array.init n (fun r -> sin (-2. *. pi *. float_of_int r /. float_of_int n));
+  }
+
+(* The six-step pipeline, shared by the oracle and the instrumented
+   program. [store phase v] wraps every write of a data element component.
+   Matrix layouts are row-major flat arrays. *)
+let six_step ~plan ~store config input =
+  let n1 = config.n1 and n2 = config.n2 in
+  let n = n1 * n2 in
+  (* Step 1: transpose the n1 x n2 input into the n2 x n1 working matrix. *)
+  let are = Array.make n 0. and aim = Array.make n 0. in
+  for j1 = 0 to n1 - 1 do
+    for j2 = 0 to n2 - 1 do
+      are.((j2 * n1) + j1) <- store `Transpose1 input.re.((j1 * n2) + j2);
+      aim.((j2 * n1) + j1) <- store `Transpose1 input.im.((j1 * n2) + j2)
+    done
+  done;
+  (* Step 2: n2 independent n1-point FFTs over the rows. *)
+  for j2 = 0 to n2 - 1 do
+    fft_row ~tables:plan.tables1 ~store:(fun v -> store `Fft1 v) are aim ~off:(j2 * n1)
+      ~len:n1
+  done;
+  (* Step 3: twiddle scaling A[j2][k1] *= w^(j2*k1). *)
+  for j2 = 0 to n2 - 1 do
+    for k1 = 0 to n1 - 1 do
+      let r = j2 * k1 mod n in
+      let wr = plan.twiddle_re.(r) and wi = plan.twiddle_im.(r) in
+      let idx = (j2 * n1) + k1 in
+      let vr = are.(idx) and vi = aim.(idx) in
+      are.(idx) <- store `Twiddle ((vr *. wr) -. (vi *. wi));
+      aim.(idx) <- store `Twiddle ((vr *. wi) +. (vi *. wr))
+    done
+  done;
+  (* Step 4: transpose n2 x n1 -> n1 x n2. *)
+  let bre = Array.make n 0. and bim = Array.make n 0. in
+  for j2 = 0 to n2 - 1 do
+    for k1 = 0 to n1 - 1 do
+      bre.((k1 * n2) + j2) <- store `Transpose2 are.((j2 * n1) + k1);
+      bim.((k1 * n2) + j2) <- store `Transpose2 aim.((j2 * n1) + k1)
+    done
+  done;
+  (* Step 5: n1 independent n2-point FFTs over the rows. *)
+  for k1 = 0 to n1 - 1 do
+    fft_row ~tables:plan.tables2 ~store:(fun v -> store `Fft2 v) bre bim ~off:(k1 * n2)
+      ~len:n2
+  done;
+  (* Step 6: transpose n1 x n2 -> n2 x n1; flattening gives natural order. *)
+  let cre = Array.make n 0. and cim = Array.make n 0. in
+  for k1 = 0 to n1 - 1 do
+    for k2 = 0 to n2 - 1 do
+      cre.((k2 * n1) + k1) <- store `Transpose3 bre.((k1 * n2) + k2);
+      cim.((k2 * n1) + k1) <- store `Transpose3 bim.((k1 * n2) + k2)
+    done
+  done;
+  { re = cre; im = cim }
+
+let check_config config name =
+  if not (is_power_of_two config.n1 && is_power_of_two config.n2) then
+    invalid_arg (Printf.sprintf "Fft.%s: n1 and n2 must be powers of two" name)
+
+let six_step_plain config =
+  check_config config "six_step_plain";
+  six_step ~plan:(make_plan config) ~store:(fun _ v -> v) config (input_signal config)
+
+let program config =
+  check_config config "program";
+  let input = input_signal config in
+  let plan = make_plan config in
+  let statics = Static.create_table () in
+  let register phase = Static.register statics ~phase ~label:"store" in
+  let tag_t1 = register "fft.transpose1" in
+  let tag_f1 = register "fft.fft1" in
+  let tag_tw = register "fft.twiddle" in
+  let tag_t2 = register "fft.transpose2" in
+  let tag_f2 = register "fft.fft2" in
+  let tag_t3 = register "fft.transpose3" in
+  let body ctx =
+    let store phase v =
+      let tag =
+        match phase with
+        | `Transpose1 -> tag_t1
+        | `Fft1 -> tag_f1
+        | `Twiddle -> tag_tw
+        | `Transpose2 -> tag_t2
+        | `Fft2 -> tag_f2
+        | `Transpose3 -> tag_t3
+      in
+      Ctx.record ctx ~tag v
+    in
+    let result = six_step ~plan ~store config input in
+    Array.append result.re result.im
+  in
+  Ftb_trace.Program.make ~name:"fft"
+    ~description:
+      (Printf.sprintf "six-step FFT, %d points (%d x %d)" (config.n1 * config.n2) config.n1
+         config.n2)
+    ~tolerance:config.tolerance ~statics body

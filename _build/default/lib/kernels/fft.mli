@@ -1,0 +1,40 @@
+(** Six-step 1-D fast Fourier transform benchmark (SPLASH-2 style).
+
+    Computes the DFT of [n = n1 * n2] complex points via the six-step
+    algorithm: (1) view the input as an [n1 × n2] matrix and transpose it,
+    (2) run [n2] independent [n1]-point FFTs, (3) scale by twiddle factors
+    [w^(i1·i2)], (4) transpose, (5) run [n1] independent [n2]-point FFTs,
+    (6) transpose into natural order. Each step stores complex data
+    elements, and every stored real/imaginary component is one dynamic
+    instruction — the transposes give the benchmark its large population of
+    rarely-propagating early sites (Figure 4). The program's output is the
+    interleaved (re, im) spectrum. *)
+
+type complex_array = { re : float array; im : float array }
+(** Structure-of-arrays complex vector; both components share a length. *)
+
+type config = {
+  n1 : int;  (** row FFT size; must be a power of two *)
+  n2 : int;  (** column FFT size; must be a power of two *)
+  seed : int;  (** seed for the deterministic random input signal *)
+  tolerance : float;  (** acceptance threshold [T] on the L∞ output error *)
+}
+
+val default : config
+(** n1 = 16, n2 = 8 (128 points), seed 11, [T = 1.0]. *)
+
+val program : config -> Ftb_trace.Program.t
+
+val fft_plain : complex_array -> complex_array
+(** Radix-2 in-order FFT oracle of a power-of-two-length signal (returns a
+    fresh array). Raises [Invalid_argument] on other lengths. *)
+
+val six_step_plain : config -> complex_array
+(** The full uninstrumented six-step pipeline on the benchmark's input. *)
+
+val dft_naive : complex_array -> complex_array
+(** O(n²) direct DFT — the independent oracle the FFTs are tested
+    against. *)
+
+val input_signal : config -> complex_array
+(** The deterministic random input the benchmark transforms. *)

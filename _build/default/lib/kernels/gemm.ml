@@ -1,0 +1,63 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+module Rng = Ftb_util.Rng
+
+type config = { n : int; block : int; seed : int; tolerance : float }
+
+let default = { n = 16; block = 4; seed = 21; tolerance = 1e-3 }
+
+let inputs config =
+  let rng = Rng.create ~seed:config.seed in
+  let a = Dense.random rng ~rows:config.n ~cols:config.n ~lo:(-1.) ~hi:1. in
+  let b = Dense.random rng ~rows:config.n ~cols:config.n ~lo:(-1.) ~hi:1. in
+  (a, b)
+
+(* Blocked multiply: for each (i0, j0, k0) block triple, C[i][j] += the
+   block-local dot contribution. [store] wraps every C update. *)
+let multiply ~store ~n ~block a b =
+  let c = Array.make (n * n) 0. in
+  let k0 = ref 0 in
+  while !k0 < n do
+    let kmax = min (!k0 + block) n in
+    let i0 = ref 0 in
+    while !i0 < n do
+      let imax = min (!i0 + block) n in
+      let j0 = ref 0 in
+      while !j0 < n do
+        let jmax = min (!j0 + block) n in
+        for i = !i0 to imax - 1 do
+          for j = !j0 to jmax - 1 do
+            let acc = ref 0. in
+            for k = !k0 to kmax - 1 do
+              acc := !acc +. (a.(i).(k) *. b.(k).(j))
+            done;
+            c.((i * n) + j) <- store (c.((i * n) + j) +. !acc)
+          done
+        done;
+        j0 := jmax
+      done;
+      i0 := imax
+    done;
+    k0 := kmax
+  done;
+  c
+
+let multiply_plain config =
+  let a, b = inputs config in
+  multiply ~store:(fun v -> v) ~n:config.n ~block:config.block a b
+
+let program config =
+  if config.n <= 0 then invalid_arg "Gemm.program: n must be positive";
+  if config.block <= 0 || config.block > config.n then
+    invalid_arg "Gemm.program: block must satisfy 1 <= block <= n";
+  let a, b = inputs config in
+  let statics = Static.create_table () in
+  let tag = Static.register statics ~phase:"gemm.update" ~label:"c[i][j] += block dot" in
+  let body ctx =
+    multiply ~store:(fun v -> Ctx.record ctx ~tag v) ~n:config.n ~block:config.block a b
+  in
+  Ftb_trace.Program.make ~name:"gemm"
+    ~description:
+      (Printf.sprintf "blocked GEMM, %dx%d matrices, %dx%d blocks" config.n config.n
+         config.block config.block)
+    ~tolerance:config.tolerance ~statics body

@@ -1,0 +1,25 @@
+(** Blocked dense matrix multiply (GEMM) benchmark.
+
+    Unlike {!Matprod.matmul_program}, which accumulates each output element
+    in a register and records only the final store, this kernel uses the
+    cache-blocked formulation: [C] is updated once per [k]-block, so every
+    partial accumulation is a stored data element — a dynamic instruction.
+    Errors injected into an early partial sum therefore propagate through
+    later block updates of the same element, giving GEMM a deeper
+    propagation structure than the register-accumulated version (useful for
+    contrasting the two in studies). *)
+
+type config = {
+  n : int;  (** square matrix dimension *)
+  block : int;  (** block size, [1 <= block <= n] *)
+  seed : int;
+  tolerance : float;
+}
+
+val default : config
+(** 16×16, 4×4 blocks, seed 21, [T = 1e-3]. *)
+
+val program : config -> Ftb_trace.Program.t
+
+val multiply_plain : config -> float array
+(** Uninstrumented oracle (row-major flattened [C]). *)

@@ -1,0 +1,65 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+type config = { grid : int; sweeps : int; tolerance : float }
+
+let default = { grid = 8; sweeps = 30; tolerance = 1e-4 }
+
+(* One Jacobi sweep of the Poisson system: x'_i = (b_i + sum of
+   neighbours) / 4. [store] wraps every updated unknown. *)
+let sweep ~store a b src dst =
+  let n = Array.length b in
+  for i = 0 to n - 1 do
+    let off_diag = ref 0. in
+    let diag = ref 1. in
+    for k = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+      let j = a.Csr.col_idx.(k) in
+      if j = i then diag := a.Csr.values.(k)
+      else off_diag := !off_diag +. (a.Csr.values.(k) *. src.(j))
+    done;
+    dst.(i) <- store ((b.(i) -. !off_diag) /. !diag)
+  done
+
+let solve_plain config =
+  let a = Poisson.matrix ~grid:config.grid in
+  let b = Poisson.rhs ~grid:config.grid in
+  let n = Array.length b in
+  let src = ref (Array.make n 0.) in
+  let dst = ref (Array.make n 0.) in
+  for _ = 1 to config.sweeps do
+    sweep ~store:(fun v -> v) a b !src !dst;
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  !src
+
+let program config =
+  if config.grid <= 0 then invalid_arg "Jacobi.program: grid must be positive";
+  if config.sweeps <= 0 then invalid_arg "Jacobi.program: sweeps must be positive";
+  let a = Poisson.matrix ~grid:config.grid in
+  let b = Poisson.rhs ~grid:config.grid in
+  let n = Array.length b in
+  let statics = Static.create_table () in
+  let tag_init = Static.register statics ~phase:"jacobi.init" ~label:"x[i] = 0" in
+  let tag_sweep = Static.register statics ~phase:"jacobi.sweep" ~label:"x'[i] = (b[i]-s)/d" in
+  let body ctx =
+    let initial = Array.make n 0. in
+    for i = 0 to n - 1 do
+      initial.(i) <- Ctx.record ctx ~tag:tag_init 0.
+    done;
+    let src = ref initial in
+    let dst = ref (Array.make n 0.) in
+    for _ = 1 to config.sweeps do
+      sweep ~store:(fun v -> Ctx.record ctx ~tag:tag_sweep v) a b !src !dst;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp
+    done;
+    !src
+  in
+  Ftb_trace.Program.make ~name:"jacobi"
+    ~description:
+      (Printf.sprintf "Jacobi solver, %dx%d Poisson grid, %d fixed sweeps" config.grid
+         config.grid config.sweeps)
+    ~tolerance:config.tolerance ~statics body

@@ -1,0 +1,24 @@
+(** Jacobi iterative solver benchmark.
+
+    A second iterative method beside CG (the paper's §4.6 argues the
+    boundary is particularly effective on iterative methods): solves
+    [A x = b] for the 2-D Poisson system with fixed-count Jacobi sweeps
+    [x'_i = (b_i − Σ_{j≠i} a_ij x_j) / a_ii]. Unlike CG it has no global
+    reductions, so errors propagate only through the sparse neighbour
+    structure — a different, slower propagation pattern for the inference
+    method to cover. Dynamic instructions: initial stores of [x] and every
+    sweep update. *)
+
+type config = {
+  grid : int;  (** Poisson grid side; [grid²] unknowns *)
+  sweeps : int;  (** fixed sweep count *)
+  tolerance : float;  (** acceptance threshold [T] *)
+}
+
+val default : config
+(** 8×8 grid, 30 sweeps, [T = 1e-4]. *)
+
+val program : config -> Ftb_trace.Program.t
+
+val solve_plain : config -> float array
+(** Uninstrumented oracle. *)

@@ -1,0 +1,88 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+type config = { n : int; block : int; seed : int; tolerance : float }
+
+let default = { n = 24; block = 6; seed = 7; tolerance = 1e-4 }
+
+(* Shared blocked right-looking elimination. [record] wraps every matrix
+   element write; [guard] wraps the pivot reciprocal so a corrupted zero or
+   non-finite pivot crashes the run, as the real benchmark would. *)
+let factor ~record ~guard ~block m =
+  let n = Array.length m in
+  let kb = ref 0 in
+  while !kb < n do
+    let kmax = min (!kb + block) n in
+    (* Panel factorisation: unblocked LU on columns kb..kmax-1. *)
+    for k = !kb to kmax - 1 do
+      let pivot = guard "lu.pivot" m.(k).(k) in
+      for i = k + 1 to n - 1 do
+        m.(i).(k) <- record `Panel (m.(i).(k) /. pivot)
+      done;
+      for i = k + 1 to n - 1 do
+        for j = k + 1 to kmax - 1 do
+          m.(i).(j) <- record `Panel (m.(i).(j) -. (m.(i).(k) *. m.(k).(j)))
+        done
+      done
+    done;
+    (* U row block: apply the panel's eliminations to columns kmax..n-1. *)
+    for k = !kb to kmax - 1 do
+      for i = k + 1 to kmax - 1 do
+        for j = kmax to n - 1 do
+          m.(i).(j) <- record `Row_block (m.(i).(j) -. (m.(i).(k) *. m.(k).(j)))
+        done
+      done
+    done;
+    (* Trailing update: A22 -= L21 * U12, one dot product per element. *)
+    for i = kmax to n - 1 do
+      for j = kmax to n - 1 do
+        let acc = ref 0. in
+        for k = !kb to kmax - 1 do
+          acc := !acc +. (m.(i).(k) *. m.(k).(j))
+        done;
+        m.(i).(j) <- record `Trailing (m.(i).(j) -. !acc)
+      done
+    done;
+    kb := kmax
+  done
+
+let factor_plain input ~block =
+  let m = Dense.copy input in
+  let record _kind v = v in
+  let guard _what v = v in
+  factor ~record ~guard ~block m;
+  m
+
+let unpack packed =
+  let n = Dense.rows packed in
+  let l = Dense.init ~rows:n ~cols:n (fun i j -> if i = j then 1. else if i > j then packed.(i).(j) else 0.) in
+  let u = Dense.init ~rows:n ~cols:n (fun i j -> if i <= j then packed.(i).(j) else 0.) in
+  (l, u)
+
+let program config =
+  if config.n <= 0 then invalid_arg "Lu.program: n must be positive";
+  if config.block <= 0 || config.block > config.n then
+    invalid_arg "Lu.program: block must satisfy 1 <= block <= n";
+  let rng = Ftb_util.Rng.create ~seed:config.seed in
+  let input = Dense.random_diagonally_dominant rng ~n:config.n in
+  let statics = Static.create_table () in
+  let tag_panel = Static.register statics ~phase:"lu.panel" ~label:"panel elimination" in
+  let tag_row = Static.register statics ~phase:"lu.row_block" ~label:"U row block update" in
+  let tag_trailing = Static.register statics ~phase:"lu.trailing" ~label:"trailing update" in
+  let body ctx =
+    let m = Dense.copy input in
+    let record kind v =
+      let tag =
+        match kind with `Panel -> tag_panel | `Row_block -> tag_row | `Trailing -> tag_trailing
+      in
+      Ctx.record ctx ~tag v
+    in
+    let guard what v = Ctx.guard_finite ctx what v in
+    factor ~record ~guard ~block:config.block m;
+    Dense.flatten m
+  in
+  Ftb_trace.Program.make ~name:"lu"
+    ~description:
+      (Printf.sprintf "blocked LU (no pivoting), %dx%d matrix, %dx%d blocks" config.n
+         config.n config.block config.block)
+    ~tolerance:config.tolerance ~statics body

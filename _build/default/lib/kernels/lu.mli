@@ -1,0 +1,29 @@
+(** Blocked LU decomposition benchmark (SPLASH-2 style).
+
+    Factors a diagonally dominant matrix in place, without pivoting, using
+    a right-looking blocked algorithm: per block step, factor the panel,
+    update the U row block, then rank-b update the trailing submatrix. The
+    block structure produces the multi-region dynamic-instruction layout
+    the paper observes in Figure 4 (a fresh loop per block step, with
+    little error propagation across steps). Dynamic instructions are every
+    updated matrix element. The program's output is the packed LU matrix
+    (unit lower triangle below the diagonal, U on and above). *)
+
+type config = {
+  n : int;  (** matrix dimension *)
+  block : int;  (** block size; must divide into block steps, [1 <= block <= n] *)
+  seed : int;  (** seed for the random diagonally dominant input *)
+  tolerance : float;  (** acceptance threshold [T] on the L∞ output error *)
+}
+
+val default : config
+(** 24×24 matrix, block 6 (four block steps, mirroring the paper's four
+    Figure-4 regions), seed 7, [T = 1e-4]. *)
+
+val program : config -> Ftb_trace.Program.t
+
+val factor_plain : Dense.t -> block:int -> Dense.t
+(** Uninstrumented oracle: returns the packed LU of a copy of the input. *)
+
+val unpack : Dense.t -> Dense.t * Dense.t
+(** Split a packed LU matrix into (L with unit diagonal, U). *)

@@ -1,0 +1,101 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+module Rng = Ftb_util.Rng
+
+type matvec_config = { n : int; reps : int; seed : int; tolerance : float }
+
+let matvec_default = { n = 24; reps = 4; seed = 5; tolerance = 1e-3 }
+
+(* Row-sum-normalised random matrix: every |row| sums to <= 1, so the
+   mat-vec chain is non-expansive and the golden values stay O(1). *)
+let normalized_matrix rng ~n =
+  let m = Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+  Array.iter
+    (fun row ->
+      let sum = Array.fold_left (fun acc v -> acc +. abs_float v) 0. row in
+      if sum > 0. then Array.iteri (fun j v -> row.(j) <- v /. sum) row)
+    m;
+  m
+
+let matvec_inputs config =
+  let rng = Rng.create ~seed:config.seed in
+  let a = normalized_matrix rng ~n:config.n in
+  let x = Array.init config.n (fun _ -> -1. +. Rng.float rng 2.) in
+  (a, x)
+
+let matvec_plain config =
+  let a, x = matvec_inputs config in
+  let y = ref x in
+  for _ = 1 to config.reps do
+    y := Dense.matvec a !y
+  done;
+  !y
+
+let matvec_program config =
+  if config.n <= 0 then invalid_arg "Matprod.matvec_program: n must be positive";
+  if config.reps <= 0 then invalid_arg "Matprod.matvec_program: reps must be positive";
+  let a, x = matvec_inputs config in
+  let statics = Static.create_table () in
+  let tag_load = Static.register statics ~phase:"matvec.init" ~label:"y[i] = x[i]" in
+  let tag_prod = Static.register statics ~phase:"matvec.prod" ~label:"y'[i] = (A y)[i]" in
+  let n = config.n in
+  let body ctx =
+    let y = ref (Array.map (fun v -> Ctx.record ctx ~tag:tag_load v) x) in
+    for _ = 1 to config.reps do
+      let src = !y in
+      let dst = Array.make n 0. in
+      for i = 0 to n - 1 do
+        let acc = ref 0. in
+        for j = 0 to n - 1 do
+          acc := !acc +. (a.(i).(j) *. src.(j))
+        done;
+        dst.(i) <- Ctx.record ctx ~tag:tag_prod !acc
+      done;
+      y := dst
+    done;
+    !y
+  in
+  Ftb_trace.Program.make ~name:"matvec"
+    ~description:(Printf.sprintf "chained dense mat-vec, %dx%d, %d products" n n config.reps)
+    ~tolerance:config.tolerance ~statics body
+
+type matmul_config = { n : int; seed : int; tolerance : float }
+
+let matmul_default = { n = 12; seed = 9; tolerance = 1e-3 }
+
+let matmul_inputs (config : matmul_config) =
+  let rng = Rng.create ~seed:config.seed in
+  let a = Dense.random rng ~rows:config.n ~cols:config.n ~lo:(-1.) ~hi:1. in
+  let b = Dense.random rng ~rows:config.n ~cols:config.n ~lo:(-1.) ~hi:1. in
+  (a, b)
+
+let matmul_plain config =
+  let a, b = matmul_inputs config in
+  Dense.flatten (Dense.matmul a b)
+
+let matmul_program (config : matmul_config) =
+  if config.n <= 0 then invalid_arg "Matprod.matmul_program: n must be positive";
+  let a, b = matmul_inputs config in
+  let statics = Static.create_table () in
+  let tag_load_a = Static.register statics ~phase:"matmul.init" ~label:"load a[i][j]" in
+  let tag_load_b = Static.register statics ~phase:"matmul.init" ~label:"load b[i][j]" in
+  let tag_c = Static.register statics ~phase:"matmul.prod" ~label:"c[i][j] = a[i].b[:][j]" in
+  let n = config.n in
+  let body ctx =
+    let la = Array.map (Array.map (fun v -> Ctx.record ctx ~tag:tag_load_a v)) a in
+    let lb = Array.map (Array.map (fun v -> Ctx.record ctx ~tag:tag_load_b v)) b in
+    let c = Array.make (n * n) 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          acc := !acc +. (la.(i).(k) *. lb.(k).(j))
+        done;
+        c.((i * n) + j) <- Ctx.record ctx ~tag:tag_c !acc
+      done
+    done;
+    c
+  in
+  Ftb_trace.Program.make ~name:"matmul"
+    ~description:(Printf.sprintf "dense mat-mul, %dx%d" n n)
+    ~tolerance:config.tolerance ~statics body

@@ -1,0 +1,33 @@
+(** Dense matrix–vector and matrix–matrix product benchmarks.
+
+    Used by the §5 monotonicity analysis: the output error of a mat-vec
+    chain is exactly linear in an injected error ([f(ε) = C·ε]), so these
+    programs give the library a ground-truth-monotonic workload. Dynamic
+    instructions are the input stores and every produced output element. *)
+
+type matvec_config = {
+  n : int;  (** matrix dimension *)
+  reps : int;  (** number of chained products [y ← A y] *)
+  seed : int;
+  tolerance : float;
+}
+
+val matvec_default : matvec_config
+(** n = 24, 4 chained products, seed 5, [T = 1e-3]. *)
+
+val matvec_program : matvec_config -> Ftb_trace.Program.t
+(** Computes [A^reps x] with every intermediate element recorded. The
+    matrix is scaled to spectral-norm ≲ 1 (row-sum normalised) so chained
+    products neither explode nor vanish. *)
+
+val matvec_plain : matvec_config -> float array
+
+type matmul_config = { n : int; seed : int; tolerance : float }
+
+val matmul_default : matmul_config
+(** 12×12 matrices, seed 9, [T = 1e-3]. *)
+
+val matmul_program : matmul_config -> Ftb_trace.Program.t
+(** Computes [C = A·B], recording input loads and each produced [c_ij]. *)
+
+val matmul_plain : matmul_config -> float array

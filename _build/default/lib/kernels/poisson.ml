@@ -1,0 +1,27 @@
+let unknowns ~grid =
+  if grid <= 0 then invalid_arg "Poisson.unknowns: grid must be positive";
+  grid * grid
+
+let matrix ~grid =
+  let n = unknowns ~grid in
+  let idx i j = (i * grid) + j in
+  let triplets = ref [] in
+  for i = 0 to grid - 1 do
+    for j = 0 to grid - 1 do
+      let here = idx i j in
+      triplets := (here, here, 4.) :: !triplets;
+      if i > 0 then triplets := (here, idx (i - 1) j, -1.) :: !triplets;
+      if i < grid - 1 then triplets := (here, idx (i + 1) j, -1.) :: !triplets;
+      if j > 0 then triplets := (here, idx i (j - 1), -1.) :: !triplets;
+      if j < grid - 1 then triplets := (here, idx i (j + 1), -1.) :: !triplets
+    done
+  done;
+  Csr.of_triplets ~n_rows:n ~n_cols:n !triplets
+
+let rhs ~grid =
+  let n = unknowns ~grid in
+  let pi = 4. *. atan 1. in
+  Array.init n (fun k ->
+      let i = k / grid and j = k mod grid in
+      sin (pi *. float_of_int (i + 1) /. float_of_int (grid + 1))
+      *. sin (pi *. float_of_int (j + 1) /. float_of_int (grid + 1)))

@@ -1,0 +1,14 @@
+(** 2-D Poisson problem generator (5-point finite differences on a unit
+    square) — the MiniFE-like linear system solved by the CG benchmark. *)
+
+val matrix : grid:int -> Csr.t
+(** [matrix ~grid] is the [grid² × grid²] symmetric positive-definite
+    5-point Laplacian (4 on the diagonal, −1 for each grid neighbour).
+    Raises [Invalid_argument] when [grid <= 0]. *)
+
+val rhs : grid:int -> float array
+(** A smooth deterministic right-hand side:
+    [b_(i,j) = sin(π (i+1) / (g+1)) · sin(π (j+1) / (g+1))]. *)
+
+val unknowns : grid:int -> int
+(** [grid * grid]. *)

@@ -1,0 +1,60 @@
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+type config = { size : int; sweeps : int; seed : int; tolerance : float }
+
+let default = { size = 12; sweeps = 8; seed = 3; tolerance = 1e-4 }
+
+let initial_grid config =
+  let rng = Ftb_util.Rng.create ~seed:config.seed in
+  Array.init (config.size * config.size) (fun _ -> Ftb_util.Rng.float rng 1.)
+
+(* One Jacobi sweep from [src] into [dst] with zero padding. [store] wraps
+   every written cell. *)
+let sweep ~store ~size src dst =
+  let at i j = if i < 0 || j < 0 || i >= size || j >= size then 0. else src.((i * size) + j) in
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      let v = 0.2 *. (at i j +. at (i - 1) j +. at (i + 1) j +. at i (j - 1) +. at i (j + 1)) in
+      dst.((i * size) + j) <- store v
+    done
+  done
+
+let run_plain config =
+  let size = config.size in
+  let src = ref (initial_grid config) in
+  let dst = ref (Array.make (size * size) 0.) in
+  for _ = 1 to config.sweeps do
+    sweep ~store:(fun v -> v) ~size !src !dst;
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  !src
+
+let program config =
+  if config.size <= 0 then invalid_arg "Stencil.program: size must be positive";
+  if config.sweeps <= 0 then invalid_arg "Stencil.program: sweeps must be positive";
+  let init = initial_grid config in
+  let statics = Static.create_table () in
+  let tag_init = Static.register statics ~phase:"stencil.init" ~label:"grid[i][j] = random" in
+  let tag_sweep = Static.register statics ~phase:"stencil.sweep" ~label:"grid'[i][j] = avg" in
+  let size = config.size in
+  let body ctx =
+    let src = ref (Array.map (fun v -> Ctx.record ctx ~tag:tag_init v) init) in
+    let dst = ref (Array.make (size * size) 0.) in
+    for _ = 1 to config.sweeps do
+      sweep ~store:(fun v -> Ctx.record ctx ~tag:tag_sweep v) ~size !src !dst;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp
+    done;
+    !src
+  in
+  Ftb_trace.Program.make ~name:"stencil"
+    ~description:
+      (Printf.sprintf "2-D five-point Jacobi stencil, %dx%d grid, %d sweeps" size size
+         config.sweeps)
+    ~tolerance:config.tolerance ~statics body
+
+let theoretical_gain ~sweeps:_ = 1.0

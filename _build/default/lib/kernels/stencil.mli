@@ -1,0 +1,29 @@
+(** 2-D five-point averaging stencil (Jacobi sweeps).
+
+    The kernel from the paper's §5 monotonicity analysis:
+    [s(x_{i,j}) = 0.2 · (x_{i,j} + x_{i±1,j} + x_{i,j±1})] with a
+    zero-padded boundary. The output error is provably linear in an
+    injected error, which makes this the canonical monotonic benchmark for
+    tests and the ablation study. Dynamic instructions are the initial grid
+    stores and every cell update of every sweep. *)
+
+type config = {
+  size : int;  (** grid side length *)
+  sweeps : int;  (** number of Jacobi sweeps *)
+  seed : int;  (** seed for the random initial grid *)
+  tolerance : float;  (** acceptance threshold [T] on the L∞ output error *)
+}
+
+val default : config
+(** 12×12 grid, 8 sweeps, seed 3, [T = 1e-4]. *)
+
+val program : config -> Ftb_trace.Program.t
+
+val run_plain : config -> float array
+(** Uninstrumented oracle: the flattened final grid. *)
+
+val theoretical_gain : sweeps:int -> float
+(** Upper bound on the output L∞ amplification of a unit error injected in
+    the initial grid: [0.2 + 0.8·…] — each sweep multiplies the total
+    injected mass by at most 1 (the stencil weights sum to 1), so the gain
+    is at most 1. Returned for documentation/tests: always [1.0]. *)

@@ -1,0 +1,27 @@
+let cg = lazy (Cg.program Cg.default)
+let lu = lazy (Lu.program Lu.default)
+let fft = lazy (Fft.program Fft.default)
+let jacobi = lazy (Jacobi.program Jacobi.default)
+let stencil = lazy (Stencil.program Stencil.default)
+let matvec = lazy (Matprod.matvec_program Matprod.matvec_default)
+let matmul = lazy (Matprod.matmul_program Matprod.matmul_default)
+let gemm = lazy (Gemm.program Gemm.default)
+
+let paper_benchmarks = [ ("cg", cg); ("lu", lu); ("fft", fft) ]
+
+let all =
+  paper_benchmarks
+  @ [
+      ("jacobi", jacobi); ("stencil", stencil); ("matvec", matvec); ("matmul", matmul);
+      ("gemm", gemm);
+    ]
+
+let names () = List.map fst all
+
+let find name =
+  match List.assoc_opt name all with
+  | Some program -> Lazy.force program
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Suite.find: unknown benchmark %S (expected one of: %s)" name
+           (String.concat ", " (names ())))

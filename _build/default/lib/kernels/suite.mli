@@ -1,0 +1,35 @@
+(** Registry of the benchmark programs, by name, with their default
+    configurations — the entry point used by the CLI, the bench harness and
+    the examples. *)
+
+val cg : Ftb_trace.Program.t Lazy.t
+(** CG with {!Cg.default}. *)
+
+val lu : Ftb_trace.Program.t Lazy.t
+(** LU with {!Lu.default}. *)
+
+val fft : Ftb_trace.Program.t Lazy.t
+(** FFT with {!Fft.default}. *)
+
+val jacobi : Ftb_trace.Program.t Lazy.t
+(** Jacobi solver with {!Jacobi.default}. *)
+
+val stencil : Ftb_trace.Program.t Lazy.t
+val matvec : Ftb_trace.Program.t Lazy.t
+val matmul : Ftb_trace.Program.t Lazy.t
+
+val gemm : Ftb_trace.Program.t Lazy.t
+(** Blocked GEMM with {!Gemm.default}. *)
+
+val paper_benchmarks : (string * Ftb_trace.Program.t Lazy.t) list
+(** The three benchmarks of the paper's evaluation, in paper order:
+    [cg; lu; fft]. *)
+
+val all : (string * Ftb_trace.Program.t Lazy.t) list
+(** Every registered benchmark. *)
+
+val find : string -> Ftb_trace.Program.t
+(** Look a benchmark up by name; raises [Not_found] with a helpful message
+    via [Invalid_argument] listing valid names. *)
+
+val names : unit -> string list

@@ -1,0 +1,1 @@
+lib/report/markdown.ml: Array Ascii Buffer Ftb_core Ftb_util Fun List Printf String

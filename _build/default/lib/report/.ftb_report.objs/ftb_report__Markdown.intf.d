@@ -1,0 +1,1 @@
+lib/report/markdown.mli: Ftb_core Ftb_util

@@ -1,0 +1,1 @@
+lib/report/propagation_view.ml: Array Buffer Float Ftb_core Ftb_inject Ftb_trace Ftb_util Hashtbl List Printf String

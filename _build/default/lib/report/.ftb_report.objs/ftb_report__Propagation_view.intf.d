@@ -1,0 +1,1 @@
+lib/report/propagation_view.mli: Ftb_inject Ftb_trace

@@ -1,0 +1,1 @@
+lib/report/render.ml: Array Ascii Buffer Ftb_core Ftb_util List Printf

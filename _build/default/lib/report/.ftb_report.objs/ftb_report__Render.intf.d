@@ -1,0 +1,1 @@
+lib/report/render.mli: Ftb_core Ftb_util

@@ -1,0 +1,1 @@
+lib/report/svg.ml: Array Buffer Float Ftb_util Fun List Printf String

@@ -1,0 +1,1 @@
+lib/report/svg.mli: Ftb_util

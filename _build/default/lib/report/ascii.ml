@@ -1,0 +1,97 @@
+module Histogram = Ftb_util.Histogram
+
+let percent v = Printf.sprintf "%.2f%%" (100. *. v)
+let percent_pm ~mean ~std = Printf.sprintf "%.2f%% ± %.2f%%" (100. *. mean) (100. *. std)
+
+let bar_histogram ?(width = 50) ?(log_scale = true) ~title h =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let scale count =
+    if count = 0 then 0.
+    else if log_scale then log10 (float_of_int count +. 1.)
+    else float_of_int count
+  in
+  let max_scaled =
+    Histogram.fold h ~init:1e-9 ~f:(fun acc ~lo:_ ~hi:_ ~count -> Float.max acc (scale count))
+  in
+  if Histogram.underflow h > 0 then
+    Buffer.add_string buf (Printf.sprintf "  %14s %8d\n" "< range" (Histogram.underflow h));
+  for i = 0 to Histogram.bins h - 1 do
+    let count = Histogram.count h i in
+    if count > 0 then begin
+      let lo, hi = Histogram.bin_bounds h i in
+      let bar_len = int_of_float (Float.round (scale count /. max_scaled *. float_of_int width)) in
+      Buffer.add_string buf
+        (Printf.sprintf "  [%+6.3f,%+6.3f) %8d |%s\n" lo hi count (String.make bar_len '#'))
+    end
+  done;
+  if Histogram.overflow h > 0 then
+    Buffer.add_string buf (Printf.sprintf "  %14s %8d\n" ">= range" (Histogram.overflow h));
+  Buffer.add_string buf
+    (Printf.sprintf "  total %d observations%s\n" (Histogram.total h)
+       (if log_scale then " (bar length: log scale)" else ""));
+  Buffer.contents buf
+
+(* Downsample a series to [width] columns by averaging each column's
+   covered index range. *)
+let downsample values width =
+  let n = Array.length values in
+  if n = 0 then Array.make width nan
+  else
+    Array.init width (fun c ->
+        let start = c * n / width and stop = max ((c + 1) * n / width) ((c * n / width) + 1) in
+        let stop = min stop n in
+        let acc = ref 0. in
+        for i = start to stop - 1 do
+          acc := !acc +. values.(i)
+        done;
+        !acc /. float_of_int (stop - start))
+
+let series ?(width = 72) ?(height = 16) ~title named_series =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  (match named_series with
+  | [] -> Buffer.add_string buf "  (no series)\n"
+  | _ ->
+      let columns = List.map (fun (_, _, v) -> downsample v width) named_series in
+      let finite_values =
+        List.concat_map
+          (fun col -> Array.to_list col |> List.filter Float.is_finite)
+          columns
+      in
+      let lo = List.fold_left Float.min infinity finite_values in
+      let hi = List.fold_left Float.max neg_infinity finite_values in
+      let lo, hi = if lo >= hi then (lo -. 1., lo +. 1.) else (lo, hi) in
+      let row_of v =
+        let fraction = (v -. lo) /. (hi -. lo) in
+        let r = int_of_float (Float.round (fraction *. float_of_int (height - 1))) in
+        max 0 (min (height - 1) r)
+      in
+      let raster = Array.make_matrix height width ' ' in
+      List.iter2
+        (fun (_, glyph, _) col ->
+          Array.iteri
+            (fun c v ->
+              if Float.is_finite v then begin
+                let r = row_of v in
+                raster.(r).(c) <- (if raster.(r).(c) = ' ' then glyph else '#')
+              end)
+            col)
+        named_series columns;
+      for r = height - 1 downto 0 do
+        let y = lo +. ((hi -. lo) *. float_of_int r /. float_of_int (height - 1)) in
+        Buffer.add_string buf (Printf.sprintf "  %10.3g |" y);
+        Buffer.add_string buf (String.init width (fun c -> raster.(r).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "  %10s +%s\n" "" (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "  %10s  site 0 %*s\n" "" (width - 8) "last site");
+      List.iter
+        (fun (legend, glyph, _) ->
+          Buffer.add_string buf (Printf.sprintf "    %c = %s\n" glyph legend))
+        named_series;
+      Buffer.add_string buf "    # = overlapping series\n");
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Plain-text renderings of the paper's figures.
+
+    Figures are rendered as fixed-size character rasters: histograms as
+    horizontal bars, per-site series as overlaid scatter columns. The goal
+    is a terminal-readable reproduction of each figure's *shape*; exact
+    values are also exported as CSV by the harness. *)
+
+val bar_histogram :
+  ?width:int -> ?log_scale:bool -> title:string -> Ftb_util.Histogram.t -> string
+(** Horizontal-bar rendering of a histogram: one line per non-empty bin
+    with its range, count and a bar scaled to the largest bin (log₁₀ scale
+    when [log_scale], default true — Figure 3's counts span orders of
+    magnitude). Includes underflow/overflow lines when non-zero. *)
+
+val series :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  (string * char * float array) list ->
+  string
+(** Overlay several equal-length series in one raster. Each series is
+    (legend, glyph, values); the x axis is the value index, downsampled by
+    averaging to [width] columns (default 72); the y axis is scaled to the
+    common min/max (default 16 rows). Cells where several series coincide
+    show ['#']. *)
+
+val percent : float -> string
+(** ["12.34%"] *)
+
+val percent_pm : mean:float -> std:float -> string
+(** ["12.34% ± 0.56%"] *)

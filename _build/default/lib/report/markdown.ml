@@ -1,0 +1,114 @@
+module Table = Ftb_util.Table
+module Stats = Ftb_util.Stats
+
+let section ~title body = Printf.sprintf "## %s\n\n%s\n\n" title body
+
+let of_tables named =
+  String.concat "" (List.map (fun (name, t) -> section ~title:name (Table.to_markdown t)) named)
+
+let pct = Ascii.percent
+
+let pm mean std = Ascii.percent_pm ~mean ~std
+
+let exhaustive_section results =
+  let t = Table.create [ "benchmark"; "golden SDC"; "boundary SDC"; "sites"; "non-monotonic" ] in
+  List.iter
+    (fun (r : Ftb_core.Study_exhaustive.result) ->
+      Table.add_row t
+        [
+          r.Ftb_core.Study_exhaustive.name;
+          pct r.Ftb_core.Study_exhaustive.golden_sdc;
+          pct r.Ftb_core.Study_exhaustive.approx_sdc;
+          string_of_int r.Ftb_core.Study_exhaustive.sites;
+          pct r.Ftb_core.Study_exhaustive.non_monotonic_fraction;
+        ])
+    results;
+  section ~title:"Exhaustive-campaign boundary (Table 1)" (Table.to_markdown t)
+
+let inference_section results =
+  let t = Table.create [ "benchmark"; "precision"; "recall"; "uncertainty" ] in
+  List.iter
+    (fun (r : Ftb_core.Study_inference.result) ->
+      let stat f =
+        let values = Array.map f r.Ftb_core.Study_inference.trials in
+        pm (Stats.mean values) (Stats.std values)
+      in
+      Table.add_row t
+        [
+          r.Ftb_core.Study_inference.name;
+          stat (fun x -> x.Ftb_core.Study_inference.precision);
+          stat (fun x -> x.Ftb_core.Study_inference.recall);
+          stat (fun x -> x.Ftb_core.Study_inference.uncertainty);
+        ])
+    results;
+  section
+    ~title:
+      (Printf.sprintf "Inference at %s sampling (Table 2)"
+         (match results with
+         | r :: _ -> pct r.Ftb_core.Study_inference.fraction
+         | [] -> "?"))
+    (Table.to_markdown t)
+
+let adaptive_section results =
+  let t = Table.create [ "benchmark"; "golden SDC"; "samples used"; "predicted SDC" ] in
+  List.iter
+    (fun (r : Ftb_core.Study_adaptive.result) ->
+      let stat f =
+        let values = Array.map f r.Ftb_core.Study_adaptive.trials in
+        pm (Stats.mean values) (Stats.std values)
+      in
+      Table.add_row t
+        [
+          r.Ftb_core.Study_adaptive.name;
+          pct r.Ftb_core.Study_adaptive.golden_sdc;
+          stat (fun x -> x.Ftb_core.Study_adaptive.sample_fraction);
+          stat (fun x -> x.Ftb_core.Study_adaptive.predicted_sdc);
+        ])
+    results;
+  section ~title:"Adaptive sampling (Table 3)" (Table.to_markdown t)
+
+let scaling_section (result : Ftb_core.Study_scaling.result) =
+  let t =
+    Table.create [ "input"; "golden SDC"; "predicted SDC"; "precision"; "recall"; "sample frac" ]
+  in
+  Array.iter
+    (fun (row : Ftb_core.Study_scaling.row) ->
+      Table.add_row t
+        [
+          row.Ftb_core.Study_scaling.label;
+          pct row.Ftb_core.Study_scaling.golden_sdc;
+          pm row.Ftb_core.Study_scaling.predicted_sdc_mean
+            row.Ftb_core.Study_scaling.predicted_sdc_std;
+          pm row.Ftb_core.Study_scaling.precision_mean row.Ftb_core.Study_scaling.precision_std;
+          pm row.Ftb_core.Study_scaling.recall_mean row.Ftb_core.Study_scaling.recall_std;
+          pct row.Ftb_core.Study_scaling.sample_fraction;
+        ])
+    result.Ftb_core.Study_scaling.rows;
+  section
+    ~title:
+      (Printf.sprintf "Scalability with %d samples (Table 4)" result.Ftb_core.Study_scaling.samples)
+    (Table.to_markdown t)
+
+let summary ?exhaustive ?inference ?adaptive ?scaling ?seed () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# ftb experiment report\n\n";
+  (match seed with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "Sampling seed: %d.\n\n" s)
+  | None -> ());
+  (match exhaustive with
+  | Some results -> Buffer.add_string buf (exhaustive_section results)
+  | None -> ());
+  (match inference with
+  | Some results -> Buffer.add_string buf (inference_section results)
+  | None -> ());
+  (match adaptive with
+  | Some results -> Buffer.add_string buf (adaptive_section results)
+  | None -> ());
+  (match scaling with
+  | Some result -> Buffer.add_string buf (scaling_section result)
+  | None -> ());
+  Buffer.contents buf
+
+let save ~path document =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc document)

@@ -1,0 +1,26 @@
+(** Markdown experiment reports.
+
+    Turns study results into a self-contained markdown document — the
+    machine-written companion to the hand-written EXPERIMENTS.md. The
+    harness writes it with [--markdown FILE] so each full run leaves an
+    artifact that diffs cleanly between configurations and seeds. *)
+
+val section : title:string -> string -> string
+(** ["## title\n\nbody\n\n"]. *)
+
+val of_tables : (string * Ftb_util.Table.t) list -> string
+(** Render named tables as consecutive sections. *)
+
+val summary :
+  ?exhaustive:Ftb_core.Study_exhaustive.result list ->
+  ?inference:Ftb_core.Study_inference.result list ->
+  ?adaptive:Ftb_core.Study_adaptive.result list ->
+  ?scaling:Ftb_core.Study_scaling.result ->
+  ?seed:int ->
+  unit ->
+  string
+(** Compose a full report from whichever studies ran: headline table
+    (golden vs approximated SDC), inference quality, adaptive sampling
+    cost, scalability — each section omitted when its input is absent. *)
+
+val save : path:string -> string -> unit

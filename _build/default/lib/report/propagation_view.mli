@@ -1,0 +1,39 @@
+(** Error-propagation views — the SpotSDC lineage.
+
+    The paper builds on the authors' propagation-visualisation work
+    (Li et al., "SpotSDC", ref [20]): understanding *where* an injected
+    error travels is what makes the boundary inference legible. This
+    module renders a single experiment's deviation wave and aggregates
+    many experiments into a phase-to-phase propagation matrix.
+
+    All views work from the standard propagation artifacts
+    ({!Ftb_trace.Runner.run_propagation} / {!Ftb_inject.Sample_run}), so
+    they compose with campaigns, persistence and the lockstep executor. *)
+
+val wave :
+  ?width:int ->
+  ?height:int ->
+  Ftb_trace.Golden.t ->
+  Ftb_trace.Runner.propagation ->
+  string
+(** ASCII rendering of one experiment: x = dynamic instruction (from the
+    fault site to the end of coverage), y = log10 of the deviation
+    magnitude (zero deviations drawn on the floor), with the injection
+    point and phase boundaries annotated below the plot. *)
+
+type matrix = {
+  phases : string array;  (** distinct phases in first-site order *)
+  counts : int array array;
+      (** [counts.(i).(j)] = significant deviations observed at phase [j]
+          sites caused by injections at phase [i] sites *)
+  injections : int array;  (** injections attributed to each source phase *)
+}
+
+val phase_matrix :
+  Ftb_trace.Golden.t -> Ftb_inject.Sample_run.t array -> matrix
+(** Aggregate masked samples into a source-phase × destination-phase
+    propagation matrix. Significance uses {!Ftb_core.Info.is_significant}
+    against the golden value at the destination site. *)
+
+val render_matrix : matrix -> string
+(** Aligned-table rendering of a propagation matrix with row sums. *)

@@ -1,0 +1,573 @@
+module Table = Ftb_util.Table
+module Stats = Ftb_util.Stats
+module Study_exhaustive = Ftb_core.Study_exhaustive
+module Study_inference = Ftb_core.Study_inference
+module Study_sweep = Ftb_core.Study_sweep
+module Study_adaptive = Ftb_core.Study_adaptive
+module Study_scaling = Ftb_core.Study_scaling
+module Metrics = Ftb_core.Metrics
+
+let pct = Ascii.percent
+
+let mean_std_of field trials =
+  let values = Array.map field trials in
+  (Stats.mean values, Stats.std values)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 results =
+  let t =
+    Table.create [ "Name"; "Golden_SDC"; "Approx_SDC"; "Size (sites)"; "Cases" ]
+  in
+  List.iter
+    (fun (r : Study_exhaustive.result) ->
+      Table.add_row t
+        [
+          r.Study_exhaustive.name;
+          pct r.Study_exhaustive.golden_sdc;
+          pct r.Study_exhaustive.approx_sdc;
+          string_of_int r.Study_exhaustive.sites;
+          string_of_int r.Study_exhaustive.cases;
+        ])
+    results;
+  Table.render
+    ~title:
+      "Table 1: true SDC ratio vs SDC ratio re-predicted from the exhaustive-campaign boundary"
+    t
+
+let csv_table1 results =
+  let t = Table.create [ "name"; "golden_sdc"; "approx_sdc"; "sites"; "cases" ] in
+  List.iter
+    (fun (r : Study_exhaustive.result) ->
+      Table.add_row t
+        [
+          r.Study_exhaustive.name;
+          Printf.sprintf "%.6f" r.Study_exhaustive.golden_sdc;
+          Printf.sprintf "%.6f" r.Study_exhaustive.approx_sdc;
+          string_of_int r.Study_exhaustive.sites;
+          string_of_int r.Study_exhaustive.cases;
+        ])
+    results;
+  [ ("table1", t) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+
+let fig3 results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 3: histograms of dSDC = Golden_SDC - Approx_SDC per dynamic instruction\n\n";
+  List.iter
+    (fun (r : Study_exhaustive.result) ->
+      let h = Study_exhaustive.(Metrics.delta_sdc_histogram r.delta_sdc) in
+      Buffer.add_string buf
+        (Ascii.bar_histogram
+           ~title:
+             (Printf.sprintf "%s  (non-monotonic sites: %s)" r.Study_exhaustive.name
+                (pct r.Study_exhaustive.non_monotonic_fraction))
+           h);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let csv_fig3 results =
+  List.map
+    (fun (r : Study_exhaustive.result) ->
+      let h = Metrics.delta_sdc_histogram r.Study_exhaustive.delta_sdc in
+      let t = Table.create [ "bin_lo"; "bin_hi"; "count" ] in
+      ignore
+        (Ftb_util.Histogram.fold h ~init:() ~f:(fun () ~lo ~hi ~count ->
+             Table.add_row t
+               [ Printf.sprintf "%.6f" lo; Printf.sprintf "%.6f" hi; string_of_int count ]));
+      (Printf.sprintf "fig3_%s" r.Study_exhaustive.name, t))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+
+let table2 results =
+  let t = Table.create [ "Name"; "Precision"; "Recall"; "Uncertainty" ] in
+  List.iter
+    (fun (r : Study_inference.result) ->
+      let p_mean, p_std = mean_std_of (fun x -> x.Study_inference.precision) r.Study_inference.trials in
+      let r_mean, r_std = mean_std_of (fun x -> x.Study_inference.recall) r.Study_inference.trials in
+      let u_mean, u_std =
+        mean_std_of (fun x -> x.Study_inference.uncertainty) r.Study_inference.trials
+      in
+      Table.add_row t
+        [
+          r.Study_inference.name;
+          Ascii.percent_pm ~mean:p_mean ~std:p_std;
+          Ascii.percent_pm ~mean:r_mean ~std:r_std;
+          Ascii.percent_pm ~mean:u_mean ~std:u_std;
+        ])
+    results;
+  Table.render
+    ~title:
+      (Printf.sprintf
+         "Table 2: inference with %s uniform sampling (%d trials, mean \xc2\xb1 std)"
+         (match results with
+         | r :: _ -> pct r.Study_inference.fraction
+         | [] -> "?")
+         (match results with
+         | r :: _ -> Array.length r.Study_inference.trials
+         | [] -> 0))
+    t
+
+let csv_table2 results =
+  let t =
+    Table.create
+      [
+        "name"; "fraction"; "precision_mean"; "precision_std"; "recall_mean"; "recall_std";
+        "uncertainty_mean"; "uncertainty_std";
+      ]
+  in
+  List.iter
+    (fun (r : Study_inference.result) ->
+      let p_mean, p_std = mean_std_of (fun x -> x.Study_inference.precision) r.Study_inference.trials in
+      let r_mean, r_std = mean_std_of (fun x -> x.Study_inference.recall) r.Study_inference.trials in
+      let u_mean, u_std =
+        mean_std_of (fun x -> x.Study_inference.uncertainty) r.Study_inference.trials
+      in
+      Table.add_row t
+        [
+          r.Study_inference.name;
+          Printf.sprintf "%.4f" r.Study_inference.fraction;
+          Printf.sprintf "%.6f" p_mean;
+          Printf.sprintf "%.6f" p_std;
+          Printf.sprintf "%.6f" r_mean;
+          Printf.sprintf "%.6f" r_std;
+          Printf.sprintf "%.6f" u_mean;
+          Printf.sprintf "%.6f" u_std;
+        ])
+    results;
+  [ ("table2", t) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4                                                            *)
+
+let grouped values ~groups = Array.map snd (Metrics.grouped_mean values ~groups)
+
+let fig4 ~(inference : Study_inference.result) ~(adaptive : Study_adaptive.result) ~groups =
+  let buf = Buffer.create 8192 in
+  let name = inference.Study_inference.name in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 4 (%s): per-site SDC ratio, %d-site group means over %d sites\n\n" name
+       (Array.length inference.Study_inference.true_ratio / groups)
+       (Array.length inference.Study_inference.true_ratio));
+  Buffer.add_string buf
+    (Ascii.series
+       ~title:
+         (Printf.sprintf "Row 1: true vs predicted SDC ratio (uniform %s sampling)"
+            (pct inference.Study_inference.fraction))
+       [
+         ("true SDC ratio", '*', grouped inference.Study_inference.true_ratio ~groups);
+         ("predicted SDC ratio", 'o', grouped inference.Study_inference.predicted_ratio ~groups);
+       ]);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Ascii.series ~title:"Row 2: potential impact (significant injections + propagations)"
+       [ ("potential impact", '+', grouped inference.Study_inference.impact ~groups) ]);
+  Buffer.add_char buf '\n';
+  let fraction_mean, _ =
+    mean_std_of (fun t -> t.Study_adaptive.sample_fraction) adaptive.Study_adaptive.trials
+  in
+  Buffer.add_string buf
+    (Ascii.series
+       ~title:
+         (Printf.sprintf "Row 3: true vs adaptive/progressive prediction (%s samples used)"
+            (pct fraction_mean))
+       [
+         ("true SDC ratio", '*', grouped adaptive.Study_adaptive.true_ratio ~groups);
+         ("adaptive prediction", 'o', grouped adaptive.Study_adaptive.predicted_ratio ~groups);
+       ]);
+  Buffer.contents buf
+
+let csv_fig4 ~(inference : Study_inference.result) ~(adaptive : Study_adaptive.result)
+    ~groups =
+  let name = inference.Study_inference.name in
+  let t =
+    Table.create
+      [ "group_start"; "true_sdc"; "predicted_sdc"; "impact"; "adaptive_predicted_sdc" ]
+  in
+  let true_g = Metrics.grouped_mean inference.Study_inference.true_ratio ~groups in
+  let pred_g = grouped inference.Study_inference.predicted_ratio ~groups in
+  let impact_g = grouped inference.Study_inference.impact ~groups in
+  let adapt_g = grouped adaptive.Study_adaptive.predicted_ratio ~groups in
+  Array.iteri
+    (fun i (start, true_mean) ->
+      Table.add_row t
+        [
+          string_of_int start;
+          Printf.sprintf "%.6f" true_mean;
+          Printf.sprintf "%.6f" pred_g.(i);
+          Printf.sprintf "%.2f" impact_g.(i);
+          Printf.sprintf "%.6f" adapt_g.(i);
+        ])
+    true_g;
+  [ (Printf.sprintf "fig4_%s" name, t) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5                                                            *)
+
+let fig5_block title (points : Study_sweep.point array) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "  %10s %22s %22s\n" "fraction" "precision" "recall");
+  Array.iter
+    (fun (p : Study_sweep.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %10s %22s %22s\n"
+           (pct p.Study_sweep.fraction)
+           (Ascii.percent_pm ~mean:p.Study_sweep.precision_mean ~std:p.Study_sweep.precision_std)
+           (Ascii.percent_pm ~mean:p.Study_sweep.recall_mean ~std:p.Study_sweep.recall_std)))
+    points;
+  Buffer.contents buf
+
+let fig5 results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Figure 5: precision and recall vs sample size\n\n";
+  List.iter
+    (fun (r : Study_sweep.result) ->
+      Buffer.add_string buf
+        (fig5_block
+           (Printf.sprintf "%s - without filter operation" r.Study_sweep.name)
+           r.Study_sweep.without_filter);
+      Buffer.add_string buf
+        (fig5_block
+           (Printf.sprintf "%s - with filter operation" r.Study_sweep.name)
+           r.Study_sweep.with_filter);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let csv_fig5 results =
+  List.map
+    (fun (r : Study_sweep.result) ->
+      let t =
+        Table.create
+          [
+            "fraction"; "filter"; "precision_mean"; "precision_std"; "recall_mean";
+            "recall_std";
+          ]
+      in
+      let add filter points =
+        Array.iter
+          (fun (p : Study_sweep.point) ->
+            Table.add_row t
+              [
+                Printf.sprintf "%.4f" p.Study_sweep.fraction;
+                filter;
+                Printf.sprintf "%.6f" p.Study_sweep.precision_mean;
+                Printf.sprintf "%.6f" p.Study_sweep.precision_std;
+                Printf.sprintf "%.6f" p.Study_sweep.recall_mean;
+                Printf.sprintf "%.6f" p.Study_sweep.recall_std;
+              ])
+          points
+      in
+      add "off" r.Study_sweep.without_filter;
+      add "on" r.Study_sweep.with_filter;
+      (Printf.sprintf "fig5_%s" r.Study_sweep.name, t))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+
+let table3 results =
+  let t = Table.create [ "Name"; "SDC Ratio"; "Sample Size"; "Predict SDC Ratio" ] in
+  List.iter
+    (fun (r : Study_adaptive.result) ->
+      let f_mean, f_std =
+        mean_std_of (fun x -> x.Study_adaptive.sample_fraction) r.Study_adaptive.trials
+      in
+      let p_mean, p_std =
+        mean_std_of (fun x -> x.Study_adaptive.predicted_sdc) r.Study_adaptive.trials
+      in
+      Table.add_row t
+        [
+          r.Study_adaptive.name;
+          pct r.Study_adaptive.golden_sdc;
+          Ascii.percent_pm ~mean:f_mean ~std:f_std;
+          Ascii.percent_pm ~mean:p_mean ~std:p_std;
+        ])
+    results;
+  Table.render
+    ~title:"Table 3: adaptive/progressive sampling (mean \xc2\xb1 std over trials)" t
+
+let csv_table3 results =
+  let t =
+    Table.create
+      [
+        "name"; "golden_sdc"; "sample_fraction_mean"; "sample_fraction_std";
+        "predicted_sdc_mean"; "predicted_sdc_std"; "rounds_mean";
+      ]
+  in
+  List.iter
+    (fun (r : Study_adaptive.result) ->
+      let f_mean, f_std =
+        mean_std_of (fun x -> x.Study_adaptive.sample_fraction) r.Study_adaptive.trials
+      in
+      let p_mean, p_std =
+        mean_std_of (fun x -> x.Study_adaptive.predicted_sdc) r.Study_adaptive.trials
+      in
+      let rounds =
+        Stats.mean
+          (Array.map (fun x -> float_of_int x.Study_adaptive.rounds) r.Study_adaptive.trials)
+      in
+      Table.add_row t
+        [
+          r.Study_adaptive.name;
+          Printf.sprintf "%.6f" r.Study_adaptive.golden_sdc;
+          Printf.sprintf "%.6f" f_mean;
+          Printf.sprintf "%.6f" f_std;
+          Printf.sprintf "%.6f" p_mean;
+          Printf.sprintf "%.6f" p_std;
+          Printf.sprintf "%.2f" rounds;
+        ])
+    results;
+  [ ("table3", t) ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 4                                                             *)
+
+let table4 (result : Study_scaling.result) =
+  let t =
+    Table.create
+      [
+        "Input"; "SDC ratio"; "predict SDC ratio"; "precision"; "uncertainty"; "recall";
+        "sites"; "sample frac";
+      ]
+  in
+  Array.iter
+    (fun (row : Study_scaling.row) ->
+      Table.add_row t
+        [
+          row.Study_scaling.label;
+          pct row.Study_scaling.golden_sdc;
+          Ascii.percent_pm ~mean:row.Study_scaling.predicted_sdc_mean
+            ~std:row.Study_scaling.predicted_sdc_std;
+          Ascii.percent_pm ~mean:row.Study_scaling.precision_mean
+            ~std:row.Study_scaling.precision_std;
+          Ascii.percent_pm ~mean:row.Study_scaling.uncertainty_mean
+            ~std:row.Study_scaling.uncertainty_std;
+          Ascii.percent_pm ~mean:row.Study_scaling.recall_mean
+            ~std:row.Study_scaling.recall_std;
+          string_of_int row.Study_scaling.sites;
+          pct row.Study_scaling.sample_fraction;
+        ])
+    result.Study_scaling.rows;
+  Table.render
+    ~title:
+      (Printf.sprintf "Table 4: CG scalability with %d samples per input size"
+         result.Study_scaling.samples)
+    t
+
+let csv_table4 (result : Study_scaling.result) =
+  let t =
+    Table.create
+      [
+        "input"; "golden_sdc"; "predicted_sdc_mean"; "predicted_sdc_std"; "precision_mean";
+        "precision_std"; "uncertainty_mean"; "uncertainty_std"; "recall_mean"; "recall_std";
+        "sites"; "cases"; "sample_fraction";
+      ]
+  in
+  Array.iter
+    (fun (row : Study_scaling.row) ->
+      Table.add_row t
+        [
+          row.Study_scaling.label;
+          Printf.sprintf "%.6f" row.Study_scaling.golden_sdc;
+          Printf.sprintf "%.6f" row.Study_scaling.predicted_sdc_mean;
+          Printf.sprintf "%.6f" row.Study_scaling.predicted_sdc_std;
+          Printf.sprintf "%.6f" row.Study_scaling.precision_mean;
+          Printf.sprintf "%.6f" row.Study_scaling.precision_std;
+          Printf.sprintf "%.6f" row.Study_scaling.uncertainty_mean;
+          Printf.sprintf "%.6f" row.Study_scaling.uncertainty_std;
+          Printf.sprintf "%.6f" row.Study_scaling.recall_mean;
+          Printf.sprintf "%.6f" row.Study_scaling.recall_std;
+          string_of_int row.Study_scaling.sites;
+          string_of_int row.Study_scaling.cases;
+          Printf.sprintf "%.6f" row.Study_scaling.sample_fraction;
+        ])
+    result.Study_scaling.rows;
+  [ ("table4", t) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation                                                            *)
+
+module Study_ablation = Ftb_core.Study_ablation
+module Confidence = Ftb_core.Confidence
+
+let ablation results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Ablation: adaptive sampler design choices\n\n";
+  List.iter
+    (fun (r : Study_ablation.result) ->
+      let t =
+        Table.create
+          [ "variant"; "sample size"; "predicted SDC"; "|error|"; "rounds" ]
+      in
+      Array.iter
+        (fun (v : Study_ablation.variant) ->
+          Table.add_row t
+            [
+              v.Study_ablation.label;
+              Ascii.percent_pm ~mean:v.Study_ablation.sample_fraction_mean
+                ~std:v.Study_ablation.sample_fraction_std;
+              pct v.Study_ablation.predicted_sdc_mean;
+              pct v.Study_ablation.abs_error_mean;
+              Printf.sprintf "%.1f" v.Study_ablation.rounds_mean;
+            ])
+        r.Study_ablation.variants;
+      Buffer.add_string buf
+        (Table.render
+           ~title:
+             (Printf.sprintf "%s (golden SDC %s) - bias x filter grid" r.Study_ablation.name
+                (pct r.Study_ablation.golden_sdc))
+           t);
+      Buffer.add_char buf '\n';
+      let t2 = Table.create [ "round size"; "sample size"; "|error|"; "rounds" ] in
+      Array.iter
+        (fun (p : Study_ablation.round_point) ->
+          Table.add_row t2
+            [
+              pct p.Study_ablation.round_fraction;
+              pct p.Study_ablation.sample_fraction_mean;
+              pct p.Study_ablation.abs_error_mean;
+              Printf.sprintf "%.1f" p.Study_ablation.rounds_mean;
+            ])
+        r.Study_ablation.round_points;
+      Buffer.add_string buf
+        (Table.render ~title:(r.Study_ablation.name ^ " - round-size sweep") t2);
+      let b = r.Study_ablation.baseline in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\nstatistical-FI baseline (+-1%%, 95%% confidence): %d runs for one overall\n\
+            ratio, %d runs for a per-site profile; the boundary used %d traced runs\n\
+            and recovered %s of all masked cases.\n\n"
+           b.Confidence.mc_samples_overall b.Confidence.mc_samples_full_profile
+           b.Confidence.boundary_samples
+           (pct b.Confidence.boundary_recall)))
+    results;
+  Buffer.contents buf
+
+let csv_ablation results =
+  List.concat_map
+    (fun (r : Study_ablation.result) ->
+      let t =
+        Table.create
+          [
+            "variant"; "bias"; "filter"; "sample_fraction_mean"; "sample_fraction_std";
+            "predicted_sdc_mean"; "abs_error_mean"; "rounds_mean";
+          ]
+      in
+      Array.iter
+        (fun (v : Study_ablation.variant) ->
+          Table.add_row t
+            [
+              v.Study_ablation.label;
+              string_of_bool v.Study_ablation.bias;
+              string_of_bool v.Study_ablation.filter;
+              Printf.sprintf "%.6f" v.Study_ablation.sample_fraction_mean;
+              Printf.sprintf "%.6f" v.Study_ablation.sample_fraction_std;
+              Printf.sprintf "%.6f" v.Study_ablation.predicted_sdc_mean;
+              Printf.sprintf "%.6f" v.Study_ablation.abs_error_mean;
+              Printf.sprintf "%.2f" v.Study_ablation.rounds_mean;
+            ])
+        r.Study_ablation.variants;
+      let t2 =
+        Table.create
+          [ "round_fraction"; "sample_fraction_mean"; "abs_error_mean"; "rounds_mean" ]
+      in
+      Array.iter
+        (fun (p : Study_ablation.round_point) ->
+          Table.add_row t2
+            [
+              Printf.sprintf "%.6f" p.Study_ablation.round_fraction;
+              Printf.sprintf "%.6f" p.Study_ablation.sample_fraction_mean;
+              Printf.sprintf "%.6f" p.Study_ablation.abs_error_mean;
+              Printf.sprintf "%.2f" p.Study_ablation.rounds_mean;
+            ])
+        r.Study_ablation.round_points;
+      [
+        (Printf.sprintf "ablation_variants_%s" r.Study_ablation.name, t);
+        (Printf.sprintf "ablation_rounds_%s" r.Study_ablation.name, t2);
+      ])
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Tolerance sweep                                                     *)
+
+module Study_tolerance = Ftb_core.Study_tolerance
+
+let tolerance results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Tolerance sweep: sensitivity of the analysis to the acceptance threshold T\n\n";
+  List.iter
+    (fun (r : Study_tolerance.result) ->
+      let t =
+        Table.create
+          [
+            "T"; "golden SDC"; "masked"; "crash"; "precision"; "recall"; "uncertainty";
+            "non-monotonic";
+          ]
+      in
+      Array.iter
+        (fun (p : Study_tolerance.point) ->
+          Table.add_row t
+            [
+              Printf.sprintf "%g" p.Study_tolerance.tolerance;
+              pct p.Study_tolerance.golden_sdc;
+              pct p.Study_tolerance.golden_masked;
+              pct p.Study_tolerance.golden_crash;
+              pct p.Study_tolerance.precision;
+              pct p.Study_tolerance.recall;
+              pct p.Study_tolerance.uncertainty;
+              pct p.Study_tolerance.non_monotonic_fraction;
+            ])
+        r.Study_tolerance.points;
+      Buffer.add_string buf
+        (Table.render
+           ~title:
+             (Printf.sprintf "%s (boundary from a %s sample per point)"
+                r.Study_tolerance.name
+                (pct r.Study_tolerance.fraction))
+           t);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let csv_tolerance results =
+  List.map
+    (fun (r : Study_tolerance.result) ->
+      let t =
+        Table.create
+          [
+            "tolerance"; "golden_sdc"; "golden_masked"; "golden_crash"; "precision";
+            "recall"; "uncertainty"; "non_monotonic_fraction";
+          ]
+      in
+      Array.iter
+        (fun (p : Study_tolerance.point) ->
+          Table.add_row t
+            [
+              Printf.sprintf "%g" p.Study_tolerance.tolerance;
+              Printf.sprintf "%.6f" p.Study_tolerance.golden_sdc;
+              Printf.sprintf "%.6f" p.Study_tolerance.golden_masked;
+              Printf.sprintf "%.6f" p.Study_tolerance.golden_crash;
+              Printf.sprintf "%.6f" p.Study_tolerance.precision;
+              Printf.sprintf "%.6f" p.Study_tolerance.recall;
+              Printf.sprintf "%.6f" p.Study_tolerance.uncertainty;
+              Printf.sprintf "%.6f" p.Study_tolerance.non_monotonic_fraction;
+            ])
+        r.Study_tolerance.points;
+      (Printf.sprintf "tolerance_%s" r.Study_tolerance.name, t))
+    results
+
+let save_all ~dir named =
+  List.map (fun (name, t) -> Table.save_csv ~dir ~name t) named

@@ -1,0 +1,67 @@
+(** Paper-shaped text renderings and CSV exports of every study result.
+
+    One function per table/figure of the evaluation section. Each renderer
+    returns the display string; the matching [csv_*] function returns the
+    named {!Ftb_util.Table.t}s to write when CSV export is requested. *)
+
+val table1 : Ftb_core.Study_exhaustive.result list -> string
+(** Table 1 — golden vs boundary-approximated SDC ratio per benchmark. *)
+
+val csv_table1 : Ftb_core.Study_exhaustive.result list -> (string * Ftb_util.Table.t) list
+
+val fig3 : Ftb_core.Study_exhaustive.result list -> string
+(** Figure 3 — per-benchmark histograms of ΔSDC. *)
+
+val csv_fig3 : Ftb_core.Study_exhaustive.result list -> (string * Ftb_util.Table.t) list
+
+val table2 : Ftb_core.Study_inference.result list -> string
+(** Table 2 — precision / recall / uncertainty (mean ± std) at 1 %
+    sampling. *)
+
+val csv_table2 : Ftb_core.Study_inference.result list -> (string * Ftb_util.Table.t) list
+
+val fig4 :
+  inference:Ftb_core.Study_inference.result ->
+  adaptive:Ftb_core.Study_adaptive.result ->
+  groups:int ->
+  string
+(** Figure 4 for one benchmark: row 1 true vs 1 %-inferred SDC ratio,
+    row 2 potential impact, row 3 true vs adaptive prediction. Series are
+    grouped into [groups] consecutive-site buckets as in the paper. *)
+
+val csv_fig4 :
+  inference:Ftb_core.Study_inference.result ->
+  adaptive:Ftb_core.Study_adaptive.result ->
+  groups:int ->
+  (string * Ftb_util.Table.t) list
+
+val fig5 : Ftb_core.Study_sweep.result list -> string
+(** Figure 5 — precision/recall vs sample size, without (top) and with
+    (bottom) the filter operation. *)
+
+val csv_fig5 : Ftb_core.Study_sweep.result list -> (string * Ftb_util.Table.t) list
+
+val table3 : Ftb_core.Study_adaptive.result list -> string
+(** Table 3 — adaptive sampling: sample size and predicted SDC ratio. *)
+
+val csv_table3 : Ftb_core.Study_adaptive.result list -> (string * Ftb_util.Table.t) list
+
+val table4 : Ftb_core.Study_scaling.result -> string
+(** Table 4 — CG scalability at two input sizes. *)
+
+val csv_table4 : Ftb_core.Study_scaling.result -> (string * Ftb_util.Table.t) list
+
+val ablation : Ftb_core.Study_ablation.result list -> string
+(** Ablation report: bias/filter grid, round-size sweep, and the
+    statistical-fault-injection cost baseline. *)
+
+val csv_ablation : Ftb_core.Study_ablation.result list -> (string * Ftb_util.Table.t) list
+
+val tolerance : Ftb_core.Study_tolerance.result list -> string
+(** Tolerance-threshold sensitivity sweep. *)
+
+val csv_tolerance :
+  Ftb_core.Study_tolerance.result list -> (string * Ftb_util.Table.t) list
+
+val save_all : dir:string -> (string * Ftb_util.Table.t) list -> string list
+(** Write every named table as CSV under [dir]; returns the paths. *)

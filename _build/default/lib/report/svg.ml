@@ -1,0 +1,223 @@
+module Histogram = Ftb_util.Histogram
+
+type series = { label : string; color : string; values : float array }
+
+let default_palette =
+  [| "#1f77b4"; "#ff7f0e"; "#2ca02c"; "#d62728"; "#9467bd"; "#8c564b" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Pick ~5 "nice" tick values spanning [lo, hi]. *)
+let ticks lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || hi <= lo then [ lo ]
+  else begin
+    let span = hi -. lo in
+    let raw_step = span /. 4. in
+    let magnitude = 10. ** Float.floor (log10 raw_step) in
+    let residual = raw_step /. magnitude in
+    let step =
+      magnitude *. (if residual < 1.5 then 1. else if residual < 3.5 then 2. else if residual < 7.5 then 5. else 10.)
+    in
+    let first = Float.ceil (lo /. step) *. step in
+    let rec collect t acc =
+      if t > hi +. (step /. 2.) then List.rev acc else collect (t +. step) (t :: acc)
+    in
+    collect first []
+  end
+
+let chart_header ~width ~height ~title =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n\
+     <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n\
+     <text x=\"%d\" y=\"24\" font-size=\"16\" text-anchor=\"middle\" fill=\"#222\">%s</text>\n"
+    width height width height width height (width / 2) (escape title)
+
+let margins = (64, 20, 40, 48) (* left, right, top, bottom *)
+
+let line_chart ?(width = 900) ?(height = 420) ?(x_label = "dynamic instruction group")
+    ?(y_label = "") ~title series_list =
+  let left, right, top, bottom = margins in
+  let plot_w = width - left - right and plot_h = height - top - bottom in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (chart_header ~width ~height ~title);
+  (match series_list with
+  | [] ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%d\" font-size=\"14\" text-anchor=\"middle\" \
+            fill=\"#888\">(no data)</text>\n"
+           (width / 2) (height / 2))
+  | first :: rest ->
+      let n = Array.length first.values in
+      List.iter
+        (fun s ->
+          if Array.length s.values <> n then
+            invalid_arg "Svg.line_chart: series lengths differ")
+        rest;
+      let finite =
+        List.concat_map
+          (fun s -> List.filter Float.is_finite (Array.to_list s.values))
+          series_list
+      in
+      let lo = List.fold_left Float.min infinity finite in
+      let hi = List.fold_left Float.max neg_infinity finite in
+      let lo, hi = if lo >= hi then (lo -. 1., lo +. 1.) else (lo, hi) in
+      let x_of i =
+        float_of_int left
+        +. (float_of_int i /. float_of_int (max 1 (n - 1)) *. float_of_int plot_w)
+      in
+      let y_of v =
+        float_of_int (top + plot_h) -. ((v -. lo) /. (hi -. lo) *. float_of_int plot_h)
+      in
+      (* Axes. *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n\
+            <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n"
+           left top left (top + plot_h) left (top + plot_h) (left + plot_w) (top + plot_h));
+      (* Y ticks and grid. *)
+      List.iter
+        (fun t ->
+          let y = y_of t in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n\
+                <text x=\"%d\" y=\"%.1f\" font-size=\"11\" text-anchor=\"end\" \
+                fill=\"#444\">%.3g</text>\n"
+               left y (left + plot_w) y (left - 6) (y +. 4.) t))
+        (ticks lo hi);
+      (* Polylines. *)
+      List.iteri
+        (fun k s ->
+          let color =
+            if s.color = "" then default_palette.(k mod Array.length default_palette)
+            else s.color
+          in
+          (* Split at non-finite values into contiguous segments; segments
+             with a single point render as a dot. *)
+          let segments = ref [] and current = ref [] in
+          Array.iteri
+            (fun i v ->
+              if Float.is_finite v then current := (x_of i, y_of v) :: !current
+              else begin
+                if !current <> [] then segments := List.rev !current :: !segments;
+                current := []
+              end)
+            s.values;
+          if !current <> [] then segments := List.rev !current :: !segments;
+          List.iter
+            (fun segment ->
+              match segment with
+              | [] -> ()
+              | [ (x, y) ] ->
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\" fill=\"%s\"/>\n" x y color)
+              | (x0, y0) :: points ->
+                  let body =
+                    String.concat " "
+                      (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" x y) points)
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "<path d=\"M %.1f,%.1f L %s\" fill=\"none\" stroke=\"%s\" \
+                        stroke-width=\"1.8\"/>\n"
+                       x0 y0 body color))
+            (List.rev !segments);
+          (* Legend entry. *)
+          let ly = top + 8 + (k * 18) in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+                stroke-width=\"3\"/>\n\
+                <text x=\"%d\" y=\"%d\" font-size=\"12\" fill=\"#222\">%s</text>\n"
+               (left + plot_w - 150) ly (left + plot_w - 126) ly color
+               (left + plot_w - 120) (ly + 4) (escape s.label)))
+        series_list;
+      (* Axis labels. *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%d\" y=\"%d\" font-size=\"12\" text-anchor=\"middle\" \
+            fill=\"#444\">%s</text>\n"
+           (left + (plot_w / 2)) (height - 10) (escape x_label));
+      if y_label <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"14\" y=\"%d\" font-size=\"12\" text-anchor=\"middle\" \
+              fill=\"#444\" transform=\"rotate(-90 14 %d)\">%s</text>\n"
+             (top + (plot_h / 2)) (top + (plot_h / 2)) (escape y_label)));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let histogram_chart ?(width = 900) ?(height = 420) ?(log_scale = true) ~title h =
+  let left, right, top, bottom = margins in
+  let plot_w = width - left - right and plot_h = height - top - bottom in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (chart_header ~width ~height ~title);
+  let bins = Histogram.bins h in
+  let scale count =
+    if count = 0 then 0.
+    else if log_scale then log10 (float_of_int count +. 1.)
+    else float_of_int count
+  in
+  let max_scaled = ref 1e-9 in
+  for i = 0 to bins - 1 do
+    max_scaled := Float.max !max_scaled (scale (Histogram.count h i))
+  done;
+  let bar_w = float_of_int plot_w /. float_of_int bins in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n\
+        <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n"
+       left top left (top + plot_h) left (top + plot_h) (left + plot_w) (top + plot_h));
+  for i = 0 to bins - 1 do
+    let count = Histogram.count h i in
+    if count > 0 then begin
+      let bar_h = scale count /. !max_scaled *. float_of_int plot_h in
+      let x = float_of_int left +. (float_of_int i *. bar_w) in
+      let y = float_of_int (top + plot_h) -. bar_h in
+      let lo, _ = Histogram.bin_bounds h i in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+            fill=\"%s\"><title>[%.4g, +%.4g): %d</title></rect>\n"
+           x y (Float.max 1. (bar_w -. 1.)) bar_h default_palette.(0) lo bar_w count)
+    end
+  done;
+  (* A few x labels. *)
+  List.iter
+    (fun i ->
+      if i < bins then begin
+        let lo, _ = Histogram.bin_bounds h i in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%.1f\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\" \
+              fill=\"#444\">%.3g</text>\n"
+             (float_of_int left +. ((float_of_int i +. 0.5) *. bar_w))
+             (top + plot_h + 16) lo)
+      end)
+    [ 0; bins / 4; bins / 2; 3 * bins / 4; bins - 1 ];
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" font-size=\"12\" text-anchor=\"middle\" \
+        fill=\"#444\">%d observations%s</text>\n"
+       (left + (plot_w / 2)) (height - 8) (Histogram.total h)
+       (if log_scale then " (log-scale bars)" else ""));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ~path document =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc document)

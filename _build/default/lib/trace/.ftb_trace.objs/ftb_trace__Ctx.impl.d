@@ -1,0 +1,1 @@
+lib/trace/ctx.ml: Array Fault Ftb_util Printf

@@ -1,0 +1,1 @@
+lib/trace/fault.ml: Array Format Ftb_util Int

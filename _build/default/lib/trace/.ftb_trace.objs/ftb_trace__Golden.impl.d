@@ -1,0 +1,1 @@
+lib/trace/golden.ml: Array Ctx Fault Ftb_util Printf Program Static

@@ -1,0 +1,1 @@
+lib/trace/golden.mli: Program

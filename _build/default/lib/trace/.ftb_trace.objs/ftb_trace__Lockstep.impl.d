@@ -1,0 +1,1 @@
+lib/trace/lockstep.ml: Array Ctx Effect Fault Float Ftb_util List Printf Program Runner

@@ -1,0 +1,1 @@
+lib/trace/lockstep.mli: Fault Program Runner

@@ -1,0 +1,1 @@
+lib/trace/program.ml: Ctx Ftb_util Static

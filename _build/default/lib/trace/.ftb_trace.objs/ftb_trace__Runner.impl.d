@@ -1,0 +1,1 @@
+lib/trace/runner.ml: Array Ctx Fault Float Format Ftb_util Golden Printf Program

@@ -1,0 +1,1 @@
+lib/trace/runner.mli: Fault Format Golden

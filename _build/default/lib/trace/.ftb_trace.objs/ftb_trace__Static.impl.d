@@ -1,0 +1,1 @@
+lib/trace/static.ml: Array Hashtbl List Printf

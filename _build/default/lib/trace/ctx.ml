@@ -1,0 +1,142 @@
+exception Crash of string
+
+(* Growable float/int buffers; OCaml 5.1 has no Dynarray yet. *)
+module Fbuf = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0.; len = 0 }
+
+  let push t v =
+    if t.len = Array.length t.data then begin
+      let grown = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 grown 0 t.len;
+      t.data <- grown
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let contents t = Array.sub t.data 0 t.len
+end
+
+module Ibuf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0; len = 0 }
+
+  let push t v =
+    if t.len = Array.length t.data then begin
+      let grown = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 grown 0 t.len;
+      t.data <- grown
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let contents t = Array.sub t.data 0 t.len
+end
+
+type sink = { values : Fbuf.t; statics : Ibuf.t }
+
+type mode =
+  | Golden_mode of sink
+  | Hook_mode of (index:int -> tag:int -> float -> float)
+  | Inject_mode of {
+      site : int;
+      corrupt : float -> float;
+      sink : sink option;
+      golden_statics : int array option;
+      mutable injected : (float * float) option;
+      mutable diverged_at : int option;
+    }
+
+type t = { mutable next : int; mode : mode }
+
+let fresh_sink () = { values = Fbuf.create (); statics = Ibuf.create () }
+
+let golden () = { next = 0; mode = Golden_mode (fresh_sink ()) }
+let hooked hook = { next = 0; mode = Hook_mode hook }
+
+let flip_of_fault (fault : Fault.t) v = Ftb_util.Bits.flip ~bit:fault.Fault.bit v
+
+let outcome_custom ~site ~corrupt =
+  {
+    next = 0;
+    mode =
+      Inject_mode
+        { site; corrupt; sink = None; golden_statics = None; injected = None;
+          diverged_at = None };
+  }
+
+let outcome_only ~fault =
+  outcome_custom ~site:fault.Fault.site ~corrupt:(flip_of_fault fault)
+
+let propagation ~fault ~golden_statics =
+  {
+    next = 0;
+    mode =
+      Inject_mode
+        {
+          site = fault.Fault.site;
+          corrupt = flip_of_fault fault;
+          sink = Some (fresh_sink ());
+          golden_statics = Some golden_statics;
+          injected = None;
+          diverged_at = None;
+        };
+  }
+
+let record t ~tag v =
+  let i = t.next in
+  t.next <- i + 1;
+  match t.mode with
+  | Golden_mode sink ->
+      Fbuf.push sink.values v;
+      Ibuf.push sink.statics tag;
+      v
+  | Hook_mode hook -> hook ~index:i ~tag v
+  | Inject_mode inject ->
+      let v' =
+        if i = inject.site then begin
+          let corrupted = inject.corrupt v in
+          inject.injected <- Some (v, corrupted);
+          corrupted
+        end
+        else v
+      in
+      (match inject.golden_statics with
+      | Some statics when inject.diverged_at = None ->
+          if i >= Array.length statics || statics.(i) <> tag then
+            inject.diverged_at <- Some (min i (Array.length statics))
+      | Some _ | None -> ());
+      (match inject.sink with
+      | Some sink ->
+          Fbuf.push sink.values v';
+          Ibuf.push sink.statics tag
+      | None -> ());
+      v'
+
+let guard_finite _t what v =
+  if Ftb_util.Bits.is_finite v then v
+  else raise (Crash (Printf.sprintf "non-finite value trapped at %s" what))
+
+let length t = t.next
+
+let sink_exn t name =
+  match t.mode with
+  | Golden_mode sink -> sink
+  | Inject_mode { sink = Some sink; _ } -> sink
+  | Inject_mode { sink = None; _ } | Hook_mode _ ->
+      invalid_arg (Printf.sprintf "Ctx.%s: outcome-only context has no trace" name)
+
+let trace_values t = Fbuf.contents (sink_exn t "trace_values").values
+let trace_statics t = Ibuf.contents (sink_exn t "trace_statics").statics
+
+let injection t =
+  match t.mode with
+  | Golden_mode _ | Hook_mode _ -> None
+  | Inject_mode inject -> inject.injected
+
+let diverged_at t =
+  match t.mode with
+  | Golden_mode _ | Hook_mode _ -> None
+  | Inject_mode inject -> inject.diverged_at

@@ -1,0 +1,76 @@
+(** Execution context: the instrumented program's view of the tracer.
+
+    A kernel threaded with a [Ctx.t] reports every floating-point data
+    value it produces through {!record}; each call is one *dynamic
+    instruction* (fault injection site). Depending on how the context was
+    created the call records a golden trace, silently injects a bit flip,
+    or additionally records the faulty trace for propagation analysis. *)
+
+exception Crash of string
+(** Abnormal termination of an instrumented run — the paper's Crash
+    outcome. Raised by {!guard_finite} (modelling a NaN trap or a kernel's
+    own sanity guard) or by kernels directly. *)
+
+type t
+(** A context. Single use: one context drives exactly one run. *)
+
+val golden : unit -> t
+(** A recording context for the error-free run. *)
+
+val outcome_only : fault:Fault.t -> t
+(** An injecting context that keeps no trace — the cheap mode used for the
+    bulk of a campaign where only the final output matters. *)
+
+val outcome_custom : site:int -> corrupt:(float -> float) -> t
+(** Like {!outcome_only} but with an arbitrary corruption function instead
+    of a single bit flip — the hook for alternative fault models
+    ({!Ftb_inject.Models}): multi-bit bursts, 32-bit flips, random value
+    replacement. *)
+
+val propagation : fault:Fault.t -> golden_statics:int array -> t
+(** An injecting context that also records the faulty run's values and
+    detects control-flow divergence against the golden static-tag stream.
+    Recording stops contributing to propagation data past the divergence
+    point. *)
+
+val hooked : (index:int -> tag:int -> float -> float) -> t
+(** A context that forwards every recorded value to an arbitrary hook and
+    continues with the hook's result. The building block of the lockstep
+    executor ({!Lockstep}), which uses it to suspend the run at each
+    dynamic instruction via an effect. Keeps no trace. *)
+
+val record : t -> tag:int -> float -> float
+(** [record t ~tag v] registers [v] as the value of the next dynamic
+    instruction, whose static identity is [tag]. Returns [v], or the
+    bit-flipped value if this dynamic instruction is the context's
+    injection target. Kernels must use the returned value. *)
+
+val guard_finite : t -> string -> float -> float
+(** [guard_finite t what v] raises [Crash] when [v] is NaN or infinite —
+    use at points where a real kernel would trap (pivot selection,
+    convergence tests, sqrt of a residual norm). Returns [v] unchanged
+    otherwise. This models the "NaN exception" crash of §2.1. *)
+
+val length : t -> int
+(** Number of dynamic instructions recorded so far. *)
+
+(** Results extracted after the run. *)
+
+val trace_values : t -> float array
+(** Recorded values (golden or propagation contexts); raises
+    [Invalid_argument] on an outcome-only context. *)
+
+val trace_statics : t -> int array
+(** Static tag of each recorded dynamic instruction; same restriction as
+    {!trace_values}. *)
+
+val injection : t -> (float * float) option
+(** [Some (original, corrupted)] once the injection target was reached —
+    the pre- and post-flip value at the fault site. [None] for golden
+    contexts or when the run ended before the target site. *)
+
+val diverged_at : t -> int option
+(** First dynamic index where the faulty run's static tag departed from the
+    golden run's (propagation contexts only; [None] otherwise). A faulty
+    run that executes *more* dynamic instructions than the golden run is
+    marked diverged at the golden length. *)

@@ -1,0 +1,26 @@
+type t = { site : int; bit : int }
+
+let bits = Ftb_util.Bits.bits_per_double
+
+let make ~site ~bit =
+  if site < 0 then invalid_arg "Fault.make: negative site";
+  if bit < 0 || bit >= bits then invalid_arg "Fault.make: bit out of range";
+  { site; bit }
+
+let compare a b =
+  match Int.compare a.site b.site with 0 -> Int.compare a.bit b.bit | c -> c
+
+let equal a b = a.site = b.site && a.bit = b.bit
+let pp ppf t = Format.fprintf ppf "site=%d bit=%d" t.site t.bit
+let to_string t = Format.asprintf "%a" pp t
+
+let case_count ~sites =
+  if sites < 0 then invalid_arg "Fault.case_count: negative sites";
+  sites * bits
+
+let of_case c =
+  if c < 0 then invalid_arg "Fault.of_case: negative case";
+  { site = c / bits; bit = c mod bits }
+
+let to_case t = (t.site * bits) + t.bit
+let all_for_site site = Array.init bits (fun bit -> make ~site ~bit)

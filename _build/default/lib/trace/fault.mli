@@ -1,0 +1,35 @@
+(** Fault specifications.
+
+    A fault is a single bit flip applied to the floating-point data value
+    produced by one dynamic instruction (§2.1). With [n] dynamic
+    instructions and 64 flippable bits, the complete sample space [S] has
+    [n * 64] cases; this module provides the dense indexing of that space
+    used by campaigns and boundaries. *)
+
+type t = { site : int; bit : int }
+(** Flip bit [bit] (0..63) of the value produced at dynamic instruction
+    [site] (0-based). *)
+
+val make : site:int -> bit:int -> t
+(** Checked constructor: [site >= 0], [0 <= bit < 64]. *)
+
+val compare : t -> t -> int
+(** Lexicographic by site then bit. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val case_count : sites:int -> int
+(** [case_count ~sites] is the size of the complete sample space:
+    [sites * 64]. *)
+
+val of_case : int -> t
+(** [of_case c] decodes a dense case index: site [c / 64], bit [c mod 64].
+    Raises [Invalid_argument] on negative input. *)
+
+val to_case : t -> int
+(** Inverse of {!of_case}. *)
+
+val all_for_site : int -> t array
+(** The 64 faults targeting one site, in bit order. *)

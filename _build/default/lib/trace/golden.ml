@@ -1,0 +1,38 @@
+type t = {
+  program : Program.t;
+  output : float array;
+  values : float array;
+  statics : int array;
+}
+
+let run (program : Program.t) =
+  let ctx = Ctx.golden () in
+  let output =
+    try program.Program.body ctx
+    with Ctx.Crash reason ->
+      failwith (Printf.sprintf "Golden.run: error-free run of %s crashed: %s"
+                  program.Program.name reason)
+  in
+  let values = Ctx.trace_values ctx in
+  let check what a =
+    Array.iter
+      (fun v ->
+        if not (Ftb_util.Bits.is_finite v) then
+          failwith
+            (Printf.sprintf "Golden.run: non-finite %s value in error-free run of %s" what
+               program.Program.name))
+      a
+  in
+  check "output" output;
+  check "trace" values;
+  if Array.length values = 0 then
+    failwith (Printf.sprintf "Golden.run: %s recorded no dynamic instructions"
+                program.Program.name);
+  { program; output; values; statics = Ctx.trace_statics ctx }
+
+let sites t = Array.length t.values
+let cases t = Fault.case_count ~sites:(sites t)
+let value t i = t.values.(i)
+
+let phase_of_site t i =
+  (Static.info t.program.Program.statics t.statics.(i)).Static.phase

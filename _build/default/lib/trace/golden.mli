@@ -1,0 +1,31 @@
+(** The golden (error-free) run and its recorded dynamic state.
+
+    The golden run is executed once per study; its per-instruction values
+    are the reference against which propagation errors are measured
+    (Δx_i = |x_i − x_i'|, §2.2) and its length defines the program's
+    complete sample space. *)
+
+type t = private {
+  program : Program.t;
+  output : float array;  (** final output of the error-free run *)
+  values : float array;  (** value of every dynamic instruction *)
+  statics : int array;  (** static tag of every dynamic instruction *)
+}
+
+val run : Program.t -> t
+(** Execute the program under a recording context. Raises [Failure] if the
+    error-free run crashes or produces a non-finite output or trace — that
+    would be a kernel bug, not a fault-injection outcome. *)
+
+val sites : t -> int
+(** Number of dynamic instructions — the number of fault injection sites. *)
+
+val cases : t -> int
+(** Size of the complete sample space: [sites * 64]. *)
+
+val value : t -> int -> float
+(** Golden value at a site. *)
+
+val phase_of_site : t -> int -> string
+(** Phase name of the static instruction behind a site (Figure 4 region
+    analysis). *)

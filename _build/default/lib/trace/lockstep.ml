@@ -1,0 +1,146 @@
+open Effect
+open Effect.Deep
+
+type result = {
+  fault : Fault.t;
+  outcome : Runner.outcome;
+  injected_error : float;
+  output_error : float;
+  compared : int;
+  diverged_at : int option;
+}
+
+(* One suspended execution. [resume] feeds back the value the program
+   should continue with — identity for the golden run, the bit-flipped
+   value at the fault site for the faulty run. *)
+type step =
+  | Yielded of { index : int; tag : int; value : float; resume : float -> step }
+  | Finished of float array
+  | Crashed
+
+type _ Effect.t += Record_site : int * int * float -> float Effect.t
+
+let reify (program : Program.t) =
+  let body () =
+    let ctx = Ctx.hooked (fun ~index ~tag v -> perform (Record_site (index, tag, v))) in
+    program.Program.body ctx
+  in
+  match_with body ()
+    {
+      retc = (fun output -> Finished output);
+      exnc = (fun e -> match e with Ctx.Crash _ -> Crashed | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Record_site (index, tag, value) ->
+              Some
+                (fun (k : (a, step) continuation) ->
+                  Yielded { index; tag; value; resume = (fun reply -> continue k reply) })
+          | _ -> None);
+    }
+
+let run ?on_deviation (program : Program.t) (fault : Fault.t) =
+  let injected = ref None in
+  let corrupt index value =
+    if index = fault.Fault.site then begin
+      let corrupted = Ftb_util.Bits.flip ~bit:fault.Fault.bit value in
+      injected := Some (value, corrupted);
+      corrupted
+    end
+    else value
+  in
+  let diverged_at = ref None in
+  let compared = ref 0 in
+  (* Phase 1: lockstep while both runs yield and have not diverged. *)
+  let rec lockstep golden faulty =
+    match (golden, faulty) with
+    | Yielded g, Yielded f when !diverged_at = None ->
+        let continued = corrupt f.index f.value in
+        if g.tag <> f.tag then begin
+          diverged_at := Some g.index;
+          (golden, faulty)
+        end
+        else begin
+          if f.index >= fault.Fault.site then begin
+            let deviation = abs_float (g.value -. continued) in
+            let deviation = if Float.is_nan deviation then infinity else deviation in
+            (match on_deviation with
+            | Some f -> f ~site:g.index ~deviation
+            | None -> ());
+            incr compared
+          end;
+          lockstep (g.resume g.value) (f.resume continued)
+        end
+    | (Finished _ | Crashed | Yielded _), _ -> (golden, faulty)
+  in
+  let golden, faulty = lockstep (reify program) (reify program) in
+  (* A length mismatch with identical tags so far is also divergence. *)
+  (match (golden, faulty) with
+  | Yielded g, (Finished _ | Crashed) when !diverged_at = None ->
+      diverged_at := Some g.index
+  | (Finished _ | Crashed), Yielded f when !diverged_at = None ->
+      diverged_at := Some f.index
+  | _ -> ());
+  (* Phase 2: drain both runs independently (no further comparison; the
+     faulty drain still applies the corruption defensively). *)
+  let rec drain ~faulty_side step =
+    match step with
+    | Yielded y ->
+        let continued = if faulty_side then corrupt y.index y.value else y.value in
+        drain ~faulty_side (y.resume continued)
+    | Finished output -> Some output
+    | Crashed -> None
+  in
+  let golden_output = drain ~faulty_side:false golden in
+  let faulty_output = drain ~faulty_side:true faulty in
+  let golden_output =
+    match golden_output with
+    | Some output -> output
+    | None ->
+        failwith
+          (Printf.sprintf "Lockstep.run: error-free run of %s crashed" program.Program.name)
+  in
+  let injected_error =
+    match !injected with
+    | Some (original, corrupted) ->
+        let e = abs_float (corrupted -. original) in
+        if Float.is_nan e then infinity else e
+    | None -> (
+        match faulty_output with
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Lockstep.run: fault site %d outside dynamic range"
+                 fault.Fault.site)
+        | None ->
+            (* The faulty run crashed before reaching the site — only
+               possible after divergence. *)
+            infinity)
+  in
+  let outcome, output_error =
+    match faulty_output with
+    | None -> (Runner.Crash, infinity)
+    | Some output ->
+        if Array.length output <> Array.length golden_output then (Runner.Crash, infinity)
+        else begin
+          let err = Ftb_util.Norms.linf golden_output output in
+          if err = infinity then (Runner.Crash, infinity)
+          else if err <= program.Program.tolerance then (Runner.Masked, err)
+          else (Runner.Sdc, err)
+        end
+  in
+  {
+    fault;
+    outcome;
+    injected_error;
+    output_error;
+    compared = !compared;
+    diverged_at = !diverged_at;
+  }
+
+let deviations program fault =
+  let collected = ref [] in
+  let result =
+    run ~on_deviation:(fun ~site:_ ~deviation -> collected := deviation :: !collected)
+      program fault
+  in
+  (result, Array.of_list (List.rev !collected))

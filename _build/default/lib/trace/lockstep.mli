@@ -1,0 +1,40 @@
+(** Memory-light propagation via lockstep execution (effect handlers).
+
+    The default propagation pipeline stores the golden run's full dynamic
+    state and diffs a traced faulty run against it — O(sites) memory, the
+    overhead the paper's §5 calls out and proposes to remove with
+    "computation duplication". This module implements that proposal: the
+    golden and faulty executions run as two coroutines (OCaml 5 effect
+    handlers suspend each run at every {!Ctx.record}), the scheduler
+    advances them in lockstep and streams each per-instruction deviation to
+    a consumer as it is produced. Nothing is retained but the two
+    suspended continuations: memory is O(1) in the trace length.
+
+    Results are identical to {!Runner.run_propagation} (same arithmetic,
+    same divergence rule); only the memory profile differs. *)
+
+type result = {
+  fault : Fault.t;
+  outcome : Runner.outcome;
+  injected_error : float;  (** as in {!Runner.result} *)
+  output_error : float;  (** L∞ against the golden output; [infinity] on Crash *)
+  compared : int;  (** dynamic instructions compared in lockstep *)
+  diverged_at : int option;
+      (** first index where the two runs' static tags differed, if any *)
+}
+
+val run :
+  ?on_deviation:(site:int -> deviation:float -> unit) ->
+  Program.t ->
+  Fault.t ->
+  result
+(** Execute the program twice in lockstep with the fault injected into the
+    second run. [on_deviation] receives |golden − faulty| for every
+    compared dynamic instruction from the fault site onward (0 deviations
+    included), stopping at control-flow divergence — the same coverage as
+    {!Runner.run_propagation}. Raises [Invalid_argument] when the fault
+    site is beyond the program's dynamic range. *)
+
+val deviations : Program.t -> Fault.t -> result * float array
+(** Convenience wrapper collecting the streamed deviations into an array
+    (for tests and small programs; defeats the O(1)-memory purpose). *)

@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  description : string;
+  tolerance : float;
+  statics : Static.table;
+  body : Ctx.t -> float array;
+}
+
+let make ~name ~description ~tolerance ~statics body =
+  if not (Ftb_util.Bits.is_finite tolerance) || tolerance <= 0. then
+    invalid_arg "Program.make: tolerance must be positive and finite";
+  { name; description; tolerance; statics; body }

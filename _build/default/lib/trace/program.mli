@@ -1,0 +1,23 @@
+(** Instrumented programs.
+
+    A program packages a kernel body that runs under a {!Ctx.t} together
+    with its acceptance tolerance [T] — the largest L∞ deviation of the
+    final output that the domain user still accepts (§2.1). The same body
+    runs in golden, outcome-only and propagation modes. *)
+
+type t = {
+  name : string;  (** short identifier, e.g. ["cg"] *)
+  description : string;  (** one-line description for reports *)
+  tolerance : float;  (** acceptance threshold [T] on the L∞ output error *)
+  statics : Static.table;  (** static instructions of the body *)
+  body : Ctx.t -> float array;  (** the instrumented kernel *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  tolerance:float ->
+  statics:Static.table ->
+  (Ctx.t -> float array) ->
+  t
+(** Checked constructor: [tolerance] must be positive and finite. *)

@@ -1,0 +1,91 @@
+type outcome = Masked | Sdc | Crash
+
+let outcome_equal a b =
+  match (a, b) with
+  | Masked, Masked | Sdc, Sdc | Crash, Crash -> true
+  | (Masked | Sdc | Crash), _ -> false
+
+let outcome_to_string = function Masked -> "masked" | Sdc -> "sdc" | Crash -> "crash"
+let pp_outcome ppf o = Format.pp_print_string ppf (outcome_to_string o)
+
+type result = {
+  fault : Fault.t;
+  outcome : outcome;
+  injected_error : float;
+  output_error : float;
+}
+
+type propagation = {
+  result : result;
+  start : int;
+  stop : int;
+  deviations : float array;
+}
+
+let check_fault (golden : Golden.t) (fault : Fault.t) =
+  let sites = Golden.sites golden in
+  if fault.Fault.site >= sites then
+    invalid_arg
+      (Printf.sprintf "Runner: fault site %d outside dynamic range [0,%d)" fault.Fault.site
+         sites)
+
+let injected_error_of ctx =
+  match Ctx.injection ctx with
+  | None -> (* run crashed before reaching the target site *) infinity
+  | Some (original, corrupted) ->
+      let err = abs_float (corrupted -. original) in
+      if Float.is_nan err then infinity else err
+
+let classify (golden : Golden.t) output =
+  let tolerance = golden.Golden.program.Program.tolerance in
+  if Array.length output <> Array.length golden.Golden.output then (Crash, infinity)
+  else begin
+    let err = Ftb_util.Norms.linf golden.Golden.output output in
+    if err = infinity then (Crash, infinity)
+    else if err <= tolerance then (Masked, err)
+    else (Sdc, err)
+  end
+
+let finish_outcome (golden : Golden.t) fault ctx =
+  match golden.Golden.program.Program.body ctx with
+  | output ->
+      let outcome, output_error = classify golden output in
+      { fault; outcome; injected_error = injected_error_of ctx; output_error }
+  | exception Ctx.Crash _ ->
+      { fault; outcome = Crash; injected_error = injected_error_of ctx; output_error = infinity }
+
+let run_outcome (golden : Golden.t) fault =
+  check_fault golden fault;
+  finish_outcome golden fault (Ctx.outcome_only ~fault)
+
+let run_outcome_custom (golden : Golden.t) ~site ~corrupt =
+  let fault = Fault.make ~site ~bit:0 in
+  check_fault golden fault;
+  finish_outcome golden fault (Ctx.outcome_custom ~site ~corrupt)
+
+let run_propagation (golden : Golden.t) fault =
+  check_fault golden fault;
+  let ctx = Ctx.propagation ~fault ~golden_statics:golden.Golden.statics in
+  let outcome, output_error =
+    match golden.Golden.program.Program.body ctx with
+    | output -> classify golden output
+    | exception Ctx.Crash _ -> (Crash, infinity)
+  in
+  let result =
+    { fault; outcome; injected_error = injected_error_of ctx; output_error }
+  in
+  let faulty = Ctx.trace_values ctx in
+  let golden_len = Golden.sites golden in
+  let start = fault.Fault.site in
+  let stop =
+    let bound = min golden_len (Array.length faulty) in
+    match Ctx.diverged_at ctx with Some d -> min d bound | None -> bound
+  in
+  let stop = max start stop in
+  let deviations =
+    Array.init (stop - start) (fun k ->
+        let j = start + k in
+        let d = abs_float (golden.Golden.values.(j) -. faulty.(j)) in
+        if Float.is_nan d then infinity else d)
+  in
+  { result; start; stop; deviations }

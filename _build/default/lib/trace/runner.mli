@@ -1,0 +1,55 @@
+(** Single fault-injection experiments.
+
+    Two execution modes mirror the cost split of the method: an
+    *outcome-only* run (cheap — no tracing) classifies one (site, bit) case
+    as Masked / SDC / Crash; a *propagation* run additionally records the
+    faulty trace and diffs it against the golden run, producing the
+    per-instruction perturbations Δx that feed Algorithm 1. *)
+
+type outcome = Masked | Sdc | Crash
+
+val outcome_equal : outcome -> outcome -> bool
+val outcome_to_string : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type result = {
+  fault : Fault.t;
+  outcome : outcome;
+  injected_error : float;
+      (** |corrupted − original| at the fault site; [infinity] when the flip
+          produced a non-finite value. *)
+  output_error : float;
+      (** L∞ distance of the final output from the golden output;
+          [infinity] on Crash. *)
+}
+
+type propagation = {
+  result : result;
+  start : int;  (** first covered site — the fault site itself *)
+  stop : int;
+      (** exclusive end of coverage: the control-flow divergence point, the
+          faulty run's own end (on crash), or the golden length *)
+  deviations : float array;
+      (** [deviations.(j - start)] = |golden_j − faulty_j| for
+          [start <= j < stop] *)
+}
+
+val run_outcome : Golden.t -> Fault.t -> result
+(** Execute one injection and classify it. Classification: a raised
+    [Ctx.Crash] or a non-finite output is Crash; otherwise Masked iff the
+    L∞ output error is within the program's tolerance, else SDC. Raises
+    [Invalid_argument] when the fault site is outside the program's dynamic
+    range. *)
+
+val run_outcome_custom :
+  Golden.t -> site:int -> corrupt:(float -> float) -> result
+(** Like {!run_outcome} but with an arbitrary corruption function applied
+    to the value produced at [site] — used by alternative fault models.
+    The returned [fault] field carries [site] with bit 0 as a placeholder
+    (custom corruptions have no single bit). *)
+
+val run_propagation : Golden.t -> Fault.t -> propagation
+(** Execute one injection with tracing and compute the propagated
+    per-instruction deviations. Coverage ends at the first control-flow
+    divergence, so deviations are only reported where the faulty run
+    executed the same instruction sequence as the golden run (§2.2). *)

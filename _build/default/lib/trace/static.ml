@@ -1,0 +1,44 @@
+type info = { phase : string; label : string }
+
+type table = {
+  by_key : (string * string, int) Hashtbl.t;
+  mutable infos : info array;
+  mutable len : int;
+}
+
+let create_table () = { by_key = Hashtbl.create 64; infos = [||]; len = 0 }
+
+let register table ~phase ~label =
+  match Hashtbl.find_opt table.by_key (phase, label) with
+  | Some tag -> tag
+  | None ->
+      let tag = table.len in
+      if tag >= Array.length table.infos then begin
+        let capacity = max 8 (2 * Array.length table.infos) in
+        let grown = Array.make capacity { phase = ""; label = "" } in
+        Array.blit table.infos 0 grown 0 table.len;
+        table.infos <- grown
+      end;
+      table.infos.(tag) <- { phase; label };
+      table.len <- table.len + 1;
+      Hashtbl.add table.by_key (phase, label) tag;
+      tag
+
+let info table tag =
+  if tag < 0 || tag >= table.len then
+    invalid_arg (Printf.sprintf "Static.info: unknown tag %d" tag);
+  table.infos.(tag)
+
+let size table = table.len
+
+let phases table =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  for i = 0 to table.len - 1 do
+    let p = table.infos.(i).phase in
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      order := p :: !order
+    end
+  done;
+  List.rev !order

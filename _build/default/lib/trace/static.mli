@@ -1,0 +1,30 @@
+(** Static instruction tags.
+
+    Each dynamic instruction carries the identity of the static source
+    instruction that produced it: a (phase, label) pair interned to a dense
+    integer tag. Tags serve two purposes: control-flow divergence detection
+    (a faulty run whose tag stream departs from the golden run's has taken a
+    different path, §2.2) and the per-region analyses of Figure 4. *)
+
+type table
+(** An intern table of static instructions, owned by one program. *)
+
+type info = { phase : string; label : string }
+(** Human-readable identity of a static instruction. [phase] names a kernel
+    stage (e.g. ["cg.spmv"]); [label] the specific statement. *)
+
+val create_table : unit -> table
+
+val register : table -> phase:string -> label:string -> int
+(** [register table ~phase ~label] interns the static instruction and
+    returns its dense tag. Registering the same (phase, label) twice
+    returns the same tag. *)
+
+val info : table -> int -> info
+(** Look up a tag; raises [Invalid_argument] on unknown tags. *)
+
+val size : table -> int
+(** Number of distinct static instructions registered so far. *)
+
+val phases : table -> string list
+(** Distinct phase names, in first-registration order. *)

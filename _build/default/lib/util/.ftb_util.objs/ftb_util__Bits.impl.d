@@ -1,0 +1,1 @@
+lib/util/bits.ml: Array Float Int32 Int64 Printf

@@ -1,0 +1,1 @@
+lib/util/norms.ml: Array Float Printf

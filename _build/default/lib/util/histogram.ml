@@ -1,0 +1,67 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+  }
+
+let add t x =
+  if Float.is_nan x then invalid_arg "Histogram.add: NaN observation";
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = if i >= Array.length t.counts then Array.length t.counts - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_all t xs = Array.iter (add t) xs
+
+let of_array ~lo ~hi ~bins xs =
+  let t = create ~lo ~hi ~bins in
+  add_all t xs;
+  t
+
+let bins t = Array.length t.counts
+let total t = t.total
+let count t i = t.counts.(i)
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let fraction t i = if t.total = 0 then 0. else float_of_int t.counts.(i) /. float_of_int t.total
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun i count ->
+      let lo, hi = bin_bounds t i in
+      acc := f !acc ~lo ~hi ~count)
+    t.counts;
+  !acc
+
+let mode_bin t =
+  if Array.length t.counts = 0 then invalid_arg "Histogram.mode_bin: no bins";
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best

@@ -1,0 +1,41 @@
+(** Fixed-width histograms (Figure 3's ΔSDC summaries) with optional
+    log-scale counts when rendered. *)
+
+type t
+(** A histogram over a closed interval with equal-width bins. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] builds an empty histogram with [bins] equal bins
+    over [\[lo, hi\]]. Values below [lo] land in an underflow bucket; values
+    at or above [hi] in an overflow bucket. Raises [Invalid_argument] when
+    [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Record one observation. NaN observations raise [Invalid_argument]. *)
+
+val add_all : t -> float array -> unit
+(** Record every observation of an array. *)
+
+val of_array : lo:float -> hi:float -> bins:int -> float array -> t
+(** Build and fill in one step. *)
+
+val bins : t -> int
+val total : t -> int
+val count : t -> int -> int
+(** [count t i] is the population of bin [i] (0-based). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [bin_bounds t i] is the [\[lo, hi)] interval of bin [i]. *)
+
+val fraction : t -> int -> float
+(** [count t i / total t]; [0.] when empty. *)
+
+val fold : t -> init:'a -> f:('a -> lo:float -> hi:float -> count:int -> 'a) -> 'a
+(** Left fold over in-range bins. *)
+
+val mode_bin : t -> int
+(** Index of the most populated in-range bin (ties broken low); raises
+    [Invalid_argument] on a histogram with no bins. *)

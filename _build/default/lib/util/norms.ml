@@ -1,0 +1,45 @@
+let check_lengths a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg
+      (Printf.sprintf "Norms.%s: length mismatch (%d vs %d)" name (Array.length a)
+         (Array.length b))
+
+(* Fold over pairwise |a_i - b_i|, short-circuiting semantics are not needed
+   because non-finite contributions saturate the accumulator to infinity. *)
+let fold_diff a b ~init ~f =
+  let acc = ref init in
+  for i = 0 to Array.length a - 1 do
+    let d = abs_float (a.(i) -. b.(i)) in
+    if Float.is_nan d then acc := infinity else acc := f !acc d
+  done;
+  !acc
+
+let linf a b =
+  check_lengths a b "linf";
+  fold_diff a b ~init:0. ~f:Float.max
+
+let l1 a b =
+  check_lengths a b "l1";
+  fold_diff a b ~init:0. ~f:( +. )
+
+let l2 a b =
+  check_lengths a b "l2";
+  let sumsq = fold_diff a b ~init:0. ~f:(fun acc d -> acc +. (d *. d)) in
+  sqrt sumsq
+
+let rel_linf golden b =
+  check_lengths golden b "rel_linf";
+  let acc = ref 0. in
+  for i = 0 to Array.length golden - 1 do
+    let denom = Float.max (abs_float golden.(i)) 1. in
+    let d = abs_float (golden.(i) -. b.(i)) /. denom in
+    if Float.is_nan d then acc := infinity else acc := Float.max !acc d
+  done;
+  !acc
+
+let max_abs a =
+  Array.fold_left
+    (fun acc x ->
+      let v = abs_float x in
+      if Float.is_nan v then infinity else Float.max acc v)
+    0. a

@@ -1,0 +1,27 @@
+(** Output-difference norms.
+
+    The paper quantifies the final-output error of a fault-injected run with
+    the L∞ norm of the difference against the golden run (§2.1), and uses an
+    L2-based argument in the §5 monotonicity analysis. All norms reject
+    length mismatches and treat non-finite differences as [infinity] so that
+    NaN outputs can never be classified as Masked. *)
+
+val linf : float array -> float array -> float
+(** [linf a b] is [max_i |a_i - b_i|]; [infinity] when any pairwise
+    difference is NaN or infinite. Raises [Invalid_argument] on length
+    mismatch. *)
+
+val l2 : float array -> float array -> float
+(** Euclidean norm of the difference, same conventions as {!linf}. *)
+
+val l1 : float array -> float array -> float
+(** Sum of absolute differences, same conventions as {!linf}. *)
+
+val rel_linf : float array -> float array -> float
+(** [rel_linf golden b] is [max_i |golden_i - b_i| / max(|golden_i|, 1)] —
+    an L∞ norm relativised against the golden output with an absolute floor
+    of 1 to avoid division blowup near zero. *)
+
+val max_abs : float array -> float
+(** Largest absolute entry; [infinity] when the array contains a non-finite
+    value; [0.] on empty input. *)

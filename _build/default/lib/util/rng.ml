@@ -1,0 +1,76 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix seed }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 t) 1 in
+    let candidate = Int64.rem raw n64 in
+    if Int64.sub raw candidate > Int64.sub (Int64.sub Int64.max_int n64) 1L then draw ()
+    else Int64.to_int candidate
+  in
+  draw ()
+
+let float t x =
+  (* 53 random mantissa bits -> uniform in [0,1). *)
+  let raw = Int64.shift_right_logical (next_int64 t) 11 in
+  let unit = Int64.to_float raw *. 0x1.0p-53 in
+  unit *. x
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~n ~k =
+  if k < 0 || n < 0 then invalid_arg "Rng.sample_without_replacement: negative size";
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  if 4 * k >= n then begin
+    (* Dense draw: partial Fisher-Yates over the full index range. *)
+    let all = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = i + int t (n - i) in
+      let tmp = all.(i) in
+      all.(i) <- all.(j);
+      all.(j) <- tmp
+    done;
+    Array.sub all 0 k
+  end else begin
+    (* Sparse draw: rejection against a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let candidate = int t n in
+      if not (Hashtbl.mem seen candidate) then begin
+        Hashtbl.add seen candidate ();
+        out.(!filled) <- candidate;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,46 @@
+let uniform rng ~n ~k = Rng.sample_without_replacement rng ~n ~k
+
+let weighted_without_replacement rng ~weights ~k =
+  let n = Array.length weights in
+  if k < 0 then invalid_arg "Sampling.weighted_without_replacement: negative k";
+  if k > n then invalid_arg "Sampling.weighted_without_replacement: k > n";
+  let positive = ref 0 in
+  Array.iter
+    (fun w ->
+      if Float.is_nan w || w < 0. then
+        invalid_arg "Sampling.weighted_without_replacement: invalid weight";
+      if w > 0. then incr positive)
+    weights;
+  if !positive < k then
+    invalid_arg "Sampling.weighted_without_replacement: not enough positive weights";
+  (* Efraimidis-Spirakis: the k items with the smallest -ln(u)/w keys form a
+     weighted sample without replacement. *)
+  let keys =
+    Array.mapi
+      (fun i w ->
+        if w = 0. then (infinity, i)
+        else begin
+          let u = 1. -. Rng.float rng 1. (* in (0,1] so ln is finite *) in
+          (-.log u /. w, i)
+        end)
+      weights
+  in
+  Array.sort compare keys;
+  Array.init k (fun j -> snd keys.(j))
+
+let inverse_information_weights ~info =
+  Array.map
+    (fun s ->
+      if Float.is_nan s || s < 0. then
+        invalid_arg "Sampling.inverse_information_weights: invalid info count";
+      1. /. Float.max s 1.)
+    info
+
+let stratified_indices ~n ~strata =
+  if n < 0 then invalid_arg "Sampling.stratified_indices: negative n";
+  if strata <= 0 then invalid_arg "Sampling.stratified_indices: strata must be positive";
+  let strata = min strata (max n 1) in
+  Array.init strata (fun s ->
+      let start = s * n / strata in
+      let stop = (s + 1) * n / strata in
+      (start, stop))

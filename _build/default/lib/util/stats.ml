@@ -1,0 +1,90 @@
+type summary = { n : int; mean : float; std : float; min : float; max : float }
+
+let check_no_nan xs =
+  Array.iter (fun x -> if Float.is_nan x then invalid_arg "Stats: NaN observation") xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let std xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let summarize xs =
+  check_no_nan xs;
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = nan; std = 0.; min = nan; max = nan }
+  else
+    {
+      n;
+      mean = mean xs;
+      std = std xs;
+      min = Array.fold_left Float.min xs.(0) xs;
+      max = Array.fold_left Float.max xs.(0) xs;
+    }
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+  end
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    if Float.is_nan x then invalid_arg "Stats.Online.add: NaN observation";
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.mean
+  let std t = if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let summary t =
+    if t.count = 0 then { n = 0; mean = nan; std = 0.; min = nan; max = nan }
+    else { n = t.count; mean = t.mean; std = std t; min = t.min; max = t.max }
+end
+
+let format_mean_std ?(percent = true) xs =
+  let scale = if percent then 100. else 1. in
+  let suffix = if percent then "%" else "" in
+  let m = mean xs *. scale and s = std xs *. scale in
+  Printf.sprintf "%.2f%s ± %.2f%s" m suffix s suffix

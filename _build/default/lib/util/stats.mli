@@ -1,0 +1,51 @@
+(** Small descriptive-statistics toolkit used by the studies.
+
+    All results in the paper are reported as mean ± standard deviation over
+    repeated trials; this module provides exactly those aggregates plus a
+    streaming (Welford) accumulator for long campaigns. *)
+
+type summary = {
+  n : int;          (** number of observations *)
+  mean : float;     (** arithmetic mean; [nan] when [n = 0] *)
+  std : float;      (** sample standard deviation (n-1); 0 when [n < 2] *)
+  min : float;      (** minimum; [nan] when [n = 0] *)
+  max : float;      (** maximum; [nan] when [n = 0] *)
+}
+(** Summary of a sample. *)
+
+val summarize : float array -> summary
+(** Summary of an array of observations. NaN observations are rejected with
+    [Invalid_argument] — a NaN reaching statistics is a bug upstream. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on empty input. *)
+
+val std : float array -> float
+(** Sample standard deviation (Bessel-corrected); [0.] when fewer than two
+    observations. *)
+
+val median : float array -> float
+(** Median (average of central pair for even sizes); [nan] on empty. Does
+    not mutate its argument. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] for [p] in [\[0,100\]], linear interpolation between
+    closest ranks. Raises [Invalid_argument] on empty input or [p] outside
+    the range. *)
+
+(** Streaming accumulator (Welford's online algorithm). *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val std : t -> float
+  val summary : t -> summary
+end
+
+val format_mean_std : ?percent:bool -> float array -> string
+(** ["12.34% ± 0.56%"]-style rendering of a set of trial results. With
+    [~percent:true] (default) values are multiplied by 100 and suffixed
+    with [%]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ftb_trace QCheck_alcotest

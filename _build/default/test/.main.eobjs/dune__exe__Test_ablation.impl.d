@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Array Ftb_core Ftb_kernels Ftb_report Lazy List String

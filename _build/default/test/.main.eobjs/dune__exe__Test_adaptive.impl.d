@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Ftb_core Ftb_inject Ftb_trace Ftb_util Helpers Int Lazy List Printf Set

@@ -1,0 +1,1 @@
+test/test_ascii.ml: Alcotest Array Ftb_report Ftb_util List String

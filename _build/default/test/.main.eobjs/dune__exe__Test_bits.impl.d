@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Array Float Ftb_util Helpers Int64 List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_boundary.ml: Alcotest Array Ftb_core Ftb_inject Ftb_trace Gen Helpers Lazy QCheck

@@ -1,0 +1,1 @@
+test/test_cg.ml: Alcotest Ftb_kernels Ftb_trace Ftb_util Helpers List Printf

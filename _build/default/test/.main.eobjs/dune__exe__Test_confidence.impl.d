@@ -1,0 +1,1 @@
+test/test_confidence.ml: Alcotest Ftb_core Ftb_util Helpers Printf

@@ -1,0 +1,1 @@
+test/test_crash_paths.ml: Alcotest Ftb_kernels Ftb_trace Ftb_util Fun Helpers List Printf

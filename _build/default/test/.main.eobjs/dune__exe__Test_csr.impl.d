@@ -1,0 +1,1 @@
+test/test_csr.ml: Alcotest Array Ftb_kernels Ftb_util Helpers QCheck

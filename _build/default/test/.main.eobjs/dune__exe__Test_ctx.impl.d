@@ -1,0 +1,1 @@
+test/test_ctx.ml: Alcotest Array Ftb_trace Ftb_util Helpers

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Ftb_trace Helpers QCheck

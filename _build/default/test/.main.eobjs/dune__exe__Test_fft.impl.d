@@ -1,0 +1,1 @@
+test/test_fft.ml: Alcotest Array Ftb_kernels Ftb_trace Ftb_util Helpers List Printf QCheck

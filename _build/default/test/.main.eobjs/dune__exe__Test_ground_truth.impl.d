@@ -1,0 +1,1 @@
+test/test_ground_truth.ml: Alcotest Array Ftb_inject Ftb_trace Ftb_util Helpers Lazy Printf

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Ftb_util Helpers List QCheck

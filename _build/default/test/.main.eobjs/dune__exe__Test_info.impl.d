@@ -1,0 +1,1 @@
+test/test_info.ml: Alcotest Array Ftb_core Ftb_inject Ftb_trace Helpers Lazy

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Ftb_core Ftb_inject Ftb_kernels Ftb_trace Ftb_util Helpers Lazy List Printf String Sys Unix

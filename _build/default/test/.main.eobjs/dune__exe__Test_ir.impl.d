@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ftb_core Ftb_inject Ftb_ir Ftb_trace Ftb_util Helpers List Printf

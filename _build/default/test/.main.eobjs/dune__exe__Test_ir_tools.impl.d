@@ -1,0 +1,1 @@
+test/test_ir_tools.ml: Alcotest Ftb_ir List Printf String

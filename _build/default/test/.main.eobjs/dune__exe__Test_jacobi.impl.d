@@ -1,0 +1,1 @@
+test/test_jacobi.ml: Alcotest Ftb_core Ftb_kernels Ftb_trace Ftb_util Helpers Printf

@@ -1,0 +1,1 @@
+test/test_lockstep.ml: Alcotest Array Ftb_kernels Ftb_trace Helpers Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Ftb_core Ftb_inject Ftb_trace Ftb_util Fun Helpers Lazy

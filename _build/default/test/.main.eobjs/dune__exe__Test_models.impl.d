@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Ftb_inject Ftb_trace Ftb_util Helpers Int64 Lazy List Printf

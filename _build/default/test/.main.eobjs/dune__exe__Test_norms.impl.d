@@ -1,0 +1,1 @@
+test/test_norms.ml: Alcotest Array Ftb_util Gen Helpers QCheck

@@ -1,0 +1,1 @@
+test/test_overhead.ml: Alcotest Float Ftb_core Ftb_kernels Lazy List String

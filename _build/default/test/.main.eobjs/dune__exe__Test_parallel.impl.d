@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Ftb_inject Ftb_kernels Ftb_trace Helpers Lazy Printf

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Filename Ftb_inject Ftb_trace Ftb_util Helpers Int64 Lazy Sys

@@ -1,0 +1,1 @@
+test/test_poisson.ml: Alcotest Array Ftb_kernels Helpers

@@ -1,0 +1,1 @@
+test/test_propagation_view.ml: Alcotest Array Ftb_inject Ftb_report Ftb_trace Helpers Lazy List String

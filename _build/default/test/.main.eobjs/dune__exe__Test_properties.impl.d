@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Filename Float Ftb_core Ftb_inject Ftb_trace Gen Helpers Lazy List QCheck Sys

@@ -1,0 +1,1 @@
+test/test_protection.ml: Alcotest Array Ftb_core Ftb_inject Ftb_trace Helpers Int Lazy Printf Set

@@ -1,0 +1,1 @@
+test/test_regions.ml: Alcotest Array Ftb_core Ftb_trace Helpers Lazy List

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Filename Ftb_core Ftb_report Ftb_util Helpers Lazy List String Sys

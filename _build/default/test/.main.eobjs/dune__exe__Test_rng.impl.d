@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Ftb_util Fun Hashtbl Helpers Int Int64 QCheck Set

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Float Ftb_trace Ftb_util Helpers Lazy Printf QCheck

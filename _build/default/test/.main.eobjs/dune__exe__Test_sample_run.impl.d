@@ -1,0 +1,1 @@
+test/test_sample_run.ml: Alcotest Array Float Ftb_inject Ftb_trace Ftb_util Fun Helpers Int Lazy Set

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Ftb_util Helpers Int Printf QCheck Set

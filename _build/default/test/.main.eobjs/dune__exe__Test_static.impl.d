@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Ftb_trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Ftb_util Gen Helpers QCheck

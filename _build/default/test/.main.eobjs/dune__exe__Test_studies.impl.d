@@ -1,0 +1,1 @@
+test/test_studies.ml: Alcotest Array Ftb_core Ftb_inject Ftb_kernels Ftb_trace Ftb_util Helpers Lazy Printf

@@ -1,0 +1,1 @@
+test/test_suite_registry.ml: Alcotest Ftb_kernels Ftb_trace Lazy List String

@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest Array Filename Ftb_report Ftb_util List String Sys

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Filename Ftb_util List Printf String Sys

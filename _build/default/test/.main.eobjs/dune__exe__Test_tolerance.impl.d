@@ -1,0 +1,1 @@
+test/test_tolerance.ml: Alcotest Array Ftb_core Ftb_kernels Ftb_report Helpers Lazy List String

@@ -1,0 +1,84 @@
+(* Shared test fixtures: tiny instrumented programs with hand-checkable
+   error behaviour, and float assertion helpers. *)
+
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+module Program = Ftb_trace.Program
+
+let close ?(eps = 1e-9) () = Alcotest.float eps
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+(* Linear chain: records the 4 inputs and 3 partial sums; output is the
+   total. An error of magnitude e injected at any site shifts the output by
+   exactly e, so every site's true fault-tolerance threshold is the
+   program's tolerance. 7 dynamic instructions. *)
+let linear_inputs = [| 1.0; 2.0; 3.0; 4.0 |]
+
+let linear_program ?(tolerance = 0.5) () =
+  let statics = Static.create_table () in
+  let tag_load = Static.register statics ~phase:"linear.load" ~label:"x[i]" in
+  let tag_sum = Static.register statics ~phase:"linear.sum" ~label:"s += x[i]" in
+  let body ctx =
+    let x = Array.map (fun v -> Ctx.record ctx ~tag:tag_load v) linear_inputs in
+    let s1 = Ctx.record ctx ~tag:tag_sum (x.(0) +. x.(1)) in
+    let s2 = Ctx.record ctx ~tag:tag_sum (s1 +. x.(2)) in
+    let s3 = Ctx.record ctx ~tag:tag_sum (s2 +. x.(3)) in
+    [| s3 |]
+  in
+  Program.make ~name:"linear" ~description:"4-term sum, unit error gain" ~tolerance
+    ~statics body
+
+let linear_sites = 7
+
+(* Non-monotonic toy: output is y = x*(x-2)/2 evaluated at x = 2, so the
+   golden output is 0 and an error d at x produces |d*(2+d)|/2 at the
+   output. Bit flips of 2.0 include x' ~ 0 (top exponent bit cleared,
+   injected error ~2, output error ~0: masked) while the top mantissa bit
+   gives x' = 2.5 (injected error 0.5, output error 0.625: SDC) — a site
+   where a larger error is masked while a smaller one corrupts. *)
+let nonmonotonic_program ?(tolerance = 0.5) () =
+  let statics = Static.create_table () in
+  let tag_x = Static.register statics ~phase:"nm.load" ~label:"x" in
+  let tag_y = Static.register statics ~phase:"nm.eval" ~label:"y = x*(x-2)/2" in
+  let body ctx =
+    let x = Ctx.record ctx ~tag:tag_x 2. in
+    let y = Ctx.record ctx ~tag:tag_y (x *. (x -. 2.) /. 2.) in
+    [| y |]
+  in
+  Program.make ~name:"nonmonotonic" ~description:"x*(x-2)/2 at x=2" ~tolerance ~statics body
+
+(* Branching toy: control flow depends on the recorded value, so a large
+   injected error makes the faulty run execute a different static
+   instruction sequence (divergence). *)
+let branching_program ?(tolerance = 10.) () =
+  let statics = Static.create_table () in
+  let tag_x = Static.register statics ~phase:"br.load" ~label:"x" in
+  let tag_small = Static.register statics ~phase:"br.small" ~label:"y = x + 1" in
+  let tag_big = Static.register statics ~phase:"br.big" ~label:"y = x * 2" in
+  let tag_out = Static.register statics ~phase:"br.out" ~label:"out" in
+  let body ctx =
+    let x = Ctx.record ctx ~tag:tag_x 1. in
+    let y =
+      if x < 100. then Ctx.record ctx ~tag:tag_small (x +. 1.)
+      else Ctx.record ctx ~tag:tag_big (x *. 2.)
+    in
+    [| Ctx.record ctx ~tag:tag_out y |]
+  in
+  Program.make ~name:"branching" ~description:"data-dependent branch" ~tolerance ~statics
+    body
+
+(* A crashing toy: guards its single value, so any flip to a non-finite
+   value crashes. *)
+let guarded_program ?(tolerance = 0.5) () =
+  let statics = Static.create_table () in
+  let tag_x = Static.register statics ~phase:"g.load" ~label:"x" in
+  let body ctx =
+    let x = Ctx.record ctx ~tag:tag_x 1.5 in
+    let x = Ctx.guard_finite ctx "g.check" x in
+    [| x |]
+  in
+  Program.make ~name:"guarded" ~description:"guarded single value" ~tolerance ~statics body
+
+let qcheck_to_alcotest = QCheck_alcotest.to_alcotest

@@ -1,0 +1,117 @@
+module Adaptive = Ftb_core.Adaptive
+module Boundary = Ftb_core.Boundary
+module Predict = Ftb_core.Predict
+module Ground_truth = Ftb_inject.Ground_truth
+module Golden = Ftb_trace.Golden
+module Rng = Ftb_util.Rng
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+
+let small_config =
+  { Adaptive.default_config with Adaptive.round_fraction = 0.02; max_rounds = 50 }
+
+let test_runs_and_terminates () =
+  let g = Lazy.force golden in
+  let r = Adaptive.run ~config:small_config (Rng.create ~seed:1) g in
+  Alcotest.(check bool) "some samples drawn" true (Array.length r.Adaptive.samples > 0);
+  Alcotest.(check bool) "fraction in (0,1]" true
+    (r.Adaptive.sample_fraction > 0. && r.Adaptive.sample_fraction <= 1.);
+  Alcotest.(check bool) "rounds positive" true (r.Adaptive.rounds > 0)
+
+let test_no_duplicate_samples () =
+  let g = Lazy.force golden in
+  let r = Adaptive.run ~config:small_config (Rng.create ~seed:2) g in
+  let module S = Set.Make (Int) in
+  let cases =
+    Array.to_list (Array.map (fun s -> Ftb_trace.Fault.to_case s.Ftb_inject.Sample_run.fault) r.Adaptive.samples)
+  in
+  Alcotest.(check int) "all samples distinct" (List.length cases)
+    (S.cardinal (S.of_list cases))
+
+let test_sample_count_matches_fraction () =
+  let g = Lazy.force golden in
+  let r = Adaptive.run ~config:small_config (Rng.create ~seed:3) g in
+  Helpers.check_close ~eps:1e-12 "fraction consistent with count"
+    (float_of_int (Array.length r.Adaptive.samples) /. float_of_int (Golden.cases g))
+    r.Adaptive.sample_fraction
+
+let test_prediction_close_to_truth_on_monotone_program () =
+  let g = Lazy.force golden in
+  let t = Ground_truth.run g in
+  let r = Adaptive.run ~config:small_config (Rng.create ~seed:4) g in
+  let obs = Predict.observations_of_samples r.Adaptive.samples in
+  let predicted =
+    Predict.overall_sdc_ratio ~policy:Predict.Observed_all ~observations:obs
+      r.Adaptive.boundary g
+  in
+  let truth = Ground_truth.sdc_ratio t in
+  Alcotest.(check bool)
+    (Printf.sprintf "prediction %.3f within 0.1 of truth %.3f" predicted truth)
+    true
+    (abs_float (predicted -. truth) < 0.1)
+
+let test_uses_fewer_samples_than_exhaustive () =
+  let g = Lazy.force golden in
+  let r = Adaptive.run ~config:small_config (Rng.create ~seed:5) g in
+  Alcotest.(check bool) "adaptive needs a strict subset of the space" true
+    (r.Adaptive.sample_fraction < 1.)
+
+let test_invalid_configs () =
+  let g = Lazy.force golden in
+  let bad fraction = { small_config with Adaptive.round_fraction = fraction } in
+  (match Adaptive.run ~config:(bad 0.) (Rng.create ~seed:6) g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "round_fraction 0 accepted");
+  (match Adaptive.run ~config:(bad 1.5) (Rng.create ~seed:6) g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "round_fraction > 1 accepted");
+  match
+    Adaptive.run ~config:{ small_config with Adaptive.max_rounds = 0 } (Rng.create ~seed:6) g
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_rounds 0 accepted"
+
+let test_on_round_callback () =
+  let g = Lazy.force golden in
+  let calls = ref 0 in
+  let r =
+    Adaptive.run ~config:small_config
+      ~on_round:(fun ~round:_ ~drawn ~masked ~sdc ~crash ->
+        incr calls;
+        Alcotest.(check int) "round tallies partition the draw" drawn (masked + sdc + crash))
+      (Rng.create ~seed:7) g
+  in
+  Alcotest.(check int) "one callback per round" r.Adaptive.rounds !calls
+
+let test_unbiased_variant_runs () =
+  let g = Lazy.force golden in
+  let r =
+    Adaptive.run
+      ~config:{ small_config with Adaptive.bias = false; filter = false }
+      (Rng.create ~seed:8) g
+  in
+  Alcotest.(check bool) "uniform candidate selection also terminates" true
+    (r.Adaptive.rounds > 0)
+
+let test_deterministic_given_seed () =
+  let g = Lazy.force golden in
+  let a = Adaptive.run ~config:small_config (Rng.create ~seed:9) g in
+  let b = Adaptive.run ~config:small_config (Rng.create ~seed:9) g in
+  Alcotest.(check int) "same sample count" (Array.length a.Adaptive.samples)
+    (Array.length b.Adaptive.samples);
+  Alcotest.(check int) "same rounds" a.Adaptive.rounds b.Adaptive.rounds
+
+let suite =
+  [
+    Alcotest.test_case "runs and terminates" `Quick test_runs_and_terminates;
+    Alcotest.test_case "no duplicate samples" `Quick test_no_duplicate_samples;
+    Alcotest.test_case "fraction consistent" `Quick test_sample_count_matches_fraction;
+    Alcotest.test_case "prediction close to truth" `Quick
+      test_prediction_close_to_truth_on_monotone_program;
+    Alcotest.test_case "fewer samples than exhaustive" `Quick
+      test_uses_fewer_samples_than_exhaustive;
+    Alcotest.test_case "invalid configs" `Quick test_invalid_configs;
+    Alcotest.test_case "on_round callback" `Quick test_on_round_callback;
+    Alcotest.test_case "unbiased variant" `Quick test_unbiased_variant_runs;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+  ]

@@ -1,0 +1,61 @@
+module Ascii = Ftb_report.Ascii
+module Histogram = Ftb_util.Histogram
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_percent () =
+  Alcotest.(check string) "percent" "12.34%" (Ascii.percent 0.1234);
+  Alcotest.(check string) "percent_pm" "10.00% ± 1.00%"
+    (Ascii.percent_pm ~mean:0.1 ~std:0.01)
+
+let test_bar_histogram () =
+  let h = Histogram.of_array ~lo:0. ~hi:1. ~bins:4 [| 0.1; 0.1; 0.6; 1.5 |] in
+  let s = Ascii.bar_histogram ~title:"test histogram" h in
+  Alcotest.(check bool) "title present" true (contains "test histogram" s);
+  Alcotest.(check bool) "bars drawn" true (contains "#" s);
+  Alcotest.(check bool) "overflow reported" true (contains ">= range" s);
+  Alcotest.(check bool) "total reported" true (contains "total 4 observations" s)
+
+let test_bar_histogram_skips_empty_bins () =
+  let h = Histogram.of_array ~lo:0. ~hi:1. ~bins:10 [| 0.05 |] in
+  let s = Ascii.bar_histogram ~title:"sparse" h in
+  (* Only one bin line plus title and total. *)
+  let lines = String.split_on_char '\n' s in
+  let bin_lines = List.filter (fun l -> contains "|" l) lines in
+  Alcotest.(check int) "one populated bin line" 1 (List.length bin_lines)
+
+let test_series_raster () =
+  let values = Array.init 100 (fun i -> float_of_int i) in
+  let s = Ascii.series ~width:20 ~height:5 ~title:"ramp" [ ("ramp", '*', values) ] in
+  Alcotest.(check bool) "title" true (contains "ramp" s);
+  Alcotest.(check bool) "glyph present" true (contains "*" s);
+  Alcotest.(check bool) "legend present" true (contains "* = ramp" s);
+  Alcotest.(check bool) "axis drawn" true (contains "+--------------------" s)
+
+let test_series_overlap_marker () =
+  let a = Array.make 10 1. and b = Array.make 10 1. in
+  let s = Ascii.series ~width:10 ~height:3 ~title:"overlap" [ ("a", '*', a); ("b", 'o', b) ] in
+  Alcotest.(check bool) "coinciding cells marked #" true (contains "#" s)
+
+let test_series_empty () =
+  let s = Ascii.series ~title:"none" [] in
+  Alcotest.(check bool) "graceful empty" true (contains "(no series)" s)
+
+let test_series_constant () =
+  (* A constant series must not divide by zero when scaling. *)
+  let s = Ascii.series ~width:8 ~height:4 ~title:"flat" [ ("flat", '*', Array.make 5 2.) ] in
+  Alcotest.(check bool) "renders" true (contains "flat" s)
+
+let suite =
+  [
+    Alcotest.test_case "percent formatting" `Quick test_percent;
+    Alcotest.test_case "bar histogram" `Quick test_bar_histogram;
+    Alcotest.test_case "histogram skips empty bins" `Quick test_bar_histogram_skips_empty_bins;
+    Alcotest.test_case "series raster" `Quick test_series_raster;
+    Alcotest.test_case "series overlap marker" `Quick test_series_overlap_marker;
+    Alcotest.test_case "series empty" `Quick test_series_empty;
+    Alcotest.test_case "series constant" `Quick test_series_constant;
+  ]

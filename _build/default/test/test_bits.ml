@@ -1,0 +1,123 @@
+module Bits = Ftb_util.Bits
+
+let test_flip_involution () =
+  let values = [ 0.; 1.; -1.; 3.14159; 1e-300; 1e300; 42.5 ] in
+  List.iter
+    (fun v ->
+      for bit = 0 to 63 do
+        let back = Bits.flip ~bit (Bits.flip ~bit v) in
+        Alcotest.(check bool)
+          (Printf.sprintf "flip twice is identity (v=%g bit=%d)" v bit)
+          true
+          (Int64.equal (Int64.bits_of_float back) (Int64.bits_of_float v))
+      done)
+    values
+
+let test_flip_changes_representation () =
+  for bit = 0 to 63 do
+    let v = 1.5 in
+    Alcotest.(check bool)
+      "flip changes the bit pattern" false
+      (Int64.equal (Int64.bits_of_float (Bits.flip ~bit v)) (Int64.bits_of_float v))
+  done
+
+let test_flip_bounds () =
+  Alcotest.check_raises "bit 64 rejected" (Invalid_argument "Bits.flip: bit 64 out of range")
+    (fun () -> ignore (Bits.flip ~bit:64 1.));
+  Alcotest.check_raises "bit -1 rejected" (Invalid_argument "Bits.flip: bit -1 out of range")
+    (fun () -> ignore (Bits.flip ~bit:(-1) 1.))
+
+let test_sign_flip () =
+  Helpers.check_close "sign flip negates" (-2.5) (Bits.flip ~bit:Bits.sign_bit 2.5);
+  Helpers.check_close "sign flip error is 2|v|" 5. (Bits.error_of_flip ~bit:Bits.sign_bit 2.5)
+
+let test_mantissa_flip_small_error () =
+  (* Lowest mantissa bit of 1.0 is one ulp: 2^-52. *)
+  Helpers.check_close ~eps:1e-20 "ulp error" (Float.ldexp 1. (-52))
+    (Bits.error_of_flip ~bit:0 1.)
+
+let test_exponent_top_bit_nonfinite () =
+  (* Values around 1.0 have the top exponent bit clear; setting it lands in
+     the inf/nan exponent range. *)
+  let flipped = Bits.flip ~bit:62 1.0 in
+  Alcotest.(check bool) "bit 62 of 1.0 is non-finite" false (Bits.is_finite flipped);
+  Alcotest.(check bool) "error is inf or nan" true
+    (Bits.error_of_flip ~bit:62 1.0 = infinity || Float.is_nan (Bits.error_of_flip ~bit:62 1.0))
+
+let test_flip32_roundtrip () =
+  for bit = 0 to 31 do
+    let v = 1.5 in
+    let flipped = Bits.flip32 ~bit v in
+    let back = Bits.flip32 ~bit flipped in
+    Helpers.check_close ~eps:1e-12 "flip32 twice returns the single-rounded value" v back
+  done
+
+let test_flip32_bounds () =
+  Alcotest.check_raises "bit 32 rejected"
+    (Invalid_argument "Bits.flip32: bit 32 out of range") (fun () ->
+      ignore (Bits.flip32 ~bit:32 1.))
+
+let test_all_flip_errors () =
+  let errors = Bits.all_flip_errors 1.0 in
+  Alcotest.(check int) "64 entries" 64 (Array.length errors);
+  Array.iteri
+    (fun i (bit, err) ->
+      Alcotest.(check int) "bit order" i bit;
+      Alcotest.(check bool) "error is non-negative or nan" true
+        (Float.is_nan err || err >= 0.))
+    errors
+
+let test_classify_bit () =
+  Alcotest.(check bool) "bit 0 mantissa" true (Bits.classify_bit 0 = `Mantissa);
+  Alcotest.(check bool) "bit 51 mantissa" true (Bits.classify_bit 51 = `Mantissa);
+  Alcotest.(check bool) "bit 52 exponent" true (Bits.classify_bit 52 = `Exponent);
+  Alcotest.(check bool) "bit 62 exponent" true (Bits.classify_bit 62 = `Exponent);
+  Alcotest.(check bool) "bit 63 sign" true (Bits.classify_bit 63 = `Sign)
+
+let test_ulp_distance () =
+  Alcotest.(check int64) "same value" 0L (Bits.ulp_distance 1. 1.);
+  Alcotest.(check int64) "one ulp apart" 1L
+    (Bits.ulp_distance 1. (Float.succ 1.));
+  Alcotest.(check int64) "across zero" 2L
+    (Bits.ulp_distance (Float.succ 0.) (-.Float.succ 0.))
+
+let test_is_finite () =
+  Alcotest.(check bool) "1.0 finite" true (Bits.is_finite 1.0);
+  Alcotest.(check bool) "inf not finite" false (Bits.is_finite infinity);
+  Alcotest.(check bool) "nan not finite" false (Bits.is_finite nan)
+
+let prop_flip_involution =
+  QCheck.Test.make ~name:"flip is an involution on the bit pattern" ~count:500
+    QCheck.(pair (float_bound_exclusive 1e10) (int_bound 63))
+    (fun (v, bit) ->
+      Int64.equal
+        (Int64.bits_of_float (Ftb_util.Bits.flip ~bit (Ftb_util.Bits.flip ~bit v)))
+        (Int64.bits_of_float v))
+
+let prop_mantissa_flip_bounded =
+  QCheck.Test.make ~name:"mantissa flips keep the value's binade error bound" ~count:500
+    QCheck.(pair pos_float (int_bound 51))
+    (fun (v, bit) ->
+      QCheck.assume (Float.is_finite v && v > 0.);
+      let err = Ftb_util.Bits.error_of_flip ~bit v in
+      (* A mantissa flip moves the value by less than its own magnitude
+         (it changes at most 2^-1 of the significand). *)
+      Float.is_finite err && err <= v)
+
+let suite =
+  [
+    Alcotest.test_case "flip involution" `Quick test_flip_involution;
+    Alcotest.test_case "flip changes representation" `Quick test_flip_changes_representation;
+    Alcotest.test_case "flip bounds checked" `Quick test_flip_bounds;
+    Alcotest.test_case "sign flip" `Quick test_sign_flip;
+    Alcotest.test_case "mantissa flip small error" `Quick test_mantissa_flip_small_error;
+    Alcotest.test_case "exponent top bit non-finite" `Quick test_exponent_top_bit_nonfinite;
+    Alcotest.test_case "flip32 roundtrip" `Quick test_flip32_roundtrip;
+    Alcotest.test_case "flip32 bounds checked" `Quick test_flip32_bounds;
+    Alcotest.test_case "all_flip_errors" `Quick test_all_flip_errors;
+    Alcotest.test_case "classify_bit" `Quick test_classify_bit;
+    Alcotest.test_case "ulp_distance" `Quick test_ulp_distance;
+    Alcotest.test_case "is_finite" `Quick test_is_finite;
+    Helpers.qcheck_to_alcotest prop_flip_involution;
+    Helpers.qcheck_to_alcotest prop_mantissa_flip_bounded;
+  ]

@@ -1,0 +1,84 @@
+module Confidence = Ftb_core.Confidence
+
+let test_wilson_basic () =
+  let lo, hi = Confidence.wilson_interval ~successes:50 ~trials:100 ~z:Confidence.z_95 in
+  Alcotest.(check bool) "contains the point estimate" true (lo < 0.5 && hi > 0.5);
+  Alcotest.(check bool) "roughly ±10% at n=100" true (hi -. lo > 0.15 && hi -. lo < 0.25)
+
+let test_wilson_extremes () =
+  let lo, hi = Confidence.wilson_interval ~successes:0 ~trials:50 ~z:Confidence.z_95 in
+  Helpers.check_close "zero successes: lower bound 0" 0. lo;
+  Alcotest.(check bool) "upper bound positive" true (hi > 0.);
+  let lo, hi = Confidence.wilson_interval ~successes:50 ~trials:50 ~z:Confidence.z_95 in
+  Helpers.check_close "all successes: upper bound 1" 1. hi;
+  Alcotest.(check bool) "lower bound below 1" true (lo < 1.)
+
+let test_wilson_narrows_with_n () =
+  let width n =
+    let lo, hi = Confidence.wilson_interval ~successes:(n / 10) ~trials:n ~z:Confidence.z_95 in
+    hi -. lo
+  in
+  Alcotest.(check bool) "interval narrows with sample size" true (width 10000 < width 100)
+
+let test_wilson_validation () =
+  let check name f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail name
+  in
+  check "trials 0" (fun () -> Confidence.wilson_interval ~successes:0 ~trials:0 ~z:1.96);
+  check "successes > trials" (fun () ->
+      Confidence.wilson_interval ~successes:5 ~trials:3 ~z:1.96);
+  check "z <= 0" (fun () -> Confidence.wilson_interval ~successes:1 ~trials:3 ~z:0.)
+
+let test_required_samples () =
+  (* Classic value: 95% confidence, ±1% margin, worst case p: ~9604. *)
+  Alcotest.(check int) "textbook n for ±1% at 95%" 9604
+    (Confidence.required_samples ~margin:0.01 ~z:Confidence.z_95 ());
+  (* Smaller p needs fewer samples. *)
+  Alcotest.(check bool) "p=0.1 cheaper than p=0.5" true
+    (Confidence.required_samples ~margin:0.01 ~z:Confidence.z_95 ~p:0.1 () < 9604);
+  match Confidence.required_samples ~margin:0. ~z:1.96 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "margin 0 accepted"
+
+let test_compare_costs () =
+  let c =
+    Confidence.compare_costs ~margin:0.01 ~z:Confidence.z_95 ~sites:1000
+      ~boundary_samples:640 ~boundary_recall:0.9
+  in
+  Alcotest.(check int) "overall estimate cost" 9604 c.Confidence.mc_samples_overall;
+  Alcotest.(check int) "full profile multiplies by sites" (9604 * 1000)
+    c.Confidence.mc_samples_full_profile;
+  Alcotest.(check bool) "boundary cost orders of magnitude below the profile" true
+    (c.Confidence.boundary_samples * 1000 < c.Confidence.mc_samples_full_profile)
+
+let test_wilson_covers_true_ratio_empirically () =
+  (* Sample a known Bernoulli(0.3) and check the 95% interval covers 0.3 in
+     the vast majority of repetitions. *)
+  let rng = Ftb_util.Rng.create ~seed:31 in
+  let trials = 200 and n = 400 in
+  let covered = ref 0 in
+  for _ = 1 to trials do
+    let successes = ref 0 in
+    for _ = 1 to n do
+      if Ftb_util.Rng.float rng 1. < 0.3 then incr successes
+    done;
+    let lo, hi = Confidence.wilson_interval ~successes:!successes ~trials:n ~z:Confidence.z_95 in
+    if lo <= 0.3 && 0.3 <= hi then incr covered
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %d/%d" !covered trials)
+    true
+    (float_of_int !covered /. float_of_int trials > 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "wilson basic" `Quick test_wilson_basic;
+    Alcotest.test_case "wilson extremes" `Quick test_wilson_extremes;
+    Alcotest.test_case "wilson narrows with n" `Quick test_wilson_narrows_with_n;
+    Alcotest.test_case "wilson validation" `Quick test_wilson_validation;
+    Alcotest.test_case "required samples" `Quick test_required_samples;
+    Alcotest.test_case "compare costs" `Quick test_compare_costs;
+    Alcotest.test_case "wilson empirical coverage" `Quick
+      test_wilson_covers_true_ratio_empirically;
+  ]

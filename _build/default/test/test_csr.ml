@@ -1,0 +1,81 @@
+module Csr = Ftb_kernels.Csr
+module Dense = Ftb_kernels.Dense
+
+let sample () =
+  Csr.of_triplets ~n_rows:3 ~n_cols:3
+    [ (0, 0, 2.); (0, 2, 1.); (1, 1, 3.); (2, 0, -1.); (2, 2, 4.) ]
+
+let test_of_triplets_and_get () =
+  let m = sample () in
+  Alcotest.(check int) "nnz" 5 (Csr.nnz m);
+  Helpers.check_close "get (0,0)" 2. (Csr.get m 0 0);
+  Helpers.check_close "get (0,2)" 1. (Csr.get m 0 2);
+  Helpers.check_close "missing entry is 0" 0. (Csr.get m 0 1)
+
+let test_duplicates_summed () =
+  let m = Csr.of_triplets ~n_rows:1 ~n_cols:1 [ (0, 0, 1.); (0, 0, 2.5) ] in
+  Alcotest.(check int) "merged" 1 (Csr.nnz m);
+  Helpers.check_close "summed" 3.5 (Csr.get m 0 0)
+
+let test_out_of_range_rejected () =
+  match Csr.of_triplets ~n_rows:2 ~n_cols:2 [ (2, 0, 1.) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_spmv () =
+  let m = sample () in
+  let y = Csr.spmv m [| 1.; 2.; 3. |] in
+  Alcotest.(check (array (Helpers.close ()))) "spmv" [| 5.; 6.; 11. |] y;
+  match Csr.spmv m [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch accepted"
+
+let test_dense_roundtrip () =
+  let m = sample () in
+  let d = Csr.to_dense m in
+  let back = Csr.of_dense d in
+  Alcotest.(check int) "same nnz" (Csr.nnz m) (Csr.nnz back);
+  Helpers.check_close "same dense form" 0. (Dense.max_abs_diff d (Csr.to_dense back))
+
+let test_symmetry () =
+  let sym =
+    Csr.of_triplets ~n_rows:2 ~n_cols:2 [ (0, 0, 1.); (0, 1, 5.); (1, 0, 5.); (1, 1, 2.) ]
+  in
+  Alcotest.(check bool) "symmetric" true (Csr.is_symmetric sym);
+  Alcotest.(check bool) "sample not symmetric" false (Csr.is_symmetric (sample ()))
+
+let test_row_ptr_invariants () =
+  let m = sample () in
+  Alcotest.(check int) "row_ptr length" 4 (Array.length m.Csr.row_ptr);
+  Alcotest.(check int) "starts at 0" 0 m.Csr.row_ptr.(0);
+  Alcotest.(check int) "ends at nnz" (Csr.nnz m) m.Csr.row_ptr.(3);
+  for i = 0 to 2 do
+    Alcotest.(check bool) "monotone" true (m.Csr.row_ptr.(i) <= m.Csr.row_ptr.(i + 1))
+  done
+
+let prop_spmv_matches_dense =
+  QCheck.Test.make ~name:"CSR spmv equals dense matvec" ~count:100
+    QCheck.(int_range 1 10)
+    (fun n ->
+      let rng = Ftb_util.Rng.create ~seed:(n * 7) in
+      (* Sparse-ish random matrix with ~30% fill. *)
+      let d =
+        Dense.init ~rows:n ~cols:n (fun _ _ ->
+            if Ftb_util.Rng.float rng 1. < 0.3 then -1. +. Ftb_util.Rng.float rng 2. else 0.)
+      in
+      let m = Csr.of_dense d in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      let a = Csr.spmv m x and b = Dense.matvec d x in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-9) a b)
+
+let suite =
+  [
+    Alcotest.test_case "of_triplets and get" `Quick test_of_triplets_and_get;
+    Alcotest.test_case "duplicates summed" `Quick test_duplicates_summed;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "spmv" `Quick test_spmv;
+    Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+    Alcotest.test_case "symmetry" `Quick test_symmetry;
+    Alcotest.test_case "row_ptr invariants" `Quick test_row_ptr_invariants;
+    Helpers.qcheck_to_alcotest prop_spmv_matches_dense;
+  ]

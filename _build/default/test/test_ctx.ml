@@ -1,0 +1,109 @@
+module Ctx = Ftb_trace.Ctx
+module Fault = Ftb_trace.Fault
+module Bits = Ftb_util.Bits
+
+let run_values ctx values =
+  Array.iteri (fun i v -> ignore (Ctx.record ctx ~tag:i v)) values
+
+let test_golden_records () =
+  let ctx = Ctx.golden () in
+  let values = [| 1.; 2.; 3. |] in
+  run_values ctx values;
+  Alcotest.(check int) "length" 3 (Ctx.length ctx);
+  Alcotest.(check (array (Helpers.close ()))) "values" values (Ctx.trace_values ctx);
+  Alcotest.(check (array int)) "statics" [| 0; 1; 2 |] (Ctx.trace_statics ctx);
+  Alcotest.(check bool) "no injection" true (Ctx.injection ctx = None)
+
+let test_golden_returns_value () =
+  let ctx = Ctx.golden () in
+  Helpers.check_close "record returns value" 42. (Ctx.record ctx ~tag:0 42.)
+
+let test_injection_flips_target () =
+  let fault = Fault.make ~site:1 ~bit:Bits.sign_bit in
+  let ctx = Ctx.outcome_only ~fault in
+  Helpers.check_close "site 0 untouched" 5. (Ctx.record ctx ~tag:0 5.);
+  Helpers.check_close "site 1 sign-flipped" (-7.) (Ctx.record ctx ~tag:1 7.);
+  Helpers.check_close "site 2 untouched" 9. (Ctx.record ctx ~tag:2 9.);
+  match Ctx.injection ctx with
+  | Some (original, corrupted) ->
+      Helpers.check_close "original" 7. original;
+      Helpers.check_close "corrupted" (-7.) corrupted
+  | None -> Alcotest.fail "injection not recorded"
+
+let test_injection_not_reached () =
+  let fault = Fault.make ~site:10 ~bit:0 in
+  let ctx = Ctx.outcome_only ~fault in
+  run_values ctx [| 1.; 2. |];
+  Alcotest.(check bool) "target past end: no injection" true (Ctx.injection ctx = None)
+
+let test_outcome_only_has_no_trace () =
+  let ctx = Ctx.outcome_only ~fault:(Fault.make ~site:0 ~bit:0) in
+  run_values ctx [| 1. |];
+  Alcotest.check_raises "trace_values rejected"
+    (Invalid_argument "Ctx.trace_values: outcome-only context has no trace") (fun () ->
+      ignore (Ctx.trace_values ctx))
+
+let test_propagation_traces_corrupted_values () =
+  let fault = Fault.make ~site:0 ~bit:Bits.sign_bit in
+  let golden_statics = [| 0; 1 |] in
+  let ctx = Ctx.propagation ~fault ~golden_statics in
+  let x = Ctx.record ctx ~tag:0 2. in
+  ignore (Ctx.record ctx ~tag:1 (x +. 1.));
+  Alcotest.(check (array (Helpers.close ()))) "trace holds faulty values" [| -2.; -1. |]
+    (Ctx.trace_values ctx);
+  Alcotest.(check bool) "no divergence: same tags" true (Ctx.diverged_at ctx = None)
+
+let test_divergence_on_tag_mismatch () =
+  let fault = Fault.make ~site:0 ~bit:0 in
+  let golden_statics = [| 0; 1; 2 |] in
+  let ctx = Ctx.propagation ~fault ~golden_statics in
+  ignore (Ctx.record ctx ~tag:0 1.);
+  ignore (Ctx.record ctx ~tag:7 2.);
+  (* different static instruction *)
+  ignore (Ctx.record ctx ~tag:2 3.);
+  Alcotest.(check (option int)) "diverged at 1" (Some 1) (Ctx.diverged_at ctx)
+
+let test_divergence_on_longer_run () =
+  let fault = Fault.make ~site:0 ~bit:0 in
+  let golden_statics = [| 0 |] in
+  let ctx = Ctx.propagation ~fault ~golden_statics in
+  ignore (Ctx.record ctx ~tag:0 1.);
+  ignore (Ctx.record ctx ~tag:0 2.);
+  (* one instruction past the golden run *)
+  Alcotest.(check (option int)) "diverged at golden length" (Some 1) (Ctx.diverged_at ctx)
+
+let test_guard_finite () =
+  let ctx = Ctx.golden () in
+  Helpers.check_close "finite passes" 3. (Ctx.guard_finite ctx "spot" 3.);
+  Alcotest.check_raises "nan trapped" (Ctx.Crash "non-finite value trapped at spot")
+    (fun () -> ignore (Ctx.guard_finite ctx "spot" nan));
+  Alcotest.check_raises "inf trapped" (Ctx.Crash "non-finite value trapped at spot")
+    (fun () -> ignore (Ctx.guard_finite ctx "spot" infinity))
+
+let test_flip_to_nan_recorded_as_injection () =
+  (* Flipping the top exponent bit of 1.0 produces a non-finite value; the
+     injection pair must still be observable. *)
+  let fault = Fault.make ~site:0 ~bit:62 in
+  let ctx = Ctx.outcome_only ~fault in
+  let v = Ctx.record ctx ~tag:0 1. in
+  Alcotest.(check bool) "returned value non-finite" false (Bits.is_finite v);
+  match Ctx.injection ctx with
+  | Some (original, corrupted) ->
+      Helpers.check_close "original" 1. original;
+      Alcotest.(check bool) "corrupted non-finite" false (Bits.is_finite corrupted)
+  | None -> Alcotest.fail "injection not recorded"
+
+let suite =
+  [
+    Alcotest.test_case "golden records" `Quick test_golden_records;
+    Alcotest.test_case "golden returns value" `Quick test_golden_returns_value;
+    Alcotest.test_case "injection flips target" `Quick test_injection_flips_target;
+    Alcotest.test_case "injection not reached" `Quick test_injection_not_reached;
+    Alcotest.test_case "outcome-only has no trace" `Quick test_outcome_only_has_no_trace;
+    Alcotest.test_case "propagation traces corrupted values" `Quick
+      test_propagation_traces_corrupted_values;
+    Alcotest.test_case "divergence on tag mismatch" `Quick test_divergence_on_tag_mismatch;
+    Alcotest.test_case "divergence on longer run" `Quick test_divergence_on_longer_run;
+    Alcotest.test_case "guard_finite" `Quick test_guard_finite;
+    Alcotest.test_case "flip to nan recorded" `Quick test_flip_to_nan_recorded_as_injection;
+  ]

@@ -1,0 +1,109 @@
+module Dense = Ftb_kernels.Dense
+module Rng = Ftb_util.Rng
+
+let test_create_and_dims () =
+  let m = Dense.create ~rows:2 ~cols:3 in
+  Alcotest.(check int) "rows" 2 (Dense.rows m);
+  Alcotest.(check int) "cols" 3 (Dense.cols m);
+  Helpers.check_close "zero" 0. m.(1).(2);
+  Alcotest.check_raises "bad dims" (Invalid_argument "Dense.create: non-positive dimension")
+    (fun () -> ignore (Dense.create ~rows:0 ~cols:1))
+
+let test_init_and_copy () =
+  let m = Dense.init ~rows:2 ~cols:2 (fun i j -> float_of_int ((10 * i) + j)) in
+  Helpers.check_close "init" 11. m.(1).(1);
+  let c = Dense.copy m in
+  c.(0).(0) <- 99.;
+  Helpers.check_close "copy is deep" 0. m.(0).(0)
+
+let test_matvec () =
+  let m = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let y = Dense.matvec m [| 1.; 1. |] in
+  Alcotest.(check (array (Helpers.close ()))) "matvec" [| 3.; 7. |] y;
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Dense.matvec: 2x2 matrix with vector of length 3") (fun () ->
+      ignore (Dense.matvec m [| 1.; 2.; 3. |]))
+
+let test_matmul () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let c = Dense.matmul a b in
+  Alcotest.(check (array (Helpers.close ()))) "row 0" [| 2.; 1. |] c.(0);
+  Alcotest.(check (array (Helpers.close ()))) "row 1" [| 4.; 3. |] c.(1)
+
+let test_transpose () =
+  let m = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Dense.transpose m in
+  Alcotest.(check int) "rows" 3 (Dense.rows t);
+  Helpers.check_close "t[2][1]" 6. t.(2).(1);
+  let tt = Dense.transpose t in
+  Helpers.check_close "double transpose" (Dense.max_abs_diff m tt) 0.
+
+let test_flatten () =
+  let m = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (Helpers.close ()))) "row-major" [| 1.; 2.; 3.; 4. |]
+    (Dense.flatten m)
+
+let test_random_bounds () =
+  let rng = Rng.create ~seed:1 in
+  let m = Dense.random rng ~rows:5 ~cols:5 ~lo:(-2.) ~hi:3. in
+  Array.iter
+    (Array.iter (fun v -> Alcotest.(check bool) "in bounds" true (v >= -2. && v < 3.)))
+    m
+
+let test_diagonally_dominant () =
+  let rng = Rng.create ~seed:2 in
+  let m = Dense.random_diagonally_dominant rng ~n:10 in
+  for i = 0 to 9 do
+    let off = ref 0. in
+    for j = 0 to 9 do
+      if j <> i then off := !off +. abs_float m.(i).(j)
+    done;
+    Alcotest.(check bool) "strict dominance" true (abs_float m.(i).(i) > !off)
+  done
+
+let test_max_abs_diff () =
+  let a = [| [| 1.; 2. |] |] and b = [| [| 1.5; 1. |] |] in
+  Helpers.check_close "max abs diff" 1. (Dense.max_abs_diff a b);
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Dense.max_abs_diff: shape mismatch") (fun () ->
+      ignore (Dense.max_abs_diff a [| [| 1. |] |]))
+
+let prop_matvec_linear =
+  QCheck.Test.make ~name:"matvec is linear: A(x+y) = Ax + Ay" ~count:100
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let rng = Rng.create ~seed:n in
+      let a = Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+      let x = Array.init n (fun i -> sin (float_of_int i)) in
+      let y = Array.init n (fun i -> cos (float_of_int i)) in
+      let xy = Array.map2 ( +. ) x y in
+      let lhs = Dense.matvec a xy in
+      let rhs = Array.map2 ( +. ) (Dense.matvec a x) (Dense.matvec a y) in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-9) lhs rhs)
+
+let prop_matmul_transpose =
+  QCheck.Test.make ~name:"(AB)^T = B^T A^T" ~count:50
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let rng = Rng.create ~seed:(n + 100) in
+      let a = Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+      let b = Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+      let lhs = Dense.transpose (Dense.matmul a b) in
+      let rhs = Dense.matmul (Dense.transpose b) (Dense.transpose a) in
+      Dense.max_abs_diff lhs rhs < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "create and dims" `Quick test_create_and_dims;
+    Alcotest.test_case "init and copy" `Quick test_init_and_copy;
+    Alcotest.test_case "matvec" `Quick test_matvec;
+    Alcotest.test_case "matmul" `Quick test_matmul;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "flatten" `Quick test_flatten;
+    Alcotest.test_case "random bounds" `Quick test_random_bounds;
+    Alcotest.test_case "diagonally dominant" `Quick test_diagonally_dominant;
+    Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+    Helpers.qcheck_to_alcotest prop_matvec_linear;
+    Helpers.qcheck_to_alcotest prop_matmul_transpose;
+  ]

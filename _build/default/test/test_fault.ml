@@ -1,0 +1,67 @@
+module Fault = Ftb_trace.Fault
+
+let test_make_checked () =
+  let f = Fault.make ~site:3 ~bit:5 in
+  Alcotest.(check int) "site" 3 f.Fault.site;
+  Alcotest.(check int) "bit" 5 f.Fault.bit;
+  Alcotest.check_raises "negative site" (Invalid_argument "Fault.make: negative site")
+    (fun () -> ignore (Fault.make ~site:(-1) ~bit:0));
+  Alcotest.check_raises "bit out of range" (Invalid_argument "Fault.make: bit out of range")
+    (fun () -> ignore (Fault.make ~site:0 ~bit:64))
+
+let test_case_roundtrip () =
+  let f = Fault.make ~site:7 ~bit:13 in
+  Alcotest.(check int) "dense index" ((7 * 64) + 13) (Fault.to_case f);
+  let back = Fault.of_case (Fault.to_case f) in
+  Alcotest.(check bool) "roundtrip" true (Fault.equal f back)
+
+let test_case_count () =
+  Alcotest.(check int) "case count" 640 (Fault.case_count ~sites:10);
+  Alcotest.check_raises "negative sites" (Invalid_argument "Fault.case_count: negative sites")
+    (fun () -> ignore (Fault.case_count ~sites:(-1)))
+
+let test_compare () =
+  let a = Fault.make ~site:1 ~bit:5 and b = Fault.make ~site:2 ~bit:0 in
+  Alcotest.(check bool) "site dominates" true (Fault.compare a b < 0);
+  let c = Fault.make ~site:1 ~bit:6 in
+  Alcotest.(check bool) "bit breaks ties" true (Fault.compare a c < 0);
+  Alcotest.(check int) "equal" 0 (Fault.compare a a)
+
+let test_all_for_site () =
+  let faults = Fault.all_for_site 4 in
+  Alcotest.(check int) "64 faults" 64 (Array.length faults);
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check int) "site" 4 f.Fault.site;
+      Alcotest.(check int) "bit order" i f.Fault.bit)
+    faults
+
+let test_to_string () =
+  Alcotest.(check string) "printable" "site=2 bit=9"
+    (Fault.to_string (Fault.make ~site:2 ~bit:9))
+
+let prop_case_roundtrip =
+  QCheck.Test.make ~name:"of_case . to_case = id" ~count:500
+    QCheck.(pair (int_range 0 100000) (int_bound 63))
+    (fun (site, bit) ->
+      let f = Fault.make ~site ~bit in
+      Fault.equal f (Fault.of_case (Fault.to_case f)))
+
+let prop_case_dense =
+  QCheck.Test.make ~name:"to_case is a bijection onto [0, sites*64)" ~count:500
+    (QCheck.int_range 0 100000)
+    (fun case ->
+      let f = Fault.of_case case in
+      Fault.to_case f = case)
+
+let suite =
+  [
+    Alcotest.test_case "make checked" `Quick test_make_checked;
+    Alcotest.test_case "case roundtrip" `Quick test_case_roundtrip;
+    Alcotest.test_case "case count" `Quick test_case_count;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "all_for_site" `Quick test_all_for_site;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Helpers.qcheck_to_alcotest prop_case_roundtrip;
+    Helpers.qcheck_to_alcotest prop_case_dense;
+  ]

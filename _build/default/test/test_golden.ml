@@ -1,0 +1,72 @@
+module Golden = Ftb_trace.Golden
+module Program = Ftb_trace.Program
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+
+let test_linear_golden () =
+  let g = Golden.run (Helpers.linear_program ()) in
+  Alcotest.(check int) "7 sites" Helpers.linear_sites (Golden.sites g);
+  Alcotest.(check int) "cases" (Helpers.linear_sites * 64) (Golden.cases g);
+  Alcotest.(check (array (Helpers.close ()))) "output" [| 10. |] g.Golden.output;
+  Alcotest.(check (array (Helpers.close ()))) "trace values"
+    [| 1.; 2.; 3.; 4.; 3.; 6.; 10. |] g.Golden.values
+
+let test_golden_deterministic () =
+  let p = Helpers.linear_program () in
+  let a = Golden.run p and b = Golden.run p in
+  Alcotest.(check (array (Helpers.close ()))) "same trace" a.Golden.values b.Golden.values;
+  Alcotest.(check (array int)) "same statics" a.Golden.statics b.Golden.statics
+
+let test_value_accessor () =
+  let g = Golden.run (Helpers.linear_program ()) in
+  Helpers.check_close "site 4 is first partial sum" 3. (Golden.value g 4)
+
+let test_phase_of_site () =
+  let g = Golden.run (Helpers.linear_program ()) in
+  Alcotest.(check string) "site 0 is a load" "linear.load" (Golden.phase_of_site g 0);
+  Alcotest.(check string) "site 6 is a sum" "linear.sum" (Golden.phase_of_site g 6)
+
+let failing_program kind =
+  let statics = Static.create_table () in
+  let tag = Static.register statics ~phase:"bad" ~label:"x" in
+  Program.make ~name:"bad" ~description:"fails in golden run" ~tolerance:1.
+    ~statics (fun ctx ->
+      match kind with
+      | `Crash -> ignore (Ctx.guard_finite ctx "bad" nan); [| 1. |]
+      | `Nan_output -> ignore (Ctx.record ctx ~tag 1.); [| nan |]
+      | `Nan_trace -> ignore (Ctx.record ctx ~tag nan); [| 1. |]
+      | `Empty -> [| 1. |])
+
+let test_golden_rejects_bad_programs () =
+  let check name kind =
+    match Golden.run (failing_program kind) with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Failure")
+  in
+  check "crashing golden run" `Crash;
+  check "nan output" `Nan_output;
+  check "nan trace value" `Nan_trace;
+  check "no dynamic instructions" `Empty
+
+let test_program_make_validates_tolerance () =
+  let statics = Static.create_table () in
+  Alcotest.check_raises "non-positive tolerance"
+    (Invalid_argument "Program.make: tolerance must be positive and finite") (fun () ->
+      ignore
+        (Program.make ~name:"x" ~description:"" ~tolerance:0. ~statics (fun _ -> [| 1. |])));
+  Alcotest.check_raises "infinite tolerance"
+    (Invalid_argument "Program.make: tolerance must be positive and finite") (fun () ->
+      ignore
+        (Program.make ~name:"x" ~description:"" ~tolerance:infinity ~statics (fun _ ->
+             [| 1. |])))
+
+let suite =
+  [
+    Alcotest.test_case "linear golden run" `Quick test_linear_golden;
+    Alcotest.test_case "golden deterministic" `Quick test_golden_deterministic;
+    Alcotest.test_case "value accessor" `Quick test_value_accessor;
+    Alcotest.test_case "phase_of_site" `Quick test_phase_of_site;
+    Alcotest.test_case "rejects bad programs" `Quick test_golden_rejects_bad_programs;
+    Alcotest.test_case "program tolerance validated" `Quick
+      test_program_make_validates_tolerance;
+  ]

@@ -1,0 +1,89 @@
+module Ground_truth = Ftb_inject.Ground_truth
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Fault = Ftb_trace.Fault
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+let gt = lazy (Ground_truth.run (Lazy.force golden))
+
+let test_case_count () =
+  Alcotest.(check int) "all cases classified" (Helpers.linear_sites * 64)
+    (Ground_truth.cases (Lazy.force gt))
+
+let test_matches_individual_runs () =
+  let g = Lazy.force golden and t = Lazy.force gt in
+  for case = 0 to Ground_truth.cases t - 1 do
+    let expected = (Runner.run_outcome g (Fault.of_case case)).Runner.outcome in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d" case)
+      true
+      (Runner.outcome_equal expected (Ground_truth.outcome t case))
+  done
+
+let test_ratios_sum_to_one () =
+  let t = Lazy.force gt in
+  Helpers.check_close ~eps:1e-12 "masked + sdc + crash = 1" 1.
+    (Ground_truth.masked_ratio t +. Ground_truth.sdc_ratio t +. Ground_truth.crash_ratio t)
+
+let test_counts () =
+  let t = Lazy.force gt in
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  Ground_truth.counts t ~masked ~sdc ~crash;
+  Alcotest.(check int) "counts partition the space" (Ground_truth.cases t)
+    (!masked + !sdc + !crash)
+
+let test_injected_error_is_flip_error () =
+  let g = Lazy.force golden in
+  (* Golden value at site 3 is 4.0; sign flip error is 8. *)
+  Helpers.check_close "sign flip error" 8.
+    (Ground_truth.injected_error g (Fault.make ~site:3 ~bit:63));
+  (* Non-finite flips report infinity: bit 62 of 1.0 (site 0) saturates the
+     exponent field. *)
+  Helpers.check_close "non-finite flip reports infinity" infinity
+    (Ground_truth.injected_error g (Fault.make ~site:0 ~bit:62))
+
+let test_site_sdc_ratio () =
+  let t = Lazy.force gt in
+  let per_site = Ground_truth.site_sdc_ratio t in
+  Alcotest.(check int) "one ratio per site" Helpers.linear_sites (Array.length per_site);
+  (* The overall ratio is the mean of per-site ratios (all sites have 64
+     cases). *)
+  Helpers.check_close ~eps:1e-12 "mean of site ratios = global ratio"
+    (Ground_truth.sdc_ratio t) (Ftb_util.Stats.mean per_site);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "ratio in [0,1]" true (r >= 0. && r <= 1.))
+    per_site
+
+let test_site_masked_count () =
+  let t = Lazy.force gt in
+  let masked = Ground_truth.site_masked_count t in
+  let total = Array.fold_left ( + ) 0 masked in
+  let expected = int_of_float (Ground_truth.masked_ratio t *. float_of_int (Ground_truth.cases t) +. 0.5) in
+  Alcotest.(check int) "per-site masked counts sum to the global count" expected total
+
+let test_linear_program_monotone_boundary_structure () =
+  (* For the linear program the outcome must be monotone in the injected
+     error: masked iff error <= 0.5 (crashes excepted). *)
+  let g = Lazy.force golden and t = Lazy.force gt in
+  for case = 0 to Ground_truth.cases t - 1 do
+    let fault = Fault.of_case case in
+    let e = Ground_truth.injected_error g fault in
+    match Ground_truth.outcome t case with
+    | Runner.Masked ->
+        Alcotest.(check bool) "masked implies small error" true (e <= 0.5)
+    | Runner.Sdc -> Alcotest.(check bool) "sdc implies large error" true (e > 0.5)
+    | Runner.Crash -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "case count" `Quick test_case_count;
+    Alcotest.test_case "matches individual runs" `Slow test_matches_individual_runs;
+    Alcotest.test_case "ratios sum to one" `Quick test_ratios_sum_to_one;
+    Alcotest.test_case "counts partition" `Quick test_counts;
+    Alcotest.test_case "injected error is flip error" `Quick test_injected_error_is_flip_error;
+    Alcotest.test_case "site sdc ratio" `Quick test_site_sdc_ratio;
+    Alcotest.test_case "site masked count" `Quick test_site_masked_count;
+    Alcotest.test_case "linear program is monotone" `Quick
+      test_linear_program_monotone_boundary_structure;
+  ]

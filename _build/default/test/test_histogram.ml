@@ -1,0 +1,80 @@
+module Histogram = Ftb_util.Histogram
+
+let test_basic_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Histogram.add_all h [| 0.; 1.9; 2.; 5.5; 9.99 |];
+  Alcotest.(check int) "bin 0" 2 (Histogram.count h 0);
+  Alcotest.(check int) "bin 1" 1 (Histogram.count h 1);
+  Alcotest.(check int) "bin 2" 1 (Histogram.count h 2);
+  Alcotest.(check int) "bin 4" 1 (Histogram.count h 4);
+  Alcotest.(check int) "total" 5 (Histogram.total h)
+
+let test_under_overflow () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  Histogram.add h (-0.1);
+  Histogram.add h 1.0;
+  (* hi is exclusive *)
+  Histogram.add h 2.;
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  Alcotest.(check int) "total counts everything" 3 (Histogram.total h)
+
+let test_invalid_args () =
+  Alcotest.check_raises "no bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Histogram.create ~lo:1. ~hi:1. ~bins:3));
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:3 in
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Histogram.add: NaN observation")
+    (fun () -> Histogram.add h nan)
+
+let test_bin_bounds () =
+  let h = Histogram.create ~lo:(-1.) ~hi:1. ~bins:4 in
+  let lo, hi = Histogram.bin_bounds h 0 in
+  Helpers.check_close "first bin lo" (-1.) lo;
+  Helpers.check_close "first bin hi" (-0.5) hi;
+  let lo, hi = Histogram.bin_bounds h 3 in
+  Helpers.check_close "last bin lo" 0.5 lo;
+  Helpers.check_close "last bin hi" 1. hi
+
+let test_fraction () =
+  let h = Histogram.of_array ~lo:0. ~hi:4. ~bins:4 [| 0.5; 1.5; 1.6; 3.5 |] in
+  Helpers.check_close "fraction of bin 1" 0.5 (Histogram.fraction h 1);
+  let empty = Histogram.create ~lo:0. ~hi:1. ~bins:1 in
+  Helpers.check_close "fraction of empty histogram" 0. (Histogram.fraction empty 0)
+
+let test_fold_and_mode () =
+  let h = Histogram.of_array ~lo:0. ~hi:3. ~bins:3 [| 0.5; 1.5; 1.7; 2.5 |] in
+  let total = Histogram.fold h ~init:0 ~f:(fun acc ~lo:_ ~hi:_ ~count -> acc + count) in
+  Alcotest.(check int) "fold sums in-range counts" 4 total;
+  Alcotest.(check int) "mode bin" 1 (Histogram.mode_bin h)
+
+let test_boundary_value_at_edge () =
+  (* A value exactly on an interior bin edge goes to the upper bin. *)
+  let h = Histogram.of_array ~lo:0. ~hi:2. ~bins:2 [| 1.0 |] in
+  Alcotest.(check int) "edge goes up" 1 (Histogram.count h 1);
+  Alcotest.(check int) "lower bin empty" 0 (Histogram.count h 0)
+
+let prop_total_preserved =
+  QCheck.Test.make ~name:"every observation lands somewhere" ~count:200
+    QCheck.(list (float_bound_exclusive 100.))
+    (fun xs ->
+      let h = Histogram.create ~lo:(-10.) ~hi:10. ~bins:7 in
+      List.iter (Histogram.add h) xs;
+      let in_range =
+        Histogram.fold h ~init:0 ~f:(fun acc ~lo:_ ~hi:_ ~count -> acc + count)
+      in
+      in_range + Histogram.underflow h + Histogram.overflow h = List.length xs
+      && Histogram.total h = List.length xs)
+
+let suite =
+  [
+    Alcotest.test_case "basic binning" `Quick test_basic_binning;
+    Alcotest.test_case "under/overflow" `Quick test_under_overflow;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "bin bounds" `Quick test_bin_bounds;
+    Alcotest.test_case "fraction" `Quick test_fraction;
+    Alcotest.test_case "fold and mode" `Quick test_fold_and_mode;
+    Alcotest.test_case "edge value binning" `Quick test_boundary_value_at_edge;
+    Helpers.qcheck_to_alcotest prop_total_preserved;
+  ]

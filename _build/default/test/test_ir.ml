@@ -1,0 +1,153 @@
+module Ir = Ftb_ir.Ir
+module Programs = Ftb_ir.Programs
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Fault = Ftb_trace.Fault
+module Norms = Ftb_util.Norms
+
+let test_dot_matches_oracle () =
+  let p = Programs.dot ~n:16 ~seed:1 ~tolerance:1e-6 in
+  let out = Ir.interpret_plain p in
+  Alcotest.(check int) "one output" 1 (Array.length out);
+  Helpers.check_close ~eps:1e-12 "dot oracle" (Programs.dot_oracle ~n:16 ~seed:1) out.(0)
+
+let test_saxpy_matches_oracle () =
+  let p = Programs.saxpy ~n:12 ~seed:2 ~tolerance:1e-6 in
+  Helpers.check_close "saxpy oracle" 0.
+    (Norms.linf (Ir.interpret_plain p) (Programs.saxpy_oracle ~n:12 ~seed:2))
+
+let test_stencil3_matches_oracle () =
+  let p = Programs.stencil3 ~n:20 ~sweeps:5 ~seed:3 ~tolerance:1e-6 in
+  Helpers.check_close "stencil3 oracle" 0.
+    (Norms.linf (Ir.interpret_plain p) (Programs.stencil3_oracle ~n:20 ~sweeps:5 ~seed:3))
+
+let test_matvec_matches_oracle () =
+  let p = Programs.matvec ~n:9 ~seed:4 ~tolerance:1e-6 in
+  Helpers.check_close "matvec oracle" 0.
+    (Norms.linf (Ir.interpret_plain p) (Programs.matvec_oracle ~n:9 ~seed:4))
+
+let test_normalize_matches_oracle () =
+  let p = Programs.normalize ~n:10 ~seed:5 ~tolerance:1e-3 in
+  Helpers.check_close "normalize oracle" 0.
+    (Norms.linf (Ir.interpret_plain p) (Programs.normalize_oracle ~n:10 ~seed:5))
+
+let test_lowered_program_golden_run () =
+  let p = Ir.to_program (Programs.dot ~n:8 ~seed:6 ~tolerance:1e-6) in
+  let golden = Golden.run p in
+  (* acc init + n accumulations + final store. *)
+  Alcotest.(check int) "dynamic instruction count" (1 + 8 + 1) (Golden.sites golden);
+  Helpers.check_close ~eps:1e-12 "golden output is the oracle"
+    (Programs.dot_oracle ~n:8 ~seed:6)
+    golden.Golden.output.(0)
+
+let test_lowered_program_instrumented_equals_plain () =
+  List.iter
+    (fun (name, ir) ->
+      let plain = Ir.interpret_plain ir in
+      let golden = Golden.run (Ir.to_program ir) in
+      Helpers.check_close (name ^ ": instrumented = plain") 0.
+        (Norms.linf plain golden.Golden.output))
+    [
+      ("dot", Programs.dot ~n:8 ~seed:7 ~tolerance:1e-6);
+      ("saxpy", Programs.saxpy ~n:8 ~seed:7 ~tolerance:1e-6);
+      ("stencil3", Programs.stencil3 ~n:10 ~sweeps:3 ~seed:7 ~tolerance:1e-6);
+      ("matvec", Programs.matvec ~n:6 ~seed:7 ~tolerance:1e-6);
+      ("normalize", Programs.normalize ~n:8 ~seed:7 ~tolerance:1e-3);
+    ]
+
+let test_fault_injection_in_ir () =
+  let p = Ir.to_program (Programs.dot ~n:8 ~seed:8 ~tolerance:1e-6) in
+  let golden = Golden.run p in
+  (* Sign-flip the final store: the output must flip sign -> SDC. *)
+  let final = Golden.sites golden - 1 in
+  let r = Runner.run_outcome golden (Fault.make ~site:final ~bit:63) in
+  Alcotest.(check bool) "sign flip at the output is SDC" true
+    (Runner.outcome_equal r.Runner.outcome Runner.Sdc);
+  Helpers.check_close ~eps:1e-9 "output error = 2|dot|"
+    (2. *. abs_float golden.Golden.output.(0))
+    r.Runner.output_error
+
+let test_ir_divergence () =
+  (* normalize has a data-dependent branch on x[i] < mean; a large flip in
+     an early accumulation changes the mean and redirects the branch. *)
+  let p = Ir.to_program (Programs.normalize ~n:8 ~seed:9 ~tolerance:1e-3) in
+  let golden = Golden.run p in
+  let diverged = ref false in
+  for bit = 55 to 62 do
+    let prop = Runner.run_propagation golden (Fault.make ~site:1 ~bit) in
+    if prop.Runner.stop < Golden.sites golden then diverged := true
+  done;
+  Alcotest.(check bool) "some large flip diverges control flow" true !diverged
+
+let test_ir_guard_crash () =
+  (* Flipping the norm to NaN/inf must trap at the Guard. *)
+  let p = Ir.to_program (Programs.normalize ~n:8 ~seed:10 ~tolerance:1e-3) in
+  let golden = Golden.run p in
+  (* Find the "norm = sqrt(acc2)" site: it is the last Fassign before the
+     final division loop, at index sites - n - 1. *)
+  let site = Golden.sites golden - 8 - 1 in
+  let crashed = ref false in
+  for bit = 52 to 62 do
+    let r = Runner.run_outcome golden (Fault.make ~site ~bit) in
+    if r.Runner.outcome = Runner.Crash then crashed := true
+  done;
+  Alcotest.(check bool) "corrupting the norm can crash at the guard" true !crashed
+
+let test_boundary_on_ir_program () =
+  (* End-to-end: the whole pipeline works on a lowered IR program. *)
+  let p = Ir.to_program (Programs.stencil3 ~n:12 ~sweeps:3 ~seed:11 ~tolerance:1e-4) in
+  let golden = Golden.run p in
+  let gt = Ftb_inject.Ground_truth.run golden in
+  let boundary = Ftb_core.Boundary.exhaustive gt in
+  let e = Ftb_core.Metrics.evaluate boundary gt in
+  Alcotest.(check bool)
+    (Printf.sprintf "high precision on IR stencil (%.4f)" e.Ftb_core.Metrics.precision)
+    true
+    (e.Ftb_core.Metrics.precision > 0.99)
+
+let test_runtime_errors () =
+  let p = Ir.create ~name:"bad" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 1.; 2. |] in
+  Ir.output_array p a;
+  Ir.set_body p [ Ir.Store (a, Ir.Iconst 5, Ir.Fconst 0., "oob") ];
+  (match Ir.interpret_plain p with
+  | exception Ir.Ir_error _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds store accepted");
+  let q = Ir.create ~name:"unset" ~tolerance:1. in
+  let b = Ir.array q ~name:"b" ~init:[| 0. |] in
+  let r = Ir.freg q in
+  Ir.output_array q b;
+  Ir.set_body q [ Ir.Store (b, Ir.Iconst 0, Ir.Freg r, "use of unset register") ];
+  match Ir.interpret_plain q with
+  | exception Ir.Ir_error _ -> ()
+  | _ -> Alcotest.fail "unassigned register read accepted"
+
+let test_construction_errors () =
+  let p = Ir.create ~name:"incomplete" ~tolerance:1. in
+  (match Ir.interpret_plain p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing body accepted");
+  let q = Ir.create ~name:"x" ~tolerance:1. in
+  let a = Ir.array q ~name:"a" ~init:[| 0. |] in
+  Ir.output_array q a;
+  match Ir.output_array q a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double output accepted"
+
+let suite =
+  [
+    Alcotest.test_case "dot matches oracle" `Quick test_dot_matches_oracle;
+    Alcotest.test_case "saxpy matches oracle" `Quick test_saxpy_matches_oracle;
+    Alcotest.test_case "stencil3 matches oracle" `Quick test_stencil3_matches_oracle;
+    Alcotest.test_case "matvec matches oracle" `Quick test_matvec_matches_oracle;
+    Alcotest.test_case "normalize matches oracle" `Quick test_normalize_matches_oracle;
+    Alcotest.test_case "lowered golden run" `Quick test_lowered_program_golden_run;
+    Alcotest.test_case "instrumented equals plain" `Quick
+      test_lowered_program_instrumented_equals_plain;
+    Alcotest.test_case "fault injection in IR" `Quick test_fault_injection_in_ir;
+    Alcotest.test_case "IR divergence" `Quick test_ir_divergence;
+    Alcotest.test_case "IR guard crash" `Quick test_ir_guard_crash;
+    Alcotest.test_case "boundary on IR program" `Quick test_boundary_on_ir_program;
+    Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+    Alcotest.test_case "construction errors" `Quick test_construction_errors;
+  ]

@@ -1,0 +1,140 @@
+(* Pretty-printer and static validator of the IR. *)
+module Ir = Ftb_ir.Ir
+module Programs = Ftb_ir.Programs
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_dot () =
+  let s = Ir.to_string (Programs.dot ~n:4 ~seed:1 ~tolerance:1e-6) in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [
+      "program ir.dot"; "array x[4]"; "array out[1]  ; output"; "for i0 = 0 to 4 - 1 {";
+      "f0 = (f0 + (x[i0] * y[i0]))"; "out[0] = f0";
+    ]
+
+let test_pp_normalize_shows_control_flow () =
+  let s = Ir.to_string (Programs.normalize ~n:4 ~seed:2 ~tolerance:1e-3) in
+  Alcotest.(check bool) "if rendered" true (contains "if x[i0] < f0 {" s);
+  Alcotest.(check bool) "guard rendered" true (contains "guard f1" s);
+  Alcotest.(check bool) "sqrt rendered" true (contains "sqrt(" s)
+
+let test_pp_incomplete_program () =
+  let p = Ir.create ~name:"empty" ~tolerance:1. in
+  Alcotest.(check bool) "handles missing body" true (contains "(no body)" (Ir.to_string p))
+
+let test_validate_reference_programs_clean () =
+  List.iter
+    (fun (name, p) ->
+      match Ir.validate p with
+      | Ok () -> ()
+      | Error problems ->
+          Alcotest.fail
+            (Printf.sprintf "%s flagged: %s" name (String.concat "; " problems)))
+    [
+      ("dot", Programs.dot ~n:4 ~seed:1 ~tolerance:1e-6);
+      ("saxpy", Programs.saxpy ~n:4 ~seed:1 ~tolerance:1e-6);
+      ("stencil3", Programs.stencil3 ~n:6 ~sweeps:2 ~seed:1 ~tolerance:1e-6);
+      ("matvec", Programs.matvec ~n:4 ~seed:1 ~tolerance:1e-6);
+      ("normalize", Programs.normalize ~n:4 ~seed:1 ~tolerance:1e-3);
+    ]
+
+let expect_error ~what p predicate =
+  match Ir.validate p with
+  | Ok () -> Alcotest.fail (what ^ ": expected a validation error")
+  | Error problems ->
+      Alcotest.(check bool)
+        (what ^ " flagged: " ^ String.concat "; " problems)
+        true
+        (List.exists predicate problems)
+
+let test_validate_missing_parts () =
+  let p = Ir.create ~name:"x" ~tolerance:1. in
+  expect_error ~what:"empty program" p (fun m -> contains "no body" m || contains "output" m)
+
+let test_validate_unassigned_register () =
+  let p = Ir.create ~name:"x" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 0. |] in
+  let r = Ir.freg p in
+  Ir.output_array p a;
+  Ir.set_body p [ Ir.Store (a, Ir.Iconst 0, Ir.Freg r, "use") ];
+  expect_error ~what:"unassigned float register" p (fun m ->
+      contains "f0 may be read before assignment" m)
+
+let test_validate_loop_definitions_do_not_escape () =
+  (* f0 is only assigned inside a loop that may run zero times; reading it
+     after the loop must be flagged. *)
+  let p = Ir.create ~name:"x" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 0. |] in
+  let r = Ir.freg p in
+  let i = Ir.ireg p in
+  Ir.output_array p a;
+  Ir.set_body p
+    [
+      Ir.For (i, Ir.Iconst 0, Ir.Iconst 1, [ Ir.Fassign (r, Ir.Fconst 1., "inside") ]);
+      Ir.Store (a, Ir.Iconst 0, Ir.Freg r, "after loop");
+    ];
+  expect_error ~what:"loop-only definition" p (fun m -> contains "f0 may be read" m)
+
+let test_validate_if_requires_both_arms () =
+  let p = Ir.create ~name:"x" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 1. |] in
+  let r = Ir.freg p in
+  Ir.output_array p a;
+  Ir.set_body p
+    [
+      Ir.If
+        ( Ir.Icmp (`Eq, Ir.Iconst 0, Ir.Iconst 0),
+          [ Ir.Fassign (r, Ir.Fconst 1., "then only") ],
+          [] );
+      Ir.Store (a, Ir.Iconst 0, Ir.Freg r, "after if");
+    ];
+  expect_error ~what:"one-armed definition" p (fun m -> contains "f0 may be read" m);
+  (* Assigning in both arms is accepted. *)
+  let q = Ir.create ~name:"y" ~tolerance:1. in
+  let b = Ir.array q ~name:"b" ~init:[| 1. |] in
+  let s = Ir.freg q in
+  Ir.output_array q b;
+  Ir.set_body q
+    [
+      Ir.If
+        ( Ir.Icmp (`Eq, Ir.Iconst 0, Ir.Iconst 0),
+          [ Ir.Fassign (s, Ir.Fconst 1., "then") ],
+          [ Ir.Fassign (s, Ir.Fconst 2., "else") ] );
+      Ir.Store (b, Ir.Iconst 0, Ir.Freg s, "after if");
+    ];
+  match Ir.validate q with
+  | Ok () -> ()
+  | Error problems -> Alcotest.fail ("both-arm assign flagged: " ^ String.concat "; " problems)
+
+let test_validate_constant_bounds () =
+  let p = Ir.create ~name:"x" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 1.; 2. |] in
+  Ir.output_array p a;
+  Ir.set_body p [ Ir.Store (a, Ir.Iconst 7, Ir.Fconst 0., "oob store") ];
+  expect_error ~what:"constant index out of bounds" p (fun m -> contains "out of bounds" m);
+  let q = Ir.create ~name:"y" ~tolerance:1. in
+  let b = Ir.array q ~name:"b" ~init:[| 1. |] in
+  let i = Ir.ireg q in
+  Ir.output_array q b;
+  Ir.set_body q [ Ir.For (i, Ir.Iconst 5, Ir.Iconst 2, []) ];
+  expect_error ~what:"inverted loop bounds" q (fun m -> contains "5 > 2" m)
+
+let suite =
+  [
+    Alcotest.test_case "pp dot" `Quick test_pp_dot;
+    Alcotest.test_case "pp control flow" `Quick test_pp_normalize_shows_control_flow;
+    Alcotest.test_case "pp incomplete" `Quick test_pp_incomplete_program;
+    Alcotest.test_case "validate reference programs" `Quick
+      test_validate_reference_programs_clean;
+    Alcotest.test_case "validate missing parts" `Quick test_validate_missing_parts;
+    Alcotest.test_case "validate unassigned register" `Quick
+      test_validate_unassigned_register;
+    Alcotest.test_case "loop definitions do not escape" `Quick
+      test_validate_loop_definitions_do_not_escape;
+    Alcotest.test_case "if requires both arms" `Quick test_validate_if_requires_both_arms;
+    Alcotest.test_case "constant bounds" `Quick test_validate_constant_bounds;
+  ]

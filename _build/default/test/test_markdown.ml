@@ -1,0 +1,70 @@
+module Markdown = Ftb_report.Markdown
+module Table = Ftb_util.Table
+module Context = Ftb_core.Context
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_to_markdown () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "pipe|cell"; "2" ];
+  let s = Table.to_markdown t in
+  Alcotest.(check bool) "header row" true (contains "| name | value |" s);
+  Alcotest.(check bool) "alignment row" true (contains "|---|---:|" s);
+  Alcotest.(check bool) "pipes escaped" true (contains "pipe\\|cell" s)
+
+let test_section () =
+  Alcotest.(check string) "section shape" "## Title\n\nbody\n\n"
+    (Markdown.section ~title:"Title" "body")
+
+let test_of_tables () =
+  let t = Table.create [ "x" ] in
+  Table.add_row t [ "1" ];
+  let s = Markdown.of_tables [ ("first", t); ("second", t) ] in
+  Alcotest.(check bool) "both sections" true
+    (contains "## first" s && contains "## second" s)
+
+let context =
+  lazy
+    (Context.prepare ~name:"linear" (Helpers.linear_program ()))
+
+let test_summary_composes () =
+  let c = Lazy.force context in
+  let exhaustive = [ Ftb_core.Study_exhaustive.run c ] in
+  let inference = [ Ftb_core.Study_inference.run ~fraction:0.05 ~trials:2 ~seed:1 c ] in
+  let adaptive = [ Ftb_core.Study_adaptive.run ~trials:2 ~seed:2 c ] in
+  let s = Markdown.summary ~exhaustive ~inference ~adaptive ~seed:1 () in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [
+      "# ftb experiment report"; "Sampling seed: 1"; "Table 1"; "Table 2"; "Table 3";
+      "linear";
+    ];
+  Alcotest.(check bool) "no scaling section without input" false (contains "Table 4" s)
+
+let test_summary_empty () =
+  let s = Markdown.summary () in
+  Alcotest.(check bool) "just the header" true (contains "# ftb experiment report" s);
+  Alcotest.(check bool) "no tables" false (contains "## " s)
+
+let test_save () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "ftb_markdown_test.md" in
+  Markdown.save ~path "# hello\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "written" "# hello" line;
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "table to markdown" `Quick test_table_to_markdown;
+    Alcotest.test_case "section" `Quick test_section;
+    Alcotest.test_case "of_tables" `Quick test_of_tables;
+    Alcotest.test_case "summary composes" `Quick test_summary_composes;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "save" `Quick test_save;
+  ]

@@ -1,0 +1,94 @@
+module Metrics = Ftb_core.Metrics
+module Boundary = Ftb_core.Boundary
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+module Golden = Ftb_trace.Golden
+module Fault = Ftb_trace.Fault
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+let gt = lazy (Ground_truth.run (Lazy.force golden))
+
+let test_exhaustive_boundary_perfect_scores () =
+  let t = Lazy.force gt in
+  let b = Boundary.exhaustive t in
+  let e = Metrics.evaluate b t in
+  Helpers.check_close "precision 1 on a monotone program" 1. e.Metrics.precision;
+  Helpers.check_close "recall 1 on a monotone program" 1. e.Metrics.recall;
+  Alcotest.(check int) "cases counted" (Ground_truth.cases t) e.Metrics.cases;
+  Alcotest.(check int) "tp = predicted = actual" e.Metrics.actual_masked
+    e.Metrics.predicted_masked
+
+let test_zero_boundary_scores () =
+  let t = Lazy.force gt in
+  let b = Boundary.create ~sites:Helpers.linear_sites in
+  let e = Metrics.evaluate b t in
+  (* Nothing predicted masked: precision defaults to 1, recall 0. *)
+  Helpers.check_close "empty precision" 1. e.Metrics.precision;
+  Helpers.check_close "zero recall" 0. e.Metrics.recall;
+  Alcotest.(check int) "no predictions" 0 e.Metrics.predicted_masked
+
+let test_uncertainty_matches_precision_on_full_sample () =
+  (* When the "sample" is the entire space, uncertainty IS precision. *)
+  let g = Lazy.force golden and t = Lazy.force gt in
+  let all = Array.init (Golden.cases g) Fun.id in
+  let samples = Sample_run.run_cases g all in
+  let b = Boundary.infer ~sites:Helpers.linear_sites samples in
+  let e = Metrics.evaluate b t in
+  Helpers.check_close ~eps:1e-12 "uncertainty = precision over the full space"
+    e.Metrics.precision
+    (Metrics.uncertainty b g samples)
+
+let test_uncertainty_without_predictions () =
+  let g = Lazy.force golden in
+  let b = Boundary.create ~sites:Helpers.linear_sites in
+  let samples = Sample_run.run_cases g [| 0; 64 |] in
+  Helpers.check_close "no predicted masked -> 1" 1. (Metrics.uncertainty b g samples)
+
+let test_delta_sdc () =
+  let d = Metrics.delta_sdc ~golden_ratio:[| 0.5; 0.2 |] ~approx_ratio:[| 0.4; 0.3 |] in
+  Alcotest.(check (array (Helpers.close ()))) "pointwise difference" [| 0.1; -0.1 |] d;
+  match Metrics.delta_sdc ~golden_ratio:[| 1. |] ~approx_ratio:[||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+let test_delta_sdc_histogram () =
+  let h = Metrics.delta_sdc_histogram [| 0.; 0.; 0.5; -0.5; 1. |] in
+  Alcotest.(check int) "everything lands in range" 5 (Ftb_util.Histogram.total h);
+  Alcotest.(check int) "no underflow" 0 (Ftb_util.Histogram.underflow h);
+  Alcotest.(check int) "no overflow (=1 included)" 0 (Ftb_util.Histogram.overflow h);
+  (* 41 bins over [-1,1]: 0 sits in the central bin, index 20. *)
+  Alcotest.(check int) "central bin holds the zeros" 20 (Ftb_util.Histogram.mode_bin h)
+
+let test_grouped_mean () =
+  let groups = Metrics.grouped_mean [| 1.; 3.; 5.; 7. |] ~groups:2 in
+  Alcotest.(check int) "two groups" 2 (Array.length groups);
+  Alcotest.(check (pair int (Helpers.close ()))) "first group" (0, 2.) groups.(0);
+  Alcotest.(check (pair int (Helpers.close ()))) "second group" (2, 6.) groups.(1)
+
+let test_evaluation_confusion_identity () =
+  (* predicted = tp + fp; actual = tp + fn; cases >= all of them. *)
+  let g = Lazy.force golden and t = Lazy.force gt in
+  let rng = Ftb_util.Rng.create ~seed:3 in
+  let samples = Sample_run.run_cases g (Sample_run.draw_uniform rng g ~fraction:0.05) in
+  let b = Boundary.infer ~sites:Helpers.linear_sites samples in
+  let e = Metrics.evaluate b t in
+  Alcotest.(check bool) "tp <= predicted" true (e.Metrics.true_positive <= e.Metrics.predicted_masked);
+  Alcotest.(check bool) "tp <= actual" true (e.Metrics.true_positive <= e.Metrics.actual_masked);
+  Alcotest.(check bool) "precision in [0,1]" true
+    (e.Metrics.precision >= 0. && e.Metrics.precision <= 1.);
+  Alcotest.(check bool) "recall in [0,1]" true (e.Metrics.recall >= 0. && e.Metrics.recall <= 1.)
+
+let suite =
+  [
+    Alcotest.test_case "exhaustive boundary scores perfectly" `Quick
+      test_exhaustive_boundary_perfect_scores;
+    Alcotest.test_case "zero boundary scores" `Quick test_zero_boundary_scores;
+    Alcotest.test_case "uncertainty = precision on full sample" `Quick
+      test_uncertainty_matches_precision_on_full_sample;
+    Alcotest.test_case "uncertainty without predictions" `Quick
+      test_uncertainty_without_predictions;
+    Alcotest.test_case "delta_sdc" `Quick test_delta_sdc;
+    Alcotest.test_case "delta_sdc histogram" `Quick test_delta_sdc_histogram;
+    Alcotest.test_case "grouped mean" `Quick test_grouped_mean;
+    Alcotest.test_case "confusion identities" `Quick test_evaluation_confusion_identity;
+  ]

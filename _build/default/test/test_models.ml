@@ -1,0 +1,115 @@
+module Models = Ftb_inject.Models
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+module Rng = Ftb_util.Rng
+module Bits = Ftb_util.Bits
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+
+let test_cases_per_site () =
+  Alcotest.(check (option int)) "64-bit" (Some 64) (Models.cases_per_site Models.Bit_flip_64);
+  Alcotest.(check (option int)) "32-bit" (Some 32) (Models.cases_per_site Models.Bit_flip_32);
+  Alcotest.(check (option int)) "burst" (Some 63)
+    (Models.cases_per_site Models.Adjacent_burst_2);
+  Alcotest.(check (option int)) "random" None
+    (Models.cases_per_site (Models.Random_value { lo = 0.; hi = 1. }))
+
+let rng () = Rng.create ~seed:1
+
+let test_bit_flip_64_matches_bits () =
+  for bit = 0 to 63 do
+    Alcotest.(check bool) "same as Bits.flip" true
+      (Int64.equal
+         (Int64.bits_of_float (Models.corrupt Models.Bit_flip_64 ~rng:(rng ()) ~case:bit 1.5))
+         (Int64.bits_of_float (Bits.flip ~bit 1.5)))
+  done
+
+let test_burst_flips_two_bits () =
+  let v = 1.5 in
+  let corrupted = Models.corrupt Models.Adjacent_burst_2 ~rng:(rng ()) ~case:3 v in
+  let diff = Int64.logxor (Int64.bits_of_float corrupted) (Int64.bits_of_float v) in
+  Alcotest.(check int64) "bits 3 and 4 flipped" (Int64.of_int 0b11000) diff
+
+let test_random_value_in_range () =
+  let model = Models.Random_value { lo = -2.; hi = 3. } in
+  let r = rng () in
+  for _ = 1 to 200 do
+    let v = Models.corrupt model ~rng:r ~case:0 42. in
+    Alcotest.(check bool) "in range" true (v >= -2. && v < 3.)
+  done
+
+let test_case_bounds_checked () =
+  (match Models.corrupt Models.Bit_flip_32 ~rng:(rng ()) ~case:32 1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "case 32 accepted for 32-bit model");
+  match Models.corrupt Models.Adjacent_burst_2 ~rng:(rng ()) ~case:63 1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "case 63 accepted for burst model"
+
+let test_monte_carlo_counts () =
+  let g = Lazy.force golden in
+  let campaign = Models.monte_carlo ~samples_per_site:3 (rng ()) g Models.Bit_flip_64 in
+  Alcotest.(check int) "3 runs per site" (3 * Helpers.linear_sites)
+    campaign.Models.total.Models.runs;
+  let t = campaign.Models.total in
+  Alcotest.(check int) "partition" t.Models.runs (t.Models.masked + t.Models.sdc + t.Models.crash);
+  Helpers.check_close ~eps:1e-12 "ratios consistent" 1.
+    (campaign.Models.masked_ratio +. campaign.Models.sdc_ratio +. campaign.Models.crash_ratio)
+
+let test_discrete_model_exhausts_small_budget () =
+  (* samples_per_site >= cases: every case of the model runs once. *)
+  let g = Lazy.force golden in
+  let campaign = Models.monte_carlo ~samples_per_site:64 (rng ()) g Models.Bit_flip_64 in
+  Alcotest.(check int) "full enumeration" (64 * Helpers.linear_sites)
+    campaign.Models.total.Models.runs;
+  (* And then it must agree exactly with the exhaustive campaign. *)
+  let gt = Ftb_inject.Ground_truth.run g in
+  Helpers.check_close ~eps:1e-12 "matches ground truth sdc"
+    (Ftb_inject.Ground_truth.sdc_ratio gt) campaign.Models.sdc_ratio
+
+let test_random_value_mostly_sdc_on_sensitive_program () =
+  (* Replacing a value by something in [-1000,1000) on a program that
+     tolerates 0.5 should overwhelmingly corrupt. *)
+  let g = Lazy.force golden in
+  let campaign =
+    Models.monte_carlo ~samples_per_site:8 (rng ()) g
+      (Models.Random_value { lo = -1000.; hi = 1000. })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sdc ratio high (%.2f)" campaign.Models.sdc_ratio)
+    true (campaign.Models.sdc_ratio > 0.9)
+
+let test_compare_models_order () =
+  let g = Lazy.force golden in
+  let campaigns = Models.compare_models ~samples_per_site:2 (rng ()) g Models.all_discrete in
+  Alcotest.(check int) "one campaign per model" (List.length Models.all_discrete)
+    (List.length campaigns);
+  List.iter2
+    (fun model (c : Models.campaign) ->
+      Alcotest.(check string) "order preserved" (Models.name model) (Models.name c.Models.model))
+    Models.all_discrete campaigns
+
+let test_custom_runner_injects () =
+  (* run_outcome_custom with an always-+10 corruption at site 0 must be SDC
+     on the linear program (gain 1, tolerance 0.5). *)
+  let g = Lazy.force golden in
+  let r = Runner.run_outcome_custom g ~site:0 ~corrupt:(fun v -> v +. 10.) in
+  Alcotest.(check bool) "sdc" true (Runner.outcome_equal r.Runner.outcome Runner.Sdc);
+  Helpers.check_close "injected error" 10. r.Runner.injected_error;
+  Helpers.check_close "output error" 10. r.Runner.output_error
+
+let suite =
+  [
+    Alcotest.test_case "cases per site" `Quick test_cases_per_site;
+    Alcotest.test_case "bit-flip-64 matches Bits" `Quick test_bit_flip_64_matches_bits;
+    Alcotest.test_case "burst flips two bits" `Quick test_burst_flips_two_bits;
+    Alcotest.test_case "random value in range" `Quick test_random_value_in_range;
+    Alcotest.test_case "case bounds checked" `Quick test_case_bounds_checked;
+    Alcotest.test_case "monte carlo counts" `Quick test_monte_carlo_counts;
+    Alcotest.test_case "full budget = exhaustive" `Quick
+      test_discrete_model_exhausts_small_budget;
+    Alcotest.test_case "random value mostly SDC" `Quick
+      test_random_value_mostly_sdc_on_sensitive_program;
+    Alcotest.test_case "compare models order" `Quick test_compare_models_order;
+    Alcotest.test_case "custom runner injects" `Quick test_custom_runner_injects;
+  ]

@@ -1,0 +1,71 @@
+module Norms = Ftb_util.Norms
+
+let a = [| 1.; 2.; 3. |]
+let b = [| 1.5; 1.; 5. |]
+
+let test_linf () = Helpers.check_close "linf" 2. (Norms.linf a b)
+let test_l1 () = Helpers.check_close "l1" 3.5 (Norms.l1 a b)
+
+let test_l2 () =
+  Helpers.check_close ~eps:1e-12 "l2" (sqrt ((0.5 *. 0.5) +. 1. +. 4.)) (Norms.l2 a b)
+
+let test_identical () =
+  Helpers.check_close "linf of equal arrays" 0. (Norms.linf a a);
+  Helpers.check_close "l2 of equal arrays" 0. (Norms.l2 a a);
+  Helpers.check_close "l1 of equal arrays" 0. (Norms.l1 a a)
+
+let test_length_mismatch () =
+  Alcotest.check_raises "mismatch rejected"
+    (Invalid_argument "Norms.linf: length mismatch (3 vs 2)") (fun () ->
+      ignore (Norms.linf a [| 1.; 2. |]))
+
+let test_nonfinite_saturates () =
+  Helpers.check_close "nan diff -> infinity" infinity (Norms.linf [| nan |] [| 1. |]);
+  Helpers.check_close "inf diff -> infinity" infinity (Norms.linf [| infinity |] [| 1. |]);
+  Helpers.check_close "l2 saturates too" infinity (Norms.l2 [| nan |] [| 1. |]);
+  (* Two NaNs still differ: a NaN output is never bitwise-acceptable. *)
+  Helpers.check_close "nan vs nan -> infinity" infinity (Norms.linf [| nan |] [| nan |])
+
+let test_rel_linf () =
+  (* golden 100 vs 101: relative error 0.01; golden 0.5 floored at 1. *)
+  Helpers.check_close ~eps:1e-12 "relative against large golden" 0.01
+    (Norms.rel_linf [| 100. |] [| 101. |]);
+  Helpers.check_close ~eps:1e-12 "floor at 1 for small golden" 0.25
+    (Norms.rel_linf [| 0.5 |] [| 0.75 |])
+
+let test_max_abs () =
+  Helpers.check_close "max_abs" 3. (Norms.max_abs [| -3.; 2. |]);
+  Helpers.check_close "max_abs empty" 0. (Norms.max_abs [||]);
+  Helpers.check_close "max_abs with nan" infinity (Norms.max_abs [| nan; 1. |])
+
+let finite_array =
+  QCheck.(array_of_size (Gen.int_range 1 20) (float_bound_exclusive 1e6))
+
+let prop_norm_ordering =
+  QCheck.Test.make ~name:"l1 >= l2 >= linf on finite inputs" ~count:300
+    QCheck.(pair finite_array finite_array)
+    (fun (x, y) ->
+      QCheck.assume (Array.length x = Array.length y);
+      let l1 = Norms.l1 x y and l2 = Norms.l2 x y and linf = Norms.linf x y in
+      l1 +. 1e-9 >= l2 && l2 +. 1e-9 >= linf)
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"linf is symmetric" ~count:300
+    QCheck.(pair finite_array finite_array)
+    (fun (x, y) ->
+      QCheck.assume (Array.length x = Array.length y);
+      Norms.linf x y = Norms.linf y x)
+
+let suite =
+  [
+    Alcotest.test_case "linf" `Quick test_linf;
+    Alcotest.test_case "l1" `Quick test_l1;
+    Alcotest.test_case "l2" `Quick test_l2;
+    Alcotest.test_case "identical arrays" `Quick test_identical;
+    Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+    Alcotest.test_case "non-finite saturates" `Quick test_nonfinite_saturates;
+    Alcotest.test_case "rel_linf" `Quick test_rel_linf;
+    Alcotest.test_case "max_abs" `Quick test_max_abs;
+    Helpers.qcheck_to_alcotest prop_norm_ordering;
+    Helpers.qcheck_to_alcotest prop_symmetry;
+  ]

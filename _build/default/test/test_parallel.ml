@@ -1,0 +1,86 @@
+module Parallel = Ftb_inject.Parallel
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+
+let test_parallel_ground_truth_matches_serial () =
+  let g = Lazy.force golden in
+  let serial = Ground_truth.run g in
+  let parallel = Parallel.ground_truth ~domains:4 g in
+  Alcotest.(check int) "same case count" (Ground_truth.cases serial)
+    (Ground_truth.cases parallel);
+  for case = 0 to Ground_truth.cases serial - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d identical" case)
+      true
+      (Runner.outcome_equal (Ground_truth.outcome serial case)
+         (Ground_truth.outcome parallel case))
+  done
+
+let test_parallel_on_real_kernel () =
+  (* A kernel with internal mutable working state must still be re-entrant
+     across domains (fresh state per run). *)
+  let program =
+    Ftb_kernels.Stencil.program
+      { Ftb_kernels.Stencil.size = 5; sweeps = 3; seed = 3; tolerance = 1e-4 }
+  in
+  let g = Golden.run program in
+  let serial = Ground_truth.run g in
+  let parallel = Parallel.ground_truth ~domains:3 g in
+  Helpers.check_close ~eps:1e-12 "same sdc ratio" (Ground_truth.sdc_ratio serial)
+    (Ground_truth.sdc_ratio parallel);
+  Helpers.check_close ~eps:1e-12 "same crash ratio" (Ground_truth.crash_ratio serial)
+    (Ground_truth.crash_ratio parallel)
+
+let test_single_domain_falls_back () =
+  let g = Lazy.force golden in
+  let gt = Parallel.ground_truth ~domains:1 g in
+  Alcotest.(check int) "full space" (Golden.cases g) (Ground_truth.cases gt)
+
+let test_domains_validated () =
+  match Parallel.ground_truth ~domains:0 (Lazy.force golden) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 domains accepted"
+
+let test_parallel_run_cases () =
+  let g = Lazy.force golden in
+  let cases = Array.init 100 (fun i -> i * 4) in
+  let serial = Sample_run.run_cases g cases in
+  let parallel = Parallel.run_cases ~domains:4 g cases in
+  Alcotest.(check int) "same length" (Array.length serial) (Array.length parallel);
+  Array.iteri
+    (fun i (s : Sample_run.t) ->
+      let p = parallel.(i) in
+      Alcotest.(check bool) "same fault" true
+        (Ftb_trace.Fault.equal s.Sample_run.fault p.Sample_run.fault);
+      Alcotest.(check bool) "same outcome" true
+        (Runner.outcome_equal s.Sample_run.outcome p.Sample_run.outcome);
+      match (s.Sample_run.propagation, p.Sample_run.propagation) with
+      | None, None -> ()
+      | Some (ss, sd), Some (ps, pd) ->
+          Alcotest.(check int) "same start" ss ps;
+          Alcotest.(check (array (Helpers.close ()))) "same deviations" sd pd
+      | _ -> Alcotest.fail "propagation presence differs")
+    serial
+
+let test_empty_cases () =
+  let g = Lazy.force golden in
+  Alcotest.(check int) "empty input" 0 (Array.length (Parallel.run_cases ~domains:4 g [||]))
+
+let test_default_domains_positive () =
+  Alcotest.(check bool) "at least one domain" true (Parallel.default_domains () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "parallel ground truth = serial" `Quick
+      test_parallel_ground_truth_matches_serial;
+    Alcotest.test_case "parallel on real kernel" `Quick test_parallel_on_real_kernel;
+    Alcotest.test_case "single domain falls back" `Quick test_single_domain_falls_back;
+    Alcotest.test_case "domains validated" `Quick test_domains_validated;
+    Alcotest.test_case "parallel run_cases = serial" `Quick test_parallel_run_cases;
+    Alcotest.test_case "empty cases" `Quick test_empty_cases;
+    Alcotest.test_case "default domains positive" `Quick test_default_domains_positive;
+  ]

@@ -1,0 +1,130 @@
+module Persist = Ftb_inject.Persist
+module Ground_truth = Ftb_inject.Ground_truth
+module Sample_run = Ftb_inject.Sample_run
+module Golden = Ftb_trace.Golden
+module Runner = Ftb_trace.Runner
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+
+let temp_path name =
+  Filename.concat (Filename.get_temp_dir_name ()) ("ftb_persist_" ^ name)
+
+let test_ground_truth_roundtrip () =
+  let g = Lazy.force golden in
+  let gt = Ground_truth.run g in
+  let path = temp_path "gt" in
+  Persist.save_ground_truth ~path gt;
+  let loaded = Persist.load_ground_truth ~path g in
+  for case = 0 to Ground_truth.cases gt - 1 do
+    Alcotest.(check bool) "identical outcomes" true
+      (Runner.outcome_equal (Ground_truth.outcome gt case) (Ground_truth.outcome loaded case))
+  done;
+  Sys.remove path
+
+let test_ground_truth_program_mismatch () =
+  let g = Lazy.force golden in
+  let gt = Ground_truth.run g in
+  let path = temp_path "gt_mismatch" in
+  Persist.save_ground_truth ~path gt;
+  let other = Golden.run (Helpers.nonmonotonic_program ()) in
+  (match Persist.load_ground_truth ~path other with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "mismatched program accepted");
+  Sys.remove path
+
+let test_ground_truth_truncation_detected () =
+  let g = Lazy.force golden in
+  let gt = Ground_truth.run g in
+  let path = temp_path "gt_trunc" in
+  Persist.save_ground_truth ~path gt;
+  (* Truncate the file. *)
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic - 10) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  (match Persist.load_ground_truth ~path g with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "truncated file accepted");
+  Sys.remove path
+
+let test_samples_roundtrip () =
+  let g = Lazy.force golden in
+  let rng = Ftb_util.Rng.create ~seed:5 in
+  let cases = Sample_run.draw_uniform rng g ~fraction:0.2 in
+  let samples = Sample_run.run_cases g cases in
+  let path = temp_path "samples" in
+  Persist.save_samples ~path ~name:"linear" samples;
+  let loaded = Persist.load_samples ~path ~name:"linear" in
+  Alcotest.(check int) "same count" (Array.length samples) (Array.length loaded);
+  Array.iteri
+    (fun i (s : Sample_run.t) ->
+      let l = loaded.(i) in
+      Alcotest.(check bool) "fault" true (Ftb_trace.Fault.equal s.Sample_run.fault l.Sample_run.fault);
+      Alcotest.(check bool) "outcome" true
+        (Runner.outcome_equal s.Sample_run.outcome l.Sample_run.outcome);
+      (* Bit-exact float round-trip via %h. *)
+      Alcotest.(check bool) "injected error bit-exact" true
+        (Int64.equal
+           (Int64.bits_of_float s.Sample_run.injected_error)
+           (Int64.bits_of_float l.Sample_run.injected_error));
+      match (s.Sample_run.propagation, l.Sample_run.propagation) with
+      | None, None -> ()
+      | Some (ss, sd), Some (ls, ld) ->
+          Alcotest.(check int) "start" ss ls;
+          Alcotest.(check int) "deviation count" (Array.length sd) (Array.length ld);
+          Array.iteri
+            (fun k d ->
+              Alcotest.(check bool) "deviation bit-exact" true
+                (Int64.equal (Int64.bits_of_float d) (Int64.bits_of_float ld.(k))))
+            sd
+      | _ -> Alcotest.fail "propagation presence differs")
+    samples;
+  Sys.remove path
+
+let test_samples_with_nonfinite_errors () =
+  (* Crash samples carry infinity; the format must round-trip it. *)
+  let g = Lazy.force golden in
+  (* bit 62 of site 0 (value 1.0) -> non-finite injection. *)
+  let samples = [| Sample_run.run_case g ((0 * 64) + 62) |] in
+  Helpers.check_close "sanity: infinite injected error" infinity
+    samples.(0).Sample_run.injected_error;
+  let path = temp_path "samples_inf" in
+  Persist.save_samples ~path ~name:"linear" samples;
+  let loaded = Persist.load_samples ~path ~name:"linear" in
+  Helpers.check_close "infinity preserved" infinity loaded.(0).Sample_run.injected_error;
+  Sys.remove path
+
+let test_samples_name_mismatch () =
+  let path = temp_path "samples_name" in
+  Persist.save_samples ~path ~name:"linear" [||];
+  (match Persist.load_samples ~path ~name:"other" with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "name mismatch accepted");
+  Sys.remove path
+
+let test_garbage_rejected () =
+  let path = temp_path "garbage" in
+  let oc = open_out path in
+  output_string oc "not a campaign file\n";
+  close_out oc;
+  (match Persist.load_ground_truth ~path (Lazy.force golden) with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted as ground truth");
+  (match Persist.load_samples ~path ~name:"linear" with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "garbage accepted as samples");
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "ground truth roundtrip" `Quick test_ground_truth_roundtrip;
+    Alcotest.test_case "program mismatch" `Quick test_ground_truth_program_mismatch;
+    Alcotest.test_case "truncation detected" `Quick test_ground_truth_truncation_detected;
+    Alcotest.test_case "samples roundtrip" `Quick test_samples_roundtrip;
+    Alcotest.test_case "non-finite errors roundtrip" `Quick
+      test_samples_with_nonfinite_errors;
+    Alcotest.test_case "samples name mismatch" `Quick test_samples_name_mismatch;
+    Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+  ]

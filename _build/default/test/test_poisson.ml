@@ -1,0 +1,67 @@
+module Poisson = Ftb_kernels.Poisson
+module Csr = Ftb_kernels.Csr
+
+let test_dimensions () =
+  let m = Poisson.matrix ~grid:4 in
+  Alcotest.(check int) "rows" 16 m.Csr.n_rows;
+  Alcotest.(check int) "cols" 16 m.Csr.n_cols;
+  Alcotest.(check int) "unknowns" 16 (Poisson.unknowns ~grid:4)
+
+let test_stencil_structure () =
+  let m = Poisson.matrix ~grid:3 in
+  (* Center cell (1,1) = index 4: diagonal 4 with four -1 neighbours. *)
+  Helpers.check_close "diagonal" 4. (Csr.get m 4 4);
+  Helpers.check_close "north" (-1.) (Csr.get m 4 1);
+  Helpers.check_close "south" (-1.) (Csr.get m 4 7);
+  Helpers.check_close "west" (-1.) (Csr.get m 4 3);
+  Helpers.check_close "east" (-1.) (Csr.get m 4 5);
+  (* Corner cell (0,0) has only two neighbours. *)
+  Helpers.check_close "corner east" (-1.) (Csr.get m 0 1);
+  Helpers.check_close "corner south" (-1.) (Csr.get m 0 3);
+  Helpers.check_close "no wraparound" 0. (Csr.get m 0 2)
+
+let test_symmetric () =
+  Alcotest.(check bool) "5-point Laplacian is symmetric" true
+    (Csr.is_symmetric (Poisson.matrix ~grid:5))
+
+let test_nnz_count () =
+  (* grid g: g^2 diagonal entries + 2*2*g*(g-1) neighbour entries. *)
+  let g = 5 in
+  let m = Poisson.matrix ~grid:g in
+  Alcotest.(check int) "nnz" ((g * g) + (4 * g * (g - 1))) (Csr.nnz m)
+
+let test_positive_definite_via_diagonal_dominance () =
+  (* Weak dominance with strict rows at the boundary: enough for SPD of
+     the irreducible Laplacian; check dominance numerically. *)
+  let g = 4 in
+  let m = Poisson.matrix ~grid:g in
+  for i = 0 to (g * g) - 1 do
+    let off = ref 0. in
+    for j = 0 to (g * g) - 1 do
+      if i <> j then off := !off +. abs_float (Csr.get m i j)
+    done;
+    Alcotest.(check bool) "row dominance" true (Csr.get m i i >= !off)
+  done
+
+let test_rhs_smooth_and_positive () =
+  let b = Poisson.rhs ~grid:6 in
+  Alcotest.(check int) "length" 36 (Array.length b);
+  Array.iter (fun v -> Alcotest.(check bool) "positive interior sine" true (v > 0.)) b;
+  (* Symmetry of the sine product: b(i,j) = b(j,i). *)
+  let at i j = b.((i * 6) + j) in
+  Helpers.check_close ~eps:1e-12 "symmetric rhs" (at 1 2) (at 2 1)
+
+let test_invalid_grid () =
+  Alcotest.check_raises "grid 0" (Invalid_argument "Poisson.unknowns: grid must be positive")
+    (fun () -> ignore (Poisson.matrix ~grid:0))
+
+let suite =
+  [
+    Alcotest.test_case "dimensions" `Quick test_dimensions;
+    Alcotest.test_case "stencil structure" `Quick test_stencil_structure;
+    Alcotest.test_case "symmetric" `Quick test_symmetric;
+    Alcotest.test_case "nnz count" `Quick test_nnz_count;
+    Alcotest.test_case "diagonal dominance" `Quick test_positive_definite_via_diagonal_dominance;
+    Alcotest.test_case "rhs smooth and positive" `Quick test_rhs_smooth_and_positive;
+    Alcotest.test_case "invalid grid" `Quick test_invalid_grid;
+  ]

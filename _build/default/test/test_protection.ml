@@ -1,0 +1,98 @@
+module Protection = Ftb_core.Protection
+module Boundary = Ftb_core.Boundary
+module Ground_truth = Ftb_inject.Ground_truth
+module Golden = Ftb_trace.Golden
+
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+let gt = lazy (Ground_truth.run (Lazy.force golden))
+
+let exhaustive_plan () =
+  let t = Lazy.force gt in
+  Protection.plan (Boundary.exhaustive t) (Lazy.force golden)
+
+let test_plan_ranks_all_sites () =
+  let plan = exhaustive_plan () in
+  Alcotest.(check int) "every site ranked" Helpers.linear_sites
+    (Array.length plan.Protection.ranked_sites);
+  let module S = Set.Make (Int) in
+  Alcotest.(check int) "ranking is a permutation" Helpers.linear_sites
+    (S.cardinal (S.of_list (Array.to_list plan.Protection.ranked_sites)))
+
+let test_ranking_descending () =
+  let plan = exhaustive_plan () in
+  let r = plan.Protection.predicted_ratio in
+  Array.iteri
+    (fun i site ->
+      if i > 0 then
+        Alcotest.(check bool) "non-increasing predictions" true
+          (r.(plan.Protection.ranked_sites.(i - 1)) >= r.(site)))
+    plan.Protection.ranked_sites
+
+let test_budget_sites () =
+  let plan = exhaustive_plan () in
+  Alcotest.(check int) "zero budget" 0 (Array.length (Protection.budget_sites plan ~budget:0.));
+  Alcotest.(check int) "full budget" Helpers.linear_sites
+    (Array.length (Protection.budget_sites plan ~budget:1.));
+  (* 7 sites * 0.5 rounds to 4. *)
+  Alcotest.(check int) "half budget" 4 (Array.length (Protection.budget_sites plan ~budget:0.5));
+  match Protection.budget_sites plan ~budget:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "budget > 1 accepted"
+
+let test_evaluate_full_budget_removes_all_sdc () =
+  let plan = exhaustive_plan () in
+  let t = Lazy.force gt in
+  let evals = Protection.evaluate plan t ~budgets:[| 0.; 1. |] in
+  Helpers.check_close "no protection removes nothing" 0. evals.(0).Protection.eliminated_sdc;
+  Helpers.check_close ~eps:1e-12 "residual at zero budget is the golden ratio"
+    (Ground_truth.sdc_ratio t) evals.(0).Protection.residual_sdc_ratio;
+  Helpers.check_close "full protection removes everything" 1.
+    evals.(1).Protection.eliminated_sdc;
+  Helpers.check_close "no residual at full budget" 0. evals.(1).Protection.residual_sdc_ratio
+
+let test_exhaustive_plan_near_oracle () =
+  (* The exhaustive boundary predicts crash cases as SDC (they are above
+     the boundary), so its ranking can deviate slightly from the true-SDC
+     oracle — but never beat it, and on this monotone program it must stay
+     close. *)
+  let plan = exhaustive_plan () in
+  let evals = Protection.evaluate plan (Lazy.force gt) ~budgets:[| 0.25; 0.5; 0.75 |] in
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "never beats the oracle" true
+        (e.Protection.eliminated_sdc <= e.Protection.oracle_eliminated_sdc +. 1e-12);
+      Alcotest.(check bool)
+        (Printf.sprintf "efficiency high (%.3f)" e.Protection.efficiency)
+        true
+        (e.Protection.efficiency >= 0.8 && e.Protection.efficiency <= 1. +. 1e-12))
+    evals
+
+let test_eliminated_monotone_in_budget () =
+  let plan = exhaustive_plan () in
+  let evals =
+    Protection.evaluate plan (Lazy.force gt) ~budgets:[| 0.2; 0.4; 0.6; 0.8 |]
+  in
+  for i = 1 to Array.length evals - 1 do
+    Alcotest.(check bool) "eliminated share grows with budget" true
+      (evals.(i).Protection.eliminated_sdc >= evals.(i - 1).Protection.eliminated_sdc -. 1e-12)
+  done
+
+let test_mismatched_sites_rejected () =
+  let plan = exhaustive_plan () in
+  let other = Ground_truth.run (Golden.run (Helpers.nonmonotonic_program ())) in
+  match Protection.evaluate plan other ~budgets:[| 0.5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched ground truth accepted"
+
+let suite =
+  [
+    Alcotest.test_case "plan ranks all sites" `Quick test_plan_ranks_all_sites;
+    Alcotest.test_case "ranking descending" `Quick test_ranking_descending;
+    Alcotest.test_case "budget sites" `Quick test_budget_sites;
+    Alcotest.test_case "full budget removes all SDC" `Quick
+      test_evaluate_full_budget_removes_all_sdc;
+    Alcotest.test_case "exhaustive plan near oracle" `Quick test_exhaustive_plan_near_oracle;
+    Alcotest.test_case "eliminated monotone in budget" `Quick
+      test_eliminated_monotone_in_budget;
+    Alcotest.test_case "mismatched sites rejected" `Quick test_mismatched_sites_rejected;
+  ]

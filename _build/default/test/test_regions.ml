@@ -1,0 +1,63 @@
+module Regions = Ftb_core.Regions
+module Golden = Ftb_trace.Golden
+
+let golden = lazy (Golden.run (Helpers.linear_program ()))
+
+(* The linear program has 4 "linear.load" sites then 3 "linear.sum" sites. *)
+let series = [| 1.; 1.; 1.; 1.; 10.; 20.; 30. |]
+
+let test_summarize_by_phase () =
+  let summaries = Regions.summarize_by_phase (Lazy.force golden) series in
+  Alcotest.(check int) "two phases" 2 (List.length summaries);
+  (match summaries with
+  | first :: second :: [] ->
+      Alcotest.(check string) "highest mean first" "linear.sum" first.Regions.phase;
+      Alcotest.(check int) "sum sites" 3 first.Regions.sites;
+      Helpers.check_close "sum mean" 20. first.Regions.mean;
+      Helpers.check_close "sum max" 30. first.Regions.max;
+      Alcotest.(check string) "loads second" "linear.load" second.Regions.phase;
+      Alcotest.(check int) "load sites" 4 second.Regions.sites;
+      Helpers.check_close "load mean" 1. second.Regions.mean
+  | _ -> Alcotest.fail "unexpected summary shape");
+  match Regions.summarize_by_phase (Lazy.force golden) [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+let test_assess () =
+  Alcotest.(check string) "protect first" "protect first"
+    (Regions.assessment_to_string (Regions.assess ~mean_sdc:0.3));
+  Alcotest.(check string) "vulnerable" "vulnerable"
+    (Regions.assessment_to_string (Regions.assess ~mean_sdc:0.15));
+  Alcotest.(check string) "resilient" "naturally resilient"
+    (Regions.assessment_to_string (Regions.assess ~mean_sdc:0.05))
+
+let test_top_sites () =
+  let top = Regions.top_sites (Lazy.force golden) series ~k:2 in
+  Alcotest.(check int) "two entries" 2 (Array.length top);
+  let site, phase, value = top.(0) in
+  Alcotest.(check int) "highest site" 6 site;
+  Alcotest.(check string) "its phase" "linear.sum" phase;
+  Helpers.check_close "its value" 30. value;
+  let site2, _, _ = top.(1) in
+  Alcotest.(check int) "second" 5 site2
+
+let test_top_sites_ties_and_bounds () =
+  let flat = Array.make Helpers.linear_sites 1. in
+  let top = Regions.top_sites (Lazy.force golden) flat ~k:3 in
+  Alcotest.(check int) "ties broken by site index" 0
+    (let site, _, _ = top.(0) in
+     site);
+  (* k larger than the site count clamps. *)
+  Alcotest.(check int) "k clamps" Helpers.linear_sites
+    (Array.length (Regions.top_sites (Lazy.force golden) flat ~k:100));
+  match Regions.top_sites (Lazy.force golden) flat ~k:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative k accepted"
+
+let suite =
+  [
+    Alcotest.test_case "summarize by phase" `Quick test_summarize_by_phase;
+    Alcotest.test_case "assess" `Quick test_assess;
+    Alcotest.test_case "top sites" `Quick test_top_sites;
+    Alcotest.test_case "top sites ties and bounds" `Quick test_top_sites_ties_and_bounds;
+  ]

@@ -1,0 +1,91 @@
+module Render = Ftb_report.Render
+module Context = Ftb_core.Context
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let context = lazy (Context.prepare ~name:"linear" (Helpers.linear_program ()))
+let exhaustive = lazy (Ftb_core.Study_exhaustive.run (Lazy.force context))
+let inference = lazy (Ftb_core.Study_inference.run ~fraction:0.05 ~trials:2 ~seed:1 (Lazy.force context))
+let adaptive = lazy (Ftb_core.Study_adaptive.run ~trials:2 ~seed:2 (Lazy.force context))
+
+let test_table1 () =
+  let s = Render.table1 [ Lazy.force exhaustive ] in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [ "Table 1"; "linear"; "Golden_SDC"; "Approx_SDC" ]
+
+let test_fig3 () =
+  let s = Render.fig3 [ Lazy.force exhaustive ] in
+  Alcotest.(check bool) "header" true (contains "Figure 3" s);
+  Alcotest.(check bool) "benchmark name" true (contains "linear" s)
+
+let test_table2 () =
+  let s = Render.table2 [ Lazy.force inference ] in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [ "Table 2"; "Precision"; "Recall"; "Uncertainty"; "linear" ]
+
+let test_fig4 () =
+  let s =
+    Render.fig4 ~inference:(Lazy.force inference) ~adaptive:(Lazy.force adaptive) ~groups:7
+  in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [ "Figure 4"; "Row 1"; "Row 2"; "Row 3"; "potential impact" ]
+
+let test_fig5_and_table3 () =
+  let sweep = Ftb_core.Study_sweep.run ~fractions:[| 0.05 |] ~trials:2 ~seed:3 (Lazy.force context) in
+  let s = Render.fig5 [ sweep ] in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [ "Figure 5"; "without filter"; "with filter"; "precision"; "recall" ];
+  let s3 = Render.table3 [ Lazy.force adaptive ] in
+  Alcotest.(check bool) "table3 header" true (contains "Table 3" s3)
+
+let test_table4 () =
+  let scaling =
+    Ftb_core.Study_scaling.run ~samples:50 ~trials:2 ~seed:4
+      [| ("tiny", Lazy.force context) |]
+  in
+  let s = Render.table4 scaling in
+  Alcotest.(check bool) "table4 header" true (contains "Table 4" s);
+  Alcotest.(check bool) "row label" true (contains "tiny" s)
+
+let test_csv_exports () =
+  let named =
+    Render.csv_table1 [ Lazy.force exhaustive ]
+    @ Render.csv_fig3 [ Lazy.force exhaustive ]
+    @ Render.csv_table2 [ Lazy.force inference ]
+    @ Render.csv_table3 [ Lazy.force adaptive ]
+  in
+  Alcotest.(check bool) "several csv tables" true (List.length named >= 4);
+  List.iter
+    (fun (name, table) ->
+      Alcotest.(check bool) (name ^ " non-empty csv") true
+        (String.length (Ftb_util.Table.to_csv table) > 0))
+    named
+
+let test_save_all () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ftb_render_test" in
+  let paths = Render.save_all ~dir (Render.csv_table1 [ Lazy.force exhaustive ]) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p);
+      Sys.remove p)
+    paths;
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "table1" `Quick test_table1;
+    Alcotest.test_case "fig3" `Quick test_fig3;
+    Alcotest.test_case "table2" `Quick test_table2;
+    Alcotest.test_case "fig4" `Quick test_fig4;
+    Alcotest.test_case "fig5 and table3" `Quick test_fig5_and_table3;
+    Alcotest.test_case "table4" `Quick test_table4;
+    Alcotest.test_case "csv exports" `Quick test_csv_exports;
+    Alcotest.test_case "save_all" `Quick test_save_all;
+  ]

@@ -1,0 +1,128 @@
+module Rng = Ftb_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  (* advancing a does not advance b *)
+  let a' = Rng.next_int64 a and b' = Rng.next_int64 b in
+  Alcotest.(check bool) "copies advance independently" false (Int64.equal a' b')
+
+let test_split_diverges () =
+  let a = Rng.create ~seed:9 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Int64.equal (Rng.next_int64 a) (Rng.next_int64 b) then incr same
+  done;
+  Alcotest.(check int) "split streams do not collide" 0 !same
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_covers_range () =
+  let rng = Rng.create ~seed:11 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 6) <- true
+  done;
+  Alcotest.(check bool) "all values of a small range appear" true
+    (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_bool_balanced () =
+  let rng = Rng.create ~seed:17 in
+  let heads = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bool rng then incr heads
+  done;
+  Alcotest.(check bool) "roughly balanced coin" true (!heads > 4500 && !heads < 5500)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create ~seed:19 in
+  let a = Array.init 50 Fun.id in
+  let shuffled = Array.copy a in
+  Rng.shuffle rng shuffled;
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle preserves the multiset" a sorted;
+  Alcotest.(check bool) "shuffle moved something" true (shuffled <> a)
+
+let check_sample rng ~n ~k =
+  let s = Rng.sample_without_replacement rng ~n ~k in
+  Alcotest.(check int) "sample size" k (Array.length s);
+  let seen = Hashtbl.create k in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "in range" true (i >= 0 && i < n);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen i);
+      Hashtbl.add seen i ())
+    s
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:23 in
+  check_sample rng ~n:100 ~k:5;
+  (* sparse path *)
+  check_sample rng ~n:100 ~k:90;
+  (* dense path *)
+  check_sample rng ~n:10 ~k:10;
+  check_sample rng ~n:10 ~k:0;
+  Alcotest.check_raises "k > n rejected"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Rng.sample_without_replacement rng ~n:3 ~k:4))
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement draws distinct in-range indices"
+    ~count:200
+    QCheck.(pair (int_range 1 200) (int_range 0 200))
+    (fun (n, k_raw) ->
+      let k = min k_raw n in
+      let rng = Ftb_util.Rng.create ~seed:(n * 31 + k) in
+      let s = Ftb_util.Rng.sample_without_replacement rng ~n ~k in
+      let module S = Set.Make (Int) in
+      let set = S.of_list (Array.to_list s) in
+      S.cardinal set = k && S.for_all (fun i -> i >= 0 && i < n) set)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Helpers.qcheck_to_alcotest prop_sample_distinct;
+  ]

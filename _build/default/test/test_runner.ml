@@ -1,0 +1,127 @@
+module Runner = Ftb_trace.Runner
+module Golden = Ftb_trace.Golden
+module Fault = Ftb_trace.Fault
+module Bits = Ftb_util.Bits
+
+(* The linear program has unit error gain: an error e at any site moves the
+   output by exactly e, so the outcome is Masked iff e <= tolerance. *)
+let golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+
+let test_sign_flip_is_sdc () =
+  (* Sign flip of x0 = 1.0 injects error 2.0 > 0.5. *)
+  let r = Runner.run_outcome (Lazy.force golden) (Fault.make ~site:0 ~bit:Bits.sign_bit) in
+  Alcotest.(check bool) "sdc" true (Runner.outcome_equal r.Runner.outcome Runner.Sdc);
+  Helpers.check_close "injected error" 2. r.Runner.injected_error;
+  Helpers.check_close "output error" 2. r.Runner.output_error
+
+let test_low_mantissa_flip_is_masked () =
+  let r = Runner.run_outcome (Lazy.force golden) (Fault.make ~site:0 ~bit:0) in
+  Alcotest.(check bool) "masked" true (Runner.outcome_equal r.Runner.outcome Runner.Masked);
+  Alcotest.(check bool) "tiny injected error" true (r.Runner.injected_error < 1e-10)
+
+let test_nonfinite_output_is_crash () =
+  (* Top exponent bit of 1.0 -> non-finite value propagates to the output. *)
+  let r = Runner.run_outcome (Lazy.force golden) (Fault.make ~site:0 ~bit:62) in
+  Alcotest.(check bool) "crash" true (Runner.outcome_equal r.Runner.outcome Runner.Crash);
+  Helpers.check_close "output error saturates" infinity r.Runner.output_error;
+  Helpers.check_close "injected error saturates" infinity r.Runner.injected_error
+
+let test_guard_crash () =
+  let g = Golden.run (Helpers.guarded_program ()) in
+  let r = Runner.run_outcome g (Fault.make ~site:0 ~bit:62) in
+  Alcotest.(check bool) "guard traps" true (Runner.outcome_equal r.Runner.outcome Runner.Crash)
+
+let test_fault_out_of_range () =
+  match
+    Runner.run_outcome (Lazy.force golden)
+      (Fault.make ~site:Helpers.linear_sites ~bit:0)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_propagation_deviations () =
+  (* Sign flip at site 1 (x1 = 2.0): error 4 at site 1, propagating with
+     unit gain through sites 4, 5, 6. Sites before the fault are not
+     covered. *)
+  let p = Runner.run_propagation (Lazy.force golden) (Fault.make ~site:1 ~bit:Bits.sign_bit) in
+  Alcotest.(check int) "start at fault site" 1 p.Runner.start;
+  Alcotest.(check int) "stop at golden length" Helpers.linear_sites p.Runner.stop;
+  Alcotest.(check (array (Helpers.close ()))) "deviations"
+    [| 4.; 0.; 0.; 4.; 4.; 4. |] p.Runner.deviations;
+  Alcotest.(check bool) "outcome sdc" true
+    (Runner.outcome_equal p.Runner.result.Runner.outcome Runner.Sdc)
+
+let test_propagation_masked_small_flip () =
+  let p = Runner.run_propagation (Lazy.force golden) (Fault.make ~site:2 ~bit:20) in
+  Alcotest.(check bool) "masked" true
+    (Runner.outcome_equal p.Runner.result.Runner.outcome Runner.Masked);
+  (* Deviation at the fault site equals the injected error. *)
+  Helpers.check_close ~eps:1e-18 "deviation[0] = injected error"
+    p.Runner.result.Runner.injected_error p.Runner.deviations.(0)
+
+let test_propagation_stops_at_divergence () =
+  let g = Golden.run (Helpers.branching_program ()) in
+  (* Sites: x (tag load), y (branch-dependent), out. A big flip at x makes
+     the faulty run take the other branch: coverage must stop at the
+     divergence point (site 1). *)
+  let p = Runner.run_propagation g (Fault.make ~site:0 ~bit:62) in
+  Alcotest.(check int) "start" 0 p.Runner.start;
+  Alcotest.(check int) "stop at divergence" 1 p.Runner.stop;
+  Alcotest.(check int) "only the fault site covered" 1 (Array.length p.Runner.deviations)
+
+let test_propagation_no_divergence_on_small_flip () =
+  let g = Golden.run (Helpers.branching_program ()) in
+  let p = Runner.run_propagation g (Fault.make ~site:0 ~bit:2) in
+  Alcotest.(check int) "full coverage" 3 p.Runner.stop
+
+let test_outcome_strings () =
+  Alcotest.(check string) "masked" "masked" (Runner.outcome_to_string Runner.Masked);
+  Alcotest.(check string) "sdc" "sdc" (Runner.outcome_to_string Runner.Sdc);
+  Alcotest.(check string) "crash" "crash" (Runner.outcome_to_string Runner.Crash)
+
+(* Exhaustively cross-check outcome runs against propagation runs: they
+   must classify identically (propagation tracing must not perturb
+   results). *)
+let test_outcome_and_propagation_agree () =
+  let g = Lazy.force golden in
+  for case = 0 to Golden.cases g - 1 do
+    let fault = Fault.of_case case in
+    let a = Runner.run_outcome g fault in
+    let b = Runner.run_propagation g fault in
+    Alcotest.(check bool)
+      (Printf.sprintf "same outcome at %s" (Fault.to_string fault))
+      true
+      (Runner.outcome_equal a.Runner.outcome b.Runner.result.Runner.outcome)
+  done
+
+let prop_injected_error_matches_bits =
+  QCheck.Test.make ~name:"injected error equals the bit-flip error of the golden value"
+    ~count:200
+    QCheck.(pair (int_bound (Helpers.linear_sites - 1)) (int_bound 63))
+    (fun (site, bit) ->
+      let g = Lazy.force golden in
+      let r = Runner.run_outcome g (Fault.make ~site ~bit) in
+      let expected = Bits.error_of_flip ~bit (Golden.value g site) in
+      let expected = if Float.is_nan expected then infinity else expected in
+      r.Runner.injected_error = expected
+      || abs_float (r.Runner.injected_error -. expected) <= 1e-12 *. expected)
+
+let suite =
+  [
+    Alcotest.test_case "sign flip is SDC" `Quick test_sign_flip_is_sdc;
+    Alcotest.test_case "low mantissa flip is masked" `Quick test_low_mantissa_flip_is_masked;
+    Alcotest.test_case "non-finite output is crash" `Quick test_nonfinite_output_is_crash;
+    Alcotest.test_case "guard crash" `Quick test_guard_crash;
+    Alcotest.test_case "fault out of range" `Quick test_fault_out_of_range;
+    Alcotest.test_case "propagation deviations" `Quick test_propagation_deviations;
+    Alcotest.test_case "propagation masked small flip" `Quick
+      test_propagation_masked_small_flip;
+    Alcotest.test_case "propagation stops at divergence" `Quick
+      test_propagation_stops_at_divergence;
+    Alcotest.test_case "no divergence on small flip" `Quick
+      test_propagation_no_divergence_on_small_flip;
+    Alcotest.test_case "outcome strings" `Quick test_outcome_strings;
+    Alcotest.test_case "outcome and propagation agree (exhaustive)" `Slow
+      test_outcome_and_propagation_agree;
+    Helpers.qcheck_to_alcotest prop_injected_error_matches_bits;
+  ]

@@ -1,0 +1,93 @@
+module Sampling = Ftb_util.Sampling
+module Rng = Ftb_util.Rng
+
+let test_uniform_delegates () =
+  let rng = Rng.create ~seed:1 in
+  let s = Sampling.uniform rng ~n:50 ~k:10 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  Array.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 50)) s
+
+let test_weighted_distinct_and_positive () =
+  let rng = Rng.create ~seed:2 in
+  let weights = [| 1.; 0.; 3.; 0.; 2. |] in
+  for _ = 1 to 50 do
+    let s = Sampling.weighted_without_replacement rng ~weights ~k:3 in
+    let module S = Set.Make (Int) in
+    let set = S.of_list (Array.to_list s) in
+    Alcotest.(check int) "3 distinct" 3 (S.cardinal set);
+    Alcotest.(check bool) "zero-weight index 1 never drawn" false (S.mem 1 set);
+    Alcotest.(check bool) "zero-weight index 3 never drawn" false (S.mem 3 set)
+  done
+
+let test_weighted_bias () =
+  (* Index 0 has 100x the weight of index 1: it must be drawn first almost
+     always over many trials. *)
+  let rng = Rng.create ~seed:3 in
+  let weights = [| 100.; 1. |] in
+  let zero_first = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    let s = Sampling.weighted_without_replacement rng ~weights ~k:1 in
+    if s.(0) = 0 then incr zero_first
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "heavy weight dominates (%d/%d)" !zero_first trials)
+    true
+    (float_of_int !zero_first /. float_of_int trials > 0.95)
+
+let test_weighted_errors () =
+  let rng = Rng.create ~seed:4 in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Sampling.weighted_without_replacement: invalid weight") (fun () ->
+      ignore (Sampling.weighted_without_replacement rng ~weights:[| -1.; 1. |] ~k:1));
+  Alcotest.check_raises "not enough positive weights"
+    (Invalid_argument "Sampling.weighted_without_replacement: not enough positive weights")
+    (fun () ->
+      ignore (Sampling.weighted_without_replacement rng ~weights:[| 0.; 1. |] ~k:2));
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Sampling.weighted_without_replacement: k > n") (fun () ->
+      ignore (Sampling.weighted_without_replacement rng ~weights:[| 1. |] ~k:2))
+
+let test_inverse_information_weights () =
+  let w = Sampling.inverse_information_weights ~info:[| 0.; 1.; 4.; 10. |] in
+  Helpers.check_close "zero info floored to weight 1" 1. w.(0);
+  Helpers.check_close "info 1 -> weight 1" 1. w.(1);
+  Helpers.check_close "info 4 -> weight 1/4" 0.25 w.(2);
+  Helpers.check_close "info 10 -> weight 1/10" 0.1 w.(3);
+  Alcotest.check_raises "negative info"
+    (Invalid_argument "Sampling.inverse_information_weights: invalid info count") (fun () ->
+      ignore (Sampling.inverse_information_weights ~info:[| -1. |]))
+
+let test_stratified_indices () =
+  let ranges = Sampling.stratified_indices ~n:10 ~strata:3 in
+  Alcotest.(check int) "3 ranges" 3 (Array.length ranges);
+  Alcotest.(check (pair int int)) "first" (0, 3) ranges.(0);
+  Alcotest.(check (pair int int)) "second" (3, 6) ranges.(1);
+  Alcotest.(check (pair int int)) "third" (6, 10) ranges.(2);
+  (* More strata than elements collapses to n ranges. *)
+  let tiny = Sampling.stratified_indices ~n:2 ~strata:5 in
+  Alcotest.(check int) "clamped strata" 2 (Array.length tiny)
+
+let prop_stratified_covers =
+  QCheck.Test.make ~name:"stratified ranges tile [0,n) exactly" ~count:200
+    QCheck.(pair (int_range 0 500) (int_range 1 20))
+    (fun (n, strata) ->
+      let ranges = Sampling.stratified_indices ~n ~strata in
+      let covered = Array.fold_left (fun acc (a, b) -> acc + (b - a)) 0 ranges in
+      let contiguous = ref true in
+      Array.iteri
+        (fun i (a, _) -> if i > 0 && a <> snd ranges.(i - 1) then contiguous := false)
+        ranges;
+      covered = n && !contiguous
+      && (Array.length ranges = 0 || (fst ranges.(0) = 0 && snd ranges.(Array.length ranges - 1) = n)))
+
+let suite =
+  [
+    Alcotest.test_case "uniform delegates" `Quick test_uniform_delegates;
+    Alcotest.test_case "weighted distinct/positive" `Quick test_weighted_distinct_and_positive;
+    Alcotest.test_case "weighted bias" `Quick test_weighted_bias;
+    Alcotest.test_case "weighted errors" `Quick test_weighted_errors;
+    Alcotest.test_case "inverse information weights" `Quick test_inverse_information_weights;
+    Alcotest.test_case "stratified indices" `Quick test_stratified_indices;
+    Helpers.qcheck_to_alcotest prop_stratified_covers;
+  ]

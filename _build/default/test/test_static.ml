@@ -1,0 +1,50 @@
+module Static = Ftb_trace.Static
+
+let test_register_dense_tags () =
+  let t = Static.create_table () in
+  let a = Static.register t ~phase:"p1" ~label:"a" in
+  let b = Static.register t ~phase:"p1" ~label:"b" in
+  let c = Static.register t ~phase:"p2" ~label:"c" in
+  Alcotest.(check (list int)) "dense tags" [ 0; 1; 2 ] [ a; b; c ];
+  Alcotest.(check int) "size" 3 (Static.size t)
+
+let test_register_idempotent () =
+  let t = Static.create_table () in
+  let a = Static.register t ~phase:"p" ~label:"x" in
+  let a' = Static.register t ~phase:"p" ~label:"x" in
+  Alcotest.(check int) "same tag" a a';
+  Alcotest.(check int) "no duplicate entry" 1 (Static.size t)
+
+let test_info_lookup () =
+  let t = Static.create_table () in
+  let tag = Static.register t ~phase:"spmv" ~label:"q[i]" in
+  let info = Static.info t tag in
+  Alcotest.(check string) "phase" "spmv" info.Static.phase;
+  Alcotest.(check string) "label" "q[i]" info.Static.label;
+  Alcotest.check_raises "unknown tag" (Invalid_argument "Static.info: unknown tag 5")
+    (fun () -> ignore (Static.info t 5))
+
+let test_phases_in_order () =
+  let t = Static.create_table () in
+  ignore (Static.register t ~phase:"init" ~label:"a");
+  ignore (Static.register t ~phase:"loop" ~label:"b");
+  ignore (Static.register t ~phase:"init" ~label:"c");
+  ignore (Static.register t ~phase:"final" ~label:"d");
+  Alcotest.(check (list string)) "phase order" [ "init"; "loop"; "final" ] (Static.phases t)
+
+let test_growth_beyond_initial_capacity () =
+  let t = Static.create_table () in
+  for i = 0 to 99 do
+    ignore (Static.register t ~phase:"p" ~label:(string_of_int i))
+  done;
+  Alcotest.(check int) "100 entries" 100 (Static.size t);
+  Alcotest.(check string) "entry 73 intact" "73" (Static.info t 73).Static.label
+
+let suite =
+  [
+    Alcotest.test_case "register dense tags" `Quick test_register_dense_tags;
+    Alcotest.test_case "register idempotent" `Quick test_register_idempotent;
+    Alcotest.test_case "info lookup" `Quick test_info_lookup;
+    Alcotest.test_case "phases in order" `Quick test_phases_in_order;
+    Alcotest.test_case "growth beyond capacity" `Quick test_growth_beyond_initial_capacity;
+  ]

@@ -1,0 +1,103 @@
+module Stats = Ftb_util.Stats
+
+let test_mean_std () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Helpers.check_close "mean" 5. (Stats.mean xs);
+  (* Sample std with Bessel correction: sqrt(32/7). *)
+  Helpers.check_close ~eps:1e-12 "std" (sqrt (32. /. 7.)) (Stats.std xs)
+
+let test_empty_and_singleton () =
+  Alcotest.(check bool) "mean of empty is nan" true (Float.is_nan (Stats.mean [||]));
+  Helpers.check_close "std of singleton is 0" 0. (Stats.std [| 3. |]);
+  let s = Stats.summarize [||] in
+  Alcotest.(check int) "empty count" 0 s.Stats.n
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Helpers.check_close "mean" 2. s.Stats.mean;
+  Helpers.check_close "min" 1. s.Stats.min;
+  Helpers.check_close "max" 3. s.Stats.max
+
+let test_nan_rejected () =
+  Alcotest.check_raises "NaN observation rejected"
+    (Invalid_argument "Stats: NaN observation") (fun () ->
+      ignore (Stats.summarize [| 1.; nan |]))
+
+let test_median () =
+  Helpers.check_close "odd median" 3. (Stats.median [| 5.; 3.; 1. |]);
+  Helpers.check_close "even median" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  Alcotest.(check bool) "empty median nan" true (Float.is_nan (Stats.median [||]))
+
+let test_median_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.median xs);
+  Alcotest.(check (array (Helpers.close ()))) "input untouched" [| 3.; 1.; 2. |] xs
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Helpers.check_close "p0" 1. (Stats.percentile xs ~p:0.);
+  Helpers.check_close "p100" 5. (Stats.percentile xs ~p:100.);
+  Helpers.check_close "p50" 3. (Stats.percentile xs ~p:50.);
+  Helpers.check_close "p25 interpolates" 2. (Stats.percentile xs ~p:25.);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile [||] ~p:50.));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of [0,100]") (fun () ->
+      ignore (Stats.percentile xs ~p:101.))
+
+let test_online_matches_batch () =
+  let xs = Array.init 100 (fun i -> sin (float_of_int i)) in
+  let online = Stats.Online.create () in
+  Array.iter (Stats.Online.add online) xs;
+  Alcotest.(check int) "count" 100 (Stats.Online.count online);
+  Helpers.check_close ~eps:1e-10 "online mean = batch mean" (Stats.mean xs)
+    (Stats.Online.mean online);
+  Helpers.check_close ~eps:1e-10 "online std = batch std" (Stats.std xs)
+    (Stats.Online.std online);
+  let s = Stats.Online.summary online in
+  Helpers.check_close ~eps:1e-10 "summary min" (Stats.summarize xs).Stats.min s.Stats.min
+
+let test_format_mean_std () =
+  let s = Stats.format_mean_std [| 0.10; 0.12 |] in
+  Alcotest.(check string) "percent formatting" "11.00% ± 1.41%" s;
+  let s = Stats.format_mean_std ~percent:false [| 1.; 3. |] in
+  Alcotest.(check string) "raw formatting" "2.00 ± 1.41" s
+
+let prop_online_equals_batch =
+  QCheck.Test.make ~name:"online statistics match batch statistics" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let online = Ftb_util.Stats.Online.create () in
+      Array.iter (Ftb_util.Stats.Online.add online) xs;
+      let close a b = abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a) in
+      close (Ftb_util.Stats.mean xs) (Ftb_util.Stats.Online.mean online)
+      && close (Ftb_util.Stats.std xs) (Ftb_util.Stats.Online.std online))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30) (float_bound_exclusive 1e3))
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (xs, (p1, p2)) ->
+      let xs = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Ftb_util.Stats.percentile xs ~p:lo <= Ftb_util.Stats.percentile xs ~p:hi +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "mean and std" `Quick test_mean_std;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "median does not mutate" `Quick test_median_does_not_mutate;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "online matches batch" `Quick test_online_matches_batch;
+    Alcotest.test_case "format mean/std" `Quick test_format_mean_std;
+    Helpers.qcheck_to_alcotest prop_online_equals_batch;
+    Helpers.qcheck_to_alcotest prop_percentile_monotone;
+  ]

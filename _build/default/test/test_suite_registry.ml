@@ -1,0 +1,37 @@
+module Suite = Ftb_kernels.Suite
+
+let test_names () =
+  Alcotest.(check (list string)) "registry names"
+    [ "cg"; "lu"; "fft"; "jacobi"; "stencil"; "matvec"; "matmul"; "gemm" ]
+    (Suite.names ())
+
+let test_paper_benchmarks () =
+  Alcotest.(check (list string)) "paper order" [ "cg"; "lu"; "fft" ]
+    (List.map fst Suite.paper_benchmarks)
+
+let test_find () =
+  let p = Suite.find "stencil" in
+  Alcotest.(check string) "program name" "stencil" p.Ftb_trace.Program.name;
+  match Suite.find "nope" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message lists valid names" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "unknown benchmark accepted"
+
+let test_lazy_programs_run () =
+  (* Each registry entry must at least build and describe itself. *)
+  List.iter
+    (fun (name, program) ->
+      let p = Lazy.force program in
+      Alcotest.(check string) (name ^ " has matching name") name p.Ftb_trace.Program.name;
+      Alcotest.(check bool) (name ^ " has a description") true
+        (String.length p.Ftb_trace.Program.description > 0))
+    Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "paper benchmarks" `Quick test_paper_benchmarks;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "lazy programs run" `Quick test_lazy_programs_run;
+  ]

@@ -1,0 +1,95 @@
+module Svg = Ftb_report.Svg
+module Histogram = Ftb_util.Histogram
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_line_chart_structure () =
+  let s =
+    Svg.line_chart ~title:"test chart"
+      [
+        { Svg.label = "a"; color = "#ff0000"; values = [| 1.; 2.; 3. |] };
+        { Svg.label = "b"; color = ""; values = [| 3.; 2.; 1. |] };
+      ]
+  in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [ "<svg"; "</svg>"; "test chart"; "#ff0000"; "<path"; ">a</text>"; ">b</text>" ]
+
+let test_line_chart_escapes_xml () =
+  let s =
+    Svg.line_chart ~title:"a < b & c"
+      [ { Svg.label = "x<y"; color = ""; values = [| 1.; 2. |] } ]
+  in
+  Alcotest.(check bool) "escaped title" true (contains "a &lt; b &amp; c" s);
+  Alcotest.(check bool) "escaped label" true (contains "x&lt;y" s);
+  Alcotest.(check bool) "no raw <y" false (contains ">x<y<" s)
+
+let test_line_chart_length_mismatch () =
+  match
+    Svg.line_chart ~title:"bad"
+      [
+        { Svg.label = "a"; color = ""; values = [| 1. |] };
+        { Svg.label = "b"; color = ""; values = [| 1.; 2. |] };
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+let test_line_chart_empty () =
+  let s = Svg.line_chart ~title:"empty" [] in
+  Alcotest.(check bool) "placeholder" true (contains "(no data)" s)
+
+let test_line_chart_nonfinite_breaks () =
+  (* One NaN in the middle: the series splits into two path segments. *)
+  let s =
+    Svg.line_chart ~title:"gap"
+      [ { Svg.label = "a"; color = "#000"; values = [| 1.; 2.; nan; 3.; 4. |] } ]
+  in
+  let count_paths s =
+    let rec go i acc =
+      if i + 5 > String.length s then acc
+      else if String.sub s i 5 = "<path" then go (i + 5) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two segments" 2 (count_paths s);
+  Alcotest.(check bool) "no nan leaks into the document" false (contains "nan" s)
+
+let test_constant_series_no_division_by_zero () =
+  let s =
+    Svg.line_chart ~title:"flat" [ { Svg.label = "a"; color = ""; values = Array.make 5 2. } ]
+  in
+  Alcotest.(check bool) "renders" true (contains "<path" s)
+
+let test_histogram_chart () =
+  let h = Histogram.of_array ~lo:0. ~hi:1. ~bins:4 [| 0.1; 0.1; 0.6 |] in
+  let s = Svg.histogram_chart ~title:"hist" h in
+  List.iter
+    (fun f -> Alcotest.(check bool) ("contains " ^ f) true (contains f s))
+    [ "<svg"; "hist"; "<rect"; "3 observations" ]
+
+let test_save () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "ftb_svg_test.svg" in
+  Svg.save ~path (Svg.line_chart ~title:"t" [ { Svg.label = "a"; color = ""; values = [| 1.; 2. |] } ]);
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "starts with svg element" true (contains "<svg" first);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "line chart structure" `Quick test_line_chart_structure;
+    Alcotest.test_case "xml escaping" `Quick test_line_chart_escapes_xml;
+    Alcotest.test_case "length mismatch" `Quick test_line_chart_length_mismatch;
+    Alcotest.test_case "empty chart" `Quick test_line_chart_empty;
+    Alcotest.test_case "non-finite breaks path" `Quick test_line_chart_nonfinite_breaks;
+    Alcotest.test_case "constant series" `Quick test_constant_series_no_division_by_zero;
+    Alcotest.test_case "histogram chart" `Quick test_histogram_chart;
+    Alcotest.test_case "save" `Quick test_save;
+  ]

@@ -1,0 +1,82 @@
+module Table = Ftb_util.Table
+
+let test_render_contains_cells () =
+  let t = Table.create [ "Name"; "Value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render ~title:"My Table" t in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" fragment) true (contains fragment s))
+    [ "My Table"; "Name"; "Value"; "alpha"; "beta"; "22" ]
+
+let test_row_width_checked () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "short row rejected"
+    (Invalid_argument "Table.add_row: expected 2 columns, got 1") (fun () ->
+      Table.add_row t [ "only" ])
+
+let test_empty_header_rejected () =
+  Alcotest.check_raises "empty header" (Invalid_argument "Table.create: empty header")
+    (fun () -> ignore (Table.create []))
+
+let test_aligns_width_checked () =
+  Alcotest.check_raises "aligns mismatch"
+    (Invalid_argument "Table.create: aligns width mismatch") (fun () ->
+      ignore (Table.create ~aligns:[ Table.Left ] [ "a"; "b" ]))
+
+let test_csv_basic () =
+  let t = Table.create [ "x"; "y" ] in
+  Table.add_row t [ "1"; "2" ];
+  Alcotest.(check string) "csv" "x,y\n1,2\n" (Table.to_csv t)
+
+let test_csv_escaping () =
+  let t = Table.create [ "field" ] in
+  Table.add_row t [ "has,comma" ];
+  Table.add_row t [ "has\"quote" ];
+  Table.add_row t [ "has\nnewline" ];
+  Alcotest.(check string) "escaped csv"
+    "field\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n" (Table.to_csv t)
+
+let test_save_csv () =
+  let dir = Filename.temp_file "ftb_table" "" in
+  Sys.remove dir;
+  let t = Table.create [ "k"; "v" ] in
+  Table.add_row t [ "a"; "1" ];
+  let path = Table.save_csv ~dir ~name:"test" t in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header written" "k,v" line;
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_alignment_pads () =
+  let t = Table.create ~aligns:[ Table.Right; Table.Center ] [ "num"; "mid" ] in
+  Table.add_row t [ "7"; "x" ];
+  let s = Table.render t in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "right-aligned numeral" true (contains "|   7 |" s);
+  Alcotest.(check bool) "centered cell" true (contains "|  x  |" s)
+
+let suite =
+  [
+    Alcotest.test_case "render contains cells" `Quick test_render_contains_cells;
+    Alcotest.test_case "row width checked" `Quick test_row_width_checked;
+    Alcotest.test_case "empty header rejected" `Quick test_empty_header_rejected;
+    Alcotest.test_case "aligns width checked" `Quick test_aligns_width_checked;
+    Alcotest.test_case "csv basic" `Quick test_csv_basic;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "save csv" `Quick test_save_csv;
+    Alcotest.test_case "alignment pads" `Quick test_alignment_pads;
+  ]
