@@ -65,18 +65,47 @@ let list_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let campaign_run () name exhaustive fraction seed csv =
+let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_every resume
+    fuel domains =
   let program = find_program name in
   let golden = Ftb_trace.Golden.run program in
   let sites = Ftb_trace.Golden.sites golden in
   Printf.printf "%s: %d dynamic instructions, %d fault cases\n" name sites
     (Ftb_trace.Golden.cases golden);
   if exhaustive then begin
-    let gt = Ftb_inject.Ground_truth.run golden in
+    let module E = Ftb_campaign.Engine in
+    let config =
+      {
+        E.default_config with
+        E.checkpoint_every;
+        domains;
+        fuel;
+        resume;
+        on_checkpoint =
+          (if checkpoint = None then None
+           else
+             Some
+               (fun ~shards_done ~shards_total ->
+                 Logs.info (fun m ->
+                     m "checkpoint: %d/%d shards" shards_done shards_total)));
+      }
+    in
+    let report = E.run ~config ?checkpoint golden in
+    let gt = report.E.ground_truth in
     Printf.printf "exhaustive campaign:\n  masked %s\n  sdc    %s\n  crash  %s\n"
       (pct (Ftb_inject.Ground_truth.masked_ratio gt))
       (pct (Ftb_inject.Ground_truth.sdc_ratio gt))
       (pct (Ftb_inject.Ground_truth.crash_ratio gt));
+    let c = Ftb_inject.Ground_truth.crash_counts gt in
+    Printf.printf "  crash reasons: %d nan, %d inf, %d exception, %d fuel-exhausted\n"
+      c.Ftb_inject.Ground_truth.nan c.Ftb_inject.Ground_truth.inf
+      c.Ftb_inject.Ground_truth.exn c.Ftb_inject.Ground_truth.fuel;
+    if checkpoint <> None then
+      Printf.printf
+        "  shards: %d total, %d resumed from checkpoint, %d executed, %d retried, %d \
+         checkpoints written\n"
+        report.E.total_shards report.E.resumed_shards report.E.executed_shards
+        report.E.retries report.E.checkpoints_written;
     match csv with
     | None -> ()
     | Some dir ->
@@ -96,7 +125,7 @@ let campaign_run () name exhaustive fraction seed csv =
   else begin
     let rng = Ftb_util.Rng.create ~seed in
     let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
-    let samples = Ftb_inject.Sample_run.run_cases golden cases in
+    let samples = Ftb_inject.Sample_run.run_cases ?fuel golden cases in
     let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes samples in
     let total = float_of_int (Array.length samples) in
     Printf.printf "monte carlo campaign (%s of the space, %d runs):\n"
@@ -114,11 +143,51 @@ let campaign_cmd =
       & info [ "exhaustive" ]
           ~doc:"Run the complete campaign (every bit of every dynamic instruction).")
   in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint file for the exhaustive campaign: partial outcomes are written \
+             here atomically so an interrupted campaign can be resumed with $(b,--resume).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Write a checkpoint every $(docv) completed shards.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the $(b,--checkpoint) file if it exists (validated against the \
+             golden run); without this flag an existing checkpoint is ignored and \
+             overwritten.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Per-case dynamic-instruction budget; faults that keep the program from \
+             converging terminate as fuel-exhausted crashes instead of hanging.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains for the exhaustive campaign (1 = serial).")
+  in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on a benchmark")
     Term.(
       const campaign_run $ logs_term $ bench_arg $ exhaustive_arg $ fraction_arg $ seed_arg
-      $ csv_arg)
+      $ csv_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ fuel_arg
+      $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -367,6 +436,8 @@ let report_run () name csv =
   let result = Ftb_core.Study_exhaustive.run context in
   print_string (Ftb_report.Render.table1 [ result ]);
   print_newline ();
+  print_string (Ftb_report.Render.crash_table [ result ]);
+  print_newline ();
   print_string (Ftb_report.Render.fig3 [ result ]);
   match csv with
   | None -> ()
@@ -375,6 +446,7 @@ let report_run () name csv =
         (fun p -> Printf.printf "wrote %s\n" p)
         (Ftb_report.Render.save_all ~dir
            (Ftb_report.Render.csv_table1 [ result ]
+           @ Ftb_report.Render.csv_crash_table [ result ]
            @ Ftb_report.Render.csv_fig3 [ result ]))
 
 let report_cmd =

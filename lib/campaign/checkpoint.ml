@@ -1,0 +1,166 @@
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Persist = Ftb_inject.Persist
+
+type t = {
+  program : string;
+  sites : int;
+  shard_size : int;
+  fingerprint : string;
+  completed : bool array;
+  outcomes : Bytes.t;
+}
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Persist.Format_error msg)) fmt
+
+(* The fingerprint digests the golden trace values bit-exactly, so a resumed
+   campaign is rejected if the program's inputs — and therefore any outcome
+   byte — could differ from the run that wrote the checkpoint. The program
+   name and site count alone cannot see an input change. *)
+let fingerprint_of_golden (golden : Golden.t) =
+  let values = golden.Golden.values in
+  let b = Bytes.create (8 * Array.length values) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v)) values;
+  Digest.to_hex (Digest.bytes b)
+
+let shards t = Array.length t.completed
+
+let create golden ~shard_size =
+  let total = Golden.cases golden in
+  {
+    program = golden.Golden.program.Ftb_trace.Program.name;
+    sites = Golden.sites golden;
+    shard_size;
+    fingerprint = fingerprint_of_golden golden;
+    completed = Array.make (Shard.count ~total ~shard_size) false;
+    outcomes = Bytes.make total '\000';
+  }
+
+let completed_count t = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.completed
+let is_complete t = Array.for_all Fun.id t.completed
+
+let completed_cases t =
+  let total = Bytes.length t.outcomes in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c then begin
+        let lo, hi = Shard.bounds ~total ~shard_size:t.shard_size i in
+        acc := !acc + (hi - lo)
+      end)
+    t.completed;
+  !acc
+
+let ground_truth golden t =
+  if not (is_complete t) then
+    invalid_arg
+      (Printf.sprintf "Checkpoint.ground_truth: only %d/%d shards complete"
+         (completed_count t) (shards t));
+  Ground_truth.of_outcomes golden t.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Format v2:
+     ftb-campaign-v2 <program> <sites> <shard_size> <fingerprint>
+     <manifest: one '0'/'1' per shard>
+     <raw outcome bytes, full length; incomplete shards are padding>
+   A complete ground-truth file (Persist v1/v2) is accepted as a fully
+   completed checkpoint, so finished campaigns saved before the resumable
+   engine existed can seed a resume directly. *)
+
+let magic = "ftb-campaign-v2"
+
+let save ~path t =
+  Persist.with_out_atomic path (fun oc ->
+      Printf.fprintf oc "%s %s %d %d %s\n" magic t.program t.sites t.shard_size
+        t.fingerprint;
+      Array.iter (fun c -> output_char oc (if c then '1' else '0')) t.completed;
+      output_char oc '\n';
+      output_bytes oc t.outcomes)
+
+let validate_bytes ~path t =
+  Array.iteri
+    (fun i c ->
+      if c then begin
+        let lo, hi =
+          Shard.bounds ~total:(Bytes.length t.outcomes) ~shard_size:t.shard_size i
+        in
+        for case = lo to hi - 1 do
+          match Ground_truth.outcome_of_byte (Bytes.get t.outcomes case) with
+          | _ -> ()
+          | exception Invalid_argument _ ->
+              fail "%s: corrupt outcome byte %d in completed shard %d" path
+                (Char.code (Bytes.get t.outcomes case))
+                i
+        done
+      end)
+    t.completed
+
+let load_campaign ~path golden ic header =
+  match String.split_on_char ' ' header with
+  | [ m; program; sites; shard_size; fingerprint ] when m = magic ->
+      let int_field what s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail "%s:1: bad %s %S" path what s
+      in
+      let sites = int_field "site count" sites in
+      let shard_size = int_field "shard size" shard_size in
+      if shard_size <= 0 then fail "%s:1: shard size must be positive" path;
+      if program <> golden.Golden.program.Ftb_trace.Program.name then
+        fail "%s:1: checkpoint is for program %S, golden run is %S" path program
+          golden.Golden.program.Ftb_trace.Program.name;
+      if sites <> Golden.sites golden then
+        fail "%s:1: checkpoint has %d sites, golden run has %d" path sites
+          (Golden.sites golden);
+      let expected = fingerprint_of_golden golden in
+      if fingerprint <> expected then
+        fail "%s:1: golden-run fingerprint mismatch (%s stored, %s computed)" path
+          fingerprint expected;
+      let total = Golden.cases golden in
+      let n_shards = Shard.count ~total ~shard_size in
+      let manifest =
+        match input_line ic with
+        | line -> line
+        | exception End_of_file -> fail "%s:2: missing shard manifest" path
+      in
+      if String.length manifest <> n_shards then
+        fail "%s:2: manifest has %d entries, expected %d shards" path
+          (String.length manifest) n_shards;
+      let completed =
+        Array.init n_shards (fun i ->
+            match manifest.[i] with
+            | '1' -> true
+            | '0' -> false
+            | c -> fail "%s:2: bad manifest flag %C for shard %d" path c i)
+      in
+      let outcomes = Bytes.create total in
+      (try really_input ic outcomes 0 total
+       with End_of_file -> fail "%s: truncated outcome data" path);
+      let t = { program; sites; shard_size; fingerprint; completed; outcomes } in
+      validate_bytes ~path t;
+      t
+  | m :: _ when m = magic -> fail "%s:1: malformed checkpoint header %S" path header
+  | _ -> fail "%s:1: bad magic in %S (expected %s)" path header magic
+
+let load ~path ~shard_size golden =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> fail "%s: cannot open: %s" path msg
+  in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let header =
+        match input_line ic with
+        | line -> line
+        | exception End_of_file -> fail "%s:1: empty checkpoint" path
+      in
+      if String.length header >= String.length magic
+         && String.sub header 0 (String.length magic) = magic
+      then load_campaign ~path golden ic header
+      else begin
+        (* Fall back to a complete ground-truth file (Persist v1/v2). *)
+        let gt = Persist.load_ground_truth ~path golden in
+        let t = create golden ~shard_size in
+        Bytes.blit gt.Ground_truth.outcomes 0 t.outcomes 0 (Bytes.length t.outcomes);
+        Array.fill t.completed 0 (Array.length t.completed) true;
+        t
+      end)

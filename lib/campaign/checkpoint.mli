@@ -1,0 +1,58 @@
+(** Campaign checkpoints: partial outcome bytes plus a shard manifest.
+
+    A checkpoint captures an exhaustive campaign mid-flight: the dense
+    outcome byte array (taxonomy encoding, see
+    {!Ftb_inject.Ground_truth.byte_of_result}) and a manifest of which
+    shards have completed. Writes are atomic (temp file + rename), so the
+    file on disk is always a complete checkpoint — a killed campaign
+    resumes from its last checkpoint with no recovery step.
+
+    On-disk format v2:
+    {v
+    ftb-campaign-v2 <program> <sites> <shard_size> <golden-fingerprint>
+    <manifest: one '0'/'1' per shard>
+    <raw outcome bytes, full length>
+    v}
+
+    Loading also accepts a complete ground-truth file
+    ({!Ftb_inject.Persist}, v1 or v2) as a fully-completed checkpoint. *)
+
+type t = {
+  program : string;
+  sites : int;
+  shard_size : int;
+  fingerprint : string;  (** hex digest of the golden trace values *)
+  completed : bool array;  (** one flag per shard *)
+  outcomes : Bytes.t;
+      (** [sites * 64] outcome bytes; only bytes inside completed shards
+          are meaningful *)
+}
+
+val create : Ftb_trace.Golden.t -> shard_size:int -> t
+(** A fresh checkpoint with no completed shards. *)
+
+val fingerprint_of_golden : Ftb_trace.Golden.t -> string
+(** Bit-exact digest of the golden run's trace values. A resumed campaign
+    whose fingerprint differs was recorded against different inputs and is
+    rejected. *)
+
+val shards : t -> int
+val completed_count : t -> int
+val completed_cases : t -> int
+val is_complete : t -> bool
+
+val ground_truth : Ftb_trace.Golden.t -> t -> Ftb_inject.Ground_truth.t
+(** Seal a complete checkpoint into a campaign result; raises
+    [Invalid_argument] when shards are still missing. *)
+
+val save : path:string -> t -> unit
+(** Atomic write. *)
+
+val load : path:string -> shard_size:int -> Ftb_trace.Golden.t -> t
+(** Load and validate a checkpoint against the golden run it will resume:
+    program name, site count, golden fingerprint and outcome bytes of
+    completed shards are all checked. Raises
+    {!Ftb_inject.Persist.Format_error} (messages carry the offending path
+    and line) on any mismatch or corruption. [shard_size] is only used
+    when adapting a complete ground-truth file, which carries no sharding
+    of its own. *)

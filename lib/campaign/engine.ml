@@ -1,0 +1,161 @@
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Persist = Ftb_inject.Persist
+
+type invalid_checkpoint = Fail | Restart
+
+type config = {
+  shard_size : int;
+  checkpoint_every : int;
+  domains : int;
+  fuel : int option;
+  max_retries : int;
+  resume : bool;
+  on_invalid_checkpoint : invalid_checkpoint;
+  progress : (done_:int -> total:int -> unit) option;
+  on_checkpoint : (shards_done:int -> shards_total:int -> unit) option;
+}
+
+let default_config =
+  {
+    shard_size = 4096;
+    checkpoint_every = 1;
+    domains = 1;
+    fuel = None;
+    max_retries = 2;
+    resume = true;
+    on_invalid_checkpoint = Fail;
+    progress = None;
+    on_checkpoint = None;
+  }
+
+exception Shard_failed of { shard : int; attempts : int; message : string }
+
+type report = {
+  ground_truth : Ground_truth.t;
+  total_shards : int;
+  resumed_shards : int;
+  executed_shards : int;
+  retries : int;
+  checkpoints_written : int;
+}
+
+let check_config c =
+  if c.shard_size <= 0 then invalid_arg "Engine: shard_size must be positive";
+  if c.checkpoint_every <= 0 then invalid_arg "Engine: checkpoint_every must be positive";
+  if c.domains <= 0 then invalid_arg "Engine: domains must be positive";
+  if c.max_retries < 0 then invalid_arg "Engine: max_retries must be non-negative";
+  match c.fuel with
+  | Some n when n <= 0 -> invalid_arg "Engine: fuel must be positive"
+  | _ -> ()
+
+let initial_state ~config ~checkpoint golden =
+  match checkpoint with
+  | Some path when config.resume && Sys.file_exists path -> (
+      match Checkpoint.load ~path ~shard_size:config.shard_size golden with
+      | state -> state
+      | exception Persist.Format_error _ when config.on_invalid_checkpoint = Restart ->
+          Checkpoint.create golden ~shard_size:config.shard_size)
+  | Some _ | None -> Checkpoint.create golden ~shard_size:config.shard_size
+
+let run ?(config = default_config) ?checkpoint ?case_runner golden =
+  check_config config;
+  let case_runner =
+    match case_runner with
+    | Some f -> f
+    | None -> fun g case -> Ground_truth.case_byte ?fuel:config.fuel g case
+  in
+  let state = initial_state ~config ~checkpoint golden in
+  let total = Golden.cases golden in
+  let total_shards = Checkpoint.shards state in
+  let resumed_shards = Checkpoint.completed_count state in
+  let outcomes = state.Checkpoint.outcomes in
+  let shard_size = state.Checkpoint.shard_size in
+  (* One shard is the unit of containment at the supervisor level: the
+     per-case runner already contains kernel exceptions, so a shard only
+     fails on harness trouble (or an injected test failure) — and then it
+     is retried rather than sinking the campaign. *)
+  let run_shard index =
+    try
+      let lo, hi = Shard.bounds ~total ~shard_size index in
+      for case = lo to hi - 1 do
+        Bytes.set outcomes case (case_runner golden case)
+      done;
+      Ok ()
+    with e -> Error (Printexc.to_string e)
+  in
+  let executed = ref 0 and retries = ref 0 and checkpoints_written = ref 0 in
+  let since_checkpoint = ref 0 in
+  let save_checkpoint () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        Checkpoint.save ~path state;
+        incr checkpoints_written;
+        since_checkpoint := 0;
+        (match config.on_checkpoint with
+        | Some f ->
+            f ~shards_done:(Checkpoint.completed_count state) ~shards_total:total_shards
+        | None -> ())
+  in
+  let report_progress () =
+    match config.progress with
+    | Some f -> f ~done_:(Checkpoint.completed_cases state) ~total
+    | None -> ()
+  in
+  let pending = Queue.create () in
+  Array.iteri
+    (fun index completed -> if not completed then Queue.add (index, 1) pending)
+    state.Checkpoint.completed;
+  while not (Queue.is_empty pending) do
+    (* Take one wave of up to [domains] shards and run them concurrently;
+       each domain writes a disjoint byte range of [outcomes]. *)
+    let wave = ref [] in
+    while List.length !wave < config.domains && not (Queue.is_empty pending) do
+      wave := Queue.pop pending :: !wave
+    done;
+    let wave = List.rev !wave in
+    let results =
+      match wave with
+      | [ (index, attempt) ] -> [ (index, attempt, run_shard index) ]
+      | _ ->
+          let spawned =
+            List.map
+              (fun (index, attempt) ->
+                (index, attempt, Domain.spawn (fun () -> run_shard index)))
+              wave
+          in
+          List.map (fun (index, attempt, d) -> (index, attempt, Domain.join d)) spawned
+    in
+    List.iter
+      (fun (index, attempt, result) ->
+        match result with
+        | Ok () ->
+            state.Checkpoint.completed.(index) <- true;
+            incr executed;
+            incr since_checkpoint
+        | Error message ->
+            if attempt > config.max_retries then begin
+              (* Persist what we have so the failed campaign is resumable
+                 after the underlying problem is fixed. *)
+              save_checkpoint ();
+              raise (Shard_failed { shard = index; attempts = attempt; message })
+            end
+            else begin
+              incr retries;
+              Queue.add (index, attempt + 1) pending
+            end)
+      results;
+    report_progress ();
+    if !since_checkpoint >= config.checkpoint_every then save_checkpoint ()
+  done;
+  if !since_checkpoint > 0 || (checkpoint <> None && !checkpoints_written = 0) then
+    save_checkpoint ();
+  {
+    ground_truth = Checkpoint.ground_truth golden state;
+    total_shards;
+    resumed_shards;
+    executed_shards = !executed;
+    retries = !retries;
+    checkpoints_written = !checkpoints_written;
+  }

@@ -1,0 +1,80 @@
+(** Supervised, resumable fault-injection campaigns.
+
+    The engine drives an exhaustive campaign (every site x bit case) as a
+    sequence of {!Shard}s with three robustness layers on top of the raw
+    {!Ftb_inject.Ground_truth} loop:
+
+    - {b checkpoint/resume} — outcome bytes and the shard manifest are
+      written atomically every [checkpoint_every] completed shards; a
+      killed campaign resumes from its last checkpoint, validates it
+      against the golden run and re-executes only the missing shards.
+      The resumed result is bit-identical to an uninterrupted run.
+    - {b crash isolation} — each case runs contained
+      ({!Ftb_inject.Ground_truth.case_byte}); exceptions escaping a whole
+      shard (worker-domain trouble) fail only that shard, which the
+      supervisor retries up to [max_retries] times before raising
+      {!Shard_failed} — after persisting a final checkpoint so the
+      campaign stays resumable.
+    - {b divergence watchdog} — [fuel] bounds the dynamic instruction
+      count per case; faults that prevent convergence terminate as
+      [Crash]/[Fuel_exhausted] outcomes instead of hanging the campaign.
+
+    Serial ([domains = 1]) and parallel ([domains > 1]) execution produce
+    bit-identical outcome bytes: every path runs the same per-case
+    function and workers write disjoint shards. *)
+
+type invalid_checkpoint =
+  | Fail  (** propagate {!Ftb_inject.Persist.Format_error} to the caller *)
+  | Restart  (** discard the bad checkpoint and start fresh *)
+
+type config = {
+  shard_size : int;  (** cases per shard (checkpoint/retry granularity) *)
+  checkpoint_every : int;  (** completed shards between checkpoint writes *)
+  domains : int;  (** worker domains per wave; 1 = serial *)
+  fuel : int option;  (** per-case dynamic-instruction budget *)
+  max_retries : int;  (** retries per shard before {!Shard_failed} *)
+  resume : bool;  (** load an existing checkpoint file if present *)
+  on_invalid_checkpoint : invalid_checkpoint;
+  progress : (done_:int -> total:int -> unit) option;  (** cases done *)
+  on_checkpoint : (shards_done:int -> shards_total:int -> unit) option;
+      (** called after each successful checkpoint write *)
+}
+
+val default_config : config
+(** [shard_size = 4096], [checkpoint_every = 1], [domains = 1],
+    [fuel = None], [max_retries = 2], [resume = true],
+    [on_invalid_checkpoint = Fail], no callbacks. *)
+
+exception
+  Shard_failed of { shard : int; attempts : int; message : string }
+(** A shard kept failing past its retry budget. The engine writes a final
+    checkpoint before raising, so the campaign can resume once the cause
+    is fixed. *)
+
+type report = {
+  ground_truth : Ftb_inject.Ground_truth.t;  (** the completed campaign *)
+  total_shards : int;
+  resumed_shards : int;  (** shards satisfied by the loaded checkpoint *)
+  executed_shards : int;  (** shards actually run in this invocation *)
+  retries : int;  (** failed shard attempts that were re-queued *)
+  checkpoints_written : int;
+}
+
+val run :
+  ?config:config ->
+  ?checkpoint:string ->
+  ?case_runner:(Ftb_trace.Golden.t -> int -> char) ->
+  Ftb_trace.Golden.t ->
+  report
+(** Run (or resume) an exhaustive campaign for [golden].
+
+    [checkpoint] names the checkpoint file; without it the campaign runs
+    unsupervised-but-contained, with no persistence. [case_runner]
+    overrides the per-case worker (tests use this to inject shard
+    failures); the default is
+    [Ground_truth.case_byte ?fuel:config.fuel].
+
+    Raises [Invalid_argument] on nonsensical config values,
+    {!Ftb_inject.Persist.Format_error} when a checkpoint is invalid and
+    [on_invalid_checkpoint = Fail], and {!Shard_failed} when a shard
+    exhausts its retry budget. *)

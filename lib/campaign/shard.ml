@@ -1,0 +1,25 @@
+type t = { index : int; lo : int; hi : int }
+
+let check ~total ~shard_size =
+  if total < 0 then invalid_arg "Shard: negative total";
+  if shard_size <= 0 then invalid_arg "Shard: shard_size must be positive"
+
+let count ~total ~shard_size =
+  check ~total ~shard_size;
+  (total + shard_size - 1) / shard_size
+
+let bounds ~total ~shard_size index =
+  check ~total ~shard_size;
+  let n = (total + shard_size - 1) / shard_size in
+  if index < 0 || index >= n then
+    invalid_arg (Printf.sprintf "Shard.bounds: index %d outside [0,%d)" index n);
+  let lo = index * shard_size in
+  (lo, min total (lo + shard_size))
+
+let all ~total ~shard_size =
+  Array.init (count ~total ~shard_size) (fun index ->
+      let lo, hi = bounds ~total ~shard_size index in
+      { index; lo; hi })
+
+let size t = t.hi - t.lo
+let pp ppf t = Format.fprintf ppf "shard %d [%d,%d)" t.index t.lo t.hi

@@ -1,0 +1,20 @@
+(** Campaign sharding arithmetic.
+
+    A campaign's dense case space [0, total) is cut into fixed-size
+    contiguous shards — the unit of checkpointing, retry and parallel
+    dispatch. The last shard may be short. *)
+
+type t = { index : int; lo : int; hi : int (** exclusive *) }
+
+val count : total:int -> shard_size:int -> int
+(** Number of shards covering [0, total). Raises [Invalid_argument] when
+    [shard_size <= 0] or [total < 0]. *)
+
+val bounds : total:int -> shard_size:int -> int -> int * int
+(** [(lo, hi)] of one shard index; [hi] is clamped to [total]. *)
+
+val all : total:int -> shard_size:int -> t array
+(** Every shard, in case order. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -10,6 +10,7 @@ type result = {
   approx_sdc : float;
   delta_sdc : float array;
   non_monotonic_fraction : float;
+  crash_breakdown : Ground_truth.reason_counts;
   boundary : Boundary.t;
 }
 
@@ -46,5 +47,6 @@ let run (context : Context.t) =
     approx_sdc = Ftb_util.Stats.mean approx_ratio;
     delta_sdc;
     non_monotonic_fraction = float_of_int non_monotonic /. float_of_int (Array.length flags);
+    crash_breakdown = Ground_truth.crash_counts gt;
     boundary;
   }

@@ -15,6 +15,9 @@ type result = {
   non_monotonic_fraction : float;
       (** fraction of sites where some masked flip injects a larger error
           than some SDC flip — the sites where the boundary must err *)
+  crash_breakdown : Ftb_inject.Ground_truth.reason_counts;
+      (** crash cases split by taxonomy reason (NaN / Inf / exception /
+          fuel exhaustion) *)
   boundary : Boundary.t;
 }
 

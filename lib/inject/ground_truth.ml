@@ -1,21 +1,47 @@
+module Ctx = Ftb_trace.Ctx
 module Fault = Ftb_trace.Fault
 module Golden = Ftb_trace.Golden
 module Runner = Ftb_trace.Runner
 
 type t = { golden : Golden.t; outcomes : Bytes.t }
 
+type reason_counts = { nan : int; inf : int; exn : int; fuel : int }
+
+(* Dense outcome-byte encoding (persistence format v2). v1 campaigns only
+   ever stored '\000'..'\002'; the crash taxonomy refines '\002' into four
+   reason-carrying bytes, so every v1 byte is still a valid v2 byte (a v1
+   crash loads as a generic exception crash). *)
 let byte_of_outcome = function Runner.Masked -> '\000' | Runner.Sdc -> '\001' | Runner.Crash -> '\002'
+
+let byte_of_result (r : Runner.result) =
+  match (r.Runner.outcome, r.Runner.crash_reason) with
+  | Runner.Masked, _ -> '\000'
+  | Runner.Sdc, _ -> '\001'
+  | Runner.Crash, (Some Ctx.Exception_raised | None) -> '\002'
+  | Runner.Crash, Some Ctx.Nan_value -> '\003'
+  | Runner.Crash, Some Ctx.Inf_value -> '\004'
+  | Runner.Crash, Some Ctx.Fuel_exhausted -> '\005'
 
 let outcome_of_byte = function
   | '\000' -> Runner.Masked
   | '\001' -> Runner.Sdc
-  | '\002' -> Runner.Crash
+  | '\002' | '\003' | '\004' | '\005' -> Runner.Crash
   | c -> invalid_arg (Printf.sprintf "Ground_truth: corrupt outcome byte %d" (Char.code c))
+
+let crash_reason_of_byte = function
+  | '\002' -> Some Ctx.Exception_raised
+  | '\003' -> Some Ctx.Nan_value
+  | '\004' -> Some Ctx.Inf_value
+  | '\005' -> Some Ctx.Fuel_exhausted
+  | _ -> None
 
 let outcome_byte = byte_of_outcome
 
 let classify_case golden case =
   (Runner.run_outcome golden (Fault.of_case case)).Runner.outcome
+
+let case_byte ?fuel golden case =
+  byte_of_result (Runner.run_outcome_contained ?fuel golden (Fault.of_case case))
 
 let of_outcomes golden outcomes =
   let total = Golden.cases golden in
@@ -26,12 +52,11 @@ let of_outcomes golden outcomes =
   Bytes.iter (fun b -> ignore (outcome_of_byte b)) outcomes;
   { golden; outcomes }
 
-let run ?progress golden =
+let run ?progress ?fuel golden =
   let total = Golden.cases golden in
   let outcomes = Bytes.create total in
   for case = 0 to total - 1 do
-    let result = Runner.run_outcome golden (Fault.of_case case) in
-    Bytes.set outcomes case (byte_of_outcome result.Runner.outcome);
+    Bytes.set outcomes case (case_byte ?fuel golden case);
     match progress with
     | Some f when case land 0xFFF = 0 -> f ~done_:case ~total
     | Some _ | None -> ()
@@ -40,6 +65,7 @@ let run ?progress golden =
   { golden; outcomes }
 
 let outcome t case = outcome_of_byte (Bytes.get t.outcomes case)
+let crash_reason t case = crash_reason_of_byte (Bytes.get t.outcomes case)
 let outcome_of_fault t fault = outcome t (Fault.to_case fault)
 let cases t = Bytes.length t.outcomes
 
@@ -56,6 +82,19 @@ let counts t ~masked ~sdc ~crash =
       | Runner.Sdc -> incr sdc
       | Runner.Crash -> incr crash)
     t.outcomes
+
+let crash_counts t =
+  let nan = ref 0 and inf = ref 0 and exn = ref 0 and fuel = ref 0 in
+  Bytes.iter
+    (fun b ->
+      match crash_reason_of_byte b with
+      | Some Ctx.Nan_value -> incr nan
+      | Some Ctx.Inf_value -> incr inf
+      | Some Ctx.Exception_raised -> incr exn
+      | Some Ctx.Fuel_exhausted -> incr fuel
+      | None -> ())
+    t.outcomes;
+  { nan = !nan; inf = !inf; exn = !exn; fuel = !fuel }
 
 let ratio_of count t = float_of_int count /. float_of_int (cases t)
 

@@ -3,34 +3,66 @@
     One outcome per (site, bit) case of the complete sample space. The
     paper uses such campaigns both to *evaluate* the inference method and
     to build the brute-force boundary of §4.1. Outcomes are stored one byte
-    per case; injected error magnitudes are not stored because they are a
-    pure function of the golden value and the bit ({!injected_error}). *)
+    per case; since the crash taxonomy the byte also records *why* a case
+    crashed (NaN, Inf, escaped exception, or the fuel watchdog). Injected
+    error magnitudes are not stored because they are a pure function of the
+    golden value and the bit ({!injected_error}). *)
 
 type t = private {
   golden : Ftb_trace.Golden.t;
   outcomes : Bytes.t;  (** one byte per case, dense {!Ftb_trace.Fault.to_case} order *)
 }
 
-val run : ?progress:(done_:int -> total:int -> unit) -> Ftb_trace.Golden.t -> t
-(** Run the complete campaign: [sites * 64] outcome-only executions.
-    [progress] is called every few thousand cases. *)
+type reason_counts = { nan : int; inf : int; exn : int; fuel : int }
+(** Crash-taxonomy tallies: how many cases crashed for each reason. *)
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) -> ?fuel:int -> Ftb_trace.Golden.t -> t
+(** Run the complete campaign: [sites * 64] outcome-only executions, each
+    contained ({!Ftb_trace.Runner.run_outcome_contained}) and bounded by
+    the optional [fuel] watchdog. [progress] is called every few thousand
+    cases. *)
 
 val of_outcomes : Ftb_trace.Golden.t -> Bytes.t -> t
 (** Assemble a campaign result from raw outcome bytes (one of
-    {!outcome_byte} per case, dense order). Used by the parallel campaign
-    runner and the persistence layer; validates the length and byte
-    values. *)
+    {!case_byte} per case, dense order). Used by the parallel campaign
+    runner, the resumable campaign engine and the persistence layer;
+    validates the length and byte values. *)
 
 val outcome_byte : Ftb_trace.Runner.outcome -> char
-(** The stored byte of an outcome ('\000' masked, '\001' sdc,
-    '\002' crash). *)
+(** The stored byte of a bare outcome ('\000' masked, '\001' sdc, '\002'
+    crash). Crashes written through this compatibility helper carry no
+    taxonomy reason; prefer {!byte_of_result}. *)
+
+val byte_of_result : Ftb_trace.Runner.result -> char
+(** The stored byte of a classified run, including the crash reason:
+    '\000' masked, '\001' sdc, '\002' crash/exception, '\003' crash/nan,
+    '\004' crash/inf, '\005' crash/fuel. *)
+
+val outcome_of_byte : char -> Ftb_trace.Runner.outcome
+(** Decode a stored byte; raises [Invalid_argument] on bytes outside
+    '\000'..'\005'. All four crash bytes decode to [Crash]. *)
+
+val crash_reason_of_byte : char -> Ftb_trace.Ctx.crash_reason option
+(** The taxonomy reason encoded in a stored byte; [None] for masked/sdc. *)
 
 val classify_case : Ftb_trace.Golden.t -> int -> Ftb_trace.Runner.outcome
-(** Run one dense case and return its outcome — the unit of work the
-    campaign (serial or parallel) repeats. *)
+(** Run one dense case and return its outcome (uncontained, unlimited —
+    the historical unit of work; campaigns use {!case_byte}). *)
+
+val case_byte : ?fuel:int -> Ftb_trace.Golden.t -> int -> char
+(** Run one dense case contained and return its taxonomy-carrying outcome
+    byte — the unit of work every campaign path (serial, parallel,
+    checkpointed engine) repeats, guaranteeing bit-identical outcome bytes
+    across all of them. *)
 
 val outcome : t -> int -> Ftb_trace.Runner.outcome
 (** Outcome of a dense case index. *)
+
+val crash_reason : t -> int -> Ftb_trace.Ctx.crash_reason option
+(** Crash-taxonomy reason of a dense case index; [None] unless the case
+    crashed. Campaigns recorded before the taxonomy (format v1) report
+    every crash as {!Ftb_trace.Ctx.Exception_raised}. *)
 
 val outcome_of_fault : t -> Ftb_trace.Fault.t -> Ftb_trace.Runner.outcome
 
@@ -45,6 +77,9 @@ val injected_error : Ftb_trace.Golden.t -> Ftb_trace.Fault.t -> float
 
 val counts : t -> masked:int ref -> sdc:int ref -> crash:int ref -> unit
 (** Accumulate global outcome counts into the given refs. *)
+
+val crash_counts : t -> reason_counts
+(** Break the campaign's crashes down by taxonomy reason. *)
 
 val sdc_ratio : t -> float
 (** Global [n_sdc / N] (§2.1). *)

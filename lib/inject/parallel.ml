@@ -18,10 +18,10 @@ let shard ~domains ~total work =
   work lo hi;
   List.iter Domain.join spawned
 
-let ground_truth ?domains golden =
+let ground_truth ?domains ?fuel golden =
   let domains = match domains with Some d -> d | None -> default_domains () in
   check_domains domains;
-  if domains = 1 then Ground_truth.run golden
+  if domains = 1 then Ground_truth.run ?fuel golden
   else begin
     let total = Golden.cases golden in
     let outcomes = Bytes.create total in
@@ -29,8 +29,7 @@ let ground_truth ?domains golden =
        disjoint indices is race-free. *)
     shard ~domains ~total (fun lo hi ->
         for case = lo to hi - 1 do
-          Bytes.unsafe_set outcomes case
-            (Ground_truth.outcome_byte (Ground_truth.classify_case golden case))
+          Bytes.unsafe_set outcomes case (Ground_truth.case_byte ?fuel golden case)
         done);
     Ground_truth.of_outcomes golden outcomes
   end
@@ -45,6 +44,7 @@ let run_cases ?domains golden cases =
       {
         Sample_run.fault = Ftb_trace.Fault.make ~site:0 ~bit:0;
         outcome = Ftb_trace.Runner.Masked;
+        crash_reason = None;
         injected_error = 0.;
         propagation = None;
       }

@@ -16,10 +16,13 @@ val default_domains : unit -> int
     saturates memory bandwidth well before high core counts. *)
 
 val ground_truth :
-  ?domains:int -> Ftb_trace.Golden.t -> Ground_truth.t
+  ?domains:int -> ?fuel:int -> Ftb_trace.Golden.t -> Ground_truth.t
 (** Parallel equivalent of {!Ground_truth.run}. [domains] defaults to
-    {!default_domains}; 1 falls back to the serial path. Raises
-    [Invalid_argument] when [domains <= 0]. *)
+    {!default_domains}; 1 falls back to the serial path. [fuel] is the
+    per-run step budget of the divergence watchdog. Raises
+    [Invalid_argument] when [domains <= 0]. Outcome bytes are bit-identical
+    to the serial path for any domain count — both repeat
+    {!Ground_truth.case_byte}. *)
 
 val run_cases :
   ?domains:int -> Ftb_trace.Golden.t -> int array -> Sample_run.t array

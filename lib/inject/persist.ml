@@ -1,3 +1,4 @@
+module Ctx = Ftb_trace.Ctx
 module Golden = Ftb_trace.Golden
 module Runner = Ftb_trace.Runner
 module Fault = Ftb_trace.Fault
@@ -6,79 +7,117 @@ exception Format_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Format_error msg)) fmt
 
-let with_out path f =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+(* All writes go through a temp-file + atomic rename so a killed process can
+   never leave a truncated campaign or samples file behind: readers see
+   either the previous complete file or the new complete file. *)
+let with_out_atomic path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  match f oc with
+  | () ->
+      close_out oc;
+      Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
-let with_in path f =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+(* Readers carry the source path and a running line counter so every parse
+   error is attributed as "path:line: message". *)
+type reader = { path : string; ic : in_channel; mutable line : int }
 
-let input_line_exn ic what =
-  match input_line ic with
-  | line -> line
-  | exception End_of_file -> fail "unexpected end of file while reading %s" what
+let fail_at r fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Format_error (Printf.sprintf "%s:%d: %s" r.path r.line msg)))
+    fmt
+
+let with_reader path f =
+  let ic =
+    try open_in_bin path with Sys_error msg -> fail "%s: cannot open: %s" path msg
+  in
+  let r = { path; ic; line = 0 } in
+  Fun.protect ~finally:(fun () -> close_in r.ic) (fun () -> f r)
+
+let input_line_exn r what =
+  match input_line r.ic with
+  | line ->
+      r.line <- r.line + 1;
+      line
+  | exception End_of_file -> fail_at r "unexpected end of file while reading %s" what
 
 (* ------------------------------------------------------------------ *)
 (* Ground truth: header + raw outcome bytes.                           *)
 
-let gt_magic = "ftb-ground-truth-v1"
+let gt_magic_v1 = "ftb-ground-truth-v1"
+let gt_magic = "ftb-ground-truth-v2"
 
 let save_ground_truth ~path gt =
   let golden = gt.Ground_truth.golden in
-  with_out path (fun oc ->
+  with_out_atomic path (fun oc ->
       Printf.fprintf oc "%s %s %d\n" gt_magic
         golden.Golden.program.Ftb_trace.Program.name (Golden.sites golden);
       output_bytes oc gt.Ground_truth.outcomes)
 
 let load_ground_truth ~path golden =
-  with_in path (fun ic ->
-      let header = input_line_exn ic "ground-truth header" in
+  with_reader path (fun r ->
+      let header = input_line_exn r "ground-truth header" in
       (match String.split_on_char ' ' header with
       | [ magic; name; sites ] ->
-          if magic <> gt_magic then fail "bad magic %S (expected %s)" magic gt_magic;
+          if magic <> gt_magic && magic <> gt_magic_v1 then
+            fail_at r "bad magic %S (expected %s or %s)" magic gt_magic gt_magic_v1;
           if name <> golden.Golden.program.Ftb_trace.Program.name then
-            fail "campaign is for program %S, golden run is %S" name
+            fail_at r "campaign is for program %S, golden run is %S" name
               golden.Golden.program.Ftb_trace.Program.name;
           let stored_sites =
             match int_of_string_opt sites with
             | Some n -> n
-            | None -> fail "bad site count %S" sites
+            | None -> fail_at r "bad site count %S" sites
           in
           if stored_sites <> Golden.sites golden then
-            fail "campaign has %d sites, golden run has %d" stored_sites
+            fail_at r "campaign has %d sites, golden run has %d" stored_sites
               (Golden.sites golden)
-      | _ -> fail "malformed header %S" header);
+      | _ -> fail_at r "malformed header %S" header);
       let total = Golden.cases golden in
       let outcomes = Bytes.create total in
-      (try really_input ic outcomes 0 total
-       with End_of_file -> fail "truncated outcome data");
+      (try really_input r.ic outcomes 0 total
+       with End_of_file -> fail_at r "truncated outcome data");
       (try Ground_truth.of_outcomes golden outcomes
-       with Invalid_argument msg -> fail "%s" msg))
+       with Invalid_argument msg -> fail_at r "%s" msg))
 
 (* ------------------------------------------------------------------ *)
 (* Samples: header + one line per experiment.                          *)
 
-let samples_magic = "ftb-samples-v1"
+let samples_magic_v1 = "ftb-samples-v1"
+let samples_magic = "ftb-samples-v2"
 
-let outcome_tag = function
-  | Runner.Masked -> "masked"
-  | Runner.Sdc -> "sdc"
-  | Runner.Crash -> "crash"
+(* v2 refines the v1 "crash" tag with the taxonomy reason; v1 files load
+   with every crash reported as a generic exception crash. *)
+let outcome_tag (outcome : Runner.outcome) reason =
+  match (outcome, reason) with
+  | Runner.Masked, _ -> "masked"
+  | Runner.Sdc, _ -> "sdc"
+  | Runner.Crash, Some Ctx.Nan_value -> "crash-nan"
+  | Runner.Crash, Some Ctx.Inf_value -> "crash-inf"
+  | Runner.Crash, Some Ctx.Fuel_exhausted -> "crash-fuel"
+  | Runner.Crash, (Some Ctx.Exception_raised | None) -> "crash-exn"
 
-let outcome_of_tag = function
-  | "masked" -> Runner.Masked
-  | "sdc" -> Runner.Sdc
-  | "crash" -> Runner.Crash
-  | tag -> fail "unknown outcome tag %S" tag
+let outcome_of_tag r = function
+  | "masked" -> (Runner.Masked, None)
+  | "sdc" -> (Runner.Sdc, None)
+  | "crash" (* v1 *) | "crash-exn" -> (Runner.Crash, Some Ctx.Exception_raised)
+  | "crash-nan" -> (Runner.Crash, Some Ctx.Nan_value)
+  | "crash-inf" -> (Runner.Crash, Some Ctx.Inf_value)
+  | "crash-fuel" -> (Runner.Crash, Some Ctx.Fuel_exhausted)
+  | tag -> fail_at r "unknown outcome tag %S" tag
 
 let save_samples ~path ~name samples =
-  with_out path (fun oc ->
+  with_out_atomic path (fun oc ->
       Printf.fprintf oc "%s %s %d\n" samples_magic name (Array.length samples);
       Array.iter
         (fun (s : Sample_run.t) ->
           Printf.fprintf oc "%d %d %s %h" s.Sample_run.fault.Fault.site
-            s.Sample_run.fault.Fault.bit (outcome_tag s.Sample_run.outcome)
+            s.Sample_run.fault.Fault.bit
+            (outcome_tag s.Sample_run.outcome s.Sample_run.crash_reason)
             s.Sample_run.injected_error;
           (match s.Sample_run.propagation with
           | None -> Printf.fprintf oc " -"
@@ -88,22 +127,22 @@ let save_samples ~path ~name samples =
           output_char oc '\n')
         samples)
 
-let float_of_field field =
+let float_of_field r field =
   (* %h prints "inf"/"nan" for non-finite values; float_of_string accepts
      both plus the 0x... hexadecimal forms. *)
   match float_of_string_opt field with
   | Some v -> v
-  | None -> fail "bad float field %S" field
+  | None -> fail_at r "bad float field %S" field
 
-let parse_sample line =
+let parse_sample r line =
   match String.split_on_char ' ' line with
   | site :: bit :: tag :: injected :: rest ->
       let int_field what s =
-        match int_of_string_opt s with Some v -> v | None -> fail "bad %s %S" what s
+        match int_of_string_opt s with Some v -> v | None -> fail_at r "bad %s %S" what s
       in
       let fault = Fault.make ~site:(int_field "site" site) ~bit:(int_field "bit" bit) in
-      let outcome = outcome_of_tag tag in
-      let injected_error = float_of_field injected in
+      let outcome, crash_reason = outcome_of_tag r tag in
+      let injected_error = float_of_field r injected in
       let propagation =
         match rest with
         | [ "-" ] -> None
@@ -111,26 +150,28 @@ let parse_sample line =
             let start = int_field "start" start in
             let count = int_field "deviation count" count in
             if List.length deviations <> count then
-              fail "expected %d deviations, found %d" count (List.length deviations);
-            Some (start, Array.of_list (List.map float_of_field deviations))
-        | _ -> fail "malformed propagation in %S" line
+              fail_at r "expected %d deviations, found %d" count (List.length deviations);
+            Some (start, Array.of_list (List.map (float_of_field r) deviations))
+        | _ -> fail_at r "malformed propagation in %S" line
       in
-      { Sample_run.fault; outcome; injected_error; propagation }
-  | _ -> fail "malformed sample line %S" line
+      { Sample_run.fault; outcome; crash_reason; injected_error; propagation }
+  | _ -> fail_at r "malformed sample line %S" line
 
 let load_samples ~path ~name =
-  with_in path (fun ic ->
-      let header = input_line_exn ic "samples header" in
+  with_reader path (fun r ->
+      let header = input_line_exn r "samples header" in
       let count =
         match String.split_on_char ' ' header with
         | [ magic; stored_name; count ] ->
-            if magic <> samples_magic then fail "bad magic %S" magic;
+            if magic <> samples_magic && magic <> samples_magic_v1 then
+              fail_at r "bad magic %S (expected %s or %s)" magic samples_magic
+                samples_magic_v1;
             if stored_name <> name then
-              fail "samples are for program %S, expected %S" stored_name name;
+              fail_at r "samples are for program %S, expected %S" stored_name name;
             (match int_of_string_opt count with
             | Some n when n >= 0 -> n
-            | Some _ | None -> fail "bad sample count %S" count)
-        | _ -> fail "malformed header %S" header
+            | Some _ | None -> fail_at r "bad sample count %S" count)
+        | _ -> fail_at r "malformed header %S" header
       in
       Array.init count (fun i ->
-          parse_sample (input_line_exn ic (Printf.sprintf "sample %d" i))))
+          parse_sample r (input_line_exn r (Printf.sprintf "sample %d" i))))

@@ -8,25 +8,40 @@
 
     Formats are versioned, self-describing text headers followed by data;
     floats are serialised in hexadecimal notation ([%h]) so round-trips are
-    bit-exact. Loading validates the stored program name and site count
-    against the golden run it is paired with — a mismatch means the
-    program or its inputs changed and the cached campaign is stale. *)
+    bit-exact. The current format is v2, which records the crash taxonomy
+    (outcome bytes '\003'..'\005' for NaN / Inf / fuel crashes and
+    reason-carrying sample tags); v1 files are still loadable — their
+    crashes decode as generic exception crashes. Loading validates the
+    stored program name and site count against the golden run it is paired
+    with — a mismatch means the program or its inputs changed and the
+    cached campaign is stale.
+
+    All writes are atomic (temp file + rename): an interrupted writer can
+    never leave a truncated file behind. *)
 
 exception Format_error of string
 (** Raised on parse errors, version mismatches, or metadata that does not
-    match the paired golden run. *)
+    match the paired golden run. Messages are prefixed with the offending
+    [path:line]. *)
+
+val with_out_atomic : string -> (out_channel -> unit) -> unit
+(** [with_out_atomic path f] runs [f] on a channel to [path ^ ".tmp"], then
+    atomically renames it over [path]. On exception the temp file is
+    removed and [path] is untouched. Exposed for other persistence layers
+    (the campaign checkpoint writer). *)
 
 val save_ground_truth : path:string -> Ground_truth.t -> unit
-(** Write a campaign's outcomes. *)
+(** Write a campaign's outcomes (format v2, atomic). *)
 
 val load_ground_truth : path:string -> Ftb_trace.Golden.t -> Ground_truth.t
-(** Read a campaign saved by {!save_ground_truth} and bind it to the given
-    golden run. *)
+(** Read a campaign saved by {!save_ground_truth} (v2, or a legacy v1
+    file) and bind it to the given golden run. *)
 
 val save_samples : path:string -> name:string -> Sample_run.t array -> unit
-(** Write sampled experiments, including their propagation data. [name] is
-    the program name recorded in the header. *)
+(** Write sampled experiments, including their propagation data and crash
+    reasons (format v2, atomic). [name] is the program name recorded in
+    the header. *)
 
 val load_samples : path:string -> name:string -> Sample_run.t array
-(** Read experiments saved by {!save_samples}; [name] must match the
-    header. *)
+(** Read experiments saved by {!save_samples} (v2, or a legacy v1 file);
+    [name] must match the header. *)

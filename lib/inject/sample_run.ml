@@ -5,13 +5,14 @@ module Runner = Ftb_trace.Runner
 type t = {
   fault : Fault.t;
   outcome : Runner.outcome;
+  crash_reason : Ftb_trace.Ctx.crash_reason option;
   injected_error : float;
   propagation : (int * float array) option;
 }
 
-let run_case golden case =
+let run_case ?fuel golden case =
   let fault = Fault.of_case case in
-  let prop = Runner.run_propagation golden fault in
+  let prop = Runner.run_propagation ?fuel golden fault in
   let result = prop.Runner.result in
   let propagation =
     match result.Runner.outcome with
@@ -21,18 +22,19 @@ let run_case golden case =
   {
     fault;
     outcome = result.Runner.outcome;
+    crash_reason = result.Runner.crash_reason;
     injected_error = result.Runner.injected_error;
     propagation;
   }
 
-let run_cases ?progress golden cases =
+let run_cases ?progress ?fuel golden cases =
   let total = Array.length cases in
   Array.mapi
     (fun i case ->
       (match progress with
       | Some f when i land 0xFF = 0 -> f ~done_:i ~total
       | Some _ | None -> ());
-      run_case golden case)
+      run_case ?fuel golden case)
     cases
 
 let draw_uniform rng golden ~fraction =

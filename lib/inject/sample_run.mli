@@ -9,6 +9,8 @@
 type t = {
   fault : Ftb_trace.Fault.t;
   outcome : Ftb_trace.Runner.outcome;
+  crash_reason : Ftb_trace.Ctx.crash_reason option;
+      (** crash-taxonomy reason; [Some _] iff [outcome = Crash] *)
   injected_error : float;
   propagation : (int * float array) option;
       (** [(start, deviations)] — kept for Masked experiments only:
@@ -16,10 +18,16 @@ type t = {
           instruction [j]. *)
 }
 
-val run_case : Ftb_trace.Golden.t -> int -> t
-(** Run one dense case index as a propagation experiment. *)
+val run_case : ?fuel:int -> Ftb_trace.Golden.t -> int -> t
+(** Run one dense case index as a propagation experiment, optionally
+    bounded by the [fuel] watchdog. *)
 
-val run_cases : ?progress:(done_:int -> total:int -> unit) -> Ftb_trace.Golden.t -> int array -> t array
+val run_cases :
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?fuel:int ->
+  Ftb_trace.Golden.t ->
+  int array ->
+  t array
 (** Run every given case. *)
 
 val draw_uniform : Ftb_util.Rng.t -> Ftb_trace.Golden.t -> fraction:float -> int array

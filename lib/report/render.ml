@@ -52,6 +52,55 @@ let csv_table1 results =
   [ ("table1", t) ]
 
 (* ------------------------------------------------------------------ *)
+(* Crash taxonomy                                                      *)
+
+let crash_total (c : Ftb_inject.Ground_truth.reason_counts) =
+  Ftb_inject.Ground_truth.(c.nan + c.inf + c.exn + c.fuel)
+
+let crash_table results =
+  let t =
+    Table.create [ "Name"; "Crashes"; "NaN"; "Inf"; "Exception"; "Fuel"; "Crash ratio" ]
+  in
+  List.iter
+    (fun (r : Study_exhaustive.result) ->
+      let c = r.Study_exhaustive.crash_breakdown in
+      Table.add_row t
+        [
+          r.Study_exhaustive.name;
+          string_of_int (crash_total c);
+          string_of_int c.Ftb_inject.Ground_truth.nan;
+          string_of_int c.Ftb_inject.Ground_truth.inf;
+          string_of_int c.Ftb_inject.Ground_truth.exn;
+          string_of_int c.Ftb_inject.Ground_truth.fuel;
+          pct (float_of_int (crash_total c) /. float_of_int r.Study_exhaustive.cases);
+        ])
+    results;
+  Table.render
+    ~title:"Crash taxonomy: campaign crash cases by recorded reason" t
+
+let csv_crash_table results =
+  let t =
+    Table.create
+      [ "name"; "crashes"; "nan"; "inf"; "exception"; "fuel_exhausted"; "crash_ratio" ]
+  in
+  List.iter
+    (fun (r : Study_exhaustive.result) ->
+      let c = r.Study_exhaustive.crash_breakdown in
+      Table.add_row t
+        [
+          r.Study_exhaustive.name;
+          string_of_int (crash_total c);
+          string_of_int c.Ftb_inject.Ground_truth.nan;
+          string_of_int c.Ftb_inject.Ground_truth.inf;
+          string_of_int c.Ftb_inject.Ground_truth.exn;
+          string_of_int c.Ftb_inject.Ground_truth.fuel;
+          Printf.sprintf "%.6f"
+            (float_of_int (crash_total c) /. float_of_int r.Study_exhaustive.cases);
+        ])
+    results;
+  [ ("crash_taxonomy", t) ]
+
+(* ------------------------------------------------------------------ *)
 (* Figure 3                                                            *)
 
 let fig3 results =

@@ -9,6 +9,13 @@ val table1 : Ftb_core.Study_exhaustive.result list -> string
 
 val csv_table1 : Ftb_core.Study_exhaustive.result list -> (string * Ftb_util.Table.t) list
 
+val crash_table : Ftb_core.Study_exhaustive.result list -> string
+(** Crash-taxonomy breakdown per benchmark: campaign crash cases split by
+    recorded reason (NaN, Inf, exception, fuel exhaustion). *)
+
+val csv_crash_table :
+  Ftb_core.Study_exhaustive.result list -> (string * Ftb_util.Table.t) list
+
 val fig3 : Ftb_core.Study_exhaustive.result list -> string
 (** Figure 3 — per-benchmark histograms of ΔSDC. *)
 

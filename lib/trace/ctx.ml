@@ -1,4 +1,26 @@
-exception Crash of string
+type crash_reason = Nan_value | Inf_value | Exception_raised | Fuel_exhausted
+
+exception Crash of { reason : crash_reason; what : string }
+
+let crash ~reason fmt =
+  Printf.ksprintf (fun what -> raise (Crash { reason; what })) fmt
+
+let crash_reason_to_string = function
+  | Nan_value -> "nan"
+  | Inf_value -> "inf"
+  | Exception_raised -> "exception"
+  | Fuel_exhausted -> "fuel"
+
+let crash_reason_equal a b =
+  match (a, b) with
+  | Nan_value, Nan_value
+  | Inf_value, Inf_value
+  | Exception_raised, Exception_raised
+  | Fuel_exhausted, Fuel_exhausted ->
+      true
+  | (Nan_value | Inf_value | Exception_raised | Fuel_exhausted), _ -> false
+
+let pp_crash_reason ppf r = Format.pp_print_string ppf (crash_reason_to_string r)
 
 (* Growable float/int buffers; OCaml 5.1 has no Dynarray yet. *)
 module Fbuf = struct
@@ -49,30 +71,39 @@ type mode =
       mutable diverged_at : int option;
     }
 
-type t = { mutable next : int; mode : mode }
+(* [fuel = max_int] means "no budget" — the sentinel keeps the hot path
+   allocation-free (no option on every record). *)
+type t = { mutable next : int; mutable fuel : int; mode : mode }
+
+let fuel_of = function
+  | None -> max_int
+  | Some n ->
+      if n <= 0 then invalid_arg "Ctx: fuel must be positive" else n
 
 let fresh_sink () = { values = Fbuf.create (); statics = Ibuf.create () }
 
-let golden () = { next = 0; mode = Golden_mode (fresh_sink ()) }
-let hooked hook = { next = 0; mode = Hook_mode hook }
+let golden ?fuel () = { next = 0; fuel = fuel_of fuel; mode = Golden_mode (fresh_sink ()) }
+let hooked ?fuel hook = { next = 0; fuel = fuel_of fuel; mode = Hook_mode hook }
 
 let flip_of_fault (fault : Fault.t) v = Ftb_util.Bits.flip ~bit:fault.Fault.bit v
 
-let outcome_custom ~site ~corrupt =
+let outcome_custom ?fuel ~site ~corrupt () =
   {
     next = 0;
+    fuel = fuel_of fuel;
     mode =
       Inject_mode
         { site; corrupt; sink = None; golden_statics = None; injected = None;
           diverged_at = None };
   }
 
-let outcome_only ~fault =
-  outcome_custom ~site:fault.Fault.site ~corrupt:(flip_of_fault fault)
+let outcome_only ?fuel ~fault () =
+  outcome_custom ?fuel ~site:fault.Fault.site ~corrupt:(flip_of_fault fault) ()
 
-let propagation ~fault ~golden_statics =
+let propagation ?fuel ~fault ~golden_statics () =
   {
     next = 0;
+    fuel = fuel_of fuel;
     mode =
       Inject_mode
         {
@@ -86,6 +117,12 @@ let propagation ~fault ~golden_statics =
   }
 
 let record t ~tag v =
+  if t.fuel <> max_int then begin
+    if t.fuel = 0 then
+      crash ~reason:Fuel_exhausted "step budget exhausted after %d dynamic instructions"
+        t.next;
+    t.fuel <- t.fuel - 1
+  end;
   let i = t.next in
   t.next <- i + 1;
   match t.mode with
@@ -117,9 +154,12 @@ let record t ~tag v =
 
 let guard_finite _t what v =
   if Ftb_util.Bits.is_finite v then v
-  else raise (Crash (Printf.sprintf "non-finite value trapped at %s" what))
+  else
+    let reason = if Float.is_nan v then Nan_value else Inf_value in
+    crash ~reason "non-finite value trapped at %s" what
 
 let length t = t.next
+let remaining_fuel t = if t.fuel = max_int then None else Some t.fuel
 
 let sink_exn t name =
   match t.mode with

@@ -6,34 +6,61 @@
     created the call records a golden trace, silently injects a bit flip,
     or additionally records the faulty trace for propagation analysis. *)
 
-exception Crash of string
+type crash_reason =
+  | Nan_value  (** a NaN was trapped by a guard or reached the output *)
+  | Inf_value  (** an infinity was trapped by a guard or reached the output *)
+  | Exception_raised
+      (** an exception escaped the kernel body, or the output was
+          structurally invalid (wrong length) *)
+  | Fuel_exhausted
+      (** the divergence watchdog's step budget ran out — the injected
+          fault sent the run into non-convergence *)
+(** Why a run crashed — the campaign engine's crash taxonomy. Recorded
+    alongside every Crash outcome so studies can break abnormal
+    terminations down by cause. *)
+
+val crash_reason_to_string : crash_reason -> string
+(** ["nan"], ["inf"], ["exception"], ["fuel"]. *)
+
+val crash_reason_equal : crash_reason -> crash_reason -> bool
+val pp_crash_reason : Format.formatter -> crash_reason -> unit
+
+exception Crash of { reason : crash_reason; what : string }
 (** Abnormal termination of an instrumented run — the paper's Crash
-    outcome. Raised by {!guard_finite} (modelling a NaN trap or a kernel's
-    own sanity guard) or by kernels directly. *)
+    outcome, tagged with its taxonomy reason. Raised by {!guard_finite}
+    (modelling a NaN trap or a kernel's own sanity guard), by the fuel
+    watchdog inside {!record}, or by kernels directly. *)
 
 type t
 (** A context. Single use: one context drives exactly one run. *)
 
-val golden : unit -> t
+(** Every constructor takes an optional [?fuel] step budget: the maximum
+    number of {!record} calls the run may perform before the watchdog
+    raises [Crash] with reason {!Fuel_exhausted}. Use it to bound runs of
+    iterate-to-convergence kernels that an injected fault can keep from
+    ever converging. Omitted means unlimited. [Invalid_argument] when
+    [fuel <= 0]. *)
+
+val golden : ?fuel:int -> unit -> t
 (** A recording context for the error-free run. *)
 
-val outcome_only : fault:Fault.t -> t
+val outcome_only : ?fuel:int -> fault:Fault.t -> unit -> t
 (** An injecting context that keeps no trace — the cheap mode used for the
     bulk of a campaign where only the final output matters. *)
 
-val outcome_custom : site:int -> corrupt:(float -> float) -> t
+val outcome_custom : ?fuel:int -> site:int -> corrupt:(float -> float) -> unit -> t
 (** Like {!outcome_only} but with an arbitrary corruption function instead
     of a single bit flip — the hook for alternative fault models
     ({!Ftb_inject.Models}): multi-bit bursts, 32-bit flips, random value
     replacement. *)
 
-val propagation : fault:Fault.t -> golden_statics:int array -> t
+val propagation : ?fuel:int -> fault:Fault.t -> golden_statics:int array -> unit -> t
 (** An injecting context that also records the faulty run's values and
     detects control-flow divergence against the golden static-tag stream.
     Recording stops contributing to propagation data past the divergence
     point. *)
 
-val hooked : (index:int -> tag:int -> float -> float) -> t
+val hooked : ?fuel:int -> (index:int -> tag:int -> float -> float) -> t
 (** A context that forwards every recorded value to an arbitrary hook and
     continues with the hook's result. The building block of the lockstep
     executor ({!Lockstep}), which uses it to suspend the run at each
@@ -43,16 +70,22 @@ val record : t -> tag:int -> float -> float
 (** [record t ~tag v] registers [v] as the value of the next dynamic
     instruction, whose static identity is [tag]. Returns [v], or the
     bit-flipped value if this dynamic instruction is the context's
-    injection target. Kernels must use the returned value. *)
+    injection target. Kernels must use the returned value. Raises
+    [Crash] with reason {!Fuel_exhausted} when the context's step budget
+    is spent. *)
 
 val guard_finite : t -> string -> float -> float
-(** [guard_finite t what v] raises [Crash] when [v] is NaN or infinite —
-    use at points where a real kernel would trap (pivot selection,
-    convergence tests, sqrt of a residual norm). Returns [v] unchanged
-    otherwise. This models the "NaN exception" crash of §2.1. *)
+(** [guard_finite t what v] raises [Crash] when [v] is NaN (reason
+    {!Nan_value}) or infinite (reason {!Inf_value}) — use at points where
+    a real kernel would trap (pivot selection, convergence tests, sqrt of
+    a residual norm). Returns [v] unchanged otherwise. This models the
+    "NaN exception" crash of §2.1. *)
 
 val length : t -> int
 (** Number of dynamic instructions recorded so far. *)
+
+val remaining_fuel : t -> int option
+(** Steps left in the budget; [None] when the context is unlimited. *)
 
 (** Results extracted after the run. *)
 

@@ -9,9 +9,9 @@ let run (program : Program.t) =
   let ctx = Ctx.golden () in
   let output =
     try program.Program.body ctx
-    with Ctx.Crash reason ->
+    with Ctx.Crash { what; _ } ->
       failwith (Printf.sprintf "Golden.run: error-free run of %s crashed: %s"
-                  program.Program.name reason)
+                  program.Program.name what)
   in
   let values = Ctx.trace_values ctx in
   let check what a =

@@ -11,6 +11,7 @@ let pp_outcome ppf o = Format.pp_print_string ppf (outcome_to_string o)
 type result = {
   fault : Fault.t;
   outcome : outcome;
+  crash_reason : Ctx.crash_reason option;
   injected_error : float;
   output_error : float;
 }
@@ -36,43 +37,65 @@ let injected_error_of ctx =
       let err = abs_float (corrupted -. original) in
       if Float.is_nan err then infinity else err
 
+(* Taxonomy of a crash detected at the output: a NaN anywhere dominates,
+   then an infinity; a non-finite L∞ error with a fully finite output means
+   the *difference* overflowed, which is still an Inf-class anomaly. *)
+let output_crash_reason output =
+  if Array.exists Float.is_nan output then Ctx.Nan_value else Ctx.Inf_value
+
 let classify (golden : Golden.t) output =
   let tolerance = golden.Golden.program.Program.tolerance in
-  if Array.length output <> Array.length golden.Golden.output then (Crash, infinity)
+  if Array.length output <> Array.length golden.Golden.output then
+    (Crash, Some Ctx.Exception_raised, infinity)
   else begin
     let err = Ftb_util.Norms.linf golden.Golden.output output in
-    if err = infinity then (Crash, infinity)
-    else if err <= tolerance then (Masked, err)
-    else (Sdc, err)
+    if err = infinity then (Crash, Some (output_crash_reason output), infinity)
+    else if err <= tolerance then (Masked, None, err)
+    else (Sdc, None, err)
   end
 
 let finish_outcome (golden : Golden.t) fault ctx =
   match golden.Golden.program.Program.body ctx with
   | output ->
-      let outcome, output_error = classify golden output in
-      { fault; outcome; injected_error = injected_error_of ctx; output_error }
-  | exception Ctx.Crash _ ->
-      { fault; outcome = Crash; injected_error = injected_error_of ctx; output_error = infinity }
+      let outcome, crash_reason, output_error = classify golden output in
+      { fault; outcome; crash_reason; injected_error = injected_error_of ctx; output_error }
+  | exception Ctx.Crash { reason; _ } ->
+      { fault; outcome = Crash; crash_reason = Some reason;
+        injected_error = injected_error_of ctx; output_error = infinity }
 
-let run_outcome (golden : Golden.t) fault =
+let run_outcome ?fuel (golden : Golden.t) fault =
   check_fault golden fault;
-  finish_outcome golden fault (Ctx.outcome_only ~fault)
+  finish_outcome golden fault (Ctx.outcome_only ?fuel ~fault ())
 
-let run_outcome_custom (golden : Golden.t) ~site ~corrupt =
+(* Crash isolation for campaigns: any exception escaping the kernel body —
+   not just the cooperative [Ctx.Crash] — is contained and classified, so a
+   single broken case cannot abort an hours-long campaign. Asynchronous
+   resource exhaustion is not containable and still propagates. *)
+let run_outcome_contained ?fuel (golden : Golden.t) fault =
+  check_fault golden fault;
+  let ctx = Ctx.outcome_only ?fuel ~fault () in
+  match finish_outcome golden fault ctx with
+  | result -> result
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception _ ->
+      { fault; outcome = Crash; crash_reason = Some Ctx.Exception_raised;
+        injected_error = injected_error_of ctx; output_error = infinity }
+
+let run_outcome_custom ?fuel (golden : Golden.t) ~site ~corrupt =
   let fault = Fault.make ~site ~bit:0 in
   check_fault golden fault;
-  finish_outcome golden fault (Ctx.outcome_custom ~site ~corrupt)
+  finish_outcome golden fault (Ctx.outcome_custom ?fuel ~site ~corrupt ())
 
-let run_propagation (golden : Golden.t) fault =
+let run_propagation ?fuel (golden : Golden.t) fault =
   check_fault golden fault;
-  let ctx = Ctx.propagation ~fault ~golden_statics:golden.Golden.statics in
-  let outcome, output_error =
+  let ctx = Ctx.propagation ?fuel ~fault ~golden_statics:golden.Golden.statics () in
+  let outcome, crash_reason, output_error =
     match golden.Golden.program.Program.body ctx with
     | output -> classify golden output
-    | exception Ctx.Crash _ -> (Crash, infinity)
+    | exception Ctx.Crash { reason; _ } -> (Crash, Some reason, infinity)
   in
   let result =
-    { fault; outcome; injected_error = injected_error_of ctx; output_error }
+    { fault; outcome; crash_reason; injected_error = injected_error_of ctx; output_error }
   in
   let faulty = Ctx.trace_values ctx in
   let golden_len = Golden.sites golden in

@@ -4,7 +4,11 @@
     *outcome-only* run (cheap — no tracing) classifies one (site, bit) case
     as Masked / SDC / Crash; a *propagation* run additionally records the
     faulty trace and diffs it against the golden run, producing the
-    per-instruction perturbations Δx that feed Algorithm 1. *)
+    per-instruction perturbations Δx that feed Algorithm 1.
+
+    Every runner takes an optional [?fuel] step budget (the divergence
+    watchdog, see {!Ctx}); a run that exhausts it is classified Crash with
+    reason {!Ctx.Fuel_exhausted}. *)
 
 type outcome = Masked | Sdc | Crash
 
@@ -15,6 +19,8 @@ val pp_outcome : Format.formatter -> outcome -> unit
 type result = {
   fault : Fault.t;
   outcome : outcome;
+  crash_reason : Ctx.crash_reason option;
+      (** the crash taxonomy entry; [Some _] iff [outcome = Crash] *)
   injected_error : float;
       (** |corrupted − original| at the fault site; [infinity] when the flip
           produced a non-finite value. *)
@@ -34,21 +40,30 @@ type propagation = {
           [start <= j < stop] *)
 }
 
-val run_outcome : Golden.t -> Fault.t -> result
+val run_outcome : ?fuel:int -> Golden.t -> Fault.t -> result
 (** Execute one injection and classify it. Classification: a raised
-    [Ctx.Crash] or a non-finite output is Crash; otherwise Masked iff the
-    L∞ output error is within the program's tolerance, else SDC. Raises
-    [Invalid_argument] when the fault site is outside the program's dynamic
-    range. *)
+    [Ctx.Crash] or a non-finite output is Crash (the crash reason records
+    whether a NaN, an infinity, or the fuel watchdog terminated the run);
+    otherwise Masked iff the L∞ output error is within the program's
+    tolerance, else SDC. Raises [Invalid_argument] when the fault site is
+    outside the program's dynamic range. *)
+
+val run_outcome_contained : ?fuel:int -> Golden.t -> Fault.t -> result
+(** Like {!run_outcome}, but additionally contains *any* exception escaping
+    the kernel body — not only the cooperative [Ctx.Crash] — classifying it
+    as Crash with reason {!Ctx.Exception_raised}. This is the campaign
+    engine's unit of work: one broken case must never abort a campaign.
+    [Out_of_memory] and errors raised before the body starts (e.g. an
+    out-of-range fault site) still propagate. *)
 
 val run_outcome_custom :
-  Golden.t -> site:int -> corrupt:(float -> float) -> result
+  ?fuel:int -> Golden.t -> site:int -> corrupt:(float -> float) -> result
 (** Like {!run_outcome} but with an arbitrary corruption function applied
     to the value produced at [site] — used by alternative fault models.
     The returned [fault] field carries [site] with bit 0 as a placeholder
     (custom corruptions have no single bit). *)
 
-val run_propagation : Golden.t -> Fault.t -> propagation
+val run_propagation : ?fuel:int -> Golden.t -> Fault.t -> propagation
 (** Execute one injection with tracing and compute the propagated
     per-instruction deviations. Coverage ends at the first control-flow
     divergence, so deviations are only reported where the faulty run

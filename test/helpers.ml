@@ -81,4 +81,24 @@ let guarded_program ?(tolerance = 0.5) () =
   in
   Program.make ~name:"guarded" ~description:"guarded single value" ~tolerance ~statics body
 
+(* Diverging toy: multiplies x by a recorded factor until it drops below 1.
+   The golden factor 0.5 converges in 7 iterations, but flips of the factor
+   (e.g. bit 52: 0.5 -> 1.0, or bit 62: 0.5 -> huge -> x saturates at +inf)
+   keep [x >= 1.] true forever — the loop only terminates under a fuel
+   watchdog. Never run its campaign without [~fuel]. *)
+let diverging_program ?(tolerance = 0.5) () =
+  let statics = Static.create_table () in
+  let tag_f = Static.register statics ~phase:"div.load" ~label:"factor" in
+  let tag_x = Static.register statics ~phase:"div.iter" ~label:"x *= factor" in
+  let body ctx =
+    let factor = Ctx.record ctx ~tag:tag_f 0.5 in
+    let x = ref 100. in
+    while !x >= 1. do
+      x := Ctx.record ctx ~tag:tag_x (!x *. factor)
+    done;
+    [| !x |]
+  in
+  Program.make ~name:"diverging" ~description:"loop until convergence" ~tolerance ~statics
+    body
+
 let qcheck_to_alcotest = QCheck_alcotest.to_alcotest

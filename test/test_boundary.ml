@@ -51,6 +51,7 @@ let test_min_sdc_errors () =
     {
       Sample_run.fault = Fault.make ~site ~bit:0;
       outcome;
+      crash_reason = None;
       injected_error = err;
       propagation;
     }

@@ -20,7 +20,7 @@ let test_golden_returns_value () =
 
 let test_injection_flips_target () =
   let fault = Fault.make ~site:1 ~bit:Bits.sign_bit in
-  let ctx = Ctx.outcome_only ~fault in
+  let ctx = Ctx.outcome_only ~fault () in
   Helpers.check_close "site 0 untouched" 5. (Ctx.record ctx ~tag:0 5.);
   Helpers.check_close "site 1 sign-flipped" (-7.) (Ctx.record ctx ~tag:1 7.);
   Helpers.check_close "site 2 untouched" 9. (Ctx.record ctx ~tag:2 9.);
@@ -32,12 +32,12 @@ let test_injection_flips_target () =
 
 let test_injection_not_reached () =
   let fault = Fault.make ~site:10 ~bit:0 in
-  let ctx = Ctx.outcome_only ~fault in
+  let ctx = Ctx.outcome_only ~fault () in
   run_values ctx [| 1.; 2. |];
   Alcotest.(check bool) "target past end: no injection" true (Ctx.injection ctx = None)
 
 let test_outcome_only_has_no_trace () =
-  let ctx = Ctx.outcome_only ~fault:(Fault.make ~site:0 ~bit:0) in
+  let ctx = Ctx.outcome_only ~fault:(Fault.make ~site:0 ~bit:0) () in
   run_values ctx [| 1. |];
   Alcotest.check_raises "trace_values rejected"
     (Invalid_argument "Ctx.trace_values: outcome-only context has no trace") (fun () ->
@@ -46,7 +46,7 @@ let test_outcome_only_has_no_trace () =
 let test_propagation_traces_corrupted_values () =
   let fault = Fault.make ~site:0 ~bit:Bits.sign_bit in
   let golden_statics = [| 0; 1 |] in
-  let ctx = Ctx.propagation ~fault ~golden_statics in
+  let ctx = Ctx.propagation ~fault ~golden_statics () in
   let x = Ctx.record ctx ~tag:0 2. in
   ignore (Ctx.record ctx ~tag:1 (x +. 1.));
   Alcotest.(check (array (Helpers.close ()))) "trace holds faulty values" [| -2.; -1. |]
@@ -56,7 +56,7 @@ let test_propagation_traces_corrupted_values () =
 let test_divergence_on_tag_mismatch () =
   let fault = Fault.make ~site:0 ~bit:0 in
   let golden_statics = [| 0; 1; 2 |] in
-  let ctx = Ctx.propagation ~fault ~golden_statics in
+  let ctx = Ctx.propagation ~fault ~golden_statics () in
   ignore (Ctx.record ctx ~tag:0 1.);
   ignore (Ctx.record ctx ~tag:7 2.);
   (* different static instruction *)
@@ -66,7 +66,7 @@ let test_divergence_on_tag_mismatch () =
 let test_divergence_on_longer_run () =
   let fault = Fault.make ~site:0 ~bit:0 in
   let golden_statics = [| 0 |] in
-  let ctx = Ctx.propagation ~fault ~golden_statics in
+  let ctx = Ctx.propagation ~fault ~golden_statics () in
   ignore (Ctx.record ctx ~tag:0 1.);
   ignore (Ctx.record ctx ~tag:0 2.);
   (* one instruction past the golden run *)
@@ -75,16 +75,40 @@ let test_divergence_on_longer_run () =
 let test_guard_finite () =
   let ctx = Ctx.golden () in
   Helpers.check_close "finite passes" 3. (Ctx.guard_finite ctx "spot" 3.);
-  Alcotest.check_raises "nan trapped" (Ctx.Crash "non-finite value trapped at spot")
+  Alcotest.check_raises "nan trapped"
+    (Ctx.Crash { reason = Ctx.Nan_value; what = "non-finite value trapped at spot" })
     (fun () -> ignore (Ctx.guard_finite ctx "spot" nan));
-  Alcotest.check_raises "inf trapped" (Ctx.Crash "non-finite value trapped at spot")
+  Alcotest.check_raises "inf trapped"
+    (Ctx.Crash { reason = Ctx.Inf_value; what = "non-finite value trapped at spot" })
     (fun () -> ignore (Ctx.guard_finite ctx "spot" infinity))
+
+let test_fuel_exhaustion () =
+  let ctx = Ctx.golden ~fuel:3 () in
+  run_values ctx [| 1.; 2.; 3. |];
+  Alcotest.(check (option int)) "fuel spent" (Some 0) (Ctx.remaining_fuel ctx);
+  Alcotest.check_raises "fourth record crashes"
+    (Ctx.Crash
+       {
+         reason = Ctx.Fuel_exhausted;
+         what = "step budget exhausted after 3 dynamic instructions";
+       })
+    (fun () -> ignore (Ctx.record ctx ~tag:3 4.))
+
+let test_no_fuel_is_unbounded () =
+  let ctx = Ctx.golden () in
+  run_values ctx (Array.make 1000 1.);
+  Alcotest.(check (option int)) "no budget tracked" None (Ctx.remaining_fuel ctx)
+
+let test_fuel_must_be_positive () =
+  Alcotest.check_raises "zero fuel rejected"
+    (Invalid_argument "Ctx: fuel must be positive") (fun () ->
+      ignore (Ctx.golden ~fuel:0 ()))
 
 let test_flip_to_nan_recorded_as_injection () =
   (* Flipping the top exponent bit of 1.0 produces a non-finite value; the
      injection pair must still be observable. *)
   let fault = Fault.make ~site:0 ~bit:62 in
-  let ctx = Ctx.outcome_only ~fault in
+  let ctx = Ctx.outcome_only ~fault () in
   let v = Ctx.record ctx ~tag:0 1. in
   Alcotest.(check bool) "returned value non-finite" false (Bits.is_finite v);
   match Ctx.injection ctx with
@@ -105,5 +129,8 @@ let suite =
     Alcotest.test_case "divergence on tag mismatch" `Quick test_divergence_on_tag_mismatch;
     Alcotest.test_case "divergence on longer run" `Quick test_divergence_on_longer_run;
     Alcotest.test_case "guard_finite" `Quick test_guard_finite;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "no fuel is unbounded" `Quick test_no_fuel_is_unbounded;
+    Alcotest.test_case "fuel must be positive" `Quick test_fuel_must_be_positive;
     Alcotest.test_case "flip to nan recorded" `Quick test_flip_to_nan_recorded_as_injection;
   ]
