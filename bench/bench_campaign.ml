@@ -1,0 +1,208 @@
+(* Campaign-executor throughput benchmark (dune alias @bench-smoke).
+
+   Measures exhaustive-campaign throughput (cases/sec) on a mix of
+   resumable IR kernels and closure kernels, across five engine
+   configurations:
+
+     baseline        the pre-optimization engine — tree-walking IR
+                     interpreter (Ir.to_program_interpreted), one domain,
+                     full re-execution per case; for closure kernels the
+                     engine never changed, so baseline = serial
+     serial          Ground_truth.run — compiled machine, one domain,
+                     full re-execution
+     batched         Executor, one domain, prefix-snapshot bit batching
+     pooled          Parallel.ground_truth — N domains, work stealing,
+                     full re-execution per case
+     pooled+batched  Executor, N domains, work stealing + bit batching
+
+   Every configuration's outcome bytes are asserted bit-identical to the
+   serial engine before any number is reported — a fast wrong campaign is
+   worthless. Results go to a JSON file (default BENCH_campaign.json);
+   --quick shrinks the inputs for CI.
+
+   Usage: bench_campaign.exe [--quick] [--json PATH] [--domains N] [--reps N] *)
+
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Executor = Ftb_inject.Executor
+module Parallel = Ftb_inject.Parallel
+
+type options = { quick : bool; json : string; domains : int; reps : int }
+
+let parse_options () =
+  let quick = ref false in
+  let json = ref "BENCH_campaign.json" in
+  let domains = ref 0 in
+  let reps = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--json" :: path :: rest ->
+        json := path;
+        go rest
+    | "--domains" :: n :: rest ->
+        domains := int_of_string n;
+        go rest
+    | "--reps" :: n :: rest ->
+        reps := int_of_string n;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: bench_campaign.exe [--quick] [--json PATH] [--domains N] [--reps N]\n"
+          arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  {
+    quick;
+    json = !json;
+    domains = (if !domains > 0 then !domains else Parallel.default_domains ());
+    reps = (if !reps > 0 then !reps else if quick then 1 else 3);
+  }
+
+(* Each row: name, the current program (compiled machine for IR), and the
+   pre-optimization baseline program (tree-walking interpreter for IR; the
+   closure kernels' engine never changed, so they are their own baseline). *)
+let programs ~quick =
+  let open Ftb_ir in
+  let ir name build = (name, Ir.to_program build, Ir.to_program_interpreted build) in
+  let closure name p = (name, p, p) in
+  if quick then
+    [
+      ir "ir.dot" (Programs.dot ~n:40 ~seed:11 ~tolerance:1e-9);
+      ir "ir.stencil3" (Programs.stencil3 ~n:24 ~sweeps:3 ~seed:13 ~tolerance:1e-9);
+      closure "stencil"
+        (Ftb_kernels.Stencil.program
+           { Ftb_kernels.Stencil.size = 5; sweeps = 3; seed = 3; tolerance = 1e-4 });
+    ]
+  else
+    [
+      ir "ir.dot" (Programs.dot ~n:160 ~seed:11 ~tolerance:1e-9);
+      ir "ir.stencil3" (Programs.stencil3 ~n:48 ~sweeps:8 ~seed:13 ~tolerance:1e-9);
+      ir "ir.matvec" (Programs.matvec ~n:24 ~seed:14 ~tolerance:1e-9);
+      closure "stencil" (Ftb_kernels.Stencil.program Ftb_kernels.Stencil.default);
+    ]
+
+(* Best-of-N wall-clock: campaigns are long enough that the minimum over a
+   few repetitions is a stable, noise-resistant estimate. *)
+let time ~reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+type mode_result = { mode : string; seconds : float; cases_per_sec : float }
+
+let bench_program ~opts (name, program, baseline_program) =
+  let golden = Golden.run program in
+  let baseline_golden =
+    if baseline_program == program then golden else Golden.run baseline_program
+  in
+  let cases = Golden.cases golden in
+  let resumable = golden.Golden.program.Ftb_trace.Program.resumable <> None in
+  Printf.printf "%-12s %6d sites, %7d cases%s\n%!" name (Golden.sites golden) cases
+    (if resumable then "" else "  (closure kernel: batching falls back)");
+  let reference = Ground_truth.run golden in
+  let check what (gt : Ground_truth.t) =
+    if not (Bytes.equal reference.Ground_truth.outcomes gt.Ground_truth.outcomes) then begin
+      Printf.eprintf "FATAL: %s outcomes differ from the serial engine on %s\n" what name;
+      exit 1
+    end
+  in
+  let modes =
+    [
+      ("baseline", fun () -> Ground_truth.run baseline_golden);
+      ("serial", fun () -> Ground_truth.run golden);
+      ("batched", fun () -> Executor.ground_truth ~domains:1 golden);
+      ("pooled", fun () -> Parallel.ground_truth ~domains:opts.domains golden);
+      ("pooled_batched", fun () -> Executor.ground_truth ~domains:opts.domains golden);
+    ]
+  in
+  let results =
+    List.map
+      (fun (mode, run) ->
+        let gt, seconds = time ~reps:opts.reps run in
+        check mode gt;
+        let cases_per_sec = float_of_int cases /. seconds in
+        Printf.printf "  %-15s %8.3f s   %12.0f cases/s\n%!" mode seconds cases_per_sec;
+        { mode; seconds; cases_per_sec })
+      modes
+  in
+  let rate m = (List.find (fun r -> r.mode = m) results).cases_per_sec in
+  Printf.printf
+    "  vs baseline: serial %.2fx, batched %.2fx, pooled+batched %.2fx (pooled %.2fx)\n%!"
+    (rate "serial" /. rate "baseline")
+    (rate "batched" /. rate "baseline")
+    (rate "pooled_batched" /. rate "baseline")
+    (rate "pooled" /. rate "baseline");
+  (name, Golden.sites golden, cases, resumable, results)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~opts rows =
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"benchmark\": \"campaign-executor-throughput\",\n";
+  bpf "  \"quick\": %b,\n" opts.quick;
+  bpf "  \"domains\": %d,\n" opts.domains;
+  bpf "  \"reps\": %d,\n" opts.reps;
+  bpf "  \"identical_outcomes\": true,\n";
+  bpf "  \"programs\": [\n";
+  List.iteri
+    (fun i (name, sites, cases, resumable, results) ->
+      bpf "    {\n";
+      bpf "      \"name\": \"%s\",\n" (json_escape name);
+      bpf "      \"sites\": %d,\n" sites;
+      bpf "      \"cases\": %d,\n" cases;
+      bpf "      \"resumable\": %b,\n" resumable;
+      bpf "      \"modes\": {\n";
+      List.iteri
+        (fun j { mode; seconds; cases_per_sec } ->
+          bpf "        \"%s\": { \"seconds\": %.6f, \"cases_per_sec\": %.1f }%s\n" mode
+            seconds cases_per_sec
+            (if j = List.length results - 1 then "" else ","))
+        results;
+      bpf "      },\n";
+      let rate m =
+        (List.find (fun r -> r.mode = m) results).cases_per_sec
+      in
+      bpf "      \"speedup_serial_vs_baseline\": %.3f,\n" (rate "serial" /. rate "baseline");
+      bpf "      \"speedup_batched_vs_baseline\": %.3f,\n" (rate "batched" /. rate "baseline");
+      bpf "      \"speedup_batched_vs_serial\": %.3f,\n" (rate "batched" /. rate "serial");
+      bpf "      \"speedup_pooled_vs_serial\": %.3f,\n" (rate "pooled" /. rate "serial");
+      bpf "      \"speedup_pooled_batched_vs_baseline\": %.3f\n"
+        (rate "pooled_batched" /. rate "baseline");
+      bpf "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  bpf "  ]\n";
+  bpf "}\n";
+  let oc = open_out opts.json in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" opts.json
+
+let () =
+  let opts = parse_options () in
+  Printf.printf "campaign executor benchmark (%s, %d domains, best of %d)\n%!"
+    (if opts.quick then "quick" else "full")
+    opts.domains opts.reps;
+  let rows = List.map (bench_program ~opts) (programs ~quick:opts.quick) in
+  write_json ~opts rows

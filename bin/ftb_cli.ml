@@ -67,6 +67,11 @@ let list_cmd =
 
 let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_every resume
     fuel domains =
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Ftb_inject.Parallel.default_domains ()
+  in
   let program = find_program name in
   let golden = Ftb_trace.Golden.run program in
   let sites = Ftb_trace.Golden.sites golden in
@@ -178,9 +183,13 @@ let campaign_cmd =
   in
   let domains_arg =
     Arg.(
-      value & opt int 1
+      value
+      & opt (some int) None
       & info [ "domains" ] ~docv:"D"
-          ~doc:"Worker domains for the exhaustive campaign (1 = serial).")
+          ~doc:
+            "Worker domains for the exhaustive campaign (1 = serial). Precedence: this \
+             flag wins; otherwise the $(b,FTB_DOMAINS) environment variable; otherwise \
+             the recommended domain count capped to 8.")
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on a benchmark")

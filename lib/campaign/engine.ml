@@ -60,17 +60,28 @@ let initial_state ~config ~checkpoint golden =
 
 let run ?(config = default_config) ?checkpoint ?case_runner golden =
   check_config config;
-  let case_runner =
-    match case_runner with
-    | Some f -> f
-    | None -> fun g case -> Ground_truth.case_byte ?fuel:config.fuel g case
-  in
   let state = initial_state ~config ~checkpoint golden in
   let total = Golden.cases golden in
   let total_shards = Checkpoint.shards state in
   let resumed_shards = Checkpoint.completed_count state in
   let outcomes = state.Checkpoint.outcomes in
   let shard_size = state.Checkpoint.shard_size in
+  let fill_range =
+    match case_runner with
+    | Some f ->
+        fun ~lo ~hi ->
+          for case = lo to hi - 1 do
+            Bytes.set outcomes case (f golden case)
+          done
+    | None ->
+        (* Default shard runner: the batched executor — whole sites inside
+           the shard run their shared prefix once and replay only the
+           suffix per bit; non-resumable programs fall back to per-case
+           full re-execution inside [range_into]. *)
+        fun ~lo ~hi ->
+          Ftb_inject.Executor.range_into ?fuel:config.fuel golden ~lo ~hi outcomes
+            ~off:lo
+  in
   (* One shard is the unit of containment at the supervisor level: the
      per-case runner already contains kernel exceptions, so a shard only
      fails on harness trouble (or an injected test failure) — and then it
@@ -78,9 +89,7 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
   let run_shard index =
     try
       let lo, hi = Shard.bounds ~total ~shard_size index in
-      for case = lo to hi - 1 do
-        Bytes.set outcomes case (case_runner golden case)
-      done;
+      fill_range ~lo ~hi;
       Ok ()
     with e -> Error (Printexc.to_string e)
   in
@@ -114,18 +123,25 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
     while List.length !wave < config.domains && not (Queue.is_empty pending) do
       wave := Queue.pop pending :: !wave
     done;
-    let wave = List.rev !wave in
+    let wave = Array.of_list (List.rev !wave) in
     let results =
       match wave with
-      | [ (index, attempt) ] -> [ (index, attempt, run_shard index) ]
+      | [| (index, attempt) |] -> [ (index, attempt, run_shard index) ]
       | _ ->
-          let spawned =
-            List.map
-              (fun (index, attempt) ->
-                (index, attempt, Domain.spawn (fun () -> run_shard index)))
-              wave
-          in
-          List.map (fun (index, attempt, d) -> (index, attempt, Domain.join d)) spawned
+          (* Shards of the wave are claimed off the persistent domain pool
+             (spawned once per process, reused across waves and campaigns);
+             each shard writes a disjoint byte range of [outcomes], and
+             [run_shard] never raises, so slots of [results] are filled
+             race-free. *)
+          let pool = Ftb_inject.Parallel.Pool.global ~domains:config.domains () in
+          let results = Array.make (Array.length wave) None in
+          Ftb_inject.Parallel.Pool.run pool ~participants:config.domains ~chunk:1
+            ~total:(Array.length wave) (fun lo hi ->
+              for i = lo to hi - 1 do
+                let index, attempt = wave.(i) in
+                results.(i) <- Some (index, attempt, run_shard index)
+              done);
+          Array.to_list results |> List.filter_map Fun.id
     in
     List.iter
       (fun (index, attempt, result) ->

@@ -1,0 +1,124 @@
+module Ctx = Ftb_trace.Ctx
+module Fault = Ftb_trace.Fault
+module Golden = Ftb_trace.Golden
+module Program = Ftb_trace.Program
+module Runner = Ftb_trace.Runner
+
+let bits = Ftb_util.Bits.bits_per_double
+
+(* Prefix-snapshot bit batching. The 64 cases of one site share the exact
+   same injection-free prefix: every dynamic instruction before the site
+   produces its golden value regardless of which bit will be flipped. So
+   instead of 64 full runs per site, run the prefix once under a counting
+   context, snapshot the interpreter at the injection point, and replay
+   only the suffix per bit. Programs without the [resumable] capability
+   (hand-written closure kernels) transparently fall back to full
+   re-execution — same bytes, just without the savings. *)
+
+let fallback_site ?fuel golden ~site buf ~pos =
+  for bit = 0 to bits - 1 do
+    Bytes.set buf (pos + bit) (Ground_truth.case_byte ?fuel golden ((site * bits) + bit))
+  done
+
+let site_into ?fuel golden ~site buf ~pos =
+  if site < 0 || site >= Golden.sites golden then
+    invalid_arg "Executor.site_into: site out of range";
+  if pos < 0 || pos + bits > Bytes.length buf then
+    invalid_arg "Executor.site_into: buffer too small";
+  match golden.Golden.program.Program.resumable with
+  | None -> fallback_site ?fuel golden ~site buf ~pos
+  | Some resumable -> (
+      let ctx = Ctx.counting ?fuel () in
+      match resumable ctx ~stop_at:site with
+      | exception Ctx.Crash { reason; _ } ->
+          (* The injection-free prefix crashed (in practice only the fuel
+             watchdog can do that — the golden run is clean), strictly
+             before the injection point: all 64 cases follow the identical
+             path to the identical crash. *)
+          Bytes.fill buf pos bits (Ground_truth.crash_byte reason)
+      | exception Out_of_memory -> raise Out_of_memory
+      | exception _ ->
+          (* Campaign containment, mirroring [Runner.run_outcome_contained]:
+             a non-cooperative exception inside the body is a generic
+             exception crash for every bit. *)
+          Bytes.fill buf pos bits (Ground_truth.crash_byte Ctx.Exception_raised)
+      | Program.Completed _ ->
+          (* A deterministic program cannot finish before issuing
+             [site < sites] dynamic instructions; if it somehow does, trust
+             the per-case path over the snapshot machinery. *)
+          fallback_site ?fuel golden ~site buf ~pos
+      | Program.Paused resume ->
+          let snap = Ctx.snapshot ctx in
+          for bit = 0 to bits - 1 do
+            let fault = Fault.make ~site ~bit in
+            let ctx = Ctx.resume_outcome snap ~fault in
+            let result = Runner.outcome_of_run_contained golden fault ctx resume in
+            Bytes.set buf (pos + bit) (Ground_truth.byte_of_result result)
+          done)
+
+let range_into ?fuel golden ~lo ~hi buf ~off =
+  if lo < 0 || hi < lo || hi > Golden.cases golden then
+    invalid_arg "Executor.range_into: case range out of bounds";
+  if off < 0 || off + (hi - lo) > Bytes.length buf then
+    invalid_arg "Executor.range_into: buffer too small";
+  let per_case case =
+    Bytes.set buf (off + case - lo) (Ground_truth.case_byte ?fuel golden case)
+  in
+  (* Whole sites inside [lo, hi) are batched; ragged edges (shard bounds
+     not aligned to 64) run per-case. *)
+  let first_whole = (lo + bits - 1) / bits * bits in
+  let last_whole = hi / bits * bits in
+  if first_whole >= last_whole then
+    for case = lo to hi - 1 do
+      per_case case
+    done
+  else begin
+    for case = lo to first_whole - 1 do
+      per_case case
+    done;
+    for site = first_whole / bits to (last_whole / bits) - 1 do
+      site_into ?fuel golden ~site buf ~pos:(off + (site * bits) - lo)
+    done;
+    for case = last_whole to hi - 1 do
+      per_case case
+    done
+  end
+
+let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
+  let want =
+    match domains with Some d -> d | None -> Parallel.default_domains ()
+  in
+  if want <= 0 then invalid_arg "Executor.ground_truth: domains must be positive";
+  let total = Golden.cases golden in
+  let outcomes = Bytes.create total in
+  let serial () =
+    if batched then range_into ?fuel golden ~lo:0 ~hi:total outcomes ~off:0
+    else
+      for case = 0 to total - 1 do
+        Bytes.set outcomes case (Ground_truth.case_byte ?fuel golden case)
+      done
+  in
+  (if want = 1 && pool = None then serial ()
+   else begin
+     let pool =
+       match pool with
+       | Some p -> p
+       | None -> Parallel.Pool.global ~domains:want ()
+     in
+     let participants = min want (Parallel.Pool.domains pool) in
+     if batched then
+       (* Work items are sites (64 cases each), stolen individually: one
+          unlucky site that diverges into fuel-bound suffixes does not
+          stall a whole static chunk. *)
+       Parallel.Pool.run pool ~participants ~chunk:1 ~total:(Golden.sites golden)
+         (fun lo hi ->
+           for site = lo to hi - 1 do
+             site_into ?fuel golden ~site outcomes ~pos:(site * bits)
+           done)
+     else
+       Parallel.Pool.run pool ~participants ~total (fun lo hi ->
+           for case = lo to hi - 1 do
+             Bytes.unsafe_set outcomes case (Ground_truth.case_byte ?fuel golden case)
+           done)
+   end);
+  Ground_truth.of_outcomes golden outcomes

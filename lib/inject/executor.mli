@@ -1,0 +1,59 @@
+(** Batched campaign executor: prefix-snapshot bit batching.
+
+    The 64 cases of one injection site share an identical injection-free
+    prefix — every dynamic instruction before the site produces its golden
+    value no matter which bit the case will flip. An exhaustive campaign
+    re-executes that prefix 64 times per site for nothing. For programs
+    that carry the [resumable] capability ({!Ftb_trace.Program.t}, today
+    the compiled IR machine of [Ftb_ir]), this executor runs the prefix
+    once under a counting context, snapshots the interpreter state at the
+    injection point, and replays only the suffix for each bit:
+    O(sites × (prefix + 64 × suffix)) instead of O(64 × sites × run).
+
+    Correctness bar: outcome bytes are bit-identical to the serial engine
+    ({!Ground_truth.run}) — the snapshot carries the exact context
+    position and remaining fuel, the replay uses the same classification
+    path ({!Ftb_trace.Runner.outcome_of_run_contained}), and programs
+    without the capability transparently fall back to per-case full
+    re-execution. *)
+
+val site_into :
+  ?fuel:int -> Ftb_trace.Golden.t -> site:int -> Bytes.t -> pos:int -> unit
+(** [site_into golden ~site buf ~pos] computes the outcome bytes of the
+    site's 64 bit-flip cases (bit 0 first) into [buf.[pos..pos+63]],
+    batching over one shared prefix when the program is resumable. A
+    prefix crash (the fuel watchdog firing before the injection point) is
+    replicated to all 64 bits — each case would follow the identical path
+    to the identical crash. Raises [Invalid_argument] when [site] is out
+    of range or the buffer slice does not fit. *)
+
+val range_into :
+  ?fuel:int ->
+  Ftb_trace.Golden.t ->
+  lo:int ->
+  hi:int ->
+  Bytes.t ->
+  off:int ->
+  unit
+(** [range_into golden ~lo ~hi buf ~off] computes outcome bytes for the
+    dense case range [lo, hi) into [buf] starting at [off] (case [c] lands
+    at [off + c - lo]). Whole sites inside the range are batched via
+    {!site_into}; ragged edges at non-site-aligned bounds (shard
+    boundaries) run per-case. The campaign engine's default shard runner
+    is exactly this. *)
+
+val ground_truth :
+  ?pool:Parallel.Pool.t ->
+  ?domains:int ->
+  ?fuel:int ->
+  ?batched:bool ->
+  Ftb_trace.Golden.t ->
+  Ground_truth.t
+(** Exhaustive campaign over the full sample space, batched and pooled:
+    sites are work-stolen one at a time off the domain pool ([pool]
+    defaults to {!Parallel.Pool.global}, [domains] to
+    {!Parallel.default_domains}; [domains:1] without an explicit pool runs
+    serially on the calling domain). [batched:false] forces per-case full
+    re-execution (the [Parallel.ground_truth] strategy) — useful for
+    benchmarking the two engines against each other. Outcome bytes are
+    bit-identical across all four combinations of batched × pooled. *)

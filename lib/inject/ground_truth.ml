@@ -13,14 +13,18 @@ type reason_counts = { nan : int; inf : int; exn : int; fuel : int }
    crash loads as a generic exception crash). *)
 let byte_of_outcome = function Runner.Masked -> '\000' | Runner.Sdc -> '\001' | Runner.Crash -> '\002'
 
+let crash_byte = function
+  | Ctx.Exception_raised -> '\002'
+  | Ctx.Nan_value -> '\003'
+  | Ctx.Inf_value -> '\004'
+  | Ctx.Fuel_exhausted -> '\005'
+
 let byte_of_result (r : Runner.result) =
   match (r.Runner.outcome, r.Runner.crash_reason) with
   | Runner.Masked, _ -> '\000'
   | Runner.Sdc, _ -> '\001'
-  | Runner.Crash, (Some Ctx.Exception_raised | None) -> '\002'
-  | Runner.Crash, Some Ctx.Nan_value -> '\003'
-  | Runner.Crash, Some Ctx.Inf_value -> '\004'
-  | Runner.Crash, Some Ctx.Fuel_exhausted -> '\005'
+  | Runner.Crash, Some reason -> crash_byte reason
+  | Runner.Crash, None -> '\002'
 
 let outcome_of_byte = function
   | '\000' -> Runner.Masked

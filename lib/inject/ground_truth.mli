@@ -39,6 +39,12 @@ val byte_of_result : Ftb_trace.Runner.result -> char
     '\000' masked, '\001' sdc, '\002' crash/exception, '\003' crash/nan,
     '\004' crash/inf, '\005' crash/fuel. *)
 
+val crash_byte : Ftb_trace.Ctx.crash_reason -> char
+(** The stored byte of a crash with the given taxonomy reason (the Crash
+    rows of {!byte_of_result}). The batched executor uses it to replicate
+    a prefix crash — which happens before any injection — to all 64 bits
+    of a site. *)
+
 val outcome_of_byte : char -> Ftb_trace.Runner.outcome
 (** Decode a stored byte; raises [Invalid_argument] on bytes outside
     '\000'..'\005'. All four crash bytes decode to [Crash]. *)

@@ -1,44 +1,271 @@
 module Golden = Ftb_trace.Golden
 
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+let hard_cap = 8
+
+let default_domains () =
+  match Sys.getenv_opt "FTB_DOMAINS" with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "FTB_DOMAINS must be a positive integer (got %S)" s))
+  | Some _ | None -> min hard_cap (Domain.recommended_domain_count ())
 
 let check_domains domains =
   if domains <= 0 then invalid_arg "Parallel: domains must be positive"
 
 (* Shard [0, total) into [domains] contiguous chunks and run [work lo hi]
-   on each, the last chunk on the calling domain. *)
+   on each, the last chunk on the calling domain. Historical static-chunk
+   primitive; campaign paths now run on the work-stealing {!Pool}. All
+   spawned domains are joined even when [work] raises on the calling
+   domain, and the first exception (caller first, then workers in spawn
+   order) is re-raised. *)
 let shard ~domains ~total work =
+  check_domains domains;
   let chunk d = (d * total / domains, (d + 1) * total / domains) in
   let spawned =
     List.init (domains - 1) (fun d ->
         let lo, hi = chunk d in
         Domain.spawn (fun () -> work lo hi))
   in
-  let lo, hi = chunk (domains - 1) in
-  work lo hi;
-  List.iter Domain.join spawned
+  let worker_exn = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun d ->
+          try Domain.join d
+          with e -> if !worker_exn = None then worker_exn := Some e)
+        spawned)
+    (fun () ->
+      let lo, hi = chunk (domains - 1) in
+      work lo hi);
+  match !worker_exn with Some e -> raise e | None -> ()
 
-let ground_truth ?domains ?fuel golden =
-  let domains = match domains with Some d -> d | None -> default_domains () in
-  check_domains domains;
-  if domains = 1 then Ground_truth.run ?fuel golden
+(* ------------------------------------------------------------------ *)
+(* Persistent domain pool with a work-stealing scheduler.
+
+   Domains are spawned once and kept alive across campaign calls; idle
+   workers block on a condition variable. A job is a half-open range
+   [0, total) of abstract work items; workers (and the submitting domain,
+   which always participates) claim chunks off a shared [Atomic] counter,
+   so short items (crash cases that die instantly) and long items
+   (fuel-exhausted cases that run to the budget) balance automatically —
+   no domain is stuck with an unlucky static chunk. *)
+module Pool = struct
+  type job = {
+    work : int -> int -> unit;
+    next : int Atomic.t;
+    total : int;
+    chunk : int;
+    worker_slots : int;  (** how many pool workers participate in this job *)
+  }
+
+  type t = {
+    mutable workers : unit Domain.t array;
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable job : job option;
+    mutable generation : int;
+    mutable active : int;  (** participating workers still running the job *)
+    mutable failed : exn option;
+    mutable stop : bool;
+    mutable busy : bool;  (** a [run] is in flight (submitting domain included) *)
+  }
+
+  let domains t = Array.length t.workers + 1
+
+  let note_failure t e =
+    Mutex.lock t.mutex;
+    if t.failed = None then t.failed <- Some e;
+    Mutex.unlock t.mutex
+
+  (* Claim chunks until the counter runs dry. After any participant fails,
+     remaining chunks are abandoned so the job drains quickly; the racy
+     read of [t.failed] is harmless (worst case: one extra chunk runs). *)
+  let run_chunks t (job : job) =
+    let rec go () =
+      if t.failed = None then begin
+        let lo = Atomic.fetch_and_add job.next job.chunk in
+        if lo < job.total then begin
+          job.work lo (min job.total (lo + job.chunk));
+          go ()
+        end
+      end
+    in
+    go ()
+
+  let rec worker_loop t id last_generation =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.generation = last_generation do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let generation = t.generation in
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      if id < job.worker_slots then begin
+        (try run_chunks t job with e -> note_failure t e);
+        Mutex.lock t.mutex;
+        t.active <- t.active - 1;
+        if t.active = 0 then Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end;
+      worker_loop t id generation
+    end
+
+  let create ~domains =
+    check_domains domains;
+    let t =
+      {
+        workers = [||];
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        generation = 0;
+        active = 0;
+        failed = None;
+        stop = false;
+        busy = false;
+      }
+    in
+    t.workers <-
+      Array.init (domains - 1) (fun id -> Domain.spawn (fun () -> worker_loop t id 0));
+    t
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+
+  (* Chunks small enough that uneven per-item cost balances, large enough
+     that the atomic claim is amortized. *)
+  let default_chunk ~total ~participants =
+    max 1 (min 1024 (total / (participants * 16)))
+
+  let run ?chunk ?participants t ~total work =
+    if total < 0 then invalid_arg "Pool.run: negative total";
+    if total > 0 then begin
+      let participants =
+        match participants with
+        | None -> domains t
+        | Some p ->
+            check_domains p;
+            min p (domains t)
+      in
+      let chunk =
+        match chunk with
+        | Some c -> if c <= 0 then invalid_arg "Pool.run: chunk must be positive" else c
+        | None -> default_chunk ~total ~participants
+      in
+      let job =
+        { work; next = Atomic.make 0; total; chunk; worker_slots = participants - 1 }
+      in
+      Mutex.lock t.mutex;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      if t.busy then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.run: pool is already running a job"
+      end;
+      t.busy <- true;
+      t.failed <- None;
+      t.job <- Some job;
+      t.active <- job.worker_slots;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      (* The submitting domain is a participant too. *)
+      (try run_chunks t job with e -> note_failure t e);
+      Mutex.lock t.mutex;
+      while t.active > 0 do
+        Condition.wait t.work_done t.mutex
+      done;
+      t.job <- None;
+      t.busy <- false;
+      let failed = t.failed in
+      t.failed <- None;
+      Mutex.unlock t.mutex;
+      match failed with Some e -> raise e | None -> ()
+    end
+
+  (* The shared persistent pool: spawned on first use, kept alive for the
+     process, grown (never shrunk) when a caller asks for more domains. *)
+  let global_pool : t option ref = ref None
+  let global_mutex = Mutex.create ()
+  let at_exit_registered = ref false
+
+  let global ?domains:requested () =
+    let want =
+      match requested with
+      | Some d ->
+          check_domains d;
+          d
+      | None -> default_domains ()
+    in
+    Mutex.lock global_mutex;
+    let pool =
+      match !global_pool with
+      | Some p when domains p >= want -> p
+      | previous ->
+          (match previous with Some p -> shutdown p | None -> ());
+          let p = create ~domains:want in
+          global_pool := Some p;
+          if not !at_exit_registered then begin
+            at_exit_registered := true;
+            at_exit (fun () ->
+                Mutex.lock global_mutex;
+                (match !global_pool with Some p -> shutdown p | None -> ());
+                global_pool := None;
+                Mutex.unlock global_mutex)
+          end;
+          p
+    in
+    Mutex.unlock global_mutex;
+    pool
+end
+
+(* ------------------------------------------------------------------ *)
+
+let ground_truth ?pool ?domains ?fuel golden =
+  let domains_requested = match domains with Some d -> d | None -> default_domains () in
+  check_domains domains_requested;
+  if domains_requested = 1 && pool = None then Ground_truth.run ?fuel golden
   else begin
+    let pool, participants =
+      match pool with
+      | Some p -> (p, min domains_requested (Pool.domains p))
+      | None -> (Pool.global ~domains:domains_requested (), domains_requested)
+    in
     let total = Golden.cases golden in
     let outcomes = Bytes.create total in
-    (* Each domain writes a disjoint byte range; Bytes.unsafe_set on
-       disjoint indices is race-free. *)
-    shard ~domains ~total (fun lo hi ->
+    (* Work items are dense case indices; each participant writes a
+       disjoint byte range, so Bytes.unsafe_set is race-free. *)
+    Pool.run pool ~participants ~total (fun lo hi ->
         for case = lo to hi - 1 do
           Bytes.unsafe_set outcomes case (Ground_truth.case_byte ?fuel golden case)
         done);
     Ground_truth.of_outcomes golden outcomes
   end
 
-let run_cases ?domains golden cases =
-  let domains = match domains with Some d -> d | None -> default_domains () in
-  check_domains domains;
-  if domains = 1 then Sample_run.run_cases golden cases
+let run_cases ?pool ?domains golden cases =
+  let domains_requested = match domains with Some d -> d | None -> default_domains () in
+  check_domains domains_requested;
+  if domains_requested = 1 && pool = None then Sample_run.run_cases golden cases
   else begin
+    let pool, participants =
+      match pool with
+      | Some p -> (p, min domains_requested (Pool.domains p))
+      | None -> (Pool.global ~domains:domains_requested (), domains_requested)
+    in
     let total = Array.length cases in
     let placeholder =
       {
@@ -50,7 +277,7 @@ let run_cases ?domains golden cases =
       }
     in
     let results = Array.make total placeholder in
-    shard ~domains ~total (fun lo hi ->
+    Pool.run pool ~participants ~total (fun lo hi ->
         for i = lo to hi - 1 do
           results.(i) <- Sample_run.run_case golden cases.(i)
         done);

@@ -2,29 +2,101 @@
 
     A fault-injection campaign is embarrassingly parallel: every case is an
     independent re-execution of the program against immutable inputs. This
-    module shards the case space across domains. It requires the program
-    body to be re-entrant — true of every kernel in this repository (bodies
-    allocate fresh working state per run and only read their captured
-    inputs), and a requirement documented on {!Ftb_trace.Program.t}'s
-    [body].
+    module provides a persistent domain {!Pool} with a work-stealing
+    scheduler, plus campaign entry points ({!ground_truth}, {!run_cases})
+    that run on it. It requires the program body to be re-entrant — true of
+    every kernel in this repository (bodies allocate fresh working state per
+    run and only read their captured inputs), and a requirement documented
+    on {!Ftb_trace.Program.t}'s [body].
 
     Determinism: results are identical to the serial runners — each case's
-    execution is self-contained, so scheduling cannot change outcomes. *)
+    execution is self-contained and every worker writes disjoint output
+    slots, so scheduling cannot change outcomes. *)
 
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count ()] capped to 8 — campaign sharding
-    saturates memory bandwidth well before high core counts. *)
+(** Default campaign width. Precedence:
+    + the [FTB_DOMAINS] environment variable, when set and non-empty (must
+      be a positive integer; anything else raises [Invalid_argument]; an
+      empty value behaves as unset);
+    + otherwise [Domain.recommended_domain_count ()] capped to 8 — campaign
+      sharding saturates memory bandwidth well before high core counts.
+
+    CLI [--domains] flags override both (they bypass this function). *)
+
+val shard : domains:int -> total:int -> (int -> int -> unit) -> unit
+(** [shard ~domains ~total work] splits [0, total) into [domains]
+    contiguous chunks and runs [work lo hi] for each, one per domain (the
+    last chunk on the calling domain). Static chunking — prefer
+    {!Pool.run} for campaign work, where per-case cost is uneven. All
+    spawned domains are joined even if [work] raises on the calling
+    domain; the first exception raised (caller first, then workers in
+    spawn order) is re-raised after every domain has been joined. Raises
+    [Invalid_argument] when [domains <= 0]. *)
+
+(** Persistent worker domains with atomic-counter work stealing.
+
+    Spawning a domain costs far more than a typical injection case, so the
+    pool spawns its workers once and keeps them alive across campaign
+    calls; idle workers block on a condition variable. Work is distributed
+    dynamically: participants claim fixed-size chunks of the item range
+    off a shared atomic counter, so cheap items (cases that crash
+    immediately) and expensive items (fuel-bound divergent runs) balance
+    without static partitioning. *)
+module Pool : sig
+  type t
+
+  val create : domains:int -> t
+  (** Spawn a pool with [domains - 1] worker domains (the submitting
+      domain is the remaining participant). Raises [Invalid_argument] when
+      [domains <= 0]. *)
+
+  val domains : t -> int
+  (** Total parallelism: worker domains + the submitting domain. *)
+
+  val run : ?chunk:int -> ?participants:int -> t -> total:int -> (int -> int -> unit) -> unit
+  (** [run t ~total work] executes [work lo hi] over disjoint chunks
+      covering [0, total), on up to [participants] domains (default: all
+      of them; capped to [domains t]). The calling domain participates and
+      the call returns only after all chunks have run. [chunk] overrides
+      the claimed-chunk size (default: scaled to [total/participants], at
+      most 1024). If any invocation of [work] raises, remaining chunks are
+      abandoned and the first exception observed is re-raised after all
+      participants have quiesced. Not re-entrant: raises
+      [Invalid_argument] if the pool is already running a job or has been
+      shut down. *)
+
+  val shutdown : t -> unit
+  (** Stop and join all worker domains. Idempotent. *)
+
+  val global : ?domains:int -> unit -> t
+  (** The process-wide shared pool, created on first use and reused by
+      every subsequent call ([at_exit] joins it). Grows (is respawned
+      larger) when asked for more domains than it currently has; never
+      shrinks — use [run ~participants] to run narrower jobs. [domains]
+      defaults to {!default_domains}. *)
+end
 
 val ground_truth :
-  ?domains:int -> ?fuel:int -> Ftb_trace.Golden.t -> Ground_truth.t
-(** Parallel equivalent of {!Ground_truth.run}. [domains] defaults to
-    {!default_domains}; 1 falls back to the serial path. [fuel] is the
-    per-run step budget of the divergence watchdog. Raises
-    [Invalid_argument] when [domains <= 0]. Outcome bytes are bit-identical
-    to the serial path for any domain count — both repeat
-    {!Ground_truth.case_byte}. *)
+  ?pool:Pool.t ->
+  ?domains:int ->
+  ?fuel:int ->
+  Ftb_trace.Golden.t ->
+  Ground_truth.t
+(** Parallel equivalent of {!Ground_truth.run}: cases are work-stolen off
+    the pool ([pool] defaults to {!Pool.global}; [domains] caps the
+    participants and defaults to {!default_domains}). [domains:1] without
+    an explicit pool falls back to the serial path. [fuel] is the per-run
+    step budget of the divergence watchdog. Raises [Invalid_argument] when
+    [domains <= 0]. Outcome bytes are bit-identical to the serial path for
+    any domain count — both repeat {!Ground_truth.case_byte}. For
+    snapshot-capable programs prefer [Executor.ground_truth], which batches
+    the 64 bit flips of each site over one shared prefix. *)
 
 val run_cases :
-  ?domains:int -> Ftb_trace.Golden.t -> int array -> Sample_run.t array
+  ?pool:Pool.t ->
+  ?domains:int ->
+  Ftb_trace.Golden.t ->
+  int array ->
+  Sample_run.t array
 (** Parallel equivalent of {!Sample_run.run_cases} (same order as the
-    input case array). *)
+    input case array), work-stolen off the pool like {!ground_truth}. *)

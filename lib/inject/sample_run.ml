@@ -10,9 +10,17 @@ type t = {
   propagation : (int * float array) option;
 }
 
+(* One reusable trace sink per domain: a propagation run fills two
+   growable buffers with the faulty trace, and campaign loops run
+   thousands of cases per domain — reusing the buffers keeps the hot loop
+   free of per-case trace allocation. [run_propagation] copies anything it
+   returns, so the sink never escapes. *)
+let domain_sink = Domain.DLS.new_key (fun () -> Ftb_trace.Ctx.create_sink ())
+
 let run_case ?fuel golden case =
   let fault = Fault.of_case case in
-  let prop = Runner.run_propagation ?fuel golden fault in
+  let sink = Domain.DLS.get domain_sink in
+  let prop = Runner.run_propagation ?fuel ~sink golden fault in
   let result = prop.Runner.result in
   let propagation =
     match result.Runner.outcome with

@@ -181,8 +181,156 @@ let interpret_plain t =
   List.iter (exec env) body;
   Array.copy env.arrays.(output)
 
-let to_program t =
+(* ------------------------------------------------------------------ *)
+(* Compilation to the flat machine (Machine): expressions become closures
+   over the machine state, control flow becomes jumps, loops get explicit
+   (current, limit) slots. Must mirror the structured interpreter above
+   operation for operation — the machine's dynamic instruction stream and
+   float results are required to be bit-identical to [exec]'s. *)
+
+module M = Machine
+
+let rec compile_i = function
+  | Iconst n -> fun (_ : M.state) -> n
+  | Ireg r ->
+      fun st ->
+        if not st.M.ireg_set.(r) then
+          raise (Ir_error "read of unassigned integer register");
+        st.M.iregs.(r)
+  | Iadd (a, b) ->
+      let ca = compile_i a and cb = compile_i b in
+      fun st -> ca st + cb st
+  | Isub (a, b) ->
+      let ca = compile_i a and cb = compile_i b in
+      fun st -> ca st - cb st
+  | Imul (a, b) ->
+      let ca = compile_i a and cb = compile_i b in
+      fun st -> ca st * cb st
+
+let rec compile_f = function
+  | Fconst v -> fun (_ : M.state) -> v
+  | Freg r ->
+      fun st ->
+        if not st.M.freg_set.(r) then
+          raise (Ir_error "read of unassigned float register");
+        st.M.fregs.(r)
+  | Fload (a, ie) ->
+      let ci = compile_i ie in
+      fun st ->
+        let arr = st.M.arrays.(a) in
+        let i = ci st in
+        if i < 0 || i >= Array.length arr then
+          raise
+            (Ir_error
+               (Printf.sprintf "load out of bounds: index %d of array length %d" i
+                  (Array.length arr)));
+        arr.(i)
+  | Fadd (a, b) ->
+      let ca = compile_f a and cb = compile_f b in
+      fun st -> ca st +. cb st
+  | Fsub (a, b) ->
+      let ca = compile_f a and cb = compile_f b in
+      fun st -> ca st -. cb st
+  | Fmul (a, b) ->
+      let ca = compile_f a and cb = compile_f b in
+      fun st -> ca st *. cb st
+  | Fdiv (a, b) ->
+      let ca = compile_f a and cb = compile_f b in
+      fun st -> ca st /. cb st
+  | Fneg a ->
+      let ca = compile_f a in
+      fun st -> -.(ca st)
+  | Fabs a ->
+      let ca = compile_f a in
+      fun st -> abs_float (ca st)
+  | Fsqrt a ->
+      let ca = compile_f a in
+      fun st -> sqrt (ca st)
+
+let compile_cond = function
+  | Fcmp (op, a, b) -> (
+      let ca = compile_f a and cb = compile_f b in
+      match op with
+      | `Lt -> fun st -> ca st < cb st
+      | `Le -> fun st -> ca st <= cb st
+      | `Gt -> fun st -> ca st > cb st
+      | `Ge -> fun st -> ca st >= cb st)
+  | Icmp (op, a, b) -> (
+      let ca = compile_i a and cb = compile_i b in
+      match op with
+      | `Lt -> fun st -> ca st < cb st
+      | `Le -> fun st -> ca st <= cb st
+      | `Eq -> fun st -> ca st = cb st
+      | `Ne -> fun st -> ca st <> cb st)
+
+let compile_machine (t : t) tags =
   let body, output = check_complete t in
+  let arrays = Array.of_list (List.map snd (List.rev t.arrays)) in
+  let code = ref (Array.make 64 (M.Jump 0)) in
+  let len = ref 0 in
+  let emit instr =
+    if !len = Array.length !code then begin
+      let grown = Array.make (2 * !len) (M.Jump 0) in
+      Array.blit !code 0 grown 0 !len;
+      code := grown
+    end;
+    !code.(!len) <- instr;
+    incr len;
+    !len - 1
+  in
+  let patch at instr = !code.(at) <- instr in
+  let here () = !len in
+  let n_loops = ref 0 in
+  let rec compile_stmt stmt =
+    match stmt with
+    | Fassign (r, e, label) ->
+        ignore
+          (emit (M.Record_reg { reg = r; eval = compile_f e; tag = Hashtbl.find tags label }))
+    | Store (a, ie, fe, label) ->
+        let ci = compile_i ie in
+        let index st =
+          let arr = st.M.arrays.(a) in
+          let i = ci st in
+          if i < 0 || i >= Array.length arr then
+            raise
+              (Ir_error
+                 (Printf.sprintf "store out of bounds: index %d of array length %d" i
+                    (Array.length arr)));
+          i
+        in
+        ignore
+          (emit
+             (M.Record_store
+                { array_id = a; index; eval = compile_f fe; tag = Hashtbl.find tags label }))
+    | Iassign (r, e) -> ignore (emit (M.Assign_int { reg = r; eval = compile_i e }))
+    | Guard (e, what) -> ignore (emit (M.Guard { eval = compile_f e; what }))
+    | For (r, lo, hi, loop_body) ->
+        let slot = !n_loops in
+        incr n_loops;
+        ignore (emit (M.Loop_init { slot; lo = compile_i lo; hi = compile_i hi }));
+        let head = here () in
+        let head_at = emit (M.Jump 0) in
+        List.iter compile_stmt loop_body;
+        ignore (emit (M.Loop_next { slot; head }));
+        patch head_at (M.Loop_head { slot; reg = r; exit = here () })
+    | If (c, then_body, else_body) -> (
+        let cond = compile_cond c in
+        let branch_at = emit (M.Jump 0) in
+        List.iter compile_stmt then_body;
+        match else_body with
+        | [] -> patch branch_at (M.Branch_false { cond; target = here () })
+        | _ ->
+            let jump_at = emit (M.Jump 0) in
+            patch branch_at (M.Branch_false { cond; target = here () });
+            List.iter compile_stmt else_body;
+            patch jump_at (M.Jump (here ())))
+  in
+  List.iter compile_stmt body;
+  M.create ~instrs:(Array.sub !code 0 !len) ~fregs:t.next_freg ~iregs:t.next_ireg
+    ~loops:!n_loops ~arrays ~output
+
+let to_program t =
+  let body, _output = check_complete t in
   let statics = Static.create_table () in
   (* Pre-register every static instruction so tags are stable across runs. *)
   let tags = Hashtbl.create 64 in
@@ -200,16 +348,75 @@ let to_program t =
         List.iter collect b
   in
   List.iter collect body;
+  let machine = compile_machine t tags in
+  (* Every mode — golden, outcome-only, propagation AND the batched
+     prefix/resume path — runs through the one compiled machine, so the
+     snapshot executor shares its engine with full re-execution. *)
+  let run ctx = M.exec machine ctx in
+  let resumable ctx ~stop_at =
+    match M.prefix machine ctx ~stop_at with
+    | `Done output -> Ftb_trace.Program.Completed output
+    | `Paused snapshot ->
+        Ftb_trace.Program.Paused (fun ctx' -> M.resume machine snapshot ctx')
+  in
+  Ftb_trace.Program.make ~resumable ~name:t.name
+    ~description:(Printf.sprintf "IR program %s" t.name)
+    ~tolerance:t.tolerance ~statics run
+
+let to_program_interpreted t =
+  let body, output = check_complete t in
+  let statics = Static.create_table () in
+  let tags = Hashtbl.create 64 in
+  let register label =
+    if not (Hashtbl.mem tags label) then
+      Hashtbl.replace tags label (Static.register statics ~phase:t.name ~label)
+  in
+  let rec collect stmt =
+    match stmt with
+    | Fassign (_, _, label) | Store (_, _, _, label) -> register label
+    | Iassign _ | Guard _ -> ()
+    | For (_, _, _, stmts) -> List.iter collect stmts
+    | If (_, a, b) ->
+        List.iter collect a;
+        List.iter collect b
+  in
+  List.iter collect body;
   let run ctx =
-    let record label v = Ctx.record ctx ~tag:(Hashtbl.find tags label) v in
-    let guard what v = Ctx.guard_finite ctx what v in
-    let env = make_env t ~record ~guard in
+    let env =
+      make_env t
+        ~record:(fun label v -> Ctx.record ctx ~tag:(Hashtbl.find tags label) v)
+        ~guard:(fun what v -> Ctx.guard_finite ctx what v)
+    in
     List.iter (exec env) body;
     Array.copy env.arrays.(output)
   in
   Ftb_trace.Program.make ~name:t.name
-    ~description:(Printf.sprintf "IR program %s" t.name)
+    ~description:(Printf.sprintf "IR program %s (tree-walking engine)" t.name)
     ~tolerance:t.tolerance ~statics run
+
+let to_machine t =
+  let tags = Hashtbl.create 64 in
+  let next = ref 0 in
+  let register label =
+    if not (Hashtbl.mem tags label) then begin
+      Hashtbl.replace tags label !next;
+      incr next
+    end
+  in
+  (match t.body with
+  | Some body ->
+      let rec collect stmt =
+        match stmt with
+        | Fassign (_, _, label) | Store (_, _, _, label) -> register label
+        | Iassign _ | Guard _ -> ()
+        | For (_, _, _, stmts) -> List.iter collect stmts
+        | If (_, a, b) ->
+            List.iter collect a;
+            List.iter collect b
+      in
+      List.iter collect body
+  | None -> ());
+  compile_machine t tags
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printer                                                      *)

@@ -85,11 +85,29 @@ val set_body : t -> stmt list -> unit
 (** Attach the program body. *)
 
 val to_program : t -> Ftb_trace.Program.t
-(** Lower to an instrumented {!Ftb_trace.Program.t}: running it interprets
-    the IR under the given context, so golden runs, campaigns, boundaries
-    and studies all work unchanged. Raises [Invalid_argument] if the
-    program has no body or no output array, or [Ir_error] at run time for
+(** Lower to an instrumented {!Ftb_trace.Program.t}: the body is compiled
+    once to the flat {!Machine} and every run executes the compiled form,
+    so golden runs, campaigns, boundaries and studies all work unchanged.
+    The resulting program carries the [resumable] prefix-snapshot
+    capability — exhaustive campaigns on IR programs run each injection
+    site's shared prefix once and replay only the suffix per bit flip
+    ([Ftb_inject.Executor]). Raises [Invalid_argument] if the program has
+    no body or no output array, or [Ir_error] at run time for
     out-of-bounds accesses and reads of unassigned registers. *)
+
+val to_program_interpreted : t -> Ftb_trace.Program.t
+(** Lower via the structured tree-walking interpreter instead of the
+    compiled machine: the reference engine. No [resumable] capability, no
+    compilation — every run walks the AST. Campaign outcomes must be
+    bit-identical to {!to_program}'s; kept as the differential-testing
+    oracle and as the pre-optimization baseline of the campaign throughput
+    benchmark. *)
+
+val to_machine : t -> Machine.t
+(** Compile to the flat machine without building a {!Ftb_trace.Program.t}
+    (tags are numbered per distinct label in first-appearance order).
+    Mostly for tests and tools that want to drive {!Machine.prefix} /
+    {!Machine.resume} directly. *)
 
 exception Ir_error of string
 (** Runtime error of the interpreter (out-of-bounds store, negative loop

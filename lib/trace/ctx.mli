@@ -34,6 +34,18 @@ exception Crash of { reason : crash_reason; what : string }
 type t
 (** A context. Single use: one context drives exactly one run. *)
 
+type sink
+(** A reusable pair of trace buffers. Campaign loops that perform many
+    propagation runs can allocate one sink per domain and pass it to
+    {!propagation} for every run — the buffers are reset, not reallocated,
+    keeping the tracing hot path free of per-run array growth. *)
+
+val create_sink : unit -> sink
+(** A fresh, empty sink. *)
+
+val reset_sink : sink -> unit
+(** Forget the sink's contents (O(1); capacity is retained). *)
+
 (** Every constructor takes an optional [?fuel] step budget: the maximum
     number of {!record} calls the run may perform before the watchdog
     raises [Crash] with reason {!Fuel_exhausted}. Use it to bound runs of
@@ -54,11 +66,42 @@ val outcome_custom : ?fuel:int -> site:int -> corrupt:(float -> float) -> unit -
     ({!Ftb_inject.Models}): multi-bit bursts, 32-bit flips, random value
     replacement. *)
 
-val propagation : ?fuel:int -> fault:Fault.t -> golden_statics:int array -> unit -> t
+val propagation :
+  ?fuel:int -> ?sink:sink -> fault:Fault.t -> golden_statics:int array -> unit -> t
 (** An injecting context that also records the faulty run's values and
     detects control-flow divergence against the golden static-tag stream.
     Recording stops contributing to propagation data past the divergence
-    point. *)
+    point. When [sink] is given its buffers are reset and reused instead of
+    allocating fresh ones; the context's trace is then only valid until the
+    sink's next reuse. *)
+
+val counting : ?fuel:int -> unit -> t
+(** A context that performs only bookkeeping (dynamic-instruction count and
+    fuel); every {!record} returns its argument unchanged and nothing is
+    stored. Used by the batched campaign executor to drive the shared
+    prefix of a site's 64 bit-flip cases exactly once. *)
+
+(** {1 Prefix snapshots}
+
+    The batched executor runs a site's shared prefix once under a
+    {!counting} context, snapshots, and replays only the suffix per bit
+    with {!resume_outcome}. Only the context's own state (position and
+    remaining fuel) lives here; interpreter state is snapshotted by the
+    program's executor (see [Ftb_ir.Machine]). *)
+
+type snapshot
+(** Saved context position: dynamic-instruction index + remaining fuel. *)
+
+val snapshot : t -> snapshot
+(** Capture the context's current position. *)
+
+val resume_outcome : snapshot -> fault:Fault.t -> t
+(** An outcome-only injecting context that believes [snapshot.next] dynamic
+    instructions have already executed (with the corresponding fuel spent).
+    Behaves exactly like {!outcome_only} run past the same prefix — same
+    injection trigger, same fuel-exhaustion point. Raises
+    [Invalid_argument] when the fault site precedes the snapshot (the
+    injection would be unreachable). *)
 
 val hooked : ?fuel:int -> (index:int -> tag:int -> float -> float) -> t
 (** A context that forwards every recorded value to an arbitrary hook and
@@ -96,6 +139,18 @@ val trace_values : t -> float array
 val trace_statics : t -> int array
 (** Static tag of each recorded dynamic instruction; same restriction as
     {!trace_values}. *)
+
+val trace_length : t -> int
+(** Number of recorded trace entries, without copying; same restriction as
+    {!trace_values}. *)
+
+val trace_value : t -> int -> float
+(** [trace_value t i] is the [i]-th recorded value, without copying the
+    trace. Raises [Invalid_argument] out of bounds or on an outcome-only
+    context. *)
+
+val trace_static : t -> int -> int
+(** [trace_static t i] is the [i]-th recorded static tag, without copying. *)
 
 val injection : t -> (float * float) option
 (** [Some (original, corrupted)] once the injection target was reached —

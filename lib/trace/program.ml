@@ -1,12 +1,15 @@
+type prefix_outcome = Completed of float array | Paused of (Ctx.t -> float array)
+
 type t = {
   name : string;
   description : string;
   tolerance : float;
   statics : Static.table;
   body : Ctx.t -> float array;
+  resumable : (Ctx.t -> stop_at:int -> prefix_outcome) option;
 }
 
-let make ~name ~description ~tolerance ~statics body =
+let make ?resumable ~name ~description ~tolerance ~statics body =
   if not (Ftb_util.Bits.is_finite tolerance) || tolerance <= 0. then
     invalid_arg "Program.make: tolerance must be positive and finite";
-  { name; description; tolerance; statics; body }
+  { name; description; tolerance; statics; body; resumable }

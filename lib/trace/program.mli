@@ -5,19 +5,38 @@
     final output that the domain user still accepts (§2.1). The same body
     runs in golden, outcome-only and propagation modes. *)
 
+type prefix_outcome =
+  | Completed of float array
+      (** the program finished before reaching the requested record count *)
+  | Paused of (Ctx.t -> float array)
+      (** a suspended execution: the captured interpreter snapshot can be
+          replayed to completion any number of times, each replay under a
+          fresh context and against a fresh copy of the saved state *)
+
 type t = {
   name : string;  (** short identifier, e.g. ["cg"] *)
   description : string;  (** one-line description for reports *)
   tolerance : float;  (** acceptance threshold [T] on the L∞ output error *)
   statics : Static.table;  (** static instructions of the body *)
   body : Ctx.t -> float array;  (** the instrumented kernel *)
+  resumable : (Ctx.t -> stop_at:int -> prefix_outcome) option;
+      (** prefix-snapshot capability: [run ctx ~stop_at] executes the body
+          under [ctx] until it is about to record dynamic instruction
+          [stop_at], then snapshots the interpreter state and pauses.
+          Backs the batched campaign executor, which runs the shared prefix
+          of a site's 64 bit flips once. [None] for closure kernels, which
+          the executor transparently re-runs in full. *)
 }
 
 val make :
+  ?resumable:(Ctx.t -> stop_at:int -> prefix_outcome) ->
   name:string ->
   description:string ->
   tolerance:float ->
   statics:Static.table ->
   (Ctx.t -> float array) ->
   t
-(** Checked constructor: [tolerance] must be positive and finite. *)
+(** Checked constructor: [tolerance] must be positive and finite.
+    [resumable] is the optional prefix-snapshot capability; a paused
+    execution's replays must be bit-identical to running the body in full
+    under an equivalently positioned context. *)

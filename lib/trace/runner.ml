@@ -54,8 +54,11 @@ let classify (golden : Golden.t) output =
     else (Sdc, None, err)
   end
 
-let finish_outcome (golden : Golden.t) fault ctx =
-  match golden.Golden.program.Program.body ctx with
+(* Classify one execution of [run] (normally the program body, but the
+   batched executor passes a suffix replay of a paused execution) under an
+   already-positioned injecting context. *)
+let outcome_of_run (golden : Golden.t) fault ctx run =
+  match run ctx with
   | output ->
       let outcome, crash_reason, output_error = classify golden output in
       { fault; outcome; crash_reason; injected_error = injected_error_of ctx; output_error }
@@ -63,32 +66,38 @@ let finish_outcome (golden : Golden.t) fault ctx =
       { fault; outcome = Crash; crash_reason = Some reason;
         injected_error = injected_error_of ctx; output_error = infinity }
 
-let run_outcome ?fuel (golden : Golden.t) fault =
-  check_fault golden fault;
-  finish_outcome golden fault (Ctx.outcome_only ?fuel ~fault ())
-
 (* Crash isolation for campaigns: any exception escaping the kernel body —
    not just the cooperative [Ctx.Crash] — is contained and classified, so a
    single broken case cannot abort an hours-long campaign. Asynchronous
    resource exhaustion is not containable and still propagates. *)
-let run_outcome_contained ?fuel (golden : Golden.t) fault =
-  check_fault golden fault;
-  let ctx = Ctx.outcome_only ?fuel ~fault () in
-  match finish_outcome golden fault ctx with
+let outcome_of_run_contained (golden : Golden.t) fault ctx run =
+  match outcome_of_run golden fault ctx run with
   | result -> result
   | exception Out_of_memory -> raise Out_of_memory
   | exception _ ->
       { fault; outcome = Crash; crash_reason = Some Ctx.Exception_raised;
         injected_error = injected_error_of ctx; output_error = infinity }
 
+let finish_outcome (golden : Golden.t) fault ctx =
+  outcome_of_run golden fault ctx golden.Golden.program.Program.body
+
+let run_outcome ?fuel (golden : Golden.t) fault =
+  check_fault golden fault;
+  finish_outcome golden fault (Ctx.outcome_only ?fuel ~fault ())
+
+let run_outcome_contained ?fuel (golden : Golden.t) fault =
+  check_fault golden fault;
+  let ctx = Ctx.outcome_only ?fuel ~fault () in
+  outcome_of_run_contained golden fault ctx golden.Golden.program.Program.body
+
 let run_outcome_custom ?fuel (golden : Golden.t) ~site ~corrupt =
   let fault = Fault.make ~site ~bit:0 in
   check_fault golden fault;
   finish_outcome golden fault (Ctx.outcome_custom ?fuel ~site ~corrupt ())
 
-let run_propagation ?fuel (golden : Golden.t) fault =
+let run_propagation ?fuel ?sink (golden : Golden.t) fault =
   check_fault golden fault;
-  let ctx = Ctx.propagation ?fuel ~fault ~golden_statics:golden.Golden.statics () in
+  let ctx = Ctx.propagation ?fuel ?sink ~fault ~golden_statics:golden.Golden.statics () in
   let outcome, crash_reason, output_error =
     match golden.Golden.program.Program.body ctx with
     | output -> classify golden output
@@ -97,18 +106,19 @@ let run_propagation ?fuel (golden : Golden.t) fault =
   let result =
     { fault; outcome; crash_reason; injected_error = injected_error_of ctx; output_error }
   in
-  let faulty = Ctx.trace_values ctx in
   let golden_len = Golden.sites golden in
   let start = fault.Fault.site in
   let stop =
-    let bound = min golden_len (Array.length faulty) in
+    (* Read the faulty trace in place (no [Array.sub] copy of the whole
+       trace — it is as long as the run itself). *)
+    let bound = min golden_len (Ctx.trace_length ctx) in
     match Ctx.diverged_at ctx with Some d -> min d bound | None -> bound
   in
   let stop = max start stop in
   let deviations =
     Array.init (stop - start) (fun k ->
         let j = start + k in
-        let d = abs_float (golden.Golden.values.(j) -. faulty.(j)) in
+        let d = abs_float (golden.Golden.values.(j) -. Ctx.trace_value ctx j) in
         if Float.is_nan d then infinity else d)
   in
   { result; start; stop; deviations }

@@ -63,8 +63,26 @@ val run_outcome_custom :
     The returned [fault] field carries [site] with bit 0 as a placeholder
     (custom corruptions have no single bit). *)
 
-val run_propagation : ?fuel:int -> Golden.t -> Fault.t -> propagation
+val outcome_of_run :
+  Golden.t -> Fault.t -> Ctx.t -> (Ctx.t -> float array) -> result
+(** Classify one execution of an arbitrary run function under an
+    already-constructed injecting context — the generalization behind
+    {!run_outcome} ([run] is then the program body). The batched campaign
+    executor passes the suffix replay of a paused execution together with a
+    context resumed at the snapshot position ({!Ctx.resume_outcome}). *)
+
+val outcome_of_run_contained :
+  Golden.t -> Fault.t -> Ctx.t -> (Ctx.t -> float array) -> result
+(** {!outcome_of_run} with campaign crash containment: any exception other
+    than [Out_of_memory] escaping [run] classifies as Crash with reason
+    {!Ctx.Exception_raised}. *)
+
+val run_propagation : ?fuel:int -> ?sink:Ctx.sink -> Golden.t -> Fault.t -> propagation
 (** Execute one injection with tracing and compute the propagated
     per-instruction deviations. Coverage ends at the first control-flow
     divergence, so deviations are only reported where the faulty run
-    executed the same instruction sequence as the golden run (§2.2). *)
+    executed the same instruction sequence as the golden run (§2.2).
+    [sink] optionally reuses a caller-owned trace buffer pair
+    ({!Ctx.create_sink}) instead of allocating fresh buffers — campaign
+    loops keep one sink per domain. The returned deviations are always
+    freshly allocated, so reusing the sink afterwards is safe. *)

@@ -1,0 +1,152 @@
+(* The batched campaign executor: prefix-snapshot bit batching must be
+   byte-identical to full per-case re-execution, for resumable (IR) and
+   non-resumable (closure) programs alike, under any fuel budget. *)
+
+module Golden = Ftb_trace.Golden
+module Executor = Ftb_inject.Executor
+module Ground_truth = Ftb_inject.Ground_truth
+module Parallel = Ftb_inject.Parallel
+
+let bits = Ftb_util.Bits.bits_per_double
+
+let ir_golden =
+  lazy
+    (Golden.run
+       (Ftb_ir.Ir.to_program (Ftb_ir.Programs.stencil3 ~n:8 ~sweeps:2 ~seed:9 ~tolerance:1e-6)))
+
+let closure_golden = lazy (Golden.run (Helpers.linear_program ~tolerance:0.5 ()))
+
+let serial_bytes ?fuel golden =
+  let total = Golden.cases golden in
+  let buf = Bytes.create total in
+  for case = 0 to total - 1 do
+    Bytes.set buf case (Ground_truth.case_byte ?fuel golden case)
+  done;
+  buf
+
+let check_site_identity ?fuel what golden =
+  let expected = serial_bytes ?fuel golden in
+  let buf = Bytes.make (Golden.cases golden) '\255' in
+  for site = 0 to Golden.sites golden - 1 do
+    Executor.site_into ?fuel golden ~site buf ~pos:(site * bits)
+  done;
+  Alcotest.(check bool) (what ^ ": batched bytes = serial bytes") true
+    (Bytes.equal expected buf)
+
+let test_site_into_matches_serial () =
+  check_site_identity "ir program" (Lazy.force ir_golden)
+
+let test_site_into_closure_fallback () =
+  (* Closure kernels have no resumable capability; same bytes, via the
+     per-case fallback. *)
+  let golden = Lazy.force closure_golden in
+  Alcotest.(check bool) "fixture is not resumable" true
+    (golden.Golden.program.Ftb_trace.Program.resumable = None);
+  check_site_identity "closure program" golden
+
+let test_site_into_under_fuel () =
+  let golden = Lazy.force ir_golden in
+  let sites = Golden.sites golden in
+  (* Budgets that exhaust inside the prefix, exactly at a site, and never:
+     the batched path must reproduce the serial fuel-crash bytes in all
+     three regimes. *)
+  List.iter
+    (fun fuel -> check_site_identity ~fuel (Printf.sprintf "fuel %d" fuel) golden)
+    [ 1; 2; sites / 2; sites; sites + 1; 10 * sites ]
+
+let test_range_into_ragged_bounds () =
+  let golden = Lazy.force ir_golden in
+  let total = Golden.cases golden in
+  let expected = serial_bytes golden in
+  List.iter
+    (fun (lo, hi) ->
+      let buf = Bytes.make (hi - lo) '\255' in
+      Executor.range_into golden ~lo ~hi buf ~off:0;
+      Alcotest.(check bool)
+        (Printf.sprintf "range [%d, %d) = serial slice" lo hi)
+        true
+        (Bytes.equal (Bytes.sub expected lo (hi - lo)) buf))
+    [
+      (0, total);
+      (0, 0);
+      (1, 63);  (* inside one site *)
+      (63, 65);  (* straddles a site boundary *)
+      (1, total - 1);
+      (64, 192);  (* exactly two whole sites *)
+      (37, 37 + 128);
+    ]
+
+let test_ground_truth_batched_pooled_identity () =
+  let golden = Lazy.force ir_golden in
+  let reference = Ground_truth.run golden in
+  List.iter
+    (fun (what, gt) ->
+      Alcotest.(check bool) (what ^ " = serial engine") true
+        (Bytes.equal reference.Ground_truth.outcomes gt.Ground_truth.outcomes))
+    [
+      ("batched serial", Executor.ground_truth ~domains:1 golden);
+      ("batched pooled", Executor.ground_truth ~domains:4 golden);
+      ("per-case pooled", Executor.ground_truth ~domains:4 ~batched:false golden);
+      ("explicit pool", Executor.ground_truth ~pool:(Parallel.Pool.global ~domains:3 ()) golden);
+    ]
+
+let test_ground_truth_fuel_identity () =
+  let golden = Lazy.force ir_golden in
+  let fuel = Golden.sites golden / 2 in
+  let reference = Ground_truth.run ~fuel golden in
+  let batched = Executor.ground_truth ~domains:4 ~fuel golden in
+  Alcotest.(check bool) "fuel-bound batched pooled = serial" true
+    (Bytes.equal reference.Ground_truth.outcomes batched.Ground_truth.outcomes)
+
+let test_site_into_validation () =
+  let golden = Lazy.force ir_golden in
+  let buf = Bytes.create (Golden.cases golden) in
+  (match Executor.site_into golden ~site:(-1) buf ~pos:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative site accepted");
+  (match Executor.site_into golden ~site:0 (Bytes.create 63) ~pos:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short buffer accepted");
+  match Executor.range_into golden ~lo:0 ~hi:(Golden.cases golden + 1) buf ~off:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range hi accepted"
+
+(* Property: for random small IR kernels and random fuel budgets, the
+   batched executor's bytes equal the serial engine's on every case. *)
+let prop_batched_identity =
+  let gen =
+    QCheck.make
+      ~print:(fun (k, n, seed, fuel) -> Printf.sprintf "kernel %d, n %d, seed %d, fuel %d" k n seed fuel)
+      QCheck.Gen.(
+        quad (int_bound 4) (int_range 2 6) (int_range 0 1000) (int_range 0 64))
+  in
+  QCheck.Test.make ~name:"batched executor = serial engine (random kernels)" ~count:25 gen
+    (fun (kernel, n, seed, fuel) ->
+      let ir =
+        match kernel with
+        | 0 -> Ftb_ir.Programs.dot ~n ~seed ~tolerance:1e-9
+        | 1 -> Ftb_ir.Programs.saxpy ~n ~seed ~tolerance:1e-9
+        | 2 -> Ftb_ir.Programs.stencil3 ~n:(n + 2) ~sweeps:2 ~seed ~tolerance:1e-9
+        | 3 -> Ftb_ir.Programs.matvec ~n ~seed ~tolerance:1e-9
+        | _ -> Ftb_ir.Programs.normalize ~n ~seed ~tolerance:1e-9
+      in
+      let golden = Golden.run (Ftb_ir.Ir.to_program ir) in
+      let fuel = if fuel = 0 then None else Some fuel in
+      let reference = serial_bytes ?fuel golden in
+      let batched = (Executor.ground_truth ?fuel ~domains:1 golden).Ground_truth.outcomes in
+      Bytes.equal reference batched)
+
+let suite =
+  [
+    Alcotest.test_case "site_into = serial bytes" `Quick test_site_into_matches_serial;
+    Alcotest.test_case "closure fallback = serial bytes" `Quick
+      test_site_into_closure_fallback;
+    Alcotest.test_case "fuel regimes = serial bytes" `Quick test_site_into_under_fuel;
+    Alcotest.test_case "range_into handles ragged bounds" `Quick
+      test_range_into_ragged_bounds;
+    Alcotest.test_case "ground_truth: batched x pooled identity" `Quick
+      test_ground_truth_batched_pooled_identity;
+    Alcotest.test_case "ground_truth: fuel identity" `Quick test_ground_truth_fuel_identity;
+    Alcotest.test_case "argument validation" `Quick test_site_into_validation;
+    QCheck_alcotest.to_alcotest prop_batched_identity;
+  ]

@@ -2,7 +2,10 @@ module Suite = Ftb_kernels.Suite
 
 let test_names () =
   Alcotest.(check (list string)) "registry names"
-    [ "cg"; "lu"; "fft"; "jacobi"; "stencil"; "matvec"; "matmul"; "gemm" ]
+    [
+      "cg"; "lu"; "fft"; "jacobi"; "stencil"; "matvec"; "matmul"; "gemm"; "ir.dot";
+      "ir.saxpy"; "ir.stencil3"; "ir.matvec"; "ir.normalize";
+    ]
     (Suite.names ())
 
 let test_paper_benchmarks () =
