@@ -60,7 +60,14 @@ let parse_options () =
   {
     quick;
     json = !json;
-    domains = (if !domains > 0 then !domains else Parallel.default_domains ());
+    domains =
+      (if !domains > 0 then !domains
+       else
+         match Parallel.default_domains () with
+         | d -> d
+         | exception Invalid_argument msg ->
+             Printf.eprintf "%s\n" msg;
+             exit 2);
     reps = (if !reps > 0 then !reps else if quick then 1 else 3);
   }
 

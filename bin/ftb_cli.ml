@@ -70,7 +70,14 @@ let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_ever
   let domains =
     match domains with
     | Some d -> d
-    | None -> Ftb_inject.Parallel.default_domains ()
+    | None -> (
+        (* A junk FTB_DOMAINS should be a usage error, not a backtrace —
+           even when --domains was not passed. *)
+        match Ftb_inject.Parallel.default_domains () with
+        | d -> d
+        | exception Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
   in
   let program = find_program name in
   let golden = Ftb_trace.Golden.run program in

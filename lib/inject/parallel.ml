@@ -104,16 +104,26 @@ module Pool = struct
     if t.stop then Mutex.unlock t.mutex
     else begin
       let generation = t.generation in
-      let job = Option.get t.job in
-      Mutex.unlock t.mutex;
-      if id < job.worker_slots then begin
-        (try run_chunks t job with e -> note_failure t e);
-        Mutex.lock t.mutex;
-        t.active <- t.active - 1;
-        if t.active = 0 then Condition.broadcast t.work_done;
-        Mutex.unlock t.mutex
-      end;
-      worker_loop t id generation
+      match t.job with
+      | None ->
+          (* Stale wakeup: this generation's job already completed without
+             us. That happens to workers with [id >= worker_slots] — [run]
+             only waits for the participating workers before clearing
+             [t.job], so a non-participant woken by the broadcast can
+             acquire the mutex after the fact. Catch up and wait for the
+             next job. *)
+          Mutex.unlock t.mutex;
+          worker_loop t id generation
+      | Some job ->
+          Mutex.unlock t.mutex;
+          if id < job.worker_slots then begin
+            (try run_chunks t job with e -> note_failure t e);
+            Mutex.lock t.mutex;
+            t.active <- t.active - 1;
+            if t.active = 0 then Condition.broadcast t.work_done;
+            Mutex.unlock t.mutex
+          end;
+          worker_loop t id generation
     end
 
   let create ~domains =
@@ -138,11 +148,39 @@ module Pool = struct
 
   let shutdown t =
     Mutex.lock t.mutex;
+    (* Never tear down a pool mid-job: wait for the in-flight [run] (which
+       broadcasts [work_done] once it clears [busy]) to finish first. *)
+    while t.busy do
+      Condition.wait t.work_done t.mutex
+    done;
     t.stop <- true;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
     Array.iter Domain.join t.workers;
     t.workers <- [||]
+
+  (* Spawn additional workers into a live pool, preserving every
+     outstanding handle to it. New workers start waiting on the current
+     generation, so growth is safe even while a job is in flight: they
+     only pick up jobs submitted after the growth. *)
+  let grow t ~domains:want =
+    check_domains want;
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.grow: pool is shut down"
+    end;
+    let have = Array.length t.workers + 1 in
+    if want > have then begin
+      let generation = t.generation in
+      let extra =
+        Array.init (want - have) (fun i ->
+            let id = have - 1 + i in
+            Domain.spawn (fun () -> worker_loop t id generation))
+      in
+      t.workers <- Array.append t.workers extra
+    end;
+    Mutex.unlock t.mutex
 
   (* Chunks small enough that uneven per-item cost balances, large enough
      that the atomic claim is amortized. *)
@@ -191,6 +229,8 @@ module Pool = struct
       done;
       t.job <- None;
       t.busy <- false;
+      (* Wake anyone (e.g. [shutdown]) waiting for the pool to go idle. *)
+      Condition.broadcast t.work_done;
       let failed = t.failed in
       t.failed <- None;
       Mutex.unlock t.mutex;
@@ -198,10 +238,10 @@ module Pool = struct
     end
 
   (* The shared persistent pool: spawned on first use, kept alive for the
-     process, grown (never shrunk) when a caller asks for more domains. *)
+     process, grown in place (never shrunk, never respawned — previously
+     obtained handles stay valid) when a caller asks for more domains. *)
   let global_pool : t option ref = ref None
   let global_mutex = Mutex.create ()
-  let at_exit_registered = ref false
 
   let global ?domains:requested () =
     let want =
@@ -214,19 +254,17 @@ module Pool = struct
     Mutex.lock global_mutex;
     let pool =
       match !global_pool with
-      | Some p when domains p >= want -> p
-      | previous ->
-          (match previous with Some p -> shutdown p | None -> ());
+      | Some p ->
+          if domains p < want then grow p ~domains:want;
+          p
+      | None ->
           let p = create ~domains:want in
           global_pool := Some p;
-          if not !at_exit_registered then begin
-            at_exit_registered := true;
-            at_exit (fun () ->
-                Mutex.lock global_mutex;
-                (match !global_pool with Some p -> shutdown p | None -> ());
-                global_pool := None;
-                Mutex.unlock global_mutex)
-          end;
+          at_exit (fun () ->
+              Mutex.lock global_mutex;
+              (match !global_pool with Some p -> shutdown p | None -> ());
+              global_pool := None;
+              Mutex.unlock global_mutex);
           p
     in
     Mutex.unlock global_mutex;

@@ -66,14 +66,16 @@ module Pool : sig
       shut down. *)
 
   val shutdown : t -> unit
-  (** Stop and join all worker domains. Idempotent. *)
+  (** Stop and join all worker domains. Blocks until any in-flight job
+      has completed. Idempotent. *)
 
   val global : ?domains:int -> unit -> t
   (** The process-wide shared pool, created on first use and reused by
-      every subsequent call ([at_exit] joins it). Grows (is respawned
-      larger) when asked for more domains than it currently has; never
-      shrinks — use [run ~participants] to run narrower jobs. [domains]
-      defaults to {!default_domains}. *)
+      every subsequent call ([at_exit] joins it). Grows in place (extra
+      workers are spawned into the same pool, so previously obtained
+      handles remain valid) when asked for more domains than it currently
+      has; never shrinks — use [run ~participants] to run narrower jobs.
+      [domains] defaults to {!default_domains}. *)
 end
 
 val ground_truth :

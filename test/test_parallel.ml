@@ -189,6 +189,39 @@ let test_pool_participants_cap () =
       Alcotest.(check bool) "participants:1 still covers everything" true
         (Array.for_all (fun h -> h = 1) seen))
 
+let test_pool_narrow_jobs_do_not_kill_workers () =
+  (* Regression: a worker left out of a narrow job ([participants] below
+     the pool width) could wake after the job had been cleared and die on
+     [Option.get None], permanently deadlocking the next full-width job.
+     Hammer the narrow/wide alternation to give the stale wakeup every
+     chance to fire. *)
+  let pool = Parallel.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      for round = 1 to 200 do
+        Parallel.Pool.run pool ~participants:1 ~total:4 (fun _ _ -> ());
+        let count = Atomic.make 0 in
+        Parallel.Pool.run pool ~total:64 (fun lo hi ->
+            ignore (Atomic.fetch_and_add count (hi - lo)));
+        Alcotest.(check int)
+          (Printf.sprintf "full-width job completes after narrow job %d" round)
+          64 (Atomic.get count)
+      done)
+
+let test_global_pool_grows_in_place () =
+  (* Regression: growing the global pool must not invalidate handles
+     obtained before the growth. *)
+  let narrow = Parallel.Pool.global ~domains:2 () in
+  let before = Parallel.Pool.domains narrow in
+  let wide = Parallel.Pool.global ~domains:(before + 1) () in
+  Alcotest.(check bool) "growth reuses the same pool" true (narrow == wide);
+  Alcotest.(check int) "grew by one worker" (before + 1) (Parallel.Pool.domains narrow);
+  let count = Atomic.make 0 in
+  Parallel.Pool.run narrow ~total:32 (fun lo hi ->
+      ignore (Atomic.fetch_and_add count (hi - lo)));
+  Alcotest.(check int) "pre-growth handle still runs jobs" 32 (Atomic.get count)
+
 let test_pool_run_after_shutdown_rejected () =
   let pool = Parallel.Pool.create ~domains:2 in
   Parallel.Pool.shutdown pool;
@@ -253,6 +286,9 @@ let suite =
     Alcotest.test_case "pool propagates exceptions and survives" `Quick
       test_pool_propagates_exception_and_survives;
     Alcotest.test_case "pool participants cap" `Quick test_pool_participants_cap;
+    Alcotest.test_case "narrow jobs do not kill workers" `Quick
+      test_pool_narrow_jobs_do_not_kill_workers;
+    Alcotest.test_case "global pool grows in place" `Quick test_global_pool_grows_in_place;
     Alcotest.test_case "pool run after shutdown rejected" `Quick
       test_pool_run_after_shutdown_rejected;
     Alcotest.test_case "pool zero total is a no-op" `Quick test_pool_zero_total_is_noop;
