@@ -5,7 +5,12 @@
      campaign  BENCH              run a fault-injection campaign
      boundary  BENCH              infer a boundary from a random sample
      adaptive  BENCH              run the progressive/adaptive sampler
-     report    BENCH              exhaustive-campaign study of one benchmark *)
+     report    BENCH              exhaustive-campaign study of one benchmark
+     serve                        run the campaign daemon
+     submit    BENCH              queue a campaign on a running daemon
+     jobs                         list daemon jobs
+     watch     ID                 stream a daemon job's progress
+     cancel    ID                 cancel a daemon job *)
 
 open Cmdliner
 
@@ -51,17 +56,46 @@ let pct = Ftb_report.Ascii.percent
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
-  let run () () =
-    List.iter
-      (fun (name, program) ->
-        let p = Lazy.force program in
-        Printf.printf "%-8s %s (T = %g)\n" name p.Ftb_trace.Program.description
-          p.Ftb_trace.Program.tolerance)
-      Ftb_kernels.Suite.all
+  let run () json =
+    if json then begin
+      (* Machine-readable listing for service clients and scripts — the
+         aligned text below is for humans and not parse-stable. *)
+      let module J = Ftb_service.Json in
+      let entries =
+        List.map
+          (fun (name, program) ->
+            let p = Lazy.force program in
+            let golden = Ftb_trace.Golden.run p in
+            J.Obj
+              [
+                ("name", J.String name);
+                ("description", J.String p.Ftb_trace.Program.description);
+                ("tolerance", J.Float p.Ftb_trace.Program.tolerance);
+                ("sites", J.Int (Ftb_trace.Golden.sites golden));
+              ])
+          Ftb_kernels.Suite.all
+      in
+      print_endline (J.to_string (J.List entries))
+    end
+    else
+      List.iter
+        (fun (name, program) ->
+          let p = Lazy.force program in
+          Printf.printf "%-8s %s (T = %g)\n" name p.Ftb_trace.Program.description
+            p.Ftb_trace.Program.tolerance)
+        Ftb_kernels.Suite.all
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a JSON array (name, description, tolerance, site count) instead of \
+             aligned text. Runs each benchmark's golden trace to size its site count.")
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List available benchmark programs")
-    Term.(const run $ logs_term $ const ())
+    Term.(const run $ logs_term $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -471,13 +505,264 @@ let report_cmd =
     Term.(const report_run $ logs_term $ bench_arg $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Campaign service: daemon + clients                                  *)
+
+module Service = Ftb_service
+
+let default_state_dir = "_ftb_service"
+
+let state_arg =
+  Arg.(
+    value & opt string default_state_dir
+    & info [ "state" ] ~docv:"DIR"
+        ~doc:"Daemon state directory (job descriptors and campaign checkpoints).")
+
+let socket_of_state state = Filename.concat state "daemon.sock"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          (Printf.sprintf
+             "Unix-domain socket of the daemon (default: $(b,%s))."
+             (socket_of_state default_state_dir)))
+
+let domains_of_flag = function
+  | Some d -> d
+  | None -> (
+      match Ftb_inject.Parallel.default_domains () with
+      | d -> d
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2)
+
+let serve_run () state socket tcp capacity domains checkpoint_every =
+  let domains = domains_of_flag domains in
+  let socket = Option.value socket ~default:(socket_of_state state) in
+  let config =
+    {
+      (Service.Server.default_config ~state_dir:state) with
+      Service.Server.capacity;
+      domains;
+      checkpoint_every;
+    }
+  in
+  let t = Service.Server.create config in
+  Printf.printf "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d\n%!"
+    state socket domains
+    (if domains = 1 then "" else "s")
+    capacity;
+  Service.Server.run ?tcp ~socket t;
+  Printf.printf "ftb daemon: drained\n"
+
+let serve_cmd =
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' string int)) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Additionally listen on a TCP endpoint (opt-in; no authentication).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Queue bound; further submissions are rejected with $(b,queue_full).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for campaign execution. Precedence: this flag; then \
+             $(b,FTB_DOMAINS); then the recommended count capped to 8.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Shard waves between checkpoint writes for exhaustive jobs.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the persistent campaign daemon")
+    Term.(
+      const serve_run $ logs_term $ state_arg $ socket_arg $ tcp_arg $ capacity_arg
+      $ domains_arg $ checkpoint_every_arg)
+
+let with_client socket f =
+  let socket = Option.value socket ~default:(socket_of_state default_state_dir) in
+  match Service.Client.connect ~socket with
+  | client ->
+      Fun.protect ~finally:(fun () -> Service.Client.close client) (fun () -> f client)
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "cannot reach daemon at %s: %s (is `ftb serve` running?)\n" socket
+        (Unix.error_message err);
+      exit 1
+
+let die_error what (e : Service.Client.error) =
+  Printf.eprintf "%s failed [%s]: %s\n" what e.Service.Client.code e.Service.Client.message;
+  exit 1
+
+let print_progress (e : Service.Client.event) =
+  match e with
+  | Service.Client.Progress
+      { cases_done; cases_total; masked; sdc; crash; cases_per_sec; _ } ->
+      Printf.printf "  %d/%d cases (%s) — %d masked, %d sdc, %d crash — %.0f cases/s\n%!"
+        cases_done cases_total
+        (pct
+           (if cases_total = 0 then 0.
+            else float_of_int cases_done /. float_of_int cases_total))
+        masked sdc crash cases_per_sec
+
+let watch_until_done client id =
+  match Service.Client.watch ~on_event:print_progress client id with
+  | Error e -> die_error "watch" e
+  | Ok job ->
+      Printf.printf "job %d %s\n" id (Service.Job.status_name job.Service.Job.status);
+      (match job.Service.Job.status with
+      | Service.Job.Failed msg -> Printf.printf "  error: %s\n" msg
+      | _ -> ());
+      let c = job.Service.Job.counts in
+      if c.Service.Job.cases_done > 0 then
+        Printf.printf "  %d cases: %d masked, %d sdc, %d crash\n" c.Service.Job.cases_done
+          c.Service.Job.masked c.Service.Job.sdc c.Service.Job.crash
+
+let submit_run () name socket fraction seed shard_size fuel priority no_watch =
+  let mode =
+    match fraction with
+    | Some fraction -> Service.Job.Sample { fraction; seed }
+    | None -> Service.Job.Exhaustive
+  in
+  let spec =
+    {
+      (Service.Job.default_spec ~bench:name) with
+      Service.Job.mode;
+      shard_size;
+      priority;
+      fuel = (match fuel with Some _ -> fuel | None -> (Service.Job.default_spec ~bench:name).Service.Job.fuel);
+    }
+  in
+  with_client socket (fun client ->
+      match Service.Client.submit client spec with
+      | Error e -> die_error "submit" e
+      | Ok id ->
+          Printf.printf "job %d queued (%s, %s)\n%!" id name
+            (match mode with
+            | Service.Job.Exhaustive -> "exhaustive"
+            | Service.Job.Sample { fraction; _ } ->
+                Printf.sprintf "sample %s" (pct fraction));
+          if not no_watch then watch_until_done client id)
+
+let submit_cmd =
+  let fraction_opt_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fraction"; "f" ] ~docv:"F"
+          ~doc:
+            "Submit a Monte-Carlo sample of this fraction of the (site, bit) space \
+             instead of the exhaustive (checkpointed, resumable) campaign.")
+  in
+  let shard_size_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "shard-size" ] ~docv:"N"
+          ~doc:"Cases per shard — the progress, checkpoint and cancellation granularity.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Per-case dynamic-instruction budget.")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"P" ~doc:"Higher priorities run first; FIFO within one.")
+  in
+  let no_watch_arg =
+    Arg.(
+      value & flag
+      & info [ "no-watch"; "detach" ]
+          ~doc:"Print the job id and return instead of streaming progress until done.")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Queue a campaign on a running daemon")
+    Term.(
+      const submit_run $ logs_term $ bench_arg $ socket_arg $ fraction_opt_arg $ seed_arg
+      $ shard_size_arg $ fuel_arg $ priority_arg $ no_watch_arg)
+
+let jobs_run () socket json =
+  with_client socket (fun client ->
+      match Service.Client.list client with
+      | Error e -> die_error "list" e
+      | Ok jobs ->
+          if json then
+            print_endline
+              (Service.Json.to_string
+                 (Service.Json.List (List.map Service.Job.info_to_json jobs)))
+          else if jobs = [] then print_endline "no jobs"
+          else begin
+            Printf.printf "%-4s %-10s %-10s %-9s %-12s %s\n" "id" "bench" "mode" "prio"
+              "status" "progress";
+            List.iter
+              (fun (j : Service.Job.info) ->
+                let c = j.Service.Job.counts in
+                Printf.printf "%-4d %-10s %-10s %-9d %-12s %d/%d\n" j.Service.Job.id
+                  j.Service.Job.spec.Service.Job.bench
+                  (match j.Service.Job.spec.Service.Job.mode with
+                  | Service.Job.Exhaustive -> "exhaustive"
+                  | Service.Job.Sample _ -> "sample")
+                  j.Service.Job.spec.Service.Job.priority
+                  (Service.Job.status_name j.Service.Job.status)
+                  c.Service.Job.cases_done c.Service.Job.cases_total)
+              jobs
+          end)
+
+let jobs_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the job list as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"List jobs known to a running daemon")
+    Term.(const jobs_run $ logs_term $ socket_arg $ json_arg)
+
+let job_id_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Job id.")
+
+let watch_cmd =
+  let run () socket id = with_client socket (fun client -> watch_until_done client id) in
+  Cmd.v
+    (Cmd.info "watch" ~doc:"Stream a daemon job's progress until it finishes")
+    Term.(const run $ logs_term $ socket_arg $ job_id_arg)
+
+let cancel_cmd =
+  let run () socket id =
+    with_client socket (fun client ->
+        match Service.Client.cancel client id with
+        | Error e -> die_error "cancel" e
+        | Ok job ->
+            Printf.printf "job %d %s\n" id
+              (match job.Service.Job.status with
+              | Service.Job.Running -> "cancellation requested (at next shard wave)"
+              | status -> Service.Job.status_name status))
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a queued or running daemon job")
+    Term.(const run $ logs_term $ socket_arg $ job_id_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "fault tolerance boundary analysis (PPoPP'21 reproduction)" in
   Cmd.group (Cmd.info "ftb" ~version:"1.0.0" ~doc)
     [
       list_cmd; campaign_cmd; boundary_cmd; adaptive_cmd; protect_cmd; models_cmd;
-      propagation_cmd; report_cmd;
+      propagation_cmd; report_cmd; serve_cmd; submit_cmd; jobs_cmd; watch_cmd;
+      cancel_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -4,6 +4,16 @@ module Persist = Ftb_inject.Persist
 
 type invalid_checkpoint = Fail | Restart
 
+type progress = {
+  cases_done : int;
+  cases_total : int;
+  shards_done : int;
+  shards_total : int;
+  masked : int;
+  sdc : int;
+  crash : int;
+}
+
 type config = {
   shard_size : int;
   checkpoint_every : int;
@@ -12,8 +22,10 @@ type config = {
   max_retries : int;
   resume : bool;
   on_invalid_checkpoint : invalid_checkpoint;
-  progress : (done_:int -> total:int -> unit) option;
+  progress : (progress -> unit) option;
   on_checkpoint : (shards_done:int -> shards_total:int -> unit) option;
+  cancel : (unit -> bool) option;
+  pool : Ftb_inject.Parallel.Pool.t option;
 }
 
 let default_config =
@@ -27,9 +39,12 @@ let default_config =
     on_invalid_checkpoint = Fail;
     progress = None;
     on_checkpoint = None;
+    cancel = None;
+    pool = None;
   }
 
 exception Shard_failed of { shard : int; attempts : int; message : string }
+exception Cancelled
 
 type report = {
   ground_truth : Ground_truth.t;
@@ -95,6 +110,25 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
   in
   let executed = ref 0 and retries = ref 0 and checkpoints_written = ref 0 in
   let since_checkpoint = ref 0 in
+  (* Outcome tallies over completed shards only, maintained incrementally:
+     seeded from any resumed shards, then bumped as each shard finishes.
+     They feed the progress events and never touch the outcome bytes. *)
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  let count_range ~lo ~hi =
+    for case = lo to hi - 1 do
+      match Ground_truth.outcome_of_byte (Bytes.get outcomes case) with
+      | Ftb_trace.Runner.Masked -> incr masked
+      | Ftb_trace.Runner.Sdc -> incr sdc
+      | Ftb_trace.Runner.Crash -> incr crash
+    done
+  in
+  Array.iteri
+    (fun index completed ->
+      if completed then begin
+        let lo, hi = Shard.bounds ~total ~shard_size index in
+        count_range ~lo ~hi
+      end)
+    state.Checkpoint.completed;
   let save_checkpoint () =
     match checkpoint with
     | None -> ()
@@ -109,7 +143,17 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
   in
   let report_progress () =
     match config.progress with
-    | Some f -> f ~done_:(Checkpoint.completed_cases state) ~total
+    | Some f ->
+        f
+          {
+            cases_done = Checkpoint.completed_cases state;
+            cases_total = total;
+            shards_done = Checkpoint.completed_count state;
+            shards_total = total_shards;
+            masked = !masked;
+            sdc = !sdc;
+            crash = !crash;
+          }
     | None -> ()
   in
   let pending = Queue.create () in
@@ -117,6 +161,14 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
     (fun index completed -> if not completed then Queue.add (index, 1) pending)
     state.Checkpoint.completed;
   while not (Queue.is_empty pending) do
+    (* Cooperative cancellation boundary: between waves the outcome bytes
+       are quiescent, so a checkpoint here captures exactly the completed
+       shards and the campaign resumes with nothing lost. *)
+    (match config.cancel with
+    | Some should_cancel when should_cancel () ->
+        save_checkpoint ();
+        raise Cancelled
+    | _ -> ());
     (* Take one wave of up to [domains] shards and run them concurrently;
        each domain writes a disjoint byte range of [outcomes]. *)
     let wave = ref [] in
@@ -133,7 +185,11 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
              each shard writes a disjoint byte range of [outcomes], and
              [run_shard] never raises, so slots of [results] are filled
              race-free. *)
-          let pool = Ftb_inject.Parallel.Pool.global ~domains:config.domains () in
+          let pool =
+            match config.pool with
+            | Some pool -> pool
+            | None -> Ftb_inject.Parallel.Pool.global ~domains:config.domains ()
+          in
           let results = Array.make (Array.length wave) None in
           Ftb_inject.Parallel.Pool.run pool ~participants:config.domains ~chunk:1
             ~total:(Array.length wave) (fun lo hi ->
@@ -148,6 +204,8 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
         match result with
         | Ok () ->
             state.Checkpoint.completed.(index) <- true;
+            let lo, hi = Shard.bounds ~total ~shard_size index in
+            count_range ~lo ~hi;
             incr executed;
             incr since_checkpoint
         | Error message ->
@@ -162,8 +220,12 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
               Queue.add (index, attempt + 1) pending
             end)
       results;
-    report_progress ();
-    if !since_checkpoint >= config.checkpoint_every then save_checkpoint ()
+    (* Checkpoint before reporting, so a progress event always advertises
+       progress that is already durable on disk — a consumer killed right
+       after seeing an event (the campaign daemon's watchers) can rely on
+       resuming from at least that point. *)
+    if !since_checkpoint >= config.checkpoint_every then save_checkpoint ();
+    report_progress ()
   done;
   if !since_checkpoint > 0 || (checkpoint <> None && !checkpoints_written = 0) then
     save_checkpoint ();

@@ -27,6 +27,19 @@ type invalid_checkpoint =
   | Fail  (** propagate {!Ftb_inject.Persist.Format_error} to the caller *)
   | Restart  (** discard the bad checkpoint and start fresh *)
 
+type progress = {
+  cases_done : int;  (** cases inside completed shards *)
+  cases_total : int;
+  shards_done : int;
+  shards_total : int;
+  masked : int;  (** Masked outcomes over completed shards *)
+  sdc : int;  (** SDC outcomes over completed shards *)
+  crash : int;  (** Crash outcomes (any taxonomy reason) over completed shards *)
+}
+(** Snapshot passed to the progress callback after every wave. Counts
+    cover completed shards only (including shards resumed from a
+    checkpoint), so [masked + sdc + crash = cases_done]. *)
+
 type config = {
   shard_size : int;  (** cases per shard (checkpoint/retry granularity) *)
   checkpoint_every : int;  (** completed shards between checkpoint writes *)
@@ -35,21 +48,39 @@ type config = {
   max_retries : int;  (** retries per shard before {!Shard_failed} *)
   resume : bool;  (** load an existing checkpoint file if present *)
   on_invalid_checkpoint : invalid_checkpoint;
-  progress : (done_:int -> total:int -> unit) option;  (** cases done *)
+  progress : (progress -> unit) option;
+      (** called after every wave, after that wave's checkpoint write (when
+          one is due) — reported progress is already durable *)
   on_checkpoint : (shards_done:int -> shards_total:int -> unit) option;
       (** called after each successful checkpoint write *)
+  cancel : (unit -> bool) option;
+      (** polled between shard waves; returning [true] checkpoints the
+          campaign (when a checkpoint path was given) and raises
+          {!Cancelled}. The campaign service uses this for cooperative job
+          cancellation and graceful daemon drain. *)
+  pool : Ftb_inject.Parallel.Pool.t option;
+      (** run parallel waves on this pool instead of
+          {!Ftb_inject.Parallel.Pool.global} — lets a long-lived host (the
+          campaign daemon) share one warm pool handle across many
+          campaigns. Ignored when [domains = 1]. *)
 }
 
 val default_config : config
 (** [shard_size = 4096], [checkpoint_every = 1], [domains = 1],
     [fuel = None], [max_retries = 2], [resume = true],
-    [on_invalid_checkpoint = Fail], no callbacks. *)
+    [on_invalid_checkpoint = Fail], no callbacks, no cancellation, global
+    pool. *)
 
 exception
   Shard_failed of { shard : int; attempts : int; message : string }
 (** A shard kept failing past its retry budget. The engine writes a final
     checkpoint before raising, so the campaign can resume once the cause
     is fixed. *)
+
+exception Cancelled
+(** The [cancel] callback returned [true] between two shard waves. A final
+    checkpoint has already been written (when a checkpoint path was
+    given), so the campaign resumes exactly where it stopped. *)
 
 type report = {
   ground_truth : Ftb_inject.Ground_truth.t;  (** the completed campaign *)

@@ -9,18 +9,22 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Format_error msg)) fmt
 
 (* All writes go through a temp-file + atomic rename so a killed process can
    never leave a truncated campaign or samples file behind: readers see
-   either the previous complete file or the new complete file. *)
+   either the previous complete file or the new complete file. The temp
+   file is unlinked in a finaliser, so no failure mode between its creation
+   and the rename — including a failing [close_out] or [Sys.rename] — can
+   leak it; after a successful rename the unlink is a no-op. *)
 let with_out_atomic path f =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  match f oc with
-  | () ->
-      close_out oc;
-      Sys.rename tmp path
-  | exception e ->
-      close_out_noerr oc;
-      (try Sys.remove tmp with Sys_error _ -> ());
-      raise e
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      (match f oc with
+      | () -> close_out oc
+      | exception e ->
+          close_out_noerr oc;
+          raise e);
+      Sys.rename tmp path)
 
 (* Readers carry the source path and a running line counter so every parse
    error is attributed as "path:line: message". *)

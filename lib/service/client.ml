@@ -1,0 +1,137 @@
+type t = { fd : Unix.file_descr }
+
+type error = { code : string; message : string }
+
+type event =
+  | Progress of {
+      cases_done : int;
+      cases_total : int;
+      shards_done : int;
+      shards_total : int;
+      masked : int;
+      sdc : int;
+      crash : int;
+      cases_per_sec : float;
+    }
+
+let of_fd fd = { fd }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let connect_tcp ~host ~port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let bad_frame what = raise (Wire.Protocol_error ("malformed response: " ^ what))
+
+let decode_error json =
+  match Json.member "error" json with
+  | Some err ->
+      let field name =
+        match Option.bind (Json.member name err) Json.to_str with
+        | Some s -> s
+        | None -> "unknown"
+      in
+      { code = field "code"; message = field "message" }
+  | None -> { code = "unknown"; message = "server reported failure without detail" }
+
+(* Send one request; return the ok-response object or the typed error. *)
+let roundtrip t request =
+  Wire.write t.fd (Json.Obj request);
+  let response = Wire.read t.fd in
+  match Option.bind (Json.member "ok" response) Json.to_bool with
+  | Some true -> Ok response
+  | Some false -> Error (decode_error response)
+  | None -> bad_frame "missing \"ok\" field"
+
+let job_of response =
+  match Json.member "job" response with
+  | Some job -> (
+      match Job.info_of_json job with
+      | info -> info
+      | exception Job.Decode_error msg -> bad_frame msg)
+  | None -> bad_frame "missing \"job\" field"
+
+let submit t spec =
+  Result.map
+    (fun response ->
+      match Option.bind (Json.member "id" response) Json.to_int with
+      | Some id -> id
+      | None -> bad_frame "missing \"id\" field")
+    (roundtrip t [ ("cmd", Json.String "submit"); ("spec", Job.spec_to_json spec) ])
+
+let status t id =
+  Result.map job_of (roundtrip t [ ("cmd", Json.String "status"); ("id", Json.Int id) ])
+
+let list t =
+  Result.map
+    (fun response ->
+      match Option.bind (Json.member "jobs" response) Json.to_list with
+      | Some jobs ->
+          List.map
+            (fun j ->
+              match Job.info_of_json j with
+              | info -> info
+              | exception Job.Decode_error msg -> bad_frame msg)
+            jobs
+      | None -> bad_frame "missing \"jobs\" field")
+    (roundtrip t [ ("cmd", Json.String "list") ])
+
+let cancel t id =
+  Result.map job_of (roundtrip t [ ("cmd", Json.String "cancel"); ("id", Json.Int id) ])
+
+let shutdown t =
+  Result.map (fun _ -> ()) (roundtrip t [ ("cmd", Json.String "shutdown") ])
+
+let decode_progress json =
+  let int name =
+    match Option.bind (Json.member name json) Json.to_int with
+    | Some v -> v
+    | None -> bad_frame (Printf.sprintf "progress event missing %S" name)
+  in
+  Progress
+    {
+      cases_done = int "cases_done";
+      cases_total = int "cases_total";
+      shards_done = int "shards_done";
+      shards_total = int "shards_total";
+      masked = int "masked";
+      sdc = int "sdc";
+      crash = int "crash";
+      cases_per_sec =
+        (match Option.bind (Json.member "cases_per_sec" json) Json.to_float with
+        | Some r -> r
+        | None -> 0.);
+    }
+
+let watch ?(on_event = fun _ -> ()) t id =
+  match roundtrip t [ ("cmd", Json.String "watch"); ("id", Json.Int id) ] with
+  | Error e -> Error e
+  | Ok _response ->
+      let rec stream () =
+        let frame = Wire.read t.fd in
+        match Option.bind (Json.member "event" frame) Json.to_str with
+        | Some "progress" ->
+            on_event (decode_progress frame);
+            stream ()
+        | Some "done" -> Ok (job_of frame)
+        | Some other -> bad_frame (Printf.sprintf "unknown event %S" other)
+        | None -> bad_frame "event frame without \"event\" field"
+      in
+      stream ()

@@ -1,0 +1,63 @@
+(** Client library for the campaign daemon.
+
+    Thin, synchronous wrapper over the wire protocol: every call sends one
+    request frame and decodes the response. {!watch} additionally consumes
+    the event stream, invoking a callback per event — the blocking and the
+    event-driven API in one entry point.
+
+    Typed service failures (unknown job, full queue, draining daemon…)
+    come back as [Error {code; message}] with the server's error code.
+    Transport failures (daemon gone, protocol violation) raise
+    [Wire.Closed] / [Wire.Protocol_error] / [Unix.Unix_error] instead —
+    a caller that can retry wants to distinguish "the daemon said no"
+    from "the daemon is unreachable".
+
+    A client is not thread-safe; use one per thread. *)
+
+type t
+
+type error = { code : string; message : string }
+
+type event =
+  | Progress of {
+      cases_done : int;
+      cases_total : int;
+      shards_done : int;
+      shards_total : int;
+      masked : int;
+      sdc : int;
+      crash : int;
+      cases_per_sec : float;
+    }
+      (** one frame per completed shard wave, plus an initial snapshot *)
+
+val connect : socket:string -> t
+(** Connect to a daemon's Unix-domain socket. *)
+
+val connect_tcp : host:string -> port:int -> t
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected descriptor (tests use a socketpair). *)
+
+val close : t -> unit
+
+val submit : t -> Job.spec -> (int, error) result
+(** Returns the assigned job id. [Error] codes include [queue_full]
+    (backpressure), [unknown_bench], [bad_request], [shutting_down]. *)
+
+val status : t -> int -> (Job.info, error) result
+val list : t -> (Job.info list, error) result
+
+val cancel : t -> int -> (Job.info, error) result
+(** Cancel a queued job (immediate) or the running job (takes effect at
+    the next shard-wave boundary). *)
+
+val shutdown : t -> (unit, error) result
+(** Ask the daemon to drain and exit. *)
+
+val watch : ?on_event:(event -> unit) -> t -> int -> (Job.info, error) result
+(** Subscribe to a job's progress stream and block until the daemon sends
+    the final frame; returns the job's descriptor at that point. The
+    final status is [Completed] / [Failed] / [Cancelled] — or [Queued]
+    when the daemon drained and suspended the job. At least one
+    {!Progress} event is always delivered (the subscription snapshot). *)

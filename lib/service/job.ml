@@ -1,0 +1,222 @@
+type mode = Exhaustive | Sample of { fraction : float; seed : int }
+
+type spec = {
+  bench : string;
+  mode : mode;
+  shard_size : int;
+  fuel : int option;
+  priority : int;
+}
+
+let default_spec ~bench =
+  { bench; mode = Exhaustive; shard_size = 4096; fuel = Some 10_000_000; priority = 0 }
+
+type status = Queued | Running | Completed | Failed of string | Cancelled
+
+type counts = {
+  cases_done : int;
+  cases_total : int;
+  masked : int;
+  sdc : int;
+  crash : int;
+}
+
+type info = {
+  id : int;
+  spec : spec;
+  status : status;
+  counts : counts;
+  submitted : float;
+  started : float option;
+  finished : float option;
+}
+
+let zero_counts = { cases_done = 0; cases_total = 0; masked = 0; sdc = 0; crash = 0 }
+
+let status_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Completed -> "completed"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+
+let is_terminal = function
+  | Completed | Failed _ | Cancelled -> true
+  | Queued | Running -> false
+
+(* ------------------------------------------------------------------ *)
+(* JSON codecs                                                         *)
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
+
+let get what decode json field =
+  match Option.bind (Json.member field json) decode with
+  | Some v -> v
+  | None -> fail "missing or bad %s field %S" what field
+
+let get_int = get "integer" Json.to_int
+let get_str = get "string" Json.to_str
+let get_float = get "number" Json.to_float
+
+let opt_field decode json field =
+  match Json.member field json with
+  | None | Some Json.Null -> None
+  | Some v -> (
+      match decode v with
+      | Some v -> Some v
+      | None -> fail "bad optional field %S" field)
+
+let spec_to_json s =
+  let mode_fields =
+    match s.mode with
+    | Exhaustive -> [ ("mode", Json.String "exhaustive") ]
+    | Sample { fraction; seed } ->
+        [
+          ("mode", Json.String "sample");
+          ("fraction", Json.Float fraction);
+          ("seed", Json.Int seed);
+        ]
+  in
+  Json.Obj
+    ([ ("bench", Json.String s.bench) ]
+    @ mode_fields
+    @ [
+        ("shard_size", Json.Int s.shard_size);
+        ( "fuel",
+          match s.fuel with Some n -> Json.Int n | None -> Json.Null );
+        ("priority", Json.Int s.priority);
+      ])
+
+let spec_of_json json =
+  let bench = get_str json "bench" in
+  let mode =
+    match get_str json "mode" with
+    | "exhaustive" -> Exhaustive
+    | "sample" ->
+        let fraction = get_float json "fraction" in
+        if not (fraction > 0. && fraction <= 1.) then
+          fail "fraction %g outside (0, 1]" fraction;
+        Sample { fraction; seed = get_int json "seed" }
+    | m -> fail "unknown mode %S" m
+  in
+  let shard_size = get_int json "shard_size" in
+  if shard_size <= 0 then fail "shard_size must be positive";
+  let fuel = opt_field Json.to_int json "fuel" in
+  (match fuel with
+  | Some n when n <= 0 -> fail "fuel must be positive"
+  | _ -> ());
+  { bench; mode; shard_size; fuel; priority = get_int json "priority" }
+
+let counts_to_json c =
+  Json.Obj
+    [
+      ("cases_done", Json.Int c.cases_done);
+      ("cases_total", Json.Int c.cases_total);
+      ("masked", Json.Int c.masked);
+      ("sdc", Json.Int c.sdc);
+      ("crash", Json.Int c.crash);
+    ]
+
+let counts_of_json json =
+  {
+    cases_done = get_int json "cases_done";
+    cases_total = get_int json "cases_total";
+    masked = get_int json "masked";
+    sdc = get_int json "sdc";
+    crash = get_int json "crash";
+  }
+
+let info_to_json i =
+  Json.Obj
+    [
+      ("id", Json.Int i.id);
+      ("spec", spec_to_json i.spec);
+      ("status", Json.String (status_name i.status));
+      ( "error",
+        match i.status with Failed msg -> Json.String msg | _ -> Json.Null );
+      ("counts", counts_to_json i.counts);
+      ("submitted", Json.Float i.submitted);
+      ( "started",
+        match i.started with Some t -> Json.Float t | None -> Json.Null );
+      ( "finished",
+        match i.finished with Some t -> Json.Float t | None -> Json.Null );
+    ]
+
+let info_of_json json =
+  let status =
+    match get_str json "status" with
+    | "queued" -> Queued
+    | "running" -> Running
+    | "completed" -> Completed
+    | "cancelled" -> Cancelled
+    | "failed" ->
+        Failed
+          (match Option.bind (Json.member "error" json) Json.to_str with
+          | Some msg -> msg
+          | None -> "unknown failure")
+    | s -> fail "unknown status %S" s
+  in
+  let spec =
+    match Json.member "spec" json with
+    | Some spec -> spec_of_json spec
+    | None -> fail "missing spec"
+  in
+  let counts =
+    match Json.member "counts" json with
+    | Some counts -> counts_of_json counts
+    | None -> fail "missing counts"
+  in
+  {
+    id = get_int json "id";
+    spec;
+    status;
+    counts;
+    submitted = get_float json "submitted";
+    started = opt_field Json.to_float json "started";
+    finished = opt_field Json.to_float json "finished";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* State directory                                                     *)
+
+let jobs_root ~state_dir = Filename.concat state_dir "jobs"
+let dir ~state_dir id = Filename.concat (jobs_root ~state_dir) (string_of_int id)
+let json_path ~state_dir id = Filename.concat (dir ~state_dir id) "job.json"
+let checkpoint_path ~state_dir id = Filename.concat (dir ~state_dir id) "checkpoint"
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~state_dir info =
+  mkdir_p (dir ~state_dir info.id);
+  Ftb_inject.Persist.with_out_atomic (json_path ~state_dir info.id) (fun oc ->
+      output_string oc (Json.to_string (info_to_json info));
+      output_char oc '\n')
+
+let load_all ~state_dir =
+  let root = jobs_root ~state_dir in
+  let entries = try Sys.readdir root with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun entry ->
+         match int_of_string_opt entry with
+         | None -> None
+         | Some id -> (
+             let path = json_path ~state_dir id in
+             match
+               let ic = open_in_bin path in
+               Fun.protect
+                 ~finally:(fun () -> close_in_noerr ic)
+                 (fun () -> really_input_string ic (in_channel_length ic))
+             with
+             | exception Sys_error _ -> None
+             | contents -> (
+                 match info_of_json (Json.of_string contents) with
+                 | info -> Some info
+                 | exception (Decode_error _ | Json.Parse_error _) -> None)))
+  |> List.sort (fun a b -> compare a.id b.id)

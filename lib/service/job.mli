@@ -1,0 +1,95 @@
+(** Campaign jobs: what a client submits, how the daemon tracks it, and
+    how both survive a daemon restart.
+
+    A job is a named benchmark plus a campaign mode. State lives in two
+    files under the daemon state directory, one directory per job:
+
+    {v
+    <state>/jobs/<id>/job.json     descriptor + lifecycle status (atomic)
+    <state>/jobs/<id>/checkpoint   Ftb_campaign.Checkpoint file (exhaustive)
+    v}
+
+    Lifecycle state machine (see DESIGN.md "Service layer"):
+
+    {v
+    queued -> running -> completed
+       |         |----> failed
+       |         |----> cancelled
+       |         '----> queued      (daemon drain / restart: resumes)
+       '-> cancelled                (cancelled while still queued)
+    v}
+
+    [Completed], [Failed] and [Cancelled] are terminal. A job found
+    [Running] on daemon startup was interrupted by a crash; it reloads as
+    [Queued] and resumes from its checkpoint. *)
+
+type mode =
+  | Exhaustive  (** every (site, bit) case, checkpointed and resumable *)
+  | Sample of { fraction : float; seed : int }
+      (** a uniform sample of the case space; cheap, so interrupted sample
+          jobs restart from scratch instead of checkpointing *)
+
+type spec = {
+  bench : string;  (** benchmark name, resolved by the server *)
+  mode : mode;
+  shard_size : int;  (** cases per shard (progress/cancel granularity) *)
+  fuel : int option;  (** per-case divergence watchdog *)
+  priority : int;  (** higher runs first; FIFO within a priority *)
+}
+
+val default_spec : bench:string -> spec
+(** [mode = Exhaustive], [shard_size = 4096], [fuel = Some 10_000_000],
+    [priority = 0]. *)
+
+type status = Queued | Running | Completed | Failed of string | Cancelled
+
+type counts = {
+  cases_done : int;
+  cases_total : int;  (** 0 until the golden run has sized the space *)
+  masked : int;
+  sdc : int;
+  crash : int;
+}
+
+type info = {
+  id : int;
+  spec : spec;
+  status : status;
+  counts : counts;
+  submitted : float;  (** Unix timestamps *)
+  started : float option;
+  finished : float option;
+}
+
+val zero_counts : counts
+val status_name : status -> string
+(** ["queued"], ["running"], ["completed"], ["failed"], ["cancelled"]. *)
+
+val is_terminal : status -> bool
+
+(** {1 JSON codecs} *)
+
+exception Decode_error of string
+
+val spec_to_json : spec -> Json.t
+val spec_of_json : Json.t -> spec
+(** Raises {!Decode_error} on missing/ill-typed fields or out-of-range
+    values (non-positive [shard_size] or [fuel], [fraction] outside
+    (0, 1]). *)
+
+val info_to_json : info -> Json.t
+val info_of_json : Json.t -> info
+
+(** {1 State-directory layout} *)
+
+val dir : state_dir:string -> int -> string
+val checkpoint_path : state_dir:string -> int -> string
+
+val save : state_dir:string -> info -> unit
+(** Atomic write of [job.json] (via {!Ftb_inject.Persist.with_out_atomic}),
+    creating the job directory as needed. *)
+
+val load_all : state_dir:string -> info list
+(** Every parseable [job.json] under [<state>/jobs], sorted by id.
+    Unparseable or foreign entries are skipped — a half-created job
+    directory must not brick the daemon. *)

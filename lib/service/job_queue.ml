@@ -1,0 +1,47 @@
+(* Queues are small (bounded, single-host), so a sorted association list
+   beats a heap on clarity and is fast enough by orders of magnitude. *)
+
+type t = { capacity : int; mutable jobs : Job.info list (* dispatch order *) }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Job_queue.create: capacity must be positive";
+  { capacity; jobs = [] }
+
+let capacity t = t.capacity
+let length t = List.length t.jobs
+let is_empty t = t.jobs = []
+
+(* Higher priority first; FIFO (ascending id) within a priority. *)
+let before (a : Job.info) (b : Job.info) =
+  a.Job.spec.Job.priority > b.Job.spec.Job.priority
+  || (a.Job.spec.Job.priority = b.Job.spec.Job.priority && a.Job.id < b.Job.id)
+
+let restore t job =
+  let rec insert = function
+    | [] -> [ job ]
+    | head :: tail -> if before job head then job :: head :: tail else head :: insert tail
+  in
+  t.jobs <- insert t.jobs
+
+let add t job =
+  if length t >= t.capacity then Error (`Full t.capacity)
+  else begin
+    restore t job;
+    Ok ()
+  end
+
+let pop t =
+  match t.jobs with
+  | [] -> None
+  | job :: rest ->
+      t.jobs <- rest;
+      Some job
+
+let remove t id =
+  match List.partition (fun (j : Job.info) -> j.Job.id = id) t.jobs with
+  | [ job ], rest ->
+      t.jobs <- rest;
+      Some job
+  | _ -> None
+
+let to_list t = t.jobs

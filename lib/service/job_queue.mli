@@ -1,0 +1,37 @@
+(** Bounded priority queue of pending jobs.
+
+    Ordering: highest [spec.priority] first, FIFO (lowest id) within a
+    priority. The bound is the daemon's backpressure valve: {!add} never
+    blocks and never grows past [capacity] — a full queue is reported as a
+    typed error that the wire layer turns into a [queue_full] response,
+    so a flood of submissions degrades into fast rejections instead of
+    unbounded daemon memory.
+
+    Not thread-safe; the server serializes access under its own lock. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+
+val add : t -> Job.info -> (unit, [ `Full of int ]) result
+(** [Error (`Full capacity)] when the queue is at capacity. *)
+
+val restore : t -> Job.info -> unit
+(** Insert ignoring the capacity bound — only for re-queuing persisted
+    jobs on daemon restart, which must never be dropped even if the
+    configured capacity shrank in the meantime. *)
+
+val pop : t -> Job.info option
+(** Remove and return the next job to run. *)
+
+val remove : t -> int -> Job.info option
+(** Remove a job by id (cancellation of a queued job); [None] when the id
+    is not queued. *)
+
+val to_list : t -> Job.info list
+(** Queued jobs in dispatch order. *)

@@ -1,0 +1,307 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail_at pos fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (Printf.sprintf "offset %d: %s" pos msg))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let escape_into b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest decimal that parses back to the same float: try %.12g first
+   (covers every "human" value exactly), fall back to %.17g which is
+   always sufficient for a binary64. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write_into b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_nan f then Buffer.add_string b "\"nan\""
+      else if f = infinity then Buffer.add_string b "\"inf\""
+      else if f = neg_infinity then Buffer.add_string b "\"-inf\""
+      else Buffer.add_string b (float_repr f)
+  | String s -> escape_into b s
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          write_into b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_into b key;
+          Buffer.add_char b ':';
+          write_into b value)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write_into b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance p;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect p c =
+  match peek p with
+  | Some got when got = c -> advance p
+  | Some got -> fail_at p.pos "expected %C, found %C" c got
+  | None -> fail_at p.pos "expected %C, found end of input" c
+
+let literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail_at p.pos "bad literal (expected %s)" word
+
+(* Encode one Unicode scalar value as UTF-8. *)
+let add_code_point b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 p =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | c -> fail_at p.pos "bad hex digit %C in \\u escape" c
+  in
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek p with
+    | Some c -> v := (!v * 16) + digit c
+    | None -> fail_at p.pos "truncated \\u escape");
+    advance p
+  done;
+  !v
+
+let parse_string p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> fail_at p.pos "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | None -> fail_at p.pos "truncated escape"
+        | Some c ->
+            advance p;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let cp = hex4 p in
+                (* Combine a high surrogate with an immediately following
+                   \u-escaped low surrogate. *)
+                let cp =
+                  if cp >= 0xD800 && cp <= 0xDBFF
+                     && p.pos + 1 < String.length p.src
+                     && p.src.[p.pos] = '\\'
+                     && p.src.[p.pos + 1] = 'u'
+                  then begin
+                    p.pos <- p.pos + 2;
+                    let low = hex4 p in
+                    if low >= 0xDC00 && low <= 0xDFFF then
+                      0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00)
+                    else fail_at p.pos "unpaired surrogate"
+                  end
+                  else cp
+                in
+                if cp >= 0xD800 && cp <= 0xDFFF then
+                  fail_at p.pos "unpaired surrogate";
+                add_code_point b cp
+            | c -> fail_at p.pos "bad escape \\%C" c);
+            loop ())
+    | Some c ->
+        advance p;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek p with Some c when is_number_char c -> true | _ -> false do
+    advance p
+  done;
+  let text = String.sub p.src start (p.pos - start) in
+  let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail_at start "bad number %S" text
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        (* An integer too wide for [int] still parses, as a float. *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail_at start "bad number %S" text)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail_at p.pos "empty input"
+  | Some 'n' -> literal p "null" Null
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some '"' -> String (parse_string p)
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value p ] in
+        skip_ws p;
+        while peek p = Some ',' do
+          advance p;
+          items := parse_value p :: !items;
+          skip_ws p
+        done;
+        expect p ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws p;
+          let key = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let value = parse_value p in
+          (key, value)
+        in
+        let fields = ref [ field () ] in
+        skip_ws p;
+        while peek p = Some ',' do
+          advance p;
+          fields := field () :: !fields;
+          skip_ws p
+        done;
+        expect p '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> fail_at p.pos "unexpected %C" c
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail_at p.pos "trailing bytes after JSON value";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | String "inf" -> Some infinity
+  | String "-inf" -> Some neg_infinity
+  | String "nan" -> Some Float.nan
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,46 @@
+(** Minimal JSON values for the service wire protocol and job files.
+
+    The repository deliberately carries no third-party JSON dependency;
+    this module implements exactly the subset the campaign service needs:
+    a value type, a serializer whose floats round-trip bit-exactly, and a
+    strict recursive-descent parser with positioned errors. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string}; the message carries the byte offset. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Floats are printed with the
+    shortest decimal form that round-trips through [float_of_string];
+    non-finite floats serialize as the strings ["inf"], ["-inf"], ["nan"]
+    (JSON has no literal for them). *)
+
+val of_string : string -> t
+(** Strict parse of one JSON value (surrounding whitespace allowed;
+    trailing bytes rejected). Numbers without [.], [e] or [E] parse as
+    [Int], everything else as [Float]. *)
+
+(** {1 Accessors}
+
+    Total accessors returning [option]; decoding code patterns on them and
+    turns [None] into a protocol error at its own altitude. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for missing fields or non-objects.
+    A stored [Null] is returned as [Some Null]. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int] values (JSON does not distinguish). *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

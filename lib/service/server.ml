@@ -1,0 +1,664 @@
+module Golden = Ftb_trace.Golden
+module Engine = Ftb_campaign.Engine
+module Pool = Ftb_inject.Parallel.Pool
+
+type config = {
+  state_dir : string;
+  capacity : int;
+  domains : int;
+  checkpoint_every : int;
+  resolve : string -> Ftb_trace.Program.t;
+}
+
+let default_config ~state_dir =
+  {
+    state_dir;
+    capacity = 64;
+    domains = 1;
+    checkpoint_every = 1;
+    resolve = Ftb_kernels.Suite.find;
+  }
+
+(* Why a running job was asked to stop: a user [cancel] is terminal, a
+   [Drain] (shutdown/SIGTERM) suspends the job back to the queue so a
+   restarted daemon resumes it from its checkpoint. *)
+type cancel_reason = User | Drain
+
+type running = { job_id : int; cancel : cancel_reason option Atomic.t }
+
+(* One [watch] subscription. Write discipline: before registration only
+   the subscribing connection thread writes to [fd]; after registration
+   only the thread that finishes the subscription does (the scheduler for
+   the running job, the cancelling connection for a queued job, the
+   drain path at exit) — so no two threads ever interleave frames on one
+   descriptor. *)
+type sub = { sub_job : int; sub_fd : Unix.file_descr; mutable sub_live : bool }
+
+type t = {
+  config : config;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* scheduler wake-up: submit / cancel / shutdown *)
+  sub_done : Condition.t;  (* broadcast whenever a subscription finishes *)
+  queue : Job_queue.t;
+  jobs : (int, Job.info) Hashtbl.t;  (* every job ever seen, by id *)
+  mutable next_id : int;
+  mutable running : running option;
+  mutable stopping : bool;
+  mutable scheduler : Thread.t option;
+  mutable scheduler_done : bool;
+  mutable subs : sub list;
+  sigterm : bool Atomic.t;
+  pool : Pool.t option;  (* one warm handle shared by every campaign *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Job.save is called under the lock everywhere, so on-disk job.json
+   updates are serialized and the last write always reflects the newest
+   in-memory state. *)
+let set_job t job =
+  Hashtbl.replace t.jobs job.Job.id job;
+  Job.save ~state_dir:t.config.state_dir job
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create config =
+  if config.capacity <= 0 then invalid_arg "Server.create: capacity must be positive";
+  if config.domains <= 0 then invalid_arg "Server.create: domains must be positive";
+  if config.checkpoint_every <= 0 then
+    invalid_arg "Server.create: checkpoint_every must be positive";
+  mkdir_p config.state_dir;
+  let loaded = Job.load_all ~state_dir:config.state_dir in
+  let queue = Job_queue.create ~capacity:config.capacity in
+  let jobs = Hashtbl.create 64 in
+  let next_id = ref 1 in
+  List.iter
+    (fun (job : Job.info) ->
+      next_id := max !next_id (job.Job.id + 1);
+      let job =
+        (* A job found Running was interrupted by a daemon crash; its
+           checkpoint (if any) is intact, so it simply re-queues. *)
+        match job.Job.status with
+        | Job.Running | Job.Queued -> { job with Job.status = Job.Queued }
+        | _ -> job
+      in
+      Hashtbl.replace jobs job.Job.id job;
+      if job.Job.status = Job.Queued then Job_queue.restore queue job)
+    loaded;
+  let t =
+    {
+      config;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      sub_done = Condition.create ();
+      queue;
+      jobs;
+      next_id = !next_id;
+      running = None;
+      stopping = false;
+      scheduler = None;
+      scheduler_done = false;
+      subs = [];
+      sigterm = Atomic.make false;
+      pool = (if config.domains > 1 then Some (Pool.global ~domains:config.domains ()) else None);
+    }
+  in
+  (* Persist the Running -> Queued demotions so a crash during startup
+     re-observes the same state. *)
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ job -> if job.Job.status = Job.Queued then Job.save ~state_dir:config.state_dir job)
+        t.jobs);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+let progress_event ~id ~(p : Engine.progress) ~rate =
+  Json.Obj
+    [
+      ("event", Json.String "progress");
+      ("id", Json.Int id);
+      ("cases_done", Json.Int p.Engine.cases_done);
+      ("cases_total", Json.Int p.Engine.cases_total);
+      ("shards_done", Json.Int p.Engine.shards_done);
+      ("shards_total", Json.Int p.Engine.shards_total);
+      ("masked", Json.Int p.Engine.masked);
+      ("sdc", Json.Int p.Engine.sdc);
+      ("crash", Json.Int p.Engine.crash);
+      ("cases_per_sec", Json.Float rate);
+    ]
+
+let snapshot_event (job : Job.info) =
+  let c = job.Job.counts in
+  progress_event ~id:job.Job.id
+    ~p:
+      {
+        Engine.cases_done = c.Job.cases_done;
+        cases_total = c.Job.cases_total;
+        shards_done = 0;
+        shards_total = 0;
+        masked = c.Job.masked;
+        sdc = c.Job.sdc;
+        crash = c.Job.crash;
+      }
+    ~rate:0.
+
+let done_event (job : Job.info) =
+  Json.Obj [ ("event", Json.String "done"); ("job", Job.info_to_json job) ]
+
+let safe_write fd json = try Wire.write fd json with _ -> ()
+
+(* Detach every subscription of [id] (under the lock) and hand the frames
+   to the caller's thread: once detached, no other thread writes to those
+   descriptors. *)
+let finish_subs t id event =
+  let mine =
+    with_lock t (fun () ->
+        let mine, rest = List.partition (fun s -> s.sub_job = id && s.sub_live) t.subs in
+        t.subs <- rest;
+        List.iter (fun s -> s.sub_live <- false) mine;
+        Condition.broadcast t.sub_done;
+        mine)
+  in
+  List.iter (fun s -> safe_write s.sub_fd event) mine
+
+let stream_to_subs t id event =
+  let targets =
+    with_lock t (fun () ->
+        List.filter_map
+          (fun s -> if s.sub_job = id && s.sub_live then Some s else None)
+          t.subs)
+  in
+  List.iter
+    (fun s ->
+      try Wire.write s.sub_fd event
+      with _ ->
+        (* Watcher gone: drop the subscription so its connection thread
+           unblocks and the scheduler stops writing to a dead pipe. *)
+        with_lock t (fun () ->
+            s.sub_live <- false;
+            t.subs <- List.filter (fun s' -> s' != s) t.subs;
+            Condition.broadcast t.sub_done))
+    targets
+
+(* ------------------------------------------------------------------ *)
+(* Job execution (scheduler thread only)                               *)
+
+let update_counts t id counts =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | Some job -> Hashtbl.replace t.jobs id { job with Job.counts }
+      | None -> ())
+
+let counts_of_progress (p : Engine.progress) =
+  {
+    Job.cases_done = p.Engine.cases_done;
+    cases_total = p.Engine.cases_total;
+    masked = p.Engine.masked;
+    sdc = p.Engine.sdc;
+    crash = p.Engine.crash;
+  }
+
+let run_exhaustive t (job : Job.info) cancel =
+  let spec = job.Job.spec in
+  let golden = Golden.run (t.config.resolve spec.Job.bench) in
+  let last = ref (now (), None) in
+  let latest = ref job.Job.counts in
+  let progress (p : Engine.progress) =
+    let t_now = now () in
+    let t_prev, prev_cases = !last in
+    let rate =
+      match prev_cases with
+      | Some prev when t_now > t_prev ->
+          float_of_int (p.Engine.cases_done - prev) /. (t_now -. t_prev)
+      | _ -> 0.
+    in
+    last := (t_now, Some p.Engine.cases_done);
+    latest := counts_of_progress p;
+    update_counts t job.Job.id !latest;
+    stream_to_subs t job.Job.id (progress_event ~id:job.Job.id ~p ~rate)
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.shard_size = spec.Job.shard_size;
+      checkpoint_every = t.config.checkpoint_every;
+      domains = t.config.domains;
+      fuel = spec.Job.fuel;
+      resume = true;
+      on_invalid_checkpoint = Engine.Restart;
+      progress = Some progress;
+      cancel = Some (fun () -> Atomic.get cancel <> None);
+      pool = t.pool;
+    }
+  in
+  let checkpoint = Job.checkpoint_path ~state_dir:t.config.state_dir job.Job.id in
+  match Engine.run ~config ~checkpoint golden with
+  | report ->
+      let gt = report.Engine.ground_truth in
+      let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+      Ftb_inject.Ground_truth.counts gt ~masked ~sdc ~crash;
+      let counts =
+        {
+          Job.cases_done = Golden.cases golden;
+          cases_total = Golden.cases golden;
+          masked = !masked;
+          sdc = !sdc;
+          crash = !crash;
+        }
+      in
+      { job with Job.status = Job.Completed; counts; finished = Some (now ()) }
+  | exception Engine.Cancelled -> (
+      match Atomic.get cancel with
+      | Some Drain ->
+          (* Suspended by the drain: the checkpoint is on disk, so the job
+             goes back to the queue and resumes on the next daemon start. *)
+          { job with Job.status = Job.Queued; counts = !latest }
+      | Some User | None ->
+          { job with Job.status = Job.Cancelled; counts = !latest; finished = Some (now ()) })
+
+exception Stop_sampling of cancel_reason
+
+let run_sample t (job : Job.info) cancel ~fraction ~seed =
+  let spec = job.Job.spec in
+  let golden = Golden.run (t.config.resolve spec.Job.bench) in
+  let rng = Ftb_util.Rng.create ~seed in
+  let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+  let total = Array.length cases in
+  let chunk = spec.Job.shard_size in
+  let shards_total = (total + chunk - 1) / max 1 chunk in
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  let done_ = ref 0 and shard = ref 0 in
+  let last = ref (now (), 0) in
+  match
+    while !done_ < total do
+      (match Atomic.get cancel with
+      | Some reason -> raise (Stop_sampling reason)
+      | None -> ());
+      let len = min chunk (total - !done_) in
+      let samples =
+        Ftb_inject.Sample_run.run_cases ?fuel:spec.Job.fuel golden
+          (Array.sub cases !done_ len)
+      in
+      let m, s, c = Ftb_inject.Sample_run.count_outcomes samples in
+      masked := !masked + m;
+      sdc := !sdc + s;
+      crash := !crash + c;
+      done_ := !done_ + len;
+      incr shard;
+      let t_now = now () in
+      let t_prev, prev_done = !last in
+      let rate =
+        if t_now > t_prev then float_of_int (!done_ - prev_done) /. (t_now -. t_prev)
+        else 0.
+      in
+      last := (t_now, !done_);
+      let p =
+        {
+          Engine.cases_done = !done_;
+          cases_total = total;
+          shards_done = !shard;
+          shards_total;
+          masked = !masked;
+          sdc = !sdc;
+          crash = !crash;
+        }
+      in
+      update_counts t job.Job.id (counts_of_progress p);
+      stream_to_subs t job.Job.id (progress_event ~id:job.Job.id ~p ~rate)
+    done
+  with
+  | () ->
+      let counts =
+        {
+          Job.cases_done = total;
+          cases_total = total;
+          masked = !masked;
+          sdc = !sdc;
+          crash = !crash;
+        }
+      in
+      { job with Job.status = Job.Completed; counts; finished = Some (now ()) }
+  | exception Stop_sampling Drain ->
+      (* Sample jobs carry no checkpoint; a drained one simply restarts
+         from scratch on the next daemon start. *)
+      { job with Job.status = Job.Queued; counts = Job.zero_counts }
+  | exception Stop_sampling User ->
+      let counts =
+        {
+          Job.cases_done = !done_;
+          cases_total = total;
+          masked = !masked;
+          sdc = !sdc;
+          crash = !crash;
+        }
+      in
+      { job with Job.status = Job.Cancelled; counts; finished = Some (now ()) }
+
+let run_job t (job : Job.info) cancel =
+  match
+    match job.Job.spec.Job.mode with
+    | Job.Exhaustive -> run_exhaustive t job cancel
+    | Job.Sample { fraction; seed } -> run_sample t job cancel ~fraction ~seed
+  with
+  | outcome -> outcome
+  | exception e ->
+      { job with Job.status = Job.Failed (Printexc.to_string e); finished = Some (now ()) }
+
+let scheduler_loop t =
+  let rec loop () =
+    let next =
+      with_lock t (fun () ->
+          if t.stopping then None
+          else
+            match Job_queue.pop t.queue with
+            | Some job ->
+                let cancel = Atomic.make None in
+                let job = { job with Job.status = Job.Running; started = Some (now ()) } in
+                t.running <- Some { job_id = job.Job.id; cancel };
+                set_job t job;
+                Some (`Run (job, cancel))
+            | None ->
+                Condition.wait t.wake t.mutex;
+                Some `Retry)
+    in
+    match next with
+    | None -> ()
+    | Some `Retry -> loop ()
+    | Some (`Run (job, cancel)) ->
+        let final = run_job t job cancel in
+        with_lock t (fun () ->
+            t.running <- None;
+            set_job t final);
+        (* A drained job is not terminal: its watchers still get a final
+           frame (status "queued") so they unblock before the daemon
+           exits. *)
+        finish_subs t final.Job.id (done_event final);
+        loop ()
+  in
+  loop ();
+  (* Drain: unblock watchers of jobs that never ran. *)
+  let leftovers =
+    with_lock t (fun () ->
+        t.scheduler_done <- true;
+        let subs = t.subs in
+        t.subs <- [];
+        List.iter (fun s -> s.sub_live <- false) subs;
+        Condition.broadcast t.sub_done;
+        List.filter_map
+          (fun s ->
+            Option.map (fun job -> (s, job)) (Hashtbl.find_opt t.jobs s.sub_job))
+          subs)
+  in
+  List.iter (fun (s, job) -> safe_write s.sub_fd (done_event job)) leftovers
+
+let start t =
+  with_lock t (fun () ->
+      if t.scheduler = None then t.scheduler <- Some (Thread.create scheduler_loop t))
+
+let request_shutdown t =
+  with_lock t (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        (match t.running with
+        | Some r ->
+            (* Don't override a pending user cancellation — it is the
+               stronger request. *)
+            ignore (Atomic.compare_and_set r.cancel None (Some Drain) : bool)
+        | None -> ());
+        Condition.signal t.wake
+      end)
+
+let join t =
+  match with_lock t (fun () -> t.scheduler) with
+  | Some thread -> Thread.join thread
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (connection threads)                               *)
+
+let error_frame ?(extra = []) code message =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          ([ ("code", Json.String code); ("message", Json.String message) ] @ extra) );
+    ]
+
+let ok_frame fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let req_id json =
+  match Option.bind (Json.member "id" json) Json.to_int with
+  | Some id -> Ok id
+  | None -> Error (error_frame "bad_request" "missing integer field \"id\"")
+
+let handle_submit t json =
+  match
+    match Json.member "spec" json with
+    | None -> Error (error_frame "bad_request" "missing field \"spec\"")
+    | Some spec -> (
+        match Job.spec_of_json spec with
+        | spec -> Ok spec
+        | exception Job.Decode_error msg -> Error (error_frame "bad_request" msg))
+  with
+  | Error e -> e
+  | Ok spec -> (
+      (* Resolve the benchmark before touching the queue so an unknown
+         name is rejected up front, not at execution time. *)
+      match t.config.resolve spec.Job.bench with
+      | exception Invalid_argument msg -> error_frame "unknown_bench" msg
+      | _program ->
+          with_lock t (fun () ->
+              if t.stopping then error_frame "shutting_down" "daemon is draining"
+              else begin
+                let id = t.next_id in
+                let job =
+                  {
+                    Job.id;
+                    spec;
+                    status = Job.Queued;
+                    counts = Job.zero_counts;
+                    submitted = now ();
+                    started = None;
+                    finished = None;
+                  }
+                in
+                match Job_queue.add t.queue job with
+                | Error (`Full capacity) ->
+                    error_frame "queue_full"
+                      (Printf.sprintf "queue is at capacity (%d queued jobs)" capacity)
+                      ~extra:[ ("capacity", Json.Int capacity) ]
+                | Ok () ->
+                    t.next_id <- id + 1;
+                    set_job t job;
+                    Condition.signal t.wake;
+                    ok_frame [ ("id", Json.Int id) ]
+              end))
+
+let handle_status t json =
+  match req_id json with
+  | Error e -> e
+  | Ok id -> (
+      match with_lock t (fun () -> Hashtbl.find_opt t.jobs id) with
+      | None -> error_frame "not_found" (Printf.sprintf "no job %d" id)
+      | Some job -> ok_frame [ ("job", Job.info_to_json job) ])
+
+let handle_list t =
+  let jobs =
+    with_lock t (fun () -> Hashtbl.fold (fun _ job acc -> job :: acc) t.jobs [])
+    |> List.sort (fun (a : Job.info) b -> compare a.Job.id b.Job.id)
+  in
+  ok_frame [ ("jobs", Json.List (List.map Job.info_to_json jobs)) ]
+
+let handle_cancel t json =
+  match req_id json with
+  | Error e -> e
+  | Ok id ->
+      let outcome =
+        with_lock t (fun () ->
+            match Hashtbl.find_opt t.jobs id with
+            | None -> `Missing
+            | Some job -> (
+                match job.Job.status with
+                | Job.Queued -> (
+                    match Job_queue.remove t.queue id with
+                    | Some _ ->
+                        let job =
+                          { job with Job.status = Job.Cancelled; finished = Some (now ()) }
+                        in
+                        set_job t job;
+                        `Finished job
+                    | None ->
+                        (* Queued status with no queue entry: only during a
+                           drain, when the scheduler no longer runs it. *)
+                        `Finished job)
+                | Job.Running ->
+                    (match t.running with
+                    | Some r when r.job_id = id -> Atomic.set r.cancel (Some User)
+                    | _ -> ());
+                    `Pending job
+                | _ -> `Terminal job))
+      in
+      (match outcome with
+      | `Missing -> error_frame "not_found" (Printf.sprintf "no job %d" id)
+      | `Finished job ->
+          (* Unblock any watchers of the queued job we just cancelled. *)
+          finish_subs t id (done_event job);
+          ok_frame [ ("job", Job.info_to_json job) ]
+      | `Pending job -> ok_frame [ ("job", Job.info_to_json job) ]
+      | `Terminal job ->
+          error_frame "not_cancellable"
+            (Printf.sprintf "job %d is already %s" id (Job.status_name job.Job.status)))
+
+(* [watch] writes its response and snapshot before registering, so the
+   subscription-finishing thread is the only later writer (see {!sub}).
+   The terminal check is re-done under the registration lock: if the job
+   finished between the snapshot and here, the scheduler has already
+   dropped its done-frame duty for us, so we send it ourselves. *)
+let handle_watch t fd json =
+  match req_id json with
+  | Error e ->
+      Wire.write fd e;
+      `Handled
+  | Ok id -> (
+      match with_lock t (fun () -> Hashtbl.find_opt t.jobs id) with
+      | None ->
+          Wire.write fd (error_frame "not_found" (Printf.sprintf "no job %d" id));
+          `Handled
+      | Some job -> (
+          Wire.write fd (ok_frame [ ("job", Job.info_to_json job) ]);
+          Wire.write fd (snapshot_event job);
+          let registered =
+            with_lock t (fun () ->
+                let job = Hashtbl.find t.jobs id in
+                if Job.is_terminal job.Job.status || t.stopping || t.scheduler_done then
+                  `Send_done job
+                else begin
+                  let s = { sub_job = id; sub_fd = fd; sub_live = true } in
+                  t.subs <- s :: t.subs;
+                  `Wait s
+                end)
+          in
+          match registered with
+          | `Send_done job ->
+              Wire.write fd (done_event job);
+              `Handled
+          | `Wait s ->
+              with_lock t (fun () ->
+                  while s.sub_live do
+                    Condition.wait t.sub_done t.mutex
+                  done);
+              `Handled))
+
+let handle_request t fd json =
+  match Option.bind (Json.member "cmd" json) Json.to_str with
+  | None -> Wire.write fd (error_frame "bad_request" "missing string field \"cmd\"")
+  | Some "submit" -> Wire.write fd (handle_submit t json)
+  | Some "status" -> Wire.write fd (handle_status t json)
+  | Some "list" -> Wire.write fd (handle_list t)
+  | Some "cancel" -> Wire.write fd (handle_cancel t json)
+  | Some "watch" -> ignore (handle_watch t fd json : [ `Handled ])
+  | Some "shutdown" ->
+      Wire.write fd (ok_frame []);
+      request_shutdown t
+  | Some cmd -> Wire.write fd (error_frame "bad_request" (Printf.sprintf "unknown command %S" cmd))
+
+let serve_connection t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (* Make sure a dying connection never leaves a live subscription
+         behind pointing at a closed descriptor. *)
+      with_lock t (fun () ->
+          t.subs <- List.filter (fun s -> s.sub_fd <> fd) t.subs;
+          Condition.broadcast t.sub_done);
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        while true do
+          let request = Wire.read fd in
+          handle_request t fd request
+        done
+      with
+      | Wire.Closed -> ()
+      | Wire.Protocol_error msg -> (
+          try Wire.write fd (error_frame "protocol" msg) with _ -> ())
+      | Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+
+let bind_unix path =
+  mkdir_p (Filename.dirname path);
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let run ?tcp ~socket t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Atomic.set t.sigterm true));
+  let listeners =
+    bind_unix socket :: (match tcp with Some (host, port) -> [ bind_tcp host port ] | None -> [])
+  in
+  start t;
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get t.sigterm then request_shutdown t;
+    (match Unix.select listeners [] [] 0.2 with
+    | readable, _, _ ->
+        List.iter
+          (fun lfd ->
+            match Unix.accept lfd with
+            | client, _ ->
+                ignore (Thread.create (fun () -> serve_connection t client) () : Thread.t)
+            | exception Unix.Unix_error _ -> ())
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    finished := with_lock t (fun () -> t.stopping && t.scheduler_done)
+  done;
+  join t;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  if Sys.file_exists socket then Sys.remove socket

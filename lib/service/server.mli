@@ -1,0 +1,91 @@
+(** The campaign daemon: a single-host service that queues, schedules and
+    streams fault-injection campaigns.
+
+    One process owns a state directory and a warm {!Ftb_inject.Parallel.Pool}
+    handle; clients talk to it over a Unix-domain socket (opt-in TCP) with
+    the length-prefixed JSON frames of {!Wire}. Jobs are executed one at a
+    time, in priority order, by a dedicated scheduler thread running
+    {!Ftb_campaign.Engine} — so kernel compilation, pool spawn and golden
+    traces are paid once per daemon, not once per analysis.
+
+    {2 Protocol}
+
+    Every request is one frame carrying an object with a ["cmd"] field:
+
+    {v
+    {"cmd":"submit","spec":{...}}   -> {"ok":true,"id":N}
+    {"cmd":"status","id":N}         -> {"ok":true,"job":{...}}
+    {"cmd":"list"}                  -> {"ok":true,"jobs":[...]}
+    {"cmd":"cancel","id":N}         -> {"ok":true,"job":{...}}
+    {"cmd":"watch","id":N}          -> {"ok":true,"job":{...}} + event stream
+    {"cmd":"shutdown"}              -> {"ok":true}
+    v}
+
+    Failures are [{"ok":false,"error":{"code":...,"message":...}}] with
+    codes [bad_request], [unknown_bench], [not_found], [queue_full]
+    (backpressure: the bounded queue rejects, it never blocks),
+    [not_cancellable] and [shutting_down].
+
+    After a successful [watch] the server pushes one immediate
+    ["progress"] snapshot (so every watcher observes at least one event),
+    then one ["progress"] frame per completed shard wave, then a final
+    ["done"] frame carrying the job descriptor, after which the
+    connection reverts to request/response.
+
+    {2 Durability}
+
+    Submitted jobs and their campaign checkpoints live under the state
+    directory ({!Job}); a killed daemon restarted on the same directory
+    re-queues every non-terminal job and resumes in-flight exhaustive
+    campaigns from their last checkpoint — converging to outcome bytes
+    bit-identical to an uninterrupted run. On SIGTERM (or a [shutdown]
+    request) the daemon drains gracefully: it stops accepting work,
+    suspends the running job at the next shard-wave boundary (checkpoint
+    written, status back to [queued]), notifies watchers and exits. *)
+
+type config = {
+  state_dir : string;  (** job descriptors + checkpoints live here *)
+  capacity : int;  (** queue bound (running job excluded) *)
+  domains : int;  (** worker domains for campaign execution *)
+  checkpoint_every : int;  (** shard waves between checkpoint writes *)
+  resolve : string -> Ftb_trace.Program.t;
+      (** benchmark lookup; [Invalid_argument] rejects the submission.
+          The CLI passes {!Ftb_kernels.Suite.find}; tests inject tiny
+          programs. *)
+}
+
+val default_config : state_dir:string -> config
+(** [capacity = 64], [domains = 1], [checkpoint_every = 1],
+    [resolve = Ftb_kernels.Suite.find]. *)
+
+type t
+
+val create : config -> t
+(** Load the state directory (creating it as needed), re-queue every
+    non-terminal job, and spawn the domain pool when [domains > 1]. The
+    scheduler is not yet running. *)
+
+val start : t -> unit
+(** Spawn the scheduler thread. Idempotent. *)
+
+val serve_connection : t -> Unix.file_descr -> unit
+(** Serve one client connection until it closes (or the protocol is
+    violated), then close the descriptor. Used directly by tests over a
+    socketpair; {!run} calls it from per-connection threads. Requires
+    {!start}. *)
+
+val request_shutdown : t -> unit
+(** Begin a graceful drain: reject new submissions, suspend the running
+    job at its next wave boundary (checkpointed, re-queued), wake the
+    scheduler so it exits. Idempotent, safe from any thread. *)
+
+val join : t -> unit
+(** Wait for the scheduler thread to exit (it exits only after
+    {!request_shutdown}). *)
+
+val run : ?tcp:string * int -> socket:string -> t -> unit
+(** Bind the Unix-domain socket (and optionally a TCP endpoint), install
+    the SIGTERM drain handler, {!start} the scheduler and accept
+    connections until a shutdown request or SIGTERM completes the drain.
+    Returns after the scheduler has exited and the socket file has been
+    removed. *)

@@ -1,0 +1,51 @@
+let max_frame = 16 * 1024 * 1024
+
+exception Closed
+exception Protocol_error of string
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+(* Returns [false] when EOF hits before the first byte (clean close);
+   raises on EOF mid-buffer. *)
+let read_all fd buf off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd buf (off + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  if !got = len then true
+  else if !got = 0 then false
+  else raise (Protocol_error (Printf.sprintf "truncated frame (%d of %d bytes)" !got len))
+
+let write fd json =
+  let payload = Json.to_string json in
+  let len = String.length payload in
+  if len > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame too large (%d bytes)" len));
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+let read fd =
+  let prefix = Bytes.create 4 in
+  if not (read_all fd prefix 0 4) then raise Closed;
+  let len = Int32.to_int (Bytes.get_int32_be prefix 0) in
+  if len < 0 || len > max_frame then
+    raise (Protocol_error (Printf.sprintf "bad frame length %d" len));
+  let payload = Bytes.create len in
+  if not (read_all fd payload 0 len) && len > 0 then
+    raise (Protocol_error "connection closed inside a frame");
+  match Json.of_string (Bytes.to_string payload) with
+  | json -> json
+  | exception Json.Parse_error msg -> raise (Protocol_error ("bad JSON payload: " ^ msg))

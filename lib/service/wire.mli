@@ -1,0 +1,26 @@
+(** Length-prefixed JSON framing over a file descriptor.
+
+    One frame = a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 JSON. The prefix makes message boundaries explicit on a
+    stream socket, so neither side ever scans for delimiters, and a
+    corrupt or hostile peer is rejected by the length bound before any
+    allocation of its claimed size. *)
+
+val max_frame : int
+(** Upper bound on a frame payload (16 MiB). A frame claiming more is a
+    {!Protocol_error}; campaign job descriptions and progress events are
+    tiny, so the bound only exists to fail fast on garbage. *)
+
+exception Closed
+(** The peer closed the connection at a frame boundary (clean EOF). *)
+
+exception Protocol_error of string
+(** Mid-frame EOF, an oversized length prefix, or an unparseable payload. *)
+
+val write : Unix.file_descr -> Json.t -> unit
+(** Serialize and send one frame. Handles short writes and [EINTR];
+    propagates [Unix.Unix_error] (e.g. [EPIPE]) when the peer is gone. *)
+
+val read : Unix.file_descr -> Json.t
+(** Receive one frame. Raises {!Closed} on EOF before the first prefix
+    byte and {!Protocol_error} on truncation inside a frame. *)

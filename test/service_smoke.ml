@@ -1,0 +1,305 @@
+(* Service smoke test (dune alias @service-smoke).
+
+   End-to-end drill of the campaign daemon:
+
+   1. Crash/restart durability, with a real daemon process on a real
+      Unix-domain socket: fork a daemon, submit an exhaustive campaign,
+      SIGKILL the daemon mid-flight, restart it on the same state
+      directory and require the job to resume from its checkpoint and
+      converge to outcome bytes bit-identical to the plain serial
+      campaign. The forks happen before the parent touches any domain
+      pool, because a pool's worker domains do not survive fork().
+
+   2. Protocol round-trip over a socketpair, daemon in-process: submit ->
+      watch (>= 1 streamed progress event) -> complete with bit-identical
+      bytes; then queue backpressure, cancellation of queued and running
+      jobs, error codes, and a graceful shutdown drain. *)
+
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+module Program = Ftb_trace.Program
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Checkpoint = Ftb_campaign.Checkpoint
+module Json = Ftb_service.Json
+module Job = Ftb_service.Job
+module Client = Ftb_service.Client
+module Server = Ftb_service.Server
+
+let failures = ref 0
+
+let check what ok =
+  if ok then Printf.printf "ok    %s\n%!" what
+  else begin
+    incr failures;
+    Printf.printf "FAIL  %s\n%!" what
+  end
+
+(* Damped fixed-point iteration on a 4-vector, like campaign_smoke but
+   with a tunable sweep count: "slow" is big enough (405 sites, ~26k
+   cases) that a SIGKILL lands mid-campaign, "quick" finishes fast. *)
+let make_program ~name ~iters =
+  let statics = Static.create_table () in
+  let tag_load = Static.register statics ~phase:"svc.load" ~label:"x[i]" in
+  let tag_iter = Static.register statics ~phase:"svc.iter" ~label:"x[i] update" in
+  let tag_out = Static.register statics ~phase:"svc.out" ~label:"sum" in
+  let body ctx =
+    let x =
+      Array.map (fun v -> Ctx.record ctx ~tag:tag_load v) [| 1.0; 2.0; 3.0; 4.0 |]
+    in
+    for _iter = 1 to iters do
+      for i = 0 to 3 do
+        let left = x.((i + 3) mod 4) and right = x.((i + 1) mod 4) in
+        x.(i) <- Ctx.record ctx ~tag:tag_iter ((x.(i) +. (0.25 *. (left +. right))) /. 1.5)
+      done
+    done;
+    [| Ctx.record ctx ~tag:tag_out (Array.fold_left ( +. ) 0. x) |]
+  in
+  Program.make ~name ~description:"damped fixed-point iteration" ~tolerance:0.05
+    ~statics body
+
+let slow_program = make_program ~name:"svc.slow" ~iters:100
+let quick_program = make_program ~name:"svc.quick" ~iters:24
+
+let resolve = function
+  | "svc.slow" -> slow_program
+  | "svc.quick" -> quick_program
+  | name -> invalid_arg (Printf.sprintf "unknown benchmark %S" name)
+
+let fuel = 10_000
+
+let fresh_dir tag =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb_service_smoke_%s_%d" tag (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists path then rm path;
+  Unix.mkdir path 0o755;
+  path
+
+let get_ok what = function
+  | Ok v -> v
+  | Error (e : Client.error) ->
+      check what false;
+      failwith (Printf.sprintf "%s: daemon error %s: %s" what e.Client.code e.Client.message)
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: kill the daemon mid-campaign, restart, bit-identical bytes  *)
+
+let spawn_daemon config sock =
+  match Unix.fork () with
+  | 0 ->
+      (match Server.run ~socket:sock (Server.create config) with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 1)
+  | pid -> pid
+
+let connect_with_retry sock =
+  let rec go attempts =
+    match Client.connect ~socket:sock with
+    | client -> client
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempts > 0 ->
+        ignore (Unix.select [] [] [] 0.05);
+        go (attempts - 1)
+  in
+  go 200
+
+let crash_restart_test () =
+  let state_dir = fresh_dir "crash" in
+  let sock = Filename.concat state_dir "daemon.sock" in
+  let config =
+    { (Server.default_config ~state_dir) with Server.domains = 2; resolve }
+  in
+  let shard_size = 64 in
+  let spec =
+    { (Job.default_spec ~bench:"svc.slow") with Job.shard_size; fuel = Some fuel }
+  in
+
+  let pid = spawn_daemon config sock in
+  let client = connect_with_retry sock in
+  let id = get_ok "submit to live daemon" (Client.submit client spec) in
+  check "submit to live daemon" true;
+
+  (* Watch until the campaign is demonstrably mid-flight (two waves done,
+     so at least one checkpoint is fully on disk), then SIGKILL the
+     daemon under the watcher's feet. *)
+  let killed = ref false in
+  (match
+     Client.watch client id
+       ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
+         if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
+           killed := true;
+           Unix.kill pid Sys.sigkill
+         end)
+   with
+  | Ok _ | Error _ -> ()
+  | exception (Ftb_service.Wire.Closed | Ftb_service.Wire.Protocol_error _) -> ()
+  | exception Unix.Unix_error _ -> ());
+  check "daemon killed mid-campaign" !killed;
+  if not !killed then (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  Client.close client;
+
+  (* The interrupted job left a valid partial checkpoint behind. *)
+  let golden = Golden.run slow_program in
+  let ckpt = Job.checkpoint_path ~state_dir id in
+  (match Checkpoint.load ~path:ckpt ~shard_size golden with
+  | state ->
+      check "crash left a valid checkpoint with completed shards"
+        (Checkpoint.completed_count state > 0)
+  | exception _ -> check "crash left a valid checkpoint with completed shards" false);
+
+  (* Restart on the same state directory: the job re-queues and resumes. *)
+  let pid2 = spawn_daemon config sock in
+  let client2 = connect_with_retry sock in
+  let events = ref 0 in
+  let final =
+    get_ok "watch across restart"
+      (Client.watch client2 id ~on_event:(fun _ -> incr events))
+  in
+  check "job completed after restart" (final.Job.status = Job.Completed);
+  check "restart watch streamed progress events" (!events >= 1);
+  check "final counts cover the case space"
+    (final.Job.counts.Job.cases_done = Golden.cases golden
+    && final.Job.counts.Job.cases_total = Golden.cases golden
+    && final.Job.counts.Job.masked + final.Job.counts.Job.sdc
+       + final.Job.counts.Job.crash
+       = Golden.cases golden);
+
+  (* Bit-identical to the plain uninterrupted serial campaign. *)
+  let reference = Ground_truth.run ~fuel golden in
+  let persisted = Checkpoint.load ~path:ckpt ~shard_size golden in
+  check "persisted checkpoint is complete" (Checkpoint.is_complete persisted);
+  check "outcome bytes bit-identical to direct serial campaign"
+    (Bytes.equal reference.Ground_truth.outcomes persisted.Checkpoint.outcomes);
+
+  (* Graceful shutdown: the daemon drains and removes its socket. *)
+  get_ok "shutdown accepted" (Client.shutdown client2);
+  check "shutdown accepted" true;
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 0 -> check "daemon exited cleanly after shutdown" true
+  | _, _ -> check "daemon exited cleanly after shutdown" false);
+  check "socket file removed on exit" (not (Sys.file_exists sock));
+  Client.close client2
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: protocol round-trip over a socketpair, daemon in-process     *)
+
+let wait_for_status client id want =
+  let rec go attempts =
+    let job = get_ok "status poll" (Client.status client id) in
+    if job.Job.status = want || Job.is_terminal job.Job.status then job
+    else if attempts = 0 then job
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      go (attempts - 1)
+    end
+  in
+  go 500
+
+let socketpair_test () =
+  let state_dir = fresh_dir "pair" in
+  let config =
+    {
+      (Server.default_config ~state_dir) with
+      Server.domains = 2;
+      capacity = 2;
+      resolve;
+    }
+  in
+  let t = Server.create config in
+  Server.start t;
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Thread.create (fun () -> Server.serve_connection t server_fd) () in
+  let client = Client.of_fd client_fd in
+
+  (* submit -> watch -> complete, bytes bit-identical *)
+  let quick_spec =
+    { (Job.default_spec ~bench:"svc.quick") with Job.shard_size = 32; fuel = Some fuel }
+  in
+  let id = get_ok "submit over socketpair" (Client.submit client quick_spec) in
+  let events = ref 0 in
+  let final =
+    get_ok "watch over socketpair" (Client.watch client id ~on_event:(fun _ -> incr events))
+  in
+  check "socketpair job completed" (final.Job.status = Job.Completed);
+  check "watch delivered at least one progress event" (!events >= 1);
+  let golden = Golden.run quick_program in
+  let reference = Ground_truth.run ~fuel golden in
+  (match Checkpoint.load ~path:(Job.checkpoint_path ~state_dir id) ~shard_size:32 golden with
+  | state ->
+      check "socketpair outcome bytes bit-identical"
+        (Checkpoint.is_complete state
+        && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes)
+  | exception _ -> check "socketpair outcome bytes bit-identical" false);
+
+  (* error codes *)
+  (match Client.status client 999 with
+  | Error e -> check "unknown job is not_found" (e.Client.code = "not_found")
+  | Ok _ -> check "unknown job is not_found" false);
+  (match Client.submit client (Job.default_spec ~bench:"no-such-bench") with
+  | Error e -> check "unknown bench rejected" (e.Client.code = "unknown_bench")
+  | Ok _ -> check "unknown bench rejected" false);
+
+  (* backpressure: one running + capacity(2) queued, then a typed reject *)
+  let slow_spec =
+    { (Job.default_spec ~bench:"svc.slow") with Job.shard_size = 64; fuel = Some fuel }
+  in
+  let slow_id = get_ok "submit slow job" (Client.submit client slow_spec) in
+  let running = wait_for_status client slow_id Job.Running in
+  check "slow job is running" (running.Job.status = Job.Running);
+  let q1 = get_ok "queue 1st" (Client.submit client quick_spec) in
+  let q2 = get_ok "queue 2nd" (Client.submit client quick_spec) in
+  (match Client.submit client quick_spec with
+  | Error e -> check "queue full is a typed reject" (e.Client.code = "queue_full")
+  | Ok _ -> check "queue full is a typed reject" false);
+
+  (* cancel a queued job *)
+  (match Client.cancel client q2 with
+  | Ok job -> check "queued job cancelled" (job.Job.status = Job.Cancelled)
+  | Error _ -> check "queued job cancelled" false);
+
+  (* cancel the running job: cooperative, lands at the next wave boundary *)
+  (match Client.cancel client slow_id with
+  | Ok _ -> ()
+  | Error _ -> check "cancel running job accepted" false);
+  let final_slow = get_ok "watch cancelled job" (Client.watch client slow_id) in
+  check "running job cancelled at a wave boundary"
+    (final_slow.Job.status = Job.Cancelled);
+
+  (* the surviving queued job still runs to completion *)
+  let final_q1 = get_ok "watch surviving job" (Client.watch client q1) in
+  check "surviving queued job completed" (final_q1.Job.status = Job.Completed);
+
+  (* list sees every job with a terminal status *)
+  let jobs = get_ok "list" (Client.list client) in
+  check "list reports all jobs"
+    (List.length jobs = 4
+    && List.for_all (fun (j : Job.info) -> Job.is_terminal j.Job.status) jobs);
+
+  (* graceful shutdown drains the scheduler *)
+  get_ok "shutdown over socketpair" (Client.shutdown client);
+  Server.join t;
+  check "scheduler drained on shutdown" true;
+  Client.close client;
+  Thread.join conn
+
+let () =
+  Printf.printf "service smoke: slow=%d sites, quick=%d sites\n%!"
+    (Golden.sites (Golden.run slow_program))
+    (Golden.sites (Golden.run quick_program));
+  crash_restart_test ();
+  socketpair_test ();
+  if !failures > 0 then begin
+    Printf.printf "%d smoke check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "service smoke passed"

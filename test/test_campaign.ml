@@ -301,6 +301,67 @@ let test_engine_matches_plain_campaign_paths () =
     parallel.Ground_truth.outcomes engine.Engine.ground_truth.Ground_truth.outcomes
 
 (* ------------------------------------------------------------------ *)
+(* Engine: progress and cooperative cancellation                       *)
+
+let test_progress_counts_are_consistent () =
+  let g = Lazy.force golden in
+  let events = ref [] in
+  let config =
+    {
+      (engine_config ~shard_size:5 ~domains:1) with
+      Engine.progress = Some (fun p -> events := p :: !events);
+    }
+  in
+  let report = Engine.run ~config g in
+  let events = List.rev !events in
+  Alcotest.(check bool) "at least one event per wave" true (List.length events > 0);
+  List.iter
+    (fun (p : Engine.progress) ->
+      Alcotest.(check int) "masked + sdc + crash = cases_done" p.Engine.cases_done
+        (p.Engine.masked + p.Engine.sdc + p.Engine.crash);
+      Alcotest.(check int) "total is the case space" p.Engine.cases_total
+        (Bytes.length report.Engine.ground_truth.Ground_truth.outcomes))
+    events;
+  (* monotone, and the last event covers the whole space *)
+  ignore
+    (List.fold_left
+       (fun prev (p : Engine.progress) ->
+         Alcotest.(check bool) "cases_done is monotone" true (p.Engine.cases_done >= prev);
+         p.Engine.cases_done)
+       0 events);
+  let last = List.nth events (List.length events - 1) in
+  Alcotest.(check int) "final event is complete" last.Engine.cases_total
+    last.Engine.cases_done
+
+let test_cancel_checkpoints_and_resumes () =
+  let g = Lazy.force golden in
+  let path = tmp "cancelled" in
+  let reference = Ground_truth.run g in
+  let waves = ref 0 in
+  let config =
+    {
+      (engine_config ~shard_size:4 ~domains:1) with
+      Engine.progress = Some (fun _ -> incr waves);
+      cancel = Some (fun () -> !waves >= 2);
+    }
+  in
+  (match Engine.run ~config ~checkpoint:path g with
+  | _ -> Alcotest.fail "cancel callback ignored"
+  | exception Engine.Cancelled -> ());
+  let state = Checkpoint.load ~path ~shard_size:4 g in
+  Alcotest.(check bool) "cancel left a resumable partial checkpoint" true
+    (Checkpoint.completed_count state > 0 && not (Checkpoint.is_complete state));
+  let report =
+    Engine.run ~config:(engine_config ~shard_size:4 ~domains:1) ~checkpoint:path g
+  in
+  Alcotest.(check bool) "resume skipped the cancelled prefix" true
+    (report.Engine.resumed_shards > 0);
+  Alcotest.(check bytes) "bit-identical after cancel + resume"
+    reference.Ground_truth.outcomes
+    report.Engine.ground_truth.Ground_truth.outcomes;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
 (* Engine: crash isolation and retries                                 *)
 
 let test_engine_retries_flaky_shard () =
@@ -390,6 +451,10 @@ let suite =
       test_engine_serial_matches_parallel;
     Alcotest.test_case "engine = plain campaign paths" `Quick
       test_engine_matches_plain_campaign_paths;
+    Alcotest.test_case "progress counts are consistent" `Quick
+      test_progress_counts_are_consistent;
+    Alcotest.test_case "cancel checkpoints and resumes" `Quick
+      test_cancel_checkpoints_and_resumes;
     Alcotest.test_case "engine retries flaky shard" `Quick test_engine_retries_flaky_shard;
     Alcotest.test_case "engine gives up after retry budget" `Quick
       test_engine_gives_up_after_retry_budget;

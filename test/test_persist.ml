@@ -117,6 +117,27 @@ let test_garbage_rejected () =
   | _ -> Alcotest.fail "garbage accepted as samples");
   Sys.remove path
 
+let test_atomic_write_failure_leaves_no_tmp () =
+  (* A failure inside the writer must unlink the temp file... *)
+  let path = temp_path "atomic_raise" in
+  (match Persist.with_out_atomic path (fun _ -> failwith "disk on fire") with
+  | () -> Alcotest.fail "failing writer succeeded"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "no tmp after writer failure" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check bool) "no target after writer failure" false (Sys.file_exists path);
+  (* ...and so must a failure *after* the writer, between temp-file
+     creation and rename: renaming a file onto an existing directory
+     fails, which models any rename-stage error. *)
+  let dir = temp_path "atomic_rename_dir" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (match Persist.with_out_atomic dir (fun oc -> output_string oc "payload") with
+  | () -> Alcotest.fail "rename onto a directory succeeded"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "no tmp after rename failure" false
+    (Sys.file_exists (dir ^ ".tmp"));
+  Unix.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "ground truth roundtrip" `Quick test_ground_truth_roundtrip;
@@ -127,4 +148,6 @@ let suite =
       test_samples_with_nonfinite_errors;
     Alcotest.test_case "samples name mismatch" `Quick test_samples_name_mismatch;
     Alcotest.test_case "garbage rejected" `Quick test_garbage_rejected;
+    Alcotest.test_case "atomic write failure leaves no tmp" `Quick
+      test_atomic_write_failure_leaves_no_tmp;
   ]

@@ -1,0 +1,347 @@
+(* The service layer's building blocks: the JSON codec, length-prefixed
+   wire framing over real descriptors, job descriptor round-trips, and
+   the bounded priority queue's ordering and backpressure. The end-to-end
+   daemon paths (submit -> watch -> complete, crash/restart) live in
+   service_smoke.ml under the @service-smoke alias. *)
+
+module Json = Ftb_service.Json
+module Wire = Ftb_service.Wire
+module Job = Ftb_service.Job
+module Job_queue = Ftb_service.Job_queue
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+
+let roundtrip v = Json.of_string (Json.to_string v)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.5;
+      Json.Float (-1.25e-9);
+      Json.Float 3.141592653589793;
+      Json.String "";
+      Json.String "hello";
+      Json.String "quote \" slash \\ newline \n tab \t ctrl \001";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        "to_string . of_string . to_string is stable" (Json.to_string v)
+        (Json.to_string (roundtrip v)))
+    samples
+
+let test_json_unicode_escapes () =
+  (* \u escapes decode to UTF-8, including a surrogate pair. *)
+  (match Json.of_string {|"éA"|} with
+  | Json.String s -> Alcotest.(check string) "BMP escapes" "\xc3\xa9A" s
+  | _ -> Alcotest.fail "expected a string");
+  match Json.of_string {|"😀"|} with
+  | Json.String s -> Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_nonfinite_floats () =
+  (* Non-finite floats serialize as tagged strings and read back. *)
+  let check name f =
+    let s = Json.to_string (Json.Float f) in
+    match Json.to_float (Json.of_string s) with
+    | Some f' ->
+        Alcotest.(check bool) name true (f = f' || (Float.is_nan f && Float.is_nan f'))
+    | None -> Alcotest.fail (name ^ ": did not read back as a float")
+  in
+  check "inf" infinity;
+  check "-inf" neg_infinity;
+  check "nan" Float.nan
+
+let test_json_rejects_garbage () =
+  let rejects s =
+    match Json.of_string s with
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+    | exception Json.Parse_error _ -> ()
+  in
+  List.iter rejects
+    [
+      "";
+      "nul";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "\"\\ud800 lone\"";
+      "1 2";
+      "{} trailing";
+      "--5";
+    ]
+
+let test_json_accessors () =
+  let v = Json.of_string {|{"n":3,"f":1.5,"s":"x","b":true,"l":[1],"z":null}|} in
+  let get name = Option.get (Json.member name v) in
+  Alcotest.(check (option int)) "int" (Some 3) (Json.to_int (get "n"));
+  Alcotest.(check bool) "float" true (Json.to_float (get "f") = Some 1.5);
+  Alcotest.(check bool) "int as float" true (Json.to_float (get "n") = Some 3.0);
+  Alcotest.(check (option string)) "string" (Some "x") (Json.to_str (get "s"));
+  Alcotest.(check (option bool)) "bool" (Some true) (Json.to_bool (get "b"));
+  Alcotest.(check int) "list" 1 (List.length (Option.get (Json.to_list (get "l"))));
+  Alcotest.(check bool) "missing member" true (Json.member "nope" v = None);
+  Alcotest.(check (option int)) "wrong type" None (Json.to_int (get "s"))
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing                                                        *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_wire_roundtrip () =
+  with_socketpair (fun a b ->
+      (* two back-to-back frames: boundaries come from the prefix, not
+         from read granularity *)
+      let small =
+        [ Json.Obj [ ("cmd", Json.String "status"); ("id", Json.Int 7) ]; Json.List [] ]
+      in
+      List.iter (Wire.write a) small;
+      List.iter
+        (fun sent ->
+          Alcotest.(check string) "frame round-trips" (Json.to_string sent)
+            (Json.to_string (Wire.read b)))
+        small;
+      (* a frame bigger than one read(2) call returns *)
+      let big = Json.String (String.make 100_000 'x') in
+      Wire.write a big;
+      Alcotest.(check string) "large frame round-trips" (Json.to_string big)
+        (Json.to_string (Wire.read b)))
+
+let test_wire_eof_is_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Wire.read b with
+      | _ -> Alcotest.fail "read from closed peer succeeded"
+      | exception Wire.Closed -> ())
+
+let test_wire_truncation_is_protocol_error () =
+  with_socketpair (fun a b ->
+      (* A length prefix promising 100 bytes, then EOF after 3. *)
+      let buf = Bytes.create 7 in
+      Bytes.set_int32_be buf 0 100l;
+      Bytes.blit_string "abc" 0 buf 4 3;
+      ignore (Unix.write a buf 0 7);
+      Unix.close a;
+      match Wire.read b with
+      | _ -> Alcotest.fail "truncated frame accepted"
+      | exception Wire.Protocol_error _ -> ())
+
+let test_wire_oversized_frame_rejected () =
+  with_socketpair (fun a b ->
+      let buf = Bytes.create 4 in
+      Bytes.set_int32_be buf 0 (Int32.of_int (Wire.max_frame + 1));
+      ignore (Unix.write a buf 0 4);
+      match Wire.read b with
+      | _ -> Alcotest.fail "oversized frame accepted"
+      | exception Wire.Protocol_error _ -> ())
+
+let test_wire_bad_payload_is_protocol_error () =
+  with_socketpair (fun a b ->
+      let payload = "not json at all" in
+      let n = String.length payload in
+      let buf = Bytes.create (4 + n) in
+      Bytes.set_int32_be buf 0 (Int32.of_int n);
+      Bytes.blit_string payload 0 buf 4 n;
+      ignore (Unix.write a buf 0 (4 + n));
+      match Wire.read b with
+      | _ -> Alcotest.fail "unparseable payload accepted"
+      | exception Wire.Protocol_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Job descriptors                                                     *)
+
+let sample_info =
+  {
+    Job.id = 3;
+    spec =
+      {
+        Job.bench = "cg";
+        mode = Job.Sample { fraction = 0.25; seed = 99 };
+        shard_size = 128;
+        fuel = Some 1000;
+        priority = 2;
+      };
+    status = Job.Failed "worker died";
+    counts = { Job.cases_done = 10; cases_total = 40; masked = 6; sdc = 3; crash = 1 };
+    submitted = 1700000000.5;
+    started = Some 1700000001.5;
+    finished = None;
+  }
+
+let test_job_spec_roundtrip () =
+  let specs =
+    [
+      Job.default_spec ~bench:"cg";
+      { (Job.default_spec ~bench:"lu") with Job.fuel = None; priority = -3 };
+      sample_info.Job.spec;
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let back = Job.spec_of_json (Job.spec_to_json spec) in
+      Alcotest.(check bool) "spec round-trips" true (back = spec))
+    specs
+
+let test_job_info_roundtrip () =
+  let infos =
+    [
+      sample_info;
+      { sample_info with Job.status = Job.Queued; started = None };
+      { sample_info with Job.status = Job.Running };
+      { sample_info with Job.status = Job.Completed; finished = Some 1700000009. };
+      { sample_info with Job.status = Job.Cancelled };
+    ]
+  in
+  List.iter
+    (fun info ->
+      let back = Job.info_of_json (Job.info_to_json info) in
+      Alcotest.(check bool)
+        (Printf.sprintf "info round-trips (%s)" (Job.status_name info.Job.status))
+        true (back = info))
+    infos
+
+let test_job_spec_validation () =
+  let rejects json =
+    match Job.spec_of_json (Json.of_string json) with
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %s" json)
+    | exception Job.Decode_error _ -> ()
+  in
+  List.iter rejects
+    [
+      {|{"mode":"exhaustive","shard_size":64,"priority":0}|} (* no bench *);
+      {|{"bench":"cg","mode":"exhaustive","shard_size":0,"priority":0}|};
+      {|{"bench":"cg","mode":"exhaustive","shard_size":64,"fuel":0,"priority":0}|};
+      {|{"bench":"cg","mode":"sample","fraction":0.0,"seed":1,"shard_size":64,"priority":0}|};
+      {|{"bench":"cg","mode":"sample","fraction":1.5,"seed":1,"shard_size":64,"priority":0}|};
+      {|{"bench":"cg","mode":"warp","shard_size":64,"priority":0}|};
+    ]
+
+let test_job_save_load_all () =
+  let state_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb_service_jobs_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists state_dir then rm state_dir;
+  let job id status = { sample_info with Job.id; status } in
+  Job.save ~state_dir (job 5 Job.Queued);
+  Job.save ~state_dir (job 1 Job.Completed);
+  Job.save ~state_dir (job 9 Job.Running);
+  (* a half-created job directory must not brick loading *)
+  Unix.mkdir (Filename.concat state_dir "jobs/garbage") 0o755;
+  let oc = open_out (Filename.concat state_dir "jobs/9/stray.txt") in
+  output_string oc "not a descriptor";
+  close_out oc;
+  let loaded = Job.load_all ~state_dir in
+  Alcotest.(check (list int)) "sorted by id, garbage skipped" [ 1; 5; 9 ]
+    (List.map (fun (i : Job.info) -> i.Job.id) loaded);
+  rm state_dir
+
+(* ------------------------------------------------------------------ *)
+(* Bounded priority queue                                              *)
+
+let queued id priority =
+  {
+    sample_info with
+    Job.id;
+    status = Job.Queued;
+    spec = { sample_info.Job.spec with Job.priority };
+  }
+
+let ids q = List.map (fun (i : Job.info) -> i.Job.id) (Job_queue.to_list q)
+
+let test_queue_priority_order () =
+  let q = Job_queue.create ~capacity:10 in
+  List.iter
+    (fun (id, prio) ->
+      match Job_queue.add q (queued id prio) with
+      | Ok () -> ()
+      | Error (`Full _) -> Alcotest.fail "queue full under capacity")
+    [ (1, 0); (2, 5); (3, 0); (4, 5); (5, -1) ];
+  (* highest priority first, FIFO (lowest id) within a priority *)
+  Alcotest.(check (list int)) "dispatch order" [ 2; 4; 1; 3; 5 ] (ids q);
+  Alcotest.(check bool) "pop follows order" true
+    ((Option.get (Job_queue.pop q)).Job.id = 2);
+  Alcotest.(check (list int)) "pop removed the head" [ 4; 1; 3; 5 ] (ids q)
+
+let test_queue_backpressure () =
+  let q = Job_queue.create ~capacity:2 in
+  Alcotest.(check bool) "first add" true (Job_queue.add q (queued 1 0) = Ok ());
+  Alcotest.(check bool) "second add" true (Job_queue.add q (queued 2 0) = Ok ());
+  (match Job_queue.add q (queued 3 0) with
+  | Error (`Full capacity) -> Alcotest.(check int) "reports its bound" 2 capacity
+  | Ok () -> Alcotest.fail "grew past capacity");
+  (* restore bypasses the bound: restart re-queue must never drop jobs *)
+  Job_queue.restore q (queued 4 9);
+  Alcotest.(check int) "restored over capacity" 3 (Job_queue.length q);
+  Alcotest.(check bool) "restored job dispatches first" true
+    ((Option.get (Job_queue.pop q)).Job.id = 4)
+
+let test_queue_remove () =
+  let q = Job_queue.create ~capacity:5 in
+  List.iter (fun id -> ignore (Job_queue.add q (queued id 0))) [ 1; 2; 3 ];
+  Alcotest.(check bool) "remove hits" true
+    (match Job_queue.remove q 2 with Some i -> i.Job.id = 2 | None -> false);
+  Alcotest.(check bool) "remove misses" true (Job_queue.remove q 2 = None);
+  Alcotest.(check (list int)) "survivors keep their order" [ 1; 3 ] (ids q)
+
+let test_queue_rejects_bad_capacity () =
+  match Job_queue.create ~capacity:0 with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite_floats;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire EOF is Closed" `Quick test_wire_eof_is_closed;
+    Alcotest.test_case "wire truncation is protocol error" `Quick
+      test_wire_truncation_is_protocol_error;
+    Alcotest.test_case "wire oversized frame rejected" `Quick
+      test_wire_oversized_frame_rejected;
+    Alcotest.test_case "wire bad payload is protocol error" `Quick
+      test_wire_bad_payload_is_protocol_error;
+    Alcotest.test_case "job spec round-trip" `Quick test_job_spec_roundtrip;
+    Alcotest.test_case "job info round-trip" `Quick test_job_info_roundtrip;
+    Alcotest.test_case "job spec validation" `Quick test_job_spec_validation;
+    Alcotest.test_case "job save/load_all" `Quick test_job_save_load_all;
+    Alcotest.test_case "queue priority order" `Quick test_queue_priority_order;
+    Alcotest.test_case "queue backpressure" `Quick test_queue_backpressure;
+    Alcotest.test_case "queue remove" `Quick test_queue_remove;
+    Alcotest.test_case "queue rejects bad capacity" `Quick
+      test_queue_rejects_bad_capacity;
+  ]

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: build, the whole test suite, and every end-to-end
+# smoke alias, on a bounded domain count so the run is reproducible on
+# small CI machines. FTB_DOMAINS can be overridden from the environment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export FTB_DOMAINS="${FTB_DOMAINS:-2}"
+
+echo "== dune build (FTB_DOMAINS=$FTB_DOMAINS)"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== smoke aliases"
+dune build @campaign-smoke @bench-smoke @service-smoke --force
+
+echo "all checks passed"
