@@ -127,6 +127,9 @@ let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_ever
         domains;
         fuel;
         resume;
+        (* A corrupt checkpoint should cost the user the resume, not the
+           campaign: quarantine it for post-mortem and rebuild. *)
+        on_invalid_checkpoint = E.Restart;
         on_checkpoint =
           (if checkpoint = None then None
            else
@@ -137,6 +140,13 @@ let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_ever
       }
     in
     let report = E.run ~config ?checkpoint golden in
+    (match report.E.quarantined with
+    | Some path ->
+        Printf.printf
+          "warning: checkpoint was corrupt — moved to %s, campaign restarted from \
+           scratch\n"
+          path
+    | None -> ());
     let gt = report.E.ground_truth in
     Printf.printf "exhaustive campaign:\n  masked %s\n  sdc    %s\n  crash  %s\n"
       (pct (Ftb_inject.Ground_truth.masked_ratio gt))
@@ -538,22 +548,31 @@ let domains_of_flag = function
           Printf.eprintf "%s\n" msg;
           exit 2)
 
-let serve_run () state socket tcp capacity domains checkpoint_every =
+let serve_run () state socket tcp capacity domains checkpoint_every stuck_after =
   let domains = domains_of_flag domains in
   let socket = Option.value socket ~default:(socket_of_state state) in
+  (match stuck_after with
+  | Some d when d <= 0. ->
+      Printf.eprintf "--stuck-after must be positive (got %g)\n" d;
+      exit 2
+  | _ -> ());
   let config =
     {
       (Service.Server.default_config ~state_dir:state) with
       Service.Server.capacity;
       domains;
       checkpoint_every;
+      stuck_after;
     }
   in
   let t = Service.Server.create config in
-  Printf.printf "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d\n%!"
+  Printf.printf "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d%s\n%!"
     state socket domains
     (if domains = 1 then "" else "s")
-    capacity;
+    capacity
+    (match stuck_after with
+    | Some d -> Printf.sprintf ", stuck watchdog %gs" d
+    | None -> "");
   Service.Server.run ?tcp ~socket t;
   Printf.printf "ftb daemon: drained\n"
 
@@ -586,11 +605,21 @@ let serve_cmd =
       & info [ "checkpoint-every" ] ~docv:"N"
           ~doc:"Shard waves between checkpoint writes for exhaustive jobs.")
   in
+  let stuck_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stuck-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Stuck-job watchdog: a running job that completes no shard wave for \
+             this long is marked $(b,stuck) (terminal, checkpoint preserved) and \
+             the queue moves on. Off by default.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the persistent campaign daemon")
     Term.(
       const serve_run $ logs_term $ state_arg $ socket_arg $ tcp_arg $ capacity_arg
-      $ domains_arg $ checkpoint_every_arg)
+      $ domains_arg $ checkpoint_every_arg $ stuck_after_arg)
 
 let with_client socket f =
   let socket = Option.value socket ~default:(socket_of_state default_state_dir) in
@@ -617,20 +646,45 @@ let print_progress (e : Service.Client.event) =
             else float_of_int cases_done /. float_of_int cases_total))
         masked sdc crash cases_per_sec
 
+let print_final id (job : Service.Job.info) =
+  Printf.printf "job %d %s\n" id (Service.Job.status_name job.Service.Job.status);
+  (match job.Service.Job.status with
+  | Service.Job.Failed msg -> Printf.printf "  error: %s\n" msg
+  | Service.Job.Stuck ->
+      Printf.printf
+        "  no shard-wave progress within the daemon's --stuck-after deadline\n\
+        \  checkpoint preserved under the state directory; resubmit to retry,\n\
+        \  or restart the daemon with a longer deadline\n"
+  | _ -> ());
+  let c = job.Service.Job.counts in
+  if c.Service.Job.cases_done > 0 then
+    Printf.printf "  %d cases: %d masked, %d sdc, %d crash\n" c.Service.Job.cases_done
+      c.Service.Job.masked c.Service.Job.sdc c.Service.Job.crash
+
 let watch_until_done client id =
   match Service.Client.watch ~on_event:print_progress client id with
   | Error e -> die_error "watch" e
-  | Ok job ->
-      Printf.printf "job %d %s\n" id (Service.Job.status_name job.Service.Job.status);
-      (match job.Service.Job.status with
-      | Service.Job.Failed msg -> Printf.printf "  error: %s\n" msg
-      | _ -> ());
-      let c = job.Service.Job.counts in
-      if c.Service.Job.cases_done > 0 then
-        Printf.printf "  %d cases: %d masked, %d sdc, %d crash\n" c.Service.Job.cases_done
-          c.Service.Job.masked c.Service.Job.sdc c.Service.Job.crash
+  | Ok job -> print_final id job
 
-let submit_run () name socket fraction seed shard_size fuel priority no_watch =
+let endpoint_of socket =
+  let socket = Option.value socket ~default:(socket_of_state default_state_dir) in
+  (socket, Service.Client.unix_endpoint ~socket)
+
+let die_unreachable socket exn =
+  Printf.eprintf
+    "cannot reach daemon at %s after retries: %s (is `ftb serve` running?)\n" socket
+    (match exn with
+    | Unix.Unix_error (err, _, _) -> Unix.error_message err
+    | e -> Printexc.to_string e);
+  exit 1
+
+let watch_retry_until_done socket endpoint id =
+  match Service.Client.watch_retry ~on_event:print_progress endpoint id with
+  | Error e -> die_error "watch" e
+  | Ok job -> print_final id job
+  | exception exn -> die_unreachable socket exn
+
+let submit_run () name socket fraction seed shard_size fuel priority no_watch idem =
   let mode =
     match fraction with
     | Some fraction -> Service.Job.Sample { fraction; seed }
@@ -645,16 +699,31 @@ let submit_run () name socket fraction seed shard_size fuel priority no_watch =
       fuel = (match fuel with Some _ -> fuel | None -> (Service.Job.default_spec ~bench:name).Service.Job.fuel);
     }
   in
-  with_client socket (fun client ->
-      match Service.Client.submit client spec with
+  let announce id =
+    Printf.printf "job %d queued (%s, %s)\n%!" id name
+      (match mode with
+      | Service.Job.Exhaustive -> "exhaustive"
+      | Service.Job.Sample { fraction; _ } -> Printf.sprintf "sample %s" (pct fraction))
+  in
+  match idem with
+  | Some key -> (
+      (* An idempotency key makes blind retry safe: the whole submission
+         goes through the backoff-retrying client, and a resubmission
+         whose first ACK was lost dedupes server-side to the same job. *)
+      let sock, endpoint = endpoint_of socket in
+      match Service.Client.submit_retry endpoint ~idem:key spec with
       | Error e -> die_error "submit" e
+      | exception exn -> die_unreachable sock exn
       | Ok id ->
-          Printf.printf "job %d queued (%s, %s)\n%!" id name
-            (match mode with
-            | Service.Job.Exhaustive -> "exhaustive"
-            | Service.Job.Sample { fraction; _ } ->
-                Printf.sprintf "sample %s" (pct fraction));
-          if not no_watch then watch_until_done client id)
+          announce id;
+          if not no_watch then watch_retry_until_done sock endpoint id)
+  | None ->
+      with_client socket (fun client ->
+          match Service.Client.submit client spec with
+          | Error e -> die_error "submit" e
+          | Ok id ->
+              announce id;
+              if not no_watch then watch_until_done client id)
 
 let submit_cmd =
   let fraction_opt_arg =
@@ -689,11 +758,22 @@ let submit_cmd =
       & info [ "no-watch"; "detach" ]
           ~doc:"Print the job id and return instead of streaming progress until done.")
   in
+  let idem_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "idem" ] ~docv:"KEY"
+          ~doc:
+            "Idempotency key. Enables the retrying client (backoff tuned by \
+             $(b,FTB_RETRY_BASE), $(b,FTB_RETRY_CAP), $(b,FTB_RETRY_ATTEMPTS)): \
+             a resubmission with the same key maps to the already-created job \
+             instead of running the campaign twice.")
+  in
   Cmd.v
     (Cmd.info "submit" ~doc:"Queue a campaign on a running daemon")
     Term.(
       const submit_run $ logs_term $ bench_arg $ socket_arg $ fraction_opt_arg $ seed_arg
-      $ shard_size_arg $ fuel_arg $ priority_arg $ no_watch_arg)
+      $ shard_size_arg $ fuel_arg $ priority_arg $ no_watch_arg $ idem_arg)
 
 let jobs_run () socket json =
   with_client socket (fun client ->
@@ -734,7 +814,13 @@ let job_id_arg =
   Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Job id.")
 
 let watch_cmd =
-  let run () socket id = with_client socket (fun client -> watch_until_done client id) in
+  (* Watching is read-only, so it always goes through the reconnecting
+     client: a daemon restart mid-stream shows up as a short pause, not a
+     dropped session, and resumed streams never repeat a wave. *)
+  let run () socket id =
+    let sock, endpoint = endpoint_of socket in
+    watch_retry_until_done sock endpoint id
+  in
   Cmd.v
     (Cmd.info "watch" ~doc:"Stream a daemon job's progress until it finishes")
     Term.(const run $ logs_term $ socket_arg $ job_id_arg)

@@ -59,23 +59,26 @@ let ground_truth golden t =
   Ground_truth.of_outcomes golden t.outcomes
 
 (* ------------------------------------------------------------------ *)
-(* Format v2:
+(* Format v2 (payload inside a Persist integrity envelope):
      ftb-campaign-v2 <program> <sites> <shard_size> <fingerprint>
      <manifest: one '0'/'1' per shard>
      <raw outcome bytes, full length; incomplete shards are padding>
-   A complete ground-truth file (Persist v1/v2) is accepted as a fully
-   completed checkpoint, so finished campaigns saved before the resumable
-   engine existed can seed a resume directly. *)
+   Files written before the envelope existed carry the same payload with
+   no envelope and still load (unverified). A complete ground-truth file
+   (Persist v1/v2) is accepted as a fully completed checkpoint, so
+   finished campaigns saved before the resumable engine existed can seed
+   a resume directly. *)
 
 let magic = "ftb-campaign-v2"
 
 let save ~path t =
-  Persist.with_out_atomic path (fun oc ->
-      Printf.fprintf oc "%s %s %d %d %s\n" magic t.program t.sites t.shard_size
-        t.fingerprint;
-      Array.iter (fun c -> output_char oc (if c then '1' else '0')) t.completed;
-      output_char oc '\n';
-      output_bytes oc t.outcomes)
+  Persist.save_enveloped ~path (fun b ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %s %d %d %s\n" magic t.program t.sites t.shard_size
+           t.fingerprint);
+      Array.iter (fun c -> Buffer.add_char b (if c then '1' else '0')) t.completed;
+      Buffer.add_char b '\n';
+      Buffer.add_bytes b t.outcomes)
 
 let validate_bytes ~path t =
   Array.iteri
@@ -95,7 +98,10 @@ let validate_bytes ~path t =
       end)
     t.completed
 
-let load_campaign ~path golden ic header =
+(* [payload] is the envelope-verified (or legacy raw) file content; parse
+   it as header line, manifest line, then raw outcome bytes. *)
+let load_campaign ~path golden payload header_end =
+  let header = String.sub payload 0 header_end in
   match String.split_on_char ' ' header with
   | [ m; program; sites; shard_size; fingerprint ] when m = magic ->
       let int_field what s =
@@ -118,10 +124,13 @@ let load_campaign ~path golden ic header =
           fingerprint expected;
       let total = Golden.cases golden in
       let n_shards = Shard.count ~total ~shard_size in
+      let manifest_end =
+        match String.index_from_opt payload (header_end + 1) '\n' with
+        | Some nl -> nl
+        | None -> fail "%s:2: missing shard manifest" path
+      in
       let manifest =
-        match input_line ic with
-        | line -> line
-        | exception End_of_file -> fail "%s:2: missing shard manifest" path
+        String.sub payload (header_end + 1) (manifest_end - header_end - 1)
       in
       if String.length manifest <> n_shards then
         fail "%s:2: manifest has %d entries, expected %d shards" path
@@ -133,9 +142,9 @@ let load_campaign ~path golden ic header =
             | '0' -> false
             | c -> fail "%s:2: bad manifest flag %C for shard %d" path c i)
       in
-      let outcomes = Bytes.create total in
-      (try really_input ic outcomes 0 total
-       with End_of_file -> fail "%s: truncated outcome data" path);
+      if String.length payload - manifest_end - 1 < total then
+        fail "%s: truncated outcome data" path;
+      let outcomes = Bytes.of_string (String.sub payload (manifest_end + 1) total) in
       let t = { program; sites; shard_size; fingerprint; completed; outcomes } in
       validate_bytes ~path t;
       t
@@ -143,24 +152,25 @@ let load_campaign ~path golden ic header =
   | _ -> fail "%s:1: bad magic in %S (expected %s)" path header magic
 
 let load ~path ~shard_size golden =
-  let ic =
-    try open_in_bin path
-    with Sys_error msg -> fail "%s: cannot open: %s" path msg
+  let payload = Persist.load_enveloped ~path in
+  if payload = "" then fail "%s:1: empty checkpoint" path;
+  let is_campaign =
+    String.length payload >= String.length magic
+    && String.sub payload 0 (String.length magic) = magic
   in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      let header =
-        match input_line ic with
-        | line -> line
-        | exception End_of_file -> fail "%s:1: empty checkpoint" path
-      in
-      if String.length header >= String.length magic
-         && String.sub header 0 (String.length magic) = magic
-      then load_campaign ~path golden ic header
-      else begin
-        (* Fall back to a complete ground-truth file (Persist v1/v2). *)
-        let gt = Persist.load_ground_truth ~path golden in
-        let t = create golden ~shard_size in
-        Bytes.blit gt.Ground_truth.outcomes 0 t.outcomes 0 (Bytes.length t.outcomes);
-        Array.fill t.completed 0 (Array.length t.completed) true;
-        t
-      end)
+  if is_campaign then begin
+    let header_end =
+      match String.index_opt payload '\n' with
+      | Some nl -> nl
+      | None -> fail "%s:1: malformed checkpoint header" path
+    in
+    load_campaign ~path golden payload header_end
+  end
+  else begin
+    (* Fall back to a complete ground-truth file (Persist v1/v2). *)
+    let gt = Persist.load_ground_truth ~path golden in
+    let t = create golden ~shard_size in
+    Bytes.blit gt.Ground_truth.outcomes 0 t.outcomes 0 (Bytes.length t.outcomes);
+    Array.fill t.completed 0 (Array.length t.completed) true;
+    t
+  end

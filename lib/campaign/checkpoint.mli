@@ -7,14 +7,18 @@
     file on disk is always a complete checkpoint — a killed campaign
     resumes from its last checkpoint with no recovery step.
 
-    On-disk format v2:
+    On-disk, the payload below is wrapped in the
+    {!Ftb_inject.Persist.save_enveloped} integrity envelope (length +
+    CRC32), so a flipped byte or torn write is detected on load before
+    any field is trusted:
     {v
     ftb-campaign-v2 <program> <sites> <shard_size> <golden-fingerprint>
     <manifest: one '0'/'1' per shard>
     <raw outcome bytes, full length>
     v}
 
-    Loading also accepts a complete ground-truth file
+    Pre-envelope files carry the same payload bare and still load
+    (unverified). Loading also accepts a complete ground-truth file
     ({!Ftb_inject.Persist}, v1 or v2) as a fully-completed checkpoint. *)
 
 type t = {

@@ -53,6 +53,7 @@ type report = {
   executed_shards : int;
   retries : int;
   checkpoints_written : int;
+  quarantined : string option;
 }
 
 let check_config c =
@@ -64,18 +65,23 @@ let check_config c =
   | Some n when n <= 0 -> invalid_arg "Engine: fuel must be positive"
   | _ -> ()
 
+(* Returns the resumed (or fresh) state plus the quarantine destination
+   when an invalid checkpoint was found under [Restart]: the corrupt file
+   is moved aside as evidence — never resumed from, never overwritten in
+   place — and the campaign rebuilds from scratch. *)
 let initial_state ~config ~checkpoint golden =
   match checkpoint with
   | Some path when config.resume && Sys.file_exists path -> (
       match Checkpoint.load ~path ~shard_size:config.shard_size golden with
-      | state -> state
+      | state -> (state, None)
       | exception Persist.Format_error _ when config.on_invalid_checkpoint = Restart ->
-          Checkpoint.create golden ~shard_size:config.shard_size)
-  | Some _ | None -> Checkpoint.create golden ~shard_size:config.shard_size
+          let quarantined = Persist.quarantine ~path in
+          (Checkpoint.create golden ~shard_size:config.shard_size, quarantined))
+  | Some _ | None -> (Checkpoint.create golden ~shard_size:config.shard_size, None)
 
 let run ?(config = default_config) ?checkpoint ?case_runner golden =
   check_config config;
-  let state = initial_state ~config ~checkpoint golden in
+  let state, quarantined = initial_state ~config ~checkpoint golden in
   let total = Golden.cases golden in
   let total_shards = Checkpoint.shards state in
   let resumed_shards = Checkpoint.completed_count state in
@@ -236,4 +242,5 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
     executed_shards = !executed;
     retries = !retries;
     checkpoints_written = !checkpoints_written;
+    quarantined;
   }

@@ -25,7 +25,10 @@
 
 type invalid_checkpoint =
   | Fail  (** propagate {!Ftb_inject.Persist.Format_error} to the caller *)
-  | Restart  (** discard the bad checkpoint and start fresh *)
+  | Restart
+      (** quarantine the bad checkpoint ({!Ftb_inject.Persist.quarantine})
+          and start fresh; the evidence path is reported in
+          [report.quarantined] *)
 
 type progress = {
   cases_done : int;  (** cases inside completed shards *)
@@ -89,6 +92,9 @@ type report = {
   executed_shards : int;  (** shards actually run in this invocation *)
   retries : int;  (** failed shard attempts that were re-queued *)
   checkpoints_written : int;
+  quarantined : string option;
+      (** where an invalid checkpoint was moved when
+          [on_invalid_checkpoint = Restart] fired; [None] on a clean run *)
 }
 
 val run :

@@ -7,6 +7,26 @@ exception Format_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Format_error msg)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, reflected), table-driven.                        *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
 (* All writes go through a temp-file + atomic rename so a killed process can
    never leave a truncated campaign or samples file behind: readers see
    either the previous complete file or the new complete file. The temp
@@ -25,6 +45,96 @@ let with_out_atomic path f =
           close_out_noerr oc;
           raise e);
       Sys.rename tmp path)
+
+(* ------------------------------------------------------------------ *)
+(* Integrity envelope: a checksummed, versioned wrapper around a whole
+   durable artifact. The first line declares the payload length and its
+   CRC32, so a torn write (rename survived, data did not), a truncation,
+   or any flipped byte is detected before a single payload byte is
+   trusted. Files written before the envelope existed do not start with
+   the envelope magic and are returned as-is — legacy artifacts keep
+   loading, they just carry no integrity evidence. *)
+
+let envelope_magic = "ftb-envelope-v1"
+
+let save_enveloped ~path f =
+  let buf = Buffer.create 4096 in
+  f buf;
+  let payload = Buffer.contents buf in
+  with_out_atomic path (fun oc ->
+      Printf.fprintf oc "%s %d %08x\n" envelope_magic (String.length payload)
+        (crc32 payload);
+      output_string oc payload)
+
+let read_file path =
+  let ic =
+    try open_in_bin path with Sys_error msg -> fail "%s: cannot open: %s" path msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_enveloped contents =
+  String.length contents > String.length envelope_magic
+  && String.sub contents 0 (String.length envelope_magic) = envelope_magic
+
+let load_enveloped ~path =
+  let contents = read_file path in
+  if not (is_enveloped contents) then contents
+  else begin
+    let nl =
+      match String.index_opt contents '\n' with
+      | Some nl -> nl
+      | None -> fail "%s:1: truncated envelope header" path
+    in
+    let header = String.sub contents 0 nl in
+    (match String.split_on_char ' ' header with
+    | [ _magic; length; crc ] ->
+        let declared_length =
+          match int_of_string_opt length with
+          | Some n when n >= 0 -> n
+          | Some _ | None -> fail "%s:1: bad envelope payload length %S" path length
+        in
+        let declared_crc =
+          match int_of_string_opt ("0x" ^ crc) with
+          | Some c -> c
+          | None -> fail "%s:1: bad envelope checksum %S" path crc
+        in
+        let payload_length = String.length contents - nl - 1 in
+        if payload_length <> declared_length then
+          fail "%s: torn or truncated artifact (%d payload bytes, envelope declares %d)"
+            path payload_length declared_length;
+        let payload = String.sub contents (nl + 1) payload_length in
+        let actual = crc32 payload in
+        if actual <> declared_crc then
+          fail "%s: checksum mismatch (stored %08x, computed %08x) — artifact is corrupt"
+            path declared_crc actual;
+        payload
+    | _ -> fail "%s:1: malformed envelope header %S" path header)
+  end
+
+(* Corrupt artifacts are preserved for post-mortem instead of deleted:
+   they move into a [quarantine/] sibling directory, freeing the original
+   path for a rebuilt artifact. Quarantine never throws — failing to
+   preserve evidence must not block recovery. *)
+let quarantine ~path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let dir = Filename.concat (Filename.dirname path) "quarantine" in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let base = Filename.basename path in
+    let rec candidate n =
+      let dest =
+        if n = 0 then Filename.concat dir base
+        else Filename.concat dir (Printf.sprintf "%s.%d" base n)
+      in
+      if Sys.file_exists dest && n < 10_000 then candidate (n + 1) else dest
+    in
+    let dest = candidate 0 in
+    match Sys.rename path dest with
+    | () -> Some dest
+    | exception Sys_error _ -> None
+  end
 
 (* Readers carry the source path and a running line counter so every parse
    error is attributed as "path:line: message". *)

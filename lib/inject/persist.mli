@@ -30,6 +30,40 @@ val with_out_atomic : string -> (out_channel -> unit) -> unit
     removed and [path] is untouched. Exposed for other persistence layers
     (the campaign checkpoint writer). *)
 
+(** {1 Integrity envelope}
+
+    Atomic writes guarantee a file is never half-written by a clean
+    writer, but they cannot defend against what the paper studies: silent
+    corruption of durable state after the write (flipped bits, torn
+    sectors, hostile edits). The envelope adds that defence — a versioned
+    header [ftb-envelope-v1 <payload-bytes> <crc32>] followed by the raw
+    payload, verified in full before any payload byte is trusted. CRC32
+    detects every single-byte corruption and all burst errors up to 32
+    bits, which covers the realistic failure modes of local state files. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE, reflected) of a byte string, in [0, 0xFFFFFFFF]. *)
+
+val save_enveloped : path:string -> (Buffer.t -> unit) -> unit
+(** [save_enveloped ~path f] collects [f]'s payload in a buffer, then
+    atomically writes header + payload. Composes the envelope with
+    {!with_out_atomic}: readers see the old artifact, or the complete new
+    one, never a mix. *)
+
+val load_enveloped : path:string -> string
+(** Read a file written by {!save_enveloped}, verify length and checksum,
+    and return the payload. A file that does not start with the envelope
+    magic is a pre-envelope legacy artifact and is returned whole,
+    unverified. Raises {!Format_error} on length or checksum mismatch —
+    the caller decides whether to {!quarantine} and rebuild. *)
+
+val quarantine : path:string -> string option
+(** Move a corrupt artifact into a [quarantine/] directory next to it
+    (never overwriting earlier evidence), freeing [path] for a rebuilt
+    replacement. Returns the quarantined path, or [None] when [path] does
+    not exist or the move failed — quarantine never raises, because
+    failing to preserve evidence must not block recovery. *)
+
 val save_ground_truth : path:string -> Ground_truth.t -> unit
 (** Write a campaign's outcomes (format v2, atomic). *)
 

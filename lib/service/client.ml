@@ -4,6 +4,7 @@ type error = { code : string; message : string }
 
 type event =
   | Progress of {
+      seq : int;
       cases_done : int;
       cases_total : int;
       shards_done : int;
@@ -68,13 +69,18 @@ let job_of response =
       | exception Job.Decode_error msg -> bad_frame msg)
   | None -> bad_frame "missing \"job\" field"
 
-let submit t spec =
+let submit ?idem t spec =
+  let idem_field =
+    match idem with Some key -> [ ("idem", Json.String key) ] | None -> []
+  in
   Result.map
     (fun response ->
       match Option.bind (Json.member "id" response) Json.to_int with
       | Some id -> id
       | None -> bad_frame "missing \"id\" field")
-    (roundtrip t [ ("cmd", Json.String "submit"); ("spec", Job.spec_to_json spec) ])
+    (roundtrip t
+       ([ ("cmd", Json.String "submit"); ("spec", Job.spec_to_json spec) ]
+       @ idem_field))
 
 let status t id =
   Result.map job_of (roundtrip t [ ("cmd", Json.String "status"); ("id", Json.Int id) ])
@@ -107,6 +113,12 @@ let decode_progress json =
   in
   Progress
     {
+      (* Absent on frames from a pre-seq daemon; 0 sorts below any real
+         seq, so deduplication simply never suppresses such frames. *)
+      seq =
+        (match Option.bind (Json.member "seq" json) Json.to_int with
+        | Some s -> s
+        | None -> 0);
       cases_done = int "cases_done";
       cases_total = int "cases_total";
       shards_done = int "shards_done";
@@ -120,8 +132,11 @@ let decode_progress json =
         | None -> 0.);
     }
 
-let watch ?(on_event = fun _ -> ()) t id =
-  match roundtrip t [ ("cmd", Json.String "watch"); ("id", Json.Int id) ] with
+let watch ?(on_event = fun _ -> ()) ?(after = 0) t id =
+  let after_field = if after > 0 then [ ("after", Json.Int after) ] else [] in
+  match
+    roundtrip t ([ ("cmd", Json.String "watch"); ("id", Json.Int id) ] @ after_field)
+  with
   | Error e -> Error e
   | Ok _response ->
       let rec stream () =
@@ -135,3 +150,78 @@ let watch ?(on_event = fun _ -> ()) t id =
         | None -> bad_frame "event frame without \"event\" field"
       in
       stream ()
+
+(* ------------------------------------------------------------------ *)
+(* Retrying variants: transport failures (daemon restarting, dropped
+   connection, torn frame) are transient — each attempt reconnects from
+   scratch and backs off with decorrelated jitter. Typed service errors
+   are definitive answers from a live daemon and are never retried. *)
+
+module Backoff = Ftb_util.Backoff
+
+type endpoint = Unix_socket of string | Tcp of { host : string; port : int }
+
+let unix_endpoint ~socket = Unix_socket socket
+let tcp_endpoint ~host ~port = Tcp { host; port }
+
+let connect_endpoint = function
+  | Unix_socket socket -> connect ~socket
+  | Tcp { host; port } -> connect_tcp ~host ~port
+
+let transient = function
+  | Wire.Closed | Wire.Protocol_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+(* Run [f] on a fresh connection, retrying transport failures. The
+   connection is closed after every attempt, success or not, so a
+   half-poisoned stream never leaks into the next attempt. *)
+let with_retry ?policy ?rng ?(sleep = Unix.sleepf) endpoint f =
+  let policy =
+    match policy with Some p -> p | None -> Backoff.from_env ()
+  in
+  Backoff.retry ~policy ?rng ~sleep (fun ~attempt:_ ->
+      match
+        let t = connect_endpoint endpoint in
+        Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+      with
+      | v -> Backoff.Done v
+      | exception e when transient e -> Backoff.Retry e)
+
+let submit_retry ?policy ?rng ?sleep endpoint ~idem spec =
+  (* The idempotency key is what makes the retry safe: an attempt whose
+     ACK was lost may well have created the job, and the next attempt
+     maps to it server-side instead of double-running the campaign. *)
+  match with_retry ?policy ?rng ?sleep endpoint (fun t -> submit ~idem t spec) with
+  | Ok result -> result
+  | Error e -> raise e
+
+let watch_retry ?policy ?rng ?(sleep = Unix.sleepf) ?(on_event = fun _ -> ())
+    endpoint id =
+  let policy =
+    match policy with Some p -> p | None -> Backoff.from_env ()
+  in
+  (* [last] survives reconnects: the resumed watch asks the server for
+     frames after it and drops any stragglers client-side, so the caller
+     observes each progress wave at most once and never out of order. *)
+  let last = ref 0 in
+  let deduped event =
+    match event with
+    | Progress p ->
+        if p.seq > !last || p.seq = 0 then begin
+          if p.seq > !last then last := p.seq;
+          on_event event
+        end
+  in
+  match
+    Backoff.retry ~policy ?rng ~sleep (fun ~attempt:_ ->
+        match
+          let t = connect_endpoint endpoint in
+          Fun.protect
+            ~finally:(fun () -> close t)
+            (fun () -> watch ~on_event:deduped ~after:!last t id)
+        with
+        | v -> Backoff.Done v
+        | exception e when transient e -> Backoff.Retry e)
+  with
+  | Ok result -> result
+  | Error e -> raise e

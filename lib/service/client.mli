@@ -20,6 +20,9 @@ type error = { code : string; message : string }
 
 type event =
   | Progress of {
+      seq : int;
+          (** per-job, strictly increasing event sequence number; [0]
+              when the daemon predates sequence numbers *)
       cases_done : int;
       cases_total : int;
       shards_done : int;
@@ -41,9 +44,13 @@ val of_fd : Unix.file_descr -> t
 
 val close : t -> unit
 
-val submit : t -> Job.spec -> (int, error) result
-(** Returns the assigned job id. [Error] codes include [queue_full]
-    (backpressure), [unknown_bench], [bad_request], [shutting_down]. *)
+val submit : ?idem:string -> t -> Job.spec -> (int, error) result
+(** Returns the assigned job id. [idem] is an idempotency key: a
+    resubmission carrying the same key returns the id of the job the
+    first submission created instead of enqueuing a duplicate — the
+    foundation of safe retry after a dropped ACK. [Error] codes include
+    [queue_full] (backpressure), [unknown_bench], [bad_request],
+    [shutting_down]. *)
 
 val status : t -> int -> (Job.info, error) result
 val list : t -> (Job.info list, error) result
@@ -55,9 +62,70 @@ val cancel : t -> int -> (Job.info, error) result
 val shutdown : t -> (unit, error) result
 (** Ask the daemon to drain and exit. *)
 
-val watch : ?on_event:(event -> unit) -> t -> int -> (Job.info, error) result
+val watch :
+  ?on_event:(event -> unit) -> ?after:int -> t -> int -> (Job.info, error) result
 (** Subscribe to a job's progress stream and block until the daemon sends
     the final frame; returns the job's descriptor at that point. The
-    final status is [Completed] / [Failed] / [Cancelled] — or [Queued]
-    when the daemon drained and suspended the job. At least one
-    {!Progress} event is always delivered (the subscription snapshot). *)
+    final status is [Completed] / [Failed] / [Cancelled] / [Stuck] — or
+    [Queued] when the daemon drained and suspended the job. [after] is
+    the last event seq this client already processed (reconnect resume);
+    the server suppresses frames at or below it. On a first watch
+    ([after] omitted) at least one {!Progress} event is always delivered
+    (the subscription snapshot); a resumed watch ([after > 0]) of an
+    already-finished job skips the snapshot and goes straight to the
+    final frame. *)
+
+(** {1 Retrying clients}
+
+    Self-healing variants for unattended use: each attempt opens a fresh
+    connection, transport failures ([Wire.Closed], [Wire.Protocol_error],
+    [Unix.Unix_error]) back off with decorrelated jitter
+    ({!Ftb_util.Backoff}, tuned by the [FTB_RETRY_*] environment knobs)
+    and retry, while typed service errors — answers from a live daemon —
+    return immediately. Once attempts are exhausted the last transport
+    exception is raised. *)
+
+type endpoint
+
+val unix_endpoint : socket:string -> endpoint
+val tcp_endpoint : host:string -> port:int -> endpoint
+val connect_endpoint : endpoint -> t
+(** One non-retrying connection to the endpoint. *)
+
+val with_retry :
+  ?policy:Ftb_util.Backoff.policy ->
+  ?rng:Ftb_util.Rng.t ->
+  ?sleep:(float -> unit) ->
+  endpoint ->
+  (t -> 'a) ->
+  ('a, exn) result
+(** [with_retry endpoint f] runs [f] on a fresh connection (closed after
+    the attempt, success or failure), retrying transport failures under
+    the backoff policy (default {!Ftb_util.Backoff.from_env}). Only safe
+    for idempotent [f]. [sleep] defaults to [Unix.sleepf]; tests inject a
+    recorder. *)
+
+val submit_retry :
+  ?policy:Ftb_util.Backoff.policy ->
+  ?rng:Ftb_util.Rng.t ->
+  ?sleep:(float -> unit) ->
+  endpoint ->
+  idem:string ->
+  Job.spec ->
+  (int, error) result
+(** Retrying {!submit}. The mandatory idempotency key is what makes the
+    retry safe: an attempt whose ACK was lost may have created the job,
+    and the next attempt dedupes to it server-side. *)
+
+val watch_retry :
+  ?policy:Ftb_util.Backoff.policy ->
+  ?rng:Ftb_util.Rng.t ->
+  ?sleep:(float -> unit) ->
+  ?on_event:(event -> unit) ->
+  endpoint ->
+  int ->
+  (Job.info, error) result
+(** Retrying {!watch}: on a transport failure mid-stream it reconnects
+    and resumes from the last event seq it delivered, deduplicating
+    client-side as well — [on_event] sees each wave at most once, in
+    order, across any number of reconnects. *)

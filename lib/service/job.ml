@@ -11,7 +11,7 @@ type spec = {
 let default_spec ~bench =
   { bench; mode = Exhaustive; shard_size = 4096; fuel = Some 10_000_000; priority = 0 }
 
-type status = Queued | Running | Completed | Failed of string | Cancelled
+type status = Queued | Running | Completed | Failed of string | Cancelled | Stuck
 
 type counts = {
   cases_done : int;
@@ -29,6 +29,7 @@ type info = {
   submitted : float;
   started : float option;
   finished : float option;
+  idem : string option;
 }
 
 let zero_counts = { cases_done = 0; cases_total = 0; masked = 0; sdc = 0; crash = 0 }
@@ -39,9 +40,10 @@ let status_name = function
   | Completed -> "completed"
   | Failed _ -> "failed"
   | Cancelled -> "cancelled"
+  | Stuck -> "stuck"
 
 let is_terminal = function
-  | Completed | Failed _ | Cancelled -> true
+  | Completed | Failed _ | Cancelled | Stuck -> true
   | Queued | Running -> false
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +144,8 @@ let info_to_json i =
         match i.started with Some t -> Json.Float t | None -> Json.Null );
       ( "finished",
         match i.finished with Some t -> Json.Float t | None -> Json.Null );
+      ( "idem",
+        match i.idem with Some k -> Json.String k | None -> Json.Null );
     ]
 
 let info_of_json json =
@@ -151,6 +155,7 @@ let info_of_json json =
     | "running" -> Running
     | "completed" -> Completed
     | "cancelled" -> Cancelled
+    | "stuck" -> Stuck
     | "failed" ->
         Failed
           (match Option.bind (Json.member "error" json) Json.to_str with
@@ -176,6 +181,7 @@ let info_of_json json =
     submitted = get_float json "submitted";
     started = opt_field Json.to_float json "started";
     finished = opt_field Json.to_float json "finished";
+    idem = opt_field Json.to_str json "idem";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -195,9 +201,9 @@ let rec mkdir_p path =
 
 let save ~state_dir info =
   mkdir_p (dir ~state_dir info.id);
-  Ftb_inject.Persist.with_out_atomic (json_path ~state_dir info.id) (fun oc ->
-      output_string oc (Json.to_string (info_to_json info));
-      output_char oc '\n')
+  Ftb_inject.Persist.save_enveloped ~path:(json_path ~state_dir info.id) (fun b ->
+      Buffer.add_string b (Json.to_string (info_to_json info));
+      Buffer.add_char b '\n')
 
 let load_all ~state_dir =
   let root = jobs_root ~state_dir in
@@ -208,15 +214,20 @@ let load_all ~state_dir =
          | None -> None
          | Some id -> (
              let path = json_path ~state_dir id in
-             match
-               let ic = open_in_bin path in
-               Fun.protect
-                 ~finally:(fun () -> close_in_noerr ic)
-                 (fun () -> really_input_string ic (in_channel_length ic))
-             with
-             | exception Sys_error _ -> None
+             (* A descriptor that fails envelope verification or no longer
+                decodes is quarantined as evidence and skipped — a corrupt
+                job must not brick the daemon, and must never resume from
+                lying state. Legacy (pre-envelope) files load unverified. *)
+             match Ftb_inject.Persist.load_enveloped ~path with
+             | exception
+                 (Ftb_inject.Persist.Format_error _ | Sys_error _) ->
+                 ignore (Ftb_inject.Persist.quarantine ~path : string option);
+                 None
              | contents -> (
                  match info_of_json (Json.of_string contents) with
                  | info -> Some info
-                 | exception (Decode_error _ | Json.Parse_error _) -> None)))
+                 | exception (Decode_error _ | Json.Parse_error _) ->
+                     ignore
+                       (Ftb_inject.Persist.quarantine ~path : string option);
+                     None)))
   |> List.sort (fun a b -> compare a.id b.id)

@@ -15,13 +15,20 @@
     queued -> running -> completed
        |         |----> failed
        |         |----> cancelled
+       |         |----> stuck       (watchdog: no progress before deadline)
        |         '----> queued      (daemon drain / restart: resumes)
        '-> cancelled                (cancelled while still queued)
     v}
 
-    [Completed], [Failed] and [Cancelled] are terminal. A job found
-    [Running] on daemon startup was interrupted by a crash; it reloads as
-    [Queued] and resumes from its checkpoint. *)
+    [Completed], [Failed], [Cancelled] and [Stuck] are terminal. A job
+    found [Running] on daemon startup was interrupted by a crash; it
+    reloads as [Queued] and resumes from its checkpoint. A [Stuck] job's
+    checkpoint is preserved, so it can be resubmitted and resume from the
+    last durable wave.
+
+    [job.json] is written inside the {!Ftb_inject.Persist.save_enveloped}
+    integrity envelope; corrupt descriptors are quarantined on load
+    instead of trusted or deleted. *)
 
 type mode =
   | Exhaustive  (** every (site, bit) case, checkpointed and resumable *)
@@ -41,7 +48,7 @@ val default_spec : bench:string -> spec
 (** [mode = Exhaustive], [shard_size = 4096], [fuel = Some 10_000_000],
     [priority = 0]. *)
 
-type status = Queued | Running | Completed | Failed of string | Cancelled
+type status = Queued | Running | Completed | Failed of string | Cancelled | Stuck
 
 type counts = {
   cases_done : int;
@@ -59,11 +66,15 @@ type info = {
   submitted : float;  (** Unix timestamps *)
   started : float option;
   finished : float option;
+  idem : string option;
+      (** client-supplied idempotency key: a resubmission carrying the same
+          key maps to this job instead of double-running the campaign *)
 }
 
 val zero_counts : counts
 val status_name : status -> string
-(** ["queued"], ["running"], ["completed"], ["failed"], ["cancelled"]. *)
+(** ["queued"], ["running"], ["completed"], ["failed"], ["cancelled"],
+    ["stuck"]. *)
 
 val is_terminal : status -> bool
 
@@ -86,10 +97,13 @@ val dir : state_dir:string -> int -> string
 val checkpoint_path : state_dir:string -> int -> string
 
 val save : state_dir:string -> info -> unit
-(** Atomic write of [job.json] (via {!Ftb_inject.Persist.with_out_atomic}),
-    creating the job directory as needed. *)
+(** Atomic, integrity-enveloped write of [job.json] (via
+    {!Ftb_inject.Persist.save_enveloped}), creating the job directory as
+    needed. *)
 
 val load_all : state_dir:string -> info list
-(** Every parseable [job.json] under [<state>/jobs], sorted by id.
-    Unparseable or foreign entries are skipped — a half-created job
-    directory must not brick the daemon. *)
+(** Every verifiable, parseable [job.json] under [<state>/jobs], sorted by
+    id. Corrupt descriptors (failed envelope check or decode) are moved to
+    [quarantine/] and skipped; foreign entries are skipped — a
+    half-created or corrupted job directory must not brick the daemon.
+    Pre-envelope descriptors still load. *)

@@ -30,6 +30,21 @@ let add t job =
     Ok ()
   end
 
+(* Restart re-queueing respects the same bound as live submission: the
+   jobs that would dispatch first are kept, the overflow is returned for
+   the server to fail with a typed reason. Without the cap, a crash loop
+   against a shrunk capacity could resurrect an unbounded queue. *)
+let restore_all t jobs =
+  let sorted = List.sort (fun a b -> if before a b then -1 else 1) jobs in
+  let rec split kept n = function
+    | [] -> (List.rev kept, [])
+    | rest when n = 0 -> (List.rev kept, rest)
+    | head :: tail -> split (head :: kept) (n - 1) tail
+  in
+  let kept, overflow = split [] (max 0 (t.capacity - length t)) sorted in
+  List.iter (restore t) kept;
+  overflow
+
 let pop t =
   match t.jobs with
   | [] -> None

@@ -22,9 +22,15 @@ val add : t -> Job.info -> (unit, [ `Full of int ]) result
 (** [Error (`Full capacity)] when the queue is at capacity. *)
 
 val restore : t -> Job.info -> unit
-(** Insert ignoring the capacity bound — only for re-queuing persisted
-    jobs on daemon restart, which must never be dropped even if the
-    configured capacity shrank in the meantime. *)
+(** Insert ignoring the capacity bound. Prefer {!restore_all}, which
+    re-applies the bound; this remains for single-job re-queueing of a
+    drained job, which was already counted against capacity. *)
+
+val restore_all : t -> Job.info list -> Job.info list
+(** Re-queue persisted jobs on daemon restart, in dispatch order, up to
+    the capacity bound. Returns the overflow — the jobs that would have
+    dispatched last — which the caller must fail rather than silently
+    drop, so a crash cannot resurrect an unbounded queue. *)
 
 val pop : t -> Job.info option
 (** Remove and return the next job to run. *)

@@ -7,6 +7,7 @@ type config = {
   capacity : int;
   domains : int;
   checkpoint_every : int;
+  stuck_after : float option;
   resolve : string -> Ftb_trace.Program.t;
 }
 
@@ -16,6 +17,7 @@ let default_config ~state_dir =
     capacity = 64;
     domains = 1;
     checkpoint_every = 1;
+    stuck_after = None;
     resolve = Ftb_kernels.Suite.find;
   }
 
@@ -31,8 +33,14 @@ type running = { job_id : int; cancel : cancel_reason option Atomic.t }
    only the thread that finishes the subscription does (the scheduler for
    the running job, the cancelling connection for a queued job, the
    drain path at exit) — so no two threads ever interleave frames on one
-   descriptor. *)
-type sub = { sub_job : int; sub_fd : Unix.file_descr; mutable sub_live : bool }
+   descriptor. [sub_after] is the last event sequence number the client
+   already saw (reconnect resume); frames at or below it are skipped. *)
+type sub = {
+  sub_job : int;
+  sub_fd : Unix.file_descr;
+  sub_after : int;
+  mutable sub_live : bool;
+}
 
 type t = {
   config : config;
@@ -49,9 +57,25 @@ type t = {
   mutable subs : sub list;
   sigterm : bool Atomic.t;
   pool : Pool.t option;  (* one warm handle shared by every campaign *)
+  seqs : (int, int) Hashtbl.t;  (* job id -> last event sequence number *)
+  idems : (string, int) Hashtbl.t;  (* idempotency key -> job id *)
 }
 
 let now () = Unix.gettimeofday ()
+
+(* Event sequence numbers are per job and strictly increasing, and they
+   survive daemon restarts without being persisted: each new seq is at
+   least the current time in microseconds, so a fresh daemon can never
+   reissue a number an old watcher already saw. Clients resume a watch
+   with the last seq they processed and dedupe on it. *)
+let next_seq t id =
+  let last = match Hashtbl.find_opt t.seqs id with Some s -> s | None -> 0 in
+  let s = max (last + 1) (int_of_float (now () *. 1e6)) in
+  Hashtbl.replace t.seqs id s;
+  s
+
+let current_seq t id =
+  match Hashtbl.find_opt t.seqs id with Some s -> s | None -> 0
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -79,7 +103,9 @@ let create config =
   let loaded = Job.load_all ~state_dir:config.state_dir in
   let queue = Job_queue.create ~capacity:config.capacity in
   let jobs = Hashtbl.create 64 in
+  let idems = Hashtbl.create 16 in
   let next_id = ref 1 in
+  let requeue = ref [] in
   List.iter
     (fun (job : Job.info) ->
       next_id := max !next_id (job.Job.id + 1);
@@ -91,8 +117,26 @@ let create config =
         | _ -> job
       in
       Hashtbl.replace jobs job.Job.id job;
-      if job.Job.status = Job.Queued then Job_queue.restore queue job)
+      (* Idempotency keys of every persisted job keep deduplicating after
+         a restart — a client retrying a submission across the crash maps
+         to the job it already created. *)
+      (match job.Job.idem with
+      | Some key -> Hashtbl.replace idems key job.Job.id
+      | None -> ());
+      if job.Job.status = Job.Queued then requeue := job :: !requeue)
     loaded;
+  (* Restart re-queueing respects the capacity bound; overflow jobs fail
+     with a typed reason instead of resurrecting an unbounded queue. *)
+  let overflow = Job_queue.restore_all queue (List.rev !requeue) in
+  List.iter
+    (fun (job : Job.info) ->
+      Hashtbl.replace jobs job.Job.id
+        {
+          job with
+          Job.status = Job.Failed "evicted: queue over capacity after restart";
+          finished = Some (now ());
+        })
+    overflow;
   let t =
     {
       config;
@@ -109,24 +153,30 @@ let create config =
       subs = [];
       sigterm = Atomic.make false;
       pool = (if config.domains > 1 then Some (Pool.global ~domains:config.domains ()) else None);
+      seqs = Hashtbl.create 64;
+      idems;
     }
   in
-  (* Persist the Running -> Queued demotions so a crash during startup
-     re-observes the same state. *)
+  (* Persist the Running -> Queued demotions (and any restart evictions)
+     so a crash during startup re-observes the same state. *)
   with_lock t (fun () ->
       Hashtbl.iter
-        (fun _ job -> if job.Job.status = Job.Queued then Job.save ~state_dir:config.state_dir job)
+        (fun _ (job : Job.info) ->
+          match job.Job.status with
+          | Job.Queued | Job.Failed _ -> Job.save ~state_dir:config.state_dir job
+          | _ -> ())
         t.jobs);
   t
 
 (* ------------------------------------------------------------------ *)
 (* Events                                                              *)
 
-let progress_event ~id ~(p : Engine.progress) ~rate =
+let progress_event ~id ~seq ~(p : Engine.progress) ~rate =
   Json.Obj
     [
       ("event", Json.String "progress");
       ("id", Json.Int id);
+      ("seq", Json.Int seq);
       ("cases_done", Json.Int p.Engine.cases_done);
       ("cases_total", Json.Int p.Engine.cases_total);
       ("shards_done", Json.Int p.Engine.shards_done);
@@ -137,9 +187,9 @@ let progress_event ~id ~(p : Engine.progress) ~rate =
       ("cases_per_sec", Json.Float rate);
     ]
 
-let snapshot_event (job : Job.info) =
+let snapshot_event ~seq (job : Job.info) =
   let c = job.Job.counts in
-  progress_event ~id:job.Job.id
+  progress_event ~id:job.Job.id ~seq
     ~p:
       {
         Engine.cases_done = c.Job.cases_done;
@@ -152,8 +202,13 @@ let snapshot_event (job : Job.info) =
       }
     ~rate:0.
 
-let done_event (job : Job.info) =
-  Json.Obj [ ("event", Json.String "done"); ("job", Job.info_to_json job) ]
+let done_event ~seq (job : Job.info) =
+  Json.Obj
+    [
+      ("event", Json.String "done");
+      ("seq", Json.Int seq);
+      ("job", Job.info_to_json job);
+    ]
 
 let safe_write fd json = try Wire.write fd json with _ -> ()
 
@@ -171,11 +226,13 @@ let finish_subs t id event =
   in
   List.iter (fun s -> safe_write s.sub_fd event) mine
 
-let stream_to_subs t id event =
+let stream_to_subs t id ~seq event =
   let targets =
     with_lock t (fun () ->
         List.filter_map
-          (fun s -> if s.sub_job = id && s.sub_live then Some s else None)
+          (fun s ->
+            if s.sub_job = id && s.sub_live && seq > s.sub_after then Some s
+            else None)
           t.subs)
   in
   List.iter
@@ -193,12 +250,6 @@ let stream_to_subs t id event =
 (* ------------------------------------------------------------------ *)
 (* Job execution (scheduler thread only)                               *)
 
-let update_counts t id counts =
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.jobs id with
-      | Some job -> Hashtbl.replace t.jobs id { job with Job.counts }
-      | None -> ())
-
 let counts_of_progress (p : Engine.progress) =
   {
     Job.cases_done = p.Engine.cases_done;
@@ -208,7 +259,23 @@ let counts_of_progress (p : Engine.progress) =
     crash = p.Engine.crash;
   }
 
-let run_exhaustive t (job : Job.info) cancel =
+(* One progress wave: beat the watchdog heartbeat, refresh the in-memory
+   counts (never those of a job the watchdog already declared stuck —
+   an abandoned runner must not mutate a terminal job), allocate the
+   event's sequence number, and stream it. *)
+let publish_progress t id ~heartbeat ~(p : Engine.progress) ~rate =
+  Atomic.set heartbeat (now ());
+  let seq =
+    with_lock t (fun () ->
+        (match Hashtbl.find_opt t.jobs id with
+        | Some job when not (Job.is_terminal job.Job.status) ->
+            Hashtbl.replace t.jobs id { job with Job.counts = counts_of_progress p }
+        | Some _ | None -> ());
+        next_seq t id)
+  in
+  stream_to_subs t id ~seq (progress_event ~id ~seq ~p ~rate)
+
+let run_exhaustive t (job : Job.info) cancel ~heartbeat =
   let spec = job.Job.spec in
   let golden = Golden.run (t.config.resolve spec.Job.bench) in
   let last = ref (now (), None) in
@@ -224,8 +291,7 @@ let run_exhaustive t (job : Job.info) cancel =
     in
     last := (t_now, Some p.Engine.cases_done);
     latest := counts_of_progress p;
-    update_counts t job.Job.id !latest;
-    stream_to_subs t job.Job.id (progress_event ~id:job.Job.id ~p ~rate)
+    publish_progress t job.Job.id ~heartbeat ~p ~rate
   in
   let config =
     {
@@ -268,7 +334,7 @@ let run_exhaustive t (job : Job.info) cancel =
 
 exception Stop_sampling of cancel_reason
 
-let run_sample t (job : Job.info) cancel ~fraction ~seed =
+let run_sample t (job : Job.info) cancel ~heartbeat ~fraction ~seed =
   let spec = job.Job.spec in
   let golden = Golden.run (t.config.resolve spec.Job.bench) in
   let rng = Ftb_util.Rng.create ~seed in
@@ -313,8 +379,7 @@ let run_sample t (job : Job.info) cancel ~fraction ~seed =
           crash = !crash;
         }
       in
-      update_counts t job.Job.id (counts_of_progress p);
-      stream_to_subs t job.Job.id (progress_event ~id:job.Job.id ~p ~rate)
+      publish_progress t job.Job.id ~heartbeat ~p ~rate
     done
   with
   | () ->
@@ -344,15 +409,69 @@ let run_sample t (job : Job.info) cancel ~fraction ~seed =
       in
       { job with Job.status = Job.Cancelled; counts; finished = Some (now ()) }
 
-let run_job t (job : Job.info) cancel =
+let run_job t (job : Job.info) cancel ~heartbeat =
   match
     match job.Job.spec.Job.mode with
-    | Job.Exhaustive -> run_exhaustive t job cancel
-    | Job.Sample { fraction; seed } -> run_sample t job cancel ~fraction ~seed
+    | Job.Exhaustive -> run_exhaustive t job cancel ~heartbeat
+    | Job.Sample { fraction; seed } ->
+        run_sample t job cancel ~heartbeat ~fraction ~seed
   with
   | outcome -> outcome
   | exception e ->
       { job with Job.status = Job.Failed (Printexc.to_string e); finished = Some (now ()) }
+
+(* Run the job under the stuck-job watchdog when one is configured.
+
+   The runner executes in its own thread while the scheduler polls the
+   heartbeat (OCaml's [Condition] has no timed wait). A job whose wave
+   callbacks stop beating past the deadline — hung domain, livelocked
+   shard — is declared [Stuck]: its last durable checkpoint is preserved
+   for a later resubmission, its watchers get a final frame, and the
+   queue moves on. The abandoned runner keeps its thread; it can no
+   longer touch the job's record ([publish_progress] refuses terminal
+   jobs) or its watchers (the subscriptions are finished), and a
+   cooperative cancel is set in case it is merely slow and still polls.
+
+   With [stuck_after = None] the job runs inline on the scheduler thread
+   exactly as before. *)
+let supervise_job t (job : Job.info) cancel =
+  let heartbeat = Atomic.make (now ()) in
+  match t.config.stuck_after with
+  | None -> run_job t job cancel ~heartbeat
+  | Some deadline ->
+      let result = ref None in
+      let finished = Atomic.make false in
+      let runner =
+        Thread.create
+          (fun () ->
+            (result := match run_job t job cancel ~heartbeat with r -> Some r);
+            Atomic.set finished true)
+          ()
+      in
+      let rec monitor () =
+        if Atomic.get finished then begin
+          Thread.join runner;
+          match !result with
+          | Some final -> final
+          | None ->
+              { job with Job.status = Job.Failed "runner thread died"; finished = Some (now ()) }
+        end
+        else if now () -. Atomic.get heartbeat > deadline then begin
+          ignore (Atomic.compare_and_set cancel None (Some User) : bool);
+          let counts =
+            with_lock t (fun () ->
+                match Hashtbl.find_opt t.jobs job.Job.id with
+                | Some j -> j.Job.counts
+                | None -> job.Job.counts)
+          in
+          { job with Job.status = Job.Stuck; counts; finished = Some (now ()) }
+        end
+        else begin
+          Thread.delay 0.05;
+          monitor ()
+        end
+      in
+      monitor ()
 
 let scheduler_loop t =
   let rec loop () =
@@ -375,14 +494,17 @@ let scheduler_loop t =
     | None -> ()
     | Some `Retry -> loop ()
     | Some (`Run (job, cancel)) ->
-        let final = run_job t job cancel in
-        with_lock t (fun () ->
-            t.running <- None;
-            set_job t final);
+        let final = supervise_job t job cancel in
+        let seq =
+          with_lock t (fun () ->
+              t.running <- None;
+              set_job t final;
+              next_seq t final.Job.id)
+        in
         (* A drained job is not terminal: its watchers still get a final
            frame (status "queued") so they unblock before the daemon
            exits. *)
-        finish_subs t final.Job.id (done_event final);
+        finish_subs t final.Job.id (done_event ~seq final);
         loop ()
   in
   loop ();
@@ -396,10 +518,12 @@ let scheduler_loop t =
         Condition.broadcast t.sub_done;
         List.filter_map
           (fun s ->
-            Option.map (fun job -> (s, job)) (Hashtbl.find_opt t.jobs s.sub_job))
+            Option.map
+              (fun job -> (s, job, next_seq t s.sub_job))
+              (Hashtbl.find_opt t.jobs s.sub_job))
           subs)
   in
-  List.iter (fun (s, job) -> safe_write s.sub_fd (done_event job)) leftovers
+  List.iter (fun (s, job, seq) -> safe_write s.sub_fd (done_event ~seq job)) leftovers
 
 let start t =
   with_lock t (fun () ->
@@ -453,37 +577,50 @@ let handle_submit t json =
   with
   | Error e -> e
   | Ok spec -> (
+      let idem = Option.bind (Json.member "idem" json) Json.to_str in
       (* Resolve the benchmark before touching the queue so an unknown
          name is rejected up front, not at execution time. *)
       match t.config.resolve spec.Job.bench with
       | exception Invalid_argument msg -> error_frame "unknown_bench" msg
       | _program ->
           with_lock t (fun () ->
-              if t.stopping then error_frame "shutting_down" "daemon is draining"
-              else begin
-                let id = t.next_id in
-                let job =
-                  {
-                    Job.id;
-                    spec;
-                    status = Job.Queued;
-                    counts = Job.zero_counts;
-                    submitted = now ();
-                    started = None;
-                    finished = None;
-                  }
-                in
-                match Job_queue.add t.queue job with
-                | Error (`Full capacity) ->
-                    error_frame "queue_full"
-                      (Printf.sprintf "queue is at capacity (%d queued jobs)" capacity)
-                      ~extra:[ ("capacity", Json.Int capacity) ]
-                | Ok () ->
-                    t.next_id <- id + 1;
-                    set_job t job;
-                    Condition.signal t.wake;
-                    ok_frame [ ("id", Json.Int id) ]
-              end))
+              (* Idempotency first: a client retrying after a dropped ACK
+                 must map to the job its first attempt created — even
+                 while the daemon is draining, and without consuming
+                 queue capacity. *)
+              match Option.bind idem (Hashtbl.find_opt t.idems) with
+              | Some id ->
+                  ok_frame [ ("id", Json.Int id); ("deduped", Json.Bool true) ]
+              | None ->
+                  if t.stopping then error_frame "shutting_down" "daemon is draining"
+                  else begin
+                    let id = t.next_id in
+                    let job =
+                      {
+                        Job.id;
+                        spec;
+                        status = Job.Queued;
+                        counts = Job.zero_counts;
+                        submitted = now ();
+                        started = None;
+                        finished = None;
+                        idem;
+                      }
+                    in
+                    match Job_queue.add t.queue job with
+                    | Error (`Full capacity) ->
+                        error_frame "queue_full"
+                          (Printf.sprintf "queue is at capacity (%d queued jobs)" capacity)
+                          ~extra:[ ("capacity", Json.Int capacity) ]
+                    | Ok () ->
+                        t.next_id <- id + 1;
+                        (match idem with
+                        | Some key -> Hashtbl.replace t.idems key id
+                        | None -> ());
+                        set_job t job;
+                        Condition.signal t.wake;
+                        ok_frame [ ("id", Json.Int id) ]
+                  end))
 
 let handle_status t json =
   match req_id json with
@@ -517,11 +654,11 @@ let handle_cancel t json =
                           { job with Job.status = Job.Cancelled; finished = Some (now ()) }
                         in
                         set_job t job;
-                        `Finished job
+                        `Finished (job, next_seq t id)
                     | None ->
                         (* Queued status with no queue entry: only during a
                            drain, when the scheduler no longer runs it. *)
-                        `Finished job)
+                        `Finished (job, next_seq t id))
                 | Job.Running ->
                     (match t.running with
                     | Some r when r.job_id = id -> Atomic.set r.cancel (Some User)
@@ -531,9 +668,9 @@ let handle_cancel t json =
       in
       (match outcome with
       | `Missing -> error_frame "not_found" (Printf.sprintf "no job %d" id)
-      | `Finished job ->
+      | `Finished (job, seq) ->
           (* Unblock any watchers of the queued job we just cancelled. *)
-          finish_subs t id (done_event job);
+          finish_subs t id (done_event ~seq job);
           ok_frame [ ("job", Job.info_to_json job) ]
       | `Pending job -> ok_frame [ ("job", Job.info_to_json job) ]
       | `Terminal job ->
@@ -551,27 +688,55 @@ let handle_watch t fd json =
       Wire.write fd e;
       `Handled
   | Ok id -> (
-      match with_lock t (fun () -> Hashtbl.find_opt t.jobs id) with
+      (* [after] is the last event seq the client already processed (0 on
+         a first watch): the snapshot is suppressed when it would repeat
+         state the client has seen, and later frames are filtered the
+         same way — a reconnecting watcher resumes instead of replaying. *)
+      let after =
+        match Option.bind (Json.member "after" json) Json.to_int with
+        | Some n -> n
+        | None -> 0
+      in
+      match
+        with_lock t (fun () ->
+            Option.map
+              (fun job ->
+                (* An unknown seq (fresh daemon) gets a new one, so the
+                   snapshot always outranks pre-restart frames. *)
+                let seq =
+                  match current_seq t id with 0 -> next_seq t id | s -> s
+                in
+                (job, seq))
+              (Hashtbl.find_opt t.jobs id))
+      with
       | None ->
           Wire.write fd (error_frame "not_found" (Printf.sprintf "no job %d" id));
           `Handled
-      | Some job -> (
+      | Some (job, snapshot_seq) -> (
           Wire.write fd (ok_frame [ ("job", Job.info_to_json job) ]);
-          Wire.write fd (snapshot_event job);
+          (* A terminal job's seq counter also advanced when earlier
+             watchers were sent their final frames, so [snapshot_seq >
+             after] alone would re-deliver the snapshot to a resuming
+             client forever. A resumed watch ([after > 0]) of a finished
+             job gets just the final frame, which follows immediately. *)
+          let want_snapshot =
+            snapshot_seq > after && (after = 0 || not (Job.is_terminal job.Job.status))
+          in
+          if want_snapshot then Wire.write fd (snapshot_event ~seq:snapshot_seq job);
           let registered =
             with_lock t (fun () ->
                 let job = Hashtbl.find t.jobs id in
                 if Job.is_terminal job.Job.status || t.stopping || t.scheduler_done then
-                  `Send_done job
+                  `Send_done (job, next_seq t id)
                 else begin
-                  let s = { sub_job = id; sub_fd = fd; sub_live = true } in
+                  let s = { sub_job = id; sub_fd = fd; sub_after = after; sub_live = true } in
                   t.subs <- s :: t.subs;
                   `Wait s
                 end)
           in
           match registered with
-          | `Send_done job ->
-              Wire.write fd (done_event job);
+          | `Send_done (job, seq) ->
+              Wire.write fd (done_event ~seq job);
               `Handled
           | `Wait s ->
               with_lock t (fun () ->
@@ -596,10 +761,14 @@ let handle_request t fd json =
 let serve_connection t fd =
   Fun.protect
     ~finally:(fun () ->
-      (* Make sure a dying connection never leaves a live subscription
-         behind pointing at a closed descriptor. *)
+      (* Make sure a dying connection — clean close, protocol violation,
+         or I/O error alike — never leaves a live subscription behind
+         pointing at a closed descriptor. The removed subs are also marked
+         dead so no in-flight streamer writes to the recycled fd. *)
       with_lock t (fun () ->
-          t.subs <- List.filter (fun s -> s.sub_fd <> fd) t.subs;
+          let mine, rest = List.partition (fun s -> s.sub_fd = fd) t.subs in
+          List.iter (fun s -> s.sub_live <- false) mine;
+          t.subs <- rest;
           Condition.broadcast t.sub_done);
       try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->

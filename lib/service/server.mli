@@ -14,10 +14,13 @@
 
     {v
     {"cmd":"submit","spec":{...}}   -> {"ok":true,"id":N}
+    {"cmd":"submit","spec":{...},"idem":"key"}
+                                    -> {"ok":true,"id":N[,"deduped":true]}
     {"cmd":"status","id":N}         -> {"ok":true,"job":{...}}
     {"cmd":"list"}                  -> {"ok":true,"jobs":[...]}
     {"cmd":"cancel","id":N}         -> {"ok":true,"job":{...}}
-    {"cmd":"watch","id":N}          -> {"ok":true,"job":{...}} + event stream
+    {"cmd":"watch","id":N[,"after":S]}
+                                    -> {"ok":true,"job":{...}} + event stream
     {"cmd":"shutdown"}              -> {"ok":true}
     v}
 
@@ -26,11 +29,21 @@
     (backpressure: the bounded queue rejects, it never blocks),
     [not_cancellable] and [shutting_down].
 
+    [submit] is idempotent when the client supplies an ["idem"] key: a
+    retried submission whose first ACK was lost maps to the job it
+    already created (["deduped":true]) instead of double-running a
+    campaign. Keys persist in [job.json], so deduplication survives a
+    daemon restart.
+
     After a successful [watch] the server pushes one immediate
     ["progress"] snapshot (so every watcher observes at least one event),
     then one ["progress"] frame per completed shard wave, then a final
     ["done"] frame carrying the job descriptor, after which the
-    connection reverts to request/response.
+    connection reverts to request/response. Every event frame carries a
+    per-job, strictly increasing ["seq"]; a reconnecting watcher passes
+    the last seq it processed as ["after"] and the server suppresses
+    frames it has already seen (including the snapshot, unless the
+    daemon restarted and the job's seq history is gone).
 
     {2 Durability}
 
@@ -48,6 +61,12 @@ type config = {
   capacity : int;  (** queue bound (running job excluded) *)
   domains : int;  (** worker domains for campaign execution *)
   checkpoint_every : int;  (** shard waves between checkpoint writes *)
+  stuck_after : float option;
+      (** stuck-job watchdog deadline, seconds: a running job whose
+          progress callbacks stop beating for this long is declared
+          {!Job.Stuck} (checkpoint preserved, queue moves on). [None]
+          disables the watchdog and runs jobs inline on the scheduler
+          thread. *)
   resolve : string -> Ftb_trace.Program.t;
       (** benchmark lookup; [Invalid_argument] rejects the submission.
           The CLI passes {!Ftb_kernels.Suite.find}; tests inject tiny
@@ -56,13 +75,16 @@ type config = {
 
 val default_config : state_dir:string -> config
 (** [capacity = 64], [domains = 1], [checkpoint_every = 1],
-    [resolve = Ftb_kernels.Suite.find]. *)
+    [stuck_after = None], [resolve = Ftb_kernels.Suite.find]. *)
 
 type t
 
 val create : config -> t
 (** Load the state directory (creating it as needed), re-queue every
-    non-terminal job, and spawn the domain pool when [domains > 1]. The
+    non-terminal job up to the queue capacity — overflow jobs become
+    [Failed] with an eviction reason instead of resurrecting an unbounded
+    queue — and spawn the domain pool when [domains > 1]. Corrupt job
+    descriptors are quarantined and skipped ({!Job.load_all}). The
     scheduler is not yet running. *)
 
 val start : t -> unit

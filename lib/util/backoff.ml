@@ -1,0 +1,72 @@
+type policy = {
+  base : float;
+  cap : float;
+  max_attempts : int;
+}
+
+let default = { base = 0.05; cap = 2.0; max_attempts = 8 }
+
+let policy ?(base = default.base) ?(cap = default.cap)
+    ?(max_attempts = default.max_attempts) () =
+  if not (base > 0.) then invalid_arg "Backoff.policy: base must be positive";
+  if not (cap >= base) then invalid_arg "Backoff.policy: cap must be >= base";
+  if max_attempts < 1 then invalid_arg "Backoff.policy: max_attempts must be >= 1";
+  { base; cap; max_attempts }
+
+(* Environment knobs let an operator tune retry pressure without a
+   recompile; a malformed or out-of-range value falls back to the given
+   policy field rather than crashing a client at startup. *)
+let float_env policy_value name =
+  match Sys.getenv_opt name with
+  | None -> policy_value
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v > 0. -> v
+      | Some _ | None -> policy_value)
+
+let int_env policy_value name =
+  match Sys.getenv_opt name with
+  | None -> policy_value
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> v
+      | Some _ | None -> policy_value)
+
+let from_env ?(policy = default) () =
+  let base = float_env policy.base "FTB_RETRY_BASE" in
+  let cap = float_env policy.cap "FTB_RETRY_CAP" in
+  {
+    base;
+    cap = (if cap >= base then cap else base);
+    max_attempts = int_env policy.max_attempts "FTB_RETRY_ATTEMPTS";
+  }
+
+(* Decorrelated jitter (the AWS Architecture Blog variant): each delay is
+   uniform in [base, 3 * previous], clamped to [cap]. Retries spread out
+   instead of thundering in lockstep, and the sequence adapts — one long
+   delay keeps later delays long, one short delay lets them shrink. *)
+let next_delay rng policy ~previous =
+  let previous = if previous < policy.base then policy.base else previous in
+  let hi = Float.min policy.cap (3. *. previous) in
+  let span = hi -. policy.base in
+  let jittered =
+    if span <= 0. then policy.base else policy.base +. Rng.float rng span
+  in
+  Float.min policy.cap jittered
+
+type 'a outcome = Retry of exn | Done of 'a
+
+let retry ?(policy = default) ?rng ~sleep f =
+  let rng = match rng with Some rng -> rng | None -> Rng.create ~seed:0x5eed in
+  let rec attempt n ~previous =
+    match f ~attempt:n with
+    | Done v -> Ok v
+    | Retry e ->
+        if n + 1 >= policy.max_attempts then Error e
+        else begin
+          let delay = next_delay rng policy ~previous in
+          sleep delay;
+          attempt (n + 1) ~previous:delay
+        end
+  in
+  attempt 0 ~previous:0.

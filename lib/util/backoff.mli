@@ -1,0 +1,58 @@
+(** Retry with decorrelated-jitter exponential backoff.
+
+    The service clients retry transient transport failures (daemon
+    restarting, dropped connection) instead of surfacing them; this module
+    decides {e how long} to wait between attempts. Delays follow the
+    decorrelated-jitter scheme — each delay is uniform in
+    [\[base, 3 * previous\]], clamped to [cap] — which spreads concurrent
+    retriers apart instead of letting them thunder in lockstep, while
+    still growing roughly exponentially under sustained failure.
+
+    The module is deliberately free of clocks and I/O: the caller injects
+    [sleep] (and optionally the {!Rng.t}), so tests drive retries with a
+    recording fake and zero real waiting. *)
+
+type policy = {
+  base : float;  (** smallest delay, seconds *)
+  cap : float;  (** largest delay, seconds *)
+  max_attempts : int;  (** total tries, including the first *)
+}
+
+val default : policy
+(** [base = 0.05], [cap = 2.0], [max_attempts = 8] — under a second of
+    cumulative wait for a daemon that comes straight back, a couple of
+    seconds between tries against one that is restarting. *)
+
+val policy : ?base:float -> ?cap:float -> ?max_attempts:int -> unit -> policy
+(** Build a policy from [default], overriding fields. Raises
+    [Invalid_argument] when [base <= 0], [cap < base] or
+    [max_attempts < 1]. *)
+
+val from_env : ?policy:policy -> unit -> policy
+(** [policy] (default {!default}) with the environment knobs applied:
+    [FTB_RETRY_BASE] and [FTB_RETRY_CAP] (seconds, floats) and
+    [FTB_RETRY_ATTEMPTS] (integer [>= 1]). Malformed or out-of-range
+    values are ignored; a cap below the base is raised to the base. *)
+
+val next_delay : Rng.t -> policy -> previous:float -> float
+(** The next sleep, in seconds: uniform in [\[base, 3 * previous\]]
+    clamped to [cap]; [previous] below [base] (including the [0.] before
+    any delay) is treated as [base]. *)
+
+type 'a outcome =
+  | Retry of exn  (** transient failure — worth another attempt *)
+  | Done of 'a  (** success (or a definitive failure encoded in ['a]) *)
+
+val retry :
+  ?policy:policy ->
+  ?rng:Rng.t ->
+  sleep:(float -> unit) ->
+  (attempt:int -> 'a outcome) ->
+  ('a, exn) result
+(** [retry ~sleep f] calls [f ~attempt:0], then on {!Retry} sleeps and
+    tries again with increasing attempt numbers, up to
+    [policy.max_attempts] total attempts. Returns [Ok v] on the first
+    {!Done}, or [Error e] carrying the last {!Retry} exception once
+    attempts are exhausted. [sleep] receives each delay in seconds —
+    production passes [Unix.sleepf], tests a recorder. [rng] defaults to
+    a fixed-seed generator (deterministic delays). *)

@@ -1,0 +1,395 @@
+(* Chaos drill (dune alias @chaos-smoke).
+
+   Randomized fault schedules against a real daemon process: every
+   schedule throws some combination of faults at one exhaustive campaign
+   — SIGKILL at a random shard-wave boundary, a byte flipped or the file
+   truncated inside the on-disk checkpoint, a torn [.tmp] from a write
+   that never finished, truncated or garbage wire frames from a hostile
+   client, a watcher that disconnects mid-stream, and a resubmission
+   whose first ACK was dropped — and then requires the daemon to
+   converge to outcome bytes bit-identical to the direct serial
+   campaign. At least one schedule exercises quarantine-and-rebuild of a
+   corrupt checkpoint and at least one exercises idempotent resubmit;
+   the drill asserts both actually happened.
+
+   The daemon forks happen before the parent touches any domain pool
+   (worker domains do not survive fork()); the parent only ever runs the
+   serial golden and ground-truth campaigns. *)
+
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+module Program = Ftb_trace.Program
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Checkpoint = Ftb_campaign.Checkpoint
+module Json = Ftb_service.Json
+module Wire = Ftb_service.Wire
+module Job = Ftb_service.Job
+module Client = Ftb_service.Client
+module Server = Ftb_service.Server
+module Rng = Ftb_util.Rng
+
+let failures = ref 0
+
+let check what ok =
+  if ok then Printf.printf "ok    %s\n%!" what
+  else begin
+    incr failures;
+    Printf.printf "FAIL  %s\n%!" what
+  end
+
+(* Small damped fixed-point program: 53 sites, 3392 cases — big enough
+   that a kill at wave 2 of ~106 lands mid-campaign, small enough that a
+   schedule takes well under a second of campaign time. *)
+let program =
+  let statics = Static.create_table () in
+  let tag_load = Static.register statics ~phase:"chaos.load" ~label:"x[i]" in
+  let tag_iter = Static.register statics ~phase:"chaos.iter" ~label:"x[i] update" in
+  let tag_out = Static.register statics ~phase:"chaos.out" ~label:"sum" in
+  let body ctx =
+    let x =
+      Array.map (fun v -> Ctx.record ctx ~tag:tag_load v) [| 1.0; 2.0; 3.0; 4.0 |]
+    in
+    for _iter = 1 to 12 do
+      for i = 0 to 3 do
+        let left = x.((i + 3) mod 4) and right = x.((i + 1) mod 4) in
+        x.(i) <- Ctx.record ctx ~tag:tag_iter ((x.(i) +. (0.25 *. (left +. right))) /. 1.5)
+      done
+    done;
+    [| Ctx.record ctx ~tag:tag_out (Array.fold_left ( +. ) 0. x) |]
+  in
+  Program.make ~name:"chaos.bench" ~description:"damped fixed-point iteration"
+    ~tolerance:0.05 ~statics body
+
+let resolve = function
+  | "chaos.bench" -> program
+  | name -> invalid_arg (Printf.sprintf "unknown benchmark %S" name)
+
+let fuel = 10_000
+let shard_size = 32
+
+let fresh_dir tag =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb_chaos_%s_%d" tag (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists path then rm path;
+  Unix.mkdir path 0o755;
+  path
+
+let spawn_daemon config sock =
+  match Unix.fork () with
+  | 0 ->
+      (match Server.run ~socket:sock (Server.create config) with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 1)
+  | pid -> pid
+
+let connect_with_retry sock =
+  let rec go attempts =
+    match Client.connect ~socket:sock with
+    | client -> client
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempts > 0 ->
+        ignore (Unix.select [] [] [] 0.05);
+        go (attempts - 1)
+  in
+  go 200
+
+let raw_connect sock =
+  let rec go attempts =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempts > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ignore (Unix.select [] [] [] 0.05);
+        go (attempts - 1)
+  in
+  go 200
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedules                                                     *)
+
+type corruption = No_corruption | Flip_byte | Truncate | Torn_tmp
+
+type schedule = {
+  seed : int;
+  kill_threshold : int option;
+      (* SIGKILL once this many shard waves have completed *)
+  corruption : corruption;  (* applied to the checkpoint after a kill *)
+  garbage_client : bool;  (* hostile client speaks broken frames *)
+  midstream_disconnect : bool;  (* a watcher vanishes mid-stream *)
+  dropped_ack_resubmit : bool;  (* idempotent resubmit after lost ACK *)
+}
+
+let describe s =
+  Printf.sprintf "seed=%d kill=%s corrupt=%s garbage=%b vanish=%b resubmit=%b"
+    s.seed
+    (match s.kill_threshold with Some k -> string_of_int k | None -> "no")
+    (match s.corruption with
+    | No_corruption -> "no"
+    | Flip_byte -> "flip"
+    | Truncate -> "trunc"
+    | Torn_tmp -> "torn-tmp")
+    s.garbage_client s.midstream_disconnect s.dropped_ack_resubmit
+
+let random_schedule seed =
+  let rng = Rng.create ~seed in
+  let kill_threshold = if Rng.float rng 1.0 < 0.75 then Some (1 + Rng.int rng 8) else None in
+  {
+    seed;
+    kill_threshold;
+    corruption =
+      (if kill_threshold = None then No_corruption
+       else
+         match Rng.int rng 4 with
+         | 0 -> Flip_byte
+         | 1 -> Truncate
+         | 2 -> Torn_tmp
+         | _ -> No_corruption);
+    garbage_client = Rng.bool rng;
+    midstream_disconnect = Rng.bool rng;
+    dropped_ack_resubmit = Rng.bool rng;
+  }
+
+(* Hand-picked schedules pin down the coverage the drill promises: a
+   quarantine-and-rebuild, a truncation, a torn tmp, an idempotent
+   resubmit, and a kitchen-sink run. The rest is randomized. *)
+let forced =
+  [
+    { seed = 1001; kill_threshold = Some 2; corruption = Flip_byte;
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false };
+    { seed = 1002; kill_threshold = Some 2; corruption = Truncate;
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false };
+    { seed = 1003; kill_threshold = Some 3; corruption = Torn_tmp;
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false };
+    { seed = 1004; kill_threshold = None; corruption = No_corruption;
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = true };
+    { seed = 1005; kill_threshold = Some 4; corruption = Flip_byte;
+      garbage_client = true; midstream_disconnect = true; dropped_ack_resubmit = true };
+  ]
+
+let schedules = forced @ List.init 17 (fun i -> random_schedule (i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injectors                                                     *)
+
+let send_garbage rng sock =
+  (* Either a length prefix promising a frame that never arrives, or an
+     oversized length, or plain non-frame bytes. The daemon must shrug
+     all three off. *)
+  let fd = raw_connect sock in
+  (try
+     match Rng.int rng 3 with
+     | 0 ->
+         let buf = Bytes.create 7 in
+         Bytes.set_int32_be buf 0 500l;
+         Bytes.blit_string "abc" 0 buf 4 3;
+         ignore (Unix.write fd buf 0 7)
+     | 1 ->
+         let buf = Bytes.create 4 in
+         Bytes.set_int32_be buf 0 (Int32.of_int (Wire.max_frame + 1));
+         ignore (Unix.write fd buf 0 4)
+     | _ ->
+         let s = "\xde\xad\xbe\xef not a frame" in
+         ignore (Unix.write_substring fd s 0 (String.length s))
+   with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let submit_and_drop_ack sock ~idem spec =
+  (* The submission frame goes out, then the connection dies before the
+     ACK comes back — the client can never know whether the job was
+     created. The later keyed resubmission must be safe either way. *)
+  let fd = raw_connect sock in
+  Wire.write fd
+    (Json.Obj
+       [
+         ("cmd", Json.String "submit");
+         ("idem", Json.String idem);
+         ("spec", Job.spec_to_json spec);
+       ]);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let corrupt_checkpoint rng kind path =
+  match kind with
+  | No_corruption -> false
+  | _ when not (Sys.file_exists path) -> false
+  | Flip_byte ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let raw = really_input_string ic n in
+      close_in ic;
+      let bytes = Bytes.of_string raw in
+      (* anywhere in the file: header, manifest or outcome bytes alike *)
+      let pos = Rng.int rng n in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc;
+      true
+  | Truncate ->
+      let n = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (max 1 (n / 2));
+      true
+  | Torn_tmp ->
+      (* a crash mid-write leaves a partial temp file behind; it must be
+         ignored (and eventually overwritten) on recovery *)
+      let oc = open_out_bin (path ^ ".tmp") in
+      output_string oc "torn write, never renamed";
+      close_out oc;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* One schedule, end to end                                            *)
+
+let quarantines = ref 0
+let resubmits = ref 0
+
+let run_schedule reference idx s =
+  let rng = Rng.create ~seed:(s.seed * 7919) in
+  let state_dir = fresh_dir (Printf.sprintf "drill%02d" idx) in
+  let sock = Filename.concat state_dir "daemon.sock" in
+  let config =
+    {
+      (Server.default_config ~state_dir) with
+      Server.domains = 2;
+      checkpoint_every = 1;
+      resolve;
+    }
+  in
+  let spec =
+    { (Job.default_spec ~bench:"chaos.bench") with Job.shard_size; fuel = Some fuel }
+  in
+  let idem = Printf.sprintf "drill-%d" s.seed in
+  let pid = ref (spawn_daemon config sock) in
+
+  if s.dropped_ack_resubmit then submit_and_drop_ack sock ~idem spec;
+  if s.garbage_client then send_garbage rng sock;
+
+  (* Submit (deduping against the dropped-ACK attempt, if any) and watch
+     until either completion or the scheduled kill. *)
+  let client = connect_with_retry sock in
+  let id =
+    match Client.submit ~idem client spec with
+    | Ok id -> id
+    | Error e -> failwith (Printf.sprintf "submit: %s: %s" e.Client.code e.Client.message)
+  in
+  let killed = ref false in
+  (match s.kill_threshold with
+  | None -> (
+      match Client.watch client id with Ok _ | Error _ -> () | exception _ -> ())
+  | Some k -> (
+      match
+        Client.watch client id
+          ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
+            if (not !killed) && shards_done >= k && (cases_total = 0 || cases_done < cases_total)
+            then begin
+              killed := true;
+              Unix.kill !pid Sys.sigkill
+            end)
+      with
+      | Ok _ | Error _ -> ()
+      | exception (Wire.Closed | Wire.Protocol_error _) -> ()
+      | exception Unix.Unix_error _ -> ()));
+  (try Client.close client with _ -> ());
+
+  let corrupted = ref false in
+  if !killed then begin
+    ignore (Unix.waitpid [] !pid);
+    (* The daemon is dead; sabotage its durable state before restart. *)
+    let ckpt = Job.checkpoint_path ~state_dir id in
+    corrupted := corrupt_checkpoint rng s.corruption ckpt;
+    if !corrupted && (s.corruption = Flip_byte || s.corruption = Truncate) then
+      incr quarantines;
+    pid := spawn_daemon config sock
+  end;
+
+  if s.garbage_client then send_garbage rng sock;
+  if s.dropped_ack_resubmit then begin
+    (* Replay the whole submission as a retrying client would after a
+       lost ACK; the key must map it to the same job, even across the
+       daemon restart. *)
+    let c = connect_with_retry sock in
+    (match Client.submit ~idem c spec with
+    | Ok id' ->
+        if id' = id then incr resubmits
+        else check (Printf.sprintf "schedule %d: resubmit deduped" idx) false
+    | Error e ->
+        check
+          (Printf.sprintf "schedule %d: resubmit accepted (%s)" idx e.Client.code)
+          false);
+    Client.close c
+  end;
+
+  (* A watcher that vanishes mid-stream must not wedge anything. *)
+  if s.midstream_disconnect then begin
+    let fd = raw_connect sock in
+    Wire.write fd (Json.Obj [ ("cmd", Json.String "watch"); ("id", Json.Int id) ]);
+    (try ignore (Wire.read fd : Json.t) with _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end;
+
+  (* Convergence: the job completes and its outcome bytes are
+     bit-identical to the direct serial campaign. *)
+  let client2 = connect_with_retry sock in
+  let final =
+    match Client.watch client2 id with
+    | Ok job -> Some job
+    | Error e ->
+        check (Printf.sprintf "schedule %d: final watch (%s)" idx e.Client.code) false;
+        None
+    | exception e ->
+        check (Printf.sprintf "schedule %d: final watch (%s)" idx (Printexc.to_string e))
+          false;
+        None
+  in
+  let golden = Golden.run program in
+  let identical =
+    match final with
+    | Some job when job.Job.status = Job.Completed -> (
+        match
+          Checkpoint.load ~path:(Job.checkpoint_path ~state_dir id) ~shard_size golden
+        with
+        | state ->
+            Checkpoint.is_complete state
+            && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes
+        | exception _ -> false)
+    | Some _ | None -> false
+  in
+  check (Printf.sprintf "schedule %2d converged bit-identical [%s]" idx (describe s))
+    identical;
+  (if !corrupted && (s.corruption = Flip_byte || s.corruption = Truncate) then
+     let qdir = Filename.concat (Job.dir ~state_dir id) "quarantine" in
+     check
+       (Printf.sprintf "schedule %2d quarantined the corrupt checkpoint" idx)
+       (Sys.file_exists qdir && Array.length (Sys.readdir qdir) > 0));
+
+  (match Client.shutdown client2 with Ok () -> () | Error _ -> ());
+  (try Client.close client2 with _ -> ());
+  (match Unix.waitpid [] !pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> check (Printf.sprintf "schedule %d: daemon exited cleanly" idx) false)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let golden = Golden.run program in
+  Printf.printf "chaos drill: %d sites, %d cases, %d schedules\n%!"
+    (Golden.sites golden) (Golden.cases golden) (List.length schedules);
+  let reference = Ground_truth.run ~fuel golden in
+  List.iteri (fun i s -> run_schedule reference i s) schedules;
+  check "at least one schedule exercised quarantine-and-rebuild" (!quarantines >= 1);
+  check "at least one schedule exercised idempotent resubmit" (!resubmits >= 1);
+  if !failures > 0 then begin
+    Printf.printf "%d chaos check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "chaos drill passed"

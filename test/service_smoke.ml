@@ -22,6 +22,7 @@ module Golden = Ftb_trace.Golden
 module Ground_truth = Ftb_inject.Ground_truth
 module Checkpoint = Ftb_campaign.Checkpoint
 module Json = Ftb_service.Json
+module Wire = Ftb_service.Wire
 module Job = Ftb_service.Job
 module Client = Ftb_service.Client
 module Server = Ftb_service.Server
@@ -61,9 +62,25 @@ let make_program ~name ~iters =
 let slow_program = make_program ~name:"svc.slow" ~iters:100
 let quick_program = make_program ~name:"svc.quick" ~iters:24
 
+(* A program that stalls under fault injection: the golden run is
+   instant, but any corrupted value trips a pathological slow path, so a
+   fault campaign stops completing shard waves and only the server's
+   watchdog can call it. One recorded site keeps the case space tiny. *)
+let stall_program =
+  let statics = Static.create_table () in
+  let tag = Static.register statics ~phase:"svc.stall" ~label:"v" in
+  let body ctx =
+    let v = Ctx.record ctx ~tag 1.0 in
+    ignore (Unix.select [] [] [] (if v = 1.0 then 0.002 else 0.6));
+    [| v |]
+  in
+  Program.make ~name:"svc.stall" ~description:"stalls when a fault lands"
+    ~tolerance:0.05 ~statics body
+
 let resolve = function
   | "svc.slow" -> slow_program
   | "svc.quick" -> quick_program
+  | "svc.stall" -> stall_program
   | name -> invalid_arg (Printf.sprintf "unknown benchmark %S" name)
 
 let fuel = 10_000
@@ -292,12 +309,198 @@ let socketpair_test () =
   Client.close client;
   Thread.join conn
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: self-resilience — protocol-error fd hygiene, the stuck-job
+   watchdog, idempotent resubmission, and seq-based watch resume        *)
+
+let resilience_test () =
+  let state_dir = fresh_dir "resil" in
+  let config =
+    {
+      (Server.default_config ~state_dir) with
+      Server.domains = 2;
+      capacity = 4;
+      resolve;
+      stuck_after = Some 0.4;
+    }
+  in
+  let t = Server.create config in
+  Server.start t;
+  let open_conn () =
+    let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let thread = Thread.create (fun () -> Server.serve_connection t server_fd) () in
+    (client_fd, thread)
+  in
+
+  (* A client speaking garbage gets a typed protocol error, then the
+     server closes the descriptor — and keeps serving everyone else. *)
+  let raw_fd, raw_thread = open_conn () in
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 (Int32.of_int (Wire.max_frame + 1));
+  ignore (Unix.write raw_fd buf 0 4);
+  (match Wire.read raw_fd with
+  | Json.Obj kvs ->
+      let code =
+        match List.assoc_opt "error" kvs with
+        | Some (Json.Obj e) -> (
+            match List.assoc_opt "code" e with Some (Json.String c) -> c | _ -> "")
+        | _ -> ""
+      in
+      check "garbage frame answered with typed protocol error"
+        (List.assoc_opt "ok" kvs = Some (Json.Bool false) && code = "protocol")
+  | _ | (exception _) -> check "garbage frame answered with typed protocol error" false);
+  (match Wire.read raw_fd with
+  | _ -> check "server closed the descriptor after protocol error" false
+  | exception Wire.Closed ->
+      check "server closed the descriptor after protocol error" true
+  | exception _ -> check "server closed the descriptor after protocol error" false);
+  Thread.join raw_thread;
+  (try Unix.close raw_fd with Unix.Unix_error _ -> ());
+
+  (* Submit the stalling campaign; small shards so the abandoned runner
+     notices the cooperative cancel quickly. *)
+  let c1, th1 = open_conn () in
+  let client = Client.of_fd c1 in
+  let stall_spec =
+    { (Job.default_spec ~bench:"svc.stall") with Job.shard_size = 2; fuel = Some fuel }
+  in
+  let sid = get_ok "submit stall job" (Client.submit client stall_spec) in
+
+  (* A watcher that vanishes mid-stream: its subscription must be reaped
+     and must not wedge the daemon or the other watchers. *)
+  let c2, th2 = open_conn () in
+  Wire.write c2 (Json.Obj [ ("cmd", Json.String "watch"); ("id", Json.Int sid) ]);
+  (match Wire.read c2 with
+  | Json.Obj kvs ->
+      check "doomed watcher got its ok frame"
+        (List.assoc_opt "ok" kvs = Some (Json.Bool true))
+  | _ | (exception _) -> check "doomed watcher got its ok frame" false);
+  Unix.close c2;
+
+  (* The watchdog, not the campaign, ends this job. *)
+  let final = get_ok "watch stall job to verdict" (Client.watch client sid) in
+  check "watchdog marked the non-progressing job stuck"
+    (final.Job.status = Job.Stuck);
+  check "stuck is terminal and timestamped"
+    (Job.is_terminal final.Job.status && final.Job.finished <> None);
+  Thread.join th2;
+
+  (* Let the abandoned runner notice the cooperative cancel and release
+     the domain pool, so the next job is not starved into its own
+     watchdog verdict. *)
+  ignore (Unix.select [] [] [] 1.5);
+
+  (* The queue moves on past a stuck job, and an idempotency key makes a
+     blind resubmit safe: same id back, no duplicate campaign. *)
+  let quick_spec =
+    { (Job.default_spec ~bench:"svc.quick") with Job.shard_size = 32; fuel = Some fuel }
+  in
+  let qid = get_ok "submit with idempotency key" (Client.submit ~idem:"resub-1" client quick_spec) in
+  let qid' = get_ok "blind resubmit, same key" (Client.submit ~idem:"resub-1" client quick_spec) in
+  check "duplicate submit deduped to the original id" (qid' = qid);
+  let finalq = get_ok "watch job queued behind stuck one" (Client.watch client qid) in
+  check "queue moved on past the stuck job" (finalq.Job.status = Job.Completed);
+  let qid'' = get_ok "resubmit after completion" (Client.submit ~idem:"resub-1" client quick_spec) in
+  check "idempotency key outlives job completion" (qid'' = qid);
+
+  (* Watch resume: a rewatch carrying the last seen seq gets nothing it
+     has already processed; a fresh watch still gets its snapshot. *)
+  let last_seq = ref 0 in
+  let fresh_events = ref 0 in
+  ignore
+    (get_ok "re-watch completed job"
+       (Client.watch client qid
+          ~on_event:(fun (Client.Progress { seq; _ }) ->
+            incr fresh_events;
+            if seq > !last_seq then last_seq := seq)));
+  check "fresh watch of a terminal job delivers a sequenced snapshot"
+    (!fresh_events >= 1 && !last_seq > 0);
+  let resumed_events = ref 0 in
+  ignore
+    (get_ok "re-watch with after=last-seen"
+       (Client.watch client qid ~after:!last_seq
+          ~on_event:(fun _ -> incr resumed_events)));
+  check "resumed watch suppresses already-seen events" (!resumed_events = 0);
+
+  get_ok "shutdown resilience daemon" (Client.shutdown client);
+  Server.join t;
+  check "resilience daemon drained cleanly" true;
+  Client.close client;
+  Thread.join th1
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: restart triage — a backlog deeper than the queue bound is
+   capped, the overflow failed with a typed reason, keys survive        *)
+
+let restart_overflow_test () =
+  let state_dir = fresh_dir "overflow" in
+  let mk id priority idem =
+    {
+      Job.id;
+      spec =
+        {
+          (Job.default_spec ~bench:"svc.quick") with
+          Job.shard_size = 32;
+          fuel = Some fuel;
+          priority;
+        };
+      status = Job.Queued;
+      counts = Job.zero_counts;
+      submitted = float_of_int id;
+      started = None;
+      finished = None;
+      idem;
+    }
+  in
+  (* Dispatch order is 2 (prio 5), 4 (prio 1), then 1, 3 (prio 0, FIFO):
+     with capacity 2, jobs 2 and 4 survive and 1 and 3 are evicted. *)
+  List.iter (Job.save ~state_dir)
+    [ mk 1 0 None; mk 2 5 (Some "survivor"); mk 3 0 None; mk 4 1 None ];
+  let config =
+    { (Server.default_config ~state_dir) with Server.domains = 1; capacity = 2; resolve }
+  in
+  let t = Server.create config in
+  (* Scheduler deliberately not started: this inspects restart triage
+     before anything dequeues. *)
+  let server_fd, client_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Thread.create (fun () -> Server.serve_connection t server_fd) () in
+  let client = Client.of_fd client_fd in
+  let jobs = get_ok "list restored jobs" (Client.list client) in
+  let status id =
+    (List.find (fun (j : Job.info) -> j.Job.id = id) jobs).Job.status
+  in
+  let evicted = function
+    | Job.Failed reason ->
+        String.length reason >= 7 && String.sub reason 0 7 = "evicted"
+    | _ -> false
+  in
+  check "restart restored exactly the jobs on disk" (List.length jobs = 4);
+  check "best dispatch order re-queued up to capacity"
+    (status 2 = Job.Queued && status 4 = Job.Queued);
+  check "overflow marked failed with a typed eviction reason"
+    (evicted (status 1) && evicted (status 3));
+  check "eviction persisted for post-restart autopsy"
+    (List.length
+       (List.filter (fun (j : Job.info) -> evicted j.Job.status) (Job.load_all ~state_dir))
+    = 2);
+  (* The surviving job's idempotency key still dedupes across restart. *)
+  let rid =
+    get_ok "resubmit survivor's key across restart"
+      (Client.submit ~idem:"survivor" client (Job.default_spec ~bench:"svc.quick"))
+  in
+  check "idempotency key survives daemon restart" (rid = 2);
+  Client.close client;
+  Thread.join conn
+
 let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Printf.printf "service smoke: slow=%d sites, quick=%d sites\n%!"
     (Golden.sites (Golden.run slow_program))
     (Golden.sites (Golden.run quick_program));
   crash_restart_test ();
   socketpair_test ();
+  resilience_test ();
+  restart_overflow_test ();
   if !failures > 0 then begin
     Printf.printf "%d smoke check(s) failed\n" !failures;
     exit 1

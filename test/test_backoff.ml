@@ -1,0 +1,131 @@
+(* Decorrelated-jitter backoff: delay bounds, cap clamping, retry
+   accounting, and environment-knob parsing. Sleeps are injected, so the
+   suite never actually waits. *)
+
+module Backoff = Ftb_util.Backoff
+module Rng = Ftb_util.Rng
+
+let test_policy_validation () =
+  let rejects f = match f () with
+    | _ -> Alcotest.fail "bad policy accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (fun () -> Backoff.policy ~base:0. ());
+  rejects (fun () -> Backoff.policy ~base:1. ~cap:0.5 ());
+  rejects (fun () -> Backoff.policy ~max_attempts:0 ())
+
+let test_delays_within_bounds () =
+  let policy = Backoff.policy ~base:0.1 ~cap:2.0 () in
+  let rng = Rng.create ~seed:7 in
+  let previous = ref 0. in
+  for _ = 1 to 1000 do
+    let d = Backoff.next_delay rng policy ~previous:!previous in
+    Alcotest.(check bool) "delay >= base" true (d >= policy.Backoff.base);
+    Alcotest.(check bool) "delay <= cap" true (d <= policy.Backoff.cap);
+    Alcotest.(check bool) "delay <= 3 * previous (or cap bound)" true
+      (d <= Float.min policy.Backoff.cap (3. *. Float.max !previous policy.Backoff.base));
+    previous := d
+  done
+
+let test_delays_grow_under_sustained_failure () =
+  (* With a generous cap the expected delay grows roughly exponentially:
+     after a handful of failures the mean delay must dwarf the base. *)
+  let policy = Backoff.policy ~base:0.01 ~cap:1000. ~max_attempts:12 () in
+  let mean_delay_at step =
+    let acc = ref 0. in
+    let trials = 200 in
+    for seed = 1 to trials do
+      let rng = Rng.create ~seed in
+      let d = ref 0. in
+      for _ = 1 to step do
+        d := Backoff.next_delay rng policy ~previous:!d
+      done;
+      acc := !acc +. !d
+    done;
+    !acc /. float_of_int trials
+  in
+  Alcotest.(check bool) "delays grow by an order of magnitude" true
+    (mean_delay_at 8 > 10. *. mean_delay_at 1)
+
+let test_retry_succeeds_after_failures () =
+  let sleeps = ref [] in
+  let attempts = ref 0 in
+  let result =
+    Backoff.retry
+      ~policy:(Backoff.policy ~base:0.05 ~cap:1.0 ~max_attempts:10 ())
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      (fun ~attempt ->
+        incr attempts;
+        Alcotest.(check int) "attempt numbers count up" (!attempts - 1) attempt;
+        if attempt < 3 then Backoff.Retry (Failure "transient")
+        else Backoff.Done "payload")
+  in
+  Alcotest.(check bool) "eventual success" true (result = Ok "payload");
+  Alcotest.(check int) "one sleep per failed attempt" 3 (List.length !sleeps);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "recorded sleeps within policy" true
+        (d >= 0.05 && d <= 1.0))
+    !sleeps
+
+let test_retry_exhausts_attempts () =
+  let attempts = ref 0 in
+  let result =
+    Backoff.retry
+      ~policy:(Backoff.policy ~max_attempts:4 ())
+      ~sleep:(fun _ -> ())
+      (fun ~attempt:_ ->
+        incr attempts;
+        Backoff.Retry (Failure "still down"))
+  in
+  Alcotest.(check int) "every attempt consumed" 4 !attempts;
+  match result with
+  | Error (Failure msg) -> Alcotest.(check string) "last failure surfaced" "still down" msg
+  | Ok _ | Error _ -> Alcotest.fail "exhausted retry did not report the failure"
+
+let test_retry_first_try_sleeps_nothing () =
+  let slept = ref false in
+  let result =
+    Backoff.retry
+      ~sleep:(fun _ -> slept := true)
+      (fun ~attempt:_ -> Backoff.Done 42)
+  in
+  Alcotest.(check bool) "no sleep on immediate success" false !slept;
+  Alcotest.(check bool) "value returned" true (result = Ok 42)
+
+let with_env bindings f =
+  let old = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) bindings in
+  List.iter (fun (k, v) -> Unix.putenv k v) bindings;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (k, v) -> Unix.putenv k (Option.value v ~default:"")) old)
+    f
+
+let test_env_knobs () =
+  with_env
+    [ ("FTB_RETRY_BASE", "0.25"); ("FTB_RETRY_CAP", "9"); ("FTB_RETRY_ATTEMPTS", "3") ]
+    (fun () ->
+      let p = Backoff.from_env () in
+      Alcotest.(check bool) "base" true (p.Backoff.base = 0.25);
+      Alcotest.(check bool) "cap" true (p.Backoff.cap = 9.);
+      Alcotest.(check int) "attempts" 3 p.Backoff.max_attempts);
+  (* Malformed values fall back to the policy defaults. *)
+  with_env
+    [ ("FTB_RETRY_BASE", "banana"); ("FTB_RETRY_CAP", "-4"); ("FTB_RETRY_ATTEMPTS", "0") ]
+    (fun () ->
+      let p = Backoff.from_env () in
+      Alcotest.(check bool) "defaults survive garbage" true (p = Backoff.default))
+
+let suite =
+  [
+    Alcotest.test_case "policy validation" `Quick test_policy_validation;
+    Alcotest.test_case "delays within bounds" `Quick test_delays_within_bounds;
+    Alcotest.test_case "delays grow under sustained failure" `Quick
+      test_delays_grow_under_sustained_failure;
+    Alcotest.test_case "retry succeeds after failures" `Quick
+      test_retry_succeeds_after_failures;
+    Alcotest.test_case "retry exhausts attempts" `Quick test_retry_exhausts_attempts;
+    Alcotest.test_case "first try sleeps nothing" `Quick
+      test_retry_first_try_sleeps_nothing;
+    Alcotest.test_case "environment knobs" `Quick test_env_knobs;
+  ]

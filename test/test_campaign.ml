@@ -171,30 +171,26 @@ let test_checkpoint_rejects_other_program () =
   Sys.remove path
 
 let test_checkpoint_rejects_stale_fingerprint () =
-  (* Corrupt the stored golden fingerprint on disk: the loader must reject
-     the checkpoint, naming the path and header line. *)
+  (* Replace the stored golden fingerprint inside the payload and rewrap
+     it in a fresh (valid) envelope: the integrity check passes, so it
+     must be the semantic fingerprint check that rejects, naming the path
+     and header line. *)
   let g = Lazy.force golden in
   let path = tmp "fingerprint" in
   Checkpoint.save ~path (Checkpoint.create g ~shard_size:5);
-  let contents =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let nl = String.index contents '\n' in
-  let header = String.sub contents 0 nl in
-  let rest = String.sub contents nl (String.length contents - nl) in
+  let payload = Persist.load_enveloped ~path in
+  let nl = String.index payload '\n' in
+  let header = String.sub payload 0 nl in
+  let rest = String.sub payload nl (String.length payload - nl) in
   let header =
     String.concat " "
       (List.mapi
          (fun i field -> if i = 4 then String.make (String.length field) '0' else field)
          (String.split_on_char ' ' header))
   in
-  let oc = open_out_bin path in
-  output_string oc (header ^ rest);
-  close_out oc;
+  Persist.save_enveloped ~path (fun b ->
+      Buffer.add_string b header;
+      Buffer.add_string b rest);
   (match Checkpoint.load ~path ~shard_size:5 g with
   | _ -> Alcotest.fail "stale fingerprint accepted"
   | exception Persist.Format_error msg ->
@@ -212,6 +208,82 @@ let test_legacy_ground_truth_loads_as_complete () =
   Alcotest.(check bytes) "bytes preserved" gt.Ground_truth.outcomes
     state.Checkpoint.outcomes;
   Sys.remove path
+
+let test_legacy_bare_checkpoint_loads () =
+  (* A pre-envelope checkpoint carries the v2 payload with no wrapper;
+     it must still load, bit-identically. *)
+  let g = Lazy.force golden in
+  let path = tmp "legacy_bare" in
+  let state = Checkpoint.create g ~shard_size:5 in
+  Array.fill state.Checkpoint.completed 0 1 true;
+  Checkpoint.save ~path state;
+  let payload = Persist.load_enveloped ~path in
+  let oc = open_out_bin path in
+  output_string oc payload;
+  close_out oc;
+  let loaded = Checkpoint.load ~path ~shard_size:5 g in
+  Alcotest.(check int) "completed shards preserved" 1
+    (Checkpoint.completed_count loaded);
+  Alcotest.(check bytes) "outcome bytes preserved" state.Checkpoint.outcomes
+    loaded.Checkpoint.outcomes;
+  Sys.remove path
+
+let test_corrupt_checkpoint_quarantined_and_rebuilt () =
+  (* A byte flip inside a checkpoint must be detected on load; under
+     [Restart] the engine quarantines the evidence and rebuilds, and the
+     campaign still converges to the direct run's exact bytes. *)
+  let g = Lazy.force golden in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb_campaign_corrupt_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "checkpoint" in
+  let state = Checkpoint.create g ~shard_size:5 in
+  Array.fill state.Checkpoint.completed 0 2 true;
+  Checkpoint.save ~path state;
+  (* Flip one byte somewhere in the payload. *)
+  let ic = open_in_bin path in
+  let raw = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let victim = Bytes.length raw - 3 in
+  Bytes.set raw victim (Char.chr (Char.code (Bytes.get raw victim) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc raw;
+  close_out oc;
+  (* Fail-fast policy still surfaces the corruption... *)
+  (match Checkpoint.load ~path ~shard_size:5 g with
+  | _ -> Alcotest.fail "flipped checkpoint byte accepted"
+  | exception Persist.Format_error _ -> ());
+  (* ...and the Restart policy quarantines and rebuilds from scratch. *)
+  let config =
+    { Engine.default_config with Engine.shard_size = 5;
+      on_invalid_checkpoint = Engine.Restart }
+  in
+  let report = Engine.run ~config ~checkpoint:path g in
+  let quarantined =
+    match report.Engine.quarantined with
+    | Some dest -> dest
+    | None -> Alcotest.fail "corrupt checkpoint was not quarantined"
+  in
+  Alcotest.(check bool) "evidence preserved in quarantine/" true
+    (Sys.file_exists quarantined
+    && Filename.basename (Filename.dirname quarantined) = "quarantine");
+  Alcotest.(check int) "nothing resumed from the corpse" 0
+    report.Engine.resumed_shards;
+  let direct = Ground_truth.run g in
+  Alcotest.(check bytes) "rebuilt campaign is bit-identical"
+    direct.Ground_truth.outcomes
+    report.Engine.ground_truth.Ground_truth.outcomes;
+  rm dir
 
 (* ------------------------------------------------------------------ *)
 (* Engine: checkpoint / resume                                         *)
@@ -444,6 +516,10 @@ let suite =
       test_checkpoint_rejects_stale_fingerprint;
     Alcotest.test_case "legacy ground truth loads as complete" `Quick
       test_legacy_ground_truth_loads_as_complete;
+    Alcotest.test_case "legacy bare checkpoint loads" `Quick
+      test_legacy_bare_checkpoint_loads;
+    Alcotest.test_case "corrupt checkpoint quarantined and rebuilt" `Quick
+      test_corrupt_checkpoint_quarantined_and_rebuilt;
     Alcotest.test_case "resume serial" `Quick test_resume_serial;
     Alcotest.test_case "resume parallel" `Quick test_resume_parallel;
     Helpers.qcheck_to_alcotest resume_roundtrip;

@@ -190,6 +190,7 @@ let sample_info =
     submitted = 1700000000.5;
     started = Some 1700000001.5;
     finished = None;
+    idem = Some "client-key-1";
   }
 
 let test_job_spec_roundtrip () =
@@ -214,6 +215,7 @@ let test_job_info_roundtrip () =
       { sample_info with Job.status = Job.Running };
       { sample_info with Job.status = Job.Completed; finished = Some 1700000009. };
       { sample_info with Job.status = Job.Cancelled };
+      { sample_info with Job.status = Job.Stuck; idem = None };
     ]
   in
   List.iter
@@ -320,6 +322,142 @@ let test_queue_rejects_bad_capacity () =
   | _ -> Alcotest.fail "capacity 0 accepted"
   | exception Invalid_argument _ -> ()
 
+let test_queue_restore_all_respects_bound () =
+  (* Restart re-queueing is capped: the jobs that would dispatch first
+     survive, the overflow comes back for the caller to fail. *)
+  let q = Job_queue.create ~capacity:3 in
+  let overflow =
+    Job_queue.restore_all q
+      [ queued 1 0; queued 2 5; queued 3 0; queued 4 5; queued 5 (-1) ]
+  in
+  Alcotest.(check int) "queue filled to capacity" 3 (Job_queue.length q);
+  Alcotest.(check (list int)) "best dispatch order kept" [ 2; 4; 1 ] (ids q);
+  Alcotest.(check (list int)) "worst dispatch order evicted" [ 3; 5 ]
+    (List.map (fun (i : Job.info) -> i.Job.id) overflow);
+  (* A partially filled queue only takes the difference. *)
+  let q2 = Job_queue.create ~capacity:2 in
+  (match Job_queue.add q2 (queued 9 0) with Ok () -> () | Error _ -> assert false);
+  let overflow2 = Job_queue.restore_all q2 [ queued 1 0; queued 2 0 ] in
+  Alcotest.(check int) "one slot left, one taken" 2 (Job_queue.length q2);
+  Alcotest.(check (list int)) "later FIFO entry evicted" [ 2 ]
+    (List.map (fun (i : Job.info) -> i.Job.id) overflow2)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: JSON codec and wire framing                                   *)
+
+(* Random JSON value trees, biased toward the codec's hard cases:
+   escape-heavy strings (controls, quotes, non-ASCII bytes that decode as
+   UTF-8 from \u escapes, astral code points = surrogate pairs) and float
+   edges (negative zero, subnormals, huge magnitudes, non-finite). *)
+let gen_json =
+  let open QCheck.Gen in
+  let scalar_string =
+    let special =
+      oneofl
+        [ ""; "\""; "\\"; "\n\t\r"; "\001\031"; "caf\xc3\xa9"; "\xf0\x9f\x98\x80";
+          "a\"b\\c\nd"; String.make 65 '\\' ]
+    in
+    oneof [ special; string_size ~gen:printable (int_bound 12) ]
+  in
+  let scalar_float =
+    oneofl
+      [ 0.; -0.; 1.5; -1.25e-9; 3.141592653589793; 1e308; -1e-308;
+        4.94e-324 (* min subnormal *); infinity; neg_infinity; Float.nan ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (oneof [ small_signed_int; int ]);
+        map (fun f -> Json.Float f) scalar_float;
+        map (fun s -> Json.String s) scalar_string;
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_bound 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair scalar_string (tree (depth - 1)))) );
+        ]
+  in
+  tree 3
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  (* Ints may decode as floats and floats with integral values as ints;
+     the codec's contract is numeric, not representational. *)
+  | (Json.Int _ | Json.Float _), (Json.Int _ | Json.Float _) ->
+      let f = function Json.Int i -> float_of_int i | Json.Float f -> f | _ -> 0. in
+      let x = f a and y = f b in
+      (Float.is_nan x && Float.is_nan y) || Int64.bits_of_float x = Int64.bits_of_float y
+  | Json.String x, Json.String y -> x = y
+  (* Non-finite floats deliberately encode as sentinel strings. *)
+  | Json.Float f, Json.String s | Json.String s, Json.Float f ->
+      (Float.is_nan f && s = "nan")
+      || (f = infinity && s = "inf")
+      || (f = neg_infinity && s = "-inf")
+  | Json.List x, Json.List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Json.Obj x, Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2 (fun (k, v) (k', v') -> k = k' && json_equal v v') x y
+  | _ -> false
+
+let fuzz_json_roundtrip =
+  QCheck.Test.make ~name:"fuzzed json value trees round-trip" ~count:500
+    (QCheck.make gen_json) (fun v -> json_equal v (roundtrip v))
+
+let fuzz_wire_split_boundaries =
+  (* Frames survive arbitrary write fragmentation: send several frames
+     through a socketpair in randomly sized chunks (down to single bytes)
+     and require the reader to reassemble every frame intact. *)
+  QCheck.Test.make ~name:"wire framing survives random split boundaries" ~count:60
+    QCheck.(pair (list_of_size (Gen.int_range 1 4) (make gen_json)) (int_range 1 17))
+    (fun (values, chunk) ->
+      with_socketpair (fun a b ->
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun v ->
+              let payload = Json.to_string v in
+              let n = String.length payload in
+              let prefix = Bytes.create 4 in
+              Bytes.set_int32_be prefix 0 (Int32.of_int n);
+              Buffer.add_bytes buf prefix;
+              Buffer.add_string buf payload)
+            values;
+          let raw = Buffer.contents buf in
+          let writer =
+            Thread.create
+              (fun () ->
+                let off = ref 0 in
+                while !off < String.length raw do
+                  let len = min chunk (String.length raw - !off) in
+                  let written = Unix.write_substring a raw !off len in
+                  off := !off + written
+                done;
+                Unix.close a)
+              ()
+          in
+          let result =
+            List.for_all (fun sent -> json_equal sent (Wire.read b)) values
+            && match Wire.read b with
+               | _ -> false (* stream must end after the last frame *)
+               | exception Wire.Closed -> true
+          in
+          Thread.join writer;
+          result))
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -344,4 +482,8 @@ let suite =
     Alcotest.test_case "queue remove" `Quick test_queue_remove;
     Alcotest.test_case "queue rejects bad capacity" `Quick
       test_queue_rejects_bad_capacity;
+    Alcotest.test_case "queue restore_all respects bound" `Quick
+      test_queue_restore_all_respects_bound;
+    Helpers.qcheck_to_alcotest fuzz_json_roundtrip;
+    Helpers.qcheck_to_alcotest fuzz_wire_split_boundaries;
   ]
