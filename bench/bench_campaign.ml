@@ -68,13 +68,9 @@ let parse_options () =
     quick;
     json = !json;
     domains =
-      (if !domains > 0 then !domains
-       else
-         match Parallel.default_domains () with
-         | d -> d
-         | exception Invalid_argument msg ->
-             Printf.eprintf "%s\n" msg;
-             exit 2);
+      Ftb_util.Domains.default_or_exit
+        ?flag:(if !domains > 0 then Some !domains else None)
+        ();
     reps = (if !reps > 0 then !reps else if quick then 1 else 3);
   }
 

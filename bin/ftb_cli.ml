@@ -101,18 +101,9 @@ let list_cmd =
 
 let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_every resume
     fuel domains =
-  let domains =
-    match domains with
-    | Some d -> d
-    | None -> (
-        (* A junk FTB_DOMAINS should be a usage error, not a backtrace —
-           even when --domains was not passed. *)
-        match Ftb_inject.Parallel.default_domains () with
-        | d -> d
-        | exception Invalid_argument msg ->
-            Printf.eprintf "%s\n" msg;
-            exit 2)
-  in
+  (* A junk FTB_DOMAINS should be a usage error, not a backtrace — even
+     when --domains was not passed. *)
+  let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
   let program = find_program name in
   let golden = Ftb_trace.Golden.run program in
   let sites = Ftb_trace.Golden.sites golden in
@@ -539,23 +530,23 @@ let socket_arg =
              "Unix-domain socket of the daemon (default: $(b,%s))."
              (socket_of_state default_state_dir)))
 
-let domains_of_flag = function
-  | Some d -> d
-  | None -> (
-      match Ftb_inject.Parallel.default_domains () with
-      | d -> d
-      | exception Invalid_argument msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 2)
-
-let serve_run () state socket tcp capacity domains checkpoint_every stuck_after =
-  let domains = domains_of_flag domains in
+let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
+    lease_ttl =
+  let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
   let socket = Option.value socket ~default:(socket_of_state state) in
   (match stuck_after with
   | Some d when d <= 0. ->
       Printf.eprintf "--stuck-after must be positive (got %g)\n" d;
       exit 2
   | _ -> ());
+  if lease_ttl <= 0. then begin
+    Printf.eprintf "--lease-ttl must be positive (got %g)\n" lease_ttl;
+    exit 2
+  end;
+  (* Every daemon is fleet-capable: remote `ftb worker` processes may
+     attach at any time and exhaustive jobs submitted while workers are
+     live run on the fleet instead of the local pool. *)
+  let fleet = Ftb_dist.Fleet.create ~lease_ttl () in
   let config =
     {
       (Service.Server.default_config ~state_dir:state) with
@@ -563,16 +554,20 @@ let serve_run () state socket tcp capacity domains checkpoint_every stuck_after 
       domains;
       checkpoint_every;
       stuck_after;
+      extension = Some (Ftb_dist.Fleet.extension fleet);
+      wave_runner = Some (Ftb_dist.Fleet.wave_runner fleet);
     }
   in
   let t = Service.Server.create config in
-  Printf.printf "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d%s\n%!"
+  Printf.printf
+    "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d%s, lease ttl %gs\n%!"
     state socket domains
     (if domains = 1 then "" else "s")
     capacity
     (match stuck_after with
     | Some d -> Printf.sprintf ", stuck watchdog %gs" d
-    | None -> "");
+    | None -> "")
+    lease_ttl;
   Service.Server.run ?tcp ~socket t;
   Printf.printf "ftb daemon: drained\n"
 
@@ -615,11 +610,85 @@ let serve_cmd =
              this long is marked $(b,stuck) (terminal, checkpoint preserved) and \
              the queue moves on. Off by default.")
   in
+  let lease_ttl_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "lease-ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "Shard lease deadline for attached $(b,ftb worker) processes. A \
+             worker that stops heartbeating for this long loses its lease and \
+             the shard is reassigned.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the persistent campaign daemon")
     Term.(
       const serve_run $ logs_term $ state_arg $ socket_arg $ tcp_arg $ capacity_arg
-      $ domains_arg $ checkpoint_every_arg $ stuck_after_arg)
+      $ domains_arg $ checkpoint_every_arg $ stuck_after_arg $ lease_ttl_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ftb worker: attach to a daemon and execute leased campaign shards. *)
+
+let worker_run () connect domains =
+  let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
+  let endpoint = Ftb_dist.Worker.endpoint_of_addr connect in
+  let describe =
+    match endpoint with
+    | Ftb_dist.Worker.Unix_socket path -> path
+    | Ftb_dist.Worker.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  in
+  let config =
+    Ftb_dist.Worker.config ~domains
+      ~log:(fun msg -> Printf.printf "%s\n%!" msg)
+      (fun () ->
+        match Ftb_dist.Worker.connect_endpoint endpoint with
+        | fd -> fd
+        | exception Unix.Unix_error (err, _, _) ->
+            Printf.eprintf "cannot reach daemon at %s: %s (is `ftb serve` running?)\n"
+              describe (Unix.error_message err);
+            exit 1)
+  in
+  Printf.printf "ftb worker: daemon %s, %d domain%s\n%!" describe domains
+    (if domains = 1 then "" else "s");
+  let stats = Ftb_dist.Worker.run config in
+  Printf.printf "ftb worker: done — %d shards (%d cases), %d failures, %d stale\n"
+    stats.Ftb_dist.Worker.shards stats.Ftb_dist.Worker.cases
+    stats.Ftb_dist.Worker.failures stats.Ftb_dist.Worker.stale_acks
+
+let worker_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Daemon address: a Unix-domain socket path (the daemon's \
+             $(b,--socket)) or $(b,HOST:PORT) for a daemon serving $(b,--tcp).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for shard execution. Precedence: this flag; then \
+             $(b,FTB_DOMAINS); then the recommended count capped to 8.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Attach to a campaign daemon and execute leased shards"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Registers with a running $(b,ftb serve) daemon, pulls campaign \
+              shards under bounded leases, executes them on a local domain \
+              pool with the same batched executor as the daemon itself, and \
+              streams outcome bytes back. Multiple workers (on this or other \
+              machines via $(b,--tcp)) scale a campaign out; outcome bytes \
+              are bit-identical to a serial run regardless of worker count or \
+              worker failures.";
+         ])
+    Term.(const worker_run $ logs_term $ connect_arg $ domains_arg)
 
 let with_client socket f =
   let socket = Option.value socket ~default:(socket_of_state default_state_dir) in
@@ -847,8 +916,8 @@ let main_cmd =
   Cmd.group (Cmd.info "ftb" ~version:"1.0.0" ~doc)
     [
       list_cmd; campaign_cmd; boundary_cmd; adaptive_cmd; protect_cmd; models_cmd;
-      propagation_cmd; report_cmd; serve_cmd; submit_cmd; jobs_cmd; watch_cmd;
-      cancel_cmd;
+      propagation_cmd; report_cmd; serve_cmd; worker_cmd; submit_cmd; jobs_cmd;
+      watch_cmd; cancel_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

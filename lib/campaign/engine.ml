@@ -14,6 +14,17 @@ type progress = {
   crash : int;
 }
 
+type shard_task = { shard : int; attempt : int; lo : int; hi : int }
+
+type wave_runner = {
+  wave_size : unit -> int;
+  run_wave :
+    shard_task array ->
+    commit:(shard:int -> Bytes.t -> unit) ->
+    run_local:(lo:int -> hi:int -> unit) ->
+    (int * (unit, string) result) list;
+}
+
 type config = {
   shard_size : int;
   checkpoint_every : int;
@@ -26,6 +37,7 @@ type config = {
   on_checkpoint : (shards_done:int -> shards_total:int -> unit) option;
   cancel : (unit -> bool) option;
   pool : Ftb_inject.Parallel.Pool.t option;
+  runner : wave_runner option;
 }
 
 let default_config =
@@ -41,6 +53,7 @@ let default_config =
     on_checkpoint = None;
     cancel = None;
     pool = None;
+    runner = None;
   }
 
 exception Shard_failed of { shard : int; attempts : int; message : string }
@@ -162,6 +175,45 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
           }
     | None -> ()
   in
+  (* Remote runners hand back a shard's outcome bytes as one blob; commit
+     is the only way those bytes enter the campaign, and it refuses blobs
+     that do not exactly cover the shard's [lo, hi) range. *)
+  let commit ~shard bytes =
+    let lo, hi = Shard.bounds ~total ~shard_size shard in
+    if Bytes.length bytes <> hi - lo then
+      invalid_arg
+        (Printf.sprintf "Engine: commit for shard %d expects %d bytes (got %d)"
+           shard (hi - lo) (Bytes.length bytes));
+    Bytes.blit bytes 0 outcomes lo (hi - lo)
+  in
+  (* Default wave runner: shards of the wave are claimed off the
+     persistent domain pool (spawned once per process, reused across waves
+     and campaigns); each shard writes a disjoint byte range of
+     [outcomes], and [run_shard] never raises, so slots of [results] are
+     filled race-free. *)
+  let local_runner =
+    {
+      wave_size = (fun () -> config.domains);
+      run_wave =
+        (fun tasks ~commit:_ ~run_local:_ ->
+          match tasks with
+          | [| t |] -> [ (t.shard, run_shard t.shard) ]
+          | _ ->
+              let pool =
+                match config.pool with
+                | Some pool -> pool
+                | None -> Ftb_inject.Parallel.Pool.global ~domains:config.domains ()
+              in
+              let results = Array.make (Array.length tasks) None in
+              Ftb_inject.Parallel.Pool.run pool ~participants:config.domains
+                ~chunk:1 ~total:(Array.length tasks) (fun lo hi ->
+                  for i = lo to hi - 1 do
+                    results.(i) <- Some (tasks.(i).shard, run_shard tasks.(i).shard)
+                  done);
+              Array.to_list results |> List.filter_map Fun.id);
+    }
+  in
+  let runner = Option.value config.runner ~default:local_runner in
   let pending = Queue.create () in
   Array.iteri
     (fun index completed -> if not completed then Queue.add (index, 1) pending)
@@ -175,57 +227,50 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
         save_checkpoint ();
         raise Cancelled
     | _ -> ());
-    (* Take one wave of up to [domains] shards and run them concurrently;
-       each domain writes a disjoint byte range of [outcomes]. *)
+    (* Take one wave of shards (the runner chooses how many it can keep
+       busy) and hand it off; the runner reports per-shard results and has
+       either written the outcome bytes in place ([run_local]) or
+       committed a returned blob ([commit]) for every [Ok] shard. *)
+    let limit = max 1 (runner.wave_size ()) in
     let wave = ref [] in
-    while List.length !wave < config.domains && not (Queue.is_empty pending) do
+    while List.length !wave < limit && not (Queue.is_empty pending) do
       wave := Queue.pop pending :: !wave
     done;
-    let wave = Array.of_list (List.rev !wave) in
-    let results =
-      match wave with
-      | [| (index, attempt) |] -> [ (index, attempt, run_shard index) ]
-      | _ ->
-          (* Shards of the wave are claimed off the persistent domain pool
-             (spawned once per process, reused across waves and campaigns);
-             each shard writes a disjoint byte range of [outcomes], and
-             [run_shard] never raises, so slots of [results] are filled
-             race-free. *)
-          let pool =
-            match config.pool with
-            | Some pool -> pool
-            | None -> Ftb_inject.Parallel.Pool.global ~domains:config.domains ()
-          in
-          let results = Array.make (Array.length wave) None in
-          Ftb_inject.Parallel.Pool.run pool ~participants:config.domains ~chunk:1
-            ~total:(Array.length wave) (fun lo hi ->
-              for i = lo to hi - 1 do
-                let index, attempt = wave.(i) in
-                results.(i) <- Some (index, attempt, run_shard index)
-              done);
-          Array.to_list results |> List.filter_map Fun.id
+    let tasks =
+      List.rev !wave
+      |> List.map (fun (index, attempt) ->
+             let lo, hi = Shard.bounds ~total ~shard_size index in
+             { shard = index; attempt; lo; hi })
+      |> Array.of_list
     in
-    List.iter
-      (fun (index, attempt, result) ->
+    let results = runner.run_wave tasks ~commit ~run_local:fill_range in
+    Array.iter
+      (fun task ->
+        let result =
+          match List.assoc_opt task.shard results with
+          | Some r -> r
+          | None -> Error "shard runner returned no result"
+        in
         match result with
         | Ok () ->
-            state.Checkpoint.completed.(index) <- true;
-            let lo, hi = Shard.bounds ~total ~shard_size index in
-            count_range ~lo ~hi;
+            state.Checkpoint.completed.(task.shard) <- true;
+            count_range ~lo:task.lo ~hi:task.hi;
             incr executed;
             incr since_checkpoint
         | Error message ->
-            if attempt > config.max_retries then begin
+            if task.attempt > config.max_retries then begin
               (* Persist what we have so the failed campaign is resumable
                  after the underlying problem is fixed. *)
               save_checkpoint ();
-              raise (Shard_failed { shard = index; attempts = attempt; message })
+              raise
+                (Shard_failed
+                   { shard = task.shard; attempts = task.attempt; message })
             end
             else begin
               incr retries;
-              Queue.add (index, attempt + 1) pending
+              Queue.add (task.shard, task.attempt + 1) pending
             end)
-      results;
+      tasks;
     (* Checkpoint before reporting, so a progress event always advertises
        progress that is already durable on disk — a consumer killed right
        after seeing an event (the campaign daemon's watchers) can rely on

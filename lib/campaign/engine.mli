@@ -43,6 +43,41 @@ type progress = {
     cover completed shards only (including shards resumed from a
     checkpoint), so [masked + sdc + crash = cases_done]. *)
 
+type shard_task = {
+  shard : int;  (** shard index *)
+  attempt : int;  (** 1 on the first try, bumped per retry *)
+  lo : int;  (** first case of the shard (inclusive) *)
+  hi : int;  (** one past the last case *)
+}
+(** One unit of work handed to a {!wave_runner}. *)
+
+type wave_runner = {
+  wave_size : unit -> int;
+      (** how many pending shards to hand over in the next wave; queried
+          before each wave so a distributed runner can track its current
+          worker capacity *)
+  run_wave :
+    shard_task array ->
+    commit:(shard:int -> Bytes.t -> unit) ->
+    run_local:(lo:int -> hi:int -> unit) ->
+    (int * (unit, string) result) list;
+      (** execute one wave and return per-shard results keyed by shard
+          index. For every [Ok] shard the runner must have produced the
+          outcome bytes first — either by calling [run_local ~lo ~hi]
+          (the engine's own batched executor, writing in place) or by
+          [commit ~shard bytes] with the full [hi - lo] byte blob (a
+          remote worker's result; [commit] raises [Invalid_argument] on a
+          size mismatch and is the only write path for foreign bytes). A
+          shard with no reported result is treated as failed and retried. *)
+}
+(** Pluggable shard execution. The engine owns supervision — the pending
+    queue, retries, checkpoints, cancellation, progress — and delegates
+    only "run these shards" to the wave runner, so the local pool and a
+    distributed worker fleet ({!Ftb_dist.Fleet}) share one code path.
+    Outcome bytes are a pure function of the golden trace, so any runner
+    that fills each shard's range exactly once yields bit-identical
+    results. *)
+
 type config = {
   shard_size : int;  (** cases per shard (checkpoint/retry granularity) *)
   checkpoint_every : int;  (** completed shards between checkpoint writes *)
@@ -66,13 +101,17 @@ type config = {
           {!Ftb_inject.Parallel.Pool.global} — lets a long-lived host (the
           campaign daemon) share one warm pool handle across many
           campaigns. Ignored when [domains = 1]. *)
+  runner : wave_runner option;
+      (** execute waves through this runner instead of the built-in
+          local-pool runner. [None] (the default) runs shards on
+          [pool]/[domains] exactly as before. *)
 }
 
 val default_config : config
 (** [shard_size = 4096], [checkpoint_every = 1], [domains = 1],
     [fuel = None], [max_retries = 2], [resume = true],
     [on_invalid_checkpoint = Fail], no callbacks, no cancellation, global
-    pool. *)
+    pool, built-in local runner. *)
 
 exception
   Shard_failed of { shard : int; attempts : int; message : string }

@@ -1,0 +1,357 @@
+module Json = Ftb_service.Json
+module Engine = Ftb_campaign.Engine
+module Checkpoint = Ftb_campaign.Checkpoint
+module P = Worker_proto
+
+type worker_info = {
+  wid : int;
+  w_domains : int;
+  mutable last_seen : float;
+  mutable detached : bool;
+}
+
+(* The wave currently being executed for the scheduler thread blocked in
+   [run_wave]. [commit] is the engine's guarded write into the campaign's
+   outcome buffer; it is called only under the fleet mutex and only when
+   the lease table answered [`Committed] for that shard. *)
+type active = {
+  a_job : int;
+  a_bench : string;
+  a_fuel : int option;
+  a_fingerprint : string;
+  table : Lease.t;
+  a_commit : shard:int -> Bytes.t -> unit;
+}
+
+type stats = {
+  granted : int;
+  remote_committed : int;
+  local_committed : int;
+  expired : int;
+  stale : int;
+  failed : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  lease_ttl : float;
+  poll : float;
+  mutable workers : worker_info list;
+  mutable next_wid : int;
+  mutable next_lease : int;
+  mutable active : active option;
+  mutable granted : int;
+  mutable remote_committed : int;
+  mutable local_committed : int;
+  mutable expired : int;
+  mutable stale : int;
+  mutable failed : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?(lease_ttl = 5.0) ?(poll = 0.05) () =
+  if lease_ttl <= 0. then invalid_arg "Fleet.create: lease_ttl must be positive";
+  if poll <= 0. then invalid_arg "Fleet.create: poll must be positive";
+  {
+    mutex = Mutex.create ();
+    lease_ttl;
+    poll;
+    workers = [];
+    next_wid = 1;
+    next_lease = 1;
+    active = None;
+    granted = 0;
+    remote_committed = 0;
+    local_committed = 0;
+    expired = 0;
+    stale = 0;
+    failed = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        granted = t.granted;
+        remote_committed = t.remote_committed;
+        local_committed = t.local_committed;
+        expired = t.expired;
+        stale = t.stale;
+        failed = t.failed;
+      })
+
+(* A worker is live while its frames keep arriving: idle workers refresh
+   [last_seen] on every lease poll, busy ones on every heartbeat, so a
+   SIGKILLed worker goes silent and ages out after ~3 lease TTLs — the
+   same deadline family as the PR 4 stuck-job watchdog, applied to remote
+   executors. *)
+let live_window t = 3. *. t.lease_ttl
+
+let live_workers_locked t ~now:t_now =
+  List.filter
+    (fun w -> (not w.detached) && t_now -. w.last_seen <= live_window t)
+    t.workers
+
+let live_workers t = with_lock t (fun () -> List.length (live_workers_locked t ~now:(now ())))
+
+let live_slots_locked t ~now:t_now =
+  List.fold_left (fun acc w -> acc + max 1 w.w_domains) 0 (live_workers_locked t ~now:t_now)
+
+let find_worker_locked t wid =
+  List.find_opt (fun w -> w.wid = wid) t.workers
+
+let touch_worker_locked t wid =
+  match find_worker_locked t wid with
+  | Some w ->
+      w.last_seen <- now ();
+      true
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Protocol handlers (connection threads). Strict request/response: each
+   returns exactly one reply frame. *)
+
+let handle_register t json =
+  let domains = match P.opt_int "domains" json with Some d when d >= 1 -> d | _ -> 1 in
+  with_lock t (fun () ->
+      let wid = t.next_wid in
+      t.next_wid <- wid + 1;
+      t.workers <-
+        { wid; w_domains = domains; last_seen = now (); detached = false } :: t.workers;
+      P.registered ~worker:wid ~ttl:t.lease_ttl)
+
+let handle_lease t json =
+  let wid = P.req_int "worker" json in
+  with_lock t (fun () ->
+      if not (touch_worker_locked t wid) then
+        P.error_frame "unknown_worker" (Printf.sprintf "no worker %d" wid)
+      else
+        match t.active with
+        | None -> P.wait_frame ~poll:t.poll
+        | Some a -> (
+            let t_now = now () in
+            t.expired <- t.expired + Lease.expire a.table ~now:t_now;
+            match
+              Lease.acquire a.table ~max_cases:P.max_result_cases ~holder:wid
+                ~now:t_now ~ttl:t.lease_ttl
+            with
+            | None -> P.wait_frame ~poll:t.poll
+            | Some g ->
+                t.granted <- t.granted + 1;
+                P.grant_frame
+                  {
+                    P.job_id = a.a_job;
+                    bench = a.a_bench;
+                    fuel = a.a_fuel;
+                    fingerprint = a.a_fingerprint;
+                    lease_id = g.Lease.lease_id;
+                    shard = g.Lease.shard;
+                    lo = g.Lease.lo;
+                    hi = g.Lease.hi;
+                    ttl = t.lease_ttl;
+                  }))
+
+let handle_heartbeat t json =
+  let wid = P.req_int "worker" json in
+  let lease = P.opt_int "lease" json in
+  with_lock t (fun () ->
+      if not (touch_worker_locked t wid) then
+        P.error_frame "unknown_worker" (Printf.sprintf "no worker %d" wid)
+      else
+        let valid =
+          match (t.active, lease) with
+          | Some a, Some lease_id ->
+              Lease.renew a.table ~lease_id ~now:(now ()) ~ttl:t.lease_ttl
+          | _ -> false
+        in
+        P.heartbeat_reply ~valid)
+
+let handle_result t json =
+  let wid = P.req_int "worker" json in
+  let lease_id = P.req_int "lease" json in
+  let shard = P.req_int "shard" json in
+  with_lock t (fun () ->
+      ignore (touch_worker_locked t wid : bool);
+      match t.active with
+      | None ->
+          (* The wave is over (the job finished, was cancelled, or failed);
+             a straggler's work is simply dropped. *)
+          t.stale <- t.stale + 1;
+          P.result_ack_frame ~committed:false ~stale:true
+      | Some a -> (
+          match P.opt_str "error" json with
+          | Some message -> (
+              match Lease.fail a.table ~lease_id ~message with
+              | `Committed ->
+                  t.failed <- t.failed + 1;
+                  P.result_ack_frame ~committed:true ~stale:false
+              | `Stale ->
+                  t.stale <- t.stale + 1;
+                  P.result_ack_frame ~committed:false ~stale:true)
+          | None -> (
+              match P.opt_str "data" json with
+              | None -> P.error_frame "bad_request" "result carries neither data nor error"
+              | Some hex -> (
+                  match Lease.bounds a.table ~shard with
+                  | None ->
+                      t.stale <- t.stale + 1;
+                      P.result_ack_frame ~committed:false ~stale:true
+                  | Some (lo, hi) ->
+                      (* Typed size guard on the receiving end: a blob that
+                         does not exactly cover [lo, hi) is rejected before
+                         any byte reaches the campaign. *)
+                      if String.length hex > 2 * (hi - lo) then
+                        P.error_frame "oversized_result"
+                          (Printf.sprintf
+                             "shard %d result is %d hex chars; expected %d"
+                             shard (String.length hex) (2 * (hi - lo)))
+                      else if String.length hex < 2 * (hi - lo) then
+                        P.error_frame "bad_result"
+                          (Printf.sprintf
+                             "shard %d result is %d hex chars; expected %d"
+                             shard (String.length hex) (2 * (hi - lo)))
+                      else
+                        let bytes =
+                          try Some (P.bytes_of_hex hex) with P.Decode_error _ -> None
+                        in
+                        (match bytes with
+                        | None -> P.error_frame "bad_result" "result blob is not valid hex"
+                        | Some bytes -> (
+                            match Lease.commit a.table ~shard with
+                            | `Committed ->
+                                a.a_commit ~shard bytes;
+                                t.remote_committed <- t.remote_committed + 1;
+                                P.result_ack_frame ~committed:true ~stale:false
+                            | `Stale | `Unknown ->
+                                t.stale <- t.stale + 1;
+                                P.result_ack_frame ~committed:false ~stale:true))))))
+
+let handle_detach t json =
+  let wid = P.req_int "worker" json in
+  with_lock t (fun () ->
+      (match find_worker_locked t wid with
+      | Some w ->
+          w.detached <- true;
+          (match t.active with
+          | Some a -> t.expired <- t.expired + Lease.release_holder a.table ~holder:wid
+          | None -> ())
+      | None -> ());
+      P.detached_frame)
+
+let extension t ~cmd json =
+  let guarded f =
+    try f t json with
+    | P.Decode_error msg -> P.error_frame "bad_request" msg
+  in
+  match cmd with
+  | "worker_register" -> Some (guarded handle_register)
+  | "worker_lease" -> Some (guarded handle_lease)
+  | "worker_heartbeat" -> Some (guarded handle_heartbeat)
+  | "worker_result" -> Some (guarded handle_result)
+  | "worker_detach" -> Some (guarded handle_detach)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The engine-facing wave runner (scheduler thread). *)
+
+let local_holder = 0 (* worker ids start at 1 *)
+
+let wave_runner t ~job_id ~bench ~fuel ~golden =
+  if live_workers t = 0 then None
+  else
+    let fingerprint = Checkpoint.fingerprint_of_golden golden in
+    let wave_size () =
+      with_lock t (fun () -> max 2 (2 * live_slots_locked t ~now:(now ())))
+    in
+    let run_wave (tasks : Engine.shard_task array) ~commit ~run_local =
+      let fits (task : Engine.shard_task) =
+        P.result_fits ~cases:(task.Engine.hi - task.Engine.lo)
+      in
+      let run_one_local (task : Engine.shard_task) =
+        match run_local ~lo:task.Engine.lo ~hi:task.Engine.hi with
+        | () ->
+            with_lock t (fun () -> t.local_committed <- t.local_committed + 1);
+            (task.Engine.shard, Ok ())
+        | exception e -> (task.Engine.shard, Error (Printexc.to_string e))
+      in
+      let big, small = Array.to_list tasks |> List.partition (fun task -> not (fits task)) in
+      let big_results = List.map run_one_local big in
+      if small = [] then big_results
+      else begin
+        let leased =
+          List.map
+            (fun (task : Engine.shard_task) ->
+              (task.Engine.shard, task.Engine.lo, task.Engine.hi))
+            small
+          |> Array.of_list
+        in
+        let table =
+          with_lock t (fun () ->
+              let table = Lease.create ~first_lease:t.next_lease leased in
+              t.active <-
+                Some
+                  {
+                    a_job = job_id;
+                    a_bench = bench;
+                    a_fuel = fuel;
+                    a_fingerprint = fingerprint;
+                    table;
+                    a_commit = commit;
+                  };
+              table)
+        in
+        let finish () =
+          with_lock t (fun () ->
+              t.next_lease <- Lease.next_lease table;
+              t.active <- None;
+              Lease.results table)
+        in
+        let rec drive () =
+          let claim =
+            with_lock t (fun () ->
+                let t_now = now () in
+                t.expired <- t.expired + Lease.expire table ~now:t_now;
+                if Lease.outstanding table = 0 then `Finished
+                else if live_workers_locked t ~now:t_now = [] then
+                  (* Every worker is dead or gone: the local pool is the
+                     executor of last resort, so the wave (and the job)
+                     always completes. An infinite TTL marks the lease as
+                     never-expiring — the local runner cannot be SIGKILLed
+                     away from under the daemon. *)
+                  match
+                    Lease.acquire table ~holder:local_holder ~now:t_now
+                      ~ttl:infinity
+                  with
+                  | Some g -> `Local g
+                  | None -> `Wait
+                else `Wait)
+          in
+          match claim with
+          | `Finished -> finish ()
+          | `Local g -> (
+              match run_local ~lo:g.Lease.lo ~hi:g.Lease.hi with
+              | () ->
+                  with_lock t (fun () ->
+                      (match Lease.commit table ~shard:g.Lease.shard with
+                      | `Committed -> t.local_committed <- t.local_committed + 1
+                      | `Stale | `Unknown -> t.stale <- t.stale + 1));
+                  drive ()
+              | exception e ->
+                  with_lock t (fun () ->
+                      ignore
+                        (Lease.fail table ~lease_id:g.Lease.lease_id
+                           ~message:(Printexc.to_string e)
+                          : [ `Committed | `Stale ]));
+                  drive ())
+          | `Wait ->
+              Thread.delay (min t.poll (t.lease_ttl /. 4.));
+              drive ()
+        in
+        big_results @ drive ()
+      end
+    in
+    Some { Engine.wave_size; run_wave }

@@ -1,0 +1,75 @@
+(** Server-side fleet scheduler: lease campaign shards to remote workers.
+
+    One [Fleet.t] lives inside a campaign daemon and plugs into
+    {!Ftb_service.Server} at two points:
+
+    - {!extension} handles the worker protocol frames
+      (register / lease / heartbeat / result / detach) on the daemon's
+      per-connection threads — plain request/response, no streaming;
+    - {!wave_runner} is the {!Ftb_campaign.Engine.wave_runner} factory the
+      scheduler thread queries per job: when at least one live worker is
+      attached, the engine's shard waves are executed by leasing shards to
+      workers instead of running them on the local pool.
+
+    {2 Lease lifecycle}
+
+    A grant carries a deadline ([lease_ttl] seconds out); the worker's
+    heartbeat thread renews it while the shard computes. A worker that
+    dies (SIGKILL, network cut) stops renewing: its leases expire and the
+    shards return to [Pending] for the next worker's lease poll. A worker
+    that goes silent entirely ages out of the live set after three TTLs,
+    and when {e no} live workers remain the scheduler thread itself runs
+    the remaining shards on the local pool — the executor of last resort,
+    so a fleet job always terminates.
+
+    {2 Determinism}
+
+    Outcome bytes are a pure function of the golden trace, grants carry
+    the golden fingerprint (workers refuse to compute against a divergent
+    trace), the lease table commits each shard exactly once
+    ({!Lease.commit}), and committed blobs pass through the engine's
+    size-guarded [commit] into the shard's own [lo, hi) range. Hence a
+    campaign run by any number of workers under any interleaving —
+    including mid-shard worker death — is bit-identical to the serial
+    run. *)
+
+type t
+
+val create : ?lease_ttl:float -> ?poll:float -> unit -> t
+(** [lease_ttl] (default 5s) bounds how long a dead worker can sit on a
+    shard; [poll] (default 0.05s) is the wait hint returned to idle
+    workers. Raises [Invalid_argument] on non-positive values. *)
+
+val extension : t -> cmd:string -> Ftb_service.Json.t -> Ftb_service.Json.t option
+(** Protocol extension for {!Ftb_service.Server.config.extension}:
+    handles [worker_*] commands, [None] for everything else. Malformed
+    worker frames answer typed [bad_request] / [oversized_result] /
+    [bad_result] / [unknown_worker] errors. *)
+
+val wave_runner :
+  t ->
+  job_id:int ->
+  bench:string ->
+  fuel:int option ->
+  golden:Ftb_trace.Golden.t ->
+  Ftb_campaign.Engine.wave_runner option
+(** Factory for {!Ftb_service.Server.config.wave_runner}. [None] when no
+    live worker is attached (the job runs on the local pool as before);
+    otherwise a runner whose wave size tracks the fleet's live domain
+    slots and whose [run_wave] leases shards out, renews/expires
+    deadlines, reassigns abandoned shards and merges results. *)
+
+val live_workers : t -> int
+(** Workers currently attached and heard from within the liveness
+    window. *)
+
+type stats = {
+  granted : int;  (** leases handed to workers *)
+  remote_committed : int;  (** shards whose bytes came back over the wire *)
+  local_committed : int;  (** shards run by the local executor of last resort *)
+  expired : int;  (** leases reclaimed from dead/detached workers *)
+  stale : int;  (** duplicate / late results dropped without committing *)
+  failed : int;  (** worker-reported shard failures handed to engine retry *)
+}
+
+val stats : t -> stats

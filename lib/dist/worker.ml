@@ -1,0 +1,184 @@
+module Golden = Ftb_trace.Golden
+module Wire = Ftb_service.Wire
+module Checkpoint = Ftb_campaign.Checkpoint
+module Pool = Ftb_inject.Parallel.Pool
+module P = Worker_proto
+
+type config = {
+  connect : unit -> Unix.file_descr;
+  domains : int;
+  resolve : string -> Ftb_trace.Program.t;
+  stop : unit -> bool;
+  log : (string -> unit) option;
+}
+
+let config ?(domains = 1) ?(resolve = Ftb_kernels.Suite.find)
+    ?(stop = fun () -> false) ?log connect =
+  if domains <= 0 then invalid_arg "Worker.config: domains must be positive";
+  { connect; domains; resolve; stop; log }
+
+type stats = { shards : int; cases : int; failures : int; stale_acks : int }
+
+let logf cfg fmt =
+  Printf.ksprintf
+    (fun msg -> match cfg.log with Some log -> log msg | None -> ())
+    fmt
+
+let roundtrip fd frame =
+  Wire.write fd frame;
+  Wire.read fd
+
+(* The golden run for a bench is computed once per worker process and
+   reused across shards and jobs; the fingerprint in each grant guards
+   against ever computing outcome bytes from a divergent trace (version
+   skew between daemon and worker binaries). *)
+let golden_cache = Hashtbl.create 8
+
+let golden_for cfg bench =
+  match Hashtbl.find_opt golden_cache bench with
+  | Some g -> g
+  | None ->
+      let g = Golden.run (cfg.resolve bench) in
+      Hashtbl.replace golden_cache bench g;
+      g
+
+let run_shard cfg pool golden ~fuel ~lo ~hi =
+  let n = hi - lo in
+  let buf = Bytes.create n in
+  (match pool with
+  | None -> Ftb_inject.Executor.range_into ?fuel golden ~lo ~hi buf ~off:0
+  | Some pool ->
+      Pool.run pool ~participants:cfg.domains ~total:n (fun a b ->
+          Ftb_inject.Executor.range_into ?fuel golden ~lo:(lo + a) ~hi:(lo + b)
+            buf ~off:a));
+  buf
+
+let run cfg =
+  (* A daemon hanging up mid-write must surface as EPIPE (a clean exit
+     with stats, like Server.run's own handling), not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let ctl = cfg.connect () in
+  let hb_fd = cfg.connect () in
+  let reg = P.parse_registered (roundtrip ctl (P.register ~domains:cfg.domains)) in
+  let wid = reg.P.worker in
+  let ttl = reg.P.ttl in
+  logf cfg "worker %d registered (domains=%d, ttl=%.3fs)" wid cfg.domains ttl;
+  let pool = if cfg.domains > 1 then Some (Pool.global ~domains:cfg.domains ()) else None in
+  (* Heartbeats ride a second connection so the control channel stays
+     strictly request/response while a shard computes. Only this thread
+     ever touches [hb_fd]. *)
+  let current_lease = Atomic.make None in
+  let hb_stop = Atomic.make false in
+  let hb_thread =
+    Thread.create
+      (fun () ->
+        let period = max 0.01 (ttl /. 3.) in
+        try
+          while not (Atomic.get hb_stop) do
+            Thread.delay period;
+            match Atomic.get current_lease with
+            | Some lease when not (Atomic.get hb_stop) ->
+                let reply = roundtrip hb_fd (P.heartbeat ~worker:wid ~lease:(Some lease)) in
+                ignore (P.parse_heartbeat_reply reply : bool)
+            | Some _ | None -> ()
+          done
+        with Wire.Closed | Wire.Protocol_error _ | Unix.Unix_error (_, _, _) -> ())
+      ()
+  in
+  let shards = ref 0 and cases = ref 0 and failures = ref 0 and stale_acks = ref 0 in
+  let finish () =
+    Atomic.set hb_stop true;
+    (try Wire.write ctl (P.detach ~worker:wid) with _ -> ());
+    (try ignore (Wire.read ctl : Ftb_service.Json.t) with _ -> ());
+    (try Unix.close ctl with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close hb_fd with Unix.Unix_error (_, _, _) -> ());
+    (try Thread.join hb_thread with _ -> ());
+    { shards = !shards; cases = !cases; failures = !failures; stale_acks = !stale_acks }
+  in
+  try
+    while not (cfg.stop ()) do
+      match P.parse_lease_reply (roundtrip ctl (P.lease ~worker:wid)) with
+      | P.Wait poll -> Thread.delay poll
+      | P.Granted g ->
+          Atomic.set current_lease (Some g.P.lease_id);
+          let payload =
+            try
+              let golden = golden_for cfg g.P.bench in
+              if Checkpoint.fingerprint_of_golden golden <> g.P.fingerprint then
+                P.Failed
+                  (Printf.sprintf
+                     "golden fingerprint mismatch for %S (worker binary diverges from daemon)"
+                     g.P.bench)
+              else if not (P.result_fits ~cases:(g.P.hi - g.P.lo)) then
+                (* Typed refusal on the sending end: never emit a frame the
+                   transport bound would kill mid-connection. *)
+                P.Failed
+                  (Printf.sprintf "shard %d result would exceed Wire.max_frame"
+                     g.P.shard)
+              else
+                P.Outcomes (run_shard cfg pool golden ~fuel:g.P.fuel ~lo:g.P.lo ~hi:g.P.hi)
+            with e -> P.Failed (Printexc.to_string e)
+          in
+          let ack =
+            P.parse_result_ack
+              (roundtrip ctl
+                 (P.result ~worker:wid ~lease:g.P.lease_id ~shard:g.P.shard payload))
+          in
+          Atomic.set current_lease None;
+          (match payload with
+          | P.Outcomes b ->
+              incr shards;
+              cases := !cases + Bytes.length b
+          | P.Failed msg ->
+              incr failures;
+              logf cfg "worker %d: shard %d failed: %s" wid g.P.shard msg);
+          if ack.P.stale then begin
+            incr stale_acks;
+            logf cfg "worker %d: shard %d result was stale (lease expired elsewhere)"
+              wid g.P.shard
+          end
+    done;
+    logf cfg "worker %d stopping" wid;
+    finish ()
+  with
+  | Wire.Closed ->
+      logf cfg "worker %d: daemon closed the connection" wid;
+      finish ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      logf cfg "worker %d: connection lost" wid;
+      finish ()
+  | e ->
+      ignore (finish () : stats);
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint plumbing for the CLI verb. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_of_addr addr =
+  match String.rindex_opt addr ':' with
+  | Some i when not (String.contains addr '/') ->
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      (match int_of_string_opt port with
+      | Some port when port > 0 && host <> "" -> Tcp (host, port)
+      | Some _ | None -> Unix_socket addr)
+  | Some _ | None -> Unix_socket addr
+
+let connect_endpoint = function
+  | Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+        | { Unix.ai_addr; _ } :: _ -> ai_addr
+        | [] -> invalid_arg (Printf.sprintf "cannot resolve %s:%d" host port)
+      in
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd addr
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      fd

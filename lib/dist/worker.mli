@@ -1,0 +1,60 @@
+(** The worker side of the fleet: pull leased shards, compute, stream back.
+
+    A worker process opens two connections to the daemon through
+    [config.connect] — a control channel (register, lease polls, results,
+    detach) and a heartbeat channel driven by a dedicated thread, so lease
+    renewal keeps flowing while a shard computes on the worker's own
+    domain pool. Each granted shard is executed with the same batched
+    executor as a local campaign ({!Ftb_inject.Executor.range_into}), so
+    the returned bytes are bit-identical to what the daemon would have
+    computed itself; the grant's golden fingerprint is verified first and
+    a mismatch is reported as a typed shard failure instead of silently
+    computing against a divergent trace. *)
+
+type config = {
+  connect : unit -> Unix.file_descr;
+      (** fresh connection to the daemon; called twice (control +
+          heartbeat). Tests pass a socketpair factory, the CLI passes
+          {!connect_endpoint}. *)
+  domains : int;  (** pool width for shard execution; 1 = serial *)
+  resolve : string -> Ftb_trace.Program.t;  (** benchmark lookup *)
+  stop : unit -> bool;
+      (** polled between leases; [true] detaches and returns *)
+  log : (string -> unit) option;
+}
+
+val config :
+  ?domains:int ->
+  ?resolve:(string -> Ftb_trace.Program.t) ->
+  ?stop:(unit -> bool) ->
+  ?log:(string -> unit) ->
+  (unit -> Unix.file_descr) ->
+  config
+(** Defaults: [domains = 1], [resolve = Ftb_kernels.Suite.find], never
+    stop, no logging. *)
+
+type stats = {
+  shards : int;  (** shards computed and sent *)
+  cases : int;  (** total cases across those shards *)
+  failures : int;  (** typed shard failures reported to the daemon *)
+  stale_acks : int;  (** results the daemon dropped as already-committed *)
+}
+
+val run : config -> stats
+(** Register and serve leases until [stop] answers [true] (clean detach)
+    or the daemon closes the connection. Transport loss ([Wire.Closed],
+    [EPIPE], [ECONNRESET]) is a clean exit — the daemon's lease expiry
+    machinery handles the abandoned shard. Other exceptions propagate
+    after best-effort cleanup. Ignores [SIGPIPE] process-wide (as
+    {!Ftb_service.Server.run} does), so a daemon hangup mid-write is an
+    [EPIPE] and not a fatal signal. *)
+
+(** {1 Endpoint plumbing for the CLI} *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+val endpoint_of_addr : string -> endpoint
+(** [host:port] (no slash, numeric port) parses as {!Tcp}; anything else
+    is a Unix-domain socket path. *)
+
+val connect_endpoint : endpoint -> Unix.file_descr

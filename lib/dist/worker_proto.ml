@@ -1,0 +1,208 @@
+module Json = Ftb_service.Json
+module Wire = Ftb_service.Wire
+
+exception Decode_error of string
+
+(* Result frames carry one shard's outcome bytes hex-encoded (2 chars per
+   case) plus a small JSON envelope; [frame_slack] over-estimates the
+   envelope so the fit check is conservative on both ends. *)
+let frame_slack = 512
+let max_result_cases = (Wire.max_frame - frame_slack) / 2
+let result_fits ~cases = cases <= max_result_cases
+
+(* ------------------------------------------------------------------ *)
+(* Hex codec for outcome byte blobs. *)
+
+let hex_of_bytes b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  let digit x = if x < 10 then Char.chr (Char.code '0' + x) else Char.chr (Char.code 'a' + x - 10) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) (digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (digit (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then raise (Decode_error "hex blob has odd length");
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise (Decode_error (Printf.sprintf "invalid hex byte %C" c))
+  in
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.set out i
+      (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Shared field accessors. *)
+
+let req_int name json =
+  match Option.bind (Json.member name json) Json.to_int with
+  | Some v -> v
+  | None -> raise (Decode_error (Printf.sprintf "missing integer field %S" name))
+
+let req_str name json =
+  match Option.bind (Json.member name json) Json.to_str with
+  | Some v -> v
+  | None -> raise (Decode_error (Printf.sprintf "missing string field %S" name))
+
+let req_float name json =
+  match Option.bind (Json.member name json) Json.to_float with
+  | Some v -> v
+  | None -> raise (Decode_error (Printf.sprintf "missing number field %S" name))
+
+let opt_int name json = Option.bind (Json.member name json) Json.to_int
+let opt_str name json = Option.bind (Json.member name json) Json.to_str
+
+let flag name json =
+  match Option.bind (Json.member name json) Json.to_bool with
+  | Some b -> b
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Worker -> server request frames. *)
+
+let register ~domains =
+  Json.Obj [ ("cmd", Json.String "worker_register"); ("domains", Json.Int domains) ]
+
+let lease ~worker =
+  Json.Obj [ ("cmd", Json.String "worker_lease"); ("worker", Json.Int worker) ]
+
+let heartbeat ~worker ~lease =
+  Json.Obj
+    ([ ("cmd", Json.String "worker_heartbeat"); ("worker", Json.Int worker) ]
+    @ match lease with Some l -> [ ("lease", Json.Int l) ] | None -> [])
+
+type result_payload = Outcomes of Bytes.t | Failed of string
+
+let result ~worker ~lease ~shard payload =
+  Json.Obj
+    ([
+       ("cmd", Json.String "worker_result");
+       ("worker", Json.Int worker);
+       ("lease", Json.Int lease);
+       ("shard", Json.Int shard);
+     ]
+    @
+    match payload with
+    | Outcomes b -> [ ("data", Json.String (hex_of_bytes b)) ]
+    | Failed msg -> [ ("error", Json.String msg) ])
+
+let detach ~worker =
+  Json.Obj [ ("cmd", Json.String "worker_detach"); ("worker", Json.Int worker) ]
+
+(* ------------------------------------------------------------------ *)
+(* Server -> worker reply frames and their parsers. *)
+
+let check_ok json =
+  if not (flag "ok" json) then begin
+    let code =
+      Option.bind (Json.member "error" json) (opt_str "code")
+      |> Option.value ~default:"error"
+    in
+    let message =
+      Option.bind (Json.member "error" json) (opt_str "message")
+      |> Option.value ~default:"unspecified server error"
+    in
+    raise (Decode_error (Printf.sprintf "%s: %s" code message))
+  end
+
+type registration = { worker : int; ttl : float }
+
+let registered ~worker ~ttl =
+  Json.Obj [ ("ok", Json.Bool true); ("worker", Json.Int worker); ("ttl", Json.Float ttl) ]
+
+let parse_registered json =
+  check_ok json;
+  { worker = req_int "worker" json; ttl = req_float "ttl" json }
+
+type grant = {
+  job_id : int;
+  bench : string;
+  fuel : int option;
+  fingerprint : string;
+  lease_id : int;
+  shard : int;
+  lo : int;
+  hi : int;
+  ttl : float;
+}
+
+type lease_reply = Granted of grant | Wait of float
+
+let grant_frame (g : grant) =
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ( "grant",
+        Json.Obj
+          ([
+             ("job", Json.Int g.job_id);
+             ("bench", Json.String g.bench);
+             ("fingerprint", Json.String g.fingerprint);
+             ("lease", Json.Int g.lease_id);
+             ("shard", Json.Int g.shard);
+             ("lo", Json.Int g.lo);
+             ("hi", Json.Int g.hi);
+             ("ttl", Json.Float g.ttl);
+           ]
+          @ match g.fuel with Some f -> [ ("fuel", Json.Int f) ] | None -> []) );
+    ]
+
+let wait_frame ~poll =
+  Json.Obj [ ("ok", Json.Bool true); ("wait", Json.Bool true); ("poll", Json.Float poll) ]
+
+let parse_lease_reply json =
+  check_ok json;
+  match Json.member "grant" json with
+  | Some g ->
+      Granted
+        {
+          job_id = req_int "job" g;
+          bench = req_str "bench" g;
+          fuel = opt_int "fuel" g;
+          fingerprint = req_str "fingerprint" g;
+          lease_id = req_int "lease" g;
+          shard = req_int "shard" g;
+          lo = req_int "lo" g;
+          hi = req_int "hi" g;
+          ttl = req_float "ttl" g;
+        }
+  | None ->
+      if flag "wait" json then Wait (req_float "poll" json)
+      else raise (Decode_error "lease reply carries neither grant nor wait")
+
+let heartbeat_reply ~valid =
+  Json.Obj [ ("ok", Json.Bool true); ("valid", Json.Bool valid) ]
+
+let parse_heartbeat_reply json =
+  check_ok json;
+  flag "valid" json
+
+type result_ack = { committed : bool; stale : bool }
+
+let result_ack_frame ~committed ~stale =
+  Json.Obj
+    [ ("ok", Json.Bool true); ("committed", Json.Bool committed); ("stale", Json.Bool stale) ]
+
+let parse_result_ack json =
+  check_ok json;
+  { committed = flag "committed" json; stale = flag "stale" json }
+
+let detached_frame = Json.Obj [ ("ok", Json.Bool true) ]
+
+let error_frame code message =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("code", Json.String code); ("message", Json.String message) ] );
+    ]

@@ -1,0 +1,103 @@
+(** Frame vocabulary of the distributed worker protocol.
+
+    Workers speak to the campaign daemon over the same length-prefixed
+    JSON transport as every other client ({!Ftb_service.Wire}); this
+    module owns the five request frames (register / lease / heartbeat /
+    result / detach), their reply frames, and the hex codec for shard
+    outcome blobs — so the server-side scheduler ({!Fleet}) and the
+    worker loop ({!Worker}) can never drift apart on field names.
+
+    Every exchange is strict request/response: a worker frame is an
+    object whose ["cmd"] starts with ["worker_"], dispatched through the
+    server's protocol-extension hook; the reply is one [{"ok":...}]
+    frame. *)
+
+exception Decode_error of string
+(** A frame that parses as JSON but violates the worker protocol (missing
+    field, bad hex, server-side error reply). *)
+
+val frame_slack : int
+(** Conservative JSON-envelope overhead assumed by {!result_fits}. *)
+
+val max_result_cases : int
+(** Largest shard (in cases) whose hex-encoded result frame is guaranteed
+    to fit {!Ftb_service.Wire.max_frame}. Both ends enforce it: the
+    scheduler never leases a bigger shard to a worker (it runs locally
+    instead), and a worker that would somehow produce an oversized blob
+    reports a typed failure rather than tripping the transport bound. *)
+
+val result_fits : cases:int -> bool
+
+val hex_of_bytes : Bytes.t -> string
+(** Lowercase hex, two characters per byte. *)
+
+val bytes_of_hex : string -> Bytes.t
+(** Inverse of {!hex_of_bytes}; raises {!Decode_error} on odd length or a
+    non-hex character. *)
+
+(** {1 Worker -> server requests} *)
+
+val register : domains:int -> Ftb_service.Json.t
+val lease : worker:int -> Ftb_service.Json.t
+val heartbeat : worker:int -> lease:int option -> Ftb_service.Json.t
+
+type result_payload =
+  | Outcomes of Bytes.t  (** the shard's [hi - lo] outcome bytes *)
+  | Failed of string  (** typed worker-side failure; the shard is retried *)
+
+val result :
+  worker:int -> lease:int -> shard:int -> result_payload -> Ftb_service.Json.t
+
+val detach : worker:int -> Ftb_service.Json.t
+
+(** {1 Server -> worker replies} *)
+
+type registration = { worker : int; ttl : float }
+
+val registered : worker:int -> ttl:float -> Ftb_service.Json.t
+val parse_registered : Ftb_service.Json.t -> registration
+
+type grant = {
+  job_id : int;
+  bench : string;  (** benchmark name, resolved worker-side *)
+  fuel : int option;
+  fingerprint : string;
+      (** golden-trace digest ({!Ftb_campaign.Checkpoint.fingerprint_of_golden});
+          the worker recomputes it and refuses to run a shard against a
+          divergent golden trace *)
+  lease_id : int;
+  shard : int;
+  lo : int;
+  hi : int;
+  ttl : float;  (** renew the lease at least this often *)
+}
+
+type lease_reply =
+  | Granted of grant
+  | Wait of float  (** nothing leasable right now; poll again after [s] *)
+
+val grant_frame : grant -> Ftb_service.Json.t
+val wait_frame : poll:float -> Ftb_service.Json.t
+val parse_lease_reply : Ftb_service.Json.t -> lease_reply
+val heartbeat_reply : valid:bool -> Ftb_service.Json.t
+val parse_heartbeat_reply : Ftb_service.Json.t -> bool
+
+type result_ack = { committed : bool; stale : bool }
+
+val result_ack_frame : committed:bool -> stale:bool -> Ftb_service.Json.t
+val parse_result_ack : Ftb_service.Json.t -> result_ack
+val detached_frame : Ftb_service.Json.t
+
+val error_frame : string -> string -> Ftb_service.Json.t
+(** [{"ok":false,"error":{"code":...,"message":...}}] — same shape as the
+    core daemon protocol's errors. *)
+
+(** {1 Field helpers} (shared with {!Fleet}'s request parsing) *)
+
+val req_int : string -> Ftb_service.Json.t -> int
+val req_str : string -> Ftb_service.Json.t -> string
+val opt_int : string -> Ftb_service.Json.t -> int option
+val opt_str : string -> Ftb_service.Json.t -> string option
+val check_ok : Ftb_service.Json.t -> unit
+(** Raise {!Decode_error} with the server's error code/message when a
+    reply is [{"ok":false}]. *)

@@ -1,16 +1,6 @@
 module Golden = Ftb_trace.Golden
 
-let hard_cap = 8
-
-let default_domains () =
-  match Sys.getenv_opt "FTB_DOMAINS" with
-  | Some s when String.trim s <> "" -> (
-      match int_of_string_opt (String.trim s) with
-      | Some d when d >= 1 -> d
-      | Some _ | None ->
-          invalid_arg
-            (Printf.sprintf "FTB_DOMAINS must be a positive integer (got %S)" s))
-  | Some _ | None -> min hard_cap (Domain.recommended_domain_count ())
+let default_domains () = Ftb_util.Domains.default ()
 
 let check_domains domains =
   if domains <= 0 then invalid_arg "Parallel: domains must be positive"

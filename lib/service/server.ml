@@ -9,6 +9,14 @@ type config = {
   checkpoint_every : int;
   stuck_after : float option;
   resolve : string -> Ftb_trace.Program.t;
+  extension : (cmd:string -> Json.t -> Json.t option) option;
+  wave_runner :
+    (job_id:int ->
+    bench:string ->
+    fuel:int option ->
+    golden:Golden.t ->
+    Engine.wave_runner option)
+    option;
 }
 
 let default_config ~state_dir =
@@ -19,6 +27,8 @@ let default_config ~state_dir =
     checkpoint_every = 1;
     stuck_after = None;
     resolve = Ftb_kernels.Suite.find;
+    extension = None;
+    wave_runner = None;
   }
 
 (* Why a running job was asked to stop: a user [cancel] is terminal, a
@@ -305,6 +315,12 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
       progress = Some progress;
       cancel = Some (fun () -> Atomic.get cancel <> None);
       pool = t.pool;
+      runner =
+        (match t.config.wave_runner with
+        | Some make ->
+            make ~job_id:job.Job.id ~bench:spec.Job.bench ~fuel:spec.Job.fuel
+              ~golden
+        | None -> None);
     }
   in
   let checkpoint = Job.checkpoint_path ~state_dir:t.config.state_dir job.Job.id in
@@ -756,7 +772,15 @@ let handle_request t fd json =
   | Some "shutdown" ->
       Wire.write fd (ok_frame []);
       request_shutdown t
-  | Some cmd -> Wire.write fd (error_frame "bad_request" (Printf.sprintf "unknown command %S" cmd))
+  | Some cmd -> (
+      (* Extension commands (the distributed worker protocol) are strict
+         request/response: the handler returns one reply frame and never
+         keeps the descriptor, so the single-writer discipline holds. *)
+      match Option.bind t.config.extension (fun ext -> ext ~cmd json) with
+      | Some reply -> Wire.write fd reply
+      | None ->
+          Wire.write fd
+            (error_frame "bad_request" (Printf.sprintf "unknown command %S" cmd)))
 
 let serve_connection t fd =
   Fun.protect

@@ -71,11 +71,32 @@ type config = {
       (** benchmark lookup; [Invalid_argument] rejects the submission.
           The CLI passes {!Ftb_kernels.Suite.find}; tests inject tiny
           programs. *)
+  extension : (cmd:string -> Json.t -> Json.t option) option;
+      (** strict request/response protocol extension, consulted for any
+          ["cmd"] the core protocol does not know. Returning [Some reply]
+          sends that frame; [None] falls through to the usual
+          [bad_request] error. The handler must not retain the
+          connection. {!Ftb_dist.Fleet.extension} plugs the worker
+          protocol (register / lease / heartbeat / result / detach) in
+          here. *)
+  wave_runner :
+    (job_id:int ->
+    bench:string ->
+    fuel:int option ->
+    golden:Ftb_trace.Golden.t ->
+    Ftb_campaign.Engine.wave_runner option)
+    option;
+      (** pluggable shard execution for exhaustive jobs, queried once per
+          job start. [None] (or a factory returning [None] — e.g. no
+          fleet workers attached) runs the engine's built-in local-pool
+          path. {!Ftb_dist.Fleet.wave_runner} returns a runner that leases
+          the job's shards to attached worker processes. *)
 }
 
 val default_config : state_dir:string -> config
 (** [capacity = 64], [domains = 1], [checkpoint_every = 1],
-    [stuck_after = None], [resolve = Ftb_kernels.Suite.find]. *)
+    [stuck_after = None], [resolve = Ftb_kernels.Suite.find], no protocol
+    extension, built-in shard execution. *)
 
 type t
 

@@ -1,0 +1,24 @@
+let hard_cap = 8
+
+let default () =
+  match Sys.getenv_opt "FTB_DOMAINS" with
+  | Some s when String.trim s <> "" -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "FTB_DOMAINS must be a positive integer (got %S)" s))
+  | Some _ | None -> min hard_cap (Domain.recommended_domain_count ())
+
+let default_or_exit ?flag () =
+  match flag with
+  | Some d when d >= 1 -> d
+  | Some d ->
+      Printf.eprintf "ftb: --domains must be a positive integer (got %d)\n" d;
+      exit 2
+  | None -> (
+      match default () with
+      | d -> d
+      | exception Invalid_argument msg ->
+          Printf.eprintf "ftb: %s\n" msg;
+          exit 2)

@@ -1,0 +1,188 @@
+module P = Ftb_dist.Worker_proto
+module Lease = Ftb_dist.Lease
+module Rng = Ftb_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Worker protocol frames. *)
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex codec round-trips arbitrary bytes" ~count:300
+    QCheck.(string_of Gen.char)
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (P.bytes_of_hex (P.hex_of_bytes b)))
+
+let test_hex_rejects () =
+  Alcotest.check_raises "odd length" (P.Decode_error "hex blob has odd length")
+    (fun () -> ignore (P.bytes_of_hex "abc"));
+  (match P.bytes_of_hex "zz" with
+  | _ -> Alcotest.fail "bad hex digit accepted"
+  | exception P.Decode_error _ -> ())
+
+let test_grant_roundtrip () =
+  let g =
+    {
+      P.job_id = 7;
+      bench = "ir.dot";
+      fuel = Some 4096;
+      fingerprint = "deadbeef";
+      lease_id = 42;
+      shard = 3;
+      lo = 12288;
+      hi = 16384;
+      ttl = 2.5;
+    }
+  in
+  (match P.parse_lease_reply (P.grant_frame g) with
+  | P.Granted g' -> Alcotest.(check bool) "grant round-trips" true (g = g')
+  | P.Wait _ -> Alcotest.fail "grant parsed as wait");
+  (match P.parse_lease_reply (P.wait_frame ~poll:0.25) with
+  | P.Wait poll -> Alcotest.(check (float 1e-9)) "poll" 0.25 poll
+  | P.Granted _ -> Alcotest.fail "wait parsed as grant");
+  let no_fuel = { g with P.fuel = None } in
+  match P.parse_lease_reply (P.grant_frame no_fuel) with
+  | P.Granted g' -> Alcotest.(check bool) "fuel-less grant" true (no_fuel = g')
+  | P.Wait _ -> Alcotest.fail "grant parsed as wait"
+
+let test_small_frames_roundtrip () =
+  let r = P.parse_registered (P.registered ~worker:9 ~ttl:1.5) in
+  Alcotest.(check int) "worker id" 9 r.P.worker;
+  Alcotest.(check (float 1e-9)) "ttl" 1.5 r.P.ttl;
+  Alcotest.(check bool) "valid heartbeat" true
+    (P.parse_heartbeat_reply (P.heartbeat_reply ~valid:true));
+  let ack = P.parse_result_ack (P.result_ack_frame ~committed:false ~stale:true) in
+  Alcotest.(check bool) "stale ack" true (ack.P.stale && not ack.P.committed);
+  match P.check_ok (P.error_frame "oversized_result" "too big") with
+  | () -> Alcotest.fail "error frame accepted as ok"
+  | exception P.Decode_error msg ->
+      Alcotest.(check bool) "typed code surfaces" true
+        (String.length msg >= 16 && String.sub msg 0 16 = "oversized_result")
+
+let test_result_fits () =
+  Alcotest.(check bool) "max fits" true (P.result_fits ~cases:P.max_result_cases);
+  Alcotest.(check bool) "max+1 does not" false
+    (P.result_fits ~cases:(P.max_result_cases + 1));
+  (* The guarantee behind the bound: a maximal blob's encoded frame stays
+     under the wire limit. *)
+  Alcotest.(check bool) "hex of max fits the wire" true
+    (2 * P.max_result_cases + P.frame_slack <= Ftb_service.Wire.max_frame)
+
+(* ------------------------------------------------------------------ *)
+(* Lease table: the no-double-commit property under random worker death. *)
+
+let test_lease_lifecycle () =
+  let t = Lease.create ~first_lease:100 [| (0, 0, 10); (1, 10, 20) |] in
+  Alcotest.(check int) "outstanding" 2 (Lease.outstanding t);
+  let g =
+    match Lease.acquire t ~holder:1 ~now:0. ~ttl:1. with
+    | Some g -> g
+    | None -> Alcotest.fail "no grant"
+  in
+  Alcotest.(check int) "lease ids thread from first_lease" 100 g.Lease.lease_id;
+  Alcotest.(check bool) "renew live lease" true
+    (Lease.renew t ~lease_id:g.Lease.lease_id ~now:0.5 ~ttl:1.);
+  (* Renewed to 1.5: not expired at 1.2, expired at 2.0. *)
+  Alcotest.(check int) "no premature expiry" 0 (Lease.expire t ~now:1.2);
+  Alcotest.(check int) "expiry reclaims" 1 (Lease.expire t ~now:2.0);
+  Alcotest.(check bool) "stale renew refused" false
+    (Lease.renew t ~lease_id:g.Lease.lease_id ~now:2.0 ~ttl:1.);
+  (* The dead worker's result still lands (first result wins)... *)
+  Alcotest.(check bool) "late result commits" true
+    (Lease.commit t ~shard:g.Lease.shard = `Committed);
+  (* ...but only once, ever. *)
+  Alcotest.(check bool) "second commit is stale" true
+    (Lease.commit t ~shard:g.Lease.shard = `Stale);
+  Alcotest.(check bool) "unknown shard" true (Lease.commit t ~shard:99 = `Unknown);
+  Alcotest.(check int) "one left" 1 (Lease.outstanding t)
+
+let prop_no_double_commit =
+  QCheck.Test.make
+    ~name:"lease scheduler: every shard commits exactly once under random death"
+    ~count:300
+    QCheck.(pair (int_range 1 24) (int_range 0 100000))
+    (fun (nshards, seed) ->
+      let rng = Rng.create ~seed in
+      let tasks = Array.init nshards (fun i -> (i, i * 64, (i + 1) * 64)) in
+      let t = Lease.create ~first_lease:(1 + Rng.int rng 1000) tasks in
+      let commits = Array.make nshards 0 in
+      let clock = ref 0. in
+      (* Grants held by simulated workers; a "dead" worker's grants stay
+         in this list and may produce late commits after re-lease. *)
+      let grants = ref [] in
+      let record_commit shard = commits.(shard) <- commits.(shard) + 1 in
+      let random_grant () =
+        match !grants with
+        | [] -> None
+        | l -> Some (List.nth l (Rng.int rng (List.length l)))
+      in
+      let steps = ref 0 in
+      while Lease.outstanding t > 0 && !steps < 5_000 do
+        incr steps;
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 -> (
+            (* A worker leases a shard. *)
+            let holder = 1 + Rng.int rng 4 in
+            match Lease.acquire t ~holder ~now:!clock ~ttl:1. with
+            | Some g -> grants := g :: !grants
+            | None -> ())
+        | 3 ->
+            (* Time passes; silent (SIGKILLed) workers lose their leases. *)
+            clock := !clock +. (2. *. Rng.float rng 1.);
+            ignore (Lease.expire t ~now:!clock : int)
+        | 4 -> (
+            (* A live worker heartbeats. *)
+            match random_grant () with
+            | Some g ->
+                ignore (Lease.renew t ~lease_id:g.Lease.lease_id ~now:!clock ~ttl:1. : bool)
+            | None -> ())
+        | 5 | 6 | 7 -> (
+            (* A result frame arrives — possibly from a worker whose lease
+               expired long ago (late/duplicate delivery). *)
+            match random_grant () with
+            | Some g ->
+                (match Lease.commit t ~shard:g.Lease.shard with
+                | `Committed -> record_commit g.Lease.shard
+                | `Stale | `Unknown -> ())
+            | None -> ())
+        | 8 -> (
+            (* A worker reports a typed failure. Engine-level retry would
+               re-queue the shard in a later wave; within this wave the
+               failure resolves the slot, so it counts as its commit. *)
+            match random_grant () with
+            | Some g -> (
+                match Lease.fail t ~lease_id:g.Lease.lease_id ~message:"injected" with
+                | `Committed -> record_commit g.Lease.shard
+                | `Stale -> ())
+            | None -> ())
+        | _ ->
+            (* A worker detaches cleanly. *)
+            ignore (Lease.release_holder t ~holder:(1 + Rng.int rng 4) : int)
+      done;
+      (* Drain: the executor of last resort finishes whatever remains. *)
+      while Lease.outstanding t > 0 do
+        match Lease.acquire t ~holder:0 ~now:!clock ~ttl:infinity with
+        | Some g -> (
+            match Lease.commit t ~shard:g.Lease.shard with
+            | `Committed -> record_commit g.Lease.shard
+            | `Stale | `Unknown -> ())
+        | None ->
+            (* Everything pending is leased out to ghosts; expire them. *)
+            clock := !clock +. 10.;
+            ignore (Lease.expire t ~now:!clock : int)
+      done;
+      Array.for_all (fun c -> c = 1) commits
+      && List.length (Lease.results t) = nshards
+      && List.for_all
+           (fun (_, r) -> match r with Ok () -> true | Error m -> m = "injected")
+           (Lease.results t))
+
+let suite =
+  [
+    Helpers.qcheck_to_alcotest prop_hex_roundtrip;
+    Alcotest.test_case "hex rejects garbage" `Quick test_hex_rejects;
+    Alcotest.test_case "grant/wait frames round-trip" `Quick test_grant_roundtrip;
+    Alcotest.test_case "small frames round-trip" `Quick test_small_frames_roundtrip;
+    Alcotest.test_case "result size bound" `Quick test_result_fits;
+    Alcotest.test_case "lease lifecycle" `Quick test_lease_lifecycle;
+    Helpers.qcheck_to_alcotest prop_no_double_commit;
+  ]

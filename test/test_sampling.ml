@@ -81,6 +81,60 @@ let prop_stratified_covers =
       covered = n && !contiguous
       && (Array.length ranges = 0 || (fst ranges.(0) = 0 && snd ranges.(Array.length ranges - 1) = n)))
 
+let prop_uniform_edge_cases =
+  QCheck.Test.make ~name:"uniform edges: k=0 empty, k=n permutation, k>n raises"
+    ~count:200
+    QCheck.(pair (int_range 0 100) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let empty = Sampling.uniform rng ~n ~k:0 in
+      let full = Sampling.uniform rng ~n ~k:n in
+      let module S = Set.Make (Int) in
+      let distinct = S.cardinal (S.of_list (Array.to_list full)) in
+      let over_raises =
+        match Sampling.uniform rng ~n ~k:(n + 1) with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      Array.length empty = 0
+      && Array.length full = n && distinct = n
+      && Array.for_all (fun i -> 0 <= i && i < n) full
+      && over_raises)
+
+let prop_weighted_edge_cases =
+  QCheck.Test.make
+    ~name:"weighted edges: k=0, k=#positive, k>n, zero-weight sites never drawn"
+    ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 12) (int_range 0 5)) small_int)
+    (fun (raw, seed) ->
+      let rng = Rng.create ~seed in
+      let weights = Array.of_list (List.map float_of_int raw) in
+      let n = Array.length weights in
+      let positive = Array.fold_left (fun acc w -> if w > 0. then acc + 1 else acc) 0 weights in
+      let empty = Sampling.weighted_without_replacement rng ~weights ~k:0 in
+      (* The largest satisfiable draw selects exactly the positive-weight
+         sites — a zero-weight site can never displace one. *)
+      let full = Sampling.weighted_without_replacement rng ~weights ~k:positive in
+      let module S = Set.Make (Int) in
+      let full_set = S.of_list (Array.to_list full) in
+      let over_n_raises =
+        match Sampling.weighted_without_replacement rng ~weights ~k:(n + 1) with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      let over_positive_raises =
+        positive = n
+        ||
+        match Sampling.weighted_without_replacement rng ~weights ~k:(positive + 1) with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      in
+      Array.length empty = 0
+      && Array.length full = positive
+      && S.cardinal full_set = positive
+      && S.for_all (fun i -> weights.(i) > 0.) full_set
+      && over_n_raises && over_positive_raises)
+
 let suite =
   [
     Alcotest.test_case "uniform delegates" `Quick test_uniform_delegates;
@@ -90,4 +144,6 @@ let suite =
     Alcotest.test_case "inverse information weights" `Quick test_inverse_information_weights;
     Alcotest.test_case "stratified indices" `Quick test_stratified_indices;
     Helpers.qcheck_to_alcotest prop_stratified_covers;
+    Helpers.qcheck_to_alcotest prop_uniform_edge_cases;
+    Helpers.qcheck_to_alcotest prop_weighted_edge_cases;
   ]
