@@ -98,6 +98,22 @@ let live_workers_locked t ~now:t_now =
 
 let live_workers t = with_lock t (fun () -> List.length (live_workers_locked t ~now:(now ())))
 
+(* Aging out of the live set is recoverable (a stalled worker's next frame
+   revives it), so entries are only *pruned* — removed from [t.workers]
+   outright — once detached or silent for far longer than any plausible
+   stall. Pruning runs on registration (the only point where the list
+   grows) and on the scheduler's periodic expire pass, which bounds the
+   list for a long-lived daemon with endlessly reconnecting workers. A
+   pruned worker that somehow returns gets a typed [unknown_worker] and
+   exits visibly; worker ids are never reused. *)
+let prune_window t = 10. *. live_window t
+
+let prune_workers_locked t ~now:t_now =
+  t.workers <-
+    List.filter
+      (fun w -> (not w.detached) && t_now -. w.last_seen <= prune_window t)
+      t.workers
+
 let live_slots_locked t ~now:t_now =
   List.fold_left (fun acc w -> acc + max 1 w.w_domains) 0 (live_workers_locked t ~now:t_now)
 
@@ -118,10 +134,12 @@ let touch_worker_locked t wid =
 let handle_register t json =
   let domains = match P.opt_int "domains" json with Some d when d >= 1 -> d | _ -> 1 in
   with_lock t (fun () ->
+      let t_now = now () in
+      prune_workers_locked t ~now:t_now;
       let wid = t.next_wid in
       t.next_wid <- wid + 1;
       t.workers <-
-        { wid; w_domains = domains; last_seen = now (); detached = false } :: t.workers;
+        { wid; w_domains = domains; last_seen = t_now; detached = false } :: t.workers;
       P.registered ~worker:wid ~ttl:t.lease_ttl)
 
 let handle_lease t json =
@@ -172,6 +190,7 @@ let handle_heartbeat t json =
 
 let handle_result t json =
   let wid = P.req_int "worker" json in
+  let job = P.req_int "job" json in
   let lease_id = P.req_int "lease" json in
   let shard = P.req_int "shard" json in
   with_lock t (fun () ->
@@ -180,6 +199,15 @@ let handle_result t json =
       | None ->
           (* The wave is over (the job finished, was cancelled, or failed);
              a straggler's work is simply dropped. *)
+          t.stale <- t.stale + 1;
+          P.result_ack_frame ~committed:false ~stale:true
+      | Some a when a.a_job <> job ->
+          (* A straggler from an earlier job: commits are keyed by shard
+             index, and a later job may reuse the index with the same
+             bounds, so without this check the old bench's outcome bytes
+             would land in the new campaign. Within one job late results
+             are byte-identical (pure function of the golden trace) and
+             first-result-wins stays sound; across jobs they are dropped. *)
           t.stale <- t.stale + 1;
           P.result_ack_frame ~committed:false ~stale:true
       | Some a -> (
@@ -279,8 +307,7 @@ let wave_runner t ~job_id ~bench ~fuel ~golden =
         | exception e -> (task.Engine.shard, Error (Printexc.to_string e))
       in
       let big, small = Array.to_list tasks |> List.partition (fun task -> not (fits task)) in
-      let big_results = List.map run_one_local big in
-      if small = [] then big_results
+      if small = [] then List.map run_one_local big
       else begin
         let leased =
           List.map
@@ -304,6 +331,10 @@ let wave_runner t ~job_id ~bench ~fuel ~golden =
                   };
               table)
         in
+        (* The lease table is live before any oversized shard runs on the
+           scheduler thread: workers drain the leased (wire-sized) shards
+           concurrently instead of idling behind the local work. *)
+        let big_results = List.map run_one_local big in
         let finish () =
           with_lock t (fun () ->
               t.next_lease <- Lease.next_lease table;
@@ -314,6 +345,7 @@ let wave_runner t ~job_id ~bench ~fuel ~golden =
           let claim =
             with_lock t (fun () ->
                 let t_now = now () in
+                prune_workers_locked t ~now:t_now;
                 t.expired <- t.expired + Lease.expire table ~now:t_now;
                 if Lease.outstanding table = 0 then `Finished
                 else if live_workers_locked t ~now:t_now = [] then

@@ -17,10 +17,14 @@
     heartbeat thread renews it while the shard computes. A worker that
     dies (SIGKILL, network cut) stops renewing: its leases expire and the
     shards return to [Pending] for the next worker's lease poll. A worker
-    that goes silent entirely ages out of the live set after three TTLs,
-    and when {e no} live workers remain the scheduler thread itself runs
-    the remaining shards on the local pool — the executor of last resort,
-    so a fleet job always terminates.
+    that goes silent entirely ages out of the live set after three TTLs
+    (recoverably — its next frame revives it), and when {e no} live
+    workers remain the scheduler thread itself runs the remaining shards
+    on the local pool — the executor of last resort, so a fleet job
+    always terminates. Detached workers, and workers silent an order of
+    magnitude past the liveness window, are pruned from the registry
+    outright so a long-lived daemon with reconnecting workers does not
+    accumulate entries.
 
     {2 Determinism}
 
@@ -28,10 +32,14 @@
     the golden fingerprint (workers refuse to compute against a divergent
     trace), the lease table commits each shard exactly once
     ({!Lease.commit}), and committed blobs pass through the engine's
-    size-guarded [commit] into the shard's own [lo, hi) range. Hence a
-    campaign run by any number of workers under any interleaving —
-    including mid-shard worker death — is bit-identical to the serial
-    run. *)
+    size-guarded [commit] into the shard's own [lo, hi) range. Result
+    frames echo the grant's job id, and a result for any job other than
+    the active one is dropped as stale — first-result-wins is sound only
+    within a single job's golden trace, so a straggler from a finished
+    job can never commit into a later campaign that reuses the shard
+    index. Hence a campaign run by any number of workers under any
+    interleaving — including mid-shard worker death — is bit-identical to
+    the serial run. *)
 
 type t
 

@@ -58,7 +58,7 @@ let run cfg =
      with stats, like Server.run's own handling), not kill the process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let ctl = cfg.connect () in
-  let hb_fd = cfg.connect () in
+  let hb_fd = ref (cfg.connect ()) in
   let reg = P.parse_registered (roundtrip ctl (P.register ~domains:cfg.domains)) in
   let wid = reg.P.worker in
   let ttl = reg.P.ttl in
@@ -66,23 +66,48 @@ let run cfg =
   let pool = if cfg.domains > 1 then Some (Pool.global ~domains:cfg.domains ()) else None in
   (* Heartbeats ride a second connection so the control channel stays
      strictly request/response while a shard computes. Only this thread
-     ever touches [hb_fd]. *)
+     ever touches [hb_fd] while it runs; a broken heartbeat channel is
+     reconnected in place, and if that fails too the thread raises
+     [hb_failed] so the main loop exits visibly — a worker must never
+     keep computing shards whose leases it can no longer renew (every
+     result would be discarded as stale). *)
   let current_lease = Atomic.make None in
   let hb_stop = Atomic.make false in
+  let hb_failed = Atomic.make false in
   let hb_thread =
     Thread.create
       (fun () ->
         let period = max 0.01 (ttl /. 3.) in
-        try
-          while not (Atomic.get hb_stop) do
-            Thread.delay period;
-            match Atomic.get current_lease with
-            | Some lease when not (Atomic.get hb_stop) ->
-                let reply = roundtrip hb_fd (P.heartbeat ~worker:wid ~lease:(Some lease)) in
-                ignore (P.parse_heartbeat_reply reply : bool)
-            | Some _ | None -> ()
-          done
-        with Wire.Closed | Wire.Protocol_error _ | Unix.Unix_error (_, _, _) -> ())
+        let beat lease =
+          match
+            P.parse_heartbeat_reply
+              (roundtrip !hb_fd (P.heartbeat ~worker:wid ~lease:(Some lease)))
+          with
+          | (_ : bool) -> true
+          | exception
+              ( Wire.Closed | Wire.Protocol_error _ | P.Decode_error _
+              | Unix.Unix_error (_, _, _) ) ->
+              if Atomic.get hb_stop then false
+              else begin
+                (try Unix.close !hb_fd with Unix.Unix_error (_, _, _) -> ());
+                match cfg.connect () with
+                | fd ->
+                    hb_fd := fd;
+                    true (* renewal resumes on the next period *)
+                | exception _ -> false
+              end
+        in
+        let ok = ref true in
+        while !ok && not (Atomic.get hb_stop) do
+          Thread.delay period;
+          match Atomic.get current_lease with
+          | Some lease when not (Atomic.get hb_stop) ->
+              if not (beat lease) then begin
+                ok := false;
+                if not (Atomic.get hb_stop) then Atomic.set hb_failed true
+              end
+          | Some _ | None -> ()
+        done)
       ()
   in
   let shards = ref 0 and cases = ref 0 and failures = ref 0 and stale_acks = ref 0 in
@@ -91,12 +116,19 @@ let run cfg =
     (try Wire.write ctl (P.detach ~worker:wid) with _ -> ());
     (try ignore (Wire.read ctl : Ftb_service.Json.t) with _ -> ());
     (try Unix.close ctl with Unix.Unix_error (_, _, _) -> ());
-    (try Unix.close hb_fd with Unix.Unix_error (_, _, _) -> ());
+    (* Closing the heartbeat fd unblocks a thread waiting on a reply; if
+       the thread swapped in a fresh descriptor while reconnecting, that
+       one is closed after the join (and only that one — fd numbers are
+       reused, so a blind double close could hit an unrelated socket). *)
+    let hb_fd0 = !hb_fd in
+    (try Unix.close hb_fd0 with Unix.Unix_error (_, _, _) -> ());
     (try Thread.join hb_thread with _ -> ());
+    if !hb_fd <> hb_fd0 then
+      (try Unix.close !hb_fd with Unix.Unix_error (_, _, _) -> ());
     { shards = !shards; cases = !cases; failures = !failures; stale_acks = !stale_acks }
   in
   try
-    while not (cfg.stop ()) do
+    while not (cfg.stop ()) && not (Atomic.get hb_failed) do
       match P.parse_lease_reply (roundtrip ctl (P.lease ~worker:wid)) with
       | P.Wait poll -> Thread.delay poll
       | P.Granted g ->
@@ -119,26 +151,47 @@ let run cfg =
                 P.Outcomes (run_shard cfg pool golden ~fuel:g.P.fuel ~lo:g.P.lo ~hi:g.P.hi)
             with e -> P.Failed (Printexc.to_string e)
           in
+          (* A typed server-side rejection (oversized_result / bad_result /
+             bad_request) surfaces as [Decode_error]: the shard is counted
+             as failed and the pull loop continues — the daemon's retry
+             machinery owns the shard, so crashing the whole worker over
+             one rejected frame would only shrink the fleet. Transport
+             loss still propagates to the handlers below. *)
           let ack =
-            P.parse_result_ack
-              (roundtrip ctl
-                 (P.result ~worker:wid ~lease:g.P.lease_id ~shard:g.P.shard payload))
+            match
+              P.parse_result_ack
+                (roundtrip ctl
+                   (P.result ~worker:wid ~job:g.P.job_id ~lease:g.P.lease_id
+                      ~shard:g.P.shard payload))
+            with
+            | ack -> Ok ack
+            | exception P.Decode_error msg -> Error msg
           in
           Atomic.set current_lease None;
-          (match payload with
-          | P.Outcomes b ->
-              incr shards;
-              cases := !cases + Bytes.length b
-          | P.Failed msg ->
+          (match ack with
+          | Ok ack ->
+              (match payload with
+              | P.Outcomes b ->
+                  incr shards;
+                  cases := !cases + Bytes.length b
+              | P.Failed msg ->
+                  incr failures;
+                  logf cfg "worker %d: shard %d failed: %s" wid g.P.shard msg);
+              if ack.P.stale then begin
+                incr stale_acks;
+                logf cfg "worker %d: shard %d result was stale (lease expired elsewhere)"
+                  wid g.P.shard
+              end
+          | Error msg ->
               incr failures;
-              logf cfg "worker %d: shard %d failed: %s" wid g.P.shard msg);
-          if ack.P.stale then begin
-            incr stale_acks;
-            logf cfg "worker %d: shard %d result was stale (lease expired elsewhere)"
-              wid g.P.shard
-          end
+              logf cfg "worker %d: shard %d result rejected by daemon: %s" wid
+                g.P.shard msg)
     done;
-    logf cfg "worker %d stopping" wid;
+    if Atomic.get hb_failed then
+      logf cfg
+        "worker %d stopping: heartbeat channel lost (lease renewal impossible)"
+        wid
+    else logf cfg "worker %d stopping" wid;
     finish ()
   with
   | Wire.Closed ->

@@ -44,10 +44,15 @@ val run : config -> stats
 (** Register and serve leases until [stop] answers [true] (clean detach)
     or the daemon closes the connection. Transport loss ([Wire.Closed],
     [EPIPE], [ECONNRESET]) is a clean exit — the daemon's lease expiry
-    machinery handles the abandoned shard. Other exceptions propagate
-    after best-effort cleanup. Ignores [SIGPIPE] process-wide (as
-    {!Ftb_service.Server.run} does), so a daemon hangup mid-write is an
-    [EPIPE] and not a fatal signal. *)
+    machinery handles the abandoned shard. A heartbeat channel that fails
+    and cannot be reconnected also ends the worker cleanly: without lease
+    renewal every slow shard's result would be discarded as stale, so the
+    worker exits visibly instead of degrading silently. A typed
+    server-side rejection of one result frame counts as a shard failure
+    and the loop continues. Other exceptions propagate after best-effort
+    cleanup. Ignores [SIGPIPE] process-wide (as {!Ftb_service.Server.run}
+    does), so a daemon hangup mid-write is an [EPIPE] and not a fatal
+    signal. *)
 
 (** {1 Endpoint plumbing for the CLI} *)
 

@@ -83,11 +83,12 @@ let heartbeat ~worker ~lease =
 
 type result_payload = Outcomes of Bytes.t | Failed of string
 
-let result ~worker ~lease ~shard payload =
+let result ~worker ~job ~lease ~shard payload =
   Json.Obj
     ([
        ("cmd", Json.String "worker_result");
        ("worker", Json.Int worker);
+       ("job", Json.Int job);
        ("lease", Json.Int lease);
        ("shard", Json.Int shard);
      ]

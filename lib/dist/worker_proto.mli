@@ -46,7 +46,15 @@ type result_payload =
   | Failed of string  (** typed worker-side failure; the shard is retried *)
 
 val result :
-  worker:int -> lease:int -> shard:int -> result_payload -> Ftb_service.Json.t
+  worker:int ->
+  job:int ->
+  lease:int ->
+  shard:int ->
+  result_payload ->
+  Ftb_service.Json.t
+(** [job] echoes the grant's job id; the scheduler refuses to commit a
+    result into any other job's wave, so a straggler from a finished job
+    can never corrupt a later campaign that reuses the shard index. *)
 
 val detach : worker:int -> Ftb_service.Json.t
 

@@ -1,6 +1,10 @@
 module P = Ftb_dist.Worker_proto
 module Lease = Ftb_dist.Lease
+module Fleet = Ftb_dist.Fleet
 module Rng = Ftb_util.Rng
+module Json = Ftb_service.Json
+module Engine = Ftb_campaign.Engine
+module Golden = Ftb_trace.Golden
 
 (* ------------------------------------------------------------------ *)
 (* Worker protocol frames. *)
@@ -176,6 +180,100 @@ let prop_no_double_commit =
            (fun (_, r) -> match r with Ok () -> true | Error m -> m = "injected")
            (Lease.results t))
 
+(* ------------------------------------------------------------------ *)
+(* Fleet scheduler: a result frame only commits into its own job's wave. *)
+
+let test_cross_job_result_rejected () =
+  let fleet = Fleet.create ~lease_ttl:5.0 ~poll:0.005 () in
+  let ext cmd json =
+    match Fleet.extension fleet ~cmd json with
+    | Some reply -> reply
+    | None -> Alcotest.fail (Printf.sprintf "no handler for %s" cmd)
+  in
+  let reg = P.parse_registered (ext "worker_register" (P.register ~domains:1)) in
+  let wid = reg.P.worker in
+  let golden = Golden.run (Helpers.linear_program ()) in
+  let job_id = 41 in
+  let runner =
+    match Fleet.wave_runner fleet ~job_id ~bench:"helpers.linear" ~fuel:None ~golden with
+    | Some r -> r
+    | None -> Alcotest.fail "no wave runner despite a registered worker"
+  in
+  let committed = ref [] in
+  let commit ~shard bytes = committed := (shard, Bytes.copy bytes) :: !committed in
+  let results = ref [] in
+  let ran_locally = ref false in
+  let wave =
+    Thread.create
+      (fun () ->
+        results :=
+          runner.Engine.run_wave
+            [| { Engine.shard = 0; attempt = 1; lo = 0; hi = 4 } |]
+            ~commit
+            ~run_local:(fun ~lo:_ ~hi:_ -> ran_locally := true))
+      ()
+  in
+  let rec lease_grant attempts =
+    if attempts = 0 then Alcotest.fail "scheduler never offered a grant"
+    else
+      match P.parse_lease_reply (ext "worker_lease" (P.lease ~worker:wid)) with
+      | P.Granted g -> g
+      | P.Wait poll ->
+          ignore (Unix.select [] [] [] (Float.max poll 0.001));
+          lease_grant (attempts - 1)
+  in
+  let g = lease_grant 1000 in
+  Alcotest.(check int) "grant advertises the active job" job_id g.P.job_id;
+  let payload = P.Outcomes (Bytes.of_string "\x00\x01\x02\x03") in
+  (* A straggler from an earlier job whose shard index happens to exist in
+     this wave: dropped as stale, never committed. *)
+  let stale_ack =
+    P.parse_result_ack
+      (ext "worker_result"
+         (P.result ~worker:wid ~job:(job_id - 1) ~lease:g.P.lease_id
+            ~shard:g.P.shard payload))
+  in
+  Alcotest.(check bool) "cross-job result dropped as stale" true
+    (stale_ack.P.stale && not stale_ack.P.committed);
+  Alcotest.(check bool) "cross-job result committed nothing" true (!committed = []);
+  (* A result frame that does not say which job it belongs to is refused
+     outright with a typed error. *)
+  let jobless =
+    Json.Obj
+      [
+        ("cmd", Json.String "worker_result");
+        ("worker", Json.Int wid);
+        ("lease", Json.Int g.P.lease_id);
+        ("shard", Json.Int g.P.shard);
+        ("data", Json.String "00010203");
+      ]
+  in
+  (match P.check_ok (ext "worker_result" jobless) with
+  | () -> Alcotest.fail "job-less result frame accepted"
+  | exception P.Decode_error _ -> ());
+  let ack =
+    P.parse_result_ack
+      (ext "worker_result"
+         (P.result ~worker:wid ~job:job_id ~lease:g.P.lease_id ~shard:g.P.shard
+            payload))
+  in
+  Alcotest.(check bool) "same-job result commits" true
+    (ack.P.committed && not ack.P.stale);
+  Thread.join wave;
+  Alcotest.(check bool) "shard never fell back to the local executor" false
+    !ran_locally;
+  (match !results with
+  | [ (0, Ok ()) ] -> ()
+  | _ -> Alcotest.fail "wave did not resolve the shard");
+  (match !committed with
+  | [ (0, b) ] ->
+      Alcotest.(check string) "committed exactly the worker's bytes"
+        "\x00\x01\x02\x03" (Bytes.to_string b)
+  | _ -> Alcotest.fail "expected exactly one committed shard");
+  let s = Fleet.stats fleet in
+  Alcotest.(check int) "one remote commit" 1 s.Fleet.remote_committed;
+  Alcotest.(check bool) "cross-job frame counted as stale" true (s.Fleet.stale >= 1)
+
 let suite =
   [
     Helpers.qcheck_to_alcotest prop_hex_roundtrip;
@@ -185,4 +283,6 @@ let suite =
     Alcotest.test_case "result size bound" `Quick test_result_fits;
     Alcotest.test_case "lease lifecycle" `Quick test_lease_lifecycle;
     Helpers.qcheck_to_alcotest prop_no_double_commit;
+    Alcotest.test_case "cross-job results never commit" `Quick
+      test_cross_job_result_rejected;
   ]
