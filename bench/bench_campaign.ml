@@ -25,10 +25,21 @@
    CRC-32-enveloped checkpoint stream, and fails loudly if checksummed
    durability costs more than 2% of campaign throughput.
 
+   A model guard times the generalized model-aware executor entry point
+   ([Executor.ground_truth_model] under the default [Bit_flip_64] spec)
+   against the direct 64-bit-flip path and fails loudly if the
+   generalization costs more than 5% of campaign throughput — making a
+   campaign's fault model pluggable must not tax the campaigns everyone
+   already runs. Non-default model throughput is also measured and
+   recorded (informational; the discrete models share the prefix-snapshot
+   batcher with closure corruption, the stochastic model re-executes per
+   case).
+
    Usage: bench_campaign.exe [--quick] [--json PATH] [--domains N] [--reps N] *)
 
 module Golden = Ftb_trace.Golden
 module Ground_truth = Ftb_inject.Ground_truth
+module Models = Ftb_inject.Models
 module Executor = Ftb_inject.Executor
 module Parallel = Ftb_inject.Parallel
 module Engine = Ftb_campaign.Engine
@@ -280,6 +291,97 @@ let bench_persistence ~opts =
   { guard_cases = cases; guard_waves = waves; save_s; plain_s; ckpt_s; amortized;
     wall_overhead; budget; tripwire }
 
+(* Model guard: the pluggable-model entry point under the default spec
+   must stay within 5% of the direct 64-bit-flip executor. [Bit_flip_64]
+   dispatches to the exact pre-model code path, so the true difference is
+   one match per call — this guard exists to catch a future refactor that
+   accidentally routes the default model through the generalized
+   (closure-corruption) machinery. Interleaved best-of-N, same protocol
+   as the persistence guard. *)
+
+type model_rate = { mr_spec : string; mr_cases : int; mr_cases_per_sec : float }
+
+type model_guard = {
+  mg_cases : int;
+  direct_s : float;  (* Executor.ground_truth, the 64-bit-flip path *)
+  dispatch_s : float;  (* Executor.ground_truth_model default_spec *)
+  mg_overhead : float;  (* dispatch/direct - 1 *)
+  mg_budget : float;
+  model_rates : model_rate list;  (* non-default models, informational *)
+}
+
+let bench_models ~opts =
+  let open Ftb_ir in
+  let n = if opts.quick then 200 else 800 in
+  let program = Ir.to_program (Programs.dot ~n ~seed:11 ~tolerance:1e-9) in
+  let golden = Golden.run program in
+  let cases = Golden.cases golden in
+  let reference = Executor.ground_truth ~domains:1 golden in
+  Printf.printf "model guard: ir.dot n:%d, %d cases, default model via both entry points\n%!"
+    n cases;
+  let reps = max opts.reps 5 in
+  let direct_s = ref infinity and dispatch_s = ref infinity in
+  let timed best f =
+    let t0 = Unix.gettimeofday () in
+    let gt : Ground_truth.t = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    gt
+  in
+  let run_direct () = timed direct_s (fun () -> Executor.ground_truth ~domains:1 golden) in
+  let run_dispatch () =
+    timed dispatch_s (fun () ->
+        Executor.ground_truth_model ~domains:1 Models.default_spec golden)
+  in
+  for i = 1 to reps do
+    let first, second =
+      if i land 1 = 1 then (run_direct, run_dispatch) else (run_dispatch, run_direct)
+    in
+    ignore (first ());
+    ignore (second ())
+  done;
+  let check what (gt : Ground_truth.t) =
+    if not (Bytes.equal reference.Ground_truth.outcomes gt.Ground_truth.outcomes) then begin
+      Printf.eprintf "FATAL: %s outcomes differ from the direct executor on the model guard\n"
+        what;
+      exit 1
+    end
+  in
+  check "direct 64-bit-flip executor" (run_direct ());
+  check "model dispatch (default spec)" (run_dispatch ());
+  let direct_s = !direct_s and dispatch_s = !dispatch_s in
+  let mg_overhead = (dispatch_s /. direct_s) -. 1. in
+  let mg_budget = 0.05 in
+  Printf.printf
+    "  default model: dispatch %8.3f s vs direct %8.3f s — %+.2f%% (budget %.0f%%)\n%!"
+    dispatch_s direct_s (100. *. mg_overhead) (100. *. mg_budget);
+  if mg_overhead > mg_budget then begin
+    Printf.eprintf
+      "FATAL: the generalized executor is %.2f%% slower than the 64-bit-flip path under \
+       the default model (budget %.0f%%)\n"
+      (100. *. mg_overhead) (100. *. mg_budget);
+    exit 1
+  end;
+  let model_rates =
+    List.map
+      (fun (spec : Models.spec) ->
+        let total = Models.total_cases spec ~sites:(Golden.sites golden) in
+        let _, seconds =
+          time ~reps:opts.reps (fun () ->
+              Executor.ground_truth_model ~domains:1 spec golden)
+        in
+        let rate = float_of_int total /. seconds in
+        Printf.printf "  %-28s %8d cases  %8.3f s   %12.0f cases/s\n%!"
+          (Models.spec_name spec) total seconds rate;
+        { mr_spec = Models.spec_to_string spec; mr_cases = total; mr_cases_per_sec = rate })
+      [
+        { Models.model = Models.Bit_flip_32; seed = 0 };
+        { Models.model = Models.Adjacent_burst_2; seed = 0 };
+        { Models.model = Models.Random_value { lo = -50.; hi = 50. }; seed = 7 };
+      ]
+  in
+  { mg_cases = cases; direct_s; dispatch_s; mg_overhead; mg_budget; model_rates }
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -290,7 +392,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~opts ~guard rows =
+let write_json ~opts ~guard ~models rows =
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
@@ -310,6 +412,22 @@ let write_json ~opts ~guard rows =
   bpf "    \"budget\": %.2f,\n" guard.budget;
   bpf "    \"tripwire\": %.2f,\n" guard.tripwire;
   bpf "    \"within_budget\": true\n";
+  bpf "  },\n";
+  bpf "  \"model_guard\": {\n";
+  bpf "    \"cases\": %d,\n" models.mg_cases;
+  bpf "    \"direct_seconds\": %.6f,\n" models.direct_s;
+  bpf "    \"dispatch_seconds\": %.6f,\n" models.dispatch_s;
+  bpf "    \"overhead\": %.4f,\n" models.mg_overhead;
+  bpf "    \"budget\": %.2f,\n" models.mg_budget;
+  bpf "    \"within_budget\": true,\n";
+  bpf "    \"non_default_models\": [\n";
+  List.iteri
+    (fun i { mr_spec; mr_cases; mr_cases_per_sec } ->
+      bpf "      { \"spec\": \"%s\", \"cases\": %d, \"cases_per_sec\": %.1f }%s\n"
+        (json_escape mr_spec) mr_cases mr_cases_per_sec
+        (if i = List.length models.model_rates - 1 then "" else ","))
+    models.model_rates;
+  bpf "    ]\n";
   bpf "  },\n";
   bpf "  \"programs\": [\n";
   List.iteri
@@ -352,4 +470,5 @@ let () =
     opts.domains opts.reps;
   let rows = List.map (bench_program ~opts) (programs ~quick:opts.quick) in
   let guard = bench_persistence ~opts in
-  write_json ~opts ~guard rows
+  let models = bench_models ~opts in
+  write_json ~opts ~guard ~models rows

@@ -44,6 +44,28 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV files under $(docv).")
 
+let model_conv =
+  let parse s =
+    match Ftb_inject.Models.spec_of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf spec =
+    Format.pp_print_string ppf (Ftb_inject.Models.spec_to_string spec)
+  in
+  Arg.conv ~docv:"MODEL" (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Ftb_inject.Models.default_spec
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Fault model of the campaign: $(b,bit-flip-64) (the default, the paper's \
+           model), $(b,bit-flip-32), $(b,adjacent-burst-2), or \
+           $(b,random-value:LO:HI[:SEED]) (stochastic value replacement drawn \
+           uniformly from [LO, HI), deterministically derived per case from SEED).")
+
 let find_program name =
   match Ftb_kernels.Suite.find name with
   | program -> program
@@ -99,16 +121,18 @@ let list_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_every resume
-    fuel domains =
+let campaign_run () name exhaustive fraction seed model csv checkpoint checkpoint_every
+    resume fuel domains =
+  let module Models = Ftb_inject.Models in
   (* A junk FTB_DOMAINS should be a usage error, not a backtrace — even
      when --domains was not passed. *)
   let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
   let program = find_program name in
   let golden = Ftb_trace.Golden.run program in
   let sites = Ftb_trace.Golden.sites golden in
-  Printf.printf "%s: %d dynamic instructions, %d fault cases\n" name sites
-    (Ftb_trace.Golden.cases golden);
+  Printf.printf "%s: %d dynamic instructions, %d fault cases (%s)\n" name sites
+    (Models.total_cases model ~sites)
+    (Models.spec_name model);
   if exhaustive then begin
     let module E = Ftb_campaign.Engine in
     let config =
@@ -118,6 +142,7 @@ let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_ever
         domains;
         fuel;
         resume;
+        model;
         (* A corrupt checkpoint should cost the user the resume, not the
            campaign: quarantine it for post-mortem and rebuild. *)
         on_invalid_checkpoint = E.Restart;
@@ -171,12 +196,38 @@ let campaign_run () name exhaustive fraction seed csv checkpoint checkpoint_ever
   end
   else begin
     let rng = Ftb_util.Rng.create ~seed in
-    let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
-    let samples = Ftb_inject.Sample_run.run_cases ?fuel golden cases in
-    let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes samples in
-    let total = float_of_int (Array.length samples) in
-    Printf.printf "monte carlo campaign (%s of the space, %d runs):\n"
-      (pct fraction) (Array.length samples);
+    (* The default model keeps the historical sampler byte-for-byte;
+       other models draw from their own dense case space and classify
+       through the model-aware contained runner (same split as the
+       daemon's sample jobs). *)
+    let masked, sdc, crash, runs =
+      if Models.spec_equal model Models.default_spec then begin
+        let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+        let samples = Ftb_inject.Sample_run.run_cases ?fuel golden cases in
+        let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes samples in
+        (masked, sdc, crash, Array.length samples)
+      end
+      else begin
+        let n = Models.total_cases model ~sites in
+        let k = max 1 (int_of_float (Float.ceil (fraction *. float_of_int n))) in
+        let cases = Ftb_util.Sampling.uniform rng ~n ~k:(min k n) in
+        let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+        Array.iter
+          (fun case ->
+            match
+              Ftb_inject.Ground_truth.outcome_of_byte
+                (Ftb_inject.Ground_truth.case_byte_model ?fuel model golden case)
+            with
+            | Ftb_trace.Runner.Masked -> incr masked
+            | Ftb_trace.Runner.Sdc -> incr sdc
+            | Ftb_trace.Runner.Crash -> incr crash)
+          cases;
+        (!masked, !sdc, !crash, Array.length cases)
+      end
+    in
+    let total = float_of_int runs in
+    Printf.printf "monte carlo campaign (%s of the space, %d runs):\n" (pct fraction)
+      runs;
     Printf.printf "  masked %s\n  sdc    %s\n  crash  %s\n"
       (pct (float_of_int masked /. total))
       (pct (float_of_int sdc /. total))
@@ -237,7 +288,7 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on a benchmark")
     Term.(
       const campaign_run $ logs_term $ bench_arg $ exhaustive_arg $ fraction_arg $ seed_arg
-      $ csv_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ fuel_arg
+      $ model_arg $ csv_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ fuel_arg
       $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -407,29 +458,48 @@ let protect_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let models_run () name samples_per_site seed =
+let models_run () name exhaustive samples_per_site seed fuel domains csv =
   let program = find_program name in
   let golden = Ftb_trace.Golden.run program in
-  let rng = Ftb_util.Rng.create ~seed in
-  let models =
-    Ftb_inject.Models.all_discrete
-    @ [ Ftb_inject.Models.Random_value { lo = -1e3; hi = 1e3 } ]
-  in
-  Printf.printf "%s: SDC sensitivity to the fault model (%d injections per site)\n" name
-    samples_per_site;
-  let table = Ftb_util.Table.create [ "model"; "runs"; "masked"; "sdc"; "crash" ] in
-  List.iter
-    (fun (c : Ftb_inject.Models.campaign) ->
-      Ftb_util.Table.add_row table
-        [
-          Ftb_inject.Models.name c.Ftb_inject.Models.model;
-          string_of_int c.Ftb_inject.Models.total.Ftb_inject.Models.runs;
-          pct c.Ftb_inject.Models.masked_ratio;
-          pct c.Ftb_inject.Models.sdc_ratio;
-          pct c.Ftb_inject.Models.crash_ratio;
-        ])
-    (Ftb_inject.Models.compare_models ~samples_per_site rng golden models);
-  print_string (Ftb_util.Table.render table)
+  if exhaustive then begin
+    (* The cross-model results family: one full campaign per model, via
+       the same model-aware executor the campaign engine uses. *)
+    let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
+    let result =
+      Ftb_core.Study_models.run ~domains ?fuel ~name golden
+        (Ftb_core.Study_models.default_specs ~seed)
+    in
+    print_string (Ftb_report.Render.model_table [ result ]);
+    match csv with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun path -> Printf.printf "wrote %s\n" path)
+          (Ftb_report.Render.save_all ~dir
+             (Ftb_report.Render.csv_model_table [ result ]))
+  end
+  else begin
+    let rng = Ftb_util.Rng.create ~seed in
+    let models =
+      Ftb_inject.Models.all_discrete
+      @ [ Ftb_inject.Models.Random_value { lo = -1e3; hi = 1e3 } ]
+    in
+    Printf.printf "%s: SDC sensitivity to the fault model (%d injections per site)\n" name
+      samples_per_site;
+    let table = Ftb_util.Table.create [ "model"; "runs"; "masked"; "sdc"; "crash" ] in
+    List.iter
+      (fun (c : Ftb_inject.Models.campaign) ->
+        Ftb_util.Table.add_row table
+          [
+            Ftb_inject.Models.name c.Ftb_inject.Models.model;
+            string_of_int c.Ftb_inject.Models.total.Ftb_inject.Models.runs;
+            pct c.Ftb_inject.Models.masked_ratio;
+            pct c.Ftb_inject.Models.sdc_ratio;
+            pct c.Ftb_inject.Models.crash_ratio;
+          ])
+      (Ftb_inject.Models.compare_models ~samples_per_site rng golden models);
+    print_string (Ftb_util.Table.render table)
+  end
 
 let models_cmd =
   let samples_arg =
@@ -437,9 +507,32 @@ let models_cmd =
       value & opt int 4
       & info [ "samples-per-site" ] ~docv:"N" ~doc:"Injections drawn per dynamic instruction.")
   in
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Run the complete campaign under every model (instead of a small \
+             Monte-Carlo sample) and print the cross-model comparison table.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Per-case dynamic-instruction budget.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains for the exhaustive campaigns (1 = serial).")
+  in
   Cmd.v
     (Cmd.info "models" ~doc:"Compare SDC ratios under alternative fault models")
-    Term.(const models_run $ logs_term $ bench_arg $ samples_arg $ seed_arg)
+    Term.(
+      const models_run $ logs_term $ bench_arg $ exhaustive_arg $ samples_arg $ seed_arg
+      $ fuel_arg $ domains_arg $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -753,7 +846,8 @@ let watch_retry_until_done socket endpoint id =
   | Ok job -> print_final id job
   | exception exn -> die_unreachable socket exn
 
-let submit_run () name socket fraction seed shard_size fuel priority no_watch idem =
+let submit_run () name socket fraction seed model shard_size fuel priority no_watch idem
+    =
   let mode =
     match fraction with
     | Some fraction -> Service.Job.Sample { fraction; seed }
@@ -765,14 +859,16 @@ let submit_run () name socket fraction seed shard_size fuel priority no_watch id
       Service.Job.mode;
       shard_size;
       priority;
+      model;
       fuel = (match fuel with Some _ -> fuel | None -> (Service.Job.default_spec ~bench:name).Service.Job.fuel);
     }
   in
   let announce id =
-    Printf.printf "job %d queued (%s, %s)\n%!" id name
+    Printf.printf "job %d queued (%s, %s, %s)\n%!" id name
       (match mode with
       | Service.Job.Exhaustive -> "exhaustive"
       | Service.Job.Sample { fraction; _ } -> Printf.sprintf "sample %s" (pct fraction))
+      (Ftb_inject.Models.spec_name model)
   in
   match idem with
   | Some key -> (
@@ -842,7 +938,7 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"Queue a campaign on a running daemon")
     Term.(
       const submit_run $ logs_term $ bench_arg $ socket_arg $ fraction_opt_arg $ seed_arg
-      $ shard_size_arg $ fuel_arg $ priority_arg $ no_watch_arg $ idem_arg)
+      $ model_arg $ shard_size_arg $ fuel_arg $ priority_arg $ no_watch_arg $ idem_arg)
 
 let jobs_run () socket json =
   with_client socket (fun client ->

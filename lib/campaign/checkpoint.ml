@@ -1,11 +1,13 @@
 module Golden = Ftb_trace.Golden
 module Ground_truth = Ftb_inject.Ground_truth
+module Models = Ftb_inject.Models
 module Persist = Ftb_inject.Persist
 
 type t = {
   program : string;
   sites : int;
   shard_size : int;
+  model : Models.spec;
   fingerprint : string;
   completed : bool array;
   outcomes : Bytes.t;
@@ -16,7 +18,9 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Persist.Format_error msg)) fmt
 (* The fingerprint digests the golden trace values bit-exactly, so a resumed
    campaign is rejected if the program's inputs — and therefore any outcome
    byte — could differ from the run that wrote the checkpoint. The program
-   name and site count alone cannot see an input change. *)
+   name and site count alone cannot see an input change. The fault model is
+   *not* part of the fingerprint: it is a separate header field, checked
+   separately, so the mismatch message can name the models. *)
 let fingerprint_of_golden (golden : Golden.t) =
   let values = golden.Golden.values in
   let b = Bytes.create (8 * Array.length values) in
@@ -25,12 +29,13 @@ let fingerprint_of_golden (golden : Golden.t) =
 
 let shards t = Array.length t.completed
 
-let create golden ~shard_size =
-  let total = Golden.cases golden in
+let create ?(model = Models.default_spec) golden ~shard_size =
+  let total = Models.total_cases model ~sites:(Golden.sites golden) in
   {
     program = golden.Golden.program.Ftb_trace.Program.name;
     sites = Golden.sites golden;
     shard_size;
+    model;
     fingerprint = fingerprint_of_golden golden;
     completed = Array.make (Shard.count ~total ~shard_size) false;
     outcomes = Bytes.make total '\000';
@@ -56,26 +61,30 @@ let ground_truth golden t =
     invalid_arg
       (Printf.sprintf "Checkpoint.ground_truth: only %d/%d shards complete"
          (completed_count t) (shards t));
-  Ground_truth.of_outcomes golden t.outcomes
+  Ground_truth.of_outcomes ~width:(Models.spec_width t.model) golden t.outcomes
 
 (* ------------------------------------------------------------------ *)
-(* Format v2 (payload inside a Persist integrity envelope):
-     ftb-campaign-v2 <program> <sites> <shard_size> <fingerprint>
+(* Format v3 (payload inside a Persist integrity envelope):
+     ftb-campaign-v3 <program> <sites> <shard_size> <model> <fingerprint>
      <manifest: one '0'/'1' per shard>
      <raw outcome bytes, full length; incomplete shards are padding>
-   Files written before the envelope existed carry the same payload with
-   no envelope and still load (unverified). A complete ground-truth file
-   (Persist v1/v2) is accepted as a fully completed checkpoint, so
-   finished campaigns saved before the resumable engine existed can seed
-   a resume directly. *)
+   The model field is the single-token [Models.spec_to_string] encoding.
+   v2 files — the same layout minus the model field — still load and mean
+   [Bit_flip_64] (the only model any v2 campaign could have run). Files
+   written before the envelope existed carry the payload bare and still
+   load (unverified). A complete ground-truth file (Persist v1/v2) is
+   accepted as a fully completed *default-model* checkpoint, so finished
+   campaigns saved before the resumable engine existed can seed a resume
+   directly. *)
 
-let magic = "ftb-campaign-v2"
+let magic = "ftb-campaign-v3"
+let magic_v2 = "ftb-campaign-v2"
 
 let save ~path t =
   Persist.save_enveloped ~path (fun b ->
       Buffer.add_string b
-        (Printf.sprintf "%s %s %d %d %s\n" magic t.program t.sites t.shard_size
-           t.fingerprint);
+        (Printf.sprintf "%s %s %d %d %s %s\n" magic t.program t.sites t.shard_size
+           (Models.spec_to_string t.model) t.fingerprint);
       Array.iter (fun c -> Buffer.add_char b (if c then '1' else '0')) t.completed;
       Buffer.add_char b '\n';
       Buffer.add_bytes b t.outcomes)
@@ -100,10 +109,24 @@ let validate_bytes ~path t =
 
 (* [payload] is the envelope-verified (or legacy raw) file content; parse
    it as header line, manifest line, then raw outcome bytes. *)
-let load_campaign ~path golden payload header_end =
+let load_campaign ~path ~model:requested golden payload header_end =
   let header = String.sub payload 0 header_end in
-  match String.split_on_char ' ' header with
-  | [ m; program; sites; shard_size; fingerprint ] when m = magic ->
+  let fields =
+    match String.split_on_char ' ' header with
+    | [ m; program; sites; shard_size; fingerprint ] when m = magic_v2 ->
+        (* v2 predates pluggable models: it is a Bit_flip_64 campaign. *)
+        Some (program, sites, shard_size, Models.default_spec, fingerprint)
+    | [ m; program; sites; shard_size; model; fingerprint ] when m = magic -> (
+        match Models.spec_of_string model with
+        | Ok model -> Some (program, sites, shard_size, model, fingerprint)
+        | Error msg -> fail "%s:1: %s" path msg)
+    | m :: _ when m = magic || m = magic_v2 ->
+        fail "%s:1: malformed checkpoint header %S" path header
+    | _ -> fail "%s:1: bad magic in %S (expected %s)" path header magic
+  in
+  match fields with
+  | None -> assert false
+  | Some (program, sites, shard_size, model, fingerprint) ->
       let int_field what s =
         match int_of_string_opt s with
         | Some v -> v
@@ -118,11 +141,14 @@ let load_campaign ~path golden payload header_end =
       if sites <> Golden.sites golden then
         fail "%s:1: checkpoint has %d sites, golden run has %d" path sites
           (Golden.sites golden);
+      if not (Models.spec_equal model requested) then
+        fail "%s:1: checkpoint is for fault model %s, campaign wants %s" path
+          (Models.spec_name model) (Models.spec_name requested);
       let expected = fingerprint_of_golden golden in
       if fingerprint <> expected then
         fail "%s:1: golden-run fingerprint mismatch (%s stored, %s computed)" path
           fingerprint expected;
-      let total = Golden.cases golden in
+      let total = Models.total_cases model ~sites in
       let n_shards = Shard.count ~total ~shard_size in
       let manifest_end =
         match String.index_from_opt payload (header_end + 1) '\n' with
@@ -145,31 +171,34 @@ let load_campaign ~path golden payload header_end =
       if String.length payload - manifest_end - 1 < total then
         fail "%s: truncated outcome data" path;
       let outcomes = Bytes.of_string (String.sub payload (manifest_end + 1) total) in
-      let t = { program; sites; shard_size; fingerprint; completed; outcomes } in
+      let t = { program; sites; shard_size; model; fingerprint; completed; outcomes } in
       validate_bytes ~path t;
       t
-  | m :: _ when m = magic -> fail "%s:1: malformed checkpoint header %S" path header
-  | _ -> fail "%s:1: bad magic in %S (expected %s)" path header magic
 
-let load ~path ~shard_size golden =
+let load ?(model = Models.default_spec) ~path ~shard_size golden =
   let payload = Persist.load_enveloped ~path in
   if payload = "" then fail "%s:1: empty checkpoint" path;
-  let is_campaign =
-    String.length payload >= String.length magic
-    && String.sub payload 0 (String.length magic) = magic
+  let has_magic m =
+    String.length payload >= String.length m && String.sub payload 0 (String.length m) = m
   in
-  if is_campaign then begin
+  if has_magic magic || has_magic magic_v2 then begin
     let header_end =
       match String.index_opt payload '\n' with
       | Some nl -> nl
       | None -> fail "%s:1: malformed checkpoint header" path
     in
-    load_campaign ~path golden payload header_end
+    load_campaign ~path ~model golden payload header_end
   end
   else begin
-    (* Fall back to a complete ground-truth file (Persist v1/v2). *)
+    (* Fall back to a complete ground-truth file (Persist v1/v2). Those
+       files predate pluggable models and hold exactly the 64 bit-flip
+       bytes, so they can only seed a default-model campaign. *)
+    if not (Models.spec_equal model Models.default_spec) then
+      fail "%s: ground-truth files carry only the %s model, campaign wants %s" path
+        (Models.spec_name Models.default_spec)
+        (Models.spec_name model);
     let gt = Persist.load_ground_truth ~path golden in
-    let t = create golden ~shard_size in
+    let t = create ~model golden ~shard_size in
     Bytes.blit gt.Ground_truth.outcomes 0 t.outcomes 0 (Bytes.length t.outcomes);
     Array.fill t.completed 0 (Array.length t.completed) true;
     t

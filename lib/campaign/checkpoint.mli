@@ -12,28 +12,35 @@
     CRC32), so a flipped byte or torn write is detected on load before
     any field is trusted:
     {v
-    ftb-campaign-v2 <program> <sites> <shard_size> <golden-fingerprint>
+    ftb-campaign-v3 <program> <sites> <shard_size> <model> <golden-fingerprint>
     <manifest: one '0'/'1' per shard>
     <raw outcome bytes, full length>
     v}
 
-    Pre-envelope files carry the same payload bare and still load
-    (unverified). Loading also accepts a complete ground-truth file
-    ({!Ftb_inject.Persist}, v1 or v2) as a fully-completed checkpoint. *)
+    [<model>] is the single-token {!Ftb_inject.Models.spec_to_string}
+    encoding of the campaign's fault model. Format v2 — the same layout
+    without the model field — still loads and means [Bit_flip_64], the
+    only model a v2 campaign could have run. Pre-envelope files carry the
+    payload bare and still load (unverified). Loading also accepts a
+    complete ground-truth file ({!Ftb_inject.Persist}, v1 or v2) as a
+    fully-completed default-model checkpoint. *)
 
 type t = {
   program : string;
   sites : int;
   shard_size : int;
+  model : Ftb_inject.Models.spec;  (** the campaign's fault model *)
   fingerprint : string;  (** hex digest of the golden trace values *)
   completed : bool array;  (** one flag per shard *)
   outcomes : Bytes.t;
-      (** [sites * 64] outcome bytes; only bytes inside completed shards
-          are meaningful *)
+      (** [sites * spec_width model] outcome bytes; only bytes inside
+          completed shards are meaningful *)
 }
 
-val create : Ftb_trace.Golden.t -> shard_size:int -> t
-(** A fresh checkpoint with no completed shards. *)
+val create : ?model:Ftb_inject.Models.spec -> Ftb_trace.Golden.t -> shard_size:int -> t
+(** A fresh checkpoint with no completed shards, sized to the model's
+    dense case space ([model] defaults to the paper's
+    {!Ftb_inject.Models.default_spec}). *)
 
 val fingerprint_of_golden : Ftb_trace.Golden.t -> string
 (** Bit-exact digest of the golden run's trace values. A resumed campaign
@@ -50,13 +57,19 @@ val ground_truth : Ftb_trace.Golden.t -> t -> Ftb_inject.Ground_truth.t
     [Invalid_argument] when shards are still missing. *)
 
 val save : path:string -> t -> unit
-(** Atomic write. *)
+(** Atomic write (always format v3). *)
 
-val load : path:string -> shard_size:int -> Ftb_trace.Golden.t -> t
-(** Load and validate a checkpoint against the golden run it will resume:
-    program name, site count, golden fingerprint and outcome bytes of
-    completed shards are all checked. Raises
-    {!Ftb_inject.Persist.Format_error} (messages carry the offending path
-    and line) on any mismatch or corruption. [shard_size] is only used
-    when adapting a complete ground-truth file, which carries no sharding
-    of its own. *)
+val load :
+  ?model:Ftb_inject.Models.spec ->
+  path:string ->
+  shard_size:int ->
+  Ftb_trace.Golden.t ->
+  t
+(** Load and validate a checkpoint against the golden run and fault model
+    it will resume ([model] defaults to
+    {!Ftb_inject.Models.default_spec}): program name, site count, fault
+    model, golden fingerprint and outcome bytes of completed shards are
+    all checked. Raises {!Ftb_inject.Persist.Format_error} (messages
+    carry the offending path and line) on any mismatch or corruption.
+    [shard_size] is only used when adapting a complete ground-truth file,
+    which carries no sharding of its own. *)

@@ -30,6 +30,7 @@ type config = {
   checkpoint_every : int;
   domains : int;
   fuel : int option;
+  model : Ftb_inject.Models.spec;
   max_retries : int;
   resume : bool;
   on_invalid_checkpoint : invalid_checkpoint;
@@ -46,6 +47,7 @@ let default_config =
     checkpoint_every = 1;
     domains = 1;
     fuel = None;
+    model = Ftb_inject.Models.default_spec;
     max_retries = 2;
     resume = true;
     on_invalid_checkpoint = Fail;
@@ -85,17 +87,21 @@ let check_config c =
 let initial_state ~config ~checkpoint golden =
   match checkpoint with
   | Some path when config.resume && Sys.file_exists path -> (
-      match Checkpoint.load ~path ~shard_size:config.shard_size golden with
+      match
+        Checkpoint.load ~model:config.model ~path ~shard_size:config.shard_size golden
+      with
       | state -> (state, None)
       | exception Persist.Format_error _ when config.on_invalid_checkpoint = Restart ->
           let quarantined = Persist.quarantine ~path in
-          (Checkpoint.create golden ~shard_size:config.shard_size, quarantined))
-  | Some _ | None -> (Checkpoint.create golden ~shard_size:config.shard_size, None)
+          (Checkpoint.create ~model:config.model golden ~shard_size:config.shard_size,
+           quarantined))
+  | Some _ | None ->
+      (Checkpoint.create ~model:config.model golden ~shard_size:config.shard_size, None)
 
 let run ?(config = default_config) ?checkpoint ?case_runner golden =
   check_config config;
   let state, quarantined = initial_state ~config ~checkpoint golden in
-  let total = Golden.cases golden in
+  let total = Ftb_inject.Models.total_cases config.model ~sites:(Golden.sites golden) in
   let total_shards = Checkpoint.shards state in
   let resumed_shards = Checkpoint.completed_count state in
   let outcomes = state.Checkpoint.outcomes in
@@ -110,11 +116,12 @@ let run ?(config = default_config) ?checkpoint ?case_runner golden =
     | None ->
         (* Default shard runner: the batched executor — whole sites inside
            the shard run their shared prefix once and replay only the
-           suffix per bit; non-resumable programs fall back to per-case
-           full re-execution inside [range_into]. *)
+           suffix per case; stochastic models and non-resumable programs
+           fall back to per-case full re-execution inside
+           [range_into_model]. *)
         fun ~lo ~hi ->
-          Ftb_inject.Executor.range_into ?fuel:config.fuel golden ~lo ~hi outcomes
-            ~off:lo
+          Ftb_inject.Executor.range_into_model ?fuel:config.fuel config.model golden ~lo
+            ~hi outcomes ~off:lo
   in
   (* One shard is the unit of containment at the supervisor level: the
      per-case runner already contains kernel exceptions, so a shard only

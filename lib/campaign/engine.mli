@@ -83,6 +83,12 @@ type config = {
   checkpoint_every : int;  (** completed shards between checkpoint writes *)
   domains : int;  (** worker domains per wave; 1 = serial *)
   fuel : int option;  (** per-case dynamic-instruction budget *)
+  model : Ftb_inject.Models.spec;
+      (** the campaign's fault model. Sizes the dense case space
+          ([sites * spec_width]), selects the corruption each case
+          applies, and is persisted in (and validated against)
+          checkpoints. The default is the paper's [Bit_flip_64], which
+          runs the exact pre-model code paths. *)
   max_retries : int;  (** retries per shard before {!Shard_failed} *)
   resume : bool;  (** load an existing checkpoint file if present *)
   on_invalid_checkpoint : invalid_checkpoint;
@@ -109,9 +115,9 @@ type config = {
 
 val default_config : config
 (** [shard_size = 4096], [checkpoint_every = 1], [domains = 1],
-    [fuel = None], [max_retries = 2], [resume = true],
-    [on_invalid_checkpoint = Fail], no callbacks, no cancellation, global
-    pool, built-in local runner. *)
+    [fuel = None], [model = Models.default_spec], [max_retries = 2],
+    [resume = true], [on_invalid_checkpoint = Fail], no callbacks, no
+    cancellation, global pool, built-in local runner. *)
 
 exception
   Shard_failed of { shard : int; attempts : int; message : string }

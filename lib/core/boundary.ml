@@ -53,25 +53,27 @@ let infer ?(filter = false) ~sites:n samples =
     samples;
   t
 
-let bits = Ftb_util.Bits.bits_per_double
-
 let exhaustive gt =
   let golden = gt.Ground_truth.golden in
   let n = Ftb_trace.Golden.sites golden in
+  (* Per-site case width of the campaign behind [gt] (64 for the paper's
+     bit-flip model); deriving it keeps the brute-force boundary correct
+     for narrower discrete fault models. *)
+  let width = Ground_truth.cases gt / n in
   let t = create ~sites:n in
   for site = 0 to n - 1 do
     let min_sdc = ref infinity in
-    for bit = 0 to bits - 1 do
+    for bit = 0 to width - 1 do
       let fault = Fault.make ~site ~bit in
-      if Ground_truth.outcome_of_fault gt fault = Runner.Sdc then begin
+      if Ground_truth.outcome gt ((site * width) + bit) = Runner.Sdc then begin
         let e = Ground_truth.injected_error golden fault in
         if e < !min_sdc then min_sdc := e
       end
     done;
     let best = ref 0. and support = ref 0 in
-    for bit = 0 to bits - 1 do
+    for bit = 0 to width - 1 do
       let fault = Fault.make ~site ~bit in
-      if Ground_truth.outcome_of_fault gt fault = Runner.Masked then begin
+      if Ground_truth.outcome gt ((site * width) + bit) = Runner.Masked then begin
         let e = Ground_truth.injected_error golden fault in
         if e < !min_sdc then begin
           incr support;

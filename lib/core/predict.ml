@@ -69,13 +69,16 @@ let site_sdc_ratio_vs_ground_truth boundary gt =
   let n = Golden.sites golden in
   if Boundary.sites boundary <> n then
     invalid_arg "Predict.site_sdc_ratio_vs_ground_truth: site count mismatch";
+  (* Width of the campaign behind [gt], not the inference-side [bits]:
+     the comparison must scan exactly the cases the campaign ran. *)
+  let width = Ground_truth.cases gt / n in
   Array.init n (fun site ->
       let sdc = ref 0 in
-      for bit = 0 to bits - 1 do
+      for bit = 0 to width - 1 do
         let fault = Fault.make ~site ~bit in
-        match Ground_truth.outcome_of_fault gt fault with
+        match Ground_truth.outcome gt ((site * width) + bit) with
         | Runner.Crash -> ()
         | Runner.Masked | Runner.Sdc ->
             if not (predicted_masked boundary golden fault) then incr sdc
       done;
-      float_of_int !sdc /. float_of_int bits)
+      float_of_int !sdc /. float_of_int width)

@@ -14,17 +14,20 @@ type result = {
   boundary : Boundary.t;
 }
 
-let bits = Ftb_util.Bits.bits_per_double
-
 let non_monotonic_sites gt =
   let golden = gt.Ground_truth.golden in
   let n = Ftb_trace.Golden.sites golden in
+  (* The per-site case width is a property of the campaign that produced
+     the ground truth (64 for the paper's bit-flip model, narrower for
+     e.g. [Bit_flip_32]); deriving it here keeps the monotonicity scan
+     correct for any discrete fault model. *)
+  let width = Ground_truth.cases gt / n in
   Array.init n (fun site ->
       let max_masked = ref neg_infinity and min_sdc = ref infinity in
-      for bit = 0 to bits - 1 do
+      for bit = 0 to width - 1 do
         let fault = Fault.make ~site ~bit in
         let e = Ground_truth.injected_error golden fault in
-        match Ground_truth.outcome_of_fault gt fault with
+        match Ground_truth.outcome gt ((site * width) + bit) with
         | Runner.Masked -> if e > !max_masked then max_masked := e
         | Runner.Sdc -> if e < !min_sdc then min_sdc := e
         | Runner.Crash -> ()

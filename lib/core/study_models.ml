@@ -1,0 +1,39 @@
+module Models = Ftb_inject.Models
+module Ground_truth = Ftb_inject.Ground_truth
+module Executor = Ftb_inject.Executor
+
+type row = {
+  model : Models.spec;
+  cases : int;
+  masked_ratio : float;
+  sdc_ratio : float;
+  crash_ratio : float;
+  crash_breakdown : Ground_truth.reason_counts;
+}
+
+type result = { name : string; sites : int; rows : row list }
+
+let row_of_ground_truth model gt =
+  {
+    model;
+    cases = Ground_truth.cases gt;
+    masked_ratio = Ground_truth.masked_ratio gt;
+    sdc_ratio = Ground_truth.sdc_ratio gt;
+    crash_ratio = Ground_truth.crash_ratio gt;
+    crash_breakdown = Ground_truth.crash_counts gt;
+  }
+
+let default_specs ~seed =
+  List.map
+    (fun model -> { Models.model; seed })
+    (Models.all_discrete @ [ Models.Random_value { lo = -1e3; hi = 1e3 } ])
+
+let run ?pool ?domains ?fuel ~name golden specs =
+  let rows =
+    List.map
+      (fun spec ->
+        row_of_ground_truth spec
+          (Executor.ground_truth_model ?pool ?domains ?fuel spec golden))
+      specs
+  in
+  { name; sites = Ftb_trace.Golden.sites golden; rows }

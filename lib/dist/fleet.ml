@@ -18,6 +18,7 @@ type active = {
   a_job : int;
   a_bench : string;
   a_fuel : int option;
+  a_model : Ftb_inject.Models.spec;
   a_fingerprint : string;
   table : Lease.t;
   a_commit : shard:int -> Bytes.t -> unit;
@@ -165,6 +166,7 @@ let handle_lease t json =
                     P.job_id = a.a_job;
                     bench = a.a_bench;
                     fuel = a.a_fuel;
+                    model = a.a_model;
                     fingerprint = a.a_fingerprint;
                     lease_id = g.Lease.lease_id;
                     shard = g.Lease.shard;
@@ -288,7 +290,7 @@ let extension t ~cmd json =
 
 let local_holder = 0 (* worker ids start at 1 *)
 
-let wave_runner t ~job_id ~bench ~fuel ~golden =
+let wave_runner t ~job_id ~bench ~fuel ~model ~golden =
   if live_workers t = 0 then None
   else
     let fingerprint = Checkpoint.fingerprint_of_golden golden in
@@ -325,6 +327,7 @@ let wave_runner t ~job_id ~bench ~fuel ~golden =
                     a_job = job_id;
                     a_bench = bench;
                     a_fuel = fuel;
+                    a_model = model;
                     a_fingerprint = fingerprint;
                     table;
                     a_commit = commit;

@@ -59,9 +59,13 @@ val wave_runner :
   job_id:int ->
   bench:string ->
   fuel:int option ->
+  model:Ftb_inject.Models.spec ->
   golden:Ftb_trace.Golden.t ->
   Ftb_campaign.Engine.wave_runner option
-(** Factory for {!Ftb_service.Server.config.wave_runner}. [None] when no
+(** Factory for {!Ftb_service.Server.config.wave_runner}. [model] is the
+    job's fault model; every grant handed out for this job carries it, so
+    workers execute their leased ranges under exactly the model the
+    daemon's campaign was submitted with. [None] when no
     live worker is attached (the job runs on the local pool as before);
     otherwise a runner whose wave size tracks the fleet's live domain
     slots and whose [run_wave] leases shards out, renews/expires

@@ -42,15 +42,17 @@ let golden_for cfg bench =
       Hashtbl.replace golden_cache bench g;
       g
 
-let run_shard cfg pool golden ~fuel ~lo ~hi =
+let run_shard cfg pool golden ~model ~fuel ~lo ~hi =
   let n = hi - lo in
   let buf = Bytes.create n in
   (match pool with
-  | None -> Ftb_inject.Executor.range_into ?fuel golden ~lo ~hi buf ~off:0
+  | None ->
+      Ftb_inject.Executor.range_into_model ?fuel model golden ~lo ~hi buf
+        ~off:0
   | Some pool ->
       Pool.run pool ~participants:cfg.domains ~total:n (fun a b ->
-          Ftb_inject.Executor.range_into ?fuel golden ~lo:(lo + a) ~hi:(lo + b)
-            buf ~off:a));
+          Ftb_inject.Executor.range_into_model ?fuel model golden ~lo:(lo + a)
+            ~hi:(lo + b) buf ~off:a));
   buf
 
 let run cfg =
@@ -148,7 +150,9 @@ let run cfg =
                   (Printf.sprintf "shard %d result would exceed Wire.max_frame"
                      g.P.shard)
               else
-                P.Outcomes (run_shard cfg pool golden ~fuel:g.P.fuel ~lo:g.P.lo ~hi:g.P.hi)
+                P.Outcomes
+                  (run_shard cfg pool golden ~model:g.P.model ~fuel:g.P.fuel
+                     ~lo:g.P.lo ~hi:g.P.hi)
             with e -> P.Failed (Printexc.to_string e)
           in
           (* A typed server-side rejection (oversized_result / bad_result /

@@ -129,6 +129,7 @@ type grant = {
   job_id : int;
   bench : string;
   fuel : int option;
+  model : Ftb_inject.Models.spec;
   fingerprint : string;
   lease_id : int;
   shard : int;
@@ -148,6 +149,7 @@ let grant_frame (g : grant) =
           ([
              ("job", Json.Int g.job_id);
              ("bench", Json.String g.bench);
+             ("model", Json.String (Ftb_inject.Models.spec_to_string g.model));
              ("fingerprint", Json.String g.fingerprint);
              ("lease", Json.Int g.lease_id);
              ("shard", Json.Int g.shard);
@@ -170,6 +172,15 @@ let parse_lease_reply json =
           job_id = req_int "job" g;
           bench = req_str "bench" g;
           fuel = opt_int "fuel" g;
+          model =
+            (* Grants from a pre-model server carry no model field: those
+               jobs are Bit_flip_64 campaigns. *)
+            (match opt_str "model" g with
+            | None -> Ftb_inject.Models.default_spec
+            | Some s -> (
+                match Ftb_inject.Models.spec_of_string s with
+                | Ok model -> model
+                | Error msg -> raise (Decode_error msg)));
           fingerprint = req_str "fingerprint" g;
           lease_id = req_int "lease" g;
           shard = req_int "shard" g;

@@ -69,6 +69,11 @@ type grant = {
   job_id : int;
   bench : string;  (** benchmark name, resolved worker-side *)
   fuel : int option;
+  model : Ftb_inject.Models.spec;
+      (** the job's fault model (wire field ["model"],
+          {!Ftb_inject.Models.spec_to_string} encoding; absent from
+          pre-model servers and then [Bit_flip_64]) — the worker runs its
+          leased range under exactly this model *)
   fingerprint : string;
       (** golden-trace digest ({!Ftb_campaign.Checkpoint.fingerprint_of_golden});
           the worker recomputes it and refuses to run a shard against a

@@ -84,6 +84,90 @@ let range_into ?fuel golden ~lo ~hi buf ~off =
     done
   end
 
+(* Model-generalized batching. The prefix-snapshot argument never
+   depended on the corruption being a bit flip — only on the prefix being
+   injection-free — so any *discrete* model batches over an arbitrary
+   width. Stochastic models take the closure (per-case) path: their dense
+   case space exists for shard arithmetic, and each case re-derives its
+   RNG from the dense index, so there is no shared suffix state to reuse.
+   [Bit_flip_64] dispatches to the original paths above, byte- and
+   cost-identical to every pre-model campaign. *)
+
+let fallback_site_model ?fuel spec golden ~site ~width buf ~pos =
+  for case = 0 to width - 1 do
+    Bytes.set buf (pos + case)
+      (Ground_truth.case_byte_model ?fuel spec golden ((site * width) + case))
+  done
+
+let site_into_model ?fuel (spec : Models.spec) golden ~site buf ~pos =
+  match spec.Models.model with
+  | Models.Bit_flip_64 -> site_into ?fuel golden ~site buf ~pos
+  | model -> (
+      let width = Models.spec_width spec in
+      if site < 0 || site >= Golden.sites golden then
+        invalid_arg "Executor.site_into_model: site out of range";
+      if pos < 0 || pos + width > Bytes.length buf then
+        invalid_arg "Executor.site_into_model: buffer too small";
+      let batchable =
+        if Models.is_stochastic model then None
+        else golden.Golden.program.Program.resumable
+      in
+      match batchable with
+      | None -> fallback_site_model ?fuel spec golden ~site ~width buf ~pos
+      | Some resumable -> (
+          let ctx = Ctx.counting ?fuel () in
+          match resumable ctx ~stop_at:site with
+          | exception Ctx.Crash { reason; _ } ->
+              Bytes.fill buf pos width (Ground_truth.crash_byte reason)
+          | exception Out_of_memory -> raise Out_of_memory
+          | exception _ ->
+              Bytes.fill buf pos width (Ground_truth.crash_byte Ctx.Exception_raised)
+          | Program.Completed _ ->
+              fallback_site_model ?fuel spec golden ~site ~width buf ~pos
+          | Program.Paused resume ->
+              let snap = Ctx.snapshot ctx in
+              let fault = Fault.make ~site ~bit:0 in
+              for case = 0 to width - 1 do
+                let dense = (site * width) + case in
+                let ctx =
+                  Ctx.resume_custom snap ~site
+                    ~corrupt:(Models.case_corrupt spec ~case:dense)
+                in
+                let result = Runner.outcome_of_run_contained golden fault ctx resume in
+                Bytes.set buf (pos + case) (Ground_truth.byte_of_result result)
+              done))
+
+let range_into_model ?fuel (spec : Models.spec) golden ~lo ~hi buf ~off =
+  match spec.Models.model with
+  | Models.Bit_flip_64 -> range_into ?fuel golden ~lo ~hi buf ~off
+  | _ ->
+      let width = Models.spec_width spec in
+      let total = Models.total_cases spec ~sites:(Golden.sites golden) in
+      if lo < 0 || hi < lo || hi > total then
+        invalid_arg "Executor.range_into_model: case range out of bounds";
+      if off < 0 || off + (hi - lo) > Bytes.length buf then
+        invalid_arg "Executor.range_into_model: buffer too small";
+      let per_case case =
+        Bytes.set buf (off + case - lo) (Ground_truth.case_byte_model ?fuel spec golden case)
+      in
+      let first_whole = (lo + width - 1) / width * width in
+      let last_whole = hi / width * width in
+      if first_whole >= last_whole then
+        for case = lo to hi - 1 do
+          per_case case
+        done
+      else begin
+        for case = lo to first_whole - 1 do
+          per_case case
+        done;
+        for site = first_whole / width to (last_whole / width) - 1 do
+          site_into_model ?fuel spec golden ~site buf ~pos:(off + (site * width) - lo)
+        done;
+        for case = last_whole to hi - 1 do
+          per_case case
+        done
+      end
+
 let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
   let want =
     match domains with Some d -> d | None -> Parallel.default_domains ()
@@ -122,3 +206,45 @@ let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
            done)
    end);
   Ground_truth.of_outcomes golden outcomes
+
+let ground_truth_model ?pool ?domains ?fuel ?(batched = true) (spec : Models.spec) golden
+    =
+  match spec.Models.model with
+  | Models.Bit_flip_64 -> ground_truth ?pool ?domains ?fuel ~batched golden
+  | _ ->
+      let want =
+        match domains with Some d -> d | None -> Parallel.default_domains ()
+      in
+      if want <= 0 then invalid_arg "Executor.ground_truth_model: domains must be positive";
+      let width = Models.spec_width spec in
+      let total = Models.total_cases spec ~sites:(Golden.sites golden) in
+      let outcomes = Bytes.create total in
+      let serial () =
+        if batched then range_into_model ?fuel spec golden ~lo:0 ~hi:total outcomes ~off:0
+        else
+          for case = 0 to total - 1 do
+            Bytes.set outcomes case (Ground_truth.case_byte_model ?fuel spec golden case)
+          done
+      in
+      (if want = 1 && pool = None then serial ()
+       else begin
+         let pool =
+           match pool with
+           | Some p -> p
+           | None -> Parallel.Pool.global ~domains:want ()
+         in
+         let participants = min want (Parallel.Pool.domains pool) in
+         if batched then
+           Parallel.Pool.run pool ~participants ~chunk:1 ~total:(Golden.sites golden)
+             (fun lo hi ->
+               for site = lo to hi - 1 do
+                 site_into_model ?fuel spec golden ~site outcomes ~pos:(site * width)
+               done)
+         else
+           Parallel.Pool.run pool ~participants ~total (fun lo hi ->
+               for case = lo to hi - 1 do
+                 Bytes.unsafe_set outcomes case
+                   (Ground_truth.case_byte_model ?fuel spec golden case)
+               done)
+       end);
+      Ground_truth.of_outcomes ~width golden outcomes

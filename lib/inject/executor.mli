@@ -42,6 +42,35 @@ val range_into :
     boundaries) run per-case. The campaign engine's default shard runner
     is exactly this. *)
 
+val site_into_model :
+  ?fuel:int ->
+  Models.spec ->
+  Ftb_trace.Golden.t ->
+  site:int ->
+  Bytes.t ->
+  pos:int ->
+  unit
+(** {!site_into} generalized to an arbitrary fault model: computes the
+    site's [Models.spec_width] outcome bytes. Discrete models batch over
+    the shared prefix at their own width; stochastic models (and
+    non-resumable programs) fall back to per-case
+    {!Ground_truth.case_byte_model}. [Bit_flip_64] dispatches to
+    {!site_into} itself — byte- and cost-identical. *)
+
+val range_into_model :
+  ?fuel:int ->
+  Models.spec ->
+  Ftb_trace.Golden.t ->
+  lo:int ->
+  hi:int ->
+  Bytes.t ->
+  off:int ->
+  unit
+(** {!range_into} over the model's dense case space
+    ([sites * spec_width]); whole sites batch via {!site_into_model},
+    ragged shard edges run per-case. The campaign engine's default shard
+    runner under a non-default model. *)
+
 val ground_truth :
   ?pool:Parallel.Pool.t ->
   ?domains:int ->
@@ -57,3 +86,15 @@ val ground_truth :
     re-execution (the [Parallel.ground_truth] strategy) — useful for
     benchmarking the two engines against each other. Outcome bytes are
     bit-identical across all four combinations of batched × pooled. *)
+
+val ground_truth_model :
+  ?pool:Parallel.Pool.t ->
+  ?domains:int ->
+  ?fuel:int ->
+  ?batched:bool ->
+  Models.spec ->
+  Ftb_trace.Golden.t ->
+  Ground_truth.t
+(** {!ground_truth} under an arbitrary fault model ([Bit_flip_64]
+    dispatches to it exactly). The result's byte width is the model's
+    [spec_width]. *)

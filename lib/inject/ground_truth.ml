@@ -47,8 +47,17 @@ let classify_case golden case =
 let case_byte ?fuel golden case =
   byte_of_result (Runner.run_outcome_contained ?fuel golden (Fault.of_case case))
 
-let of_outcomes golden outcomes =
-  let total = Golden.cases golden in
+let case_byte_model ?fuel (spec : Models.spec) golden case =
+  match spec.Models.model with
+  | Models.Bit_flip_64 -> case_byte ?fuel golden case
+  | _ ->
+      let site = case / Models.spec_width spec in
+      byte_of_result
+        (Runner.run_outcome_custom_contained ?fuel golden ~site
+           ~corrupt:(Models.case_corrupt spec ~case))
+
+let of_outcomes ?(width = Ftb_util.Bits.bits_per_double) golden outcomes =
+  let total = Golden.sites golden * width in
   if Bytes.length outcomes <> total then
     invalid_arg
       (Printf.sprintf "Ground_truth.of_outcomes: expected %d outcome bytes, got %d" total
@@ -119,22 +128,26 @@ let crash_ratio t =
   let _, _, crash = global_counts t in
   ratio_of crash t
 
-let bits = Ftb_util.Bits.bits_per_double
+(* Per-site aggregation derives the case width from the stored bytes, so
+   it holds for any fault model's case space (64 for the paper's). *)
+let site_width t = cases t / Golden.sites t.golden
 
 let site_sdc_ratio t =
   let sites = Golden.sites t.golden in
+  let width = site_width t in
   Array.init sites (fun site ->
       let sdc = ref 0 in
-      for bit = 0 to bits - 1 do
-        if outcome t ((site * bits) + bit) = Runner.Sdc then incr sdc
+      for case = 0 to width - 1 do
+        if outcome t ((site * width) + case) = Runner.Sdc then incr sdc
       done;
-      float_of_int !sdc /. float_of_int bits)
+      float_of_int !sdc /. float_of_int width)
 
 let site_masked_count t =
   let sites = Golden.sites t.golden in
+  let width = site_width t in
   Array.init sites (fun site ->
       let masked = ref 0 in
-      for bit = 0 to bits - 1 do
-        if outcome t ((site * bits) + bit) = Runner.Masked then incr masked
+      for case = 0 to width - 1 do
+        if outcome t ((site * width) + case) = Runner.Masked then incr masked
       done;
       !masked)

@@ -23,11 +23,13 @@ val run :
     the optional [fuel] watchdog. [progress] is called every few thousand
     cases. *)
 
-val of_outcomes : Ftb_trace.Golden.t -> Bytes.t -> t
+val of_outcomes : ?width:int -> Ftb_trace.Golden.t -> Bytes.t -> t
 (** Assemble a campaign result from raw outcome bytes (one of
     {!case_byte} per case, dense order). Used by the parallel campaign
     runner, the resumable campaign engine and the persistence layer;
-    validates the length and byte values. *)
+    validates the length ([sites * width], default width 64) and byte
+    values. Pass the fault model's {!Models.spec_width} as [width] for
+    non-default campaigns. *)
 
 val outcome_byte : Ftb_trace.Runner.outcome -> char
 (** The stored byte of a bare outcome ('\000' masked, '\001' sdc, '\002'
@@ -61,6 +63,14 @@ val case_byte : ?fuel:int -> Ftb_trace.Golden.t -> int -> char
     byte — the unit of work every campaign path (serial, parallel,
     checkpointed engine) repeats, guaranteeing bit-identical outcome bytes
     across all of them. *)
+
+val case_byte_model : ?fuel:int -> Models.spec -> Ftb_trace.Golden.t -> int -> char
+(** {!case_byte} generalized to an arbitrary fault model: run the dense
+    case [case] of the model's case space (site [case / spec_width])
+    contained, applying {!Models.case_corrupt}. For [Bit_flip_64] this is
+    exactly {!case_byte} — byte-identical to every pre-model campaign
+    path. Deterministic for stochastic models (the per-case RNG is
+    derived, not threaded). *)
 
 val outcome : t -> int -> Ftb_trace.Runner.outcome
 (** Outcome of a dense case index. *)

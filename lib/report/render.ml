@@ -618,5 +618,75 @@ let csv_tolerance results =
       (Printf.sprintf "tolerance_%s" r.Study_tolerance.name, t))
     results
 
+(* ------------------------------------------------------------------ *)
+(* Cross-model comparison                                              *)
+
+module Study_models = Ftb_core.Study_models
+module Models = Ftb_inject.Models
+
+let model_table results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : Study_models.result) ->
+      let t =
+        Table.create
+          [ "Model"; "Cases"; "Masked"; "SDC"; "Crash"; "NaN"; "Inf"; "Exc"; "Fuel" ]
+      in
+      List.iter
+        (fun (row : Study_models.row) ->
+          let c = row.Study_models.crash_breakdown in
+          Table.add_row t
+            [
+              Models.spec_name row.Study_models.model;
+              string_of_int row.Study_models.cases;
+              pct row.Study_models.masked_ratio;
+              pct row.Study_models.sdc_ratio;
+              pct row.Study_models.crash_ratio;
+              string_of_int c.Ftb_inject.Ground_truth.nan;
+              string_of_int c.Ftb_inject.Ground_truth.inf;
+              string_of_int c.Ftb_inject.Ground_truth.exn;
+              string_of_int c.Ftb_inject.Ground_truth.fuel;
+            ])
+        r.Study_models.rows;
+      Buffer.add_string buf
+        (Table.render
+           ~title:
+             (Printf.sprintf
+                "Cross-model comparison: %s (%d dynamic instructions, exhaustive per model)"
+                r.Study_models.name r.Study_models.sites)
+           t);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let csv_model_table results =
+  List.map
+    (fun (r : Study_models.result) ->
+      let t =
+        Table.create
+          [
+            "model"; "cases"; "masked_ratio"; "sdc_ratio"; "crash_ratio"; "nan"; "inf";
+            "exception"; "fuel_exhausted";
+          ]
+      in
+      List.iter
+        (fun (row : Study_models.row) ->
+          let c = row.Study_models.crash_breakdown in
+          Table.add_row t
+            [
+              Models.spec_name row.Study_models.model;
+              string_of_int row.Study_models.cases;
+              Printf.sprintf "%.6f" row.Study_models.masked_ratio;
+              Printf.sprintf "%.6f" row.Study_models.sdc_ratio;
+              Printf.sprintf "%.6f" row.Study_models.crash_ratio;
+              string_of_int c.Ftb_inject.Ground_truth.nan;
+              string_of_int c.Ftb_inject.Ground_truth.inf;
+              string_of_int c.Ftb_inject.Ground_truth.exn;
+              string_of_int c.Ftb_inject.Ground_truth.fuel;
+            ])
+        r.Study_models.rows;
+      (Printf.sprintf "models_%s" r.Study_models.name, t))
+    results
+
 let save_all ~dir named =
   List.map (fun (name, t) -> Table.save_csv ~dir ~name t) named

@@ -70,5 +70,13 @@ val tolerance : Ftb_core.Study_tolerance.result list -> string
 val csv_tolerance :
   Ftb_core.Study_tolerance.result list -> (string * Ftb_util.Table.t) list
 
+val model_table : Ftb_core.Study_models.result list -> string
+(** Cross-model comparison — outcome mix of one exhaustive campaign per
+    fault model over the same golden trace (the new results family of the
+    pluggable-model pipeline). *)
+
+val csv_model_table :
+  Ftb_core.Study_models.result list -> (string * Ftb_util.Table.t) list
+
 val save_all : dir:string -> (string * Ftb_util.Table.t) list -> string list
 (** Write every named table as CSV under [dir]; returns the paths. *)

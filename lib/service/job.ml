@@ -5,11 +5,19 @@ type spec = {
   mode : mode;
   shard_size : int;
   fuel : int option;
+  model : Ftb_inject.Models.spec;
   priority : int;
 }
 
 let default_spec ~bench =
-  { bench; mode = Exhaustive; shard_size = 4096; fuel = Some 10_000_000; priority = 0 }
+  {
+    bench;
+    mode = Exhaustive;
+    shard_size = 4096;
+    fuel = Some 10_000_000;
+    model = Ftb_inject.Models.default_spec;
+    priority = 0;
+  }
 
 type status = Queued | Running | Completed | Failed of string | Cancelled | Stuck
 
@@ -88,6 +96,7 @@ let spec_to_json s =
         ("shard_size", Json.Int s.shard_size);
         ( "fuel",
           match s.fuel with Some n -> Json.Int n | None -> Json.Null );
+        ("model", Json.String (Ftb_inject.Models.spec_to_string s.model));
         ("priority", Json.Int s.priority);
       ])
 
@@ -109,7 +118,17 @@ let spec_of_json json =
   (match fuel with
   | Some n when n <= 0 -> fail "fuel must be positive"
   | _ -> ());
-  { bench; mode; shard_size; fuel; priority = get_int json "priority" }
+  let model =
+    (* Descriptors written before pluggable models carry no model field:
+       every such job ran the paper's Bit_flip_64. *)
+    match opt_field Json.to_str json "model" with
+    | None -> Ftb_inject.Models.default_spec
+    | Some s -> (
+        match Ftb_inject.Models.spec_of_string s with
+        | Ok model -> model
+        | Error msg -> fail "%s" msg)
+  in
+  { bench; mode; shard_size; fuel; model; priority = get_int json "priority" }
 
 let counts_to_json c =
   Json.Obj

@@ -41,12 +41,17 @@ type spec = {
   mode : mode;
   shard_size : int;  (** cases per shard (progress/cancel granularity) *)
   fuel : int option;  (** per-case divergence watchdog *)
+  model : Ftb_inject.Models.spec;
+      (** the campaign's fault model; persisted in the descriptor (JSON
+          field ["model"], {!Ftb_inject.Models.spec_to_string} encoding —
+          absent in pre-model descriptors and then [Bit_flip_64]) and
+          validated against the job's checkpoint on resume *)
   priority : int;  (** higher runs first; FIFO within a priority *)
 }
 
 val default_spec : bench:string -> spec
 (** [mode = Exhaustive], [shard_size = 4096], [fuel = Some 10_000_000],
-    [priority = 0]. *)
+    [model = Models.default_spec], [priority = 0]. *)
 
 type status = Queued | Running | Completed | Failed of string | Cancelled | Stuck
 

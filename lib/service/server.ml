@@ -1,5 +1,6 @@
 module Golden = Ftb_trace.Golden
 module Engine = Ftb_campaign.Engine
+module Models = Ftb_inject.Models
 module Pool = Ftb_inject.Parallel.Pool
 
 type config = {
@@ -14,6 +15,7 @@ type config = {
     (job_id:int ->
     bench:string ->
     fuel:int option ->
+    model:Models.spec ->
     golden:Golden.t ->
     Engine.wave_runner option)
     option;
@@ -310,6 +312,7 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
       checkpoint_every = t.config.checkpoint_every;
       domains = t.config.domains;
       fuel = spec.Job.fuel;
+      model = spec.Job.model;
       resume = true;
       on_invalid_checkpoint = Engine.Restart;
       progress = Some progress;
@@ -319,7 +322,7 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
         (match t.config.wave_runner with
         | Some make ->
             make ~job_id:job.Job.id ~bench:spec.Job.bench ~fuel:spec.Job.fuel
-              ~golden
+              ~model:spec.Job.model ~golden
         | None -> None);
     }
   in
@@ -329,10 +332,11 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
       let gt = report.Engine.ground_truth in
       let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
       Ftb_inject.Ground_truth.counts gt ~masked ~sdc ~crash;
+      let total = Models.total_cases spec.Job.model ~sites:(Golden.sites golden) in
       let counts =
         {
-          Job.cases_done = Golden.cases golden;
-          cases_total = Golden.cases golden;
+          Job.cases_done = total;
+          cases_total = total;
           masked = !masked;
           sdc = !sdc;
           crash = !crash;
@@ -354,7 +358,39 @@ let run_sample t (job : Job.info) cancel ~heartbeat ~fraction ~seed =
   let spec = job.Job.spec in
   let golden = Golden.run (t.config.resolve spec.Job.bench) in
   let rng = Ftb_util.Rng.create ~seed in
-  let cases = Ftb_inject.Sample_run.draw_uniform rng golden ~fraction in
+  (* The default model keeps the historical propagation-based sampler
+     (byte-identical draws and classifications); other models draw the
+     same way from their own dense case space and classify each case
+     through the model-aware contained runner. *)
+  let default_model = Models.spec_equal spec.Job.model Models.default_spec in
+  let cases =
+    if default_model then Ftb_inject.Sample_run.draw_uniform rng golden ~fraction
+    else begin
+      let n = Models.total_cases spec.Job.model ~sites:(Golden.sites golden) in
+      let k = max 1 (int_of_float (Float.ceil (fraction *. float_of_int n))) in
+      Ftb_util.Sampling.uniform rng ~n ~k:(min k n)
+    end
+  in
+  let count_chunk slice =
+    if default_model then
+      Ftb_inject.Sample_run.count_outcomes
+        (Ftb_inject.Sample_run.run_cases ?fuel:spec.Job.fuel golden slice)
+    else begin
+      let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+      Array.iter
+        (fun case ->
+          match
+            Ftb_inject.Ground_truth.outcome_of_byte
+              (Ftb_inject.Ground_truth.case_byte_model ?fuel:spec.Job.fuel spec.Job.model
+                 golden case)
+          with
+          | Ftb_trace.Runner.Masked -> incr masked
+          | Ftb_trace.Runner.Sdc -> incr sdc
+          | Ftb_trace.Runner.Crash -> incr crash)
+        slice;
+      (!masked, !sdc, !crash)
+    end
+  in
   let total = Array.length cases in
   let chunk = spec.Job.shard_size in
   let shards_total = (total + chunk - 1) / max 1 chunk in
@@ -367,11 +403,7 @@ let run_sample t (job : Job.info) cancel ~heartbeat ~fraction ~seed =
       | Some reason -> raise (Stop_sampling reason)
       | None -> ());
       let len = min chunk (total - !done_) in
-      let samples =
-        Ftb_inject.Sample_run.run_cases ?fuel:spec.Job.fuel golden
-          (Array.sub cases !done_ len)
-      in
-      let m, s, c = Ftb_inject.Sample_run.count_outcomes samples in
+      let m, s, c = count_chunk (Array.sub cases !done_ len) in
       masked := !masked + m;
       sdc := !sdc + s;
       crash := !crash + c;

@@ -83,13 +83,15 @@ type config = {
     (job_id:int ->
     bench:string ->
     fuel:int option ->
+    model:Ftb_inject.Models.spec ->
     golden:Ftb_trace.Golden.t ->
     Ftb_campaign.Engine.wave_runner option)
     option;
       (** pluggable shard execution for exhaustive jobs, queried once per
-          job start. [None] (or a factory returning [None] — e.g. no
-          fleet workers attached) runs the engine's built-in local-pool
-          path. {!Ftb_dist.Fleet.wave_runner} returns a runner that leases
+          job start with the job's fault model. [None] (or a factory
+          returning [None] — e.g. no fleet workers attached) runs the
+          engine's built-in local-pool path.
+          {!Ftb_dist.Fleet.wave_runner} returns a runner that leases
           the job's shards to attached worker processes. *)
 }
 

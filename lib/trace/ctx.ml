@@ -164,26 +164,28 @@ type snapshot = { snap_next : int; snap_fuel : int }
 
 let snapshot t = { snap_next = t.next; snap_fuel = t.fuel }
 
-let resume_outcome snapshot ~(fault : Fault.t) =
-  if fault.Fault.site < snapshot.snap_next then
+let resume_custom snapshot ~site ~corrupt =
+  if site < snapshot.snap_next then
     invalid_arg
-      (Printf.sprintf
-         "Ctx.resume_outcome: fault site %d precedes snapshot position %d"
-         fault.Fault.site snapshot.snap_next);
+      (Printf.sprintf "Ctx.resume_custom: fault site %d precedes snapshot position %d" site
+         snapshot.snap_next);
   {
     next = snapshot.snap_next;
     fuel = snapshot.snap_fuel;
     mode =
       Inject_pre
         {
-          site = fault.Fault.site;
-          corrupt = flip_of_fault fault;
+          site;
+          corrupt;
           sink = None;
           golden_statics = None;
           injected = None;
           diverged_at = None;
         };
   }
+
+let resume_outcome snapshot ~(fault : Fault.t) =
+  resume_custom snapshot ~site:fault.Fault.site ~corrupt:(flip_of_fault fault)
 
 (* ------------------------------------------------------------------ *)
 

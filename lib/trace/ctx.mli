@@ -103,6 +103,12 @@ val resume_outcome : snapshot -> fault:Fault.t -> t
     [Invalid_argument] when the fault site precedes the snapshot (the
     injection would be unreachable). *)
 
+val resume_custom : snapshot -> site:int -> corrupt:(float -> float) -> t
+(** {!resume_outcome} generalized to an arbitrary corruption, mirroring
+    {!outcome_custom}: the batched executor uses it to replay a site's
+    suffix under any fault model's cases. Same [Invalid_argument]
+    condition. *)
+
 val hooked : ?fuel:int -> (index:int -> tag:int -> float -> float) -> t
 (** A context that forwards every recorded value to an arbitrary hook and
     continues with the hook's result. The building block of the lockstep

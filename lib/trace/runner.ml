@@ -95,6 +95,12 @@ let run_outcome_custom ?fuel (golden : Golden.t) ~site ~corrupt =
   check_fault golden fault;
   finish_outcome golden fault (Ctx.outcome_custom ?fuel ~site ~corrupt ())
 
+let run_outcome_custom_contained ?fuel (golden : Golden.t) ~site ~corrupt =
+  let fault = Fault.make ~site ~bit:0 in
+  check_fault golden fault;
+  let ctx = Ctx.outcome_custom ?fuel ~site ~corrupt () in
+  outcome_of_run_contained golden fault ctx golden.Golden.program.Program.body
+
 let run_propagation ?fuel ?sink (golden : Golden.t) fault =
   check_fault golden fault;
   let ctx = Ctx.propagation ?fuel ?sink ~fault ~golden_statics:golden.Golden.statics () in

@@ -63,6 +63,12 @@ val run_outcome_custom :
     The returned [fault] field carries [site] with bit 0 as a placeholder
     (custom corruptions have no single bit). *)
 
+val run_outcome_custom_contained :
+  ?fuel:int -> Golden.t -> site:int -> corrupt:(float -> float) -> result
+(** {!run_outcome_custom} with the crash containment of
+    {!run_outcome_contained} — the campaign engine's unit of work under a
+    non-default fault model. *)
+
 val outcome_of_run :
   Golden.t -> Fault.t -> Ctx.t -> (Ctx.t -> float array) -> result
 (** Classify one execution of an arbitrary run function under an

@@ -21,6 +21,8 @@ module Static = Ftb_trace.Static
 module Program = Ftb_trace.Program
 module Golden = Ftb_trace.Golden
 module Ground_truth = Ftb_inject.Ground_truth
+module Models = Ftb_inject.Models
+module Executor = Ftb_inject.Executor
 module Checkpoint = Ftb_campaign.Checkpoint
 module Json = Ftb_service.Json
 module Wire = Ftb_service.Wire
@@ -129,10 +131,11 @@ type schedule = {
   garbage_client : bool;  (* hostile client speaks broken frames *)
   midstream_disconnect : bool;  (* a watcher vanishes mid-stream *)
   dropped_ack_resubmit : bool;  (* idempotent resubmit after lost ACK *)
+  model : Models.spec;  (* the campaign's fault model *)
 }
 
 let describe s =
-  Printf.sprintf "seed=%d kill=%s corrupt=%s garbage=%b vanish=%b resubmit=%b"
+  Printf.sprintf "seed=%d kill=%s corrupt=%s garbage=%b vanish=%b resubmit=%b model=%s"
     s.seed
     (match s.kill_threshold with Some k -> string_of_int k | None -> "no")
     (match s.corruption with
@@ -141,6 +144,7 @@ let describe s =
     | Truncate -> "trunc"
     | Torn_tmp -> "torn-tmp")
     s.garbage_client s.midstream_disconnect s.dropped_ack_resubmit
+    (Models.spec_to_string s.model)
 
 let random_schedule seed =
   let rng = Rng.create ~seed in
@@ -159,23 +163,39 @@ let random_schedule seed =
     garbage_client = Rng.bool rng;
     midstream_disconnect = Rng.bool rng;
     dropped_ack_resubmit = Rng.bool rng;
+    model = Models.default_spec;
   }
 
 (* Hand-picked schedules pin down the coverage the drill promises: a
    quarantine-and-rebuild, a truncation, a torn tmp, an idempotent
-   resubmit, and a kitchen-sink run. The rest is randomized. *)
+   resubmit, a kitchen-sink run, and a kill-plus-corruption pass under
+   each non-default fault model (the daemon must converge bit-identically
+   to the serial campaign under the *same* model, including across a
+   restart-resume of a stochastic model). The rest is randomized. *)
 let forced =
+  let default = Models.default_spec in
   [
     { seed = 1001; kill_threshold = Some 2; corruption = Flip_byte;
-      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false };
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false;
+      model = default };
     { seed = 1002; kill_threshold = Some 2; corruption = Truncate;
-      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false };
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false;
+      model = default };
     { seed = 1003; kill_threshold = Some 3; corruption = Torn_tmp;
-      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false };
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false;
+      model = default };
     { seed = 1004; kill_threshold = None; corruption = No_corruption;
-      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = true };
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = true;
+      model = default };
     { seed = 1005; kill_threshold = Some 4; corruption = Flip_byte;
-      garbage_client = true; midstream_disconnect = true; dropped_ack_resubmit = true };
+      garbage_client = true; midstream_disconnect = true; dropped_ack_resubmit = true;
+      model = default };
+    { seed = 2001; kill_threshold = Some 2; corruption = Flip_byte;
+      garbage_client = false; midstream_disconnect = false; dropped_ack_resubmit = false;
+      model = { Models.model = Models.Bit_flip_32; seed = 0 } };
+    { seed = 2002; kill_threshold = Some 2; corruption = No_corruption;
+      garbage_client = false; midstream_disconnect = true; dropped_ack_resubmit = false;
+      model = { Models.model = Models.Random_value { lo = -50.; hi = 50. }; seed = 7 } };
   ]
 
 let schedules = forced @ List.init 17 (fun i -> random_schedule (i + 1))
@@ -254,7 +274,8 @@ let corrupt_checkpoint rng kind path =
 let quarantines = ref 0
 let resubmits = ref 0
 
-let run_schedule reference idx s =
+let run_schedule reference_for idx s =
+  let reference : Ground_truth.t = reference_for s.model in
   let rng = Rng.create ~seed:(s.seed * 7919) in
   let state_dir = fresh_dir (Printf.sprintf "drill%02d" idx) in
   let sock = Filename.concat state_dir "daemon.sock" in
@@ -267,7 +288,11 @@ let run_schedule reference idx s =
     }
   in
   let spec =
-    { (Job.default_spec ~bench:"chaos.bench") with Job.shard_size; fuel = Some fuel }
+    { (Job.default_spec ~bench:"chaos.bench") with
+      Job.shard_size;
+      fuel = Some fuel;
+      model = s.model;
+    }
   in
   let idem = Printf.sprintf "drill-%d" s.seed in
   let pid = ref (spawn_daemon config sock) in
@@ -357,7 +382,9 @@ let run_schedule reference idx s =
     match final with
     | Some job when job.Job.status = Job.Completed -> (
         match
-          Checkpoint.load ~path:(Job.checkpoint_path ~state_dir id) ~shard_size golden
+          Checkpoint.load ~model:s.model
+            ~path:(Job.checkpoint_path ~state_dir id)
+            ~shard_size golden
         with
         | state ->
             Checkpoint.is_complete state
@@ -384,8 +411,15 @@ let () =
   let golden = Golden.run program in
   Printf.printf "chaos drill: %d sites, %d cases, %d schedules\n%!"
     (Golden.sites golden) (Golden.cases golden) (List.length schedules);
-  let reference = Ground_truth.run ~fuel golden in
-  List.iteri (fun i s -> run_schedule reference i s) schedules;
+  let default_reference = Ground_truth.run ~fuel golden in
+  (* Per-model serial references: the daemon must converge to these bytes
+     whatever faults the schedule throws at it. [domains:1] keeps the
+     parent pool-free (the daemon forks must not inherit worker domains). *)
+  let reference_for (spec : Models.spec) =
+    if Models.spec_equal spec Models.default_spec then default_reference
+    else Executor.ground_truth_model ~domains:1 ~fuel spec golden
+  in
+  List.iteri (fun i s -> run_schedule reference_for i s) schedules;
   check "at least one schedule exercised quarantine-and-rebuild" (!quarantines >= 1);
   check "at least one schedule exercised idempotent resubmit" (!resubmits >= 1);
   if !failures > 0 then begin

@@ -23,6 +23,8 @@ module Static = Ftb_trace.Static
 module Program = Ftb_trace.Program
 module Golden = Ftb_trace.Golden
 module Ground_truth = Ftb_inject.Ground_truth
+module Models = Ftb_inject.Models
+module Executor = Ftb_inject.Executor
 module Checkpoint = Ftb_campaign.Checkpoint
 module Job = Ftb_service.Job
 module Client = Ftb_service.Client
@@ -327,6 +329,86 @@ let socketpair_fleet_test () =
   check "fleet daemon drained cleanly" true;
   Client.close client
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: in-process fleet under non-default fault models.             *)
+
+let model_specs : Models.spec list =
+  [
+    { model = Models.Bit_flip_32; seed = 0 };
+    { model = Models.Random_value { lo = -50.; hi = 50. }; seed = 7 };
+  ]
+
+let model_fleet_test () =
+  let state_dir = fresh_dir "model" in
+  let fleet = Fleet.create ~lease_ttl () in
+  let t = Server.create (server_config ~state_dir fleet) in
+  Server.start t;
+  let connect () =
+    let server_fd, peer_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    ignore (Thread.create (fun () -> Server.serve_connection t server_fd) ());
+    peer_fd
+  in
+  let stop = Atomic.make false in
+  let worker_thread () =
+    Thread.create
+      (fun () -> Worker.run (Worker.config ~domains:1 ~resolve ~stop:(fun () -> Atomic.get stop) connect))
+      ()
+  in
+  let wt1 = worker_thread () in
+  let wt2 = worker_thread () in
+  let rec await_workers attempts =
+    if Fleet.live_workers fleet >= 2 then true
+    else if attempts = 0 then false
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      await_workers (attempts - 1)
+    end
+  in
+  check "model fleet: both workers registered" (await_workers 500);
+
+  let client = Client.of_fd (connect ()) in
+  let golden = Golden.run quick_program in
+  let committed_before = ref (Fleet.stats fleet).Fleet.remote_committed in
+  List.iter
+    (fun (spec : Models.spec) ->
+      let what = Models.spec_name spec in
+      let job_spec =
+        { (Job.default_spec ~bench:"fleet.quick") with
+          Job.shard_size = 64;
+          fuel = Some fuel;
+          model = spec;
+        }
+      in
+      let id = get_ok (what ^ ": submit") (Client.submit client job_spec) in
+      let final = get_ok (what ^ ": watch") (Client.watch client id) in
+      check (what ^ ": fleet job completed") (final.Job.status = Job.Completed);
+      (* Leased shards must reproduce the direct serial campaign under the
+         same model bit-for-bit — for the stochastic model this checks the
+         per-(site,case) seed derivation is scheduling-independent. *)
+      let reference = Executor.ground_truth_model ~domains:1 ~fuel spec golden in
+      (match
+         Checkpoint.load ~model:spec
+           ~path:(Job.checkpoint_path ~state_dir id)
+           ~shard_size:64 golden
+       with
+      | state ->
+          check (what ^ ": fleet bytes bit-identical to serial model campaign")
+            (Checkpoint.is_complete state
+            && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes)
+      | exception _ ->
+          check (what ^ ": fleet bytes bit-identical to serial model campaign") false);
+      let committed = (Fleet.stats fleet).Fleet.remote_committed in
+      check (what ^ ": shards were executed remotely") (committed > !committed_before);
+      committed_before := committed)
+    model_specs;
+
+  Atomic.set stop true;
+  Thread.join wt1;
+  Thread.join wt2;
+  get_ok "model fleet daemon shutdown" (Client.shutdown client);
+  Server.join t;
+  Client.close client
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Printf.printf "fleet smoke: drill=%d sites, quick=%d sites (lease ttl %.2fs)\n%!"
@@ -335,6 +417,7 @@ let () =
     lease_ttl;
   worker_death_test ();
   socketpair_fleet_test ();
+  model_fleet_test ();
   if !failures > 0 then begin
     Printf.printf "%d smoke check(s) failed\n" !failures;
     exit 1

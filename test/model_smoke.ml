@@ -1,0 +1,361 @@
+(* Model smoke test (dune alias @model-smoke).
+
+   End-to-end byte-identity per fault model, across every execution path
+   a campaign can take:
+
+   1. Serial engine: a checkpointed [Engine.run] under the model must
+      reproduce the direct [Executor.ground_truth_model] bytes.
+   2. Daemon kill + restart + resume: a daemon running the model's
+      campaign is SIGKILLed at a shard-wave boundary and restarted; the
+      resumed job must converge to the same bytes. For the stochastic
+      model this is the checkpoint-resumability guarantee: the per-case
+      RNG derivation makes the restart invisible in the outcome bytes.
+   3. Fleet worker kill + re-lease: two worker processes serve leases for
+      the model's campaign and one is SIGKILLed mid-flight; the abandoned
+      lease expires, the shard is re-leased, and the finished job must
+      still be bit-identical — corruption values cannot depend on which
+      worker (or which attempt) executed a case.
+
+   All reference campaigns run with [domains:1] before anything forks, so
+   no domain pool ever crosses a fork(). *)
+
+module Ctx = Ftb_trace.Ctx
+module Static = Ftb_trace.Static
+module Program = Ftb_trace.Program
+module Golden = Ftb_trace.Golden
+module Ground_truth = Ftb_inject.Ground_truth
+module Models = Ftb_inject.Models
+module Executor = Ftb_inject.Executor
+module Checkpoint = Ftb_campaign.Checkpoint
+module Engine = Ftb_campaign.Engine
+module Job = Ftb_service.Job
+module Client = Ftb_service.Client
+module Server = Ftb_service.Server
+module Fleet = Ftb_dist.Fleet
+module Worker = Ftb_dist.Worker
+
+let failures = ref 0
+
+let check what ok =
+  if ok then Printf.printf "ok    %s\n%!" what
+  else begin
+    incr failures;
+    Printf.printf "FAIL  %s\n%!" what
+  end
+
+(* The same damped fixed-point family as the other smokes: small enough
+   that one campaign per model per path stays fast, big enough that a
+   SIGKILL at wave 2 lands mid-campaign for every model width. *)
+let program =
+  let statics = Static.create_table () in
+  let tag_load = Static.register statics ~phase:"model.load" ~label:"x[i]" in
+  let tag_iter = Static.register statics ~phase:"model.iter" ~label:"x[i] update" in
+  let tag_out = Static.register statics ~phase:"model.out" ~label:"sum" in
+  let body ctx =
+    let x =
+      Array.map (fun v -> Ctx.record ctx ~tag:tag_load v) [| 1.0; 2.0; 3.0; 4.0 |]
+    in
+    for _iter = 1 to 12 do
+      for i = 0 to 3 do
+        let left = x.((i + 3) mod 4) and right = x.((i + 1) mod 4) in
+        x.(i) <- Ctx.record ctx ~tag:tag_iter ((x.(i) +. (0.25 *. (left +. right))) /. 1.5)
+      done
+    done;
+    [| Ctx.record ctx ~tag:tag_out (Array.fold_left ( +. ) 0. x) |]
+  in
+  Program.make ~name:"model.bench" ~description:"damped fixed-point iteration"
+    ~tolerance:0.05 ~statics body
+
+let resolve = function
+  | "model.bench" -> program
+  | name -> invalid_arg (Printf.sprintf "unknown benchmark %S" name)
+
+let fuel = 10_000
+let shard_size = 32
+let lease_ttl = 0.5
+
+(* One spec per model constructor, stochastic one with a non-zero seed so
+   the seed actually travels through descriptors, checkpoints and
+   grants. *)
+let specs : Models.spec list =
+  [
+    Models.default_spec;
+    { model = Models.Bit_flip_32; seed = 0 };
+    { model = Models.Adjacent_burst_2; seed = 0 };
+    { model = Models.Random_value { lo = -50.; hi = 50. }; seed = 7 };
+  ]
+
+let fresh_dir tag =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb_model_smoke_%s_%d" tag (Unix.getpid ()))
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists path then rm path;
+  Unix.mkdir path 0o755;
+  path
+
+let get_ok what = function
+  | Ok v -> v
+  | Error (e : Client.error) ->
+      check what false;
+      failwith (Printf.sprintf "%s: daemon error %s: %s" what e.Client.code e.Client.message)
+
+let connect_with_retry sock =
+  let rec go attempts =
+    match Client.connect ~socket:sock with
+    | client -> client
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempts > 0 ->
+        ignore (Unix.select [] [] [] 0.05);
+        go (attempts - 1)
+  in
+  go 200
+
+let connect_fd_with_retry sock =
+  let rec go attempts =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when attempts > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ignore (Unix.select [] [] [] 0.05);
+        go (attempts - 1)
+  in
+  go 200
+
+(* ------------------------------------------------------------------ *)
+(* Path 1: serial engine with checkpoints.                              *)
+
+let serial_test golden references =
+  List.iter2
+    (fun (spec : Models.spec) (reference : Ground_truth.t) ->
+      let what = Models.spec_name spec in
+      let dir = fresh_dir "serial" in
+      let path = Filename.concat dir "ckpt" in
+      let config =
+        { Engine.default_config with Engine.shard_size; fuel = Some fuel; model = spec }
+      in
+      let report = Engine.run ~config ~checkpoint:path golden in
+      check (what ^ ": serial engine bit-identical to direct campaign")
+        (Bytes.equal reference.Ground_truth.outcomes
+           report.Engine.ground_truth.Ground_truth.outcomes);
+      Sys.remove path;
+      Unix.rmdir dir)
+    specs references
+
+(* ------------------------------------------------------------------ *)
+(* Path 2: daemon SIGKILL at a wave boundary, restart, resume.          *)
+
+let spawn_daemon config sock =
+  match Unix.fork () with
+  | 0 ->
+      (match Server.run ~socket:sock (Server.create config) with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 1)
+  | pid -> pid
+
+let daemon_test golden (spec : Models.spec) (reference : Ground_truth.t) =
+  let what = Models.spec_name spec in
+  let state_dir = fresh_dir "daemon" in
+  let sock = Filename.concat state_dir "daemon.sock" in
+  let config =
+    {
+      (Server.default_config ~state_dir) with
+      Server.domains = 2;
+      checkpoint_every = 1;
+      resolve;
+    }
+  in
+  let job_spec =
+    { (Job.default_spec ~bench:"model.bench") with
+      Job.shard_size;
+      fuel = Some fuel;
+      model = spec;
+    }
+  in
+  let pid = ref (spawn_daemon config sock) in
+  let client = connect_with_retry sock in
+  let id = get_ok (what ^ ": submit") (Client.submit client job_spec) in
+  let killed = ref false in
+  (match
+     Client.watch client id
+       ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
+         if (not !killed) && shards_done >= 2 && (cases_total = 0 || cases_done < cases_total)
+         then begin
+           killed := true;
+           Unix.kill !pid Sys.sigkill
+         end)
+   with
+  | Ok _ | Error _ -> ()
+  | exception _ -> ());
+  (try Client.close client with _ -> ());
+  check (what ^ ": daemon killed mid-campaign") !killed;
+  if !killed then begin
+    ignore (Unix.waitpid [] !pid);
+    pid := spawn_daemon config sock
+  end;
+  let client2 = connect_with_retry sock in
+  let final = get_ok (what ^ ": watch after restart") (Client.watch client2 id) in
+  check (what ^ ": job completed after restart") (final.Job.status = Job.Completed);
+  (match
+     Checkpoint.load ~model:spec
+       ~path:(Job.checkpoint_path ~state_dir id)
+       ~shard_size golden
+   with
+  | state ->
+      check (what ^ ": resumed daemon bytes bit-identical to direct campaign")
+        (Checkpoint.is_complete state
+        && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes)
+  | exception _ ->
+      check (what ^ ": resumed daemon bytes bit-identical to direct campaign") false);
+  get_ok (what ^ ": daemon shutdown") (Client.shutdown client2);
+  (try Client.close client2 with _ -> ());
+  match Unix.waitpid [] !pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> check (what ^ ": daemon exited cleanly") false
+
+(* ------------------------------------------------------------------ *)
+(* Path 3: fleet worker SIGKILL mid-lease, shard re-leased.             *)
+
+let spawn_worker sock ready_w =
+  match Unix.fork () with
+  | 0 ->
+      let signalled = ref false in
+      let log _msg =
+        if not !signalled then begin
+          signalled := true;
+          ignore (Unix.write ready_w (Bytes.make 1 'r') 0 1)
+        end
+      in
+      let cfg =
+        Worker.config ~domains:1 ~resolve ~log (fun () -> connect_fd_with_retry sock)
+      in
+      (match Worker.run cfg with
+      | (_ : Worker.stats) -> Unix._exit 0
+      | exception _ -> Unix._exit 1)
+  | pid -> pid
+
+let wait_worker_ready what ready_r =
+  match Unix.select [ ready_r ] [] [] 30.0 with
+  | [ _ ], _, _ ->
+      ignore (Unix.read ready_r (Bytes.create 1) 0 1);
+      check what true
+  | _ -> check what false
+
+let fleet_test golden references =
+  let state_dir = fresh_dir "fleet" in
+  let sock = Filename.concat state_dir "daemon.sock" in
+  let ready_r, ready_w = Unix.pipe () in
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+        let fleet = Fleet.create ~lease_ttl () in
+        let config =
+          {
+            (Server.default_config ~state_dir) with
+            Server.domains = 1;
+            resolve;
+            extension = Some (Fleet.extension fleet);
+            wave_runner = Some (Fleet.wave_runner fleet);
+          }
+        in
+        (match Server.run ~socket:sock (Server.create config) with
+        | () -> Unix._exit 0
+        | exception _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  let client = connect_with_retry sock in
+  (* Per model: make sure two workers are attached, then SIGKILL one of
+     them mid-campaign; the survivor (plus, at worst, the daemon's local
+     executor) must finish the job with the reference bytes. A fresh
+     worker replaces the victim before the next model runs. *)
+  let workers = ref [] in
+  let spawn_two () =
+    while List.length !workers < 2 do
+      let w = spawn_worker sock ready_w in
+      wait_worker_ready "worker attached" ready_r;
+      workers := w :: !workers
+    done
+  in
+  List.iter2
+    (fun (spec : Models.spec) (reference : Ground_truth.t) ->
+      let what = Models.spec_name spec in
+      spawn_two ();
+      let victim, rest =
+        match !workers with v :: rest -> (v, rest) | [] -> assert false
+      in
+      let job_spec =
+        { (Job.default_spec ~bench:"model.bench") with
+          Job.shard_size;
+          fuel = Some fuel;
+          model = spec;
+        }
+      in
+      let id = get_ok (what ^ ": submit") (Client.submit client job_spec) in
+      let killed = ref false in
+      let final =
+        get_ok (what ^ ": watch")
+          (Client.watch client id
+             ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
+               if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
+                 killed := true;
+                 Unix.kill victim Sys.sigkill
+               end))
+      in
+      check (what ^ ": worker killed mid-campaign") !killed;
+      if not !killed then (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ());
+      (match Unix.waitpid [] victim with
+      | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | _, _ -> check (what ^ ": victim died by SIGKILL") false);
+      workers := rest;
+      check (what ^ ": job completed despite worker death")
+        (final.Job.status = Job.Completed);
+      (match
+         Checkpoint.load ~model:spec
+           ~path:(Job.checkpoint_path ~state_dir id)
+           ~shard_size golden
+       with
+      | state ->
+          check (what ^ ": re-leased fleet bytes bit-identical to direct campaign")
+            (Checkpoint.is_complete state
+            && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes)
+      | exception _ ->
+          check (what ^ ": re-leased fleet bytes bit-identical to direct campaign")
+            false))
+    specs references;
+  get_ok "fleet daemon shutdown" (Client.shutdown client);
+  (try Client.close client with _ -> ());
+  (match Unix.waitpid [] daemon with
+  | _, Unix.WEXITED 0 -> check "fleet daemon exited cleanly" true
+  | _, _ -> check "fleet daemon exited cleanly" false);
+  List.iter (fun w -> ignore (Unix.waitpid [] w)) !workers;
+  Unix.close ready_r;
+  Unix.close ready_w
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let golden = Golden.run program in
+  Printf.printf "model smoke: %d sites, models:%s\n%!" (Golden.sites golden)
+    (String.concat ""
+       (List.map (fun s -> " " ^ Models.spec_to_string s) specs));
+  (* All references are serial ([domains:1], no pool) and computed before
+     any fork below. *)
+  let references =
+    List.map (fun spec -> Executor.ground_truth_model ~domains:1 ~fuel spec golden) specs
+  in
+  serial_test golden references;
+  List.iter2 (daemon_test golden) specs references;
+  fleet_test golden references;
+  if !failures > 0 then begin
+    Printf.printf "%d model smoke check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "model smoke passed"

@@ -336,6 +336,144 @@ let test_resume_serial () = check_resume_bit_identical ~after:2 ~shard_size:7 ~d
 let test_resume_parallel () =
   check_resume_bit_identical ~after:1 ~shard_size:13 ~domains:3 ()
 
+(* ------------------------------------------------------------------ *)
+(* Persist-format v3: the fault model in the header, v2 compatibility  *)
+
+module Models = Ftb_inject.Models
+
+let rewrap_as_v2 path =
+  (* Rewrite a freshly saved (v3, default-model) checkpoint into the
+     byte-exact pre-model v2 format: the v2 magic and no model field,
+     re-wrapped in a fresh valid envelope. *)
+  let payload = Persist.load_enveloped ~path in
+  let nl = String.index payload '\n' in
+  let header = String.sub payload 0 nl in
+  let rest = String.sub payload nl (String.length payload - nl) in
+  let header =
+    match String.split_on_char ' ' header with
+    | [ _magic; program; sites; shard_size; _model; fingerprint ] ->
+        String.concat " "
+          [ "ftb-campaign-v2"; program; sites; shard_size; fingerprint ]
+    | fields ->
+        Alcotest.fail
+          (Printf.sprintf "unexpected v3 header arity %d" (List.length fields))
+  in
+  Persist.save_enveloped ~path (fun b ->
+      Buffer.add_string b header;
+      Buffer.add_string b rest)
+
+let test_v2_checkpoint_resumes_as_bit_flip_64 () =
+  let g = Lazy.force golden in
+  let path = tmp "v2_compat" in
+  let reference = Ground_truth.run g in
+  Alcotest.(check bool) "interrupt fired" true
+    (run_interrupted ~after:2 ~shard_size:5 g path);
+  rewrap_as_v2 path;
+  let loaded = Checkpoint.load ~path ~shard_size:5 g in
+  Alcotest.(check bool) "v2 loads as the default model" true
+    (Models.spec_equal Models.default_spec loaded.Checkpoint.model);
+  Alcotest.(check bool) "partial campaign preserved" true
+    (Checkpoint.completed_count loaded > 0 && not (Checkpoint.is_complete loaded));
+  let report =
+    Engine.run ~config:(engine_config ~shard_size:5 ~domains:1) ~checkpoint:path g
+  in
+  Alcotest.(check bool) "resume skipped completed shards" true
+    (report.Engine.resumed_shards > 0);
+  Alcotest.(check bytes) "v2 resume is bit-identical"
+    reference.Ground_truth.outcomes
+    report.Engine.ground_truth.Ground_truth.outcomes;
+  (* The resumed campaign re-saved the file; it must now be v3 and still
+     reload as the same (default) model. *)
+  let resaved = Checkpoint.load ~path ~shard_size:5 g in
+  Alcotest.(check bool) "resave reloads" true (Checkpoint.is_complete resaved);
+  Sys.remove path
+
+let test_v2_checkpoint_rejected_for_other_model () =
+  (* A v2 file can only ever be a Bit_flip_64 campaign; resuming it under
+     another model must be a typed error naming both models. *)
+  let g = Lazy.force golden in
+  let path = tmp "v2_mismatch" in
+  Checkpoint.save ~path (Checkpoint.create g ~shard_size:5);
+  rewrap_as_v2 path;
+  let requested = { Models.model = Models.Bit_flip_32; seed = 0 } in
+  (match Checkpoint.load ~model:requested ~path ~shard_size:5 g with
+  | _ -> Alcotest.fail "v2 checkpoint accepted for bit-flip-32"
+  | exception Persist.Format_error msg ->
+      Alcotest.(check bool) "error names both models" true
+        (contains ~needle:"bit-flip-64" msg && contains ~needle:"bit-flip-32" msg));
+  Sys.remove path
+
+let test_v3_nondefault_model_roundtrip () =
+  let g = Lazy.force golden in
+  let spec = { Models.model = Models.Bit_flip_32; seed = 0 } in
+  let path = tmp "v3_model" in
+  let state = Checkpoint.create ~model:spec g ~shard_size:5 in
+  Ftb_inject.Executor.range_into_model spec g ~lo:0 ~hi:10 state.Checkpoint.outcomes
+    ~off:0;
+  Array.fill state.Checkpoint.completed 0 2 true;
+  Checkpoint.save ~path state;
+  let loaded = Checkpoint.load ~model:spec ~path ~shard_size:5 g in
+  Alcotest.(check bool) "model preserved" true
+    (Models.spec_equal spec loaded.Checkpoint.model);
+  Alcotest.(check int) "completed shards preserved" 2
+    (Checkpoint.completed_count loaded);
+  Alcotest.(check bytes) "outcome bytes preserved" state.Checkpoint.outcomes
+    loaded.Checkpoint.outcomes;
+  (* Loading it as the default model must fail, naming both. *)
+  (match Checkpoint.load ~path ~shard_size:5 g with
+  | _ -> Alcotest.fail "bit-flip-32 checkpoint accepted as default"
+  | exception Persist.Format_error msg ->
+      Alcotest.(check bool) "mismatch names both models" true
+        (contains ~needle:"bit-flip-32" msg && contains ~needle:"bit-flip-64" msg));
+  Sys.remove path
+
+let test_corrupt_v3_checkpoint_quarantined () =
+  (* The quarantine-and-rebuild path under a non-default model: a flipped
+     byte is detected, the evidence survives, and the rebuilt campaign
+     matches the direct model-aware run byte for byte. *)
+  let g = Lazy.force golden in
+  let spec = { Models.model = Models.Adjacent_burst_2; seed = 0 } in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb_campaign_v3corrupt_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "checkpoint" in
+  Checkpoint.save ~path (Checkpoint.create ~model:spec g ~shard_size:5);
+  let ic = open_in_bin path in
+  let raw = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let victim = Bytes.length raw - 3 in
+  Bytes.set raw victim (Char.chr (Char.code (Bytes.get raw victim) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc raw;
+  close_out oc;
+  (match Checkpoint.load ~model:spec ~path ~shard_size:5 g with
+  | _ -> Alcotest.fail "flipped v3 byte accepted"
+  | exception Persist.Format_error _ -> ());
+  let config =
+    {
+      (engine_config ~shard_size:5 ~domains:1) with
+      Engine.model = spec;
+      on_invalid_checkpoint = Engine.Restart;
+    }
+  in
+  let report = Engine.run ~config ~checkpoint:path g in
+  Alcotest.(check bool) "quarantined" true (report.Engine.quarantined <> None);
+  let direct = Ftb_inject.Executor.ground_truth_model ~domains:1 spec g in
+  Alcotest.(check bytes) "rebuilt model campaign is bit-identical"
+    direct.Ground_truth.outcomes
+    report.Engine.ground_truth.Ground_truth.outcomes;
+  rm dir
+
 let resume_roundtrip =
   QCheck.Test.make ~name:"interrupt after k checkpoints, resume, bit-identical" ~count:15
     QCheck.(pair (int_range 1 5) (int_range 1 40))
@@ -522,6 +660,14 @@ let suite =
       test_corrupt_checkpoint_quarantined_and_rebuilt;
     Alcotest.test_case "resume serial" `Quick test_resume_serial;
     Alcotest.test_case "resume parallel" `Quick test_resume_parallel;
+    Alcotest.test_case "v2 checkpoint resumes as bit-flip-64" `Quick
+      test_v2_checkpoint_resumes_as_bit_flip_64;
+    Alcotest.test_case "v2 checkpoint rejected for other model" `Quick
+      test_v2_checkpoint_rejected_for_other_model;
+    Alcotest.test_case "v3 non-default model round-trip" `Quick
+      test_v3_nondefault_model_roundtrip;
+    Alcotest.test_case "corrupt v3 checkpoint quarantined" `Quick
+      test_corrupt_v3_checkpoint_quarantined;
     Helpers.qcheck_to_alcotest resume_roundtrip;
     Alcotest.test_case "engine serial = parallel" `Quick
       test_engine_serial_matches_parallel;

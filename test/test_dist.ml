@@ -29,6 +29,7 @@ let test_grant_roundtrip () =
       P.job_id = 7;
       bench = "ir.dot";
       fuel = Some 4096;
+      model = Ftb_inject.Models.default_spec;
       fingerprint = "deadbeef";
       lease_id = 42;
       shard = 3;
@@ -195,7 +196,10 @@ let test_cross_job_result_rejected () =
   let golden = Golden.run (Helpers.linear_program ()) in
   let job_id = 41 in
   let runner =
-    match Fleet.wave_runner fleet ~job_id ~bench:"helpers.linear" ~fuel:None ~golden with
+    match
+      Fleet.wave_runner fleet ~job_id ~bench:"helpers.linear" ~fuel:None
+        ~model:Ftb_inject.Models.default_spec ~golden
+    with
     | Some r -> r
     | None -> Alcotest.fail "no wave runner despite a registered worker"
   in

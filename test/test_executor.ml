@@ -111,6 +111,127 @@ let test_site_into_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range hi accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Model-aware executor: for every fault model, the batched path (whole
+   sites via prefix snapshots) must be byte-identical to the per-case
+   model-aware serial reference — the regression the old code could not
+   even express (it silently assumed 64 cases per site). *)
+
+module Models = Ftb_inject.Models
+
+let model_specs =
+  [
+    { Models.model = Models.Bit_flip_64; seed = 0 };
+    { Models.model = Models.Bit_flip_32; seed = 0 };
+    { Models.model = Models.Adjacent_burst_2; seed = 0 };
+    { Models.model = Models.Random_value { lo = -100.; hi = 100. }; seed = 11 };
+  ]
+
+let serial_bytes_model ?fuel spec golden =
+  let total = Models.total_cases spec ~sites:(Golden.sites golden) in
+  let buf = Bytes.create total in
+  for case = 0 to total - 1 do
+    Bytes.set buf case (Ground_truth.case_byte_model ?fuel spec golden case)
+  done;
+  buf
+
+let test_model_batched_matches_serial () =
+  List.iter
+    (fun (what, golden) ->
+      List.iter
+        (fun spec ->
+          let label =
+            Printf.sprintf "%s under %s" what (Models.spec_name spec)
+          in
+          let expected = serial_bytes_model spec golden in
+          let gt = Executor.ground_truth_model ~domains:1 spec golden in
+          Alcotest.(check int)
+            (label ^ ": case-space size")
+            (Models.total_cases spec ~sites:(Golden.sites golden))
+            (Ground_truth.cases gt);
+          Alcotest.(check bool)
+            (label ^ ": batched bytes = per-case bytes")
+            true
+            (Bytes.equal expected gt.Ground_truth.outcomes))
+        model_specs)
+    [ ("ir program", Lazy.force ir_golden); ("closure program", Lazy.force closure_golden) ]
+
+let test_model_default_dispatch_is_historical_path () =
+  (* Bit_flip_64 must not merely be equivalent — it dispatches to the
+     exact pre-model executor, so its bytes match byte for byte. *)
+  let golden = Lazy.force ir_golden in
+  let gt = Executor.ground_truth ~domains:1 golden in
+  let gtm = Executor.ground_truth_model ~domains:1 Models.default_spec golden in
+  Alcotest.(check bool) "default model = historical executor" true
+    (Bytes.equal gt.Ground_truth.outcomes gtm.Ground_truth.outcomes)
+
+let test_model_range_into_ragged_bounds () =
+  let golden = Lazy.force ir_golden in
+  List.iter
+    (fun spec ->
+      let width = Models.spec_width spec in
+      let total = Models.total_cases spec ~sites:(Golden.sites golden) in
+      let expected = serial_bytes_model spec golden in
+      List.iter
+        (fun (lo, hi) ->
+          let lo = min lo total and hi = min hi total in
+          if lo <= hi then begin
+            let buf = Bytes.make (hi - lo) '\255' in
+            Executor.range_into_model spec golden ~lo ~hi buf ~off:0;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: range [%d, %d) = serial slice"
+                 (Models.spec_name spec) lo hi)
+              true
+              (Bytes.equal (Bytes.sub expected lo (hi - lo)) buf)
+          end)
+        [
+          (0, total);
+          (0, 0);
+          (1, width - 1);  (* inside one site *)
+          (width - 1, width + 1);  (* straddles a site boundary *)
+          (1, total - 1);
+          (width, 3 * width);  (* whole sites *)
+          (width / 2, (width / 2) + (2 * width));
+        ])
+    model_specs
+
+let test_model_fuel_identity () =
+  let golden = Lazy.force ir_golden in
+  let fuel = Golden.sites golden / 2 in
+  List.iter
+    (fun spec ->
+      let expected = serial_bytes_model ~fuel spec golden in
+      let gt = Executor.ground_truth_model ~domains:2 ~fuel spec golden in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s under fuel %d" (Models.spec_name spec) fuel)
+        true
+        (Bytes.equal expected gt.Ground_truth.outcomes))
+    model_specs
+
+let test_model_stochastic_replay_identical () =
+  (* Two independent executions of the stochastic model — different
+     batching, different domain counts — must produce identical bytes:
+     the per-case RNG derivation leaves nothing to scheduling. *)
+  let golden = Lazy.force ir_golden in
+  let spec = { Models.model = Models.Random_value { lo = -1.; hi = 1. }; seed = 99 } in
+  let a = Executor.ground_truth_model ~domains:1 spec golden in
+  let b = Executor.ground_truth_model ~domains:4 spec golden in
+  let c = Executor.ground_truth_model ~domains:2 ~batched:false spec golden in
+  Alcotest.(check bool) "serial = pooled" true
+    (Bytes.equal a.Ground_truth.outcomes b.Ground_truth.outcomes);
+  Alcotest.(check bool) "serial = per-case pooled" true
+    (Bytes.equal a.Ground_truth.outcomes c.Ground_truth.outcomes);
+  (* And a different seed must actually change the injected values
+     (outcome bytes may coincide — near-everything is SDC here). *)
+  let differs =
+    Array.exists
+      (fun case ->
+        Models.case_corrupt spec ~case 0.
+        <> Models.case_corrupt { spec with Models.seed = 100 } ~case 0.)
+      (Array.init 64 Fun.id)
+  in
+  Alcotest.(check bool) "seed changes the drawn values" true differs
+
 (* Property: for random small IR kernels and random fuel budgets, the
    batched executor's bytes equal the serial engine's on every case. *)
 let prop_batched_identity =
@@ -148,5 +269,14 @@ let suite =
       test_ground_truth_batched_pooled_identity;
     Alcotest.test_case "ground_truth: fuel identity" `Quick test_ground_truth_fuel_identity;
     Alcotest.test_case "argument validation" `Quick test_site_into_validation;
+    Alcotest.test_case "per-model batched = per-case serial" `Quick
+      test_model_batched_matches_serial;
+    Alcotest.test_case "default model dispatches to historical path" `Quick
+      test_model_default_dispatch_is_historical_path;
+    Alcotest.test_case "model range_into handles ragged bounds" `Quick
+      test_model_range_into_ragged_bounds;
+    Alcotest.test_case "model fuel identity" `Quick test_model_fuel_identity;
+    Alcotest.test_case "stochastic replay is scheduling-independent" `Quick
+      test_model_stochastic_replay_identical;
     QCheck_alcotest.to_alcotest prop_batched_identity;
   ]

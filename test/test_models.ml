@@ -89,6 +89,138 @@ let test_compare_models_order () =
       Alcotest.(check string) "order preserved" (Models.name model) (Models.name c.Models.model))
     Models.all_discrete campaigns
 
+(* ------------------------------------------------------------------ *)
+(* Properties of the corruption functions and the spec codec. *)
+
+(* Finite doubles spanning many binades; the flip properties are bitwise,
+   so the generator only needs to avoid NaN/Inf (float equality on the
+   bit pattern breaks there). *)
+let arb_finite =
+  QCheck.make
+    ~print:(fun (m, e, bit) -> Printf.sprintf "ldexp %h %d, bit %d" m e bit)
+    QCheck.Gen.(triple (float_range (-1.) 1.) (int_range (-60) 60) (int_bound 63))
+
+let bits_of v = Int64.bits_of_float v
+
+let prop_bit_flip_involution =
+  QCheck.Test.make ~name:"bit-flip-64: corrupting twice restores the value" ~count:500
+    arb_finite
+    (fun (m, e, bit) ->
+      let v = Float.ldexp m e in
+      let spec = { Models.model = Models.Bit_flip_64; seed = 0 } in
+      let corrupt = Models.case_corrupt spec ~case:bit in
+      Int64.equal (bits_of (corrupt (corrupt v))) (bits_of v))
+
+let prop_bit_flip32_involution =
+  QCheck.Test.make
+    ~name:"bit-flip-32: involution on float32-representable values" ~count:500
+    arb_finite
+    (fun (m, e, bit) ->
+      (* flip32 rounds through single precision, so the involution holds
+         exactly on values already representable in float32. *)
+      let v = Int32.float_of_bits (Int32.bits_of_float (Float.ldexp m e)) in
+      let bit = bit land 31 in
+      let spec = { Models.model = Models.Bit_flip_32; seed = 0 } in
+      let corrupt = Models.case_corrupt spec ~case:bit in
+      Int64.equal (bits_of (corrupt (corrupt v))) (bits_of v))
+
+let prop_burst_is_two_flips =
+  QCheck.Test.make ~name:"adjacent-burst-2 = two single bit flips" ~count:500 arb_finite
+    (fun (m, e, bit) ->
+      let v = Float.ldexp m e in
+      let bit = min bit 62 in
+      let spec = { Models.model = Models.Adjacent_burst_2; seed = 0 } in
+      let burst = Models.case_corrupt spec ~case:bit in
+      Int64.equal
+        (bits_of (burst v))
+        (bits_of (Bits.flip ~bit (Bits.flip ~bit:(bit + 1) v))))
+
+let arb_random_spec =
+  QCheck.make
+    ~print:(fun (lo, span, seed, case) ->
+      Printf.sprintf "lo %h, span %h, seed %d, case %d" lo span seed case)
+    QCheck.Gen.(
+      quad (float_range (-1e6) 1e6) (float_range 1e-3 1e6) (int_range 0 10000)
+        (int_bound 4095))
+
+let prop_random_value_in_range =
+  QCheck.Test.make ~name:"random-value lands in [lo, hi)" ~count:500 arb_random_spec
+    (fun (lo, span, seed, case) ->
+      let hi = lo +. span in
+      let spec = { Models.model = Models.Random_value { lo; hi }; seed } in
+      let v = Models.case_corrupt spec ~case 42. in
+      v >= lo && v < hi)
+
+let prop_random_value_deterministic =
+  QCheck.Test.make
+    ~name:"random-value: deterministic given (seed, case), independent of order"
+    ~count:500 arb_random_spec
+    (fun (lo, span, seed, case) ->
+      let hi = lo +. span in
+      let spec = { Models.model = Models.Random_value { lo; hi }; seed } in
+      let draw () = Models.case_corrupt spec ~case 42. in
+      (* Replays — same shard, a re-leased shard, a resumed daemon — must
+         reproduce the draw exactly; interleaving other cases in between
+         must not perturb it. *)
+      let first = draw () in
+      let _noise = Models.case_corrupt spec ~case:(case + 1) 42. in
+      Int64.equal (bits_of first) (bits_of (draw ()))
+      && not
+           (Int64.equal
+              (bits_of first)
+              (bits_of
+                 (Models.case_corrupt
+                    { spec with Models.seed = seed + 1 }
+                    ~case 42.))))
+
+let prop_spec_string_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun spec -> Models.spec_to_string spec)
+      QCheck.Gen.(
+        map2
+          (fun pick (lo, span, seed) ->
+            match pick with
+            | 0 -> { Models.model = Models.Bit_flip_64; seed = 0 }
+            | 1 -> { Models.model = Models.Bit_flip_32; seed = 0 }
+            | 2 -> { Models.model = Models.Adjacent_burst_2; seed = 0 }
+            | _ ->
+                { Models.model = Models.Random_value { lo; hi = lo +. span }; seed })
+          (int_bound 3)
+          (triple (float_range (-1e6) 1e6) (float_range 1e-3 1e6) (int_range 0 10000)))
+  in
+  QCheck.Test.make ~name:"spec codec round-trips (exactly, incl. seed)" ~count:300 arb
+    (fun spec ->
+      match Models.spec_of_string (Models.spec_to_string spec) with
+      | Ok spec' -> spec' = spec
+      | Error _ -> false)
+
+let test_spec_of_string_errors () =
+  List.iter
+    (fun s ->
+      match Models.spec_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "junk model %S accepted" s))
+    [ ""; "bit-flip-16"; "random-value"; "random-value:1"; "random-value:2:1";
+      "random-value:0:1:x"; "random-value:0:1:2:3" ];
+  (* Decimal floats are accepted too (the CLI form). *)
+  match Models.spec_of_string "random-value:-10.5:10:7" with
+  | Ok { Models.model = Models.Random_value { lo; hi }; seed } ->
+      Alcotest.(check (float 0.)) "lo" (-10.5) lo;
+      Alcotest.(check (float 0.)) "hi" 10. hi;
+      Alcotest.(check int) "seed" 7 seed
+  | Ok _ | Error _ -> Alcotest.fail "decimal random-value form rejected"
+
+let test_spec_equal_semantics () =
+  let rv seed = { Models.model = Models.Random_value { lo = 0.; hi = 1. }; seed } in
+  Alcotest.(check bool) "discrete specs ignore seed" true
+    (Models.spec_equal
+       { Models.model = Models.Bit_flip_32; seed = 1 }
+       { Models.model = Models.Bit_flip_32; seed = 2 });
+  Alcotest.(check bool) "stochastic specs compare seeds" false
+    (Models.spec_equal (rv 1) (rv 2));
+  Alcotest.(check bool) "stochastic same seed equal" true (Models.spec_equal (rv 3) (rv 3))
+
 let test_custom_runner_injects () =
   (* run_outcome_custom with an always-+10 corruption at site 0 must be SDC
      on the linear program (gain 1, tolerance 0.5). *)
@@ -112,4 +244,12 @@ let suite =
       test_random_value_mostly_sdc_on_sensitive_program;
     Alcotest.test_case "compare models order" `Quick test_compare_models_order;
     Alcotest.test_case "custom runner injects" `Quick test_custom_runner_injects;
+    Helpers.qcheck_to_alcotest prop_bit_flip_involution;
+    Helpers.qcheck_to_alcotest prop_bit_flip32_involution;
+    Helpers.qcheck_to_alcotest prop_burst_is_two_flips;
+    Helpers.qcheck_to_alcotest prop_random_value_in_range;
+    Helpers.qcheck_to_alcotest prop_random_value_deterministic;
+    Helpers.qcheck_to_alcotest prop_spec_string_roundtrip;
+    Alcotest.test_case "spec codec rejects junk" `Quick test_spec_of_string_errors;
+    Alcotest.test_case "spec equality semantics" `Quick test_spec_equal_semantics;
   ]

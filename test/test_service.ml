@@ -183,6 +183,7 @@ let sample_info =
         mode = Job.Sample { fraction = 0.25; seed = 99 };
         shard_size = 128;
         fuel = Some 1000;
+        model = Ftb_inject.Models.default_spec;
         priority = 2;
       };
     status = Job.Failed "worker died";
