@@ -10,10 +10,18 @@
                      engine never changed, so baseline = serial
      serial          Ground_truth.run — compiled machine, one domain,
                      full re-execution
-     batched         Executor, one domain, prefix-snapshot bit batching
+     batched_nocone  Executor with cone replay disabled — one domain,
+                     prefix-snapshot bit batching, full suffix per case
+                     (yesterday's batched mode)
+     batched         Executor, one domain: prefix-snapshot batching plus
+                     dependent-cone replay where the per-site forward
+                     slice is exact (IR programs lowered through
+                     Pipeline.to_program; closure kernels have no cone,
+                     so batched = batched_nocone there)
      pooled          Parallel.ground_truth — N domains, work stealing,
                      full re-execution per case
      pooled+batched  Executor, N domains, work stealing + bit batching
+                     (+ cone replay where available)
 
    Every configuration's outcome bytes are asserted bit-identical to the
    serial engine before any number is reported — a fast wrong campaign is
@@ -90,12 +98,17 @@ let parse_options () =
    closure kernels' engine never changed, so they are their own baseline). *)
 let programs ~quick =
   let open Ftb_ir in
-  let ir name build = (name, Ir.to_program build, Ir.to_program_interpreted build) in
+  let ir name build =
+    (name, Pipeline.to_program build, Ir.to_program_interpreted build)
+  in
   let closure name p = (name, p, p) in
+  let module K = Ftb_kernels.Ir_kernels in
   if quick then
     [
       ir "ir.dot" (Programs.dot ~n:40 ~seed:11 ~tolerance:1e-9);
       ir "ir.stencil3" (Programs.stencil3 ~n:24 ~sweeps:3 ~seed:13 ~tolerance:1e-9);
+      ir "ir.gemm" (K.gemm ~n:6 ~block:3 ~seed:21 ~tolerance:1e-3);
+      ir "ir.matmul" (K.matmul ~n:6 ~seed:9 ~tolerance:1e-3);
       closure "stencil"
         (Ftb_kernels.Stencil.program
            { Ftb_kernels.Stencil.size = 5; sweeps = 3; seed = 3; tolerance = 1e-4 });
@@ -105,6 +118,13 @@ let programs ~quick =
       ir "ir.dot" (Programs.dot ~n:160 ~seed:11 ~tolerance:1e-9);
       ir "ir.stencil3" (Programs.stencil3 ~n:48 ~sweeps:8 ~seed:13 ~tolerance:1e-9);
       ir "ir.matvec" (Programs.matvec ~n:24 ~seed:14 ~tolerance:1e-9);
+      ir "ir.cg" (K.cg ~grid:6 ~iterations:8 ~tolerance:1e-4);
+      ir "ir.lu" (K.lu ~n:12 ~block:4 ~seed:7 ~tolerance:1e-4);
+      ir "ir.fft" (K.fft ~n1:8 ~n2:8 ~seed:11 ~tolerance:1.0);
+      ir "ir.jacobi" (K.jacobi ~grid:6 ~sweeps:10 ~tolerance:1e-4);
+      ir "ir.gemm" (K.gemm ~n:16 ~block:4 ~seed:21 ~tolerance:1e-3);
+      ir "ir.matmul" (K.matmul ~n:16 ~seed:9 ~tolerance:1e-3);
+      ir "ir.stencil" (K.stencil ~size:12 ~sweeps:6 ~seed:3 ~tolerance:1e-4);
       closure "stencil" (Ftb_kernels.Stencil.program Ftb_kernels.Stencil.default);
     ]
 
@@ -139,10 +159,18 @@ let bench_program ~opts (name, program, baseline_program) =
       exit 1
     end
   in
+  (* Force the memoized cone plan before timing: the one-time dataflow
+     analysis belongs to lowering, not to the first timed campaign. *)
+  let has_cone =
+    match golden.Golden.program.Ftb_trace.Program.cone with
+    | Some force -> force () <> None
+    | None -> false
+  in
   let modes =
     [
       ("baseline", fun () -> Ground_truth.run baseline_golden);
       ("serial", fun () -> Ground_truth.run golden);
+      ("batched_nocone", fun () -> Executor.ground_truth ~domains:1 ~cone:false golden);
       ("batched", fun () -> Executor.ground_truth ~domains:1 golden);
       ("pooled", fun () -> Parallel.ground_truth ~domains:opts.domains golden);
       ("pooled_batched", fun () -> Executor.ground_truth ~domains:opts.domains golden);
@@ -165,8 +193,11 @@ let bench_program ~opts (name, program, baseline_program) =
     (rate "batched" /. rate "baseline")
     (rate "pooled_batched" /. rate "baseline")
     (rate "pooled" /. rate "baseline");
+  if has_cone then
+    Printf.printf "  cone replay: %.2fx over full-suffix batching\n%!"
+      (rate "batched" /. rate "batched_nocone");
 
-  (name, Golden.sites golden, cases, resumable, results)
+  (name, Golden.sites golden, cases, resumable, has_cone, results)
 
 (* Persistence guard: the integrity-enveloped (CRC-32 checksummed)
    checkpoint stream must stay in the noise of campaign throughput.
@@ -382,6 +413,82 @@ let bench_models ~opts =
   in
   { mg_cases = cases; direct_s; dispatch_s; mg_overhead; mg_budget; model_rates }
 
+(* Cone guard: dependent-cone replay must never be slower than
+   full-suffix batching by more than 5%. The cone path replays a subset
+   of the suffix's instructions, so it should win by a wide margin — the
+   budget exists to catch a regression where the per-site dispatch (the
+   plan lookup, the per-site closure) starts costing more than the work
+   it skips, or where the analysis quietly rejects every site and the
+   "fast path" degenerates into fallback plus overhead. Interleaved
+   best-of-N, same protocol as the other guards. *)
+
+type cone_guard = {
+  cg_name : string;
+  cg_cases : int;
+  cone_s : float;
+  nocone_s : float;
+  cg_speedup : float;  (* nocone / cone — how much the cone wins *)
+  cg_budget : float;  (* max tolerated slowdown of cone vs full suffix *)
+}
+
+let bench_cone ~opts =
+  let module K = Ftb_kernels.Ir_kernels in
+  let name = "ir.gemm" in
+  let ir =
+    if opts.quick then K.gemm ~n:6 ~block:3 ~seed:21 ~tolerance:1e-3
+    else K.gemm ~n:16 ~block:4 ~seed:21 ~tolerance:1e-3
+  in
+  let program = Ftb_ir.Pipeline.to_program ir in
+  (match program.Ftb_trace.Program.cone with
+  | Some force -> ignore (force ())
+  | None ->
+      Printf.eprintf "FATAL: the cone guard kernel has no cone capability\n";
+      exit 1);
+  let golden = Golden.run program in
+  let cases = Golden.cases golden in
+  let reference = Executor.ground_truth ~domains:1 ~cone:false golden in
+  Printf.printf "cone guard: %s, %d cases, cone replay vs full-suffix batching\n%!" name
+    cases;
+  let reps = max opts.reps 5 in
+  let cone_s = ref infinity and nocone_s = ref infinity in
+  let timed best f =
+    let t0 = Unix.gettimeofday () in
+    let gt : Ground_truth.t = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    gt
+  in
+  let run_cone () = timed cone_s (fun () -> Executor.ground_truth ~domains:1 golden) in
+  let run_nocone () =
+    timed nocone_s (fun () -> Executor.ground_truth ~domains:1 ~cone:false golden)
+  in
+  for i = 1 to reps do
+    let first, second = if i land 1 = 1 then (run_cone, run_nocone) else (run_nocone, run_cone) in
+    ignore (first ());
+    ignore (second ())
+  done;
+  let check what (gt : Ground_truth.t) =
+    if not (Bytes.equal reference.Ground_truth.outcomes gt.Ground_truth.outcomes) then begin
+      Printf.eprintf "FATAL: %s outcomes differ on the cone guard\n" what;
+      exit 1
+    end
+  in
+  check "cone replay" (run_cone ());
+  check "full-suffix batching" (run_nocone ());
+  let cone_s = !cone_s and nocone_s = !nocone_s in
+  let cg_speedup = nocone_s /. cone_s in
+  let cg_budget = 0.05 in
+  Printf.printf "  cone %8.3f s vs full-suffix %8.3f s — %.2fx (slowdown budget %.0f%%)\n%!"
+    cone_s nocone_s cg_speedup (100. *. cg_budget);
+  if cone_s > nocone_s *. (1. +. cg_budget) then begin
+    Printf.eprintf
+      "FATAL: cone replay is %.2f%% slower than full-suffix batching (budget %.0f%%)\n"
+      (100. *. ((cone_s /. nocone_s) -. 1.))
+      (100. *. cg_budget);
+    exit 1
+  end;
+  { cg_name = name; cg_cases = cases; cone_s; nocone_s; cg_speedup; cg_budget }
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -392,7 +499,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~opts ~guard ~models rows =
+let write_json ~opts ~guard ~models ~cone rows =
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
@@ -429,14 +536,24 @@ let write_json ~opts ~guard ~models rows =
     models.model_rates;
   bpf "    ]\n";
   bpf "  },\n";
+  bpf "  \"cone_guard\": {\n";
+  bpf "    \"kernel\": \"%s\",\n" (json_escape cone.cg_name);
+  bpf "    \"cases\": %d,\n" cone.cg_cases;
+  bpf "    \"cone_seconds\": %.6f,\n" cone.cone_s;
+  bpf "    \"full_suffix_seconds\": %.6f,\n" cone.nocone_s;
+  bpf "    \"speedup\": %.3f,\n" cone.cg_speedup;
+  bpf "    \"slowdown_budget\": %.2f,\n" cone.cg_budget;
+  bpf "    \"within_budget\": true\n";
+  bpf "  },\n";
   bpf "  \"programs\": [\n";
   List.iteri
-    (fun i (name, sites, cases, resumable, results) ->
+    (fun i (name, sites, cases, resumable, has_cone, results) ->
       bpf "    {\n";
       bpf "      \"name\": \"%s\",\n" (json_escape name);
       bpf "      \"sites\": %d,\n" sites;
       bpf "      \"cases\": %d,\n" cases;
       bpf "      \"resumable\": %b,\n" resumable;
+      bpf "      \"cone\": %b,\n" has_cone;
       bpf "      \"modes\": {\n";
       List.iteri
         (fun j { mode; seconds; cases_per_sec } ->
@@ -451,6 +568,8 @@ let write_json ~opts ~guard ~models rows =
       bpf "      \"speedup_serial_vs_baseline\": %.3f,\n" (rate "serial" /. rate "baseline");
       bpf "      \"speedup_batched_vs_baseline\": %.3f,\n" (rate "batched" /. rate "baseline");
       bpf "      \"speedup_batched_vs_serial\": %.3f,\n" (rate "batched" /. rate "serial");
+      bpf "      \"speedup_cone_vs_full_suffix\": %.3f,\n"
+        (rate "batched" /. rate "batched_nocone");
       bpf "      \"speedup_pooled_vs_serial\": %.3f,\n" (rate "pooled" /. rate "serial");
       bpf "      \"speedup_pooled_batched_vs_baseline\": %.3f\n"
         (rate "pooled_batched" /. rate "baseline");
@@ -471,4 +590,5 @@ let () =
   let rows = List.map (bench_program ~opts) (programs ~quick:opts.quick) in
   let guard = bench_persistence ~opts in
   let models = bench_models ~opts in
-  write_json ~opts ~guard ~models rows
+  let cone = bench_cone ~opts in
+  write_json ~opts ~guard ~models ~cone rows

@@ -1007,13 +1007,88 @@ let cancel_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let ir_cmd =
+  let run () name dump pass_stats =
+    let ir =
+      match Ftb_kernels.Ir_kernels.find name with
+      | ir -> ir
+      | exception Invalid_argument msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+    in
+    let optimized, stats = Ftb_ir.Pipeline.optimize_with_report ir in
+    if pass_stats then begin
+      Printf.printf "%-8s %6s %6s %8s %6s %6s %8s\n" "pass" "stmts" "stmts'" "delta" "ops"
+        "ops'" "delta";
+      List.iter
+        (fun s ->
+          Printf.printf "%-8s %6d %6d %8d %6d %6d %8d\n" s.Ftb_ir.Pipeline.pass_name
+            s.Ftb_ir.Pipeline.stmts_before s.Ftb_ir.Pipeline.stmts_after
+            (s.Ftb_ir.Pipeline.stmts_after - s.Ftb_ir.Pipeline.stmts_before)
+            s.Ftb_ir.Pipeline.ops_before s.Ftb_ir.Pipeline.ops_after
+            (s.Ftb_ir.Pipeline.ops_after - s.Ftb_ir.Pipeline.ops_before))
+        stats;
+      Printf.printf "%-8s %6d %6d %8d %6d %6d %8d\n" "total"
+        (Ftb_ir.Passes.stmt_count ir)
+        (Ftb_ir.Passes.stmt_count optimized)
+        (Ftb_ir.Passes.stmt_count optimized - Ftb_ir.Passes.stmt_count ir)
+        (Ftb_ir.Passes.op_count ir)
+        (Ftb_ir.Passes.op_count optimized)
+        (Ftb_ir.Passes.op_count optimized - Ftb_ir.Passes.op_count ir)
+    end;
+    if dump || not pass_stats then begin
+      if pass_stats then print_newline ();
+      print_string (Ftb_ir.Ir.to_string optimized)
+    end
+  in
+  let kernel_arg =
+    let doc =
+      Printf.sprintf "IR kernel to inspect. One of: %s."
+        (String.concat ", " (List.map fst Ftb_kernels.Ir_kernels.suite))
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:
+            "Print the optimized IR listing (the program the batched campaign executor \
+             actually runs). This is the default when $(b,--pass-stats) is not given.")
+  in
+  let pass_stats_arg =
+    Arg.(
+      value & flag
+      & info [ "pass-stats" ]
+          ~doc:
+            "Print a per-pass table of static statement and expression-node counts \
+             before/after each optimization pass.")
+  in
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:"Inspect an IR kernel after the optimizing pipeline"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Builds the named kernel's IR at its campaign configuration, runs the \
+              optimizing pass pipeline with the structural validator between passes \
+              (exactly what the kernel suite does when lowering), and prints the \
+              result. The dynamic event stream — the fault-injection site space — is \
+              preserved bitwise by construction, so what this prints is \
+              site-for-site comparable with the unoptimized form.";
+         ])
+    Term.(const run $ logs_term $ kernel_arg $ dump_arg $ pass_stats_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let main_cmd =
   let doc = "fault tolerance boundary analysis (PPoPP'21 reproduction)" in
   Cmd.group (Cmd.info "ftb" ~version:"1.0.0" ~doc)
     [
       list_cmd; campaign_cmd; boundary_cmd; adaptive_cmd; protect_cmd; models_cmd;
-      propagation_cmd; report_cmd; serve_cmd; worker_cmd; submit_cmd; jobs_cmd;
-      watch_cmd; cancel_cmd;
+      propagation_cmd; report_cmd; ir_cmd; serve_cmd; worker_cmd; submit_cmd;
+      jobs_cmd; watch_cmd; cancel_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -20,11 +20,49 @@ let fallback_site ?fuel golden ~site buf ~pos =
     Bytes.set buf (pos + bit) (Ground_truth.case_byte ?fuel golden ((site * bits) + bit))
   done
 
-let site_into ?fuel golden ~site buf ~pos =
+(* Dependent-cone fast path. A program may carry a cone plan
+   ([Program.cone], built by [Ftb_ir.Pipeline.to_program]): per site, the
+   outcome is computed from the corrupted value and precomputed golden
+   dataflow alone — no prefix run, no suffix replay. The capability is
+   consulted only for unlimited-fuel campaigns (cone replay performs no
+   step bookkeeping, so fuel semantics require real replay) and only when
+   the plan covers exactly this golden run's site space; a site whose cone
+   is imprecise (feeds a float branch) or too large yields [None] and
+   takes the prefix-snapshot path below. Outcome bytes are bit-identical
+   either way — enforced by the differential tests and the @ir-smoke
+   gate. *)
+let cone_runner ?fuel ~cone golden ~site =
+  if not cone then None
+  else
+    match (fuel, golden.Golden.program.Program.cone) with
+    | Some _, _ | None, None -> None
+    | None, Some force -> (
+        match force () with
+        | Some plan when plan.Program.cone_sites = Golden.sites golden ->
+            plan.Program.cone_case ~site
+        | Some _ | None -> None)
+
+let byte_of_cone_run run corrupt =
+  match run corrupt with
+  | Program.Cone_masked -> '\000'
+  | Program.Cone_sdc -> '\001'
+  | Program.Cone_crash reason -> Ground_truth.crash_byte reason
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception _ ->
+      (* Containment, mirroring [Runner.outcome_of_run_contained]. *)
+      Ground_truth.crash_byte Ctx.Exception_raised
+
+let site_into ?fuel ?(cone = true) golden ~site buf ~pos =
   if site < 0 || site >= Golden.sites golden then
     invalid_arg "Executor.site_into: site out of range";
   if pos < 0 || pos + bits > Bytes.length buf then
     invalid_arg "Executor.site_into: buffer too small";
+  match cone_runner ?fuel ~cone golden ~site with
+  | Some run ->
+      for bit = 0 to bits - 1 do
+        Bytes.set buf (pos + bit) (byte_of_cone_run run (Ftb_util.Bits.flip ~bit))
+      done
+  | None -> (
   match golden.Golden.program.Program.resumable with
   | None -> fallback_site ?fuel golden ~site buf ~pos
   | Some resumable -> (
@@ -54,9 +92,9 @@ let site_into ?fuel golden ~site buf ~pos =
             let ctx = Ctx.resume_outcome snap ~fault in
             let result = Runner.outcome_of_run_contained golden fault ctx resume in
             Bytes.set buf (pos + bit) (Ground_truth.byte_of_result result)
-          done)
+          done))
 
-let range_into ?fuel golden ~lo ~hi buf ~off =
+let range_into ?fuel ?cone golden ~lo ~hi buf ~off =
   if lo < 0 || hi < lo || hi > Golden.cases golden then
     invalid_arg "Executor.range_into: case range out of bounds";
   if off < 0 || off + (hi - lo) > Bytes.length buf then
@@ -77,7 +115,7 @@ let range_into ?fuel golden ~lo ~hi buf ~off =
       per_case case
     done;
     for site = first_whole / bits to (last_whole / bits) - 1 do
-      site_into ?fuel golden ~site buf ~pos:(off + (site * bits) - lo)
+      site_into ?fuel ?cone golden ~site buf ~pos:(off + (site * bits) - lo)
     done;
     for case = last_whole to hi - 1 do
       per_case case
@@ -99,15 +137,29 @@ let fallback_site_model ?fuel spec golden ~site ~width buf ~pos =
       (Ground_truth.case_byte_model ?fuel spec golden ((site * width) + case))
   done
 
-let site_into_model ?fuel (spec : Models.spec) golden ~site buf ~pos =
+let site_into_model ?fuel ?(cone = true) (spec : Models.spec) golden ~site buf ~pos =
   match spec.Models.model with
-  | Models.Bit_flip_64 -> site_into ?fuel golden ~site buf ~pos
+  | Models.Bit_flip_64 -> site_into ?fuel ~cone golden ~site buf ~pos
   | model -> (
       let width = Models.spec_width spec in
       if site < 0 || site >= Golden.sites golden then
         invalid_arg "Executor.site_into_model: site out of range";
       if pos < 0 || pos + width > Bytes.length buf then
         invalid_arg "Executor.site_into_model: buffer too small";
+      (* Any discrete model's corruption is a pure function of the golden
+         value, so the cone fast path generalizes exactly as the
+         prefix-snapshot path did. Stochastic models stay per-case. *)
+      match
+        if Models.is_stochastic model then None
+        else cone_runner ?fuel ~cone golden ~site
+      with
+      | Some run ->
+          for case = 0 to width - 1 do
+            let dense = (site * width) + case in
+            Bytes.set buf (pos + case)
+              (byte_of_cone_run run (Models.case_corrupt spec ~case:dense))
+          done
+      | None -> (
       let batchable =
         if Models.is_stochastic model then None
         else golden.Golden.program.Program.resumable
@@ -135,11 +187,11 @@ let site_into_model ?fuel (spec : Models.spec) golden ~site buf ~pos =
                 in
                 let result = Runner.outcome_of_run_contained golden fault ctx resume in
                 Bytes.set buf (pos + case) (Ground_truth.byte_of_result result)
-              done))
+              done)))
 
-let range_into_model ?fuel (spec : Models.spec) golden ~lo ~hi buf ~off =
+let range_into_model ?fuel ?cone (spec : Models.spec) golden ~lo ~hi buf ~off =
   match spec.Models.model with
-  | Models.Bit_flip_64 -> range_into ?fuel golden ~lo ~hi buf ~off
+  | Models.Bit_flip_64 -> range_into ?fuel ?cone golden ~lo ~hi buf ~off
   | _ ->
       let width = Models.spec_width spec in
       let total = Models.total_cases spec ~sites:(Golden.sites golden) in
@@ -161,14 +213,14 @@ let range_into_model ?fuel (spec : Models.spec) golden ~lo ~hi buf ~off =
           per_case case
         done;
         for site = first_whole / width to (last_whole / width) - 1 do
-          site_into_model ?fuel spec golden ~site buf ~pos:(off + (site * width) - lo)
+          site_into_model ?fuel ?cone spec golden ~site buf ~pos:(off + (site * width) - lo)
         done;
         for case = last_whole to hi - 1 do
           per_case case
         done
       end
 
-let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
+let ground_truth ?pool ?domains ?fuel ?cone ?(batched = true) golden =
   let want =
     match domains with Some d -> d | None -> Parallel.default_domains ()
   in
@@ -176,7 +228,7 @@ let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
   let total = Golden.cases golden in
   let outcomes = Bytes.create total in
   let serial () =
-    if batched then range_into ?fuel golden ~lo:0 ~hi:total outcomes ~off:0
+    if batched then range_into ?fuel ?cone golden ~lo:0 ~hi:total outcomes ~off:0
     else
       for case = 0 to total - 1 do
         Bytes.set outcomes case (Ground_truth.case_byte ?fuel golden case)
@@ -197,7 +249,7 @@ let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
        Parallel.Pool.run pool ~participants ~chunk:1 ~total:(Golden.sites golden)
          (fun lo hi ->
            for site = lo to hi - 1 do
-             site_into ?fuel golden ~site outcomes ~pos:(site * bits)
+             site_into ?fuel ?cone golden ~site outcomes ~pos:(site * bits)
            done)
      else
        Parallel.Pool.run pool ~participants ~total (fun lo hi ->
@@ -207,10 +259,10 @@ let ground_truth ?pool ?domains ?fuel ?(batched = true) golden =
    end);
   Ground_truth.of_outcomes golden outcomes
 
-let ground_truth_model ?pool ?domains ?fuel ?(batched = true) (spec : Models.spec) golden
-    =
+let ground_truth_model ?pool ?domains ?fuel ?cone ?(batched = true) (spec : Models.spec)
+    golden =
   match spec.Models.model with
-  | Models.Bit_flip_64 -> ground_truth ?pool ?domains ?fuel ~batched golden
+  | Models.Bit_flip_64 -> ground_truth ?pool ?domains ?fuel ?cone ~batched golden
   | _ ->
       let want =
         match domains with Some d -> d | None -> Parallel.default_domains ()
@@ -220,7 +272,8 @@ let ground_truth_model ?pool ?domains ?fuel ?(batched = true) (spec : Models.spe
       let total = Models.total_cases spec ~sites:(Golden.sites golden) in
       let outcomes = Bytes.create total in
       let serial () =
-        if batched then range_into_model ?fuel spec golden ~lo:0 ~hi:total outcomes ~off:0
+        if batched then
+          range_into_model ?fuel ?cone spec golden ~lo:0 ~hi:total outcomes ~off:0
         else
           for case = 0 to total - 1 do
             Bytes.set outcomes case (Ground_truth.case_byte_model ?fuel spec golden case)
@@ -238,7 +291,8 @@ let ground_truth_model ?pool ?domains ?fuel ?(batched = true) (spec : Models.spe
            Parallel.Pool.run pool ~participants ~chunk:1 ~total:(Golden.sites golden)
              (fun lo hi ->
                for site = lo to hi - 1 do
-                 site_into_model ?fuel spec golden ~site outcomes ~pos:(site * width)
+                 site_into_model ?fuel ?cone spec golden ~site outcomes
+                   ~pos:(site * width)
                done)
          else
            Parallel.Pool.run pool ~participants ~total (fun lo hi ->

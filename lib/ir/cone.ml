@@ -1,0 +1,387 @@
+module Ctx = Ftb_trace.Ctx
+module Program = Ftb_trace.Program
+
+(* Dependent-cone replay: the site-suffix specializer.
+
+   The batched executor already shares a site's injection-free prefix
+   across its cases; this analysis removes the *suffix* replay too. One
+   instrumented-free analysis run over the structured IR records, for
+   every float-producing execution step (an "event": a recorded Fassign or
+   Store, or a scratch Flet), which earlier events produced the values it
+   reads, the golden values it read, and the golden value it produced.
+   That is a complete dataflow graph of the golden execution.
+
+   Corrupting site k can then only change the events reachable from k's
+   event through producer->consumer edges — the dependent cone (forward
+   slice). Everything outside the cone recomputes its golden value
+   bit-identically, so a case's outcome is a pure function of the
+   corrupted seed value and the cone: recompute cone events in execution
+   order against a mix of recomputed (in-cone) and golden (out-of-cone)
+   operands, re-evaluate the guards the cone feeds, and measure the L∞
+   deviation of the output elements whose final writers sit in the cone.
+   No prefix run, no suffix replay, no output-array copy.
+
+   The specialization is exact only while the corrupted run follows the
+   golden control-flow path. Integer state is untaintable by construction
+   (fexpr and iexpr are disjoint), so loops cannot diverge; [Fcmp]
+   branches can. A cone that feeds any float branch condition is
+   therefore rejected ([cone_case] returns [None]) and the executor falls
+   back to prefix-snapshot replay, as it does for oversized cones (no win
+   over suffix replay) and for sites past the plan's horizon. Guards are
+   *not* a rejection reason: a tainted guard is re-evaluated in execution
+   order, and the first non-finite value reproduces the full run's crash
+   reason exactly — mirroring [Ctx.guard_finite] (NaN before Inf) and
+   [Runner.classify] (NaN anywhere in the output dominates, saturated
+   finite differences count as Inf). *)
+
+type fnode = { eval_flat : float array -> float; n_leaves : int }
+
+(* Compile an fexpr against a flat buffer of leaf values: leaf k (in
+   left-to-right evaluation order) reads [vals.(k)]. The arithmetic is the
+   same IEEE operation sequence as the interpreter's, so results are
+   bit-identical given bit-identical operands. *)
+let compile_flat e =
+  let n = ref 0 in
+  let rec go e =
+    match e with
+    | Ir.Fconst v -> fun (_ : float array) -> v
+    | Ir.Freg _ | Ir.Fload _ ->
+        let k = !n in
+        incr n;
+        fun vals -> vals.(k)
+    | Ir.Fadd (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        fun v -> ca v +. cb v
+    | Ir.Fsub (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        fun v -> ca v -. cb v
+    | Ir.Fmul (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        fun v -> ca v *. cb v
+    | Ir.Fdiv (a, b) ->
+        let ca = go a in
+        let cb = go b in
+        fun v -> ca v /. cb v
+    | Ir.Fneg a ->
+        let ca = go a in
+        fun v -> -.ca v
+    | Ir.Fabs a ->
+        let ca = go a in
+        fun v -> abs_float (ca v)
+    | Ir.Fsqrt a ->
+        let ca = go a in
+        fun v -> sqrt (ca v)
+  in
+  let eval = go e in
+  { eval_flat = eval; n_leaves = !n }
+
+(* Body pre-compiled once: every float expression carries its fnode so the
+   analysis walk does not recompile per dynamic execution. *)
+type cstmt =
+  | CReg of int * Ir.fexpr * fnode * bool  (* reg, expr, node, recorded *)
+  | CStore of int * Ir.iexpr * Ir.fexpr * fnode
+  | CIassign of int * Ir.iexpr
+  | CFor of int * Ir.iexpr * Ir.iexpr * cstmt list
+  | CIfF of [ `Lt | `Le | `Gt | `Ge ] * Ir.fexpr * Ir.fexpr * cstmt list * cstmt list
+  | CIfI of [ `Lt | `Le | `Eq | `Ne ] * Ir.iexpr * Ir.iexpr * cstmt list * cstmt list
+  | CGuard of Ir.fexpr * fnode * string
+
+let rec compile_stmt = function
+  | Ir.Fassign (r, e, _) -> CReg ((r :> int), e, compile_flat e, true)
+  | Ir.Flet (r, e) -> CReg ((r :> int), e, compile_flat e, false)
+  | Ir.Store (a, i, e, _) -> CStore ((a :> int), i, e, compile_flat e)
+  | Ir.Iassign (r, e) -> CIassign ((r :> int), e)
+  | Ir.For (r, lo, hi, b) -> CFor ((r :> int), lo, hi, List.map compile_stmt b)
+  | Ir.If (Ir.Fcmp (op, a, b), yes, no) ->
+      CIfF (op, a, b, List.map compile_stmt yes, List.map compile_stmt no)
+  | Ir.If (Ir.Icmp (op, a, b), yes, no) ->
+      CIfI (op, a, b, List.map compile_stmt yes, List.map compile_stmt no)
+  | Ir.Guard (e, w) -> CGuard (e, compile_flat e, w)
+
+type ev = {
+  node : fnode;
+  reads : int array;  (* per leaf: producer event id, -1 = initial data *)
+  read_vals : float array;  (* per leaf: golden value *)
+  golden : float;
+  mutable out_elem : int;  (* output element this event finally writes, -1 *)
+}
+
+type guard_rec = {
+  g_node : fnode;
+  g_reads : int array;
+  g_read_vals : float array;
+}
+
+type walk = {
+  mutable rev_events : ev list;
+  mutable n_events : int;
+  mutable edges : (int * int) list;  (* producer event -> consumer event *)
+  mutable rev_guards : guard_rec list;
+  mutable n_guards : int;
+  mutable g_edges : (int * int) list;  (* producer event -> guard index *)
+  mutable branch_feeders : int list;
+  mutable rev_sites : int list;
+  fregs : float array;
+  freg_prod : int array;
+  iregs : int array;
+  arrays : float array array;
+  elem_prod : int array array;
+}
+
+let rec eval_i w = function
+  | Ir.Iconst n -> n
+  | Ir.Ireg r -> w.iregs.((r :> int))
+  | Ir.Iadd (a, b) -> eval_i w a + eval_i w b
+  | Ir.Isub (a, b) -> eval_i w a - eval_i w b
+  | Ir.Imul (a, b) -> eval_i w a * eval_i w b
+
+(* Evaluate an fexpr, capturing per leaf (left-to-right, matching
+   [compile_flat]'s numbering) the producer event and golden value. *)
+let eval_obs w e =
+  let leaves = ref [] in
+  let rec go = function
+    | Ir.Fconst v -> v
+    | Ir.Freg r ->
+        let ri = (r :> int) in
+        let v = w.fregs.(ri) in
+        leaves := (w.freg_prod.(ri), v) :: !leaves;
+        v
+    | Ir.Fload (a, ie) ->
+        let ai = (a :> int) in
+        let i = eval_i w ie in
+        let v = w.arrays.(ai).(i) in
+        leaves := (w.elem_prod.(ai).(i), v) :: !leaves;
+        v
+    | Ir.Fadd (a, b) ->
+        let x = go a in
+        let y = go b in
+        x +. y
+    | Ir.Fsub (a, b) ->
+        let x = go a in
+        let y = go b in
+        x -. y
+    | Ir.Fmul (a, b) ->
+        let x = go a in
+        let y = go b in
+        x *. y
+    | Ir.Fdiv (a, b) ->
+        let x = go a in
+        let y = go b in
+        x /. y
+    | Ir.Fneg a -> -.go a
+    | Ir.Fabs a -> abs_float (go a)
+    | Ir.Fsqrt a -> sqrt (go a)
+  in
+  let v = go e in
+  let l = List.rev !leaves in
+  (v, Array.of_list (List.map fst l), Array.of_list (List.map snd l))
+
+let push_event w node reads read_vals golden =
+  let id = w.n_events in
+  w.rev_events <- { node; reads; read_vals; golden; out_elem = -1 } :: w.rev_events;
+  w.n_events <- id + 1;
+  Array.iter (fun p -> if p >= 0 then w.edges <- (p, id) :: w.edges) reads;
+  id
+
+let rec exec_c w s =
+  match s with
+  | CReg (r, e, node, recorded) ->
+      let v, reads, read_vals = eval_obs w e in
+      let id = push_event w node reads read_vals v in
+      w.fregs.(r) <- v;
+      w.freg_prod.(r) <- id;
+      if recorded then w.rev_sites <- id :: w.rev_sites
+  | CStore (a, ie, e, node) ->
+      let i = eval_i w ie in
+      let v, reads, read_vals = eval_obs w e in
+      let id = push_event w node reads read_vals v in
+      w.arrays.(a).(i) <- v;
+      w.elem_prod.(a).(i) <- id;
+      w.rev_sites <- id :: w.rev_sites
+  | CIassign (r, e) -> w.iregs.(r) <- eval_i w e
+  | CFor (r, lo, hi, body) ->
+      let lo = eval_i w lo and hi = eval_i w hi in
+      for i = lo to hi - 1 do
+        w.iregs.(r) <- i;
+        List.iter (exec_c w) body
+      done
+  | CIfF (op, a, b, yes, no) ->
+      let x, reads_a, _ = eval_obs w a in
+      let y, reads_b, _ = eval_obs w b in
+      let mark reads =
+        Array.iter (fun p -> if p >= 0 then w.branch_feeders <- p :: w.branch_feeders) reads
+      in
+      mark reads_a;
+      mark reads_b;
+      let taken = match op with `Lt -> x < y | `Le -> x <= y | `Gt -> x > y | `Ge -> x >= y in
+      List.iter (exec_c w) (if taken then yes else no)
+  | CIfI (op, a, b, yes, no) ->
+      let x = eval_i w a and y = eval_i w b in
+      let taken = match op with `Lt -> x < y | `Le -> x <= y | `Eq -> x = y | `Ne -> x <> y in
+      List.iter (exec_c w) (if taken then yes else no)
+  | CGuard (e, node, _what) ->
+      let _v, reads, read_vals = eval_obs w e in
+      let gid = w.n_guards in
+      w.rev_guards <- { g_node = node; g_reads = reads; g_read_vals = read_vals } :: w.rev_guards;
+      w.n_guards <- gid + 1;
+      Array.iter (fun p -> if p >= 0 then w.g_edges <- (p, gid) :: w.g_edges) reads
+
+(* Bucket an edge list into CSR adjacency. *)
+let csr ~rows edges =
+  let deg = Array.make (rows + 1) 0 in
+  List.iter (fun (p, _) -> deg.(p + 1) <- deg.(p + 1) + 1) edges;
+  for i = 1 to rows do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  let fill = Array.copy deg in
+  let cols = Array.make (List.length edges) 0 in
+  List.iter
+    (fun (p, c) ->
+      cols.(fill.(p)) <- c;
+      fill.(p) <- fill.(p) + 1)
+    edges;
+  (deg, cols)
+
+let plan (t : Ir.t) : Program.cone_plan =
+  let body = Ir.body t in
+  let output = (Ir.output_id t :> int) in
+  let tolerance = Ir.tolerance t in
+  let arrays =
+    Array.of_list (List.map (fun (_, init) -> Array.copy init) (Ir.arrays t))
+  in
+  let w =
+    {
+      rev_events = [];
+      n_events = 0;
+      edges = [];
+      rev_guards = [];
+      n_guards = 0;
+      g_edges = [];
+      branch_feeders = [];
+      rev_sites = [];
+      fregs = Array.make (max 1 (Ir.n_fregs t)) 0.;
+      freg_prod = Array.make (max 1 (Ir.n_fregs t)) (-1);
+      iregs = Array.make (max 1 (Ir.n_iregs t)) 0;
+      arrays;
+      elem_prod = Array.map (fun a -> Array.make (Array.length a) (-1)) arrays;
+    }
+  in
+  List.iter (exec_c w) (List.map compile_stmt body);
+  let events = Array.of_list (List.rev w.rev_events) in
+  let n = w.n_events in
+  Array.iteri (fun j p -> if p >= 0 then events.(p).out_elem <- j) w.elem_prod.(output);
+  let row_ptr, consumers = csr ~rows:n w.edges in
+  let g_row_ptr, g_consumers = csr ~rows:n w.g_edges in
+  let feeds_branch = Array.make (max 1 n) false in
+  List.iter (fun p -> feeds_branch.(p) <- true) w.branch_feeders;
+  let site_events = Array.of_list (List.rev w.rev_sites) in
+  let guards = Array.of_list (List.rev w.rev_guards) in
+  let n_guards = Array.length guards in
+  let max_leaves =
+    let m = Array.fold_left (fun m ev -> max m ev.node.n_leaves) 1 events in
+    Array.fold_left (fun m g -> max m g.g_node.n_leaves) m guards
+  in
+  let cone_case ~site =
+    if site < 0 || site >= Array.length site_events then None
+    else begin
+      let seed = site_events.(site) in
+      (* Below this, cone replay cannot beat suffix replay; fall back. *)
+      let limit = max 32 ((n - seed) / 2) in
+      let in_cone = Array.make n false in
+      let rec grow acc count stack =
+        match stack with
+        | [] -> Some (acc, count)
+        | e :: rest ->
+            if in_cone.(e) then grow acc count rest
+            else if feeds_branch.(e) || count >= limit then None
+            else begin
+              in_cone.(e) <- true;
+              let stack = ref rest in
+              for k = row_ptr.(e) to row_ptr.(e + 1) - 1 do
+                let c = consumers.(k) in
+                if not in_cone.(c) then stack := c :: !stack
+              done;
+              grow (e :: acc) (count + 1) !stack
+            end
+      in
+      match grow [] 0 [ seed ] with
+      | None -> None
+      | Some (members, _count) ->
+          let members = Array.of_list members in
+          Array.sort compare members;
+          let tainted_guards =
+            if n_guards = 0 then [||]
+            else begin
+              let mark = Array.make n_guards false in
+              Array.iter
+                (fun e ->
+                  for k = g_row_ptr.(e) to g_row_ptr.(e + 1) - 1 do
+                    mark.(g_consumers.(k)) <- true
+                  done)
+                members;
+              let out = ref [] in
+              for gi = n_guards - 1 downto 0 do
+                if mark.(gi) then out := gi :: !out
+              done;
+              Array.of_list !out
+            end
+          in
+          (* Scratch shared by all cases of this site (single-threaded). *)
+          let value = Array.make n 0. in
+          let buf = Array.make max_leaves 0. in
+          let fill_buf node reads read_vals =
+            for k = 0 to node.n_leaves - 1 do
+              let p = reads.(k) in
+              buf.(k) <- (if p >= 0 && in_cone.(p) then value.(p) else read_vals.(k))
+            done
+          in
+          Some
+            (fun corrupt ->
+              value.(seed) <- corrupt events.(seed).golden;
+              Array.iter
+                (fun e ->
+                  if e <> seed then begin
+                    let ev = events.(e) in
+                    fill_buf ev.node ev.reads ev.read_vals;
+                    value.(e) <- ev.node.eval_flat buf
+                  end)
+                members;
+              let crash = ref None in
+              (try
+                 Array.iter
+                   (fun gi ->
+                     let g = guards.(gi) in
+                     fill_buf g.g_node g.g_reads g.g_read_vals;
+                     let v = g.g_node.eval_flat buf in
+                     if not (Ftb_util.Bits.is_finite v) then begin
+                       crash :=
+                         Some (if Float.is_nan v then Ctx.Nan_value else Ctx.Inf_value);
+                       raise Exit
+                     end)
+                   tainted_guards
+               with Exit -> ());
+              match !crash with
+              | Some reason -> Program.Cone_crash reason
+              | None ->
+                  let err = ref 0. and nan_seen = ref false in
+                  Array.iter
+                    (fun e ->
+                      let ev = events.(e) in
+                      if ev.out_elem >= 0 then begin
+                        let v = value.(e) in
+                        if Float.is_nan v then nan_seen := true;
+                        let d = abs_float (v -. ev.golden) in
+                        let d = if Float.is_nan d then infinity else d in
+                        if d > !err then err := d
+                      end)
+                    members;
+                  if !err = infinity then
+                    Program.Cone_crash (if !nan_seen then Ctx.Nan_value else Ctx.Inf_value)
+                  else if !err <= tolerance then Program.Cone_masked
+                  else Program.Cone_sdc)
+    end
+  in
+  { Program.cone_sites = Array.length site_events; cone_case }

@@ -1,0 +1,25 @@
+(** Dependent-cone replay: the site-suffix specializer.
+
+    One uninstrumented analysis run over the structured IR records the
+    complete dataflow graph of the golden execution: per float-producing
+    step (recorded [Fassign]/[Store], scratch [Flet]) the producers and
+    golden values of its operands and the golden value it produced. An
+    injection at site [k] can then be classified by recomputing only the
+    forward slice (dependent cone) of [k]'s event against precomputed
+    golden operands — no prefix run, no suffix replay, no output copy.
+
+    Exactness relies on the corrupted run following the golden control
+    path: integer state is untaintable (fexpr/iexpr are disjoint), so a
+    plan only declines ([cone_case ~site] = [None]) when the cone feeds a
+    float [Fcmp] branch, when the cone is too large to beat suffix
+    replay, or for out-of-range sites. Tainted guards are re-evaluated in
+    execution order and reproduce the full run's crash reason exactly.
+    Outcomes are bit-identical to full replay by construction; the
+    differential tests in [test/test_cone.ml] enforce this per fault
+    model. *)
+
+val plan : Ir.t -> Ftb_trace.Program.cone_plan
+(** Run the analysis (one golden-equivalent execution of the body) and
+    build the plan. Raises (like the interpreter would) on invalid
+    programs; callers that attach the capability wrap the call and treat
+    failure as "no plan" ({!Pipeline.to_program} does). *)

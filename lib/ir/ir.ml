@@ -26,6 +26,7 @@ type cond =
 type stmt =
   | Fassign of freg * fexpr * string
   | Store of array_id * iexpr * fexpr * string
+  | Flet of freg * fexpr
   | Iassign of ireg * iexpr
   | For of ireg * iexpr * iexpr * stmt list
   | If of cond * stmt list * stmt list
@@ -138,6 +139,9 @@ let rec exec env stmt =
       if i < 0 || i >= Array.length arr then
         raise (Ir_error (Printf.sprintf "store out of bounds: index %d of array length %d" i (Array.length arr)));
       arr.(i) <- env.record label (eval_f env fe)
+  | Flet (r, e) ->
+      env.fregs.(r) <- eval_f env e;
+      env.freg_set.(r) <- true
   | Iassign (r, e) ->
       env.iregs.(r) <- eval_i env e;
       env.ireg_set.(r) <- true
@@ -302,6 +306,7 @@ let compile_machine (t : t) tags =
           (emit
              (M.Record_store
                 { array_id = a; index; eval = compile_f fe; tag = Hashtbl.find tags label }))
+    | Flet (r, e) -> ignore (emit (M.Assign_float { reg = r; eval = compile_f e }))
     | Iassign (r, e) -> ignore (emit (M.Assign_int { reg = r; eval = compile_i e }))
     | Guard (e, what) -> ignore (emit (M.Guard { eval = compile_f e; what }))
     | For (r, lo, hi, loop_body) ->
@@ -341,7 +346,7 @@ let to_program t =
   let rec collect stmt =
     match stmt with
     | Fassign (_, _, label) | Store (_, _, _, label) -> register label
-    | Iassign _ | Guard _ -> ()
+    | Flet _ | Iassign _ | Guard _ -> ()
     | For (_, _, _, stmts) -> List.iter collect stmts
     | If (_, a, b) ->
         List.iter collect a;
@@ -374,7 +379,7 @@ let to_program_interpreted t =
   let rec collect stmt =
     match stmt with
     | Fassign (_, _, label) | Store (_, _, _, label) -> register label
-    | Iassign _ | Guard _ -> ()
+    | Flet _ | Iassign _ | Guard _ -> ()
     | For (_, _, _, stmts) -> List.iter collect stmts
     | If (_, a, b) ->
         List.iter collect a;
@@ -408,7 +413,7 @@ let to_machine t =
       let rec collect stmt =
         match stmt with
         | Fassign (_, _, label) | Store (_, _, _, label) -> register label
-        | Iassign _ | Guard _ -> ()
+        | Flet _ | Iassign _ | Guard _ -> ()
         | For (_, _, _, stmts) -> List.iter collect stmts
         | If (_, a, b) ->
             List.iter collect a;
@@ -461,6 +466,7 @@ let rec pp_stmt t ~indent ppf stmt =
   | Store (a, i, e, label) ->
       Format.fprintf ppf "%s%s[%a] = %a        ; %s@." pad (array_name t a) pp_iexpr i
         (pp_fexpr t) e label
+  | Flet (r, e) -> Format.fprintf ppf "%sf%d := %a@." pad r (pp_fexpr t) e
   | Iassign (r, e) -> Format.fprintf ppf "%si%d = %a@." pad r pp_iexpr e
   | For (r, lo, hi, body) ->
       Format.fprintf ppf "%sfor i%d = %a to %a - 1 {@." pad r pp_iexpr lo pp_iexpr hi;
@@ -553,6 +559,9 @@ let validate (t : t) =
             check_const_index a i label;
             check_reads label (fdef, idef) (fexpr_reads label (iexpr_reads [] i) e);
             (fdef, idef)
+        | Flet (r, e) ->
+            check_reads "flet" (fdef, idef) (fexpr_reads "flet" [] e);
+            (Iset.add r fdef, idef)
         | Iassign (r, e) ->
             check_reads "iassign" (fdef, idef) (iexpr_reads [] e);
             (fdef, Iset.add r idef)
@@ -582,3 +591,42 @@ let validate (t : t) =
   | Some body -> ignore (flow (Iset.empty, Iset.empty) body)
   | None -> ());
   match List.rev !problems with [] -> Ok () | list -> Error list
+
+(* ------------------------------------------------------------------ *)
+(* Introspection: the optimizer (Passes / Pipeline) and the cone
+   analysis (Cone) live in sibling modules and manipulate the body as a
+   value. *)
+
+let name (t : t) = t.name
+let tolerance (t : t) = t.tolerance
+let n_fregs (t : t) = t.next_freg
+let n_iregs (t : t) = t.next_ireg
+let body t = fst (check_complete t)
+let output_id t = snd (check_complete t)
+let arrays (t : t) = List.rev t.arrays
+
+let with_body (t : t) body =
+  {
+    name = t.name;
+    tolerance = t.tolerance;
+    next_freg = t.next_freg;
+    next_ireg = t.next_ireg;
+    arrays = t.arrays;
+    output = t.output;
+    body = Some body;
+  }
+
+let event_stream t =
+  let body, _output = check_complete t in
+  let events = ref [] in
+  let env =
+    make_env t
+      ~record:(fun label v ->
+        events := (label, v) :: !events;
+        v)
+      ~guard:(fun what v ->
+        events := ("guard:" ^ what, v) :: !events;
+        v)
+  in
+  List.iter (exec env) body;
+  List.rev !events

@@ -53,6 +53,11 @@ type cond =
 type stmt =
   | Fassign of freg * fexpr * string  (** recorded dynamic instruction *)
   | Store of array_id * iexpr * fexpr * string  (** recorded dynamic instruction *)
+  | Flet of freg * fexpr
+      (** float scratch assignment — {e not} a dynamic instruction, so it is
+          never an injection site. The optimizer introduces these for
+          hoisted/shared subexpressions; kernels may also use them for
+          temporaries that the paper's fault model would not cover. *)
   | Iassign of ireg * iexpr
   | For of ireg * iexpr * iexpr * stmt list
       (** [For (i, lo, hi, body)]: i = lo, lo+1, ..., hi-1 *)
@@ -126,6 +131,42 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** [Format.asprintf "%a" pp]. *)
+
+(** {1 Introspection}
+
+    The optimizer ({!Passes}, {!Pipeline}) and the dependent-cone analysis
+    ({!Cone}) treat a program as a value: read the body, rewrite it, build
+    a structurally-shared copy. *)
+
+val name : t -> string
+val tolerance : t -> float
+
+val n_fregs : t -> int
+(** Number of float registers allocated so far (fresh ids are [>= n_fregs]). *)
+
+val n_iregs : t -> int
+
+val body : t -> stmt list
+(** The attached body. Raises [Invalid_argument] when none is set. *)
+
+val output_id : t -> array_id
+(** The designated output array. Raises [Invalid_argument] when unset. *)
+
+val arrays : t -> (string * float array) list
+(** Declared arrays in declaration order; position is the [array_id]. The
+    initial contents are the live backing store — treat as read-only. *)
+
+val with_body : t -> stmt list -> t
+(** Functional copy with a new body. Register allocation on the copy (for
+    optimizer temporaries) does not disturb the original. *)
+
+val event_stream : t -> (string * float) list
+(** Run the structured interpreter uninstrumented and return the dynamic
+    event stream in execution order: [(label, value)] per recorded
+    instruction and [("guard:" ^ what, value)] per guard evaluation. The
+    stream {e is} the injection-site space, so an optimization pass is
+    legal iff it preserves this list with bitwise-equal floats — the
+    {!Pipeline} validator compares exactly this. *)
 
 val validate : t -> (unit, string list) Result.t
 (** Static checks, each reported as a human-readable message:

@@ -35,6 +35,8 @@ type instr =
       tag : int;
     }  (** [Store]: one dynamic instruction *)
   | Assign_int of { reg : int; eval : state -> int }
+  | Assign_float of { reg : int; eval : state -> float }
+      (** [Flet]: float scratch assignment, not a dynamic instruction *)
   | Guard of { eval : state -> float; what : string }
   | Jump of int
   | Branch_false of { cond : state -> bool; target : int }
@@ -103,6 +105,10 @@ let step m st ctx =
       st.iregs.(reg) <- eval st;
       st.ireg_set.(reg) <- true;
       st.pc <- st.pc + 1
+  | Assign_float { reg; eval } ->
+      st.fregs.(reg) <- eval st;
+      st.freg_set.(reg) <- true;
+      st.pc <- st.pc + 1
   | Guard { eval; what } ->
       ignore (Ctx.guard_finite ctx what (eval st));
       st.pc <- st.pc + 1
@@ -141,8 +147,8 @@ let exec m ctx = finish m (fresh_state m) ctx
 
 let is_record = function
   | Record_reg _ | Record_store _ -> true
-  | Assign_int _ | Guard _ | Jump _ | Branch_false _ | Loop_init _ | Loop_head _
-  | Loop_next _ ->
+  | Assign_int _ | Assign_float _ | Guard _ | Jump _ | Branch_false _ | Loop_init _
+  | Loop_head _ | Loop_next _ ->
       false
 
 let prefix m ctx ~stop_at =

@@ -43,6 +43,7 @@ type instr =
       tag : int;
     }
   | Assign_int of { reg : int; eval : state -> int }
+  | Assign_float of { reg : int; eval : state -> float }
   | Guard of { eval : state -> float; what : string }
   | Jump of int
   | Branch_false of { cond : state -> bool; target : int }

@@ -1,0 +1,576 @@
+open Ir
+
+(* Optimization passes over the structured IR.
+
+   Legality is stricter than classical compiler correctness: the dynamic
+   event stream (count, order, labels and bit-exact values of every
+   recorded instruction and guard) IS the fault-injection sample space, so
+   a pass must preserve it exactly — and must also preserve *injection*
+   semantics: a recorded register/array element may hold a corrupted value
+   at run time, so a pass may never substitute a recorded location with a
+   recomputation (or vice versa), and may only reuse a scratch ([Flet])
+   value across program points when nothing the defining expression reads
+   can change — in any run, golden or corrupted — between definition and
+   use. That is why:
+
+   - constant folding performs no float identities (x +. 0. is not x for
+     -0.; x *. 1. is bit-safe but kept out for uniformity) — only
+     compile-time evaluation of all-constant subtrees, which is the same
+     IEEE operation the interpreter would perform;
+   - CSE introduces non-recorded [Flet] temporaries only, and kills
+     availability on every write to anything an expression reads
+     (register, array, index register) — a recorded write is a potential
+     corruption point;
+   - availability never crosses [For]/[If] boundaries, so control-flow
+     divergence under a corrupted [Fcmp] cannot invalidate a reuse;
+   - passes assume a validated program (reads are def-before-use on every
+     path), which makes dropping integer subexpressions and dead code
+     side-effect free. *)
+
+let is_leaf = function Fconst _ | Freg _ -> true | Fload _ | Fadd _ | Fsub _ | Fmul _ | Fdiv _ | Fneg _ | Fabs _ | Fsqrt _ -> false
+
+(* Structural equality with bitwise float comparison: Fconst nan must
+   equal Fconst nan, and Fconst 0. must NOT equal Fconst (-0.) — the
+   polymorphic [=] gets both wrong for this purpose. *)
+let rec fexpr_eq a b =
+  match (a, b) with
+  | Fconst x, Fconst y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Freg x, Freg y -> x = y
+  | Fload (ax, ix), Fload (ay, iy) -> ax = ay && iexpr_eq ix iy
+  | Fadd (x1, y1), Fadd (x2, y2)
+  | Fsub (x1, y1), Fsub (x2, y2)
+  | Fmul (x1, y1), Fmul (x2, y2)
+  | Fdiv (x1, y1), Fdiv (x2, y2) ->
+      fexpr_eq x1 x2 && fexpr_eq y1 y2
+  | Fneg x, Fneg y | Fabs x, Fabs y | Fsqrt x, Fsqrt y -> fexpr_eq x y
+  | ( ( Fconst _ | Freg _ | Fload _ | Fadd _ | Fsub _ | Fmul _ | Fdiv _ | Fneg _ | Fabs _
+      | Fsqrt _ ),
+      _ ) ->
+      false
+
+and iexpr_eq a b =
+  match (a, b) with
+  | Iconst x, Iconst y -> x = y
+  | Ireg x, Ireg y -> x = y
+  | Iadd (x1, y1), Iadd (x2, y2) | Isub (x1, y1), Isub (x2, y2) | Imul (x1, y1), Imul (x2, y2)
+    ->
+      iexpr_eq x1 x2 && iexpr_eq y1 y2
+  | (Iconst _ | Ireg _ | Iadd _ | Isub _ | Imul _), _ -> false
+
+let rec i_reads_ireg r = function
+  | Iconst _ -> false
+  | Ireg r' -> r' = r
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) -> i_reads_ireg r a || i_reads_ireg r b
+
+let rec f_reads_freg r = function
+  | Fconst _ | Fload _ -> false
+  | Freg r' -> r' = r
+  | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+      f_reads_freg r a || f_reads_freg r b
+  | Fneg a | Fabs a | Fsqrt a -> f_reads_freg r a
+
+let rec f_reads_ireg r = function
+  | Fconst _ | Freg _ -> false
+  | Fload (_, i) -> i_reads_ireg r i
+  | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+      f_reads_ireg r a || f_reads_ireg r b
+  | Fneg a | Fabs a | Fsqrt a -> f_reads_ireg r a
+
+let rec f_loads_array a = function
+  | Fconst _ | Freg _ -> false
+  | Fload (a', _) -> a' = a
+  | Fadd (x, y) | Fsub (x, y) | Fmul (x, y) | Fdiv (x, y) ->
+      f_loads_array a x || f_loads_array a y
+  | Fneg x | Fabs x | Fsqrt x -> f_loads_array a x
+
+let rec isize = function
+  | Iconst _ | Ireg _ -> 1
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) -> 1 + isize a + isize b
+
+let rec fsize = function
+  | Fconst _ | Freg _ -> 1
+  | Fload (_, i) -> 1 + isize i
+  | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) -> 1 + fsize a + fsize b
+  | Fneg a | Fabs a | Fsqrt a -> 1 + fsize a
+
+(* Replace every subtree structurally equal to [target] with [repl]. *)
+let rec fsubst ~target ~repl e =
+  if fexpr_eq e target then repl
+  else
+    match e with
+    | Fconst _ | Freg _ | Fload _ -> e
+    | Fadd (a, b) -> Fadd (fsubst ~target ~repl a, fsubst ~target ~repl b)
+    | Fsub (a, b) -> Fsub (fsubst ~target ~repl a, fsubst ~target ~repl b)
+    | Fmul (a, b) -> Fmul (fsubst ~target ~repl a, fsubst ~target ~repl b)
+    | Fdiv (a, b) -> Fdiv (fsubst ~target ~repl a, fsubst ~target ~repl b)
+    | Fneg a -> Fneg (fsubst ~target ~repl a)
+    | Fabs a -> Fabs (fsubst ~target ~repl a)
+    | Fsqrt a -> Fsqrt (fsubst ~target ~repl a)
+
+let subst_cond ~target ~repl = function
+  | Fcmp (op, a, b) -> Fcmp (op, fsubst ~target ~repl a, fsubst ~target ~repl b)
+  | Icmp _ as c -> c
+
+let rec subst_stmt ~target ~repl s =
+  match s with
+  | Fassign (r, e, l) -> Fassign (r, fsubst ~target ~repl e, l)
+  | Store (a, i, e, l) -> Store (a, i, fsubst ~target ~repl e, l)
+  | Flet (r, e) -> Flet (r, fsubst ~target ~repl e)
+  | Iassign _ -> s
+  | Guard (e, w) -> Guard (fsubst ~target ~repl e, w)
+  | For (r, lo, hi, b) -> For (r, lo, hi, List.map (subst_stmt ~target ~repl) b)
+  | If (c, a, b) ->
+      If
+        ( subst_cond ~target ~repl c,
+          List.map (subst_stmt ~target ~repl) a,
+          List.map (subst_stmt ~target ~repl) b )
+
+let rec block_has_label stmts = List.exists stmt_has_label stmts
+
+and stmt_has_label = function
+  | Fassign _ | Store _ -> true
+  | Flet _ | Iassign _ | Guard _ -> false
+  | For (_, _, _, b) -> block_has_label b
+  | If (_, a, b) -> block_has_label a || block_has_label b
+
+type pass = { pass_name : string; run : Ir.t -> Ir.t }
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+
+let rec fold_i e =
+  match e with
+  | Iconst _ | Ireg _ -> e
+  | Iadd (a, b) -> (
+      match (fold_i a, fold_i b) with
+      | Iconst x, Iconst y -> Iconst (x + y)
+      | Iconst 0, e | e, Iconst 0 -> e
+      | a, b -> Iadd (a, b))
+  | Isub (a, b) -> (
+      match (fold_i a, fold_i b) with
+      | Iconst x, Iconst y -> Iconst (x - y)
+      | e, Iconst 0 -> e
+      | a, b -> Isub (a, b))
+  | Imul (a, b) -> (
+      match (fold_i a, fold_i b) with
+      | Iconst x, Iconst y -> Iconst (x * y)
+      | Iconst 0, _ | _, Iconst 0 -> Iconst 0
+      | Iconst 1, e | e, Iconst 1 -> e
+      | a, b -> Imul (a, b))
+
+(* Float folding performs exactly the operation the interpreter would —
+   same IEEE op on the same operands, just at compile time — so the result
+   is bit-identical, including NaN/inf production. No algebraic identities
+   on non-constant operands. *)
+let rec fold_f e =
+  match e with
+  | Fconst _ | Freg _ -> e
+  | Fload (a, i) -> Fload (a, fold_i i)
+  | Fadd (a, b) -> (
+      match (fold_f a, fold_f b) with
+      | Fconst x, Fconst y -> Fconst (x +. y)
+      | a, b -> Fadd (a, b))
+  | Fsub (a, b) -> (
+      match (fold_f a, fold_f b) with
+      | Fconst x, Fconst y -> Fconst (x -. y)
+      | a, b -> Fsub (a, b))
+  | Fmul (a, b) -> (
+      match (fold_f a, fold_f b) with
+      | Fconst x, Fconst y -> Fconst (x *. y)
+      | a, b -> Fmul (a, b))
+  | Fdiv (a, b) -> (
+      match (fold_f a, fold_f b) with
+      | Fconst x, Fconst y -> Fconst (x /. y)
+      | a, b -> Fdiv (a, b))
+  | Fneg a -> ( match fold_f a with Fconst x -> Fconst (-.x) | a -> Fneg a)
+  | Fabs a -> ( match fold_f a with Fconst x -> Fconst (abs_float x) | a -> Fabs a)
+  | Fsqrt a -> ( match fold_f a with Fconst x -> Fconst (sqrt x) | a -> Fsqrt a)
+
+let fold_cond = function
+  | Fcmp (op, a, b) -> Fcmp (op, fold_f a, fold_f b)
+  | Icmp (op, a, b) -> Icmp (op, fold_i a, fold_i b)
+
+let const_cond = function
+  | Icmp (op, Iconst x, Iconst y) ->
+      Some (match op with `Lt -> x < y | `Le -> x <= y | `Eq -> x = y | `Ne -> x <> y)
+  | Fcmp (op, Fconst x, Fconst y) ->
+      Some (match op with `Lt -> x < y | `Le -> x <= y | `Gt -> x > y | `Ge -> x >= y)
+  | Fcmp _ | Icmp _ -> None
+
+let rec fold_stmt s =
+  match s with
+  | Fassign (r, e, l) -> [ Fassign (r, fold_f e, l) ]
+  | Store (a, i, e, l) -> [ Store (a, fold_i i, fold_f e, l) ]
+  | Flet (r, e) -> [ Flet (r, fold_f e) ]
+  | Iassign (r, e) -> [ Iassign (r, fold_i e) ]
+  | Guard (e, w) -> [ Guard (fold_f e, w) ]
+  | For (r, lo, hi, body) -> (
+      let lo = fold_i lo and hi = fold_i hi in
+      let body = fold_block body in
+      match (lo, hi) with
+      (* Dead loops disappear only when that removes no label: the static
+         instruction table (and hence tag numbering) must not change. *)
+      | Iconst l, Iconst h when l >= h && not (block_has_label body) -> []
+      | _ -> [ For (r, lo, hi, body) ])
+  | If (c, yes, no) -> (
+      let c = fold_cond c in
+      let yes = fold_block yes and no = fold_block no in
+      match const_cond c with
+      | Some true when not (block_has_label no) -> yes
+      | Some false when not (block_has_label yes) -> no
+      | _ -> [ If (c, yes, no) ])
+
+and fold_block stmts = List.concat_map fold_stmt stmts
+
+let fold = { pass_name = "fold"; run = (fun t -> Ir.with_body t (fold_block (Ir.body t))) }
+
+(* ------------------------------------------------------------------ *)
+(* Common-subexpression elimination                                    *)
+
+(* Availability: [(e, r)] means scratch register [r] currently holds the
+   value [e] would evaluate to — in every run, including corrupted ones,
+   because every write to anything [e] reads kills the entry. *)
+type avail = (fexpr * freg) list
+
+let kill_freg r (av : avail) =
+  List.filter (fun (e, br) -> br <> r && not (f_reads_freg r e)) av
+
+let kill_ireg r (av : avail) = List.filter (fun (e, _) -> not (f_reads_ireg r e)) av
+let kill_array a (av : avail) = List.filter (fun (e, _) -> not (f_loads_array a e)) av
+
+let rec rewrite_avail (av : avail) e =
+  match List.find_opt (fun (ae, _) -> fexpr_eq ae e) av with
+  | Some (_, r) -> Freg r
+  | None -> (
+      match e with
+      | Fconst _ | Freg _ | Fload _ -> e
+      | Fadd (a, b) -> Fadd (rewrite_avail av a, rewrite_avail av b)
+      | Fsub (a, b) -> Fsub (rewrite_avail av a, rewrite_avail av b)
+      | Fmul (a, b) -> Fmul (rewrite_avail av a, rewrite_avail av b)
+      | Fdiv (a, b) -> Fdiv (rewrite_avail av a, rewrite_avail av b)
+      | Fneg a -> Fneg (rewrite_avail av a)
+      | Fabs a -> Fabs (rewrite_avail av a)
+      | Fsqrt a -> Fsqrt (rewrite_avail av a))
+
+let collect_subexprs acc e =
+  let rec go acc e =
+    let acc = if is_leaf e then acc else e :: acc in
+    match e with
+    | Fconst _ | Freg _ | Fload _ -> acc
+    | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) -> go (go acc a) b
+    | Fneg a | Fabs a | Fsqrt a -> go acc a
+  in
+  go acc e
+
+(* Hoist subexpressions appearing >= 2 times across [exprs] (the float
+   expressions of one statement, jointly) into fresh Flet temporaries,
+   largest first. Within one statement no state changes between the
+   evaluations, so sharing is bit-safe even across a record. *)
+let hoist_common t exprs =
+  let rec loop lets exprs added =
+    let subs = List.fold_left collect_subexprs [] exprs in
+    let repeated =
+      List.filter
+        (fun e -> List.length (List.filter (fexpr_eq e) subs) >= 2)
+        subs
+    in
+    match List.sort (fun a b -> compare (fsize b) (fsize a)) repeated with
+    | [] -> (List.rev lets, exprs, added)
+    | best :: _ ->
+        let r = Ir.freg t in
+        let repl = Freg r in
+        let exprs = List.map (fsubst ~target:best ~repl) exprs in
+        loop (Flet (r, best) :: lets) exprs ((best, r) :: added)
+  in
+  loop [] exprs []
+
+let rec cse_block t (av : avail) stmts =
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+      let out, av = cse_stmt t av s in
+      out @ cse_block t av rest
+
+and cse_stmt t (av : avail) s =
+  match s with
+  | Fassign (r, e, l) ->
+      let e = rewrite_avail av e in
+      let lets, es, added = hoist_common t [ e ] in
+      let e = List.hd es in
+      (* The recorded register may be corrupted at run time: never make
+         its expression available, and kill everything reading it. *)
+      let av = kill_freg r (added @ av) in
+      (lets @ [ Fassign (r, e, l) ], av)
+  | Store (a, i, e, l) ->
+      let e = rewrite_avail av e in
+      let lets, es, added = hoist_common t [ e ] in
+      let e = List.hd es in
+      let av = kill_array a (added @ av) in
+      (lets @ [ Store (a, i, e, l) ], av)
+  | Flet (r, e) ->
+      let e = rewrite_avail av e in
+      let lets, es, added = hoist_common t [ e ] in
+      let e = List.hd es in
+      let av = kill_freg r (added @ av) in
+      let av = if is_leaf e || f_reads_freg r e then av else (e, r) :: av in
+      (lets @ [ Flet (r, e) ], av)
+  | Iassign (r, _) -> ([ s ], kill_ireg r av)
+  | Guard (e, w) ->
+      let e = rewrite_avail av e in
+      let lets, es, added = hoist_common t [ e ] in
+      let e = List.hd es in
+      (lets @ [ Guard (e, w) ], added @ av)
+  | If (c, yes, no) ->
+      let c, lets, added =
+        match c with
+        | Fcmp (op, a, b) ->
+            let a = rewrite_avail av a and b = rewrite_avail av b in
+            let lets, es, added = hoist_common t [ a; b ] in
+            let a, b = match es with [ a; b ] -> (a, b) | _ -> assert false in
+            (Fcmp (op, a, b), lets, added)
+        | Icmp _ -> (c, [], [])
+      in
+      ignore added;
+      let yes = cse_block t [] yes and no = cse_block t [] no in
+      (* Branches may write anything; drop all availability. *)
+      (lets @ [ If (c, yes, no) ], [])
+  | For (r, lo, hi, body) ->
+      let body = cse_block t [] body in
+      ([ For (r, lo, hi, body) ], [])
+
+let cse =
+  {
+    pass_name = "cse";
+    run =
+      (fun t ->
+        let t = Ir.with_body t (Ir.body t) in
+        let body = cse_block t [] (Ir.body t) in
+        Ir.with_body t body);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant code motion                                          *)
+
+let rec block_writes acc stmts = List.fold_left stmt_writes acc stmts
+
+and stmt_writes ((fs, is, arrs) as acc) = function
+  | Fassign (r, _, _) | Flet (r, _) -> (r :: fs, is, arrs)
+  | Store (a, _, _, _) -> (fs, is, a :: arrs)
+  | Iassign (r, _) -> (fs, r :: is, arrs)
+  | For (r, _, _, b) -> block_writes (fs, r :: is, arrs) b
+  | If (_, a, b) -> block_writes (block_writes acc a) b
+  | Guard _ -> acc
+
+let rec i_invariant ~is e =
+  match e with
+  | Iconst _ -> true
+  | Ireg r -> not (List.mem r is)
+  | Iadd (a, b) | Isub (a, b) | Imul (a, b) -> i_invariant ~is a && i_invariant ~is b
+
+let rec f_invariant ~fs ~is ~arrs ~allow_loads e =
+  match e with
+  | Fconst _ -> true
+  | Freg r -> not (List.mem r fs)
+  | Fload (a, i) -> allow_loads && (not (List.mem a arrs)) && i_invariant ~is i
+  | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+      f_invariant ~fs ~is ~arrs ~allow_loads a && f_invariant ~fs ~is ~arrs ~allow_loads b
+  | Fneg a | Fabs a | Fsqrt a -> f_invariant ~fs ~is ~arrs ~allow_loads a
+
+let rec licm_block t stmts = List.concat_map (licm_stmt t) stmts
+
+and licm_stmt t s =
+  match s with
+  | If (c, yes, no) -> [ If (c, licm_block t yes, licm_block t no) ]
+  | For (r, lo, hi, body0) ->
+      let body = licm_block t body0 in
+      let fs, is, arrs = block_writes ([], [ r ], []) body in
+      (* Zero-trip safety: a hoisted expression is evaluated even when the
+         loop would not run. Pure register arithmetic cannot raise (the
+         validator guarantees def-before-use), but a load's bounds check
+         can — so loads only move when the loop provably runs, and only
+         from definitely-executed positions (a load under a nested [If]
+         may be guarded by its condition). *)
+      let guaranteed =
+        match (lo, hi) with Iconst l, Iconst h -> l < h | _ -> false
+      in
+      let cands = ref [] in
+      let rec add ~definitely e =
+        let allow_loads = guaranteed && definitely in
+        if (not (is_leaf e)) && f_invariant ~fs ~is ~arrs ~allow_loads e then begin
+          if not (List.exists (fexpr_eq e) !cands) then cands := e :: !cands
+        end
+        else
+          match e with
+          | Fconst _ | Freg _ | Fload _ -> ()
+          | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+              add ~definitely a;
+              add ~definitely b
+          | Fneg a | Fabs a | Fsqrt a -> add ~definitely a
+      in
+      let rec scan ~definitely stmts =
+        List.iter
+          (fun s ->
+            match s with
+            | Fassign (_, e, _) | Flet (_, e) | Guard (e, _) | Store (_, _, e, _) ->
+                add ~definitely e
+            | Iassign _ -> ()
+            | If (c, a, b) ->
+                (match c with
+                | Fcmp (_, x, y) ->
+                    add ~definitely x;
+                    add ~definitely y
+                | Icmp _ -> ());
+                scan ~definitely:false a;
+                scan ~definitely:false b
+            | For (_, _, _, b) -> scan ~definitely:false b)
+          stmts
+      in
+      scan ~definitely:true body;
+      let lets, body =
+        List.fold_left
+          (fun (lets, body) e ->
+            let tmp = Ir.freg t in
+            let body = List.map (subst_stmt ~target:e ~repl:(Freg tmp)) body in
+            (Flet (tmp, e) :: lets, body))
+          ([], body) (List.rev !cands)
+      in
+      List.rev_append lets [ For (r, lo, hi, body) ]
+  | Fassign _ | Store _ | Flet _ | Iassign _ | Guard _ -> [ s ]
+
+let licm =
+  {
+    pass_name = "licm";
+    run =
+      (fun t ->
+        let t = Ir.with_body t (Ir.body t) in
+        let body = licm_block t (Ir.body t) in
+        Ir.with_body t body);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Producer/consumer fusion + dead scratch elimination                 *)
+
+let count_expr_reads counts e =
+  let bump r = Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r)) in
+  let rec go = function
+    | Fconst _ | Fload _ -> ()
+    | Freg r -> bump r
+    | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+        go a;
+        go b
+    | Fneg a | Fabs a | Fsqrt a -> go a
+  in
+  go e
+
+let rec count_stmt_reads counts = function
+  | Fassign (_, e, _) | Store (_, _, e, _) | Flet (_, e) | Guard (e, _) ->
+      count_expr_reads counts e
+  | Iassign _ -> ()
+  | For (_, _, _, b) -> List.iter (count_stmt_reads counts) b
+  | If (c, a, b) ->
+      (match c with
+      | Fcmp (_, x, y) ->
+          count_expr_reads counts x;
+          count_expr_reads counts y
+      | Icmp _ -> ());
+      List.iter (count_stmt_reads counts) a;
+      List.iter (count_stmt_reads counts) b
+
+let rec count_stmt_assigns counts = function
+  | Fassign (r, _, _) | Flet (r, _) ->
+      Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+  | Store _ | Iassign _ | Guard _ -> ()
+  | For (_, _, _, b) -> List.iter (count_stmt_assigns counts) b
+  | If (_, a, b) ->
+      List.iter (count_stmt_assigns counts) a;
+      List.iter (count_stmt_assigns counts) b
+
+let rec count_freg_in r e =
+  match e with
+  | Fconst _ | Fload _ -> 0
+  | Freg r' -> if r' = r then 1 else 0
+  | Fadd (a, b) | Fsub (a, b) | Fmul (a, b) | Fdiv (a, b) ->
+      count_freg_in r a + count_freg_in r b
+  | Fneg a | Fabs a | Fsqrt a -> count_freg_in r a
+
+let fuse_pass t =
+  let body = Ir.body t in
+  let reads = Hashtbl.create 64 and assigns = Hashtbl.create 64 in
+  List.iter (count_stmt_reads reads) body;
+  List.iter (count_stmt_assigns assigns) body;
+  let reads_of r = Option.value ~default:0 (Hashtbl.find_opt reads r) in
+  let assigns_of r = Option.value ~default:0 (Hashtbl.find_opt assigns r) in
+  (* Counts are computed once; fusion/DCE only ever *removes* reads, so a
+     stale count over-approximates — which can only suppress a rewrite,
+     never enable an unsound one (the in-statement occurrence is checked
+     directly). *)
+  let rec fuse_block stmts =
+    match stmts with
+    | [] -> []
+    | Flet (r, _) :: rest when assigns_of r = 1 && reads_of r = 0 ->
+        (* Dead scratch: the expression is pure (loads in an executed Flet
+           cannot fault under a data-only corruption), so drop it. *)
+        fuse_block rest
+    | Flet (r, e) :: next :: rest
+      when assigns_of r = 1 && reads_of r = 1
+           &&
+           let c =
+             match next with
+             | Fassign (_, e2, _) | Store (_, _, e2, _) | Flet (_, e2) | Guard (e2, _) ->
+                 count_freg_in r e2
+             | Iassign _ | For _ | If _ -> 0
+           in
+           c = 1 ->
+        let target = Freg r and repl = e in
+        let next =
+          match next with
+          | Fassign (r2, e2, l) -> Fassign (r2, fsubst ~target ~repl e2, l)
+          | Store (a, i, e2, l) -> Store (a, i, fsubst ~target ~repl e2, l)
+          | Flet (r2, e2) -> Flet (r2, fsubst ~target ~repl e2)
+          | Guard (e2, w) -> Guard (fsubst ~target ~repl e2, w)
+          | Iassign _ | For _ | If _ -> assert false
+        in
+        fuse_block (next :: rest)
+    | For (r, lo, hi, b) :: rest -> For (r, lo, hi, fuse_block b) :: fuse_block rest
+    | If (c, a, b) :: rest -> If (c, fuse_block a, fuse_block b) :: fuse_block rest
+    | s :: rest -> s :: fuse_block rest
+  in
+  Ir.with_body t (fuse_block body)
+
+let fuse = { pass_name = "fuse"; run = fuse_pass }
+
+let all = [ fold; cse; licm; fuse ]
+
+(* ------------------------------------------------------------------ *)
+(* Static size metrics (for --pass-stats)                              *)
+
+let rec stmt_count_of stmts =
+  List.fold_left
+    (fun n s ->
+      n
+      +
+      match s with
+      | Fassign _ | Store _ | Flet _ | Iassign _ | Guard _ -> 1
+      | For (_, _, _, b) -> 1 + stmt_count_of b
+      | If (_, a, b) -> 1 + stmt_count_of a + stmt_count_of b)
+    0 stmts
+
+let rec op_count_of stmts =
+  let cond_size = function
+    | Fcmp (_, a, b) -> 1 + fsize a + fsize b
+    | Icmp (_, a, b) -> 1 + isize a + isize b
+  in
+  List.fold_left
+    (fun n s ->
+      n
+      +
+      match s with
+      | Fassign (_, e, _) | Flet (_, e) | Guard (e, _) -> fsize e
+      | Store (_, i, e, _) -> isize i + fsize e
+      | Iassign (_, e) -> isize e
+      | For (_, lo, hi, b) -> isize lo + isize hi + op_count_of b
+      | If (c, a, b) -> cond_size c + op_count_of a + op_count_of b)
+    0 stmts
+
+let stmt_count t = stmt_count_of (Ir.body t)
+let op_count t = op_count_of (Ir.body t)

@@ -1,0 +1,54 @@
+(** Optimization passes over the structured IR.
+
+    Legality here is stricter than ordinary compiler correctness: the
+    dynamic event stream — count, order, labels and {e bit-exact} values
+    of every recorded instruction and guard — is the fault-injection
+    sample space, and a recorded location may hold a corrupted value at
+    run time. A legal pass therefore preserves the stream exactly (the
+    {!Pipeline} validator enforces this between passes) and also preserves
+    injection semantics: it never trades a read of a recorded location for
+    a recomputation or vice versa, and only reuses a scratch ([Flet])
+    value where nothing its defining expression reads can change between
+    definition and use, in any run. See the pass implementations for the
+    per-pass arguments. *)
+
+type pass = { pass_name : string; run : Ir.t -> Ir.t }
+
+val fold : pass
+(** Constant folding: full integer folding with safe identities, float
+    folding restricted to all-constant subtrees (the same IEEE operation
+    the interpreter would perform — no float identities, which would break
+    bit-exactness for [-0.]/NaN), branch/loop elimination for constant
+    conditions and empty ranges when that removes no instruction label. *)
+
+val cse : pass
+(** Common-subexpression elimination into fresh non-recorded [Flet]
+    temporaries: repeated subexpressions within a statement are shared,
+    and scratch values are reused across statements under a kill-based
+    availability analysis (any write to a register, index register or
+    array an expression reads — including potentially corrupted recorded
+    writes — invalidates it; availability never crosses control flow). *)
+
+val licm : pass
+(** Loop-invariant code motion: invariant non-leaf subexpressions move out
+    of [For] bodies into [Flet] temporaries before the loop. Loads hoist
+    only out of loops with constant non-empty bounds and from
+    definitely-executed positions (a hoisted bounds check must not fire
+    where the original could not); pure register arithmetic hoists from
+    anywhere in the body. *)
+
+val fuse : pass
+(** Producer/consumer fusion: a [Flet] whose value is consumed exactly
+    once, by the immediately following simple statement, is inlined into
+    its consumer; dead scratch definitions are removed. Cleans up after
+    {!cse}/{!licm} and shrinks the compiled instruction count. *)
+
+val all : pass list
+(** [[fold; cse; licm; fuse]] — the default pipeline order. *)
+
+val stmt_count : Ir.t -> int
+(** Static statement count of the body (loops and branches count once). *)
+
+val op_count : Ir.t -> int
+(** Static expression-node count over the whole body — the instruction
+    metric reported by [ftb ir --pass-stats]. *)

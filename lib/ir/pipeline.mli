@@ -1,0 +1,43 @@
+(** The IR optimizing pipeline and its structural validator.
+
+    Runs {!Passes} in sequence; after every pass, re-checks that the
+    program still validates, that the distinct instruction labels in
+    first-appearance order are unchanged (this pins [Ir.to_program]'s
+    tag numbering, keeping campaign ground truth comparable), and that
+    the dynamic event stream is preserved with bitwise-equal floats.
+    Any violation raises {!Pipeline_error} naming the offending pass. *)
+
+exception Pipeline_error of string
+
+type pass_stat = {
+  pass_name : string;
+  stmts_before : int;
+  stmts_after : int;
+  ops_before : int;
+  ops_after : int;
+}
+
+val default_passes : Passes.pass list
+(** {!Passes.all}. *)
+
+val labels_of : Ir.t -> string list
+(** Distinct instruction labels in first-appearance order — exactly the
+    order [Ir.to_program] registers static tags in. *)
+
+val optimize : ?passes:Passes.pass list -> ?verify:bool -> Ir.t -> Ir.t
+(** Apply the pass list (default {!default_passes}) with inter-pass
+    verification (default [true]). *)
+
+val optimize_with_report :
+  ?passes:Passes.pass list -> ?verify:bool -> Ir.t -> Ir.t * pass_stat list
+(** {!optimize}, also returning per-pass static size deltas for
+    [ftb ir --dump --pass-stats]. *)
+
+val to_program : ?passes:Passes.pass list -> ?verify:bool -> Ir.t -> Ftb_trace.Program.t
+(** [optimize] followed by [Ir.to_program], with the dependent-cone
+    capability ({!Cone.plan}, built lazily on first use and memoized
+    behind a mutex — safe to force from multiple domains) attached. This
+    is the constructor the kernel suite uses: batched campaigns on the
+    result take the cone fast path wherever the analysis is exact and
+    fall back to prefix-snapshot replay elsewhere, byte-identical either
+    way. *)

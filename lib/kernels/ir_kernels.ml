@@ -1,0 +1,803 @@
+module Ir = Ftb_ir.Ir
+module Rng = Ftb_util.Rng
+
+(* IR ports of the closure benchmarks. Each builder emits a structured
+   [Ftb_ir.Ir.t] whose uninstrumented run is arithmetic-identical to the
+   closure kernel's oracle ([Cg.solve_plain], [Lu.factor_plain], ...): the
+   same operations in the same order, with reductions accumulated from
+   [0.] exactly as the closures do. Scratch values the closure kernels
+   keep in OCaml [ref]s become non-recorded [Flet]s, so the recorded
+   stream covers the same data elements the paper's fault model covers.
+
+   The IR has no integer-array indexing, so CSR structure (CG, Jacobi)
+   and FFT bit-reversal/twiddle schedules are specialized at build time:
+   data-independent index computations unroll into constant-index
+   statements sharing one label per phase. That is the same trade the
+   paper's fixed-computation-sequence assumption makes (§2.2) — control
+   flow is data-independent, so the unrolled program IS the original's
+   computation sequence. *)
+
+let idx2 ~cols i j = Ir.Iadd (Ir.Imul (i, Ir.Iconst cols), j)
+
+(* Left fold from [Fconst 0.] — the closures' [acc := 0.; acc +. t]
+   reduction shape, kept bit-identical. *)
+let fsum terms = List.fold_left (fun e t -> Ir.Fadd (e, t)) (Ir.Fconst 0.) terms
+
+(* ------------------------------------------------------------------ *)
+(* Conjugate gradient (port of [Cg]).                                  *)
+
+let cg ~grid ~iterations ~tolerance =
+  if grid <= 0 then invalid_arg "Ir_kernels.cg: grid must be positive";
+  if iterations <= 0 then invalid_arg "Ir_kernels.cg: iterations must be positive";
+  let a = Poisson.matrix ~grid in
+  let b = Poisson.rhs ~grid in
+  let n = Array.length b in
+  let p = Ir.create ~name:"ir.cg" ~tolerance in
+  let x = Ir.array p ~name:"x" ~init:(Array.make n 0.) in
+  let r = Ir.array p ~name:"r" ~init:(Array.copy b) in
+  let pv = Ir.array p ~name:"p" ~init:(Array.copy b) in
+  let q = Ir.array p ~name:"q" ~init:(Array.make n 0.) in
+  let rsold = Ir.freg p and rsnew = Ir.freg p and pq = Ir.freg p in
+  let alpha = Ir.freg p and beta = Ir.freg p and acc = Ir.freg p in
+  let it = Ir.ireg p and i = Ir.ireg p in
+  let load arr ix = Ir.Fload (arr, ix) in
+  (* One CSR row of A·p, unrolled to constant indices in entry order. *)
+  let spmv_row row =
+    fsum
+      (List.init
+         (a.Csr.row_ptr.(row + 1) - a.Csr.row_ptr.(row))
+         (fun t ->
+           let k = a.Csr.row_ptr.(row) + t in
+           Ir.Fmul (Ir.Fconst a.Csr.values.(k), load pv (Ir.Iconst a.Csr.col_idx.(k)))))
+  in
+  let dot_into ~label dst u v =
+    [
+      Ir.Flet (acc, Ir.Fconst 0.);
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.Flet
+              (acc, Ir.Fadd (Ir.Freg acc, Ir.Fmul (load u (Ir.Ireg i), load v (Ir.Ireg i))));
+          ] );
+      Ir.Fassign (dst, Ir.Freg acc, label);
+    ]
+  in
+  let iteration =
+    List.init n (fun row -> Ir.Store (q, Ir.Iconst row, spmv_row row, "q[i] = (A p)[i]"))
+    @ dot_into ~label:"pq = p.q" pq pv q
+    @ [
+        Ir.Fassign (alpha, Ir.Fdiv (Ir.Freg rsold, Ir.Freg pq), "alpha = rsold/pq");
+        Ir.Guard (Ir.Freg alpha, "cg.alpha");
+        Ir.For
+          ( i,
+            Ir.Iconst 0,
+            Ir.Iconst n,
+            [
+              Ir.Store
+                ( x,
+                  Ir.Ireg i,
+                  Ir.Fadd (load x (Ir.Ireg i), Ir.Fmul (Ir.Freg alpha, load pv (Ir.Ireg i))),
+                  "x[i] += alpha*p[i]" );
+            ] );
+        Ir.For
+          ( i,
+            Ir.Iconst 0,
+            Ir.Iconst n,
+            [
+              Ir.Store
+                ( r,
+                  Ir.Ireg i,
+                  Ir.Fsub (load r (Ir.Ireg i), Ir.Fmul (Ir.Freg alpha, load q (Ir.Ireg i))),
+                  "r[i] -= alpha*q[i]" );
+            ] );
+      ]
+    @ dot_into ~label:"rsnew = r.r" rsnew r r
+    @ [
+        Ir.Fassign (beta, Ir.Fdiv (Ir.Freg rsnew, Ir.Freg rsold), "beta = rsnew/rsold");
+        Ir.Guard (Ir.Freg beta, "cg.beta");
+        Ir.For
+          ( i,
+            Ir.Iconst 0,
+            Ir.Iconst n,
+            [
+              Ir.Store
+                ( pv,
+                  Ir.Ireg i,
+                  Ir.Fadd (load r (Ir.Ireg i), Ir.Fmul (Ir.Freg beta, load pv (Ir.Ireg i))),
+                  "p[i] = r[i]+beta*p[i]" );
+            ] );
+        Ir.Flet (rsold, Ir.Freg rsnew);
+      ]
+  in
+  Ir.set_body p
+    (dot_into ~label:"rsold = r.r" rsold r r
+    @ [ Ir.For (it, Ir.Iconst 0, Ir.Iconst iterations, iteration) ]);
+  Ir.output_array p x;
+  p
+
+let cg_oracle ~grid ~iterations =
+  Cg.solve_plain (Poisson.matrix ~grid) (Poisson.rhs ~grid) ~iterations
+
+(* ------------------------------------------------------------------ *)
+(* Blocked LU without pivoting (port of [Lu]).                         *)
+
+let lu_input ~n ~seed = Dense.random_diagonally_dominant (Rng.create ~seed) ~n
+
+let lu ~n ~block ~seed ~tolerance =
+  if n <= 0 then invalid_arg "Ir_kernels.lu: n must be positive";
+  if block <= 0 || n mod block <> 0 then
+    invalid_arg "Ir_kernels.lu: block must divide n";
+  let input = lu_input ~n ~seed in
+  let p = Ir.create ~name:"ir.lu" ~tolerance in
+  let m = Ir.array p ~name:"m" ~init:(Dense.flatten input) in
+  let pivot = Ir.freg p and acc = Ir.freg p in
+  let bi = Ir.ireg p and kb = Ir.ireg p and kmax = Ir.ireg p in
+  let k = Ir.ireg p and i = Ir.ireg p and j = Ir.ireg p in
+  let at ri ci = Ir.Fload (m, idx2 ~cols:n ri ci) in
+  let succ_i e = Ir.Iadd (e, Ir.Iconst 1) in
+  Ir.set_body p
+    [
+      Ir.For
+        ( bi,
+          Ir.Iconst 0,
+          Ir.Iconst (n / block),
+          [
+            Ir.Iassign (kb, Ir.Imul (Ir.Ireg bi, Ir.Iconst block));
+            Ir.Iassign (kmax, Ir.Iadd (Ir.Ireg kb, Ir.Iconst block));
+            (* Panel factorisation: unblocked LU on columns kb..kmax-1. *)
+            Ir.For
+              ( k,
+                Ir.Ireg kb,
+                Ir.Ireg kmax,
+                [
+                  Ir.Flet (pivot, at (Ir.Ireg k) (Ir.Ireg k));
+                  Ir.Guard (Ir.Freg pivot, "lu.pivot");
+                  Ir.For
+                    ( i,
+                      succ_i (Ir.Ireg k),
+                      Ir.Iconst n,
+                      [
+                        Ir.Store
+                          ( m,
+                            idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg k),
+                            Ir.Fdiv (at (Ir.Ireg i) (Ir.Ireg k), Ir.Freg pivot),
+                            "panel elimination" );
+                      ] );
+                  Ir.For
+                    ( i,
+                      succ_i (Ir.Ireg k),
+                      Ir.Iconst n,
+                      [
+                        Ir.For
+                          ( j,
+                            succ_i (Ir.Ireg k),
+                            Ir.Ireg kmax,
+                            [
+                              Ir.Store
+                                ( m,
+                                  idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j),
+                                  Ir.Fsub
+                                    ( at (Ir.Ireg i) (Ir.Ireg j),
+                                      Ir.Fmul
+                                        (at (Ir.Ireg i) (Ir.Ireg k), at (Ir.Ireg k) (Ir.Ireg j))
+                                    ),
+                                  "panel elimination" );
+                            ] );
+                      ] );
+                ] );
+            (* U row block: apply the panel to columns kmax..n-1. *)
+            Ir.For
+              ( k,
+                Ir.Ireg kb,
+                Ir.Ireg kmax,
+                [
+                  Ir.For
+                    ( i,
+                      succ_i (Ir.Ireg k),
+                      Ir.Ireg kmax,
+                      [
+                        Ir.For
+                          ( j,
+                            Ir.Ireg kmax,
+                            Ir.Iconst n,
+                            [
+                              Ir.Store
+                                ( m,
+                                  idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j),
+                                  Ir.Fsub
+                                    ( at (Ir.Ireg i) (Ir.Ireg j),
+                                      Ir.Fmul
+                                        (at (Ir.Ireg i) (Ir.Ireg k), at (Ir.Ireg k) (Ir.Ireg j))
+                                    ),
+                                  "U row block update" );
+                            ] );
+                      ] );
+                ] );
+            (* Trailing update: A22 -= L21 * U12. *)
+            Ir.For
+              ( i,
+                Ir.Ireg kmax,
+                Ir.Iconst n,
+                [
+                  Ir.For
+                    ( j,
+                      Ir.Ireg kmax,
+                      Ir.Iconst n,
+                      [
+                        Ir.Flet (acc, Ir.Fconst 0.);
+                        Ir.For
+                          ( k,
+                            Ir.Ireg kb,
+                            Ir.Ireg kmax,
+                            [
+                              Ir.Flet
+                                ( acc,
+                                  Ir.Fadd
+                                    ( Ir.Freg acc,
+                                      Ir.Fmul
+                                        (at (Ir.Ireg i) (Ir.Ireg k), at (Ir.Ireg k) (Ir.Ireg j))
+                                    ) );
+                            ] );
+                        Ir.Store
+                          ( m,
+                            idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j),
+                            Ir.Fsub (at (Ir.Ireg i) (Ir.Ireg j), Ir.Freg acc),
+                            "trailing update" );
+                      ] );
+                ] );
+          ] );
+    ];
+  Ir.output_array p m;
+  p
+
+let lu_oracle ~n ~block ~seed = Dense.flatten (Lu.factor_plain (lu_input ~n ~seed) ~block)
+
+(* ------------------------------------------------------------------ *)
+(* Six-step FFT (port of [Fft]).                                       *)
+
+let pi = 4. *. atan 1.
+
+(* Mirrors [Fft.make_stage_tables] (not exported): identical operations in
+   identical order, so the twiddle constants are bit-identical to the
+   closure benchmark's. *)
+let fft_stage_tables len =
+  let stages = ref [] in
+  let m = ref 2 in
+  while !m <= len do
+    let half = !m / 2 in
+    let wr = Array.make half 0. and wi = Array.make half 0. in
+    for k = 0 to half - 1 do
+      let angle = -2. *. pi *. float_of_int k /. float_of_int !m in
+      wr.(k) <- cos angle;
+      wi.(k) <- sin angle
+    done;
+    stages := (wr, wi) :: !stages;
+    m := !m * 2
+  done;
+  Array.of_list (List.rev !stages)
+
+(* The swap pairs [Fft.fft_row]'s bit-reversal permutation performs, in
+   its order. *)
+let bit_reversal_pairs len =
+  let pairs = ref [] in
+  let j = ref 0 in
+  for i = 0 to len - 2 do
+    if i < !j then pairs := (i, !j) :: !pairs;
+    let mask = ref (len lsr 1) in
+    while !mask > 0 && !j land !mask <> 0 do
+      j := !j lxor !mask;
+      mask := !mask lsr 1
+    done;
+    j := !j lor !mask
+  done;
+  List.rev !pairs
+
+(* Unrolled radix-2 row FFT over [base + 0 .. base + len - 1], store
+   order exactly [Fft.fft_row]'s; butterfly temporaries are scratch
+   [Flet]s (never injection sites, like the closure's OCaml lets). *)
+let fft_row_stmts ~tmp:(tr, ti, ur, ui) ~label ~tables re im base ~len =
+  let idx c = Ir.Iadd (base, Ir.Iconst c) in
+  let swaps =
+    List.concat_map
+      (fun (a, b) ->
+        [
+          Ir.Flet (tr, Ir.Fload (re, idx a));
+          Ir.Flet (ti, Ir.Fload (im, idx a));
+          Ir.Flet (ur, Ir.Fload (re, idx b));
+          Ir.Flet (ui, Ir.Fload (im, idx b));
+          Ir.Store (re, idx a, Ir.Freg ur, label);
+          Ir.Store (im, idx a, Ir.Freg ui, label);
+          Ir.Store (re, idx b, Ir.Freg tr, label);
+          Ir.Store (im, idx b, Ir.Freg ti, label);
+        ])
+      (bit_reversal_pairs len)
+  in
+  let butterflies = ref [] in
+  let m = ref 2 and stage = ref 0 in
+  while !m <= len do
+    let half = !m / 2 in
+    let wr_t, wi_t = tables.(!stage) in
+    for k = 0 to half - 1 do
+      let wr = Ir.Fconst wr_t.(k) and wi = Ir.Fconst wi_t.(k) in
+      let i = ref k in
+      while !i < len do
+        let lo = idx !i and hi = idx (!i + half) in
+        butterflies :=
+          [
+            Ir.Flet
+              (tr, Ir.Fsub (Ir.Fmul (wr, Ir.Fload (re, hi)), Ir.Fmul (wi, Ir.Fload (im, hi))));
+            Ir.Flet
+              (ti, Ir.Fadd (Ir.Fmul (wr, Ir.Fload (im, hi)), Ir.Fmul (wi, Ir.Fload (re, hi))));
+            Ir.Flet (ur, Ir.Fload (re, lo));
+            Ir.Flet (ui, Ir.Fload (im, lo));
+            Ir.Store (re, lo, Ir.Fadd (Ir.Freg ur, Ir.Freg tr), label);
+            Ir.Store (im, lo, Ir.Fadd (Ir.Freg ui, Ir.Freg ti), label);
+            Ir.Store (re, hi, Ir.Fsub (Ir.Freg ur, Ir.Freg tr), label);
+            Ir.Store (im, hi, Ir.Fsub (Ir.Freg ui, Ir.Freg ti), label);
+          ]
+          :: !butterflies;
+        i := !i + !m
+      done
+    done;
+    incr stage;
+    m := !m * 2
+  done;
+  swaps @ List.concat (List.rev !butterflies)
+
+let fft_config ~n1 ~n2 ~seed ~tolerance = { Fft.n1; n2; seed; tolerance }
+
+let fft ~n1 ~n2 ~seed ~tolerance =
+  let is_pow2 v = v > 0 && v land (v - 1) = 0 in
+  if not (is_pow2 n1 && is_pow2 n2) then
+    invalid_arg "Ir_kernels.fft: n1 and n2 must be powers of two";
+  let n = n1 * n2 in
+  let input = Fft.input_signal (fft_config ~n1 ~n2 ~seed ~tolerance) in
+  let tables1 = fft_stage_tables n1 and tables2 = fft_stage_tables n2 in
+  let tw_re = Array.init n (fun r -> cos (-2. *. pi *. float_of_int r /. float_of_int n)) in
+  let tw_im = Array.init n (fun r -> sin (-2. *. pi *. float_of_int r /. float_of_int n)) in
+  let p = Ir.create ~name:"ir.fft" ~tolerance in
+  let in_re = Ir.array p ~name:"in_re" ~init:input.Fft.re in
+  let in_im = Ir.array p ~name:"in_im" ~init:input.Fft.im in
+  let are = Ir.array p ~name:"a_re" ~init:(Array.make n 0.) in
+  let aim = Ir.array p ~name:"a_im" ~init:(Array.make n 0.) in
+  let bre = Ir.array p ~name:"b_re" ~init:(Array.make n 0.) in
+  let bim = Ir.array p ~name:"b_im" ~init:(Array.make n 0.) in
+  let out = Ir.array p ~name:"out" ~init:(Array.make (2 * n) 0.) in
+  let tr = Ir.freg p and ti = Ir.freg p and ur = Ir.freg p and ui = Ir.freg p in
+  let tmp = (tr, ti, ur, ui) in
+  let j1 = Ir.ireg p and j2 = Ir.ireg p and k1 = Ir.ireg p and k2 = Ir.ireg p in
+  let step1 =
+    [
+      Ir.For
+        ( j1,
+          Ir.Iconst 0,
+          Ir.Iconst n1,
+          [
+            Ir.For
+              ( j2,
+                Ir.Iconst 0,
+                Ir.Iconst n2,
+                [
+                  Ir.Store
+                    ( are,
+                      idx2 ~cols:n1 (Ir.Ireg j2) (Ir.Ireg j1),
+                      Ir.Fload (in_re, idx2 ~cols:n2 (Ir.Ireg j1) (Ir.Ireg j2)),
+                      "transpose1" );
+                  Ir.Store
+                    ( aim,
+                      idx2 ~cols:n1 (Ir.Ireg j2) (Ir.Ireg j1),
+                      Ir.Fload (in_im, idx2 ~cols:n2 (Ir.Ireg j1) (Ir.Ireg j2)),
+                      "transpose1" );
+                ] );
+          ] );
+    ]
+  in
+  let step2 =
+    [
+      Ir.For
+        ( j2,
+          Ir.Iconst 0,
+          Ir.Iconst n2,
+          fft_row_stmts ~tmp ~label:"fft1" ~tables:tables1 are aim
+            (Ir.Imul (Ir.Ireg j2, Ir.Iconst n1))
+            ~len:n1 );
+    ]
+  in
+  (* Step 3: the twiddle schedule w^(j2·k1 mod n) needs modular index
+     arithmetic the IR does not have, so it is specialized per element. *)
+  let step3 =
+    List.concat
+      (List.init n2 (fun r2 ->
+           List.concat
+             (List.init n1 (fun c1 ->
+                  let w = r2 * c1 mod n in
+                  let ix = Ir.Iconst ((r2 * n1) + c1) in
+                  [
+                    Ir.Flet (tr, Ir.Fload (are, ix));
+                    Ir.Flet (ti, Ir.Fload (aim, ix));
+                    Ir.Store
+                      ( are,
+                        ix,
+                        Ir.Fsub
+                          ( Ir.Fmul (Ir.Freg tr, Ir.Fconst tw_re.(w)),
+                            Ir.Fmul (Ir.Freg ti, Ir.Fconst tw_im.(w)) ),
+                        "twiddle" );
+                    Ir.Store
+                      ( aim,
+                        ix,
+                        Ir.Fadd
+                          ( Ir.Fmul (Ir.Freg tr, Ir.Fconst tw_im.(w)),
+                            Ir.Fmul (Ir.Freg ti, Ir.Fconst tw_re.(w)) ),
+                        "twiddle" );
+                  ]))))
+  in
+  let step4 =
+    [
+      Ir.For
+        ( j2,
+          Ir.Iconst 0,
+          Ir.Iconst n2,
+          [
+            Ir.For
+              ( k1,
+                Ir.Iconst 0,
+                Ir.Iconst n1,
+                [
+                  Ir.Store
+                    ( bre,
+                      idx2 ~cols:n2 (Ir.Ireg k1) (Ir.Ireg j2),
+                      Ir.Fload (are, idx2 ~cols:n1 (Ir.Ireg j2) (Ir.Ireg k1)),
+                      "transpose2" );
+                  Ir.Store
+                    ( bim,
+                      idx2 ~cols:n2 (Ir.Ireg k1) (Ir.Ireg j2),
+                      Ir.Fload (aim, idx2 ~cols:n1 (Ir.Ireg j2) (Ir.Ireg k1)),
+                      "transpose2" );
+                ] );
+          ] );
+    ]
+  in
+  let step5 =
+    [
+      Ir.For
+        ( k1,
+          Ir.Iconst 0,
+          Ir.Iconst n1,
+          fft_row_stmts ~tmp ~label:"fft2" ~tables:tables2 bre bim
+            (Ir.Imul (Ir.Ireg k1, Ir.Iconst n2))
+            ~len:n2 );
+    ]
+  in
+  let step6 =
+    [
+      Ir.For
+        ( k1,
+          Ir.Iconst 0,
+          Ir.Iconst n1,
+          [
+            Ir.For
+              ( k2,
+                Ir.Iconst 0,
+                Ir.Iconst n2,
+                [
+                  Ir.Store
+                    ( out,
+                      idx2 ~cols:n1 (Ir.Ireg k2) (Ir.Ireg k1),
+                      Ir.Fload (bre, idx2 ~cols:n2 (Ir.Ireg k1) (Ir.Ireg k2)),
+                      "transpose3" );
+                  Ir.Store
+                    ( out,
+                      Ir.Iadd (Ir.Iconst n, idx2 ~cols:n1 (Ir.Ireg k2) (Ir.Ireg k1)),
+                      Ir.Fload (bim, idx2 ~cols:n2 (Ir.Ireg k1) (Ir.Ireg k2)),
+                      "transpose3" );
+                ] );
+          ] );
+    ]
+  in
+  Ir.set_body p (step1 @ step2 @ step3 @ step4 @ step5 @ step6);
+  Ir.output_array p out;
+  p
+
+let fft_oracle ~n1 ~n2 ~seed =
+  let r = Fft.six_step_plain (fft_config ~n1 ~n2 ~seed ~tolerance:1.) in
+  Array.append r.Fft.re r.Fft.im
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi solver (port of [Jacobi]); even sweep counts ping-pong        *)
+(* between the two grids, leaving the result in the source array.      *)
+
+let jacobi ~grid ~sweeps ~tolerance =
+  if grid <= 0 then invalid_arg "Ir_kernels.jacobi: grid must be positive";
+  if sweeps <= 0 || sweeps mod 2 <> 0 then
+    invalid_arg "Ir_kernels.jacobi: sweeps must be positive and even";
+  let a = Poisson.matrix ~grid in
+  let b = Poisson.rhs ~grid in
+  let n = Array.length b in
+  let p = Ir.create ~name:"ir.jacobi" ~tolerance in
+  let src = Ir.array p ~name:"x" ~init:(Array.make n 0.) in
+  let dst = Ir.array p ~name:"x'" ~init:(Array.make n 0.) in
+  let s = Ir.ireg p in
+  let sweep from_a to_a =
+    List.init n (fun row ->
+        let off = ref (Ir.Fconst 0.) and diag = ref 1. in
+        for k = a.Csr.row_ptr.(row) to a.Csr.row_ptr.(row + 1) - 1 do
+          let col = a.Csr.col_idx.(k) in
+          if col = row then diag := a.Csr.values.(k)
+          else
+            off :=
+              Ir.Fadd
+                (!off, Ir.Fmul (Ir.Fconst a.Csr.values.(k), Ir.Fload (from_a, Ir.Iconst col)))
+        done;
+        Ir.Store
+          ( to_a,
+            Ir.Iconst row,
+            Ir.Fdiv (Ir.Fsub (Ir.Fconst b.(row), !off), Ir.Fconst !diag),
+            "x'[i] = (b[i]-s)/d" ))
+  in
+  Ir.set_body p
+    [ Ir.For (s, Ir.Iconst 0, Ir.Iconst (sweeps / 2), sweep src dst @ sweep dst src) ];
+  Ir.output_array p src;
+  p
+
+let jacobi_oracle ~grid ~sweeps = Jacobi.solve_plain { Jacobi.grid; sweeps; tolerance = 1. }
+
+(* ------------------------------------------------------------------ *)
+(* Blocked GEMM (port of [Gemm]).                                      *)
+
+let gemm_inputs ~n ~seed =
+  let rng = Rng.create ~seed in
+  let a = Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+  let b = Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1. in
+  (Dense.flatten a, Dense.flatten b)
+
+let gemm ~n ~block ~seed ~tolerance =
+  if n <= 0 then invalid_arg "Ir_kernels.gemm: n must be positive";
+  if block <= 0 || n mod block <> 0 then
+    invalid_arg "Ir_kernels.gemm: block must divide n";
+  let af, bf = gemm_inputs ~n ~seed in
+  let p = Ir.create ~name:"ir.gemm" ~tolerance in
+  let a = Ir.array p ~name:"a" ~init:af in
+  let b = Ir.array p ~name:"b" ~init:bf in
+  let c = Ir.array p ~name:"c" ~init:(Array.make (n * n) 0.) in
+  let acc = Ir.freg p in
+  let kb = Ir.ireg p and ib = Ir.ireg p and jb = Ir.ireg p in
+  let k0 = Ir.ireg p and i0 = Ir.ireg p and j0 = Ir.ireg p in
+  let i = Ir.ireg p and j = Ir.ireg p and k = Ir.ireg p in
+  let nb = n / block in
+  let blk base = Ir.Iadd (Ir.Ireg base, Ir.Iconst block) in
+  Ir.set_body p
+    [
+      Ir.For
+        ( kb,
+          Ir.Iconst 0,
+          Ir.Iconst nb,
+          [
+            Ir.Iassign (k0, Ir.Imul (Ir.Ireg kb, Ir.Iconst block));
+            Ir.For
+              ( ib,
+                Ir.Iconst 0,
+                Ir.Iconst nb,
+                [
+                  Ir.Iassign (i0, Ir.Imul (Ir.Ireg ib, Ir.Iconst block));
+                  Ir.For
+                    ( jb,
+                      Ir.Iconst 0,
+                      Ir.Iconst nb,
+                      [
+                        Ir.Iassign (j0, Ir.Imul (Ir.Ireg jb, Ir.Iconst block));
+                        Ir.For
+                          ( i,
+                            Ir.Ireg i0,
+                            blk i0,
+                            [
+                              Ir.For
+                                ( j,
+                                  Ir.Ireg j0,
+                                  blk j0,
+                                  [
+                                    Ir.Flet (acc, Ir.Fconst 0.);
+                                    Ir.For
+                                      ( k,
+                                        Ir.Ireg k0,
+                                        blk k0,
+                                        [
+                                          Ir.Flet
+                                            ( acc,
+                                              Ir.Fadd
+                                                ( Ir.Freg acc,
+                                                  Ir.Fmul
+                                                    ( Ir.Fload
+                                                        (a, idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg k)),
+                                                      Ir.Fload
+                                                        (b, idx2 ~cols:n (Ir.Ireg k) (Ir.Ireg j))
+                                                    ) ) );
+                                        ] );
+                                    Ir.Store
+                                      ( c,
+                                        idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j),
+                                        Ir.Fadd
+                                          ( Ir.Fload (c, idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j)),
+                                            Ir.Freg acc ),
+                                        "c[i][j] += block dot" );
+                                  ] );
+                            ] );
+                      ] );
+                ] );
+          ] );
+    ];
+  Ir.output_array p c;
+  p
+
+let gemm_oracle ~n ~block ~seed = Gemm.multiply_plain { Gemm.n; block; seed; tolerance = 1. }
+
+(* ------------------------------------------------------------------ *)
+(* Register-accumulated matmul (port of [Matprod.matmul_program],      *)
+(* including its recorded input loads).                                *)
+
+let matmul ~n ~seed ~tolerance =
+  if n <= 0 then invalid_arg "Ir_kernels.matmul: n must be positive";
+  let rng = Rng.create ~seed in
+  let af = Dense.flatten (Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1.) in
+  let bf = Dense.flatten (Dense.random rng ~rows:n ~cols:n ~lo:(-1.) ~hi:1.) in
+  let p = Ir.create ~name:"ir.matmul" ~tolerance in
+  let a = Ir.array p ~name:"a" ~init:af in
+  let b = Ir.array p ~name:"b" ~init:bf in
+  let la = Ir.array p ~name:"la" ~init:(Array.make (n * n) 0.) in
+  let lb = Ir.array p ~name:"lb" ~init:(Array.make (n * n) 0.) in
+  let c = Ir.array p ~name:"c" ~init:(Array.make (n * n) 0.) in
+  let acc = Ir.freg p in
+  let i = Ir.ireg p and j = Ir.ireg p and k = Ir.ireg p in
+  let copy_in src dst label =
+    Ir.For
+      ( i,
+        Ir.Iconst 0,
+        Ir.Iconst n,
+        [
+          Ir.For
+            ( j,
+              Ir.Iconst 0,
+              Ir.Iconst n,
+              [
+                Ir.Store
+                  ( dst,
+                    idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j),
+                    Ir.Fload (src, idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j)),
+                    label );
+              ] );
+        ] )
+  in
+  Ir.set_body p
+    [
+      copy_in a la "load a[i][j]";
+      copy_in b lb "load b[i][j]";
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst n,
+          [
+            Ir.For
+              ( j,
+                Ir.Iconst 0,
+                Ir.Iconst n,
+                [
+                  Ir.Flet (acc, Ir.Fconst 0.);
+                  Ir.For
+                    ( k,
+                      Ir.Iconst 0,
+                      Ir.Iconst n,
+                      [
+                        Ir.Flet
+                          ( acc,
+                            Ir.Fadd
+                              ( Ir.Freg acc,
+                                Ir.Fmul
+                                  ( Ir.Fload (la, idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg k)),
+                                    Ir.Fload (lb, idx2 ~cols:n (Ir.Ireg k) (Ir.Ireg j)) ) ) );
+                      ] );
+                  Ir.Store
+                    (c, idx2 ~cols:n (Ir.Ireg i) (Ir.Ireg j), Ir.Freg acc, "c[i][j] = a[i].b[:][j]");
+                ] );
+          ] );
+    ];
+  Ir.output_array p c;
+  p
+
+let matmul_oracle ~n ~seed = Matprod.matmul_plain { Matprod.n; seed; tolerance = 1. }
+
+(* ------------------------------------------------------------------ *)
+(* 2-D five-point stencil (port of [Stencil]) on a zero-padded          *)
+(* (size+2)² grid: the padding stands in for the closure's bounds       *)
+(* checks, the border cells are never written and never recorded, and   *)
+(* even sweep counts ping-pong so the result lands back in [src].       *)
+
+let stencil_pad ~size flat =
+  let w = size + 2 in
+  let padded = Array.make (w * w) 0. in
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      padded.(((i + 1) * w) + j + 1) <- flat.((i * size) + j)
+    done
+  done;
+  padded
+
+let stencil ~size ~sweeps ~seed ~tolerance =
+  if size <= 0 then invalid_arg "Ir_kernels.stencil: size must be positive";
+  if sweeps <= 0 || sweeps mod 2 <> 0 then
+    invalid_arg "Ir_kernels.stencil: sweeps must be positive and even";
+  let rng = Rng.create ~seed in
+  let init = Array.init (size * size) (fun _ -> Rng.float rng 1.) in
+  let w = size + 2 in
+  let p = Ir.create ~name:"ir.stencil" ~tolerance in
+  let src = Ir.array p ~name:"grid" ~init:(stencil_pad ~size init) in
+  let dst = Ir.array p ~name:"grid'" ~init:(Array.make (w * w) 0.) in
+  let s = Ir.ireg p and i = Ir.ireg p and j = Ir.ireg p in
+  let sweep from_a to_a =
+    let at di dj =
+      Ir.Fload
+        ( from_a,
+          idx2 ~cols:w (Ir.Iadd (Ir.Ireg i, Ir.Iconst di)) (Ir.Iadd (Ir.Ireg j, Ir.Iconst dj))
+        )
+    in
+    [
+      Ir.For
+        ( i,
+          Ir.Iconst 1,
+          Ir.Iconst (size + 1),
+          [
+            Ir.For
+              ( j,
+                Ir.Iconst 1,
+                Ir.Iconst (size + 1),
+                [
+                  Ir.Store
+                    ( to_a,
+                      idx2 ~cols:w (Ir.Ireg i) (Ir.Ireg j),
+                      Ir.Fmul
+                        ( Ir.Fconst 0.2,
+                          Ir.Fadd
+                            ( Ir.Fadd
+                                (Ir.Fadd (Ir.Fadd (at 0 0, at (-1) 0), at 1 0), at 0 (-1)),
+                              at 0 1 ) ),
+                      "grid'[i][j] = avg" );
+                ] );
+          ] );
+    ]
+  in
+  Ir.set_body p
+    [ Ir.For (s, Ir.Iconst 0, Ir.Iconst (sweeps / 2), sweep src dst @ sweep dst src) ];
+  Ir.output_array p src;
+  p
+
+let stencil_oracle ~size ~sweeps ~seed =
+  stencil_pad ~size (Stencil.run_plain { Stencil.size; sweeps; seed; tolerance = 1. })
+
+(* ------------------------------------------------------------------ *)
+(* The suite registry: every IR kernel at its campaign configuration,  *)
+(* as unoptimized builders. [Suite] lowers them through the optimizing *)
+(* pipeline; [ftb ir --dump] prints them and their per-pass deltas.    *)
+
+let suite : (string * (unit -> Ir.t)) list =
+  [
+    ("ir.dot", fun () -> Ftb_ir.Programs.dot ~n:48 ~seed:11 ~tolerance:1e-9);
+    ("ir.saxpy", fun () -> Ftb_ir.Programs.saxpy ~n:48 ~seed:12 ~tolerance:1e-9);
+    ("ir.stencil3", fun () -> Ftb_ir.Programs.stencil3 ~n:32 ~sweeps:4 ~seed:13 ~tolerance:1e-9);
+    ("ir.matvec", fun () -> Ftb_ir.Programs.matvec ~n:16 ~seed:14 ~tolerance:1e-9);
+    ("ir.normalize", fun () -> Ftb_ir.Programs.normalize ~n:24 ~seed:15 ~tolerance:1e-9);
+    ("ir.cg", fun () -> cg ~grid:6 ~iterations:8 ~tolerance:1e-4);
+    ("ir.lu", fun () -> lu ~n:12 ~block:4 ~seed:7 ~tolerance:1e-4);
+    ("ir.fft", fun () -> fft ~n1:8 ~n2:8 ~seed:11 ~tolerance:1.0);
+    ("ir.jacobi", fun () -> jacobi ~grid:6 ~sweeps:10 ~tolerance:1e-4);
+    ("ir.gemm", fun () -> gemm ~n:16 ~block:4 ~seed:21 ~tolerance:1e-3);
+    ("ir.matmul", fun () -> matmul ~n:16 ~seed:9 ~tolerance:1e-3);
+    ("ir.stencil", fun () -> stencil ~size:12 ~sweeps:6 ~seed:3 ~tolerance:1e-4);
+  ]
+
+let find name =
+  match List.assoc_opt name suite with
+  | Some build -> build ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Ir_kernels.find: unknown IR kernel %S (expected one of: %s)" name
+           (String.concat ", " (List.map fst suite)))

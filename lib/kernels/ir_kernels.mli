@@ -1,0 +1,76 @@
+(** IR ports of the closure benchmarks.
+
+    Every kernel the suite serves as a hand-instrumented closure also
+    exists as a structured {!Ftb_ir.Ir.t} program, arithmetic-identical to
+    the closure oracle (same operations, same order, reductions
+    accumulated from [0.] exactly as the closures do) — so campaigns on
+    the IR variants run through the optimizing pipeline, the batched
+    prefix-snapshot executor and the dependent-cone fast path of
+    [Ftb_inject.Executor].
+
+    The IR has no integer-array indexing, so data-independent index
+    structure (CSR rows in CG/Jacobi, FFT bit-reversal and twiddle
+    schedules) is specialized at build time into constant-index statements
+    sharing one label per phase — legitimate under the paper's
+    fixed-computation-sequence assumption (§2.2).
+
+    Each [*_oracle] returns the expected uninstrumented output (same
+    layout as the IR program's output array), delegating to the closure
+    kernels' [*_plain] oracles. *)
+
+val cg : grid:int -> iterations:int -> tolerance:float -> Ftb_ir.Ir.t
+(** Conjugate gradient on the [grid²]-unknown Poisson system; output is
+    the final iterate [x]. Reductions are scratch [Flet] accumulations
+    recorded once, like the closure kernel's single-record dots; [alpha]
+    and [beta] are guarded as in [Cg.program]. *)
+
+val cg_oracle : grid:int -> iterations:int -> float array
+
+val lu : n:int -> block:int -> seed:int -> tolerance:float -> Ftb_ir.Ir.t
+(** Blocked right-looking LU without pivoting, packed output; pivot
+    reciprocals guarded as in [Lu.program]. [block] must divide [n]. *)
+
+val lu_oracle : n:int -> block:int -> seed:int -> float array
+
+val fft : n1:int -> n2:int -> seed:int -> tolerance:float -> Ftb_ir.Ir.t
+(** Six-step FFT of [n1·n2] points ([n1], [n2] powers of two); output is
+    the interleaved (re, im) spectrum, like [Fft.program]'s. *)
+
+val fft_oracle : n1:int -> n2:int -> seed:int -> float array
+
+val jacobi : grid:int -> sweeps:int -> tolerance:float -> Ftb_ir.Ir.t
+(** Fixed-sweep Jacobi on the Poisson system. [sweeps] must be even: the
+    two grids ping-pong, so the result lands back in the output array
+    without a copy loop. *)
+
+val jacobi_oracle : grid:int -> sweeps:int -> float array
+
+val gemm : n:int -> block:int -> seed:int -> tolerance:float -> Ftb_ir.Ir.t
+(** Cache-blocked GEMM: every per-block partial update of [C] is a
+    recorded store, as in [Gemm.program]. [block] must divide [n]. *)
+
+val gemm_oracle : n:int -> block:int -> seed:int -> float array
+
+val matmul : n:int -> seed:int -> tolerance:float -> Ftb_ir.Ir.t
+(** Register-accumulated matmul including the recorded input loads of
+    [Matprod.matmul_program]. *)
+
+val matmul_oracle : n:int -> seed:int -> float array
+
+val stencil : size:int -> sweeps:int -> seed:int -> tolerance:float -> Ftb_ir.Ir.t
+(** 2-D five-point averaging stencil on a zero-padded [(size+2)²] grid;
+    the border stands in for the closure's bounds checks and is never
+    written. [sweeps] must be even (ping-pong). Output is the padded
+    grid; {!stencil_oracle} returns the closure result in the same padded
+    layout. *)
+
+val stencil_oracle : size:int -> sweeps:int -> seed:int -> float array
+
+val suite : (string * (unit -> Ftb_ir.Ir.t)) list
+(** Every IR kernel at its campaign configuration, as unoptimized
+    builders — the single source of truth for [Suite]'s IR entries and
+    for [ftb ir --dump]. *)
+
+val find : string -> Ftb_ir.Ir.t
+(** Build the named suite kernel. Raises [Invalid_argument] with the
+    known names on a miss. *)

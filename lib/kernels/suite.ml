@@ -7,25 +7,17 @@ let matvec = lazy (Matprod.matvec_program Matprod.matvec_default)
 let matmul = lazy (Matprod.matmul_program Matprod.matmul_default)
 let gemm = lazy (Gemm.program Gemm.default)
 
-(* IR-compiled kernels. Unlike the hand-instrumented closures above, these
-   carry the [resumable] prefix-snapshot capability, so exhaustive
-   campaigns on them run through the batched executor
-   ([Ftb_inject.Executor]) instead of full per-case re-execution. *)
-let ir_dot = lazy (Ftb_ir.Ir.to_program (Ftb_ir.Programs.dot ~n:48 ~seed:11 ~tolerance:1e-9))
-
-let ir_saxpy =
-  lazy (Ftb_ir.Ir.to_program (Ftb_ir.Programs.saxpy ~n:48 ~seed:12 ~tolerance:1e-9))
-
-let ir_stencil3 =
-  lazy
-    (Ftb_ir.Ir.to_program
-       (Ftb_ir.Programs.stencil3 ~n:32 ~sweeps:4 ~seed:13 ~tolerance:1e-9))
-
-let ir_matvec =
-  lazy (Ftb_ir.Ir.to_program (Ftb_ir.Programs.matvec ~n:16 ~seed:14 ~tolerance:1e-9))
-
-let ir_normalize =
-  lazy (Ftb_ir.Ir.to_program (Ftb_ir.Programs.normalize ~n:24 ~seed:15 ~tolerance:1e-9))
+(* IR-compiled kernels, from the [Ir_kernels] registry. Lowering goes
+   through the optimizing pipeline ([Ftb_ir.Pipeline.to_program]), so —
+   unlike the hand-instrumented closures above — every IR entry carries
+   the [resumable] prefix-snapshot capability AND the dependent-cone
+   plan: exhaustive campaigns on them run through the batched executor's
+   fast paths ([Ftb_inject.Executor]) instead of full per-case
+   re-execution, byte-identical by construction. *)
+let ir_kernels =
+  List.map
+    (fun (name, build) -> (name, lazy (Ftb_ir.Pipeline.to_program (build ()))))
+    Ir_kernels.suite
 
 let paper_benchmarks = [ ("cg", cg); ("lu", lu); ("fft", fft) ]
 
@@ -35,10 +27,7 @@ let all =
       ("jacobi", jacobi); ("stencil", stencil); ("matvec", matvec); ("matmul", matmul);
       ("gemm", gemm);
     ]
-  @ [
-      ("ir.dot", ir_dot); ("ir.saxpy", ir_saxpy); ("ir.stencil3", ir_stencil3);
-      ("ir.matvec", ir_matvec); ("ir.normalize", ir_normalize);
-    ]
+  @ ir_kernels
 
 let names () = List.map fst all
 

@@ -21,16 +21,13 @@ val matmul : Ftb_trace.Program.t Lazy.t
 val gemm : Ftb_trace.Program.t Lazy.t
 (** Blocked GEMM with {!Gemm.default}. *)
 
-val ir_dot : Ftb_trace.Program.t Lazy.t
-val ir_saxpy : Ftb_trace.Program.t Lazy.t
-val ir_stencil3 : Ftb_trace.Program.t Lazy.t
-val ir_matvec : Ftb_trace.Program.t Lazy.t
-
-val ir_normalize : Ftb_trace.Program.t Lazy.t
-(** The [ir.*] entries are compiled from the miniature IR
-    ([Ftb_ir.Programs]) rather than hand-instrumented; they carry the
-    [resumable] prefix-snapshot capability, so exhaustive campaigns on
-    them use batched suffix replay ([Ftb_inject.Executor]). *)
+val ir_kernels : (string * Ftb_trace.Program.t Lazy.t) list
+(** The [ir.*] entries — one per {!Ir_kernels.suite} builder — are
+    compiled from the miniature IR rather than hand-instrumented, lowered
+    through the optimizing pipeline ([Ftb_ir.Pipeline.to_program]): they
+    carry the [resumable] prefix-snapshot capability and the
+    dependent-cone plan, so exhaustive campaigns on them run through the
+    batched executor's fast paths ([Ftb_inject.Executor]). *)
 
 val paper_benchmarks : (string * Ftb_trace.Program.t Lazy.t) list
 (** The three benchmarks of the paper's evaluation, in paper order:

@@ -13,6 +13,27 @@ type prefix_outcome =
           replayed to completion any number of times, each replay under a
           fresh context and against a fresh copy of the saved state *)
 
+(** Outcome of a dependent-cone replay, mirroring the classification of a
+    full run: the L∞ output deviation against tolerance, or a crash. *)
+type cone_outcome = Cone_masked | Cone_sdc | Cone_crash of Ctx.crash_reason
+
+type cone_plan = {
+  cone_sites : int;
+      (** number of injection sites the plan covers — must equal the
+          golden site count or the executor discards the plan *)
+  cone_case : site:int -> ((float -> float) -> cone_outcome) option;
+      (** [cone_case ~site] specializes the program to injection site
+          [site]: the returned closure takes the corruption function,
+          replays only the site's dependent cone (forward slice) against
+          precomputed golden values, and classifies the outcome — no
+          prefix, no suffix, no output copy. [None] when the site's cone is
+          imprecise (feeds a float branch, or too large to pay off); the
+          caller must fall back to full or prefix-snapshot replay. The
+          closure is single-threaded (it reuses scratch buffers); obtain
+          one per domain. *)
+}
+(** A site-suffix specializer: per-site dependent-cone replay. *)
+
 type t = {
   name : string;  (** short identifier, e.g. ["cg"] *)
   description : string;  (** one-line description for reports *)
@@ -26,10 +47,17 @@ type t = {
           Backs the batched campaign executor, which runs the shared prefix
           of a site's 64 bit flips once. [None] for closure kernels, which
           the executor transparently re-runs in full. *)
+  cone : (unit -> cone_plan option) option;
+      (** dependent-cone capability: forces the (lazily built, memoized)
+          cone analysis. [None] when the program carries no analysis;
+          [Some force] where [force ()] is [None] when the analysis failed
+          and the executor must ignore the capability. Outcomes produced
+          through a plan must be bit-identical to full replay. *)
 }
 
 val make :
   ?resumable:(Ctx.t -> stop_at:int -> prefix_outcome) ->
+  ?cone:(unit -> cone_plan option) ->
   name:string ->
   description:string ->
   tolerance:float ->
@@ -40,3 +68,6 @@ val make :
     [resumable] is the optional prefix-snapshot capability; a paused
     execution's replays must be bit-identical to running the body in full
     under an equivalently positioned context. *)
+
+val with_cone : t -> (unit -> cone_plan option) -> t
+(** Functional copy with the dependent-cone capability attached. *)

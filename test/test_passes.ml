@@ -1,0 +1,289 @@
+(* The optimizing passes. Unit tests pin the characteristic rewrite of
+   each pass on hand-built IR; the QCheck property then checks the real
+   contract on random well-formed programs: every pass (and the full
+   pipeline) preserves the dynamic event stream bitwise, the static label
+   order (= the injection-site tag space), validity, and the
+   uninstrumented output. *)
+
+module Ir = Ftb_ir.Ir
+module Passes = Ftb_ir.Passes
+module Pipeline = Ftb_ir.Pipeline
+
+let streams_equal s1 s2 =
+  List.length s1 = List.length s2
+  && List.for_all2
+       (fun (l1, v1) (l2, v2) ->
+         String.equal l1 l2 && Int64.bits_of_float v1 = Int64.bits_of_float v2)
+       s1 s2
+
+let outputs_equal o1 o2 =
+  Array.length o1 = Array.length o2
+  && Array.for_all2 (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b) o1 o2
+
+let check_preserves what pass ir =
+  let ir' = pass.Passes.run ir in
+  (match Ir.validate ir' with
+  | Ok () -> ()
+  | Error msgs ->
+      Alcotest.failf "%s: %s output invalid: %s" what pass.Passes.pass_name
+        (String.concat "; " msgs));
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s: %s preserves label order" what pass.Passes.pass_name)
+    (Pipeline.labels_of ir) (Pipeline.labels_of ir');
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s preserves the event stream" what pass.Passes.pass_name)
+    true
+    (streams_equal (Ir.event_stream ir) (Ir.event_stream ir'));
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s preserves the output" what pass.Passes.pass_name)
+    true
+    (outputs_equal (Ir.interpret_plain ir) (Ir.interpret_plain ir'));
+  ir'
+
+let test_fold_folds_constants () =
+  let p = Ir.create ~name:"fold" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 1.; 2.; 3.; 4. |] in
+  let r = Ir.freg p in
+  let i = Ir.ireg p in
+  Ir.output_array p a;
+  Ir.set_body p
+    [
+      Ir.Fassign (r, Ir.Fadd (Ir.Fconst 1.5, Ir.Fconst 2.25), "r");
+      Ir.Store (a, Ir.Iadd (Ir.Iconst 1, Ir.Iconst 2), Ir.Freg r, "a[3]");
+      (* empty range, label-free body: removable *)
+      Ir.For (i, Ir.Iconst 2, Ir.Iconst 2, [ Ir.Flet (r, Ir.Fconst 0.) ]);
+    ];
+  let folded = check_preserves "fold" Passes.fold p in
+  (match Ir.body folded with
+  | [ Ir.Fassign (_, Ir.Fconst v, "r"); Ir.Store (_, Ir.Iconst 3, Ir.Freg _, "a[3]") ]
+    when v = 3.75 ->
+      ()
+  | body ->
+      Alcotest.failf "fold left %d stmts without folding constants" (List.length body));
+  Alcotest.(check bool) "fold shrinks the body" true
+    (Passes.op_count folded < Passes.op_count p)
+
+let test_cse_shares_repeats () =
+  let p = Ir.create ~name:"cse" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 1.5; 2.5; 3.5; 4.5 |] in
+  let r0 = Ir.freg p and r1 = Ir.freg p and t = Ir.freg p in
+  let product = Ir.Fmul (Ir.Fload (a, Ir.Iconst 0), Ir.Fload (a, Ir.Iconst 1)) in
+  Ir.output_array p a;
+  Ir.set_body p
+    [
+      (* repeat within one statement: hoisted into a fresh scratch *)
+      Ir.Fassign (r0, Ir.Fadd (product, product), "r0");
+      (* scratch definition makes the value available downstream *)
+      Ir.Flet (t, product);
+      Ir.Fassign (r1, Ir.Fadd (product, Ir.Freg t), "r1");
+      Ir.Store (a, Ir.Iconst 2, Ir.Fadd (Ir.Freg r0, Ir.Freg r1), "a[2]");
+    ];
+  let shared = check_preserves "cse" Passes.cse p in
+  Alcotest.(check bool) "cse introduces a scratch definition" true
+    (List.length
+       (List.filter (function Ir.Flet _ -> true | _ -> false) (Ir.body shared))
+    > 1);
+  Alcotest.(check bool) "cse shrinks the op count" true
+    (Passes.op_count shared < Passes.op_count p);
+  (* the third statement's [product] must now read the scratch *)
+  List.iter
+    (function
+      | Ir.Fassign (_, e, "r1") ->
+          let rec has_mul = function
+            | Ir.Fmul _ -> true
+            | Ir.Fadd (x, y) | Ir.Fsub (x, y) | Ir.Fdiv (x, y) -> has_mul x || has_mul y
+            | Ir.Fneg x | Ir.Fabs x | Ir.Fsqrt x -> has_mul x
+            | Ir.Fconst _ | Ir.Freg _ | Ir.Fload _ -> false
+          in
+          Alcotest.(check bool) "r1 reuses the available scratch" false (has_mul e)
+      | _ -> ())
+    (Ir.body shared)
+
+let test_licm_hoists_invariants () =
+  let p = Ir.create ~name:"licm" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:(Array.init 8 (fun i -> float_of_int i)) in
+  let b = Ir.array p ~name:"b" ~init:(Array.init 8 (fun i -> 1.0 +. float_of_int i)) in
+  let c = Ir.freg p in
+  let i = Ir.ireg p in
+  Ir.output_array p a;
+  Ir.set_body p
+    [
+      Ir.Fassign (c, Ir.Fload (a, Ir.Iconst 0), "c");
+      Ir.For
+        ( i,
+          Ir.Iconst 0,
+          Ir.Iconst 4,
+          [
+            Ir.Store
+              ( a,
+                Ir.Iadd (Ir.Ireg i, Ir.Iconst 1),
+                Ir.Fadd (Ir.Fmul (Ir.Freg c, Ir.Freg c), Ir.Fload (b, Ir.Ireg i)),
+                "a[i+1]" );
+          ] );
+    ];
+  let hoisted = check_preserves "licm" Passes.licm p in
+  let rec in_fexpr = function
+    | Ir.Fmul (Ir.Freg _, Ir.Freg _) -> true
+    | Ir.Fadd (x, y) | Ir.Fsub (x, y) | Ir.Fmul (x, y) | Ir.Fdiv (x, y) ->
+        in_fexpr x || in_fexpr y
+    | Ir.Fneg x | Ir.Fabs x | Ir.Fsqrt x -> in_fexpr x
+    | Ir.Fconst _ | Ir.Freg _ | Ir.Fload _ -> false
+  in
+  let loop_still_squares =
+    List.exists
+      (function
+        | Ir.For (_, _, _, body) ->
+            List.exists
+              (function
+                | Ir.Store (_, _, e, _) | Ir.Fassign (_, e, _) | Ir.Flet (_, e) ->
+                    in_fexpr e
+                | _ -> false)
+              body
+        | _ -> false)
+      (Ir.body hoisted)
+  in
+  Alcotest.(check bool) "the invariant square left the loop body" false loop_still_squares;
+  Alcotest.(check bool) "a scratch definition appears before the loop" true
+    (let rec before = function
+       | Ir.Flet _ :: _ -> true
+       | Ir.For _ :: _ -> false
+       | _ :: rest -> before rest
+       | [] -> false
+     in
+     before (Ir.body hoisted))
+
+let test_fuse_inlines_and_removes_dead () =
+  let p = Ir.create ~name:"fuse" ~tolerance:1. in
+  let a = Ir.array p ~name:"a" ~init:[| 1.; 2.; 3.; 4. |] in
+  let t = Ir.freg p and r = Ir.freg p and dead = Ir.freg p in
+  Ir.output_array p a;
+  Ir.set_body p
+    [
+      Ir.Flet (t, Ir.Fadd (Ir.Fload (a, Ir.Iconst 0), Ir.Fload (a, Ir.Iconst 1)));
+      Ir.Fassign (r, Ir.Fmul (Ir.Freg t, Ir.Fconst 2.), "r");
+      Ir.Flet (dead, Ir.Fconst 9.);
+      Ir.Store (a, Ir.Iconst 2, Ir.Freg r, "a[2]");
+    ];
+  let fused = check_preserves "fuse" Passes.fuse p in
+  match Ir.body fused with
+  | [ Ir.Fassign (_, Ir.Fmul (Ir.Fadd _, Ir.Fconst 2.), "r"); Ir.Store (_, Ir.Iconst 2, _, "a[2]") ]
+    ->
+      ()
+  | body ->
+      Alcotest.failf "fuse left %d stmts: expected the Flet inlined and the dead one gone"
+        (List.length body)
+
+(* Random well-formed programs, deterministic from a seed: two 8-element
+   arrays, four registers all recorded-assigned up front, arithmetic
+   restricted so every array index is provably in bounds. Loop variables
+   stay in [0, 3), so [lv + k] with [k <= 5] is safe on length-8 arrays. *)
+let gen_ir seed =
+  let st = Random.State.make [| 0x517cc1b7; seed |] in
+  let rand n = Random.State.int st n in
+  let p = Ir.create ~name:(Printf.sprintf "qcheck%d" seed) ~tolerance:1e9 in
+  let a = Ir.array p ~name:"a" ~init:(Array.init 8 (fun i -> float_of_int i +. 0.5)) in
+  let b =
+    Ir.array p ~name:"b" ~init:(Array.init 8 (fun i -> 3.0 -. (0.25 *. float_of_int i)))
+  in
+  let arrays = [| a; b |] in
+  let fregs = Array.init 4 (fun _ -> Ir.freg p) in
+  let consts = [| 0.; 1.; -2.5; 0.125; 3.75 |] in
+  let index loop_vars =
+    match loop_vars with
+    | [] -> Ir.Iconst (rand 8)
+    | lv :: _ -> (
+        match rand 3 with
+        | 0 -> Ir.Iconst (rand 8)
+        | 1 -> Ir.Ireg lv
+        | _ -> Ir.Iadd (Ir.Ireg lv, Ir.Iconst (rand 6)))
+  in
+  let rec fexpr depth loop_vars =
+    if depth = 0 || rand 3 = 0 then
+      match rand 3 with
+      | 0 -> Ir.Fconst consts.(rand (Array.length consts))
+      | 1 -> Ir.Freg fregs.(rand 4)
+      | _ -> Ir.Fload (arrays.(rand 2), index loop_vars)
+    else
+      let sub () = fexpr (depth - 1) loop_vars in
+      match rand 5 with
+      | 0 -> Ir.Fadd (sub (), sub ())
+      | 1 -> Ir.Fsub (sub (), sub ())
+      | 2 -> Ir.Fmul (sub (), sub ())
+      | 3 -> Ir.Fneg (sub ())
+      | _ -> Ir.Fabs (sub ())
+  in
+  let label kind = Printf.sprintf "%s%d" kind (rand 3) in
+  let rec stmts depth loop_vars budget =
+    if budget = 0 then []
+    else
+      let s =
+        match if depth = 0 then rand 4 else rand 6 with
+        | 0 -> Ir.Fassign (fregs.(rand 4), fexpr 3 loop_vars, label "f")
+        | 1 -> Ir.Store (arrays.(rand 2), index loop_vars, fexpr 2 loop_vars, label "st")
+        | 2 -> Ir.Flet (fregs.(rand 4), fexpr 2 loop_vars)
+        | 3 -> Ir.Fassign (fregs.(rand 4), fexpr 2 loop_vars, label "f")
+        | 4 ->
+            let i = Ir.ireg p in
+            Ir.For
+              ( i,
+                Ir.Iconst 0,
+                Ir.Iconst (1 + rand 3),
+                stmts (depth - 1) (i :: loop_vars) (1 + rand 3) )
+        | _ ->
+            let cond =
+              if rand 2 = 0 then
+                Ir.Icmp
+                  ((if rand 2 = 0 then `Lt else `Ne), Ir.Iconst (rand 4), Ir.Iconst (rand 4))
+              else Ir.Fcmp (`Lt, fexpr 1 loop_vars, Ir.Fconst consts.(rand 5))
+            in
+            Ir.If (cond, stmts (depth - 1) loop_vars (1 + rand 2), stmts (depth - 1) loop_vars (rand 3))
+      in
+      s :: stmts depth loop_vars (budget - 1)
+  in
+  let init =
+    Array.to_list
+      (Array.map (fun r -> Ir.Fassign (r, Ir.Fconst (0.5 +. float_of_int (r :> int)), "init")) fregs)
+  in
+  Ir.output_array p b;
+  Ir.set_body p (init @ stmts 2 [] (3 + rand 4));
+  p
+
+let prop_passes_preserve_semantics =
+  QCheck.Test.make ~name:"every pass preserves stream, labels and output" ~count:60
+    (QCheck.make ~print:(fun seed -> Ir.to_string (gen_ir seed)) QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let ir = gen_ir seed in
+      (match Ir.validate ir with
+      | Ok () -> ()
+      | Error msgs ->
+          QCheck.Test.fail_reportf "generator produced invalid IR: %s"
+            (String.concat "; " msgs));
+      let stream = Ir.event_stream ir in
+      let labels = Pipeline.labels_of ir in
+      let out = Ir.interpret_plain ir in
+      let ok what ir' =
+        (match Ir.validate ir' with
+        | Ok () -> ()
+        | Error msgs ->
+            QCheck.Test.fail_reportf "%s broke validity: %s" what (String.concat "; " msgs));
+        if Pipeline.labels_of ir' <> labels then
+          QCheck.Test.fail_reportf "%s changed the label order" what;
+        if not (streams_equal stream (Ir.event_stream ir')) then
+          QCheck.Test.fail_reportf "%s changed the event stream" what;
+        if not (outputs_equal out (Ir.interpret_plain ir')) then
+          QCheck.Test.fail_reportf "%s changed the output" what;
+        true
+      in
+      List.for_all (fun pass -> ok pass.Passes.pass_name (pass.Passes.run ir)) Passes.all
+      (* the full pipeline additionally runs its own inter-pass validator *)
+      && ok "pipeline" (Pipeline.optimize ir))
+
+let suite =
+  [
+    Alcotest.test_case "fold folds constants" `Quick test_fold_folds_constants;
+    Alcotest.test_case "cse shares repeated subexpressions" `Quick test_cse_shares_repeats;
+    Alcotest.test_case "licm hoists loop invariants" `Quick test_licm_hoists_invariants;
+    Alcotest.test_case "fuse inlines single-use scratch" `Quick
+      test_fuse_inlines_and_removes_dead;
+    Helpers.qcheck_to_alcotest prop_passes_preserve_semantics;
+  ]

@@ -4,7 +4,8 @@ let test_names () =
   Alcotest.(check (list string)) "registry names"
     [
       "cg"; "lu"; "fft"; "jacobi"; "stencil"; "matvec"; "matmul"; "gemm"; "ir.dot";
-      "ir.saxpy"; "ir.stencil3"; "ir.matvec"; "ir.normalize";
+      "ir.saxpy"; "ir.stencil3"; "ir.matvec"; "ir.normalize"; "ir.cg"; "ir.lu";
+      "ir.fft"; "ir.jacobi"; "ir.gemm"; "ir.matmul"; "ir.stencil";
     ]
     (Suite.names ())
 
