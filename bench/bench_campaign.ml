@@ -489,6 +489,213 @@ let bench_cone ~opts =
   end;
   { cg_name = name; cg_cases = cases; cone_s; nocone_s; cg_speedup; cg_budget }
 
+(* Cache guard: the compositional profile cache must earn its keep.
+
+   Three latencies on one kernel (ir.gemm, the cone guard's
+   configurations):
+
+     cold      a composed campaign against an empty store — sectionize,
+               execute every case, harvest every profile
+     full hit  the daemon's submit-time serve path for a byte-identical
+               resubmission: boundary-key probe plus the synthetic
+               completed checkpoint it persists for the job; no golden
+               run, no case execution
+     partial   one section's profile (and the whole-boundary profile)
+               invalidated — the store-level image of editing that
+               section — then a composed rerun that reuses every other
+               section's bytes and executes only the invalidated one
+
+   All three run under the daemon's default submission spec — fuel
+   budget included, which keeps the fueled (no cone replay) executor on
+   the cold path exactly as `ftb submit gemm` would pay it.
+
+   Guards: a full hit must beat the cold campaign by the floor below (it
+   is one hash, one store read and one checkpoint write), and the
+   partial rerun must cost no more than the invalidated section's share
+   of the case space plus fixed overhead (sectionize's replay
+   validation, probes, harvest) — proportionality to the edit is the
+   whole point of compositional analysis. The share is of the case
+   count, not of the cost: under full-suffix replay the earliest
+   section's cases are the most expensive, so the budget carries slack.
+   Every path's bytes are asserted identical to the model-aware executor
+   under the same fuel before any number is reported. *)
+
+type cache_guard = {
+  hg_name : string;
+  hg_cases : int;
+  hg_sections : int;
+  cold_s : float;
+  full_s : float;
+  partial_s : float;
+  hg_share : float;  (* invalidated section's share of the case space *)
+  hg_full_speedup : float;  (* cold / full hit *)
+  hg_full_floor : float;  (* minimum tolerated full-hit speedup *)
+  hg_partial_ratio : float;  (* partial / cold *)
+  hg_partial_budget : float;  (* maximum tolerated partial / cold *)
+}
+
+let bench_cache ~opts =
+  let module K = Ftb_kernels.Ir_kernels in
+  let module Compose = Ftb_compose.Compose in
+  let module Section = Ftb_compose.Section in
+  let module Store = Ftb_compose.Store in
+  let name = "ir.gemm" in
+  let ir =
+    if opts.quick then K.gemm ~n:6 ~block:3 ~seed:21 ~tolerance:1e-3
+    else K.gemm ~n:16 ~block:4 ~seed:21 ~tolerance:1e-3
+  in
+  let fuel = Some 10_000_000 (* Ftb_service.Job.default_spec's budget *) in
+  let golden = Golden.run (Ftb_ir.Pipeline.to_program ir) in
+  let cases = Golden.cases golden in
+  let reference =
+    (Executor.ground_truth_model ~domains:1 ?fuel Models.default_spec golden)
+      .Ground_truth.outcomes
+  in
+  let check what (outcomes : Bytes.t) =
+    if not (Bytes.equal reference outcomes) then begin
+      Printf.eprintf "FATAL: %s outcomes differ on the cache guard\n" what;
+      exit 1
+    end
+  in
+  let plan =
+    match Section.sectionize ~ir ~golden ~model:Models.default_spec ~fuel with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "FATAL: the cache guard kernel did not sectionize\n";
+        exit 1
+  in
+  let sections = Array.length plan.Section.sections in
+  Printf.printf
+    "cache guard: %s, %d cases, %d sections — cold vs full hit vs one-section edit\n%!" name
+    cases sections;
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ftb-bench-cache.%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  let reps = max opts.reps 3 in
+  (* Cold: a fresh (empty) store per repetition; the timed region is the
+     composed campaign itself, harvest included. *)
+  let cold_s = ref infinity in
+  let store = ref None in
+  let last = ref None in
+  for _ = 1 to reps do
+    rm_rf root;
+    let s = Store.open_ ~root in
+    store := Some s;
+    let t0 = Unix.gettimeofday () in
+    let r = Compose.run ?fuel s ~ir golden in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !cold_s then cold_s := dt;
+    last := Some r
+  done;
+  let store = Option.get !store in
+  let cold_report : Compose.report = Option.get !last in
+  check "cold composed campaign" cold_report.Compose.outcomes;
+  if cold_report.Compose.provenance <> Compose.Cold then begin
+    Printf.eprintf "FATAL: the empty-store campaign was not cold\n";
+    exit 1
+  end;
+  (* Full hit: the populated store now holds the boundary profile. *)
+  let ckpt_path = Filename.temp_file "ftb_bench_cache" ".ckpt" in
+  let program = golden.Golden.program.Ftb_trace.Program.name in
+  let serve () =
+    match Compose.probe_boundary store ~ir ~model:Models.default_spec ~fuel with
+    | None ->
+        Printf.eprintf "FATAL: the populated store missed the boundary probe\n";
+        exit 1
+    | Some b ->
+        Checkpoint.save ~path:ckpt_path
+          (Compose.checkpoint_of_boundary b ~program ~shard_size:4096);
+        b
+  in
+  let boundary, full_s = time ~reps:(max (10 * reps) 20) serve in
+  check "boundary-profile serve"
+    (Bytes.of_string boundary.Ftb_compose.Profile.boutcomes);
+  (try Sys.remove ckpt_path with Sys_error _ -> ());
+  (* Partial: each repetition re-invalidates the victim (the rerun's
+     harvest restores its profile, and its boundary write restores the
+     whole-boundary profile). *)
+  let victim = plan.Section.sections.(0) in
+  let bkey = Section.boundary_key ~ir ~model:Models.default_spec ~fuel in
+  let share =
+    float_of_int (victim.Section.site_hi - victim.Section.site_lo)
+    /. float_of_int plan.Section.sites
+  in
+  let partial_s = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    if Store.invalidate store ~prefix:victim.Section.key < 1 then begin
+      Printf.eprintf "FATAL: invalidating the victim section removed nothing\n";
+      exit 1
+    end;
+    ignore (Store.invalidate store ~prefix:bkey);
+    let t0 = Unix.gettimeofday () in
+    let r = Compose.run ?fuel store ~ir golden in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !partial_s then partial_s := dt;
+    last := Some r
+  done;
+  let partial_report : Compose.report = Option.get !last in
+  check "partial composed rerun" partial_report.Compose.outcomes;
+  if
+    partial_report.Compose.provenance <> Compose.Partial
+    || partial_report.Compose.sections_hit <> sections - 1
+  then begin
+    Printf.eprintf "FATAL: the one-section rerun was not a %d-of-%d partial hit\n"
+      (sections - 1) sections;
+    exit 1
+  end;
+  rm_rf root;
+  let cold_s = !cold_s and partial_s = !partial_s in
+  let hg_full_speedup = cold_s /. full_s in
+  (* Quick inputs are tiny, so the full hit's fixed costs (one file read,
+     one checkpoint write) weigh proportionally more; the headline floor
+     holds on the full-size kernel. *)
+  let hg_full_floor = if opts.quick then 10. else 100. in
+  let hg_partial_ratio = partial_s /. cold_s in
+  let hg_partial_budget = Float.min 0.95 (share +. 0.5) in
+  Printf.printf
+    "  cold %8.3f s | full hit %.6f s (%.0fx, floor %.0fx)\n%!" cold_s full_s
+    hg_full_speedup hg_full_floor;
+  Printf.printf
+    "  partial %8.3f s — %.2fx of cold (invalidated share %.2f, budget %.2f)\n%!"
+    partial_s hg_partial_ratio share hg_partial_budget;
+  if hg_full_speedup < hg_full_floor then begin
+    Printf.eprintf
+      "FATAL: a full cache hit is only %.1fx faster than a cold campaign (floor %.0fx)\n"
+      hg_full_speedup hg_full_floor;
+    exit 1
+  end;
+  if hg_partial_ratio > hg_partial_budget then begin
+    Printf.eprintf
+      "FATAL: a one-section rerun costs %.0f%% of a cold campaign (share %.0f%%, budget \
+       %.0f%%) — partial hits are not proportional to the edit\n"
+      (100. *. hg_partial_ratio) (100. *. share)
+      (100. *. hg_partial_budget);
+    exit 1
+  end;
+  {
+    hg_name = name;
+    hg_cases = cases;
+    hg_sections = sections;
+    cold_s;
+    full_s;
+    partial_s;
+    hg_share = share;
+    hg_full_speedup;
+    hg_full_floor;
+    hg_partial_ratio;
+    hg_partial_budget;
+  }
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -499,7 +706,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~opts ~guard ~models ~cone rows =
+let write_json ~opts ~guard ~models ~cone ~cache rows =
   let buf = Buffer.create 4096 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
@@ -543,6 +750,20 @@ let write_json ~opts ~guard ~models ~cone rows =
   bpf "    \"full_suffix_seconds\": %.6f,\n" cone.nocone_s;
   bpf "    \"speedup\": %.3f,\n" cone.cg_speedup;
   bpf "    \"slowdown_budget\": %.2f,\n" cone.cg_budget;
+  bpf "    \"within_budget\": true\n";
+  bpf "  },\n";
+  bpf "  \"cache_guard\": {\n";
+  bpf "    \"kernel\": \"%s\",\n" (json_escape cache.hg_name);
+  bpf "    \"cases\": %d,\n" cache.hg_cases;
+  bpf "    \"sections\": %d,\n" cache.hg_sections;
+  bpf "    \"cold_seconds\": %.6f,\n" cache.cold_s;
+  bpf "    \"full_hit_seconds\": %.6f,\n" cache.full_s;
+  bpf "    \"partial_seconds\": %.6f,\n" cache.partial_s;
+  bpf "    \"invalidated_share\": %.4f,\n" cache.hg_share;
+  bpf "    \"full_hit_speedup\": %.1f,\n" cache.hg_full_speedup;
+  bpf "    \"full_hit_floor\": %.1f,\n" cache.hg_full_floor;
+  bpf "    \"partial_ratio\": %.4f,\n" cache.hg_partial_ratio;
+  bpf "    \"partial_budget\": %.4f,\n" cache.hg_partial_budget;
   bpf "    \"within_budget\": true\n";
   bpf "  },\n";
   bpf "  \"programs\": [\n";
@@ -591,4 +812,5 @@ let () =
   let guard = bench_persistence ~opts in
   let models = bench_models ~opts in
   let cone = bench_cone ~opts in
-  write_json ~opts ~guard ~models ~cone rows
+  let cache = bench_cache ~opts in
+  write_json ~opts ~guard ~models ~cone ~cache rows

@@ -624,7 +624,7 @@ let socket_arg =
              (socket_of_state default_state_dir)))
 
 let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
-    lease_ttl =
+    lease_ttl no_cache =
   let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
   let socket = Option.value socket ~default:(socket_of_state state) in
   (match stuck_after with
@@ -647,20 +647,24 @@ let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
       domains;
       checkpoint_every;
       stuck_after;
+      cache = not no_cache;
       extension = Some (Ftb_dist.Fleet.extension fleet);
       wave_runner = Some (Ftb_dist.Fleet.wave_runner fleet);
     }
   in
   let t = Service.Server.create config in
   Printf.printf
-    "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d%s, lease ttl %gs\n%!"
+    "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d%s, lease ttl \
+     %gs, cache %s\n\
+     %!"
     state socket domains
     (if domains = 1 then "" else "s")
     capacity
     (match stuck_after with
     | Some d -> Printf.sprintf ", stuck watchdog %gs" d
     | None -> "")
-    lease_ttl;
+    lease_ttl
+    (if no_cache then "off" else "on");
   Service.Server.run ?tcp ~socket t;
   Printf.printf "ftb daemon: drained\n"
 
@@ -712,11 +716,23 @@ let serve_cmd =
              worker that stops heartbeating for this long loses its lease and \
              the shard is reassigned.")
   in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the compositional profile cache. By default the daemon \
+             keeps per-section and whole-boundary outcome profiles under \
+             $(b,<state>/cache) and serves byte-identical exhaustive \
+             resubmissions from them — whole (completed at submit time, no \
+             execution) or in part (only changed sections' cases run).")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the persistent campaign daemon")
     Term.(
       const serve_run $ logs_term $ state_arg $ socket_arg $ tcp_arg $ capacity_arg
-      $ domains_arg $ checkpoint_every_arg $ stuck_after_arg $ lease_ttl_arg)
+      $ domains_arg $ checkpoint_every_arg $ stuck_after_arg $ lease_ttl_arg
+      $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ftb worker: attach to a daemon and execute leased campaign shards. *)
@@ -821,7 +837,13 @@ let print_final id (job : Service.Job.info) =
   let c = job.Service.Job.counts in
   if c.Service.Job.cases_done > 0 then
     Printf.printf "  %d cases: %d masked, %d sdc, %d crash\n" c.Service.Job.cases_done
-      c.Service.Job.masked c.Service.Job.sdc c.Service.Job.crash
+      c.Service.Job.masked c.Service.Job.sdc c.Service.Job.crash;
+  (match job.Service.Job.cache with
+  | Service.Job.Cache_none -> ()
+  | Service.Job.Cache_full ->
+      Printf.printf "  served from cache: full (no cases executed)\n"
+  | Service.Job.Cache_partial ->
+      Printf.printf "  served from cache: partial (only changed sections executed)\n")
 
 let watch_until_done client id =
   match Service.Client.watch ~on_event:print_progress client id with
@@ -864,7 +886,9 @@ let submit_run () name socket fraction seed model shard_size fuel priority no_wa
     }
   in
   let announce id =
-    Printf.printf "job %d queued (%s, %s, %s)\n%!" id name
+    (* "submitted", not "queued": a cache-served resubmission is already
+       completed by the time the ACK arrives. *)
+    Printf.printf "job %d submitted (%s, %s, %s)\n%!" id name
       (match mode with
       | Service.Job.Exhaustive -> "exhaustive"
       | Service.Job.Sample { fraction; _ } -> Printf.sprintf "sample %s" (pct fraction))
@@ -951,18 +975,19 @@ let jobs_run () socket json =
                  (Service.Json.List (List.map Service.Job.info_to_json jobs)))
           else if jobs = [] then print_endline "no jobs"
           else begin
-            Printf.printf "%-4s %-10s %-10s %-9s %-12s %s\n" "id" "bench" "mode" "prio"
-              "status" "progress";
+            Printf.printf "%-4s %-10s %-10s %-9s %-12s %-8s %s\n" "id" "bench" "mode"
+              "prio" "status" "cache" "progress";
             List.iter
               (fun (j : Service.Job.info) ->
                 let c = j.Service.Job.counts in
-                Printf.printf "%-4d %-10s %-10s %-9d %-12s %d/%d\n" j.Service.Job.id
-                  j.Service.Job.spec.Service.Job.bench
+                Printf.printf "%-4d %-10s %-10s %-9d %-12s %-8s %d/%d\n"
+                  j.Service.Job.id j.Service.Job.spec.Service.Job.bench
                   (match j.Service.Job.spec.Service.Job.mode with
                   | Service.Job.Exhaustive -> "exhaustive"
                   | Service.Job.Sample _ -> "sample")
                   j.Service.Job.spec.Service.Job.priority
                   (Service.Job.status_name j.Service.Job.status)
+                  (Service.Job.cache_name j.Service.Job.cache)
                   c.Service.Job.cases_done c.Service.Job.cases_total)
               jobs
           end)
@@ -1004,6 +1029,91 @@ let cancel_cmd =
   Cmd.v
     (Cmd.info "cancel" ~doc:"Cancel a queued or running daemon job")
     Term.(const run $ logs_term $ socket_arg $ job_id_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ftb cache: inspect and maintain the daemon's profile store.         *)
+
+let cache_run () state action keep prefix all =
+  let root = Service.Server.cache_dir ~state_dir:state in
+  let store = Ftb_compose.Store.open_ ~root in
+  match action with
+  | `Stats ->
+      let s = Ftb_compose.Store.stats store in
+      Printf.printf
+        "cache %s\n\
+        \  %d entries: %d section profiles, %d boundary profiles (%d bytes)\n\
+        \  %d quarantined\n"
+        root s.Ftb_compose.Store.entries s.Ftb_compose.Store.sections
+        s.Ftb_compose.Store.boundaries s.Ftb_compose.Store.bytes
+        s.Ftb_compose.Store.quarantined
+  | `Gc ->
+      let removed = Ftb_compose.Store.gc store ~keep in
+      Printf.printf "cache gc: removed %d entr%s, kept the newest %d\n" removed
+        (if removed = 1 then "y" else "ies")
+        keep
+  | `Invalidate -> (
+      match (prefix, all) with
+      | None, false ->
+          Printf.eprintf "cache invalidate needs --prefix KEYPREFIX or --all\n";
+          exit 2
+      | Some _, true ->
+          Printf.eprintf "--prefix and --all are mutually exclusive\n";
+          exit 2
+      | Some p, false ->
+          let removed = Ftb_compose.Store.invalidate store ~prefix:p in
+          Printf.printf "cache invalidate: removed %d entr%s with key prefix %s\n"
+            removed
+            (if removed = 1 then "y" else "ies")
+            p
+      | None, true ->
+          let removed = Ftb_compose.Store.invalidate store ~prefix:"" in
+          Printf.printf "cache invalidate: removed all %d entr%s\n" removed
+            (if removed = 1 then "y" else "ies"))
+
+let cache_cmd =
+  let action_arg =
+    let actions = [ ("stats", `Stats); ("gc", `Gc); ("invalidate", `Invalidate) ] in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION" ~doc:"One of $(b,stats), $(b,gc), $(b,invalidate).")
+  in
+  let keep_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "keep" ] ~docv:"N"
+          ~doc:"For $(b,gc): keep the N most recently written entries.")
+  in
+  let prefix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prefix" ] ~docv:"KEYPREFIX"
+          ~doc:"For $(b,invalidate): remove entries whose content key starts with this.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"For $(b,invalidate): remove every cache entry.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect or prune the daemon's compositional profile cache"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The daemon keeps content-addressed outcome profiles under \
+              $(b,<state>/cache): one per program section and one per whole \
+              campaign boundary. $(b,stats) summarizes the store, $(b,gc) \
+              bounds it to the newest N entries, and $(b,invalidate) removes \
+              entries by content-key prefix (or all of them). Corrupt entries \
+              are never served; they are moved to a $(b,quarantine/) sibling \
+              and rebuilt by the next campaign.";
+         ])
+    Term.(
+      const cache_run $ logs_term $ state_arg $ action_arg $ keep_arg $ prefix_arg
+      $ all_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1088,7 +1198,7 @@ let main_cmd =
     [
       list_cmd; campaign_cmd; boundary_cmd; adaptive_cmd; protect_cmd; models_cmd;
       propagation_cmd; report_cmd; ir_cmd; serve_cmd; worker_cmd; submit_cmd;
-      jobs_cmd; watch_cmd; cancel_cmd;
+      jobs_cmd; watch_cmd; cancel_cmd; cache_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -21,11 +21,11 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Persist.Format_error msg)) fmt
    name and site count alone cannot see an input change. The fault model is
    *not* part of the fingerprint: it is a separate header field, checked
    separately, so the mismatch message can name the models. *)
+(* Delegates to the tree-wide hashing module; the bit-exact little-endian
+   float encoding there is part of this file format (v2/v3 checkpoints
+   persist this fingerprint). *)
 let fingerprint_of_golden (golden : Golden.t) =
-  let values = golden.Golden.values in
-  let b = Bytes.create (8 * Array.length values) in
-  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v)) values;
-  Digest.to_hex (Digest.bytes b)
+  Ftb_util.Fingerprint.of_floats golden.Golden.values
 
 let shards t = Array.length t.completed
 

@@ -1,0 +1,135 @@
+module Persist = Ftb_inject.Persist
+module Fingerprint = Ftb_util.Fingerprint
+
+type section = {
+  key : string;
+  model : string;
+  width : int;
+  site_lo : int;
+  sites : int;
+  entry_fp : string;
+  exit_fp : string;
+  outcomes : string;  (* sites * width outcome bytes *)
+}
+
+type boundary = {
+  bkey : string;
+  bmodel : string;
+  bwidth : int;
+  bsites : int;
+  golden_fp : string;
+  masked : int;
+  sdc : int;
+  crash : int;
+  boutcomes : string;  (* bsites * bwidth outcome bytes *)
+}
+
+type t = Section of section | Boundary of boundary
+
+let key = function Section s -> s.key | Boundary b -> b.bkey
+
+let section_magic = "ftb-section-profile-v1"
+let boundary_magic = "ftb-boundary-profile-v1"
+
+(* Outcome bytes use the ground-truth taxonomy encoding '\000'..'\005'
+   (Ftb_inject.Ground_truth.byte_of_result); anything else in a decoded
+   payload is corruption the CRC failed to catch (or a format bug) and
+   must not be composed into a result. *)
+(* Hot path: runs over every payload byte on each cache probe. *)
+let outcomes_valid s =
+  let ok = ref true in
+  for i = 0 to String.length s - 1 do
+    if Char.code (String.unsafe_get s i) > 5 then ok := false
+  done;
+  !ok
+
+let write t buf =
+  match t with
+  | Section s ->
+      Printf.bprintf buf "%s %s %s %d %d %d %s %s\n" section_magic s.key s.model
+        s.width s.site_lo s.sites s.entry_fp s.exit_fp;
+      Buffer.add_string buf s.outcomes
+  | Boundary b ->
+      Printf.bprintf buf "%s %s %s %d %d %s %d %d %d\n" boundary_magic b.bkey b.bmodel
+        b.bwidth b.bsites b.golden_fp b.masked b.sdc b.crash;
+      Buffer.add_string buf b.boutcomes
+
+let fail path fmt =
+  Printf.ksprintf (fun msg -> raise (Persist.Format_error (path ^ ": " ^ msg))) fmt
+
+let int_field path what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> n
+  | _ -> fail path "bad %s field %S" what s
+
+let fp_field path what s =
+  if Fingerprint.is_hex s then s else fail path "bad %s fingerprint %S" what s
+
+let parse ~path contents =
+  match String.index_opt contents '\n' with
+  | None -> fail path "missing profile header"
+  | Some nl -> (
+      let header = String.sub contents 0 nl in
+      let body = String.sub contents (nl + 1) (String.length contents - nl - 1) in
+      let check_body ~sites ~width =
+        if String.length body <> sites * width then
+          fail path "outcome payload is %d bytes, expected %d (%d sites x width %d)"
+            (String.length body) (sites * width) sites width;
+        if not (outcomes_valid body) then fail path "invalid outcome byte in payload"
+      in
+      match String.split_on_char ' ' header with
+      | [ magic; key; model; width; site_lo; sites; entry_fp; exit_fp ]
+        when magic = section_magic ->
+          let width = int_field path "width" width in
+          let sites = int_field path "sites" sites in
+          if width <= 0 then fail path "width must be positive";
+          check_body ~sites ~width;
+          Section
+            {
+              key = fp_field path "key" key;
+              model;
+              width;
+              site_lo = int_field path "site_lo" site_lo;
+              sites;
+              entry_fp = fp_field path "entry" entry_fp;
+              exit_fp = fp_field path "exit" exit_fp;
+              outcomes = body;
+            }
+      | [ magic; key; model; width; sites; golden_fp; masked; sdc; crash ]
+        when magic = boundary_magic ->
+          let width = int_field path "width" width in
+          let sites = int_field path "sites" sites in
+          if width <= 0 then fail path "width must be positive";
+          if sites <= 0 then fail path "sites must be positive";
+          check_body ~sites ~width;
+          let masked = int_field path "masked" masked in
+          let sdc = int_field path "sdc" sdc in
+          let crash = int_field path "crash" crash in
+          if masked + sdc + crash <> sites * width then
+            fail path "outcome counts %d+%d+%d do not sum to %d cases" masked sdc crash
+              (sites * width);
+          Boundary
+            {
+              bkey = fp_field path "key" key;
+              bmodel = model;
+              bwidth = width;
+              bsites = sites;
+              golden_fp = fp_field path "golden" golden_fp;
+              masked;
+              sdc;
+              crash;
+              boutcomes = body;
+            }
+      | magic :: _ -> fail path "unknown profile magic %S" magic
+      | [] -> fail path "empty profile header")
+
+let count_outcomes s =
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '\000' -> incr masked
+      | '\001' -> incr sdc
+      | _ -> incr crash)
+    s;
+  (!masked, !sdc, !crash)

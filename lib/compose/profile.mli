@@ -1,0 +1,62 @@
+(** Cached profile artifacts: the store's two payload kinds.
+
+    A {e section} profile holds the outcome byte per (site, case) of one
+    section — the dense slice [[site_lo * width, (site_lo + sites) *
+    width)] of a complete campaign — plus the section's entry-state and
+    exit-state fingerprints (the exit fingerprint is the section's
+    output-perturbation signature: composing section [j]'s profile before
+    section [j+1]'s is consistent iff [j]'s exit fingerprint equals
+    [j+1]'s entry fingerprint).
+
+    A {e boundary} profile holds a whole campaign's outcome bytes plus
+    its golden fingerprint and outcome counts, keyed by
+    {!Section.boundary_key} — the artifact that serves a byte-identical
+    resubmission without executing anything.
+
+    On disk both are a single space-split text header line followed by
+    the raw outcome bytes, wrapped in the CRC32 envelope by {!Store}:
+    {v
+    ftb-section-profile-v1 <key> <model> <width> <site_lo> <sites> <entry-fp> <exit-fp>
+    ftb-boundary-profile-v1 <key> <model> <width> <sites> <golden-fp> <masked> <sdc> <crash>
+    v} *)
+
+type section = {
+  key : string;
+  model : string;  (** [Models.spec_to_string] of the campaign's model *)
+  width : int;
+  site_lo : int;
+  sites : int;
+  entry_fp : string;
+  exit_fp : string;  (** output-perturbation signature *)
+  outcomes : string;  (** [sites * width] taxonomy bytes *)
+}
+
+type boundary = {
+  bkey : string;
+  bmodel : string;
+  bwidth : int;
+  bsites : int;
+  golden_fp : string;
+  masked : int;
+  sdc : int;
+  crash : int;
+  boutcomes : string;  (** [bsites * bwidth] taxonomy bytes *)
+}
+
+type t = Section of section | Boundary of boundary
+
+val key : t -> string
+
+val write : t -> Buffer.t -> unit
+(** Serialize (header + raw bytes); the store wraps this in the CRC32
+    envelope. *)
+
+val parse : path:string -> string -> t
+(** Decode a payload; raises {!Ftb_inject.Persist.Format_error} (message
+    carries [path]) on any malformation — wrong field count, non-integer
+    fields, payload length mismatch, or an outcome byte outside the
+    taxonomy. *)
+
+val count_outcomes : string -> int * int * int
+(** [(masked, sdc, crash)] tallies of an outcome byte string (crash sums
+    the whole crash taxonomy). *)

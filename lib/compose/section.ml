@@ -1,0 +1,323 @@
+module Ir = Ftb_ir.Ir
+module Golden = Ftb_trace.Golden
+module Models = Ftb_inject.Models
+module Fingerprint = Ftb_util.Fingerprint
+
+(* ------------------------------------------------------------------ *)
+(* Canonical text.
+
+   A printer for statement lists whose output is a pure function of
+   program structure: registers and arrays print as their integer ids,
+   floats as the hex image of their bits (never [%g], which merges
+   distinct constants), labels and guard names verbatim. Two statement
+   lists have equal canonical text iff they are structurally identical —
+   the textual half of every cache key. *)
+
+let bpf = Printf.bprintf
+
+let rec canon_i buf (e : Ir.iexpr) =
+  match e with
+  | Iconst n -> bpf buf "%d" n
+  | Ireg r -> bpf buf "i%d" (r :> int)
+  | Iadd (a, b) -> bpf buf "(+ %a %a)" canon_i a canon_i b
+  | Isub (a, b) -> bpf buf "(- %a %a)" canon_i a canon_i b
+  | Imul (a, b) -> bpf buf "(* %a %a)" canon_i a canon_i b
+
+let rec canon_f buf (e : Ir.fexpr) =
+  match e with
+  | Fconst v -> bpf buf "%Lx" (Int64.bits_of_float v)
+  | Freg r -> bpf buf "f%d" (r :> int)
+  | Fload (a, ie) -> bpf buf "(ld a%d %a)" (a :> int) canon_i ie
+  | Fadd (a, b) -> bpf buf "(+. %a %a)" canon_f a canon_f b
+  | Fsub (a, b) -> bpf buf "(-. %a %a)" canon_f a canon_f b
+  | Fmul (a, b) -> bpf buf "(*. %a %a)" canon_f a canon_f b
+  | Fdiv (a, b) -> bpf buf "(/. %a %a)" canon_f a canon_f b
+  | Fneg a -> bpf buf "(neg %a)" canon_f a
+  | Fabs a -> bpf buf "(abs %a)" canon_f a
+  | Fsqrt a -> bpf buf "(sqrt %a)" canon_f a
+
+let canon_cond buf (c : Ir.cond) =
+  match c with
+  | Fcmp (op, a, b) ->
+      let op = match op with `Lt -> "<." | `Le -> "<=." | `Gt -> ">." | `Ge -> ">=." in
+      bpf buf "(%s %a %a)" op canon_f a canon_f b
+  | Icmp (op, a, b) ->
+      let op = match op with `Lt -> "<" | `Le -> "<=" | `Eq -> "=" | `Ne -> "<>" in
+      bpf buf "(%s %a %a)" op canon_i a canon_i b
+
+let rec canon_stmt buf (s : Ir.stmt) =
+  match s with
+  | Fassign (r, e, label) -> bpf buf "(fassign f%d %a %S)\n" (r :> int) canon_f e label
+  | Store (a, ie, fe, label) ->
+      bpf buf "(store a%d %a %a %S)\n" (a :> int) canon_i ie canon_f fe label
+  | Flet (r, e) -> bpf buf "(flet f%d %a)\n" (r :> int) canon_f e
+  | Iassign (r, e) -> bpf buf "(iassign i%d %a)\n" (r :> int) canon_i e
+  | For (r, lo, hi, body) ->
+      bpf buf "(for i%d %a %a\n%a)\n" (r :> int) canon_i lo canon_i hi canon_stmts body
+  | If (c, then_body, else_body) ->
+      bpf buf "(if %a\n%a else\n%a)\n" canon_cond c canon_stmts then_body canon_stmts
+        else_body
+  | Guard (e, what) -> bpf buf "(guard %a %S)\n" canon_f e what
+
+and canon_stmts buf stmts = List.iter (canon_stmt buf) stmts
+
+let canon_text stmts =
+  let buf = Buffer.create 512 in
+  canon_stmts buf stmts;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Peel-and-specialize.
+
+   Section granularity is top-level statement groups: each top-level loop
+   is a group, maximal runs of other statements are a group. A top-level
+   counted loop with constant bounds and a small trip count whose body
+   never reassigns the induction variable is additionally {e peeled} into
+   one group per iteration, each specialized on its concrete index —
+   substituting the index register with the constant, folding the integer
+   arithmetic it feeds, and pruning [If] branches whose condition becomes
+   a constant integer comparison. Pruning removes statements (which
+   {!Ftb_ir.Passes.fold} refuses to do), and that is sound exactly here:
+   under the concrete iteration index the dead branch provably never
+   executes, and {!sectionize}'s replay validation re-checks the whole
+   grouping against the golden trace bit-for-bit before any key is
+   trusted. Peeling is what makes an edit to one iteration's slice of a
+   blocked kernel (e.g. one [kb] panel of [ir.gemm]) invalidate only that
+   iteration's section. *)
+
+let max_peel_trip = 32
+
+let rec assigns_ireg (r : Ir.ireg) stmts =
+  List.exists
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Iassign (r', _) -> r' = r
+      | For (r', _, _, body) -> r' = r || assigns_ireg r body
+      | If (_, a, b) -> assigns_ireg r a || assigns_ireg r b
+      | Fassign _ | Store _ | Flet _ | Guard _ -> false)
+    stmts
+
+let rec contains_record stmts =
+  List.exists
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Fassign _ | Store _ -> true
+      | For (_, _, _, body) -> contains_record body
+      | If (_, a, b) -> contains_record a || contains_record b
+      | Flet _ | Iassign _ | Guard _ -> false)
+    stmts
+
+let icmp_holds op x y =
+  match op with `Lt -> x < y | `Le -> x <= y | `Eq -> x = y | `Ne -> x <> y
+
+let rec spec_i r k (e : Ir.iexpr) : Ir.iexpr =
+  match e with
+  | Iconst _ -> e
+  | Ireg r' -> if r' = r then Iconst k else e
+  | Iadd (a, b) -> (
+      match (spec_i r k a, spec_i r k b) with
+      | Iconst x, Iconst y -> Iconst (x + y)
+      | a, b -> Iadd (a, b))
+  | Isub (a, b) -> (
+      match (spec_i r k a, spec_i r k b) with
+      | Iconst x, Iconst y -> Iconst (x - y)
+      | a, b -> Isub (a, b))
+  | Imul (a, b) -> (
+      match (spec_i r k a, spec_i r k b) with
+      | Iconst x, Iconst y -> Iconst (x * y)
+      | a, b -> Imul (a, b))
+
+let rec spec_f r k (e : Ir.fexpr) : Ir.fexpr =
+  match e with
+  | Fconst _ | Freg _ -> e
+  | Fload (a, ie) -> Fload (a, spec_i r k ie)
+  | Fadd (a, b) -> Fadd (spec_f r k a, spec_f r k b)
+  | Fsub (a, b) -> Fsub (spec_f r k a, spec_f r k b)
+  | Fmul (a, b) -> Fmul (spec_f r k a, spec_f r k b)
+  | Fdiv (a, b) -> Fdiv (spec_f r k a, spec_f r k b)
+  | Fneg a -> Fneg (spec_f r k a)
+  | Fabs a -> Fabs (spec_f r k a)
+  | Fsqrt a -> Fsqrt (spec_f r k a)
+
+let spec_cond r k (c : Ir.cond) : Ir.cond =
+  match c with
+  | Fcmp (op, a, b) -> Fcmp (op, spec_f r k a, spec_f r k b)
+  | Icmp (op, a, b) -> Icmp (op, spec_i r k a, spec_i r k b)
+
+let rec spec_stmts r k stmts = List.concat_map (spec_stmt r k) stmts
+
+and spec_stmt r k (s : Ir.stmt) : Ir.stmt list =
+  match s with
+  | Fassign (fr, e, label) -> [ Fassign (fr, spec_f r k e, label) ]
+  | Store (a, ie, fe, label) -> [ Store (a, spec_i r k ie, spec_f r k fe, label) ]
+  | Flet (fr, e) -> [ Flet (fr, spec_f r k e) ]
+  | Iassign (r', e) -> [ Iassign (r', spec_i r k e) ]
+  | For (r', lo, hi, body) ->
+      (* [r' <> r] by the peel precondition (a [For] binding [r] counts as
+         an assignment), so specializing the body is sound. *)
+      [ For (r', spec_i r k lo, spec_i r k hi, spec_stmts r k body) ]
+  | If (c, then_body, else_body) -> (
+      match spec_cond r k c with
+      | Icmp (op, Iconst x, Iconst y) ->
+          spec_stmts r k (if icmp_holds op x y then then_body else else_body)
+      | c -> [ If (c, spec_stmts r k then_body, spec_stmts r k else_body) ])
+  | Guard (e, what) -> [ Guard (spec_f r k e, what) ]
+
+type group = { glabel : string; stmts : Ir.stmt list }
+
+let split_body body =
+  let groups = ref [] and run = ref [] in
+  let flush () =
+    if !run <> [] then begin
+      groups := { glabel = "stmts"; stmts = List.rev !run } :: !groups;
+      run := []
+    end
+  in
+  List.iter
+    (fun (s : Ir.stmt) ->
+      match s with
+      | For (r, Iconst lo, Iconst hi, fbody)
+        when hi - lo >= 2 && hi - lo <= max_peel_trip
+             && (not (assigns_ireg r fbody))
+             && contains_record fbody ->
+          flush ();
+          for k = lo to hi - 1 do
+            groups :=
+              {
+                glabel = Printf.sprintf "iter[i%d=%d]" (r :> int) k;
+                stmts = Ir.Iassign (r, Ir.Iconst k) :: spec_stmts r k fbody;
+              }
+              :: !groups
+          done
+      | For _ ->
+          flush ();
+          groups := { glabel = "loop"; stmts = [ s ] } :: !groups
+      | s -> run := s :: !run)
+    body;
+  flush ();
+  List.rev !groups
+
+(* ------------------------------------------------------------------ *)
+(* Keys and plans. *)
+
+type section = {
+  index : int;
+  label : string;
+  site_lo : int;
+  site_hi : int;
+  key : string;
+  entry_fp : string;
+  exit_fp : string;
+}
+
+type plan = {
+  model : Models.spec;
+  fuel : int option;
+  width : int;
+  sites : int;
+  golden_fp : string;
+  sections : section array;
+}
+
+let add_key_header buf ~what ~ir ~(model : Models.spec) ~fuel =
+  bpf buf "ftb-%s-key-v1\nmodel %s\nfuel %s\ntolerance %Lx\noutput a%d\n" what
+    (Models.spec_to_string model)
+    (match fuel with Some n -> string_of_int n | None -> "none")
+    (Int64.bits_of_float (Ir.tolerance ir))
+    (Ir.output_id ir :> int)
+
+(* The whole-boundary key: everything a campaign's outcome bytes depend
+   on, computable without executing the program — initial interpreter
+   state (which embeds every array's declared contents) plus the
+   canonical text of the whole body. Serving a byte-identical
+   resubmission costs one hash and one store read. *)
+let boundary_key ~ir ~model ~fuel =
+  let buf = Buffer.create 4096 in
+  add_key_header buf ~what:"boundary" ~ir ~model ~fuel;
+  Buffer.add_string buf (Ir.initial_state ir);
+  Buffer.add_char buf '\n';
+  canon_stmts buf (Ir.body ir);
+  Fingerprint.of_buffer buf
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri
+        (fun i v -> if Int64.bits_of_float v <> Int64.bits_of_float b.(i) then ok := false)
+        a;
+      !ok)
+
+(* A section's key covers everything its cases' outcome bytes depend on:
+   the interpreter state at section entry, the canonical text of this and
+   every later section (an injected error propagates arbitrarily far
+   forward, so the whole suffix is outcome-relevant — never just the
+   section's own text), the site offset (remaining fuel at entry is
+   [fuel - site_lo]: the fuel meter counts recorded instructions), the
+   fault model, the fuel budget and the SDC tolerance. *)
+let sectionize ~ir ~(golden : Golden.t) ~model ~fuel =
+  match split_body (Ir.body ir) with
+  | exception Invalid_argument _ -> None
+  | groups -> (
+      let n = List.length groups in
+      if n = 0 then None
+      else
+        match Ir.run_sectioned ir ~groups:(List.map (fun g -> g.stmts) groups) with
+        | exception (Ir.Ir_error _ | Invalid_argument _) -> None
+        | run ->
+            (* Replay validation: the grouped interpretation must reproduce
+               the golden trace and output bit-for-bit, or the grouping
+               (peeling, specialization, branch pruning) is unsound for
+               this program and no key may be trusted. Degrading to the
+               cold path can only cost time, never correctness. *)
+            if
+              not
+                (bits_equal run.Ir.sec_values golden.Golden.values
+                && bits_equal run.Ir.sec_output golden.Golden.output)
+            then None
+            else begin
+              let width = Models.spec_width model in
+              let texts =
+                Array.of_list (List.map (fun g -> canon_text g.stmts) groups)
+              in
+              let labels = Array.of_list (List.map (fun g -> g.glabel) groups) in
+              let sections = Array.make n None in
+              let site_hi = ref (Array.fold_left ( + ) 0 run.Ir.sec_sites) in
+              let sites = !site_hi in
+              (* Build from the right so each section's key buffer appends
+                 its suffix text once. *)
+              for j = n - 1 downto 0 do
+                let site_lo = !site_hi - run.Ir.sec_sites.(j) in
+                let buf = Buffer.create 4096 in
+                add_key_header buf ~what:"section" ~ir ~model ~fuel;
+                bpf buf "site_lo %d\n" site_lo;
+                Buffer.add_string buf run.Ir.sec_entries.(j);
+                Buffer.add_char buf '\n';
+                for jj = j to n - 1 do
+                  Buffer.add_string buf texts.(jj)
+                done;
+                let exit_state =
+                  if j = n - 1 then run.Ir.sec_exit else run.Ir.sec_entries.(j + 1)
+                in
+                sections.(j) <-
+                  Some
+                    {
+                      index = j;
+                      label = labels.(j);
+                      site_lo;
+                      site_hi = !site_hi;
+                      key = Fingerprint.of_buffer buf;
+                      entry_fp = Fingerprint.of_string run.Ir.sec_entries.(j);
+                      exit_fp = Fingerprint.of_string exit_state;
+                    };
+                site_hi := site_lo
+              done;
+              Some
+                {
+                  model;
+                  fuel;
+                  width;
+                  sites;
+                  golden_fp = Fingerprint.of_floats golden.Golden.values;
+                  sections = Array.map Option.get sections;
+                }
+            end)

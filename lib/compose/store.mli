@@ -1,0 +1,48 @@
+(** Content-addressed on-disk profile store.
+
+    Layout: [<root>/<k0k1>/<key>] — entries shard by the key's first two
+    hex characters so directories stay small under heavy traffic. Every
+    entry is a {!Profile} payload wrapped in the CRC32 integrity envelope
+    ({!Ftb_inject.Persist.save_enveloped}) and written atomically.
+
+    Corruption policy is quarantine-and-rebuild: an entry that fails the
+    envelope check, no longer parses, or does not carry the key it is
+    filed under is moved to the shard's [quarantine/] sibling (preserved
+    as evidence) and reported as a miss — the next campaign re-executes
+    the section and {!put} rebuilds the entry. A corrupt cache entry can
+    cost a re-execution, never a wrong byte. *)
+
+type t
+
+val open_ : root:string -> t
+(** Open (creating [root] if needed). *)
+
+val root : t -> string
+
+val find : t -> key:string -> Profile.t option
+(** Look a profile up by content key. [None] on miss or on a corrupt /
+    mis-keyed entry (which is quarantined as a side effect). *)
+
+val put : t -> Profile.t -> unit
+(** Insert or overwrite, atomically, under the profile's own key. *)
+
+val path_of_key : t -> string -> string
+(** Where a key lives (exposed for tests that corrupt entries). *)
+
+type stats = {
+  entries : int;  (** live entries *)
+  bytes : int;  (** their total on-disk size *)
+  sections : int;  (** entries that are section profiles *)
+  boundaries : int;  (** entries that are boundary profiles *)
+  quarantined : int;  (** files preserved in quarantine/ dirs *)
+}
+
+val stats : t -> stats
+
+val invalidate : t -> prefix:string -> int
+(** Delete every entry whose key starts with [prefix] (the empty prefix
+    empties the store); returns the number deleted. *)
+
+val gc : t -> keep:int -> int
+(** Keep the [keep] most-recently-written entries, delete the rest;
+    returns the number deleted. *)

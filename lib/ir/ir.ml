@@ -630,3 +630,82 @@ let event_stream t =
   in
   List.iter (exec env) body;
   List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Sectioned golden interpretation (Ftb_compose).
+
+   The compositional profile cache splits a body into statement groups and
+   keys each group's cached profile by the interpreter state at group
+   entry plus the canonical text of the remaining groups. The state
+   serialization is bit-exact (little-endian [Int64.bits_of_float] per
+   float) and covers everything the remaining computation can observe:
+   every register with its assigned flag and every array's full contents.
+   Unset registers serialize as zero — their stored value is unobservable
+   (reading one raises [Ir_error]), so normalizing removes spurious key
+   differences between programs that only differ in dead register
+   residue. *)
+
+let serialize_env (env : env) =
+  let buf = Buffer.create 1024 in
+  let add_float v = Buffer.add_int64_le buf (Int64.bits_of_float v) in
+  Buffer.add_string buf "f:";
+  Array.iteri
+    (fun i v ->
+      let set = env.freg_set.(i) in
+      Buffer.add_char buf (if set then '\001' else '\000');
+      add_float (if set then v else 0.))
+    env.fregs;
+  Buffer.add_string buf "i:";
+  Array.iteri
+    (fun i v ->
+      let set = env.ireg_set.(i) in
+      Buffer.add_char buf (if set then '\001' else '\000');
+      Buffer.add_int64_le buf (Int64.of_int (if set then v else 0)))
+    env.iregs;
+  Buffer.add_string buf "a:";
+  Array.iter
+    (fun arr ->
+      Buffer.add_int64_le buf (Int64.of_int (Array.length arr));
+      Array.iter add_float arr)
+    env.arrays;
+  Buffer.contents buf
+
+let initial_state t =
+  ignore (check_complete t);
+  serialize_env (make_env t ~record:(fun _ v -> v) ~guard:(fun _ v -> v))
+
+type sectioned_run = {
+  sec_entries : string array;
+  sec_sites : int array;
+  sec_values : float array;
+  sec_output : float array;
+  sec_exit : string;
+}
+
+let run_sectioned t ~groups =
+  let _body, output = check_complete t in
+  let values = ref [] and count = ref 0 in
+  let env =
+    make_env t
+      ~record:(fun _ v ->
+        values := v :: !values;
+        incr count;
+        v)
+      ~guard:(fun _ v -> v)
+  in
+  let n = List.length groups in
+  let entries = Array.make n "" and sites = Array.make n 0 in
+  List.iteri
+    (fun i group ->
+      entries.(i) <- serialize_env env;
+      let before = !count in
+      List.iter (exec env) group;
+      sites.(i) <- !count - before)
+    groups;
+  {
+    sec_entries = entries;
+    sec_sites = sites;
+    sec_values = Array.of_list (List.rev !values);
+    sec_output = Array.copy env.arrays.(output);
+    sec_exit = serialize_env env;
+  }

@@ -168,6 +168,41 @@ val event_stream : t -> (string * float) list
     legal iff it preserves this list with bitwise-equal floats — the
     {!Pipeline} validator compares exactly this. *)
 
+(** {1 Sectioned interpretation}
+
+    Support for the compositional profile cache ({!Ftb_compose}): run the
+    structured interpreter over a body partitioned into statement groups,
+    capturing the full interpreter state at each group boundary. The state
+    serialization is bit-exact (little-endian [Int64.bits_of_float] per
+    float; every register with its assigned flag; every array's contents),
+    so two serializations are equal iff the remaining computation cannot
+    distinguish the two states. *)
+
+val initial_state : t -> string
+(** Serialized interpreter state before the first statement runs: all
+    registers unset, arrays at their declared initial contents. Computable
+    without executing the program — the basis of the whole-boundary cache
+    key, so a byte-identical resubmission is recognized without running
+    anything. *)
+
+type sectioned_run = {
+  sec_entries : string array;
+      (** serialized interpreter state at each group's entry; index 0
+          equals {!initial_state} *)
+  sec_sites : int array;  (** recorded dynamic instructions per group *)
+  sec_values : float array;
+      (** every recorded value in execution order — must match the golden
+          trace bit-exactly or the grouping is unsound *)
+  sec_output : float array;  (** final contents of the output array *)
+  sec_exit : string;  (** serialized state after the last group *)
+}
+
+val run_sectioned : t -> groups:stmt list list -> sectioned_run
+(** Interpret the concatenation of [groups] as the program body (the
+    caller asserts it is semantically the body — e.g. a peeled loop) and
+    capture per-group entry states and site counts. Raises {!Ir_error}
+    exactly where {!interpret_plain} would. *)
+
 val validate : t -> (unit, string list) Result.t
 (** Static checks, each reported as a human-readable message:
     - the program has a body and an output array;

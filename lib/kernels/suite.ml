@@ -31,6 +31,15 @@ let all =
 
 let names () = List.map fst all
 
+(* The raw (pre-pipeline) IR behind an [ir.*] entry, rebuilt on demand.
+   The compositional profile cache (Ftb_compose) sectionizes this form:
+   builders are deterministic, so the canonical text and initial state —
+   and therefore the cache keys — are stable across processes. *)
+let find_ir name =
+  match List.assoc_opt name Ir_kernels.suite with
+  | Some build -> Some (build ())
+  | None -> None
+
 let find name =
   match List.assoc_opt name all with
   | Some program -> Lazy.force program

@@ -41,3 +41,10 @@ val find : string -> Ftb_trace.Program.t
     via [Invalid_argument] listing valid names. *)
 
 val names : unit -> string list
+
+val find_ir : string -> Ftb_ir.Ir.t option
+(** The raw (pre-pipeline) IR behind an [ir.*] benchmark, rebuilt from its
+    registered builder — [None] for hand-instrumented (closure) entries
+    and unknown names. The compositional profile cache keys sections off
+    this form; builders are deterministic so the keys are stable across
+    processes and daemon restarts. *)

@@ -29,6 +29,13 @@ type counts = {
   crash : int;
 }
 
+(* How much of a job the daemon served from the compositional profile
+   cache: [Cache_full] never touched the pool or fleet (the whole
+   boundary came from the store), [Cache_partial] ran a reduced campaign
+   (only missed sections' cases executed). Clients read this to tell a
+   millisecond hit from a real run. *)
+type cache = Cache_none | Cache_partial | Cache_full
+
 type info = {
   id : int;
   spec : spec;
@@ -38,6 +45,7 @@ type info = {
   started : float option;
   finished : float option;
   idem : string option;
+  cache : cache;
 }
 
 let zero_counts = { cases_done = 0; cases_total = 0; masked = 0; sdc = 0; crash = 0 }
@@ -53,6 +61,17 @@ let status_name = function
 let is_terminal = function
   | Completed | Failed _ | Cancelled | Stuck -> true
   | Queued | Running -> false
+
+let cache_name = function
+  | Cache_none -> "none"
+  | Cache_partial -> "partial"
+  | Cache_full -> "full"
+
+let cache_of_name = function
+  | "none" -> Some Cache_none
+  | "partial" -> Some Cache_partial
+  | "full" -> Some Cache_full
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* JSON codecs                                                         *)
@@ -165,6 +184,7 @@ let info_to_json i =
         match i.finished with Some t -> Json.Float t | None -> Json.Null );
       ( "idem",
         match i.idem with Some k -> Json.String k | None -> Json.Null );
+      ("served_from_cache", Json.String (cache_name i.cache));
     ]
 
 let info_of_json json =
@@ -201,6 +221,15 @@ let info_of_json json =
     started = opt_field Json.to_float json "started";
     finished = opt_field Json.to_float json "finished";
     idem = opt_field Json.to_str json "idem";
+    cache =
+      (* Descriptors written before the profile cache carry no field:
+         every such job ran from scratch. *)
+      (match opt_field Json.to_str json "served_from_cache" with
+      | None -> Cache_none
+      | Some s -> (
+          match cache_of_name s with
+          | Some c -> c
+          | None -> fail "unknown served_from_cache value %S" s));
   }
 
 (* ------------------------------------------------------------------ *)

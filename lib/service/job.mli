@@ -63,6 +63,15 @@ type counts = {
   crash : int;
 }
 
+type cache = Cache_none | Cache_partial | Cache_full
+(** How much of the job the daemon served from the compositional profile
+    cache ({!Ftb_compose}): [Cache_full] — the whole boundary came from
+    the store and no pool or fleet work was scheduled; [Cache_partial] —
+    a reduced campaign ran (only missed sections' cases executed);
+    [Cache_none] — a from-scratch run. Serialized as the
+    ["served_from_cache"] JSON field (["full"|"partial"|"none"]; absent in
+    pre-cache descriptors and then [Cache_none]). *)
+
 type info = {
   id : int;
   spec : spec;
@@ -74,9 +83,14 @@ type info = {
   idem : string option;
       (** client-supplied idempotency key: a resubmission carrying the same
           key maps to this job instead of double-running the campaign *)
+  cache : cache;
 }
 
 val zero_counts : counts
+val cache_name : cache -> string
+(** ["none"], ["partial"], ["full"]. *)
+
+val cache_of_name : string -> cache option
 val status_name : status -> string
 (** ["queued"], ["running"], ["completed"], ["failed"], ["cancelled"],
     ["stuck"]. *)

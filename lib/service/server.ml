@@ -1,7 +1,10 @@
 module Golden = Ftb_trace.Golden
 module Engine = Ftb_campaign.Engine
+module Checkpoint = Ftb_campaign.Checkpoint
 module Models = Ftb_inject.Models
 module Pool = Ftb_inject.Parallel.Pool
+module Compose = Ftb_compose.Compose
+module Store = Ftb_compose.Store
 
 type config = {
   state_dir : string;
@@ -10,6 +13,8 @@ type config = {
   checkpoint_every : int;
   stuck_after : float option;
   resolve : string -> Ftb_trace.Program.t;
+  resolve_ir : string -> Ftb_ir.Ir.t option;
+  cache : bool;
   extension : (cmd:string -> Json.t -> Json.t option) option;
   wave_runner :
     (job_id:int ->
@@ -29,9 +34,13 @@ let default_config ~state_dir =
     checkpoint_every = 1;
     stuck_after = None;
     resolve = Ftb_kernels.Suite.find;
+    resolve_ir = Ftb_kernels.Suite.find_ir;
+    cache = true;
     extension = None;
     wave_runner = None;
   }
+
+let cache_dir ~state_dir = Filename.concat state_dir "cache"
 
 (* Why a running job was asked to stop: a user [cancel] is terminal, a
    [Drain] (shutdown/SIGTERM) suspends the job back to the queue so a
@@ -69,6 +78,7 @@ type t = {
   mutable subs : sub list;
   sigterm : bool Atomic.t;
   pool : Pool.t option;  (* one warm handle shared by every campaign *)
+  store : Store.t option;  (* compositional profile cache, under <state>/cache *)
   seqs : (int, int) Hashtbl.t;  (* job id -> last event sequence number *)
   idems : (string, int) Hashtbl.t;  (* idempotency key -> job id *)
 }
@@ -165,6 +175,10 @@ let create config =
       subs = [];
       sigterm = Atomic.make false;
       pool = (if config.domains > 1 then Some (Pool.global ~domains:config.domains ()) else None);
+      store =
+        (if config.cache then
+           Some (Store.open_ ~root:(cache_dir ~state_dir:config.state_dir))
+         else None);
       seqs = Hashtbl.create 64;
       idems;
     }
@@ -290,6 +304,37 @@ let publish_progress t id ~heartbeat ~(p : Engine.progress) ~rate =
 let run_exhaustive t (job : Job.info) cancel ~heartbeat =
   let spec = job.Job.spec in
   let golden = Golden.run (t.config.resolve spec.Job.bench) in
+  let checkpoint = Job.checkpoint_path ~state_dir:t.config.state_dir job.Job.id in
+  (* Compositional cache: when the benchmark has an IR form, look every
+     section up in the profile store and seed the job's checkpoint with
+     the cached bytes — the engine then schedules only the missed
+     sections' shards (a fully-seeded checkpoint schedules zero waves and
+     touches neither the pool nor the worker fleet). Seeding only applies
+     to a job with no checkpoint yet: a resumed job keeps its own
+     progress, which already subsumes anything the cache knows. *)
+  let cached =
+    match t.store with
+    | None -> None
+    | Some store -> (
+        match t.config.resolve_ir spec.Job.bench with
+        | exception _ -> None
+        | None -> None
+        | Some ir -> Some (store, ir))
+  in
+  let planned =
+    Option.bind cached (fun (store, ir) ->
+        Compose.probe store ~ir ~golden ~model:spec.Job.model ~fuel:spec.Job.fuel)
+  in
+  let cache_level =
+    match planned with
+    | Some p when Compose.any_hit p && not (Sys.file_exists checkpoint) ->
+        Checkpoint.save ~path:checkpoint
+          (Compose.seed_checkpoint p golden ~shard_size:spec.Job.shard_size);
+        if Compose.full_hit p then Job.Cache_full else Job.Cache_partial
+    | _ -> Job.Cache_none
+  in
+  let job = { job with Job.cache = cache_level } in
+  if cache_level <> Job.Cache_none then with_lock t (fun () -> set_job t job);
   let last = ref (now (), None) in
   let latest = ref job.Job.counts in
   let progress (p : Engine.progress) =
@@ -326,10 +371,26 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
         | None -> None);
     }
   in
-  let checkpoint = Job.checkpoint_path ~state_dir:t.config.state_dir job.Job.id in
   match Engine.run ~config ~checkpoint golden with
   | report ->
       let gt = report.Engine.ground_truth in
+      (* Harvest the completed campaign: store each missed section's
+         profile and refresh the whole-boundary artifact, so the next
+         identical submission is a millisecond full hit at submit time.
+         Harvesting is best-effort — a full store or I/O error costs
+         future cache hits, never this job's result. *)
+      (match cached with
+      | Some (store, ir) -> (
+          try
+            let outcomes = gt.Ftb_inject.Ground_truth.outcomes in
+            (match planned with
+            | Some p -> Compose.harvest store p ~outcomes
+            | None -> ());
+            Compose.put_boundary store ~ir ~model:spec.Job.model ~fuel:spec.Job.fuel
+              ~golden_fp:(Checkpoint.fingerprint_of_golden golden)
+              ~sites:(Golden.sites golden) ~outcomes
+          with _ -> ())
+      | None -> ());
       let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
       Ftb_inject.Ground_truth.counts gt ~masked ~sdc ~crash;
       let total = Models.total_cases spec.Job.model ~sites:(Golden.sites golden) in
@@ -614,6 +675,36 @@ let req_id json =
   | Some id -> Ok id
   | None -> Error (error_frame "bad_request" "missing integer field \"id\"")
 
+(* Cold submission (caller holds the lock): allocate the id, enqueue,
+   wake the scheduler. *)
+let submit_cold t ~id ~spec ~idem =
+  let job =
+    {
+      Job.id;
+      spec;
+      status = Job.Queued;
+      counts = Job.zero_counts;
+      submitted = now ();
+      started = None;
+      finished = None;
+      idem;
+      cache = Job.Cache_none;
+    }
+  in
+  match Job_queue.add t.queue job with
+  | Error (`Full capacity) ->
+      error_frame "queue_full"
+        (Printf.sprintf "queue is at capacity (%d queued jobs)" capacity)
+        ~extra:[ ("capacity", Json.Int capacity) ]
+  | Ok () ->
+      t.next_id <- id + 1;
+      (match idem with
+      | Some key -> Hashtbl.replace t.idems key id
+      | None -> ());
+      set_job t job;
+      Condition.signal t.wake;
+      ok_frame [ ("id", Json.Int id) ]
+
 let handle_submit t json =
   match
     match Json.member "spec" json with
@@ -630,7 +721,24 @@ let handle_submit t json =
          name is rejected up front, not at execution time. *)
       match t.config.resolve spec.Job.bench with
       | exception Invalid_argument msg -> error_frame "unknown_bench" msg
-      | _program ->
+      | program ->
+          (* Boundary probe before the lock: when the benchmark has an IR
+             form and the exact same campaign (program content, model,
+             fuel, tolerance) completed before, the whole boundary is in
+             the store — one hash and one read, no golden run. The job is
+             then recorded Completed at submit time without ever touching
+             the queue, the pool or the worker fleet. *)
+          let boundary =
+            match (t.store, spec.Job.mode) with
+            | Some store, Job.Exhaustive -> (
+                match t.config.resolve_ir spec.Job.bench with
+                | exception _ -> None
+                | None -> None
+                | Some ir ->
+                    Compose.probe_boundary store ~ir ~model:spec.Job.model
+                      ~fuel:spec.Job.fuel)
+            | _ -> None
+          in
           with_lock t (fun () ->
               (* Idempotency first: a client retrying after a dropped ACK
                  must map to the job its first attempt created — even
@@ -643,31 +751,62 @@ let handle_submit t json =
                   if t.stopping then error_frame "shutting_down" "daemon is draining"
                   else begin
                     let id = t.next_id in
-                    let job =
-                      {
-                        Job.id;
-                        spec;
-                        status = Job.Queued;
-                        counts = Job.zero_counts;
-                        submitted = now ();
-                        started = None;
-                        finished = None;
-                        idem;
-                      }
-                    in
-                    match Job_queue.add t.queue job with
-                    | Error (`Full capacity) ->
-                        error_frame "queue_full"
-                          (Printf.sprintf "queue is at capacity (%d queued jobs)" capacity)
-                          ~extra:[ ("capacity", Json.Int capacity) ]
-                    | Ok () ->
-                        t.next_id <- id + 1;
-                        (match idem with
-                        | Some key -> Hashtbl.replace t.idems key id
-                        | None -> ());
-                        set_job t job;
-                        Condition.signal t.wake;
-                        ok_frame [ ("id", Json.Int id) ]
+                    match boundary with
+                    | Some b -> (
+                        match
+                          Compose.checkpoint_of_boundary b
+                            ~program:program.Ftb_trace.Program.name
+                            ~shard_size:spec.Job.shard_size
+                        with
+                        | exception Invalid_argument _ ->
+                            (* Unusable artifact (e.g. alien model
+                               string): degrade to a normal enqueue. *)
+                            submit_cold t ~id ~spec ~idem
+                        | ckpt ->
+                            let total = b.Ftb_compose.Profile.bsites * b.Ftb_compose.Profile.bwidth in
+                            let counts =
+                              {
+                                Job.cases_done = total;
+                                cases_total = total;
+                                masked = b.Ftb_compose.Profile.masked;
+                                sdc = b.Ftb_compose.Profile.sdc;
+                                crash = b.Ftb_compose.Profile.crash;
+                              }
+                            in
+                            let stamp = now () in
+                            let job =
+                              {
+                                Job.id;
+                                spec;
+                                status = Job.Completed;
+                                counts;
+                                submitted = stamp;
+                                started = Some stamp;
+                                finished = Some stamp;
+                                idem;
+                                cache = Job.Cache_full;
+                              }
+                            in
+                            t.next_id <- id + 1;
+                            (match idem with
+                            | Some key -> Hashtbl.replace t.idems key id
+                            | None -> ());
+                            (* set_job creates the job directory; the
+                               synthetic complete checkpoint then lands
+                               beside job.json so result fetch, watch and
+                               crash-restart all see what a real run
+                               would have written. *)
+                            set_job t job;
+                            Checkpoint.save
+                              ~path:
+                                (Job.checkpoint_path ~state_dir:t.config.state_dir id)
+                              ckpt;
+                            ok_frame
+                              [
+                                ("id", Json.Int id);
+                                ("served_from_cache", Json.String "full");
+                              ])
+                    | None -> submit_cold t ~id ~spec ~idem
                   end))
 
 let handle_status t json =

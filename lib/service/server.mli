@@ -71,6 +71,18 @@ type config = {
       (** benchmark lookup; [Invalid_argument] rejects the submission.
           The CLI passes {!Ftb_kernels.Suite.find}; tests inject tiny
           programs. *)
+  resolve_ir : string -> Ftb_ir.Ir.t option;
+      (** IR form of a benchmark, when it has one — the compositional
+          cache only works on IR benchmarks (content keys hash the IR).
+          [None] (or an exception) disables the cache for that name. *)
+  cache : bool;
+      (** enable the compositional profile cache under
+          [<state_dir>/cache]: submit-time boundary probes serve
+          byte-identical exhaustive resubmissions as [Completed] without
+          queueing (descriptor field ["served_from_cache":"full"]), and
+          section-profile hits seed a reduced campaign that executes only
+          missed sections' cases (["partial"]). Every completed IR
+          campaign is harvested back into the store. Default [true]. *)
   extension : (cmd:string -> Json.t -> Json.t option) option;
       (** strict request/response protocol extension, consulted for any
           ["cmd"] the core protocol does not know. Returning [Some reply]
@@ -97,8 +109,14 @@ type config = {
 
 val default_config : state_dir:string -> config
 (** [capacity = 64], [domains = 1], [checkpoint_every = 1],
-    [stuck_after = None], [resolve = Ftb_kernels.Suite.find], no protocol
+    [stuck_after = None], [resolve = Ftb_kernels.Suite.find],
+    [resolve_ir = Ftb_kernels.Suite.find_ir], [cache = true], no protocol
     extension, built-in shard execution. *)
+
+val cache_dir : state_dir:string -> string
+(** Where the profile cache of a state directory lives
+    ([<state_dir>/cache]) — the [ftb cache] CLI opens the store there
+    directly. *)
 
 type t
 

@@ -1,0 +1,30 @@
+(* One hashing implementation for every content fingerprint in the tree:
+   the campaign engine's golden-trace fingerprint (Ftb_campaign.Checkpoint)
+   and the compositional profile cache's section / boundary keys
+   (Ftb_compose) both go through here. The float encoding is bit-exact —
+   8 little-endian bytes of [Int64.bits_of_float] per value — so two
+   traces fingerprint equal iff every value is bitwise equal, and the
+   encoding can never change without invalidating persisted campaign
+   checkpoints (format v2/v3 store [of_floats] of the golden values). *)
+
+let to_hex = Digest.to_hex
+
+let of_bytes b = to_hex (Digest.bytes b)
+let of_string s = to_hex (Digest.string s)
+
+let bytes_of_floats (values : float array) =
+  let b = Bytes.create (8 * Array.length values) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v)) values;
+  b
+
+let of_floats values = of_bytes (bytes_of_floats values)
+
+let add_float buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let of_buffer buf = of_string (Buffer.contents buf)
+
+let hex_length = 32
+
+let is_hex key =
+  String.length key = hex_length
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) key

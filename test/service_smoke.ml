@@ -450,6 +450,7 @@ let restart_overflow_test () =
       started = None;
       finished = None;
       idem;
+      cache = Job.Cache_none;
     }
   in
   (* Dispatch order is 2 (prio 5), 4 (prio 1), then 1, 3 (prio 0, FIFO):

@@ -192,6 +192,7 @@ let sample_info =
     started = Some 1700000001.5;
     finished = None;
     idem = Some "client-key-1";
+    cache = Job.Cache_none;
   }
 
 let test_job_spec_roundtrip () =
@@ -217,6 +218,8 @@ let test_job_info_roundtrip () =
       { sample_info with Job.status = Job.Completed; finished = Some 1700000009. };
       { sample_info with Job.status = Job.Cancelled };
       { sample_info with Job.status = Job.Stuck; idem = None };
+      { sample_info with Job.status = Job.Completed; cache = Job.Cache_full };
+      { sample_info with Job.status = Job.Completed; cache = Job.Cache_partial };
     ]
   in
   List.iter
