@@ -98,17 +98,22 @@ let fresh_dir tag =
   Unix.mkdir path 0o755;
   path
 
-let spawn_daemon ~resolve ~state_dir sock =
+let spawn_daemon ~resolve ~audit_rate ~state_dir sock =
   match Unix.fork () with
   | 0 ->
       (* A short idle poll keeps lease round-trip latency (which this
          benchmark measures) from being dominated by worker sleep. *)
-      let fleet = Fleet.create ~poll:0.005 () in
+      let fleet = Fleet.create ~poll:0.005 ~audit_rate () in
       let config =
         {
           (Server.default_config ~state_dir) with
           Server.domains = 1;
           resolve;
+          (* Cache off: with the compositional profile cache on, every rep
+             after the first is a sub-millisecond full hit and the bench
+             would measure cache serves, not fleet execution (and the
+             audit-overhead comparison would be pure noise). *)
+          cache = false;
           extension = Some (Fleet.extension fleet);
           wave_runner = Some (Fleet.wave_runner fleet);
         }
@@ -169,11 +174,11 @@ let get_ok what = function
 (* Run one (program, shard_size) job through a daemon with [workers]
    attached worker processes, best-of-reps; returns (seconds, last job
    id, state_dir) so the caller can verify the persisted bytes. *)
-let bench_daemon_config ~opts ~resolve ~tag ~workers specs =
+let bench_daemon_config ~opts ~resolve ~tag ~workers ~audit_rate specs =
   let state_dir = fresh_dir tag in
   let sock = Filename.concat state_dir "daemon.sock" in
   let ready_r, ready_w = Unix.pipe () in
-  let daemon = spawn_daemon ~resolve ~state_dir sock in
+  let daemon = spawn_daemon ~resolve ~audit_rate ~state_dir sock in
   let worker_pids = List.init workers (fun _ -> spawn_worker ~resolve sock ready_w) in
   List.iter
     (fun _ ->
@@ -218,10 +223,24 @@ let bench_daemon_config ~opts ~resolve ~tag ~workers specs =
 
 type mode_result = { mode : string; seconds : float; cases_per_sec : float }
 
+(* The audited arm runs the default production audit rate; its throughput
+   must stay within [audit_budget_pct] of the unaudited 2-worker arm —
+   re-executing ~2% of shards cannot be allowed to cost more than 5%. *)
+let audited_rate = 0.02
+let audit_budget_pct = 5.0
+
 let () =
   let opts = parse_options () in
   let host_cores = Domain.recommended_domain_count () in
-  let worker_counts = [ 0; 1; 2; 4 ] in
+  let configs =
+    [
+      ("daemon_local", 0, 0.);
+      ("fleet_1", 1, 0.);
+      ("fleet_2", 2, 0.);
+      ("fleet_4", 4, 0.);
+      ("fleet_2_audited", 2, audited_rate);
+    ]
+  in
   Printf.printf "fleet scaling benchmark (%s, best of %d, host cores %d)\n%!"
     (if opts.quick then "quick" else "full")
     opts.reps host_cores;
@@ -253,19 +272,22 @@ let () =
       programs
   in
   let specs = List.map (fun (name, _, _, shard_size, _, _) -> (name, shard_size)) rows in
-  (* One daemon per worker count, every program through it. *)
+  (* One daemon per configuration, every program through it. *)
   let daemon_runs =
     List.map
-      (fun workers ->
-        let tag = Printf.sprintf "w%d" workers in
-        let results, state_dir = bench_daemon_config ~opts ~resolve ~tag ~workers specs in
-        (workers, results, state_dir))
-      worker_counts
+      (fun (label, workers, audit_rate) ->
+        let results =
+          bench_daemon_config ~opts ~resolve ~tag:label ~workers ~audit_rate specs
+        in
+        let results, state_dir = results in
+        (label, results, state_dir))
+      configs
   in
   (* Verify: the last persisted checkpoint of every (program, config) is
-     bit-identical to the serial engine. A fast wrong fleet is worthless. *)
+     bit-identical to the serial engine. A fast wrong fleet is worthless —
+     and the audited arm must be *verified* identical, not assumed. *)
   List.iter
-    (fun (workers, results, state_dir) ->
+    (fun (label, results, state_dir) ->
       List.iter
         (fun (bench, _, id) ->
           let _, golden, _, shard_size, reference, _ =
@@ -278,11 +300,12 @@ let () =
                  && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes ->
               ()
           | _ | (exception _) ->
-              Printf.eprintf "FATAL: %d-worker outcomes differ from the serial engine on %s\n"
-                workers bench;
+              Printf.eprintf "FATAL: %s outcomes differ from the serial engine on %s\n"
+                label bench;
               exit 1)
         results)
     daemon_runs;
+  let audit_ok = ref true in
   let mode_rows =
     List.map
       (fun (name, _, cases, _, _, serial_s) ->
@@ -290,19 +313,15 @@ let () =
         let modes =
           { mode = "serial"; seconds = serial_s; cases_per_sec = fc /. serial_s }
           :: List.map
-               (fun (workers, results, _) ->
+               (fun (label, results, _) ->
                  let _, seconds, _ = List.find (fun (b, _, _) -> b = name) results in
-                 let mode =
-                   if workers = 0 then "daemon_local"
-                   else Printf.sprintf "fleet_%d" workers
-                 in
-                 { mode; seconds; cases_per_sec = fc /. seconds })
+                 { mode = label; seconds; cases_per_sec = fc /. seconds })
                daemon_runs
         in
         let rate m = (List.find (fun r -> r.mode = m) modes).cases_per_sec in
         List.iter
           (fun { mode; seconds; cases_per_sec } ->
-            Printf.printf "  %-13s %8.3f s   %12.0f cases/s\n%!" mode seconds cases_per_sec)
+            Printf.printf "  %-15s %8.3f s   %12.0f cases/s\n%!" mode seconds cases_per_sec)
           modes;
         Printf.printf
           "  %s: vs serial — daemon %.2fx, fleet_1 %.2fx, fleet_2 %.2fx, fleet_4 %.2fx\n%!"
@@ -311,7 +330,15 @@ let () =
           (rate "fleet_1" /. rate "serial")
           (rate "fleet_2" /. rate "serial")
           (rate "fleet_4" /. rate "serial");
-        (name, cases, modes))
+        let overhead_pct =
+          100. *. ((rate "fleet_2" /. rate "fleet_2_audited") -. 1.)
+        in
+        let within = overhead_pct <= audit_budget_pct in
+        if not within then audit_ok := false;
+        Printf.printf "  %s: audit overhead at rate %.2f — %.1f%% (budget %.0f%%)%s\n%!"
+          name audited_rate overhead_pct audit_budget_pct
+          (if within then "" else "  ** OVER BUDGET **");
+        (name, cases, modes, overhead_pct, within))
       rows
   in
   (* JSON out. *)
@@ -324,13 +351,16 @@ let () =
   bpf "  \"host_cores\": %d,\n" host_cores;
   bpf "  \"worker_domains\": 1,\n";
   bpf "  \"identical_outcomes\": true,\n";
+  bpf "  \"audit_rate_audited_mode\": %.3f,\n" audited_rate;
+  bpf "  \"audit_budget_pct\": %.1f,\n" audit_budget_pct;
+  bpf "  \"audit_within_budget\": %b,\n" !audit_ok;
   if host_cores < 2 then
     bpf
       "  \"note\": \"single-core host: fleet rows measure protocol + lease overhead, \
        not parallel speedup\",\n";
   bpf "  \"programs\": [\n";
   List.iteri
-    (fun i (name, cases, modes) ->
+    (fun i (name, cases, modes, overhead_pct, within) ->
       bpf "    {\n";
       bpf "      \"name\": \"%s\",\n" name;
       bpf "      \"cases\": %d,\n" cases;
@@ -346,7 +376,9 @@ let () =
       bpf "      \"speedup_fleet_1_vs_serial\": %.3f,\n" (rate "fleet_1" /. rate "serial");
       bpf "      \"speedup_fleet_2_vs_serial\": %.3f,\n" (rate "fleet_2" /. rate "serial");
       bpf "      \"speedup_fleet_4_vs_serial\": %.3f,\n" (rate "fleet_4" /. rate "serial");
-      bpf "      \"speedup_fleet_2_vs_fleet_1\": %.3f\n" (rate "fleet_2" /. rate "fleet_1");
+      bpf "      \"speedup_fleet_2_vs_fleet_1\": %.3f,\n" (rate "fleet_2" /. rate "fleet_1");
+      bpf "      \"audit_overhead_pct\": %.2f,\n" overhead_pct;
+      bpf "      \"audit_within_budget\": %b\n" within;
       bpf "    }%s\n" (if i = List.length mode_rows - 1 then "" else ","))
     mode_rows;
   bpf "  ]\n";
@@ -354,4 +386,9 @@ let () =
   let oc = open_out opts.json in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "wrote %s\n%!" opts.json
+  Printf.printf "wrote %s\n%!" opts.json;
+  if not !audit_ok then
+    Printf.printf
+      "WARNING: audit overhead exceeded its %.0f%% budget on at least one program \
+       (see %s)\n%!"
+      audit_budget_pct opts.json

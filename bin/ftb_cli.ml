@@ -624,7 +624,7 @@ let socket_arg =
              (socket_of_state default_state_dir)))
 
 let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
-    lease_ttl no_cache =
+    lease_ttl audit_rate quarantine_after no_cache =
   let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
   let socket = Option.value socket ~default:(socket_of_state state) in
   (match stuck_after with
@@ -636,10 +636,18 @@ let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
     Printf.eprintf "--lease-ttl must be positive (got %g)\n" lease_ttl;
     exit 2
   end;
+  if not (audit_rate >= 0. && audit_rate <= 1.) then begin
+    Printf.eprintf "--audit-rate must be in [0, 1] (got %g)\n" audit_rate;
+    exit 2
+  end;
+  if quarantine_after <= 0 then begin
+    Printf.eprintf "--quarantine-after must be positive (got %d)\n" quarantine_after;
+    exit 2
+  end;
   (* Every daemon is fleet-capable: remote `ftb worker` processes may
      attach at any time and exhaustive jobs submitted while workers are
      live run on the fleet instead of the local pool. *)
-  let fleet = Ftb_dist.Fleet.create ~lease_ttl () in
+  let fleet = Ftb_dist.Fleet.create ~lease_ttl ~audit_rate ~quarantine_after () in
   let config =
     {
       (Service.Server.default_config ~state_dir:state) with
@@ -650,12 +658,36 @@ let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
       cache = not no_cache;
       extension = Some (Ftb_dist.Fleet.extension fleet);
       wave_runner = Some (Ftb_dist.Fleet.wave_runner fleet);
+      provenance =
+        Some
+          (fun ~job_id ->
+            Ftb_dist.Fleet.job_provenance fleet ~job_id
+            |> Option.map (fun jp ->
+                   (jp.Ftb_dist.Fleet.jp_workers, jp.Ftb_dist.Fleet.jp_audited)));
     }
   in
   let t = Service.Server.create config in
+  (* A conviction has three consequences: operators hear about it, any
+     profile the liar ever touched leaves the cache, and watchers of the
+     running job see the event inline. *)
+  Ftb_dist.Fleet.set_on_quarantine fleet (fun ~name ~disputes ->
+      Printf.printf
+        "ftb daemon: worker %s QUARANTINED after %d disputed shards\n%!" name
+        disputes;
+      (match Service.Server.store t with
+      | Some store ->
+          let removed = Ftb_compose.Store.invalidate_worker store ~worker:name in
+          if removed > 0 then
+            Printf.printf
+              "ftb daemon: purged %d cached profile%s with provenance from %s\n%!"
+              removed
+              (if removed = 1 then "" else "s")
+              name
+      | None -> ());
+      Service.Server.notify_quarantine t ~worker:name ~disputes);
   Printf.printf
     "ftb daemon: state %s, socket %s, %d domain%s, queue capacity %d%s, lease ttl \
-     %gs, cache %s\n\
+     %gs, audit rate %s, cache %s\n\
      %!"
     state socket domains
     (if domains = 1 then "" else "s")
@@ -664,6 +696,7 @@ let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
     | Some d -> Printf.sprintf ", stuck watchdog %gs" d
     | None -> "")
     lease_ttl
+    (if audit_rate = 0. then "off" else pct audit_rate)
     (if no_cache then "off" else "on");
   Service.Server.run ?tcp ~socket t;
   Printf.printf "ftb daemon: drained\n"
@@ -716,6 +749,30 @@ let serve_cmd =
              worker that stops heartbeating for this long loses its lease and \
              the shard is reassigned.")
   in
+  let audit_rate_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "audit-rate" ] ~docv:"FRACTION"
+          ~doc:
+            "Trust-but-verify: fraction of each fleet wave's remotely-committed \
+             shards the daemon re-executes locally and compares digests on \
+             (always at least one shard per worker per job). A mismatch marks \
+             the shard disputed, triggers full re-execution of that worker's \
+             commits, and counts toward $(b,--quarantine-after). $(b,0) \
+             disables auditing — fleet-harvested cache profiles then stay \
+             unaudited and are refused at submit time without \
+             $(b,--trust-cache).")
+  in
+  let quarantine_after_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "quarantine-after" ] ~docv:"N"
+          ~doc:
+            "Quarantine a worker after N disputed (silently corrupt) shards: \
+             its leases are revoked, re-registration under the same name is \
+             refused, and every cached profile it touched is purged. Clear \
+             with $(b,ftb workers --clear NAME).")
+  in
   let no_cache_arg =
     Arg.(
       value & flag
@@ -732,12 +789,12 @@ let serve_cmd =
     Term.(
       const serve_run $ logs_term $ state_arg $ socket_arg $ tcp_arg $ capacity_arg
       $ domains_arg $ checkpoint_every_arg $ stuck_after_arg $ lease_ttl_arg
-      $ no_cache_arg)
+      $ audit_rate_arg $ quarantine_after_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ftb worker: attach to a daemon and execute leased campaign shards. *)
 
-let worker_run () connect domains =
+let worker_run () connect domains name =
   let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
   let endpoint = Ftb_dist.Worker.endpoint_of_addr connect in
   let describe =
@@ -745,8 +802,17 @@ let worker_run () connect domains =
     | Ftb_dist.Worker.Unix_socket path -> path
     | Ftb_dist.Worker.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
   in
+  (* A stable default name (host + pid) keeps the worker's reputation in
+     one place across reconnects: dispute counts accumulate against the
+     name, and a quarantined name stays barred until the operator clears
+     it. The daemon sanitizes whatever we send. *)
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ())
+  in
   let config =
-    Ftb_dist.Worker.config ~domains
+    Ftb_dist.Worker.config ~domains ~name
       ~log:(fun msg -> Printf.printf "%s\n%!" msg)
       (fun () ->
         match Ftb_dist.Worker.connect_endpoint endpoint with
@@ -756,12 +822,20 @@ let worker_run () connect domains =
               describe (Unix.error_message err);
             exit 1)
   in
-  Printf.printf "ftb worker: daemon %s, %d domain%s\n%!" describe domains
+  Printf.printf "ftb worker: daemon %s, name %s, %d domain%s\n%!" describe name
+    domains
     (if domains = 1 then "" else "s");
-  let stats = Ftb_dist.Worker.run config in
-  Printf.printf "ftb worker: done — %d shards (%d cases), %d failures, %d stale\n"
-    stats.Ftb_dist.Worker.shards stats.Ftb_dist.Worker.cases
-    stats.Ftb_dist.Worker.failures stats.Ftb_dist.Worker.stale_acks
+  match Ftb_dist.Worker.run config with
+  | stats ->
+      Printf.printf "ftb worker: done — %d shards (%d cases), %d failures, %d stale\n"
+        stats.Ftb_dist.Worker.shards stats.Ftb_dist.Worker.cases
+        stats.Ftb_dist.Worker.failures stats.Ftb_dist.Worker.stale_acks
+  | exception Ftb_dist.Worker_proto.Decode_error msg ->
+      Printf.eprintf
+        "ftb worker: daemon refused registration: %s\n\
+         (a quarantined name needs `ftb workers --clear %s` on the daemon host)\n"
+        msg name;
+      exit 1
 
 let worker_cmd =
   let connect_arg =
@@ -782,6 +856,17 @@ let worker_cmd =
             "Worker domains for shard execution. Precedence: this flag; then \
              $(b,FTB_DOMAINS); then the recommended count capped to 8.")
   in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:
+            "Stable worker identity for the daemon's trust ledger (default: \
+             $(b,hostname-pid)). Dispute counts and quarantine decisions \
+             attach to this name; a quarantined name is refused at \
+             registration until cleared with $(b,ftb workers --clear).")
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:"Attach to a campaign daemon and execute leased shards"
@@ -795,9 +880,11 @@ let worker_cmd =
               streams outcome bytes back. Multiple workers (on this or other \
               machines via $(b,--tcp)) scale a campaign out; outcome bytes \
               are bit-identical to a serial run regardless of worker count or \
-              worker failures.";
+              worker failures. Every result frame carries an outcome digest; \
+              the daemon spot-audits committed shards by re-executing them \
+              and quarantines workers whose results are disputed.";
          ])
-    Term.(const worker_run $ logs_term $ connect_arg $ domains_arg)
+    Term.(const worker_run $ logs_term $ connect_arg $ domains_arg $ name_arg)
 
 let with_client socket f =
   let socket = Option.value socket ~default:(socket_of_state default_state_dir) in
@@ -823,6 +910,10 @@ let print_progress (e : Service.Client.event) =
            (if cases_total = 0 then 0.
             else float_of_int cases_done /. float_of_int cases_total))
         masked sdc crash cases_per_sec
+  | Service.Client.Worker_quarantined { worker; disputes; _ } ->
+      Printf.printf
+        "  worker %s QUARANTINED (%d disputed shards) — its results re-executed\n%!"
+        worker disputes
 
 let print_final id (job : Service.Job.info) =
   Printf.printf "job %d %s\n" id (Service.Job.status_name job.Service.Job.status);
@@ -868,8 +959,8 @@ let watch_retry_until_done socket endpoint id =
   | Ok job -> print_final id job
   | exception exn -> die_unreachable socket exn
 
-let submit_run () name socket fraction seed model shard_size fuel priority no_watch idem
-    =
+let submit_run () name socket fraction seed model shard_size fuel priority
+    trust_cache no_watch idem =
   let mode =
     match fraction with
     | Some fraction -> Service.Job.Sample { fraction; seed }
@@ -882,6 +973,7 @@ let submit_run () name socket fraction seed model shard_size fuel priority no_wa
       shard_size;
       priority;
       model;
+      trust_cache;
       fuel = (match fuel with Some _ -> fuel | None -> (Service.Job.default_spec ~bench:name).Service.Job.fuel);
     }
   in
@@ -941,6 +1033,18 @@ let submit_cmd =
       value & opt int 0
       & info [ "priority" ] ~docv:"P" ~doc:"Higher priorities run first; FIFO within one.")
   in
+  let trust_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "trust-cache" ]
+          ~doc:
+            "Accept cached profiles with $(i,unaudited) fleet provenance for \
+             this job. By default a full-boundary cache hit whose bytes were \
+             computed by fleet workers the daemon never audited (e.g. \
+             $(b,--audit-rate 0)) is refused and the campaign re-executes; \
+             profiles with $(b,local) or audited-fleet provenance are always \
+             eligible.")
+  in
   let no_watch_arg =
     Arg.(
       value & flag
@@ -962,7 +1066,8 @@ let submit_cmd =
     (Cmd.info "submit" ~doc:"Queue a campaign on a running daemon")
     Term.(
       const submit_run $ logs_term $ bench_arg $ socket_arg $ fraction_opt_arg $ seed_arg
-      $ model_arg $ shard_size_arg $ fuel_arg $ priority_arg $ no_watch_arg $ idem_arg)
+      $ model_arg $ shard_size_arg $ fuel_arg $ priority_arg $ trust_cache_arg
+      $ no_watch_arg $ idem_arg)
 
 let jobs_run () socket json =
   with_client socket (fun client ->
@@ -1033,7 +1138,7 @@ let cancel_cmd =
 (* ------------------------------------------------------------------ *)
 (* ftb cache: inspect and maintain the daemon's profile store.         *)
 
-let cache_run () state action keep prefix all =
+let cache_run () state action keep prefix all from_worker =
   let root = Service.Server.cache_dir ~state_dir:state in
   let store = Ftb_compose.Store.open_ ~root in
   match action with
@@ -1042,30 +1147,39 @@ let cache_run () state action keep prefix all =
       Printf.printf
         "cache %s\n\
         \  %d entries: %d section profiles, %d boundary profiles (%d bytes)\n\
+        \  %d with unaudited fleet provenance (refused without --trust-cache)\n\
         \  %d quarantined\n"
         root s.Ftb_compose.Store.entries s.Ftb_compose.Store.sections
         s.Ftb_compose.Store.boundaries s.Ftb_compose.Store.bytes
-        s.Ftb_compose.Store.quarantined
+        s.Ftb_compose.Store.unaudited s.Ftb_compose.Store.quarantined
   | `Gc ->
       let removed = Ftb_compose.Store.gc store ~keep in
       Printf.printf "cache gc: removed %d entr%s, kept the newest %d\n" removed
         (if removed = 1 then "y" else "ies")
         keep
   | `Invalidate -> (
-      match (prefix, all) with
-      | None, false ->
-          Printf.eprintf "cache invalidate needs --prefix KEYPREFIX or --all\n";
+      match (prefix, all, from_worker) with
+      | None, false, None ->
+          Printf.eprintf
+            "cache invalidate needs --prefix KEYPREFIX, --from-worker NAME or --all\n";
           exit 2
-      | Some _, true ->
-          Printf.eprintf "--prefix and --all are mutually exclusive\n";
+      | Some _, true, _ | Some _, _, Some _ | _, true, Some _ ->
+          Printf.eprintf "--prefix, --all and --from-worker are mutually exclusive\n";
           exit 2
-      | Some p, false ->
+      | Some p, false, None ->
           let removed = Ftb_compose.Store.invalidate store ~prefix:p in
           Printf.printf "cache invalidate: removed %d entr%s with key prefix %s\n"
             removed
             (if removed = 1 then "y" else "ies")
             p
-      | None, true ->
+      | None, false, Some worker ->
+          let removed = Ftb_compose.Store.invalidate_worker store ~worker in
+          Printf.printf
+            "cache invalidate: removed %d entr%s with provenance from worker %s\n"
+            removed
+            (if removed = 1 then "y" else "ies")
+            worker
+      | None, true, None ->
           let removed = Ftb_compose.Store.invalidate store ~prefix:"" in
           Printf.printf "cache invalidate: removed all %d entr%s\n" removed
             (if removed = 1 then "y" else "ies"))
@@ -1096,6 +1210,18 @@ let cache_cmd =
       value & flag
       & info [ "all" ] ~doc:"For $(b,invalidate): remove every cache entry.")
   in
+  let from_worker_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-worker" ] ~docv:"NAME"
+          ~doc:
+            "For $(b,invalidate): remove every entry whose provenance names \
+             this fleet worker — the blast-radius purge after a quarantine \
+             (the daemon runs the same purge automatically when it convicts \
+             a worker; this covers stores the liar touched before the \
+             conviction, audited entries included).")
+  in
   Cmd.v
     (Cmd.info "cache"
        ~doc:"Inspect or prune the daemon's compositional profile cache"
@@ -1107,13 +1233,109 @@ let cache_cmd =
               $(b,<state>/cache): one per program section and one per whole \
               campaign boundary. $(b,stats) summarizes the store, $(b,gc) \
               bounds it to the newest N entries, and $(b,invalidate) removes \
-              entries by content-key prefix (or all of them). Corrupt entries \
-              are never served; they are moved to a $(b,quarantine/) sibling \
-              and rebuilt by the next campaign.";
+              entries by content-key prefix, by fleet-worker provenance \
+              ($(b,--from-worker)), or all of them. Corrupt entries are never \
+              served; they are moved to a $(b,quarantine/) sibling and \
+              rebuilt by the next campaign.";
          ])
     Term.(
       const cache_run $ logs_term $ state_arg $ action_arg $ keep_arg $ prefix_arg
-      $ all_arg)
+      $ all_arg $ from_worker_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ftb workers: the daemon's fleet trust ledger.                       *)
+
+let workers_run () socket json clear =
+  let socket = Option.value socket ~default:(socket_of_state default_state_dir) in
+  let fd =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | fd -> fd
+    | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "cannot reach daemon at %s: %s (is `ftb serve` running?)\n"
+          socket (Unix.error_message err);
+        exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let module P = Ftb_dist.Worker_proto in
+      match clear with
+      | Some name -> (
+          Service.Wire.write fd (P.workers_clear_request ~name);
+          match P.parse_cleared (Service.Wire.read fd) with
+          | true -> Printf.printf "worker %s cleared: it may register again\n" name
+          | false ->
+              Printf.printf "worker %s was not quarantined; nothing to clear\n" name
+          | exception P.Decode_error msg ->
+              Printf.eprintf "workers --clear failed: %s\n" msg;
+              exit 1)
+      | None -> (
+          Service.Wire.write fd P.workers_request;
+          let frame = Service.Wire.read fd in
+          if json then print_endline (Service.Json.to_string frame)
+          else
+            match P.parse_workers frame with
+            | exception P.Decode_error msg ->
+                Printf.eprintf "workers failed: %s\n" msg;
+                exit 1
+            | [], [] -> print_endline "no workers attached, none quarantined"
+            | rows, barred ->
+                if rows <> [] then begin
+                  Printf.printf "%-4s %-20s %-7s %-6s %-9s %-7s %-8s %s\n" "wid"
+                    "name" "domains" "age" "committed" "failed" "disputed" "status";
+                  List.iter
+                    (fun (r : P.worker_row) ->
+                      Printf.printf "%-4d %-20s %-7d %-6.1f %-9d %-7d %-8d %s\n"
+                        r.P.row_wid r.P.row_name r.P.row_domains r.P.row_age
+                        r.P.row_committed r.P.row_failed r.P.row_disputed
+                        (if r.P.row_quarantined then "QUARANTINED" else "ok"))
+                    rows
+                end;
+                List.iter
+                  (fun (name, disputes) ->
+                    Printf.printf
+                      "barred: %s (%d disputed shards) — clear with `ftb workers \
+                       --clear %s`\n"
+                      name disputes name)
+                  barred))
+
+let workers_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the raw worker-stats frame as JSON.")
+  in
+  let clear_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "clear" ] ~docv:"NAME"
+          ~doc:
+            "Lift a worker's quarantine: its name may register again and its \
+             dispute count restarts from zero. Purge the profiles it \
+             poisoned separately ($(b,ftb cache invalidate --from-worker)) — \
+             clearing the name does not restore trust in old bytes.")
+  in
+  Cmd.v
+    (Cmd.info "workers"
+       ~doc:"List a daemon's fleet workers, dispute counts and quarantines"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The trust ledger of a running $(b,ftb serve) daemon: every \
+              attached worker with its lifetime committed / failed / \
+              disputed shard counts, plus the names currently barred by \
+              quarantine. A worker is quarantined when spot audits \
+              (re-execution of committed shards, $(b,--audit-rate)) dispute \
+              too many of its results ($(b,--quarantine-after)).";
+         ])
+    Term.(const workers_run $ logs_term $ socket_arg $ json_arg $ clear_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1198,7 +1420,7 @@ let main_cmd =
     [
       list_cmd; campaign_cmd; boundary_cmd; adaptive_cmd; protect_cmd; models_cmd;
       propagation_cmd; report_cmd; ir_cmd; serve_cmd; worker_cmd; submit_cmd;
-      jobs_cmd; watch_cmd; cancel_cmd; cache_cmd;
+      jobs_cmd; watch_cmd; cancel_cmd; cache_cmd; workers_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -34,7 +34,7 @@ let accept (plan : Section.plan) (s : Section.section) (p : Profile.section) =
   && p.Profile.entry_fp = s.Section.entry_fp
   && p.Profile.exit_fp = s.Section.exit_fp
 
-let probe store ~ir ~golden ~model ~fuel =
+let probe ?(trust_unaudited = false) store ~ir ~golden ~model ~fuel =
   match Section.sectionize ~ir ~golden ~model ~fuel with
   | None -> None
   | Some plan ->
@@ -52,11 +52,16 @@ let probe store ~ir ~golden ~model ~fuel =
                   sites = 0;
                   entry_fp = s.Section.entry_fp;
                   exit_fp = s.Section.exit_fp;
+                  prov = Profile.prov_local;
                   outcomes = "";
                 }
             else
               match Store.find store ~key:s.Section.key with
-              | Some (Profile.Section p) when accept plan s p -> Hit p
+              | Some (Profile.Section p)
+                when accept plan s p
+                     && (trust_unaudited || Profile.prov_trusted p.Profile.prov)
+                ->
+                  Hit p
               | Some _ | None -> Miss)
           plan.Section.sections
       in
@@ -84,14 +89,15 @@ let probe store ~ir ~golden ~model ~fuel =
 (* ------------------------------------------------------------------ *)
 (* Boundary profiles: the full-hit fast path. *)
 
-let probe_boundary store ~ir ~model ~fuel =
+let probe_boundary ?(trust_unaudited = false) store ~ir ~model ~fuel =
   match Section.boundary_key ~ir ~model ~fuel with
   | exception Invalid_argument _ -> None
   | key -> (
       match Store.find store ~key with
       | Some (Profile.Boundary b)
         when b.Profile.bmodel = Models.spec_to_string model
-             && b.Profile.bwidth = Models.spec_width model ->
+             && b.Profile.bwidth = Models.spec_width model
+             && (trust_unaudited || Profile.prov_trusted b.Profile.bprov) ->
           Some b
       | Some _ | None -> None)
 
@@ -114,7 +120,8 @@ let checkpoint_of_boundary (b : Profile.boundary) ~program ~shard_size =
     outcomes = Bytes.of_string b.Profile.boutcomes;
   }
 
-let put_boundary store ~ir ~model ~fuel ~golden_fp ~sites ~outcomes =
+let put_boundary ?(prov = Profile.prov_local) store ~ir ~model ~fuel ~golden_fp
+    ~sites ~outcomes =
   match Section.boundary_key ~ir ~model ~fuel with
   | exception Invalid_argument _ -> ()
   | key ->
@@ -130,6 +137,7 @@ let put_boundary store ~ir ~model ~fuel ~golden_fp ~sites ~outcomes =
              masked;
              sdc;
              crash;
+             bprov = prov;
              boutcomes = Bytes.to_string outcomes;
            })
 
@@ -185,7 +193,7 @@ let seed_checkpoint p golden ~shard_size =
     cp.Checkpoint.completed;
   cp
 
-let harvest store p ~outcomes =
+let harvest ?(prov = Profile.prov_local) store p ~outcomes =
   let plan = p.plan in
   let width = plan.Section.width in
   Array.iteri
@@ -206,6 +214,7 @@ let harvest store p ~outcomes =
                  sites = s.Section.site_hi - s.Section.site_lo;
                  entry_fp = s.Section.entry_fp;
                  exit_fp = s.Section.exit_fp;
+                 prov;
                  outcomes = Bytes.sub_string outcomes lo len;
                }))
     p.statuses

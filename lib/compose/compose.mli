@@ -32,6 +32,7 @@ val full_hit : planned -> bool
 val any_hit : planned -> bool
 
 val probe :
+  ?trust_unaudited:bool ->
   Store.t ->
   ir:Ftb_ir.Ir.t ->
   golden:Ftb_trace.Golden.t ->
@@ -41,16 +42,22 @@ val probe :
 (** Sectionize and look every section up in the store. [None] when the
     program cannot be sectionized (callers run cold). Accepted profiles
     passed every consistency check (model, width, range, entry/exit
-    fingerprint chain). *)
+    fingerprint chain) {e and} carry trusted provenance
+    ({!Profile.prov_trusted}) — unaudited fleet-harvested profiles are
+    treated as misses unless [trust_unaudited] (default [false]). *)
 
 val probe_boundary :
+  ?trust_unaudited:bool ->
   Store.t ->
   ir:Ftb_ir.Ir.t ->
   model:Ftb_inject.Models.spec ->
   fuel:int option ->
   Profile.boundary option
 (** Whole-boundary lookup by {!Section.boundary_key}; requires no golden
-    run — the submit-time fast path. *)
+    run — the submit-time fast path. Refuses a boundary with untrusted
+    provenance unless [trust_unaudited] (default [false]): a full hit
+    executes {e nothing}, so it is exactly the path a poisoned profile
+    would ride. *)
 
 val checkpoint_of_boundary :
   Profile.boundary -> program:string -> shard_size:int -> Ftb_campaign.Checkpoint.t
@@ -67,11 +74,14 @@ val seed_checkpoint :
     the remaining shards — the reduced campaign that the pool or the
     worker fleet drains; a fully-seeded checkpoint schedules zero waves. *)
 
-val harvest : Store.t -> planned -> outcomes:Bytes.t -> unit
+val harvest : ?prov:string -> Store.t -> planned -> outcomes:Bytes.t -> unit
 (** Store the profile of every {e missed} section out of a completed
-    campaign's outcome bytes (hits are already stored). *)
+    campaign's outcome bytes (hits are already stored). [prov] (default
+    {!Profile.prov_local}) records who computed the bytes — fleet jobs
+    pass {!Profile.prov_fleet} of the contributing workers. *)
 
 val put_boundary :
+  ?prov:string ->
   Store.t ->
   ir:Ftb_ir.Ir.t ->
   model:Ftb_inject.Models.spec ->
@@ -80,7 +90,8 @@ val put_boundary :
   sites:int ->
   outcomes:Bytes.t ->
   unit
-(** Store/refresh the whole-boundary profile of a completed campaign. *)
+(** Store/refresh the whole-boundary profile of a completed campaign;
+    [prov] as in {!harvest}. *)
 
 type provenance = Cold | Partial | Full
 

@@ -9,6 +9,7 @@ type section = {
   sites : int;
   entry_fp : string;
   exit_fp : string;
+  prov : string;
   outcomes : string;  (* sites * width outcome bytes *)
 }
 
@@ -21,15 +22,71 @@ type boundary = {
   masked : int;
   sdc : int;
   crash : int;
+  bprov : string;
   boutcomes : string;  (* bsites * bwidth outcome bytes *)
 }
 
 type t = Section of section | Boundary of boundary
 
 let key = function Section s -> s.key | Boundary b -> b.bkey
+let prov_of = function Section s -> s.prov | Boundary b -> b.bprov
 
-let section_magic = "ftb-section-profile-v1"
-let boundary_magic = "ftb-boundary-profile-v1"
+(* ------------------------------------------------------------------ *)
+(* Provenance tokens. The lattice, most to least trusted:
+     local                         computed (or audit-adjudicated) here
+     fleet:audited:n1,n2           every surviving remote shard verified
+     fleet:unaudited:n1,n2         remote shards only sample-audited
+   One space-free token so it slots into the space-split headers; worker
+   names are sanitized to [A-Za-z0-9._-] at registration, so ',' and ':'
+   are safe separators. *)
+
+let prov_local = "local"
+
+let name_valid n =
+  n <> ""
+  && String.for_all
+       (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       n
+
+let prov_fleet ~audited ~workers =
+  match workers with
+  | [] -> prov_local
+  | ws ->
+      List.iter
+        (fun w -> if not (name_valid w) then invalid_arg ("Profile.prov_fleet: bad worker name " ^ w))
+        ws;
+      Printf.sprintf "fleet:%s:%s"
+        (if audited then "audited" else "unaudited")
+        (String.concat "," ws)
+
+let prov_workers p =
+  match String.split_on_char ':' p with
+  | [ "fleet"; ("audited" | "unaudited"); names ] -> String.split_on_char ',' names
+  | _ -> []
+
+let prov_trusted p =
+  p = prov_local
+  ||
+  match String.split_on_char ':' p with
+  | [ "fleet"; "audited"; _ ] -> true
+  | _ -> false
+
+let prov_valid p =
+  p = prov_local
+  ||
+  match String.split_on_char ':' p with
+  | [ "fleet"; ("audited" | "unaudited"); names ] ->
+      names <> "" && List.for_all name_valid (String.split_on_char ',' names)
+  | _ -> false
+
+(* v2 appends the provenance token; v1 artifacts (pre-provenance stores)
+   still parse, as [local] — they were written before fleet harvests
+   recorded origin, and an operator who distrusts such a store clears
+   it wholesale. *)
+let section_magic = "ftb-section-profile-v2"
+let boundary_magic = "ftb-boundary-profile-v2"
+let section_magic_v1 = "ftb-section-profile-v1"
+let boundary_magic_v1 = "ftb-boundary-profile-v1"
 
 (* Outcome bytes use the ground-truth taxonomy encoding '\000'..'\005'
    (Ftb_inject.Ground_truth.byte_of_result); anything else in a decoded
@@ -46,12 +103,12 @@ let outcomes_valid s =
 let write t buf =
   match t with
   | Section s ->
-      Printf.bprintf buf "%s %s %s %d %d %d %s %s\n" section_magic s.key s.model
-        s.width s.site_lo s.sites s.entry_fp s.exit_fp;
+      Printf.bprintf buf "%s %s %s %d %d %d %s %s %s\n" section_magic s.key s.model
+        s.width s.site_lo s.sites s.entry_fp s.exit_fp s.prov;
       Buffer.add_string buf s.outcomes
   | Boundary b ->
-      Printf.bprintf buf "%s %s %s %d %d %s %d %d %d\n" boundary_magic b.bkey b.bmodel
-        b.bwidth b.bsites b.golden_fp b.masked b.sdc b.crash;
+      Printf.bprintf buf "%s %s %s %d %d %s %d %d %d %s\n" boundary_magic b.bkey b.bmodel
+        b.bwidth b.bsites b.golden_fp b.masked b.sdc b.crash b.bprov;
       Buffer.add_string buf b.boutcomes
 
 let fail path fmt =
@@ -77,49 +134,66 @@ let parse ~path contents =
             (String.length body) (sites * width) sites width;
         if not (outcomes_valid body) then fail path "invalid outcome byte in payload"
       in
+      let prov_field p = if prov_valid p then p else fail path "bad provenance token %S" p in
+      let section_of ~key ~model ~width ~site_lo ~sites ~entry_fp ~exit_fp ~prov =
+        let width = int_field path "width" width in
+        let sites = int_field path "sites" sites in
+        if width <= 0 then fail path "width must be positive";
+        check_body ~sites ~width;
+        Section
+          {
+            key = fp_field path "key" key;
+            model;
+            width;
+            site_lo = int_field path "site_lo" site_lo;
+            sites;
+            entry_fp = fp_field path "entry" entry_fp;
+            exit_fp = fp_field path "exit" exit_fp;
+            prov = prov_field prov;
+            outcomes = body;
+          }
+      in
+      let boundary_of ~key ~model ~width ~sites ~golden_fp ~masked ~sdc ~crash ~prov =
+        let width = int_field path "width" width in
+        let sites = int_field path "sites" sites in
+        if width <= 0 then fail path "width must be positive";
+        if sites <= 0 then fail path "sites must be positive";
+        check_body ~sites ~width;
+        let masked = int_field path "masked" masked in
+        let sdc = int_field path "sdc" sdc in
+        let crash = int_field path "crash" crash in
+        if masked + sdc + crash <> sites * width then
+          fail path "outcome counts %d+%d+%d do not sum to %d cases" masked sdc crash
+            (sites * width);
+        Boundary
+          {
+            bkey = fp_field path "key" key;
+            bmodel = model;
+            bwidth = width;
+            bsites = sites;
+            golden_fp = fp_field path "golden" golden_fp;
+            masked;
+            sdc;
+            crash;
+            bprov = prov_field prov;
+            boutcomes = body;
+          }
+      in
       match String.split_on_char ' ' header with
-      | [ magic; key; model; width; site_lo; sites; entry_fp; exit_fp ]
+      | [ magic; key; model; width; site_lo; sites; entry_fp; exit_fp; prov ]
         when magic = section_magic ->
-          let width = int_field path "width" width in
-          let sites = int_field path "sites" sites in
-          if width <= 0 then fail path "width must be positive";
-          check_body ~sites ~width;
-          Section
-            {
-              key = fp_field path "key" key;
-              model;
-              width;
-              site_lo = int_field path "site_lo" site_lo;
-              sites;
-              entry_fp = fp_field path "entry" entry_fp;
-              exit_fp = fp_field path "exit" exit_fp;
-              outcomes = body;
-            }
-      | [ magic; key; model; width; sites; golden_fp; masked; sdc; crash ]
+          section_of ~key ~model ~width ~site_lo ~sites ~entry_fp ~exit_fp ~prov
+      | [ magic; key; model; width; site_lo; sites; entry_fp; exit_fp ]
+        when magic = section_magic_v1 ->
+          section_of ~key ~model ~width ~site_lo ~sites ~entry_fp ~exit_fp
+            ~prov:prov_local
+      | [ magic; key; model; width; sites; golden_fp; masked; sdc; crash; prov ]
         when magic = boundary_magic ->
-          let width = int_field path "width" width in
-          let sites = int_field path "sites" sites in
-          if width <= 0 then fail path "width must be positive";
-          if sites <= 0 then fail path "sites must be positive";
-          check_body ~sites ~width;
-          let masked = int_field path "masked" masked in
-          let sdc = int_field path "sdc" sdc in
-          let crash = int_field path "crash" crash in
-          if masked + sdc + crash <> sites * width then
-            fail path "outcome counts %d+%d+%d do not sum to %d cases" masked sdc crash
-              (sites * width);
-          Boundary
-            {
-              bkey = fp_field path "key" key;
-              bmodel = model;
-              bwidth = width;
-              bsites = sites;
-              golden_fp = fp_field path "golden" golden_fp;
-              masked;
-              sdc;
-              crash;
-              boutcomes = body;
-            }
+          boundary_of ~key ~model ~width ~sites ~golden_fp ~masked ~sdc ~crash ~prov
+      | [ magic; key; model; width; sites; golden_fp; masked; sdc; crash ]
+        when magic = boundary_magic_v1 ->
+          boundary_of ~key ~model ~width ~sites ~golden_fp ~masked ~sdc ~crash
+            ~prov:prov_local
       | magic :: _ -> fail path "unknown profile magic %S" magic
       | [] -> fail path "empty profile header")
 

@@ -16,9 +16,10 @@
     On disk both are a single space-split text header line followed by
     the raw outcome bytes, wrapped in the CRC32 envelope by {!Store}:
     {v
-    ftb-section-profile-v1 <key> <model> <width> <site_lo> <sites> <entry-fp> <exit-fp>
-    ftb-boundary-profile-v1 <key> <model> <width> <sites> <golden-fp> <masked> <sdc> <crash>
-    v} *)
+    ftb-section-profile-v2 <key> <model> <width> <site_lo> <sites> <entry-fp> <exit-fp> <prov>
+    ftb-boundary-profile-v2 <key> <model> <width> <sites> <golden-fp> <masked> <sdc> <crash> <prov>
+    v}
+    The v1 headers (no provenance token) still parse, as [local]. *)
 
 type section = {
   key : string;
@@ -28,6 +29,7 @@ type section = {
   sites : int;
   entry_fp : string;
   exit_fp : string;  (** output-perturbation signature *)
+  prov : string;  (** provenance token, see {!prov_fleet} *)
   outcomes : string;  (** [sites * width] taxonomy bytes *)
 }
 
@@ -40,12 +42,39 @@ type boundary = {
   masked : int;
   sdc : int;
   crash : int;
+  bprov : string;  (** provenance token, see {!prov_fleet} *)
   boutcomes : string;  (** [bsites * bwidth] taxonomy bytes *)
 }
 
 type t = Section of section | Boundary of boundary
 
 val key : t -> string
+val prov_of : t -> string
+
+(** {1 Provenance tokens}
+
+    Who computed the bytes, as a trust lattice:
+    [local] (computed or audit-adjudicated by this daemon) >
+    [fleet:audited:n1,n2] (remote, every surviving shard verified) >
+    [fleet:unaudited:n1,n2] (remote, only sample-audited). Consumers
+    refuse untrusted tokens unless the operator opts in, and a
+    quarantined worker's name indexes the purge
+    ({!Store.invalidate_worker}). *)
+
+val prov_local : string
+
+val prov_fleet : audited:bool -> workers:string list -> string
+(** [prov_local] when [workers] is empty. Raises [Invalid_argument] on a
+    name outside [[A-Za-z0-9._-]+] (registration sanitizes, so this only
+    trips on caller bugs). *)
+
+val prov_trusted : string -> bool
+(** [local] and [fleet:audited:*] tokens. *)
+
+val prov_workers : string -> string list
+(** Worker names in a fleet token; [[]] for [local]. *)
+
+val prov_valid : string -> bool
 
 val write : t -> Buffer.t -> unit
 (** Serialize (header + raw bytes); the store wraps this in the CRC32

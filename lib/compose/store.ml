@@ -75,17 +75,29 @@ let put t profile =
   mkdir_p (shard_dir t key);
   Persist.save_enveloped ~path:(path_of_key t key) (Profile.write profile)
 
+(* Read-only decode used by stats and the provenance purge: never
+   quarantines (these are bulk scans, not serving paths — [find] owns the
+   quarantine policy). *)
+let profile_of_path path =
+  match Persist.load_enveloped ~path with
+  | exception (Persist.Format_error _ | Sys_error _) -> None
+  | contents -> (
+      match Profile.parse ~path contents with
+      | exception Persist.Format_error _ -> None
+      | profile -> Some profile)
+
 type stats = {
   entries : int;
   bytes : int;
   sections : int;
   boundaries : int;
   quarantined : int;
+  unaudited : int;
 }
 
 let stats t =
   let entries = ref 0 and bytes = ref 0 in
-  let sections = ref 0 and boundaries = ref 0 in
+  let sections = ref 0 and boundaries = ref 0 and unaudited = ref 0 in
   List.iter
     (fun path ->
       match Unix.stat path with
@@ -93,15 +105,16 @@ let stats t =
       | st -> (
           incr entries;
           bytes := !bytes + st.Unix.st_size;
-          (* Classification reads only the envelope payload's first
-             header token; a file that no longer loads counts as an entry
-             (it occupies the namespace) but as neither kind. *)
-          match Persist.load_enveloped ~path with
-          | exception (Persist.Format_error _ | Sys_error _) -> ()
-          | contents ->
-              if String.length contents > 12 then
-                if String.sub contents 0 11 = "ftb-section" then incr sections
-                else if String.sub contents 0 12 = "ftb-boundary" then incr boundaries))
+          (* A file that no longer decodes counts as an entry (it occupies
+             the namespace) but as neither kind. *)
+          match profile_of_path path with
+          | None -> ()
+          | Some profile ->
+              (match profile with
+              | Profile.Section _ -> incr sections
+              | Profile.Boundary _ -> incr boundaries);
+              if not (Profile.prov_trusted (Profile.prov_of profile)) then
+                incr unaudited))
     (all_entries t);
   let quarantined =
     List.fold_left
@@ -117,6 +130,7 @@ let stats t =
     sections = !sections;
     boundaries = !boundaries;
     quarantined;
+    unaudited = !unaudited;
   }
 
 let remove path = try Sys.remove path with Sys_error _ -> ()
@@ -125,6 +139,24 @@ let invalidate t ~prefix =
   let victims =
     List.filter
       (fun path -> String.starts_with ~prefix (Filename.basename path))
+      (all_entries t)
+  in
+  List.iter remove victims;
+  List.length victims
+
+(* Provenance purge: everything a (typically later-quarantined) worker
+   contributed to goes, trusted-or-not — its audited shards may have been
+   verified, but the blast-radius call is the operator's, and rebuild is
+   always safe. Entries that no longer decode are left for [find]'s
+   quarantine policy. *)
+let invalidate_worker t ~worker =
+  let victims =
+    List.filter
+      (fun path ->
+        match profile_of_path path with
+        | Some profile ->
+            List.mem worker (Profile.prov_workers (Profile.prov_of profile))
+        | None -> false)
       (all_entries t)
   in
   List.iter remove victims;

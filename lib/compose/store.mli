@@ -35,6 +35,8 @@ type stats = {
   sections : int;  (** entries that are section profiles *)
   boundaries : int;  (** entries that are boundary profiles *)
   quarantined : int;  (** files preserved in quarantine/ dirs *)
+  unaudited : int;  (** entries whose provenance is not trusted
+                        ({!Profile.prov_trusted}) *)
 }
 
 val stats : t -> stats
@@ -42,6 +44,12 @@ val stats : t -> stats
 val invalidate : t -> prefix:string -> int
 (** Delete every entry whose key starts with [prefix] (the empty prefix
     empties the store); returns the number deleted. *)
+
+val invalidate_worker : t -> worker:string -> int
+(** Delete every entry whose provenance names [worker] — audited entries
+    included (the operator purging a quarantined worker owns the
+    blast-radius call; a rebuild is always safe). Returns the number
+    deleted. *)
 
 val gc : t -> keep:int -> int
 (** Keep the [keep] most-recently-written entries, delete the rest;

@@ -5,9 +5,33 @@ module P = Worker_proto
 
 type worker_info = {
   wid : int;
+  w_name : string;
   w_domains : int;
   mutable last_seen : float;
   mutable detached : bool;
+  mutable quarantined : bool;
+  mutable w_committed : int;
+  mutable w_failed : int;
+  mutable w_disputed : int;
+}
+
+(* One committed remote shard, recorded for audit re-execution and cache
+   provenance. [r_digest] is the attestation digest recomputed server-side
+   over the decoded bytes (so it reflects what actually landed in the
+   campaign buffer, not what the frame claimed); [r_attested] is whether
+   the frame itself carried a digest — legacy frames without one are
+   always audited. [r_overwritten] marks a disputed shard whose bytes the
+   local oracle replaced. *)
+type audit_record = {
+  r_shard : int;
+  r_lo : int;
+  r_hi : int;
+  r_wid : int;
+  r_name : string;
+  r_digest : string;
+  r_attested : bool;
+  mutable r_audited : bool;
+  mutable r_overwritten : bool;
 }
 
 (* The wave currently being executed for the scheduler thread blocked in
@@ -31,48 +55,98 @@ type stats = {
   expired : int;
   stale : int;
   failed : int;
+  audited : int;
+  disputed : int;
+  quarantined : int;
+  bad_digest : int;
 }
+
+type job_provenance = { jp_workers : string list; jp_audited : bool }
 
 type t = {
   mutex : Mutex.t;
   lease_ttl : float;
   poll : float;
+  audit_rate : float;
+  audit_seed : int;
+  quarantine_after : int;
+  mutable on_quarantine : (name:string -> disputes:int -> unit) option;
   mutable workers : worker_info list;
   mutable next_wid : int;
   mutable next_lease : int;
   mutable active : active option;
+  (* Audit state for the job currently (or most recently) driven through
+     [wave_runner]; the daemon's scheduler runs one job at a time, so a
+     single slot suffices. Records accumulate across the job's waves. *)
+  mutable audit_job : int option;
+  mutable audit_records : audit_record list;
+  mutable audited_wids : int list;
+  (* Quarantine registry. [barred] is keyed by operator-facing worker
+     name so a banned worker cannot shed its record by reconnecting under
+     a fresh wid; [quarantined_wids] additionally rejects frames from an
+     already-pruned quarantined registration. Both are bounded. *)
+  mutable barred : (string * int) list;
+  mutable quarantined_wids : int list;
+  dispute_counts : (int, int) Hashtbl.t;
   mutable granted : int;
   mutable remote_committed : int;
   mutable local_committed : int;
   mutable expired : int;
   mutable stale : int;
   mutable failed : int;
+  mutable audited : int;
+  mutable disputed : int;
+  mutable quarantined_total : int;
+  mutable bad_digest : int;
 }
 
+let max_barred = 64
+let max_quarantined_wids = 256
 let now () = Unix.gettimeofday ()
 
-let create ?(lease_ttl = 5.0) ?(poll = 0.05) () =
+let create ?(lease_ttl = 5.0) ?(poll = 0.05) ?(audit_rate = 0.02)
+    ?(audit_seed = 0x7f4a7c15) ?(quarantine_after = 2) () =
   if lease_ttl <= 0. then invalid_arg "Fleet.create: lease_ttl must be positive";
   if poll <= 0. then invalid_arg "Fleet.create: poll must be positive";
+  if audit_rate < 0. || audit_rate > 1. then
+    invalid_arg "Fleet.create: audit_rate must be within [0, 1]";
+  if quarantine_after < 1 then
+    invalid_arg "Fleet.create: quarantine_after must be positive";
   {
     mutex = Mutex.create ();
     lease_ttl;
     poll;
+    audit_rate;
+    audit_seed;
+    quarantine_after;
+    on_quarantine = None;
     workers = [];
     next_wid = 1;
     next_lease = 1;
     active = None;
+    audit_job = None;
+    audit_records = [];
+    audited_wids = [];
+    barred = [];
+    quarantined_wids = [];
+    dispute_counts = Hashtbl.create 8;
     granted = 0;
     remote_committed = 0;
     local_committed = 0;
     expired = 0;
     stale = 0;
     failed = 0;
+    audited = 0;
+    disputed = 0;
+    quarantined_total = 0;
+    bad_digest = 0;
   }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let set_on_quarantine t f = with_lock t (fun () -> t.on_quarantine <- Some f)
 
 let stats t =
   with_lock t (fun () ->
@@ -83,6 +157,10 @@ let stats t =
         expired = t.expired;
         stale = t.stale;
         failed = t.failed;
+        audited = t.audited;
+        disputed = t.disputed;
+        quarantined = t.quarantined_total;
+        bad_digest = t.bad_digest;
       })
 
 (* A worker is live while its frames keep arriving: idle workers refresh
@@ -94,7 +172,9 @@ let live_window t = 3. *. t.lease_ttl
 
 let live_workers_locked t ~now:t_now =
   List.filter
-    (fun w -> (not w.detached) && t_now -. w.last_seen <= live_window t)
+    (fun w ->
+      (not w.detached) && (not w.quarantined)
+      && t_now -. w.last_seen <= live_window t)
     t.workers
 
 let live_workers t = with_lock t (fun () -> List.length (live_workers_locked t ~now:(now ())))
@@ -109,10 +189,15 @@ let live_workers t = with_lock t (fun () -> List.length (live_workers_locked t ~
    exits visibly; worker ids are never reused. *)
 let prune_window t = 10. *. live_window t
 
+(* Quarantined entries ride the same bounded-list path as detached ones:
+   the wid stays barred via [quarantined_wids] and the name via [barred],
+   so pruning the registry row loses no enforcement, only the row. *)
 let prune_workers_locked t ~now:t_now =
   t.workers <-
     List.filter
-      (fun w -> (not w.detached) && t_now -. w.last_seen <= prune_window t)
+      (fun w ->
+        (not w.detached) && (not w.quarantined)
+        && t_now -. w.last_seen <= prune_window t)
       t.workers
 
 let live_slots_locked t ~now:t_now =
@@ -132,21 +217,60 @@ let touch_worker_locked t wid =
 (* Protocol handlers (connection threads). Strict request/response: each
    returns exactly one reply frame. *)
 
+(* Worker names key the quarantine bar, so they must survive a trip
+   through provenance tokens and CLI arguments unambiguously: anything
+   outside [A-Za-z0-9._-] is folded to '-'. *)
+let sanitize_name name =
+  String.map
+    (fun c ->
+      match c with 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> c | _ -> '-')
+    name
+
+let quarantined_locked t wid = List.mem wid t.quarantined_wids
+
 let handle_register t json =
   let domains = match P.opt_int "domains" json with Some d when d >= 1 -> d | _ -> 1 in
+  let name = Option.map sanitize_name (P.opt_str "name" json) in
   with_lock t (fun () ->
       let t_now = now () in
       prune_workers_locked t ~now:t_now;
-      let wid = t.next_wid in
-      t.next_wid <- wid + 1;
-      t.workers <-
-        { wid; w_domains = domains; last_seen = t_now; detached = false } :: t.workers;
-      P.registered ~worker:wid ~ttl:t.lease_ttl)
+      let barred_as =
+        Option.bind name (fun n -> List.assoc_opt n t.barred |> Option.map (fun d -> (n, d)))
+      in
+      match barred_as with
+      | Some (n, disputes) ->
+          P.error_frame "quarantined"
+            (Printf.sprintf
+               "worker name %S is quarantined (%d disputed shards); an operator must run `ftb workers --clear %s`"
+               n disputes n)
+      | None ->
+          let wid = t.next_wid in
+          t.next_wid <- wid + 1;
+          let w_name =
+            match name with Some n when n <> "" -> n | _ -> Printf.sprintf "worker-%d" wid
+          in
+          t.workers <-
+            {
+              wid;
+              w_name;
+              w_domains = domains;
+              last_seen = t_now;
+              detached = false;
+              quarantined = false;
+              w_committed = 0;
+              w_failed = 0;
+              w_disputed = 0;
+            }
+            :: t.workers;
+          P.registered ~worker:wid ~ttl:t.lease_ttl)
 
 let handle_lease t json =
   let wid = P.req_int "worker" json in
   with_lock t (fun () ->
-      if not (touch_worker_locked t wid) then
+      if quarantined_locked t wid then
+        P.error_frame "quarantined"
+          (Printf.sprintf "worker %d is quarantined; leases are refused" wid)
+      else if not (touch_worker_locked t wid) then
         P.error_frame "unknown_worker" (Printf.sprintf "no worker %d" wid)
       else
         match t.active with
@@ -197,6 +321,10 @@ let handle_result t json =
   let shard = P.req_int "shard" json in
   with_lock t (fun () ->
       ignore (touch_worker_locked t wid : bool);
+      if quarantined_locked t wid then
+        P.error_frame "quarantined"
+          (Printf.sprintf "worker %d is quarantined; results are refused" wid)
+      else
       match t.active with
       | None ->
           (* The wave is over (the job finished, was cancelled, or failed);
@@ -218,6 +346,9 @@ let handle_result t json =
               match Lease.fail a.table ~lease_id ~message with
               | `Committed ->
                   t.failed <- t.failed + 1;
+                  (match find_worker_locked t wid with
+                  | Some w -> w.w_failed <- w.w_failed + 1
+                  | None -> ());
                   P.result_ack_frame ~committed:true ~stale:false
               | `Stale ->
                   t.stale <- t.stale + 1;
@@ -250,15 +381,59 @@ let handle_result t json =
                         in
                         (match bytes with
                         | None -> P.error_frame "bad_result" "result blob is not valid hex"
-                        | Some bytes -> (
-                            match Lease.commit a.table ~shard with
-                            | `Committed ->
-                                a.a_commit ~shard bytes;
-                                t.remote_committed <- t.remote_committed + 1;
-                                P.result_ack_frame ~committed:true ~stale:false
-                            | `Stale | `Unknown ->
-                                t.stale <- t.stale + 1;
-                                P.result_ack_frame ~committed:false ~stale:true))))))
+                        | Some bytes ->
+                            (* Attestation: recompute the digest over the
+                               decoded bytes. A frame whose own digest
+                               disagrees was corrupted in transit or
+                               encoding — reject it typed and release the
+                               lease so the shard is retried; this is not
+                               a dispute (the worker's execution is not in
+                               question, its frame is). *)
+                            let sdigest =
+                              P.outcome_digest ~job ~shard ~lo ~hi
+                                ~fingerprint:a.a_fingerprint bytes
+                            in
+                            let frame_digest = P.opt_str "digest" json in
+                            (match frame_digest with
+                            | Some d when d <> sdigest ->
+                                t.bad_digest <- t.bad_digest + 1;
+                                ignore
+                                  (Lease.fail a.table ~lease_id
+                                     ~message:"attestation digest mismatch"
+                                    : [ `Committed | `Stale ]);
+                                P.error_frame "digest_mismatch"
+                                  (Printf.sprintf
+                                     "shard %d outcome bytes do not match their attestation digest"
+                                     shard)
+                            | Some _ | None -> (
+                                match Lease.commit a.table ~shard with
+                                | `Committed ->
+                                    a.a_commit ~shard bytes;
+                                    t.remote_committed <- t.remote_committed + 1;
+                                    let r_name =
+                                      match find_worker_locked t wid with
+                                      | Some w ->
+                                          w.w_committed <- w.w_committed + 1;
+                                          w.w_name
+                                      | None -> Printf.sprintf "worker-%d" wid
+                                    in
+                                    t.audit_records <-
+                                      {
+                                        r_shard = shard;
+                                        r_lo = lo;
+                                        r_hi = hi;
+                                        r_wid = wid;
+                                        r_name;
+                                        r_digest = sdigest;
+                                        r_attested = frame_digest <> None;
+                                        r_audited = false;
+                                        r_overwritten = false;
+                                      }
+                                      :: t.audit_records;
+                                    P.result_ack_frame ~committed:true ~stale:false
+                                | `Stale | `Unknown ->
+                                    t.stale <- t.stale + 1;
+                                    P.result_ack_frame ~committed:false ~stale:true)))))))
 
 let handle_detach t json =
   let wid = P.req_int "worker" json in
@@ -272,6 +447,33 @@ let handle_detach t json =
       | None -> ());
       P.detached_frame)
 
+let handle_workers t _json =
+  with_lock t (fun () ->
+      let t_now = now () in
+      let rows =
+        t.workers
+        |> List.map (fun w ->
+               {
+                 P.row_wid = w.wid;
+                 row_name = w.w_name;
+                 row_domains = w.w_domains;
+                 row_age = Float.max 0. (t_now -. w.last_seen);
+                 row_committed = w.w_committed;
+                 row_failed = w.w_failed;
+                 row_disputed = w.w_disputed;
+                 row_quarantined = w.quarantined;
+               })
+        |> List.sort (fun a b -> compare a.P.row_wid b.P.row_wid)
+      in
+      P.workers_frame rows ~barred:(List.rev t.barred))
+
+let handle_clear t json =
+  let name = sanitize_name (P.req_str "name" json) in
+  with_lock t (fun () ->
+      let cleared = List.mem_assoc name t.barred in
+      t.barred <- List.filter (fun (n, _) -> n <> name) t.barred;
+      P.cleared_frame ~cleared)
+
 let extension t ~cmd json =
   let guarded f =
     try f t json with
@@ -283,17 +485,189 @@ let extension t ~cmd json =
   | "worker_heartbeat" -> Some (guarded handle_heartbeat)
   | "worker_result" -> Some (guarded handle_result)
   | "worker_detach" -> Some (guarded handle_detach)
+  | "worker_stats" -> Some (guarded handle_workers)
+  | "worker_clear" -> Some (guarded handle_clear)
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine. Registry mutations happen under the mutex; the operator
+   hook fires outside it (the server's hook takes its own locks to purge
+   caches and notify watchers, so calling it under the fleet mutex would
+   invert lock order). *)
+
+let take_bounded n xs = if List.length xs > n then List.filteri (fun i _ -> i < n) xs else xs
+
+let quarantine_locked t ~wid ~name ~disputes =
+  t.quarantined_total <- t.quarantined_total + 1;
+  t.barred <- take_bounded max_barred ((name, disputes) :: List.filter (fun (n, _) -> n <> name) t.barred);
+  t.quarantined_wids <- take_bounded max_quarantined_wids (wid :: t.quarantined_wids);
+  (match find_worker_locked t wid with
+  | Some w -> w.quarantined <- true
+  | None -> ());
+  (* Revoke anything the worker still holds so surviving workers (or the
+     local fallback) pick the shards up immediately instead of waiting
+     out the lease TTL. *)
+  match t.active with
+  | Some a -> t.expired <- t.expired + Lease.release_holder a.table ~holder:wid
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* The engine-facing wave runner (scheduler thread). *)
 
 let local_holder = 0 (* worker ids start at 1 *)
 
+(* Deterministic audit sampling: a seeded integer hash orders each
+   worker's committed shards, and the first [quota] are audited. The
+   order depends only on (seed, job, shard), so a re-run of the same
+   campaign audits the same shards — reproducibility is the project's
+   spine and the audit layer keeps it. *)
+let audit_hash t ~job ~shard =
+  let h = (shard + 1) * 0x9e3779b1 in
+  let h = h lxor (job * 0x85ebca77) lxor t.audit_seed in
+  let h = h lxor (h lsr 13) in
+  h land max_int
+
+(* Audit and adjudicate the current job's committed shards. Runs on the
+   scheduler thread after a wave's lease table is closed ([t.active] is
+   [None]), so the record list is quiescent and the engine has not yet
+   checkpointed the wave: a disputed shard's bytes are replaced before
+   they can ever be persisted. The local executor is the oracle — outcome
+   bytes are a pure function of the golden trace, so a recomputed slice
+   that disagrees with a worker's digest is a 2-of-2 quorum against it
+   (honest-worker agreement is checked the same way, shard by shard). *)
+let audit_job_locked_free t ~fuel ~model ~golden ~fingerprint ~commit =
+  if t.audit_rate <= 0. then []
+  else begin
+    let job = match t.audit_job with Some j -> j | None -> -1 in
+    let audit_one r =
+      with_lock t (fun () -> t.audited <- t.audited + 1);
+      let n = r.r_hi - r.r_lo in
+      let buf = Bytes.create n in
+      Ftb_inject.Executor.range_into_model ?fuel model golden ~lo:r.r_lo
+        ~hi:r.r_hi buf ~off:0;
+      let expect =
+        P.outcome_digest ~job ~shard:r.r_shard ~lo:r.r_lo ~hi:r.r_hi
+          ~fingerprint buf
+      in
+      r.r_audited <- true;
+      if expect = r.r_digest then true
+      else begin
+        (* Disputed: the oracle's bytes replace the worker's. The engine
+           is still blocked in [run_wave], so the overwrite lands before
+           any checkpoint or harvest can observe the lying bytes. *)
+        commit ~shard:r.r_shard buf;
+        r.r_overwritten <- true;
+        false
+      end
+    in
+    let records = with_lock t (fun () -> t.audit_records) in
+    let by_wid = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        if not r.r_audited then
+          Hashtbl.replace by_wid r.r_wid
+            (r :: (Option.value ~default:[] (Hashtbl.find_opt by_wid r.r_wid))))
+      records;
+    let quarantined_now = ref [] in
+    Hashtbl.iter
+      (fun wid recs ->
+        let prior = with_lock t (fun () ->
+            Option.value ~default:0 (Hashtbl.find_opt t.dispute_counts wid))
+        in
+        let first_time =
+          with_lock t (fun () -> not (List.mem wid t.audited_wids))
+        in
+        (* Unattested (legacy-frame) shards are always audited; attested
+           ones are sampled. A worker with any prior dispute is fully
+           audited from then on — suspicion is sticky for the job. *)
+        let forced, pool = List.partition (fun r -> not r.r_attested) recs in
+        let picks =
+          if prior > 0 then recs
+          else begin
+            let n = List.length pool in
+            let quota =
+              int_of_float (Float.round (t.audit_rate *. float_of_int n))
+            in
+            let quota = if first_time then max 1 quota else quota in
+            let quota = min n quota in
+            let sorted =
+              List.sort
+                (fun a b ->
+                  compare
+                    (audit_hash t ~job ~shard:a.r_shard)
+                    (audit_hash t ~job ~shard:b.r_shard))
+                pool
+            in
+            forced @ List.filteri (fun i _ -> i < quota) sorted
+          end
+        in
+        let disputes_here =
+          List.fold_left (fun acc r -> if audit_one r then acc else acc + 1) 0 picks
+        in
+        (* Escalation: any dispute triggers full re-execution of the
+           worker's remaining committed shards for this job. *)
+        let disputes_here =
+          if disputes_here > 0 then
+            List.fold_left
+              (fun acc r -> if r.r_audited || audit_one r then acc else acc + 1)
+              disputes_here recs
+          else disputes_here
+        in
+        with_lock t (fun () ->
+            t.audited_wids <- wid :: List.filter (( <> ) wid) t.audited_wids;
+            if disputes_here > 0 then begin
+              let total = prior + disputes_here in
+              Hashtbl.replace t.dispute_counts wid total;
+              t.disputed <- t.disputed + disputes_here;
+              (match find_worker_locked t wid with
+              | Some w -> w.w_disputed <- w.w_disputed + disputes_here
+              | None -> ());
+              if total >= t.quarantine_after && not (quarantined_locked t wid)
+              then begin
+                let name =
+                  match find_worker_locked t wid with
+                  | Some w -> w.w_name
+                  | None -> (
+                      match List.find_opt (fun r -> r.r_wid = wid) recs with
+                      | Some r -> r.r_name
+                      | None -> Printf.sprintf "worker-%d" wid)
+                in
+                quarantine_locked t ~wid ~name ~disputes:total;
+                quarantined_now := (name, total) :: !quarantined_now
+              end
+            end))
+      by_wid;
+    !quarantined_now
+  end
+
+let job_provenance t ~job_id =
+  with_lock t (fun () ->
+      if t.audit_job <> Some job_id then None
+      else
+        let surviving =
+          List.filter (fun r -> not r.r_overwritten) t.audit_records
+        in
+        let jp_workers =
+          List.fold_left
+            (fun acc r -> if List.mem r.r_name acc then acc else r.r_name :: acc)
+            [] surviving
+          |> List.sort compare
+        in
+        let jp_audited =
+          t.audit_rate > 0. && List.for_all (fun r -> r.r_audited) surviving
+        in
+        Some { jp_workers; jp_audited })
+
 let wave_runner t ~job_id ~bench ~fuel ~model ~golden =
   if live_workers t = 0 then None
   else
     let fingerprint = Checkpoint.fingerprint_of_golden golden in
+    with_lock t (fun () ->
+        if t.audit_job <> Some job_id then begin
+          t.audit_job <- Some job_id;
+          t.audit_records <- [];
+          t.audited_wids <- []
+        end);
     let wave_size () =
       with_lock t (fun () -> max 2 (2 * live_slots_locked t ~now:(now ())))
     in
@@ -386,7 +760,20 @@ let wave_runner t ~job_id ~bench ~fuel ~model ~golden =
               Thread.delay (min t.poll (t.lease_ttl /. 4.));
               drive ()
         in
-        big_results @ drive ()
+        let results = big_results @ drive () in
+        (* Trust-but-verify: sample-audit this wave's remote commits (and
+           escalate on any dispute) before returning, so the engine's
+           post-wave checkpoint only ever persists adjudicated bytes. *)
+        let quarantined_now =
+          audit_job_locked_free t ~fuel ~model ~golden ~fingerprint ~commit
+        in
+        (match with_lock t (fun () -> t.on_quarantine) with
+        | Some hook ->
+            List.iter
+              (fun (name, disputes) -> hook ~name ~disputes)
+              quarantined_now
+        | None -> ());
+        results
       end
     in
     Some { Engine.wave_size; run_wave }

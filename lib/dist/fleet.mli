@@ -39,14 +39,58 @@
     job can never commit into a later campaign that reuses the shard
     index. Hence a campaign run by any number of workers under any
     interleaving — including mid-shard worker death — is bit-identical to
-    the serial run. *)
+    the serial run.
+
+    {2 Trust but verify}
+
+    Determinism above assumes workers compute honestly; a worker with
+    silently corrupt hardware breaks it without tripping any transport
+    check. Three layers defend, cheapest first. (1) {e Attestation}:
+    result frames carry {!Worker_proto.outcome_digest}; the scheduler
+    recomputes it over the decoded bytes and rejects a mismatch with a
+    typed [digest_mismatch] — transport and encoding corruption never
+    commits. (2) {e Audit re-execution}: at the end of each wave the
+    scheduler re-executes a seeded-deterministic sample of the wave's
+    remote commits on the local pool (every worker's first audit in a job
+    is guaranteed; frames without attestation are always audited) and
+    compares digests. The local executor is the adjudicating oracle —
+    outcome bytes are a pure function of the golden trace — so a mismatch
+    is a {e dispute}: the oracle's bytes replace the worker's (before the
+    engine can checkpoint them), and every remaining commit by that
+    worker in the job is re-executed. (3) {e Quarantine}: a worker
+    accumulating [quarantine_after] disputes is quarantined — leases
+    revoked and refused, results refused, its operator-facing name barred
+    from re-registration until cleared ([ftb workers --clear]). The
+    sampling rate bounds what a {e partially} lying worker can slip into
+    an unaudited, uncached campaign before its first dispute; profiles
+    harvested from fleet jobs therefore carry provenance
+    ({!job_provenance}) so downstream caching can demand full audit
+    coverage or operator trust. *)
 
 type t
 
-val create : ?lease_ttl:float -> ?poll:float -> unit -> t
+val create :
+  ?lease_ttl:float ->
+  ?poll:float ->
+  ?audit_rate:float ->
+  ?audit_seed:int ->
+  ?quarantine_after:int ->
+  unit ->
+  t
 (** [lease_ttl] (default 5s) bounds how long a dead worker can sit on a
     shard; [poll] (default 0.05s) is the wait hint returned to idle
-    workers. Raises [Invalid_argument] on non-positive values. *)
+    workers. [audit_rate] (default 0.02) is the fraction of each wave's
+    remote commits re-executed locally for verification — [0.] disables
+    auditing entirely, [1.] re-verifies every remote shard;
+    [audit_seed] fixes the deterministic sample. [quarantine_after]
+    (default 2) is the dispute count at which a worker is quarantined.
+    Raises [Invalid_argument] on non-positive values ([audit_rate] may be
+    zero but not negative or above one). *)
+
+val set_on_quarantine : t -> (name:string -> disputes:int -> unit) -> unit
+(** Operator hook fired (outside the fleet lock, on the scheduler thread)
+    when a worker is quarantined — the daemon uses it to purge cache
+    entries with that worker's provenance and notify watchers. *)
 
 val extension : t -> cmd:string -> Ftb_service.Json.t -> Ftb_service.Json.t option
 (** Protocol extension for {!Ftb_service.Server.config.extension}:
@@ -75,6 +119,22 @@ val live_workers : t -> int
 (** Workers currently attached and heard from within the liveness
     window. *)
 
+type job_provenance = {
+  jp_workers : string list;
+      (** names of remote workers with at least one surviving (not
+          oracle-overwritten) commit in the job; [[]] means every byte
+          was computed locally *)
+  jp_audited : bool;
+      (** every surviving remote commit was audit-verified (implies a
+          positive audit rate) — with [audit_rate = 1.] fleet jobs always
+          finish audited *)
+}
+
+val job_provenance : t -> job_id:int -> job_provenance option
+(** Provenance of the most recently driven job; [None] if [job_id] is not
+    that job (or it never went through {!wave_runner}). The daemon reads
+    it right after a job completes, before harvesting profiles. *)
+
 type stats = {
   granted : int;  (** leases handed to workers *)
   remote_committed : int;  (** shards whose bytes came back over the wire *)
@@ -82,6 +142,10 @@ type stats = {
   expired : int;  (** leases reclaimed from dead/detached workers *)
   stale : int;  (** duplicate / late results dropped without committing *)
   failed : int;  (** worker-reported shard failures handed to engine retry *)
+  audited : int;  (** audit re-executions performed *)
+  disputed : int;  (** audited shards whose bytes the oracle overruled *)
+  quarantined : int;  (** workers quarantined over the fleet's lifetime *)
+  bad_digest : int;  (** result frames rejected at the attestation layer *)
 }
 
 val stats : t -> stats

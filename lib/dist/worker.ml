@@ -10,12 +10,14 @@ type config = {
   resolve : string -> Ftb_trace.Program.t;
   stop : unit -> bool;
   log : (string -> unit) option;
+  name : string option;
+  tamper : (bench:string -> shard:int -> Bytes.t -> Bytes.t) option;
 }
 
 let config ?(domains = 1) ?(resolve = Ftb_kernels.Suite.find)
-    ?(stop = fun () -> false) ?log connect =
+    ?(stop = fun () -> false) ?log ?name ?tamper connect =
   if domains <= 0 then invalid_arg "Worker.config: domains must be positive";
-  { connect; domains; resolve; stop; log }
+  { connect; domains; resolve; stop; log; name; tamper }
 
 type stats = { shards : int; cases : int; failures : int; stale_acks : int }
 
@@ -31,16 +33,19 @@ let roundtrip fd frame =
 (* The golden run for a bench is computed once per worker process and
    reused across shards and jobs; the fingerprint in each grant guards
    against ever computing outcome bytes from a divergent trace (version
-   skew between daemon and worker binaries). *)
-let golden_cache = Hashtbl.create 8
+   skew between daemon and worker binaries). Bounded: a long-lived worker
+   serving many benches re-runs a cold golden rather than holding every
+   trace it has ever seen. Only the pull loop touches the cache, so the
+   (thread-unsafe) LRU needs no lock. *)
+let golden_cache_capacity = 16
+let golden_cache : (string, Golden.t) Ftb_util.Lru.t =
+  Ftb_util.Lru.create ~capacity:golden_cache_capacity
+
+let golden_cache_length () = Ftb_util.Lru.length golden_cache
 
 let golden_for cfg bench =
-  match Hashtbl.find_opt golden_cache bench with
-  | Some g -> g
-  | None ->
-      let g = Golden.run (cfg.resolve bench) in
-      Hashtbl.replace golden_cache bench g;
-      g
+  Ftb_util.Lru.find_or_add golden_cache bench (fun () ->
+      Golden.run (cfg.resolve bench))
 
 let run_shard cfg pool golden ~model ~fuel ~lo ~hi =
   let n = hi - lo in
@@ -61,7 +66,10 @@ let run cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let ctl = cfg.connect () in
   let hb_fd = ref (cfg.connect ()) in
-  let reg = P.parse_registered (roundtrip ctl (P.register ~domains:cfg.domains)) in
+  let reg =
+    P.parse_registered
+      (roundtrip ctl (P.register ?name:cfg.name ~domains:cfg.domains ()))
+  in
   let wid = reg.P.worker in
   let ttl = reg.P.ttl in
   logf cfg "worker %d registered (domains=%d, ttl=%.3fs)" wid cfg.domains ttl;
@@ -149,11 +157,31 @@ let run cfg =
                 P.Failed
                   (Printf.sprintf "shard %d result would exceed Wire.max_frame"
                      g.P.shard)
-              else
-                P.Outcomes
-                  (run_shard cfg pool golden ~model:g.P.model ~fuel:g.P.fuel
-                     ~lo:g.P.lo ~hi:g.P.hi)
+              else begin
+                let b =
+                  run_shard cfg pool golden ~model:g.P.model ~fuel:g.P.fuel
+                    ~lo:g.P.lo ~hi:g.P.hi
+                in
+                (* The tamper hook models a silently-corrupt worker (chaos
+                   drills): corruption happens before the digest, exactly
+                   like bad RAM upstream of the hash, so the frame-layer
+                   check passes and only audit re-execution can catch it. *)
+                let b =
+                  match cfg.tamper with
+                  | None -> b
+                  | Some f -> f ~bench:g.P.bench ~shard:g.P.shard b
+                in
+                P.Outcomes b
+              end
             with e -> P.Failed (Printexc.to_string e)
+          in
+          let digest =
+            match payload with
+            | P.Outcomes b ->
+                Some
+                  (P.outcome_digest ~job:g.P.job_id ~shard:g.P.shard ~lo:g.P.lo
+                     ~hi:g.P.hi ~fingerprint:g.P.fingerprint b)
+            | P.Failed _ -> None
           in
           (* A typed server-side rejection (oversized_result / bad_result /
              bad_request) surfaces as [Decode_error]: the shard is counted
@@ -165,8 +193,8 @@ let run cfg =
             match
               P.parse_result_ack
                 (roundtrip ctl
-                   (P.result ~worker:wid ~job:g.P.job_id ~lease:g.P.lease_id
-                      ~shard:g.P.shard payload))
+                   (P.result ?digest ~worker:wid ~job:g.P.job_id
+                      ~lease:g.P.lease_id ~shard:g.P.shard payload))
             with
             | ack -> Ok ack
             | exception P.Decode_error msg -> Error msg
@@ -203,6 +231,13 @@ let run cfg =
       finish ()
   | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
       logf cfg "worker %d: connection lost" wid;
+      finish ()
+  | P.Decode_error msg ->
+      (* A typed rejection of a lease poll means the daemon no longer
+         serves this worker at all (quarantined, or its registration was
+         pruned) — exit cleanly with stats rather than crash; the operator
+         sees why via [ftb workers]. *)
+      logf cfg "worker %d stopping: daemon refused lease: %s" wid msg;
       finish ()
   | e ->
       ignore (finish () : stats);

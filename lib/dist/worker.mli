@@ -21,6 +21,14 @@ type config = {
   stop : unit -> bool;
       (** polled between leases; [true] detaches and returns *)
   log : (string -> unit) option;
+  name : string option;
+      (** operator-facing identity sent at registration; quarantine bars
+          are keyed by it (default: server assigns [worker-<wid>]) *)
+  tamper : (bench:string -> shard:int -> Bytes.t -> Bytes.t) option;
+      (** chaos-test hook: corrupt outcome bytes {e before} the
+          attestation digest is computed, modelling silent worker-side
+          corruption that only audit re-execution can catch. Never set in
+          production paths. *)
 }
 
 val config :
@@ -28,10 +36,18 @@ val config :
   ?resolve:(string -> Ftb_trace.Program.t) ->
   ?stop:(unit -> bool) ->
   ?log:(string -> unit) ->
+  ?name:string ->
+  ?tamper:(bench:string -> shard:int -> Bytes.t -> Bytes.t) ->
   (unit -> Unix.file_descr) ->
   config
 (** Defaults: [domains = 1], [resolve = Ftb_kernels.Suite.find], never
-    stop, no logging. *)
+    stop, no logging, server-assigned name, no tampering. *)
+
+val golden_cache_capacity : int
+(** Bound on the per-process golden-trace cache (LRU-evicted). *)
+
+val golden_cache_length : unit -> int
+(** Current entry count of the golden-trace cache (test seam). *)
 
 type stats = {
   shards : int;  (** shards computed and sent *)
@@ -49,7 +65,9 @@ val run : config -> stats
     renewal every slow shard's result would be discarded as stale, so the
     worker exits visibly instead of degrading silently. A typed
     server-side rejection of one result frame counts as a shard failure
-    and the loop continues. Other exceptions propagate after best-effort
+    and the loop continues, while a typed refusal of a lease poll (the
+    worker was quarantined or pruned) ends the worker cleanly with its
+    stats. Other exceptions propagate after best-effort
     cleanup. Ignores [SIGPIPE] process-wide (as {!Ftb_service.Server.run}
     does), so a daemon hangup mid-write is an [EPIPE] and not a fatal
     signal. *)

@@ -42,6 +42,21 @@ let bytes_of_hex s =
   out
 
 (* ------------------------------------------------------------------ *)
+(* Result attestation. The digest binds a shard's outcome bytes to the
+   grant that produced them (job, shard, case range, golden trace), so a
+   frame corrupted in transit or encoding — or replayed against another
+   shard's grant — fails verification server-side before any byte reaches
+   the campaign. A worker computing the digest over already-corrupt bytes
+   (bad RAM upstream of the hash) still passes this check; that is what
+   the server's audit re-execution is for. *)
+
+let outcome_digest ~job ~shard ~lo ~hi ~fingerprint bytes =
+  let buf = Buffer.create (64 + Bytes.length bytes) in
+  Printf.bprintf buf "ftb-shard-v1:%d:%d:%d:%d:%s:" job shard lo hi fingerprint;
+  Buffer.add_bytes buf bytes;
+  Ftb_util.Fingerprint.of_string (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 (* Shared field accessors. *)
 
 let req_int name json =
@@ -70,8 +85,10 @@ let flag name json =
 (* ------------------------------------------------------------------ *)
 (* Worker -> server request frames. *)
 
-let register ~domains =
-  Json.Obj [ ("cmd", Json.String "worker_register"); ("domains", Json.Int domains) ]
+let register ?name ~domains () =
+  Json.Obj
+    ([ ("cmd", Json.String "worker_register"); ("domains", Json.Int domains) ]
+    @ match name with Some n -> [ ("name", Json.String n) ] | None -> [])
 
 let lease ~worker =
   Json.Obj [ ("cmd", Json.String "worker_lease"); ("worker", Json.Int worker) ]
@@ -83,7 +100,7 @@ let heartbeat ~worker ~lease =
 
 type result_payload = Outcomes of Bytes.t | Failed of string
 
-let result ~worker ~job ~lease ~shard payload =
+let result ?digest ~worker ~job ~lease ~shard payload =
   Json.Obj
     ([
        ("cmd", Json.String "worker_result");
@@ -92,6 +109,7 @@ let result ~worker ~job ~lease ~shard payload =
        ("lease", Json.Int lease);
        ("shard", Json.Int shard);
      ]
+    @ (match digest with Some d -> [ ("digest", Json.String d) ] | None -> [])
     @
     match payload with
     | Outcomes b -> [ ("data", Json.String (hex_of_bytes b)) ]
@@ -210,6 +228,84 @@ let parse_result_ack json =
   { committed = flag "committed" json; stale = flag "stale" json }
 
 let detached_frame = Json.Obj [ ("ok", Json.Bool true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fleet administration frames (`ftb workers`). *)
+
+type worker_row = {
+  row_wid : int;
+  row_name : string;
+  row_domains : int;
+  row_age : float;
+  row_committed : int;
+  row_failed : int;
+  row_disputed : int;
+  row_quarantined : bool;
+}
+
+let workers_request = Json.Obj [ ("cmd", Json.String "worker_stats") ]
+
+let workers_clear_request ~name =
+  Json.Obj [ ("cmd", Json.String "worker_clear"); ("name", Json.String name) ]
+
+let workers_frame rows ~barred =
+  let row r =
+    Json.Obj
+      [
+        ("wid", Json.Int r.row_wid);
+        ("name", Json.String r.row_name);
+        ("domains", Json.Int r.row_domains);
+        ("age", Json.Float r.row_age);
+        ("committed", Json.Int r.row_committed);
+        ("failed", Json.Int r.row_failed);
+        ("disputed", Json.Int r.row_disputed);
+        ("quarantined", Json.Bool r.row_quarantined);
+      ]
+  in
+  let bar (name, disputes) =
+    Json.Obj [ ("name", Json.String name); ("disputes", Json.Int disputes) ]
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("workers", Json.List (List.map row rows));
+      ("barred", Json.List (List.map bar barred));
+    ]
+
+let parse_workers json =
+  check_ok json;
+  let rows =
+    match Json.member "workers" json with
+    | Some (Json.List items) ->
+        List.map
+          (fun item ->
+            {
+              row_wid = req_int "wid" item;
+              row_name = req_str "name" item;
+              row_domains = req_int "domains" item;
+              row_age = req_float "age" item;
+              row_committed = req_int "committed" item;
+              row_failed = req_int "failed" item;
+              row_disputed = req_int "disputed" item;
+              row_quarantined = flag "quarantined" item;
+            })
+          items
+    | _ -> raise (Decode_error "workers reply lacks a workers list")
+  in
+  let barred =
+    match Json.member "barred" json with
+    | Some (Json.List items) ->
+        List.map (fun item -> (req_str "name" item, req_int "disputes" item)) items
+    | _ -> []
+  in
+  (rows, barred)
+
+let cleared_frame ~cleared =
+  Json.Obj [ ("ok", Json.Bool true); ("cleared", Json.Bool cleared) ]
+
+let parse_cleared json =
+  check_ok json;
+  flag "cleared" json
 
 let error_frame code message =
   Json.Obj

@@ -35,9 +35,24 @@ val bytes_of_hex : string -> Bytes.t
 (** Inverse of {!hex_of_bytes}; raises {!Decode_error} on odd length or a
     non-hex character. *)
 
+val outcome_digest :
+  job:int -> shard:int -> lo:int -> hi:int -> fingerprint:string -> Bytes.t -> string
+(** Attestation digest binding a shard's outcome bytes to the grant that
+    produced them ({!Ftb_util.Fingerprint} over the grant key and the
+    byte slice). Workers attach it to result frames; the scheduler
+    recomputes it over the decoded bytes and rejects any mismatch with a
+    typed [digest_mismatch] error, so transport or encoding corruption
+    never reaches the campaign. It does {e not} defend against a worker
+    whose execution was silently wrong before hashing — that is the audit
+    re-execution layer's job. *)
+
 (** {1 Worker -> server requests} *)
 
-val register : domains:int -> Ftb_service.Json.t
+(** [register ?name ~domains ()] — [?name] is the worker's
+    operator-facing identity (default chosen by the caller, e.g.
+    [host-pid]); quarantine bars are keyed by this name so a banned
+    worker cannot re-register under a fresh wid. *)
+val register : ?name:string -> domains:int -> unit -> Ftb_service.Json.t
 val lease : worker:int -> Ftb_service.Json.t
 val heartbeat : worker:int -> lease:int option -> Ftb_service.Json.t
 
@@ -46,6 +61,7 @@ type result_payload =
   | Failed of string  (** typed worker-side failure; the shard is retried *)
 
 val result :
+  ?digest:string ->
   worker:int ->
   job:int ->
   lease:int ->
@@ -54,7 +70,10 @@ val result :
   Ftb_service.Json.t
 (** [job] echoes the grant's job id; the scheduler refuses to commit a
     result into any other job's wave, so a straggler from a finished job
-    can never corrupt a later campaign that reuses the shard index. *)
+    can never corrupt a later campaign that reuses the shard index.
+    [?digest] is the {!outcome_digest} attestation for an [Outcomes]
+    payload; frames without one are accepted for wire compatibility with
+    pre-attestation workers but their shards are always audited. *)
 
 val detach : worker:int -> Ftb_service.Json.t
 
@@ -100,6 +119,34 @@ type result_ack = { committed : bool; stale : bool }
 val result_ack_frame : committed:bool -> stale:bool -> Ftb_service.Json.t
 val parse_result_ack : Ftb_service.Json.t -> result_ack
 val detached_frame : Ftb_service.Json.t
+
+(** {1 Fleet administration} ([ftb workers]) *)
+
+type worker_row = {
+  row_wid : int;
+  row_name : string;
+  row_domains : int;
+  row_age : float;  (** seconds since the worker's last heartbeat *)
+  row_committed : int;
+  row_failed : int;
+  row_disputed : int;
+  row_quarantined : bool;
+}
+
+val workers_request : Ftb_service.Json.t
+(** [{"cmd":"worker_stats"}] — list registered workers and barred names. *)
+
+val workers_clear_request : name:string -> Ftb_service.Json.t
+(** [{"cmd":"worker_clear","name":...}] — lift a quarantine bar. *)
+
+val workers_frame :
+  worker_row list -> barred:(string * int) list -> Ftb_service.Json.t
+
+val parse_workers : Ftb_service.Json.t -> worker_row list * (string * int) list
+(** Rows plus the barred-name list ([name, disputes] pairs). *)
+
+val cleared_frame : cleared:bool -> Ftb_service.Json.t
+val parse_cleared : Ftb_service.Json.t -> bool
 
 val error_frame : string -> string -> Ftb_service.Json.t
 (** [{"ok":false,"error":{"code":...,"message":...}}] — same shape as the

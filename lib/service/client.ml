@@ -14,6 +14,7 @@ type event =
       crash : int;
       cases_per_sec : float;
     }
+  | Worker_quarantined of { seq : int; worker : string; disputes : int }
 
 let of_fd fd = { fd }
 
@@ -132,6 +133,23 @@ let decode_progress json =
         | None -> 0.);
     }
 
+let decode_quarantine json =
+  Worker_quarantined
+    {
+      seq =
+        (match Option.bind (Json.member "seq" json) Json.to_int with
+        | Some s -> s
+        | None -> 0);
+      worker =
+        (match Option.bind (Json.member "worker" json) Json.to_str with
+        | Some w -> w
+        | None -> bad_frame "worker_quarantined event missing \"worker\"");
+      disputes =
+        (match Option.bind (Json.member "disputes" json) Json.to_int with
+        | Some n -> n
+        | None -> 0);
+    }
+
 let watch ?(on_event = fun _ -> ()) ?(after = 0) t id =
   let after_field = if after > 0 then [ ("after", Json.Int after) ] else [] in
   match
@@ -145,8 +163,13 @@ let watch ?(on_event = fun _ -> ()) ?(after = 0) t id =
         | Some "progress" ->
             on_event (decode_progress frame);
             stream ()
+        | Some "worker_quarantined" ->
+            on_event (decode_quarantine frame);
+            stream ()
         | Some "done" -> Ok (job_of frame)
-        | Some other -> bad_frame (Printf.sprintf "unknown event %S" other)
+        (* A newer daemon may stream event kinds this client predates;
+           skipping them keeps old clients working across upgrades. *)
+        | Some _other -> stream ()
         | None -> bad_frame "event frame without \"event\" field"
       in
       stream ()
@@ -205,12 +228,15 @@ let watch_retry ?policy ?rng ?(sleep = Unix.sleepf) ?(on_event = fun _ -> ())
      observes each progress wave at most once and never out of order. *)
   let last = ref 0 in
   let deduped event =
-    match event with
-    | Progress p ->
-        if p.seq > !last || p.seq = 0 then begin
-          if p.seq > !last then last := p.seq;
-          on_event event
-        end
+    let seq =
+      match event with
+      | Progress p -> p.seq
+      | Worker_quarantined q -> q.seq
+    in
+    if seq > !last || seq = 0 then begin
+      if seq > !last then last := seq;
+      on_event event
+    end
   in
   match
     Backoff.retry ~policy ?rng ~sleep (fun ~attempt:_ ->

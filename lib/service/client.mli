@@ -33,6 +33,12 @@ type event =
       cases_per_sec : float;
     }
       (** one frame per completed shard wave, plus an initial snapshot *)
+  | Worker_quarantined of { seq : int; worker : string; disputes : int }
+      (** a fleet audit convicted [worker] of [disputes] silently corrupt
+          shard results while this job was running; its commits have been
+          re-executed and overwritten, so the job's bytes stay correct.
+          Event kinds this library does not know are skipped, not
+          errors — a newer daemon can stream new kinds safely. *)
 
 val connect : socket:string -> t
 (** Connect to a daemon's Unix-domain socket. *)

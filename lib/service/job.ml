@@ -7,6 +7,7 @@ type spec = {
   fuel : int option;
   model : Ftb_inject.Models.spec;
   priority : int;
+  trust_cache : bool;
 }
 
 let default_spec ~bench =
@@ -17,6 +18,7 @@ let default_spec ~bench =
     fuel = Some 10_000_000;
     model = Ftb_inject.Models.default_spec;
     priority = 0;
+    trust_cache = false;
   }
 
 type status = Queued | Running | Completed | Failed of string | Cancelled | Stuck
@@ -117,6 +119,7 @@ let spec_to_json s =
           match s.fuel with Some n -> Json.Int n | None -> Json.Null );
         ("model", Json.String (Ftb_inject.Models.spec_to_string s.model));
         ("priority", Json.Int s.priority);
+        ("trust_cache", Json.Bool s.trust_cache);
       ])
 
 let spec_of_json json =
@@ -147,7 +150,12 @@ let spec_of_json json =
         | Ok model -> model
         | Error msg -> fail "%s" msg)
   in
-  { bench; mode; shard_size; fuel; model; priority = get_int json "priority" }
+  let trust_cache =
+    (* Specs from pre-provenance clients carry no field: they did not opt
+       into trusting unaudited fleet-harvested profiles. *)
+    Option.value ~default:false (opt_field Json.to_bool json "trust_cache")
+  in
+  { bench; mode; shard_size; fuel; model; priority = get_int json "priority"; trust_cache }
 
 let counts_to_json c =
   Json.Obj

@@ -47,11 +47,17 @@ type spec = {
           absent in pre-model descriptors and then [Bit_flip_64]) and
           validated against the job's checkpoint on resume *)
   priority : int;  (** higher runs first; FIFO within a priority *)
+  trust_cache : bool;
+      (** opt into serving this job from profiles with {e unaudited}
+          fleet provenance (JSON field ["trust_cache"], absent in
+          pre-provenance descriptors and then [false]); trusted
+          ([local] / fleet-audited) profiles are always eligible *)
 }
 
 val default_spec : bench:string -> spec
 (** [mode = Exhaustive], [shard_size = 4096], [fuel = Some 10_000_000],
-    [model = Models.default_spec], [priority = 0]. *)
+    [model = Models.default_spec], [priority = 0],
+    [trust_cache = false]. *)
 
 type status = Queued | Running | Completed | Failed of string | Cancelled | Stuck
 

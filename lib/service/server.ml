@@ -24,6 +24,7 @@ type config = {
     golden:Golden.t ->
     Engine.wave_runner option)
     option;
+  provenance : (job_id:int -> (string list * bool) option) option;
 }
 
 let default_config ~state_dir =
@@ -38,6 +39,7 @@ let default_config ~state_dir =
     cache = true;
     extension = None;
     wave_runner = None;
+    provenance = None;
   }
 
 let cache_dir ~state_dir = Filename.concat state_dir "cache"
@@ -236,6 +238,16 @@ let done_event ~seq (job : Job.info) =
       ("job", Job.info_to_json job);
     ]
 
+let quarantine_event ~id ~seq ~worker ~disputes =
+  Json.Obj
+    [
+      ("event", Json.String "worker_quarantined");
+      ("id", Json.Int id);
+      ("seq", Json.Int seq);
+      ("worker", Json.String worker);
+      ("disputes", Json.Int disputes);
+    ]
+
 let safe_write fd json = try Wire.write fd json with _ -> ()
 
 (* Detach every subscription of [id] (under the lock) and hand the frames
@@ -272,6 +284,25 @@ let stream_to_subs t id ~seq event =
             t.subs <- List.filter (fun s' -> s' != s) t.subs;
             Condition.broadcast t.sub_done))
     targets
+
+(* Surface a fleet quarantine to whoever is watching the currently
+   running job. Called from the fleet's on_quarantine hook (the
+   scheduler thread, outside the fleet mutex, so the lock order here is
+   server-only); a daemon with no running job drops the event — the
+   quarantine itself lives in the fleet and is visible via
+   [ftb workers]. *)
+let notify_quarantine t ~worker ~disputes =
+  match
+    with_lock t (fun () ->
+        match t.running with
+        | Some { job_id; _ } -> Some (job_id, next_seq t job_id)
+        | None -> None)
+  with
+  | None -> ()
+  | Some (id, seq) ->
+      stream_to_subs t id ~seq (quarantine_event ~id ~seq ~worker ~disputes)
+
+let store t = t.store
 
 (* ------------------------------------------------------------------ *)
 (* Job execution (scheduler thread only)                               *)
@@ -323,7 +354,8 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
   in
   let planned =
     Option.bind cached (fun (store, ir) ->
-        Compose.probe store ~ir ~golden ~model:spec.Job.model ~fuel:spec.Job.fuel)
+        Compose.probe ~trust_unaudited:spec.Job.trust_cache store ~ir ~golden
+          ~model:spec.Job.model ~fuel:spec.Job.fuel)
   in
   let cache_level =
     match planned with
@@ -383,10 +415,29 @@ let run_exhaustive t (job : Job.info) cancel ~heartbeat =
       | Some (store, ir) -> (
           try
             let outcomes = gt.Ftb_inject.Ground_truth.outcomes in
+            (* Provenance: did a fleet compute (part of) these bytes, and
+               did every surviving remote shard pass audit? Profiles born
+               of unaudited fleet bytes are refused at probe time unless
+               the submitter passes --trust-cache. *)
+            let prov =
+              match t.config.provenance with
+              | None -> Ftb_compose.Profile.prov_local
+              | Some f -> (
+                  match f ~job_id:job.Job.id with
+                  | None -> Ftb_compose.Profile.prov_local
+                  | Some (workers, audited) -> (
+                      try Ftb_compose.Profile.prov_fleet ~audited ~workers
+                      with Invalid_argument _ ->
+                        (* An unsanitized name here is a wiring bug; fall
+                           back to the untrusted shape rather than refuse
+                           the harvest. *)
+                        Ftb_compose.Profile.prov_fleet ~audited:false ~workers:[]))
+            in
             (match planned with
-            | Some p -> Compose.harvest store p ~outcomes
+            | Some p -> Compose.harvest ~prov store p ~outcomes
             | None -> ());
-            Compose.put_boundary store ~ir ~model:spec.Job.model ~fuel:spec.Job.fuel
+            Compose.put_boundary ~prov store ~ir ~model:spec.Job.model
+              ~fuel:spec.Job.fuel
               ~golden_fp:(Checkpoint.fingerprint_of_golden golden)
               ~sites:(Golden.sites golden) ~outcomes
           with _ -> ())
@@ -735,8 +786,8 @@ let handle_submit t json =
                 | exception _ -> None
                 | None -> None
                 | Some ir ->
-                    Compose.probe_boundary store ~ir ~model:spec.Job.model
-                      ~fuel:spec.Job.fuel)
+                    Compose.probe_boundary ~trust_unaudited:spec.Job.trust_cache
+                      store ~ir ~model:spec.Job.model ~fuel:spec.Job.fuel)
             | _ -> None
           in
           with_lock t (fun () ->

@@ -37,9 +37,11 @@
 
     After a successful [watch] the server pushes one immediate
     ["progress"] snapshot (so every watcher observes at least one event),
-    then one ["progress"] frame per completed shard wave, then a final
-    ["done"] frame carrying the job descriptor, after which the
-    connection reverts to request/response. Every event frame carries a
+    then one ["progress"] frame per completed shard wave (interleaved
+    with ["worker_quarantined"] frames when a fleet audit convicts a
+    worker mid-job — clients must skip event types they do not know),
+    then a final ["done"] frame carrying the job descriptor, after which
+    the connection reverts to request/response. Every event frame carries a
     per-job, strictly increasing ["seq"]; a reconnecting watcher passes
     the last seq it processed as ["after"] and the server suppresses
     frames it has already seen (including the snapshot, unless the
@@ -105,13 +107,23 @@ type config = {
           engine's built-in local-pool path.
           {!Ftb_dist.Fleet.wave_runner} returns a runner that leases
           the job's shards to attached worker processes. *)
+  provenance : (job_id:int -> (string list * bool) option) option;
+      (** who computed a just-finished job's bytes, queried once at
+          harvest time: [Some (workers, audited)] stamps every profile
+          harvested from the job with fleet provenance
+          ({!Ftb_compose.Profile.prov_fleet} — [workers] the sorted
+          worker names whose commits survived, [audited] whether every
+          surviving remote shard passed audit); [None] (or no hook)
+          means the local executor computed everything and profiles keep
+          [local] provenance. The CLI wires
+          {!Ftb_dist.Fleet.job_provenance} in here. *)
 }
 
 val default_config : state_dir:string -> config
 (** [capacity = 64], [domains = 1], [checkpoint_every = 1],
     [stuck_after = None], [resolve = Ftb_kernels.Suite.find],
     [resolve_ir = Ftb_kernels.Suite.find_ir], [cache = true], no protocol
-    extension, built-in shard execution. *)
+    extension, built-in shard execution, no provenance hook. *)
 
 val cache_dir : state_dir:string -> string
 (** Where the profile cache of a state directory lives
@@ -136,6 +148,18 @@ val serve_connection : t -> Unix.file_descr -> unit
     violated), then close the descriptor. Used directly by tests over a
     socketpair; {!run} calls it from per-connection threads. Requires
     {!start}. *)
+
+val store : t -> Ftb_compose.Store.t option
+(** The daemon's open profile store, when [config.cache] enabled one —
+    the CLI's quarantine hook purges poisoned profiles through this
+    handle ({!Ftb_compose.Store.invalidate_worker}) without racing the
+    daemon's own store writes (the store serializes internally). *)
+
+val notify_quarantine : t -> worker:string -> disputes:int -> unit
+(** Stream a ["worker_quarantined"] event (fields ["worker"] and
+    ["disputes"], plus the usual ["id"]/["seq"]) to every watcher of the
+    currently running job. No-op when no job is running. Safe from any
+    thread; the CLI calls it from the fleet's on-quarantine hook. *)
 
 val request_shutdown : t -> unit
 (** Begin a graceful drain: reject new submissions, suspend the running

@@ -1,0 +1,61 @@
+(* Small bounded cache with least-recently-used eviction. Recency is a
+   monotonic use counter per entry; eviction scans for the minimum, which
+   is O(capacity) — these caches are tiny (tens of entries) and eviction
+   is rare, so the scan beats the bookkeeping of an intrusive list. *)
+
+type ('k, 'v) entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity; tick = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.stamp <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+      touch t entry;
+      Some entry.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, stamp) when stamp <= entry.stamp -> ()
+      | _ -> victim := Some (key, entry.stamp))
+    t.table;
+  match !victim with
+  | Some (key, _) -> Hashtbl.remove t.table key
+  | None -> ()
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None -> ());
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  let entry = { value; stamp = 0 } in
+  touch t entry;
+  Hashtbl.replace t.table key entry
+
+let find_or_add t key make =
+  match find t key with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      add t key v;
+      v

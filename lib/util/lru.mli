@@ -1,0 +1,29 @@
+(** Bounded key-value cache with least-recently-used eviction.
+
+    Both {!find} and {!add} refresh an entry's recency; once the cache
+    holds [capacity] entries, adding a new key evicts the entry that has
+    gone longest without being touched. Not thread-safe — callers that
+    share one cache across threads hold their own lock (the worker's
+    golden cache is only touched from its pull loop). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; refreshes the entry's recency on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without touching recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; evicts the least-recently-used entry when the
+    cache is full and [key] is new. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t k make] returns the cached value for [k], computing
+    and caching [make ()] on a miss. *)

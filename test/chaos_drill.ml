@@ -314,13 +314,14 @@ let run_schedule reference_for idx s =
       match Client.watch client id with Ok _ | Error _ -> () | exception _ -> ())
   | Some k -> (
       match
-        Client.watch client id
-          ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
-            if (not !killed) && shards_done >= k && (cases_total = 0 || cases_done < cases_total)
-            then begin
-              killed := true;
-              Unix.kill !pid Sys.sigkill
-            end)
+        Client.watch client id ~on_event:(function
+          | Client.Progress { shards_done; cases_done; cases_total; _ } ->
+              if (not !killed) && shards_done >= k && (cases_total = 0 || cases_done < cases_total)
+              then begin
+                killed := true;
+                Unix.kill !pid Sys.sigkill
+              end
+          | Client.Worker_quarantined _ -> ())
       with
       | Ok _ | Error _ -> ()
       | exception (Wire.Closed | Wire.Protocol_error _) -> ()
@@ -406,6 +407,191 @@ let run_schedule reference_for idx s =
   | _, Unix.WEXITED 0 -> ()
   | _, _ -> check (Printf.sprintf "schedule %d: daemon exited cleanly" idx) false)
 
+(* ------------------------------------------------------------------ *)
+(* Bit-flipping-worker schedule: a fleet campaign under bit-flip-32 with
+   a worker that silently corrupts its outcome bytes before digesting
+   them, SIGKILLed daemon mid-campaign and restarted. The wave-end audit
+   adjudicates every wave before the engine persists it, so the resumed
+   checkpoint never inherits a lie; whichever daemon incarnation finishes
+   a wave containing the liar's commits convicts it, and the campaign
+   still converges bit-identical to the serial bit-flip-32 oracle. *)
+
+module Fleet = Ftb_dist.Fleet
+module Worker = Ftb_dist.Worker
+
+let fleet_lease_ttl = 0.5
+
+let spawn_audit_daemon ~state_dir sock =
+  match Unix.fork () with
+  | 0 ->
+      let fleet =
+        Fleet.create ~lease_ttl:fleet_lease_ttl ~audit_rate:1.0 ~quarantine_after:1 ()
+      in
+      let config =
+        {
+          (Server.default_config ~state_dir) with
+          Server.domains = 1;
+          checkpoint_every = 1;
+          resolve;
+          extension = Some (Fleet.extension fleet);
+          wave_runner = Some (Fleet.wave_runner fleet);
+        }
+      in
+      let t = Server.create config in
+      Fleet.set_on_quarantine fleet (fun ~name ~disputes ->
+          Server.notify_quarantine t ~worker:name ~disputes);
+      (match Server.run ~socket:sock t with
+      | () -> Unix._exit 0
+      | exception _ -> Unix._exit 1)
+  | pid -> pid
+
+let tamper_outcomes ~bench:_ ~shard:_ b =
+  (* Every corrupted byte stays a plausible outcome code; only the audit
+     oracle can tell. *)
+  Bytes.map (fun c -> if c = '\000' then '\001' else '\000') b
+
+let spawn_fleet_worker ?tamper ~name sock ready_w =
+  match Unix.fork () with
+  | 0 ->
+      let signalled = ref false in
+      let log _msg =
+        if not !signalled then begin
+          signalled := true;
+          ignore (Unix.write ready_w (Bytes.make 1 'r') 0 1)
+        end
+      in
+      let cfg =
+        Worker.config ~domains:1 ~resolve ~log ~name ?tamper (fun () ->
+            raw_connect sock)
+      in
+      (match Worker.run cfg with
+      | (_ : Worker.stats) -> Unix._exit 0
+      | exception _ -> Unix._exit 1)
+  | pid -> pid
+
+let lying_fleet_drill () =
+  let state_dir = fresh_dir "fleetliar" in
+  let sock = Filename.concat state_dir "daemon.sock" in
+  let model = { Models.model = Models.Bit_flip_32; seed = 0 } in
+  let ready_r, ready_w = Unix.pipe () in
+  let spawn_crew generation =
+    [
+      spawn_fleet_worker ~name:(Printf.sprintf "honest-a%d" generation) sock ready_w;
+      spawn_fleet_worker ~name:(Printf.sprintf "honest-b%d" generation) sock ready_w;
+      spawn_fleet_worker ~tamper:tamper_outcomes ~name:"liar" sock ready_w;
+    ]
+  in
+  let await_crew what =
+    let ok = ref true in
+    for _ = 1 to 3 do
+      match Unix.select [ ready_r ] [] [] 30.0 with
+      | [ _ ], _, _ -> ignore (Unix.read ready_r (Bytes.create 1) 0 1)
+      | _ -> ok := false
+    done;
+    check what !ok
+  in
+  let quarantined = ref [] in
+  let daemon = ref (spawn_audit_daemon ~state_dir sock) in
+  let crew1 = spawn_crew 1 in
+  await_crew "fleet-liar: first crew attached";
+
+  let client = connect_with_retry sock in
+  let spec =
+    { (Job.default_spec ~bench:"chaos.bench") with
+      Job.shard_size;
+      fuel = Some fuel;
+      model;
+    }
+  in
+  let id =
+    match Client.submit client spec with
+    | Ok id -> id
+    | Error e ->
+        failwith (Printf.sprintf "fleet-liar submit: %s: %s" e.Client.code e.Client.message)
+  in
+  let killed = ref false in
+  (match
+     Client.watch client id ~on_event:(function
+       | Client.Progress { shards_done; cases_done; cases_total; _ } ->
+           if (not !killed) && shards_done >= 2 && (cases_total = 0 || cases_done < cases_total)
+           then begin
+             killed := true;
+             Unix.kill !daemon Sys.sigkill
+           end
+       | Client.Worker_quarantined { worker; _ } ->
+           quarantined := worker :: !quarantined)
+   with
+  | Ok _ | Error _ -> ()
+  | exception (Wire.Closed | Wire.Protocol_error _) -> ()
+  | exception Unix.Unix_error _ -> ());
+  (try Client.close client with _ -> ());
+  check "fleet-liar: daemon SIGKILLed mid-campaign" !killed;
+  ignore (Unix.waitpid [] !daemon);
+  (* The daemon's death hangs up every worker connection; the whole crew
+     exits cleanly (a quarantined liar already exited on its refused
+     lease poll). *)
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> check "fleet-liar: first-crew worker exited cleanly" false)
+    crew1;
+
+  (* Restart: a fresh daemon (fresh in-memory fleet) resumes the job from
+     the last audited checkpoint; a fresh crew — liar included — drains
+     the remaining shards. *)
+  daemon := spawn_audit_daemon ~state_dir sock;
+  let crew2 = spawn_crew 2 in
+  await_crew "fleet-liar: second crew attached";
+  let client2 = connect_with_retry sock in
+  let final =
+    match
+      Client.watch client2 id ~on_event:(function
+        | Client.Progress _ -> ()
+        | Client.Worker_quarantined { worker; _ } ->
+            quarantined := worker :: !quarantined)
+    with
+    | Ok job -> Some job
+    | Error e ->
+        check (Printf.sprintf "fleet-liar: final watch (%s)" e.Client.code) false;
+        None
+    | exception e ->
+        check (Printf.sprintf "fleet-liar: final watch (%s)" (Printexc.to_string e))
+          false;
+        None
+  in
+  check "fleet-liar: job completed across the restart"
+    (match final with Some j -> j.Job.status = Job.Completed | None -> false);
+  let golden = Golden.run program in
+  let reference = Executor.ground_truth_model ~domains:1 ~fuel model golden in
+  let identical =
+    match
+      Checkpoint.load ~model ~path:(Job.checkpoint_path ~state_dir id) ~shard_size
+        golden
+    with
+    | state ->
+        Checkpoint.is_complete state
+        && Bytes.equal reference.Ground_truth.outcomes state.Checkpoint.outcomes
+    | exception _ -> false
+  in
+  check "fleet-liar: bit-identical to the serial bit-flip-32 oracle" identical;
+  check "fleet-liar: the liar was quarantined" (List.mem "liar" !quarantined);
+  check "fleet-liar: no honest worker was quarantined"
+    (List.for_all (fun w -> w = "liar") !quarantined);
+  (match Client.shutdown client2 with Ok () -> () | Error _ -> ());
+  (try Client.close client2 with _ -> ());
+  (match Unix.waitpid [] !daemon with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> check "fleet-liar: daemon exited cleanly" false);
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> check "fleet-liar: second-crew worker exited cleanly" false)
+    crew2;
+  Unix.close ready_r;
+  Unix.close ready_w
+
 let () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let golden = Golden.run program in
@@ -420,6 +606,7 @@ let () =
     else Executor.ground_truth_model ~domains:1 ~fuel spec golden
   in
   List.iteri (fun i s -> run_schedule reference_for i s) schedules;
+  lying_fleet_drill ();
   check "at least one schedule exercised quarantine-and-rebuild" (!quarantines >= 1);
   check "at least one schedule exercised idempotent resubmit" (!resubmits >= 1);
   if !failures > 0 then begin

@@ -182,12 +182,13 @@ let run_job_killing client ~what ~victim =
   let killed = ref false in
   let final =
     get_ok (what ^ ": watch")
-      (Client.watch client id
-         ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
-           if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
-             killed := true;
-             Unix.kill victim Sys.sigkill
-           end))
+      (Client.watch client id ~on_event:(function
+         | Client.Progress { shards_done; cases_done; cases_total; _ } ->
+             if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
+               killed := true;
+               Unix.kill victim Sys.sigkill
+             end
+         | Client.Worker_quarantined _ -> ()))
   in
   check (what ^ ": worker killed mid-campaign") !killed;
   if not !killed then (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ());

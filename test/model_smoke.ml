@@ -186,13 +186,14 @@ let daemon_test golden (spec : Models.spec) (reference : Ground_truth.t) =
   let id = get_ok (what ^ ": submit") (Client.submit client job_spec) in
   let killed = ref false in
   (match
-     Client.watch client id
-       ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
-         if (not !killed) && shards_done >= 2 && (cases_total = 0 || cases_done < cases_total)
-         then begin
-           killed := true;
-           Unix.kill !pid Sys.sigkill
-         end)
+     Client.watch client id ~on_event:(function
+       | Client.Progress { shards_done; cases_done; cases_total; _ } ->
+           if (not !killed) && shards_done >= 2 && (cases_total = 0 || cases_done < cases_total)
+           then begin
+             killed := true;
+             Unix.kill !pid Sys.sigkill
+           end
+       | Client.Worker_quarantined _ -> ())
    with
   | Ok _ | Error _ -> ()
   | exception _ -> ());
@@ -303,12 +304,13 @@ let fleet_test golden references =
       let killed = ref false in
       let final =
         get_ok (what ^ ": watch")
-          (Client.watch client id
-             ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
-               if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
-                 killed := true;
-                 Unix.kill victim Sys.sigkill
-               end))
+          (Client.watch client id ~on_event:(function
+             | Client.Progress { shards_done; cases_done; cases_total; _ } ->
+                 if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
+                   killed := true;
+                   Unix.kill victim Sys.sigkill
+                 end
+             | Client.Worker_quarantined _ -> ()))
       in
       check (what ^ ": worker killed mid-campaign") !killed;
       if not !killed then (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ());

@@ -150,12 +150,13 @@ let crash_restart_test () =
      daemon under the watcher's feet. *)
   let killed = ref false in
   (match
-     Client.watch client id
-       ~on_event:(fun (Client.Progress { shards_done; cases_done; cases_total; _ }) ->
-         if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
-           killed := true;
-           Unix.kill pid Sys.sigkill
-         end)
+     Client.watch client id ~on_event:(function
+       | Client.Progress { shards_done; cases_done; cases_total; _ } ->
+           if (not !killed) && shards_done >= 2 && cases_done < cases_total then begin
+             killed := true;
+             Unix.kill pid Sys.sigkill
+           end
+       | Client.Worker_quarantined _ -> ())
    with
   | Ok _ | Error _ -> ()
   | exception (Ftb_service.Wire.Closed | Ftb_service.Wire.Protocol_error _) -> ()
@@ -409,10 +410,11 @@ let resilience_test () =
   let fresh_events = ref 0 in
   ignore
     (get_ok "re-watch completed job"
-       (Client.watch client qid
-          ~on_event:(fun (Client.Progress { seq; _ }) ->
-            incr fresh_events;
-            if seq > !last_seq then last_seq := seq)));
+       (Client.watch client qid ~on_event:(function
+          | Client.Progress { seq; _ } ->
+              incr fresh_events;
+              if seq > !last_seq then last_seq := seq
+          | Client.Worker_quarantined _ -> ())));
   check "fresh watch of a terminal job delivers a sequenced snapshot"
     (!fresh_events >= 1 && !last_seq > 0);
   let resumed_events = ref 0 in

@@ -208,6 +208,7 @@ let test_store_roundtrip () =
             sites = 2;
             entry_fp = Fingerprint.of_string "entry";
             exit_fp = Fingerprint.of_string "exit";
+            prov = Profile.prov_local;
             outcomes = String.init 128 (fun i -> Char.chr (i mod 6));
           }
       in
@@ -234,6 +235,7 @@ let test_store_corruption_quarantined () =
              sites = 1;
              entry_fp = Fingerprint.of_string "entry";
              exit_fp = Fingerprint.of_string "exit";
+             prov = Profile.prov_local;
              outcomes = String.make 64 '\001';
            });
       (* Flip one payload byte under the CRC32 envelope. *)
@@ -330,6 +332,97 @@ let test_seeded_checkpoint_reduces_engine_work () =
             (Bytes.equal report.Engine.ground_truth.Ground_truth.outcomes
                direct.Ground_truth.outcomes)))
 
+(* ------------------------------------------------------------------ *)
+(* Provenance: token lattice, v2 round-trip, v1 back-compat, purge.    *)
+
+let test_provenance_tokens () =
+  Alcotest.(check string) "local token" "local" Profile.prov_local;
+  Alcotest.(check string) "audited fleet token" "fleet:audited:a,b"
+    (Profile.prov_fleet ~audited:true ~workers:[ "a"; "b" ]);
+  Alcotest.(check string) "unaudited fleet token" "fleet:unaudited:a"
+    (Profile.prov_fleet ~audited:false ~workers:[ "a" ]);
+  Alcotest.(check string) "no workers degenerates to local" Profile.prov_local
+    (Profile.prov_fleet ~audited:true ~workers:[]);
+  Alcotest.(check bool) "names with separators refused" true
+    (match Profile.prov_fleet ~audited:true ~workers:[ "a:b" ] with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true);
+  (* The trust lattice: local > fleet:audited > fleet:unaudited. *)
+  Alcotest.(check bool) "local trusted" true (Profile.prov_trusted Profile.prov_local);
+  Alcotest.(check bool) "audited fleet trusted" true
+    (Profile.prov_trusted (Profile.prov_fleet ~audited:true ~workers:[ "a" ]));
+  Alcotest.(check bool) "unaudited fleet untrusted" false
+    (Profile.prov_trusted (Profile.prov_fleet ~audited:false ~workers:[ "a" ]));
+  Alcotest.(check (list string)) "workers recoverable" [ "a"; "b" ]
+    (Profile.prov_workers (Profile.prov_fleet ~audited:true ~workers:[ "a"; "b" ]));
+  Alcotest.(check (list string)) "local names no workers" []
+    (Profile.prov_workers Profile.prov_local);
+  Alcotest.(check bool) "garbage token invalid" false (Profile.prov_valid "fleet:maybe:a")
+
+let fleet_section ~key ~prov =
+  Profile.Section
+    {
+      Profile.key = Fingerprint.of_string key;
+      model = Models.spec_to_string model64;
+      width = 64;
+      site_lo = 0;
+      sites = 1;
+      entry_fp = Fingerprint.of_string "entry";
+      exit_fp = Fingerprint.of_string "exit";
+      prov;
+      outcomes = String.make 64 '\001';
+    }
+
+let test_provenance_roundtrip_and_purge () =
+  with_store (fun store ->
+      let audited =
+        fleet_section ~key:"aud" ~prov:(Profile.prov_fleet ~audited:true ~workers:[ "w1"; "w2" ])
+      in
+      let unaudited =
+        fleet_section ~key:"unaud" ~prov:(Profile.prov_fleet ~audited:false ~workers:[ "w2" ])
+      in
+      let local = fleet_section ~key:"loc" ~prov:Profile.prov_local in
+      List.iter (Store.put store) [ audited; unaudited; local ];
+      Alcotest.(check bool) "fleet provenance round-trips" true
+        (Store.find store ~key:(Profile.key audited) = Some audited);
+      let stats = Store.stats store in
+      Alcotest.(check int) "three entries" 3 stats.Store.entries;
+      Alcotest.(check int) "only the unaudited one counts as untrusted" 1
+        stats.Store.unaudited;
+      (* Purging a worker takes every profile it touched — audited ones
+         included (blast radius is the operator's call) — and no others. *)
+      Alcotest.(check int) "purge by worker removes both w2 entries" 2
+        (Store.invalidate_worker store ~worker:"w2");
+      Alcotest.(check bool) "local entry untouched" true
+        (Store.find store ~key:(Profile.key local) = Some local);
+      Alcotest.(check int) "purge of an unknown worker is a no-op" 0
+        (Store.invalidate_worker store ~worker:"w1"))
+
+let test_legacy_v1_parses_as_local () =
+  let body = String.make 64 '\001' in
+  let header =
+    Printf.sprintf "ftb-section-profile-v1 %s %s 64 0 1 %s %s"
+      (Fingerprint.of_string "legacy")
+      (Models.spec_to_string model64)
+      (Fingerprint.of_string "entry") (Fingerprint.of_string "exit")
+  in
+  (match Profile.parse ~path:"legacy-section" (header ^ "\n" ^ body) with
+  | Profile.Section s ->
+      Alcotest.(check string) "v1 section parses with local provenance"
+        Profile.prov_local s.Profile.prov
+  | Profile.Boundary _ -> Alcotest.fail "v1 section parsed as a boundary");
+  let bheader =
+    Printf.sprintf "ftb-boundary-profile-v1 %s %s 64 1 %s 0 64 0"
+      (Fingerprint.of_string "legacyb")
+      (Models.spec_to_string model64)
+      (Fingerprint.of_string "golden")
+  in
+  match Profile.parse ~path:"legacy-boundary" (bheader ^ "\n" ^ body) with
+  | Profile.Boundary b ->
+      Alcotest.(check string) "v1 boundary parses with local provenance"
+        Profile.prov_local b.Profile.bprov
+  | Profile.Section _ -> Alcotest.fail "v1 boundary parsed as a section"
+
 let suite =
   [
     Alcotest.test_case "fingerprint matches legacy encoding" `Quick
@@ -347,4 +440,9 @@ let suite =
       test_model_mismatch_never_serves;
     Alcotest.test_case "seeded checkpoint reduces engine work" `Quick
       test_seeded_checkpoint_reduces_engine_work;
+    Alcotest.test_case "provenance token lattice" `Quick test_provenance_tokens;
+    Alcotest.test_case "provenance round-trip and purge" `Quick
+      test_provenance_roundtrip_and_purge;
+    Alcotest.test_case "v1 profiles parse with local provenance" `Quick
+      test_legacy_v1_parses_as_local;
   ]

@@ -185,13 +185,16 @@ let prop_no_double_commit =
 (* Fleet scheduler: a result frame only commits into its own job's wave. *)
 
 let test_cross_job_result_rejected () =
-  let fleet = Fleet.create ~lease_ttl:5.0 ~poll:0.005 () in
+  (* Audit disabled: this test commits a hand-crafted byte pattern (not
+     the bench's true outcomes) to observe the commit plumbing, which the
+     audit oracle would rightly dispute. *)
+  let fleet = Fleet.create ~lease_ttl:5.0 ~poll:0.005 ~audit_rate:0. () in
   let ext cmd json =
     match Fleet.extension fleet ~cmd json with
     | Some reply -> reply
     | None -> Alcotest.fail (Printf.sprintf "no handler for %s" cmd)
   in
-  let reg = P.parse_registered (ext "worker_register" (P.register ~domains:1)) in
+  let reg = P.parse_registered (ext "worker_register" (P.register ~domains:1 ())) in
   let wid = reg.P.worker in
   let golden = Golden.run (Helpers.linear_program ()) in
   let job_id = 41 in
@@ -278,6 +281,266 @@ let test_cross_job_result_rejected () =
   Alcotest.(check int) "one remote commit" 1 s.Fleet.remote_committed;
   Alcotest.(check bool) "cross-job frame counted as stale" true (s.Fleet.stale >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Trust-but-verify: attestation, audit adjudication, quarantine.       *)
+
+let test_digest_and_admin_frames () =
+  let b = Bytes.of_string "\x00\x01\x02\x03" in
+  let d ~job ~shard ~lo ~hi ~fingerprint bytes =
+    P.outcome_digest ~job ~shard ~lo ~hi ~fingerprint bytes
+  in
+  let base = d ~job:1 ~shard:0 ~lo:0 ~hi:4 ~fingerprint:"fp" b in
+  Alcotest.(check string) "digest is deterministic" base
+    (d ~job:1 ~shard:0 ~lo:0 ~hi:4 ~fingerprint:"fp" b);
+  Alcotest.(check bool) "digest binds the bytes" false
+    (base = d ~job:1 ~shard:0 ~lo:0 ~hi:4 ~fingerprint:"fp" (Bytes.of_string "\x00\x01\x02\x04"));
+  Alcotest.(check bool) "digest binds the shard coordinates" false
+    (base = d ~job:1 ~shard:1 ~lo:0 ~hi:4 ~fingerprint:"fp" b);
+  Alcotest.(check bool) "digest binds the golden fingerprint" false
+    (base = d ~job:1 ~shard:0 ~lo:0 ~hi:4 ~fingerprint:"fq" b);
+  let rows =
+    [
+      {
+        P.row_wid = 1;
+        row_name = "alpha";
+        row_domains = 2;
+        row_age = 0.25;
+        row_committed = 7;
+        row_failed = 1;
+        row_disputed = 0;
+        row_quarantined = false;
+      };
+      {
+        P.row_wid = 2;
+        row_name = "liar";
+        row_domains = 1;
+        row_age = 3.5;
+        row_committed = 4;
+        row_failed = 0;
+        row_disputed = 2;
+        row_quarantined = true;
+      };
+    ]
+  in
+  let rows', barred' =
+    P.parse_workers (P.workers_frame rows ~barred:[ ("liar", 2) ])
+  in
+  Alcotest.(check int) "rows round-trip" 2 (List.length rows');
+  Alcotest.(check bool) "row fields round-trip" true (List.nth rows' 1 = List.nth rows 1);
+  Alcotest.(check bool) "barred round-trips" true (barred' = [ ("liar", 2) ]);
+  Alcotest.(check bool) "cleared frame round-trips" true
+    (P.parse_cleared (P.cleared_frame ~cleared:true)
+    && not (P.parse_cleared (P.cleared_frame ~cleared:false)))
+
+(* Shared scaffolding: drive one wave of [job_id] through a fleet with a
+   single registered worker, returning what the test needs to poke at. *)
+let drive_wave fleet ~job_id ~wid ~golden ~tasks ~on_grant =
+  let ext cmd json =
+    match Fleet.extension fleet ~cmd json with
+    | Some reply -> reply
+    | None -> Alcotest.fail (Printf.sprintf "no handler for %s" cmd)
+  in
+  let runner =
+    match
+      Fleet.wave_runner fleet ~job_id ~bench:"helpers.linear" ~fuel:None
+        ~model:Ftb_inject.Models.default_spec ~golden
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no wave runner despite a registered worker"
+  in
+  let committed : (int, Bytes.t) Hashtbl.t = Hashtbl.create 4 in
+  let commit ~shard bytes = Hashtbl.replace committed shard (Bytes.copy bytes) in
+  let ran_locally = ref 0 in
+  let results = ref [] in
+  let wave =
+    Thread.create
+      (fun () ->
+        results :=
+          runner.Engine.run_wave tasks ~commit
+            ~run_local:(fun ~lo:_ ~hi:_ -> incr ran_locally))
+      ()
+  in
+  let rec lease_grant attempts =
+    if attempts = 0 then Alcotest.fail "scheduler never offered a grant"
+    else
+      match P.parse_lease_reply (ext "worker_lease" (P.lease ~worker:wid)) with
+      | P.Granted g -> g
+      | P.Wait poll ->
+          ignore (Unix.select [] [] [] (Float.max poll 0.001));
+          lease_grant (attempts - 1)
+  in
+  on_grant ~ext ~lease_grant;
+  Thread.join wave;
+  (!results, committed, !ran_locally)
+
+let test_digest_mismatch_rejected () =
+  let fleet = Fleet.create ~lease_ttl:5.0 ~poll:0.005 ~audit_rate:0. () in
+  let ext cmd json =
+    match Fleet.extension fleet ~cmd json with
+    | Some reply -> reply
+    | None -> Alcotest.fail (Printf.sprintf "no handler for %s" cmd)
+  in
+  let reg = P.parse_registered (ext "worker_register" (P.register ~domains:1 ())) in
+  let wid = reg.P.worker in
+  let golden = Golden.run (Helpers.linear_program ()) in
+  let job_id = 51 in
+  let results, committed, _local =
+    drive_wave fleet ~job_id ~wid ~golden
+      ~tasks:[| { Engine.shard = 0; attempt = 1; lo = 0; hi = 4 } |]
+      ~on_grant:(fun ~ext ~lease_grant ->
+        let g = lease_grant 1000 in
+        (* The attestation layer guards the transport: bytes whose frame
+           digest disagrees with the server's recomputation never commit,
+           whatever they contain. *)
+        let frame =
+          P.result ~digest:"0000000000000000" ~worker:wid ~job:job_id
+            ~lease:g.P.lease_id ~shard:g.P.shard
+            (P.Outcomes (Bytes.of_string "\x00\x01\x02\x03"))
+        in
+        match P.check_ok (ext "worker_result" frame) with
+        | () -> Alcotest.fail "corrupt-digest result accepted"
+        | exception P.Decode_error msg ->
+            Alcotest.(check bool) "typed digest_mismatch" true
+              (String.length msg >= 15 && String.sub msg 0 15 = "digest_mismatch"))
+  in
+  (* The rejection released the lease as a typed failure, so the wave
+     resolves the shard through the engine's retry path, not a commit. *)
+  (match results with
+  | [ (0, Error _) ] -> ()
+  | _ -> Alcotest.fail "digest-mismatched shard should resolve as a failure");
+  Alcotest.(check int) "nothing committed" 0 (Hashtbl.length committed);
+  let s = Fleet.stats fleet in
+  Alcotest.(check int) "bad_digest counted" 1 s.Fleet.bad_digest;
+  Alcotest.(check int) "no remote commit" 0 s.Fleet.remote_committed;
+  Alcotest.(check int) "a frame rejection is not a dispute" 0 s.Fleet.disputed
+
+let test_audit_dispute_quarantine_clear () =
+  let fleet =
+    Fleet.create ~lease_ttl:5.0 ~poll:0.005 ~audit_rate:1.0 ~quarantine_after:1 ()
+  in
+  let events = ref [] in
+  Fleet.set_on_quarantine fleet (fun ~name ~disputes ->
+      events := (name, disputes) :: !events);
+  let ext cmd json =
+    match Fleet.extension fleet ~cmd json with
+    | Some reply -> reply
+    | None -> Alcotest.fail (Printf.sprintf "no handler for %s" cmd)
+  in
+  let reg =
+    P.parse_registered (ext "worker_register" (P.register ~name:"liar" ~domains:1 ()))
+  in
+  let wid = reg.P.worker in
+  let golden = Golden.run (Helpers.linear_program ()) in
+  let job_id = 52 in
+  let truth =
+    (Ftb_inject.Executor.ground_truth_model Ftb_inject.Models.default_spec golden)
+      .Ftb_inject.Ground_truth.outcomes
+  in
+  let true_slice = Bytes.sub truth 0 4 in
+  (* SDC upstream of the hash: the worker computes wrong bytes and
+     honestly digests them, so the frame passes attestation and only the
+     audit oracle can catch it. *)
+  let lie = Bytes.map (fun c -> if c = '\x05' then '\x04' else '\x05') true_slice in
+  let results, committed, _local =
+    drive_wave fleet ~job_id ~wid ~golden
+      ~tasks:[| { Engine.shard = 0; attempt = 1; lo = 0; hi = 4 } |]
+      ~on_grant:(fun ~ext ~lease_grant ->
+        let g = lease_grant 1000 in
+        let digest =
+          P.outcome_digest ~job:job_id ~shard:g.P.shard ~lo:g.P.lo ~hi:g.P.hi
+            ~fingerprint:g.P.fingerprint lie
+        in
+        let ack =
+          P.parse_result_ack
+            (ext "worker_result"
+               (P.result ~digest ~worker:wid ~job:job_id ~lease:g.P.lease_id
+                  ~shard:g.P.shard (P.Outcomes lie)))
+        in
+        Alcotest.(check bool) "lying result commits at the frame layer" true
+          (ack.P.committed && not ack.P.stale))
+  in
+  (match results with
+  | [ (0, Ok ()) ] -> ()
+  | _ -> Alcotest.fail "wave did not resolve the shard");
+  (* Adjudication: the oracle's bytes replaced the lie before run_wave
+     returned — the engine can only ever checkpoint adjudicated bytes. *)
+  (match Hashtbl.find_opt committed 0 with
+  | Some b -> Alcotest.(check string) "oracle overwrote the lying bytes"
+      (Bytes.to_string true_slice) (Bytes.to_string b)
+  | None -> Alcotest.fail "shard never committed");
+  let s = Fleet.stats fleet in
+  Alcotest.(check int) "audited" 1 s.Fleet.audited;
+  Alcotest.(check int) "disputed" 1 s.Fleet.disputed;
+  Alcotest.(check int) "quarantined" 1 s.Fleet.quarantined;
+  Alcotest.(check bool) "hook fired with the liar's name" true
+    (!events = [ ("liar", 1) ]);
+  Alcotest.(check int) "quarantine removed the worker from the live set" 0
+    (Fleet.live_workers fleet);
+  (* The quarantined worker is refused everywhere: lease polls, results,
+     and re-registration under the barred name. The worker process may
+     long be dead by now — adjudication and quarantine never needed it. *)
+  (match P.check_ok (ext "worker_lease" (P.lease ~worker:wid)) with
+  | () -> Alcotest.fail "quarantined worker still granted leases"
+  | exception P.Decode_error msg ->
+      Alcotest.(check bool) "lease refused as quarantined" true
+        (String.length msg >= 11 && String.sub msg 0 11 = "quarantined"));
+  (match P.check_ok (ext "worker_register" (P.register ~name:"liar" ~domains:1 ())) with
+  | () -> Alcotest.fail "barred name re-registered"
+  | exception P.Decode_error msg ->
+      Alcotest.(check bool) "re-registration refused" true
+        (String.length msg >= 11 && String.sub msg 0 11 = "quarantined"));
+  (* The trust ledger surfaces the conviction. The registry row itself is
+     pruned on the same bounded-list path as detached workers — only the
+     barred (name, disputes) record endures, and it alone enforces. *)
+  let rows, barred = P.parse_workers (ext "worker_stats" P.workers_request) in
+  Alcotest.(check bool) "quarantined row pruned from the registry" true
+    (List.for_all (fun r -> r.P.row_name <> "liar") rows);
+  Alcotest.(check bool) "barred list names the liar" true (barred = [ ("liar", 1) ]);
+  (* ...and the operator can lift it: clearing unbars the name, and a
+     fresh registration under it starts with a clean slate. *)
+  Alcotest.(check bool) "clear acknowledges" true
+    (P.parse_cleared (ext "worker_clear" (P.workers_clear_request ~name:"liar")));
+  Alcotest.(check bool) "second clear is a no-op" false
+    (P.parse_cleared (ext "worker_clear" (P.workers_clear_request ~name:"liar")));
+  let reg2 =
+    P.parse_registered (ext "worker_register" (P.register ~name:"liar" ~domains:1 ()))
+  in
+  Alcotest.(check bool) "cleared name registers under a fresh wid" true
+    (reg2.P.worker <> wid);
+  Alcotest.(check int) "cleared worker is live" 1 (Fleet.live_workers fleet)
+
+let test_local_executor_never_self_quarantined () =
+  let fleet =
+    Fleet.create ~lease_ttl:5.0 ~poll:0.005 ~audit_rate:1.0 ~quarantine_after:1 ()
+  in
+  let ext cmd json =
+    match Fleet.extension fleet ~cmd json with
+    | Some reply -> reply
+    | None -> Alcotest.fail (Printf.sprintf "no handler for %s" cmd)
+  in
+  let reg = P.parse_registered (ext "worker_register" (P.register ~domains:1 ())) in
+  let wid = reg.P.worker in
+  let golden = Golden.run (Helpers.linear_program ()) in
+  (* The worker detaches before taking a lease, so the executor of last
+     resort (holder wid 0) runs the whole wave. Local commits create no
+     audit records: even at audit-rate 1.0 there is nothing to audit, and
+     the server can never dispute — let alone quarantine — itself. *)
+  let results, _committed, ran_locally =
+    drive_wave fleet ~job_id:53 ~wid ~golden
+      ~tasks:[| { Engine.shard = 0; attempt = 1; lo = 0; hi = 4 } |]
+      ~on_grant:(fun ~ext ~lease_grant:_ ->
+        ignore (ext "worker_detach" (P.detach ~worker:wid) : Json.t))
+  in
+  (match results with
+  | [ (0, Ok ()) ] -> ()
+  | _ -> Alcotest.fail "local fallback did not resolve the shard");
+  Alcotest.(check int) "shard ran locally" 1 ran_locally;
+  let s = Fleet.stats fleet in
+  Alcotest.(check int) "one local commit" 1 s.Fleet.local_committed;
+  Alcotest.(check int) "local commits are never audited" 0 s.Fleet.audited;
+  Alcotest.(check int) "no disputes" 0 s.Fleet.disputed;
+  Alcotest.(check int) "server never self-quarantines" 0 s.Fleet.quarantined
+
 let suite =
   [
     Helpers.qcheck_to_alcotest prop_hex_roundtrip;
@@ -289,4 +552,12 @@ let suite =
     Helpers.qcheck_to_alcotest prop_no_double_commit;
     Alcotest.test_case "cross-job results never commit" `Quick
       test_cross_job_result_rejected;
+    Alcotest.test_case "digest + trust-ledger frames" `Quick
+      test_digest_and_admin_frames;
+    Alcotest.test_case "attestation rejects digest mismatches" `Quick
+      test_digest_mismatch_rejected;
+    Alcotest.test_case "audit disputes, quarantines and clears" `Quick
+      test_audit_dispute_quarantine_clear;
+    Alcotest.test_case "local executor is never self-quarantined" `Quick
+      test_local_executor_never_self_quarantined;
   ]

@@ -1,0 +1,79 @@
+module Lru = Ftb_util.Lru
+
+let test_create_bounds () =
+  Alcotest.check_raises "zero capacity refused" (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (Lru.create ~capacity:0 : (int, int) Lru.t));
+  let t : (int, int) Lru.t = Lru.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity t);
+  Alcotest.(check int) "empty" 0 (Lru.length t)
+
+let test_basic_ops () =
+  let t = Lru.create ~capacity:2 in
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find t "a");
+  Alcotest.(check (option int)) "find b" (Some 2) (Lru.find t "b");
+  Alcotest.(check (option int)) "miss" None (Lru.find t "c");
+  Lru.add t "a" 10;
+  Alcotest.(check (option int)) "replace in place" (Some 10) (Lru.find t "a");
+  Alcotest.(check int) "replace does not grow" 2 (Lru.length t)
+
+let test_lru_eviction () =
+  let t = Lru.create ~capacity:2 in
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  (* Touch "a" so "b" is the least recently used, then overflow. *)
+  ignore (Lru.find t "a" : int option);
+  Lru.add t "c" 3;
+  Alcotest.(check int) "bounded at capacity" 2 (Lru.length t);
+  Alcotest.(check bool) "lru entry evicted" false (Lru.mem t "b");
+  Alcotest.(check bool) "recently used survives" true (Lru.mem t "a");
+  Alcotest.(check bool) "new entry present" true (Lru.mem t "c")
+
+let test_mem_does_not_refresh () =
+  let t = Lru.create ~capacity:2 in
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  (* [mem] must not count as a touch: "a" stays the eviction victim. *)
+  Alcotest.(check bool) "mem sees a" true (Lru.mem t "a");
+  Lru.add t "c" 3;
+  Alcotest.(check bool) "mem did not protect a" false (Lru.mem t "a");
+  Alcotest.(check bool) "b survived" true (Lru.mem t "b")
+
+let test_find_or_add () =
+  let t = Lru.create ~capacity:2 in
+  let built = ref 0 in
+  let make k () =
+    incr built;
+    String.length k
+  in
+  Alcotest.(check int) "miss computes" 1 (Lru.find_or_add t "x" (make "x"));
+  Alcotest.(check int) "hit reuses" 1 (Lru.find_or_add t "x" (make "x"));
+  Alcotest.(check int) "built once" 1 !built;
+  ignore (Lru.find_or_add t "yy" (make "yy") : int);
+  ignore (Lru.find_or_add t "zzz" (make "zzz") : int);
+  Alcotest.(check int) "still bounded" 2 (Lru.length t);
+  (* "x" was evicted (oldest), so it must be rebuilt on next use. *)
+  Alcotest.(check int) "evicted entry rebuilt" 1 (Lru.find_or_add t "x" (make "x"));
+  Alcotest.(check int) "three builds + rebuild" 4 !built
+
+let prop_never_exceeds_capacity =
+  QCheck.Test.make ~name:"lru length never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (capacity, keys) ->
+      let t = Lru.create ~capacity in
+      List.iter (fun k -> Lru.add t k (k * 2)) keys;
+      Lru.length t <= capacity
+      && List.for_all
+           (fun k -> match Lru.find t k with Some v -> v = k * 2 | None -> true)
+           keys)
+
+let suite =
+  [
+    Alcotest.test_case "create bounds" `Quick test_create_bounds;
+    Alcotest.test_case "basic add/find/replace" `Quick test_basic_ops;
+    Alcotest.test_case "least-recently-used is evicted" `Quick test_lru_eviction;
+    Alcotest.test_case "mem does not refresh recency" `Quick test_mem_does_not_refresh;
+    Alcotest.test_case "find_or_add caches and rebuilds" `Quick test_find_or_add;
+    Helpers.qcheck_to_alcotest prop_never_exceeds_capacity;
+  ]

@@ -185,6 +185,7 @@ let sample_info =
         fuel = Some 1000;
         model = Ftb_inject.Models.default_spec;
         priority = 2;
+        trust_cache = true;
       };
     status = Job.Failed "worker died";
     counts = { Job.cases_done = 10; cases_total = 40; masked = 6; sdc = 3; crash = 1 };
