@@ -66,6 +66,70 @@ let model_arg =
            $(b,random-value:LO:HI[:SEED]) (stochastic value replacement drawn \
            uniformly from [LO, HI), deterministically derived per case from SEED).")
 
+(* One parser for the adaptive-campaign knobs, shared verbatim by
+   `campaign --adaptive` and `submit --adaptive` so both accept the same
+   flags, share the same defaults ({!Ftb_core.Adaptive.default_config})
+   and reject the same out-of-range values as usage errors (exit 2) with
+   the library's own message. *)
+let adaptive_config_term =
+  let d = Ftb_core.Adaptive.default_config in
+  let round_fraction_arg =
+    Arg.(
+      value
+      & opt float d.Ftb_core.Adaptive.round_fraction
+      & info [ "round-fraction" ] ~docv:"F"
+          ~doc:"Fraction of the case space drawn per adaptive round, in (0, 1].")
+  in
+  let stop_sdc_arg =
+    Arg.(
+      value
+      & opt float d.Ftb_core.Adaptive.stop_sdc_fraction
+      & info [ "stop-sdc" ] ~docv:"F"
+          ~doc:
+            "Convergence criterion: stop when at least this fraction of a round's \
+             samples are SDC, in (0, 1].")
+  in
+  let max_rounds_arg =
+    Arg.(
+      value
+      & opt int d.Ftb_core.Adaptive.max_rounds
+      & info [ "max-rounds" ] ~docv:"N"
+          ~doc:"Hard cap on adaptive rounds (positive).")
+  in
+  let no_filter_arg =
+    Arg.(
+      value & flag
+      & info [ "no-filter" ]
+          ~doc:"Skip the sec. 3.5 filter operation when folding rounds into the boundary.")
+  in
+  let no_bias_arg =
+    Arg.(
+      value & flag
+      & info [ "no-bias" ]
+          ~doc:
+            "Draw each round uniformly instead of biasing candidate selection by \
+             inverse information (sec. 3.4).")
+  in
+  let build round_fraction stop_sdc max_rounds no_filter no_bias =
+    let config =
+      {
+        Ftb_core.Adaptive.round_fraction;
+        stop_sdc_fraction = stop_sdc;
+        max_rounds;
+        filter = not no_filter;
+        bias = not no_bias;
+      }
+    in
+    match Ftb_core.Adaptive.check_config config with
+    | () -> config
+    | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+  in
+  Term.(
+    const build $ round_fraction_arg $ stop_sdc_arg $ max_rounds_arg $ no_filter_arg
+    $ no_bias_arg)
+
 let find_program name =
   match Ftb_kernels.Suite.find name with
   | program -> program
@@ -121,9 +185,13 @@ let list_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let campaign_run () name exhaustive fraction seed model csv checkpoint checkpoint_every
-    resume fuel domains =
+let campaign_run () name exhaustive adaptive aconfig fraction seed model csv checkpoint
+    checkpoint_every resume fuel domains =
   let module Models = Ftb_inject.Models in
+  if exhaustive && adaptive then begin
+    Printf.eprintf "--exhaustive and --adaptive are mutually exclusive\n";
+    exit 2
+  end;
   (* A junk FTB_DOMAINS should be a usage error, not a backtrace — even
      when --domains was not passed. *)
   let domains = Ftb_util.Domains.default_or_exit ?flag:domains () in
@@ -133,7 +201,31 @@ let campaign_run () name exhaustive fraction seed model csv checkpoint checkpoin
   Printf.printf "%s: %d dynamic instructions, %d fault cases (%s)\n" name sites
     (Models.total_cases model ~sites)
     (Models.spec_name model);
-  if exhaustive then begin
+  if adaptive then begin
+    let module A = Ftb_core.Adaptive in
+    let module AE = Ftb_plan.Adaptive_engine in
+    let result, stats =
+      AE.run ~config:aconfig ~spec:model ?fuel ?checkpoint
+        ~on_round:(fun ~round ~drawn ~masked ~sdc ~crash ->
+          Printf.printf "  round %2d: %d samples (%d masked, %d sdc, %d crash)\n%!" round
+            drawn masked sdc crash)
+        ~name ~seed golden
+    in
+    if stats.AE.resumed_rounds > 0 then
+      Printf.printf "  resumed %d round%s (%d samples) from checkpoint\n"
+        stats.AE.resumed_rounds
+        (if stats.AE.resumed_rounds = 1 then "" else "s")
+        stats.AE.resumed_samples;
+    let masked, sdc, crash = Ftb_inject.Sample_run.count_outcomes result.A.samples in
+    Printf.printf "adaptive campaign: %d rounds, stopped: %s\n" result.A.rounds
+      (A.stop_reason_to_string result.A.stop_reason);
+    Printf.printf "  %d samples (%s of the space): %d masked, %d sdc, %d crash\n"
+      (Array.length result.A.samples)
+      (pct result.A.sample_fraction)
+      masked sdc crash;
+    Printf.printf "  fresh samples this run: %d\n" stats.AE.fresh_samples
+  end
+  else if exhaustive then begin
     let module E = Ftb_campaign.Engine in
     let config =
       {
@@ -241,14 +333,26 @@ let campaign_cmd =
       & info [ "exhaustive" ]
           ~doc:"Run the complete campaign (every bit of every dynamic instruction).")
   in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Run the sec. 3.4 progressive/adaptive sampler through the round engine: \
+             plan, execute and fold biased rounds until the $(b,--stop-sdc) criterion \
+             converges. With $(b,--checkpoint) the campaign is kill-safe at round \
+             granularity and resumes bit-identically.")
+  in
   let checkpoint_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "checkpoint" ] ~docv:"FILE"
           ~doc:
-            "Checkpoint file for the exhaustive campaign: partial outcomes are written \
-             here atomically so an interrupted campaign can be resumed with $(b,--resume).")
+            "Checkpoint file for the exhaustive or adaptive campaign: partial state is \
+             written here atomically so an interrupted campaign can be resumed (with \
+             $(b,--resume) for exhaustive; adaptive campaigns resume automatically when \
+             the checkpoint matches the campaign identity).")
   in
   let checkpoint_every_arg =
     Arg.(
@@ -287,9 +391,9 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a fault-injection campaign on a benchmark")
     Term.(
-      const campaign_run $ logs_term $ bench_arg $ exhaustive_arg $ fraction_arg $ seed_arg
-      $ model_arg $ csv_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ fuel_arg
-      $ domains_arg)
+      const campaign_run $ logs_term $ bench_arg $ exhaustive_arg $ adaptive_arg
+      $ adaptive_config_term $ fraction_arg $ seed_arg $ model_arg $ csv_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ fuel_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -326,7 +430,10 @@ let boundary_run () name fraction filter seed evaluate =
       (pct e.Ftb_core.Metrics.recall)
   end
 
-let boundary_cmd =
+(* The default term of the `boundary` command group; the store-facing
+   subcommands (query / list / export / gc) are defined with the other
+   service commands below. *)
+let boundary_infer_term =
   let filter_arg =
     Arg.(value & flag & info [ "filter" ] ~doc:"Apply the SDC filter operation (sec. 3.5).")
   in
@@ -336,11 +443,9 @@ let boundary_cmd =
       & info [ "evaluate" ]
           ~doc:"Also run the exhaustive campaign and report precision/recall.")
   in
-  Cmd.v
-    (Cmd.info "boundary" ~doc:"Infer a fault tolerance boundary from a random sample")
-    Term.(
-      const boundary_run $ logs_term $ bench_arg $ fraction_arg $ filter_arg $ seed_arg
-      $ evaluate_arg)
+  Term.(
+    const boundary_run $ logs_term $ bench_arg $ fraction_arg $ filter_arg $ seed_arg
+    $ evaluate_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -658,6 +763,7 @@ let serve_run () state socket tcp capacity domains checkpoint_every stuck_after
       cache = not no_cache;
       extension = Some (Ftb_dist.Fleet.extension fleet);
       wave_runner = Some (Ftb_dist.Fleet.wave_runner fleet);
+      round_runner = Some (Ftb_dist.Fleet.round_runner fleet);
       provenance =
         Some
           (fun ~job_id ->
@@ -910,6 +1016,16 @@ let print_progress (e : Service.Client.event) =
            (if cases_total = 0 then 0.
             else float_of_int cases_done /. float_of_int cases_total))
         masked sdc crash cases_per_sec
+  | Service.Client.Round { round; drawn; masked; sdc; crash; samples_total; cases_total; _ }
+    ->
+      Printf.printf
+        "  round %d: drew %d (%d masked, %d sdc, %d crash) — %d samples, %s of the \
+         space\n\
+         %!"
+        round drawn masked sdc crash samples_total
+        (pct
+           (if cases_total = 0 then 0.
+            else float_of_int samples_total /. float_of_int cases_total))
   | Service.Client.Worker_quarantined { worker; disputes; _ } ->
       Printf.printf
         "  worker %s QUARANTINED (%d disputed shards) — its results re-executed\n%!"
@@ -959,12 +1075,16 @@ let watch_retry_until_done socket endpoint id =
   | Ok job -> print_final id job
   | exception exn -> die_unreachable socket exn
 
-let submit_run () name socket fraction seed model shard_size fuel priority
-    trust_cache no_watch idem =
+let submit_run () name socket adaptive aconfig fraction seed model shard_size fuel
+    priority trust_cache no_watch idem =
   let mode =
-    match fraction with
-    | Some fraction -> Service.Job.Sample { fraction; seed }
-    | None -> Service.Job.Exhaustive
+    match (adaptive, fraction) with
+    | true, Some _ ->
+        Printf.eprintf "--adaptive and --fraction are mutually exclusive\n";
+        exit 2
+    | true, None -> Service.Job.Adaptive { config = aconfig; seed }
+    | false, Some fraction -> Service.Job.Sample { fraction; seed }
+    | false, None -> Service.Job.Exhaustive
   in
   let spec =
     {
@@ -983,7 +1103,10 @@ let submit_run () name socket fraction seed model shard_size fuel priority
     Printf.printf "job %d submitted (%s, %s, %s)\n%!" id name
       (match mode with
       | Service.Job.Exhaustive -> "exhaustive"
-      | Service.Job.Sample { fraction; _ } -> Printf.sprintf "sample %s" (pct fraction))
+      | Service.Job.Sample { fraction; _ } -> Printf.sprintf "sample %s" (pct fraction)
+      | Service.Job.Adaptive { config; _ } ->
+          Printf.sprintf "adaptive %s/round"
+            (pct config.Ftb_core.Adaptive.round_fraction))
       (Ftb_inject.Models.spec_name model)
   in
   match idem with
@@ -1007,6 +1130,18 @@ let submit_run () name socket fraction seed model shard_size fuel priority
               if not no_watch then watch_until_done client id)
 
 let submit_cmd =
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Queue a sec. 3.4 adaptive campaign (checkpointed per round, resumable \
+             bit-identically across daemon restarts; distributed over attached \
+             $(b,ftb worker) processes when any are live). The converged boundary is \
+             published to the daemon's boundary store, and a resubmission of the \
+             exact same campaign (benchmark, model, fuel, adaptive flags, seed) is \
+             served from it instantly with zero fresh samples.")
+  in
   let fraction_opt_arg =
     Arg.(
       value
@@ -1065,9 +1200,9 @@ let submit_cmd =
   Cmd.v
     (Cmd.info "submit" ~doc:"Queue a campaign on a running daemon")
     Term.(
-      const submit_run $ logs_term $ bench_arg $ socket_arg $ fraction_opt_arg $ seed_arg
-      $ model_arg $ shard_size_arg $ fuel_arg $ priority_arg $ trust_cache_arg
-      $ no_watch_arg $ idem_arg)
+      const submit_run $ logs_term $ bench_arg $ socket_arg $ adaptive_arg
+      $ adaptive_config_term $ fraction_opt_arg $ seed_arg $ model_arg $ shard_size_arg
+      $ fuel_arg $ priority_arg $ trust_cache_arg $ no_watch_arg $ idem_arg)
 
 let jobs_run () socket json =
   with_client socket (fun client ->
@@ -1089,7 +1224,8 @@ let jobs_run () socket json =
                   j.Service.Job.id j.Service.Job.spec.Service.Job.bench
                   (match j.Service.Job.spec.Service.Job.mode with
                   | Service.Job.Exhaustive -> "exhaustive"
-                  | Service.Job.Sample _ -> "sample")
+                  | Service.Job.Sample _ -> "sample"
+                  | Service.Job.Adaptive _ -> "adaptive")
                   j.Service.Job.spec.Service.Job.priority
                   (Service.Job.status_name j.Service.Job.status)
                   (Service.Job.cache_name j.Service.Job.cache)
@@ -1336,6 +1472,250 @@ let workers_cmd =
               too many of its results ($(b,--quarantine-after)).";
          ])
     Term.(const workers_run $ logs_term $ socket_arg $ json_arg $ clear_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ftb boundary query/list/export/gc: the servable boundary store.     *)
+
+module Bstore = Ftb_plan.Boundary_store
+
+let open_bstore state =
+  Bstore.open_ ~root:(Service.Server.boundaries_dir ~state_dir:state)
+
+let bstore_model_arg =
+  Arg.(
+    value
+    & opt (some model_conv) None
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Restrict the lookup to boundaries of this fault model (default: the \
+           newest stored entry of any model).")
+
+let find_latest_or_die bs name model =
+  match Bstore.find_latest bs ~bench:name ?spec:model () with
+  | Some entry -> entry
+  | None ->
+      Printf.eprintf
+        "no stored boundary for %s under %s (run `ftb submit %s --adaptive` first)\n"
+        name (Bstore.root bs) name;
+      exit 1
+
+let boundary_entry_line (e : Bstore.entry) =
+  Printf.sprintf "%-10s %-14s %6d %7d %8d %-14s %-8s %s" e.Bstore.bench
+    (Ftb_inject.Models.spec_to_string e.Bstore.spec)
+    e.Bstore.sites e.Bstore.rounds e.Bstore.samples
+    (Ftb_core.Adaptive.stop_reason_to_string e.Bstore.stop)
+    (pct e.Bstore.uncertainty) e.Bstore.key
+
+let boundary_query_cmd =
+  let site_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "site" ] ~docv:"I" ~doc:"Dynamic instruction (injection site) to query.")
+  in
+  let bit_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "bit" ] ~docv:"B"
+          ~doc:
+            "Case index within the model's per-site width (the flipped bit for \
+             bit-flip models).")
+  in
+  let run () state name site bit model =
+    let bs = open_bstore state in
+    let entry = find_latest_or_die bs name model in
+    match Bstore.query entry ~site ~bit with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    | p ->
+        Printf.printf "%s (%s): site %d bit %d -> %s\n" name
+          (Ftb_inject.Models.spec_to_string entry.Bstore.spec)
+          site bit
+          (match p.Bstore.outcome with `Masked -> "masked" | `Sdc -> "sdc");
+        Printf.printf "  injected error %g vs site threshold %g\n" p.Bstore.injected_error
+          p.Bstore.threshold;
+        Printf.printf "  site support: %d masked observations; entry uncertainty %s\n"
+          p.Bstore.site_support
+          (pct p.Bstore.entry_uncertainty);
+        Printf.printf
+          "  from a %d-round adaptive campaign: %d samples (%s of the space), %s, \
+           seed %d, provenance %s\n"
+          entry.Bstore.rounds entry.Bstore.samples
+          (pct entry.Bstore.sample_fraction)
+          (Ftb_core.Adaptive.stop_reason_to_string entry.Bstore.stop)
+          entry.Bstore.seed entry.Bstore.prov
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Predict one (site, bit) case from a stored boundary — zero kernel execution")
+    Term.(
+      const run $ logs_term $ state_arg $ bench_arg $ site_arg $ bit_arg
+      $ bstore_model_arg)
+
+let boundary_list_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the entry list as JSON.")
+  in
+  let run () state json =
+    let bs = open_bstore state in
+    let entries = Bstore.list bs in
+    if json then begin
+      let module J = Service.Json in
+      print_endline
+        (J.to_string
+           (J.List
+              (List.map
+                 (fun (e : Bstore.entry) ->
+                   J.Obj
+                     [
+                       ("key", J.String e.Bstore.key);
+                       ("bench", J.String e.Bstore.bench);
+                       ("model", J.String (Ftb_inject.Models.spec_to_string e.Bstore.spec));
+                       ("sites", J.Int e.Bstore.sites);
+                       ("seed", J.Int e.Bstore.seed);
+                       ("rounds", J.Int e.Bstore.rounds);
+                       ("samples", J.Int e.Bstore.samples);
+                       ("sample_fraction", J.Float e.Bstore.sample_fraction);
+                       ("uncertainty", J.Float e.Bstore.uncertainty);
+                       ( "stop",
+                         J.String (Ftb_core.Adaptive.stop_reason_to_string e.Bstore.stop)
+                       );
+                       ("prov", J.String e.Bstore.prov);
+                       ("created", J.Float e.Bstore.created);
+                     ])
+                 entries)))
+    end
+    else if entries = [] then print_endline "no stored boundaries"
+    else begin
+      Printf.printf "%-10s %-14s %6s %7s %8s %-14s %-8s %s\n" "bench" "model" "sites"
+        "rounds" "samples" "stop" "uncert" "key";
+      List.iter (fun e -> print_endline (boundary_entry_line e)) entries
+    end
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every stored adaptive boundary")
+    Term.(const run $ logs_term $ state_arg $ json_arg)
+
+let boundary_export_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON export here instead of stdout.")
+  in
+  let run () state name model out =
+    let bs = open_bstore state in
+    let e = find_latest_or_die bs name model in
+    let module J = Service.Json in
+    let floats a = J.List (List.map (fun f -> J.Float f) (Array.to_list a)) in
+    let json =
+      J.Obj
+        [
+          ("key", J.String e.Bstore.key);
+          ("bench", J.String e.Bstore.bench);
+          ("fingerprint", J.String e.Bstore.fingerprint);
+          ("model", J.String (Ftb_inject.Models.spec_to_string e.Bstore.spec));
+          ( "fuel",
+            match e.Bstore.fuel with Some n -> J.Int n | None -> J.Null );
+          ("round_fraction", J.Float e.Bstore.config.Ftb_core.Adaptive.round_fraction);
+          ( "stop_sdc_fraction",
+            J.Float e.Bstore.config.Ftb_core.Adaptive.stop_sdc_fraction );
+          ("max_rounds", J.Int e.Bstore.config.Ftb_core.Adaptive.max_rounds);
+          ("filter", J.Bool e.Bstore.config.Ftb_core.Adaptive.filter);
+          ("bias", J.Bool e.Bstore.config.Ftb_core.Adaptive.bias);
+          ("seed", J.Int e.Bstore.seed);
+          ("sites", J.Int e.Bstore.sites);
+          ("rounds", J.Int e.Bstore.rounds);
+          ("samples", J.Int e.Bstore.samples);
+          ("masked", J.Int e.Bstore.masked);
+          ("sdc", J.Int e.Bstore.sdc);
+          ("crash", J.Int e.Bstore.crash);
+          ("sample_fraction", J.Float e.Bstore.sample_fraction);
+          ("uncertainty", J.Float e.Bstore.uncertainty);
+          ("stop", J.String (Ftb_core.Adaptive.stop_reason_to_string e.Bstore.stop));
+          ("prov", J.String e.Bstore.prov);
+          ("created", J.Float e.Bstore.created);
+          ("thresholds", floats e.Bstore.thresholds);
+          ( "support",
+            J.List (List.map (fun n -> J.Int n) (Array.to_list e.Bstore.support)) );
+          ("golden_values", floats e.Bstore.golden_values);
+        ]
+    in
+    match out with
+    | None -> print_endline (J.to_string json)
+    | Some path ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (J.to_string json);
+            output_char oc '\n');
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Export a stored boundary (thresholds, support, golden values, provenance) \
+          as JSON")
+    Term.(const run $ logs_term $ state_arg $ bench_arg $ bstore_model_arg $ out_arg)
+
+let boundary_gc_cmd =
+  let keep_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "keep" ] ~docv:"N" ~doc:"Keep the N most recently created entries.")
+  in
+  let run () state keep =
+    if keep < 0 then begin
+      Printf.eprintf "--keep must be non-negative (got %d)\n" keep;
+      exit 2
+    end;
+    let removed = Bstore.gc (open_bstore state) ~keep in
+    Printf.printf "boundary gc: removed %d entr%s, kept the newest %d\n" removed
+      (if removed = 1 then "y" else "ies")
+      keep
+  in
+  Cmd.v
+    (Cmd.info "gc" ~doc:"Drop all but the newest N stored boundaries")
+    Term.(const run $ logs_term $ state_arg $ keep_arg)
+
+let boundary_infer_cmd =
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:"Infer a fault tolerance boundary from a fresh random sample")
+    boundary_infer_term
+
+let boundary_cmd =
+  Cmd.group
+    ~default:boundary_infer_term
+    (Cmd.info "boundary"
+       ~doc:
+         "Infer a boundary from a random sample, or query the daemon's servable \
+          boundary store"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "$(b,infer) samples the kernel fresh and infers a fault tolerance \
+              boundary from the sample. The other subcommands instead read the \
+              boundary store a daemon keeps under $(b,<state>/boundaries): every \
+              completed adaptive job publishes its converged boundary there \
+              (thresholds, per-site support, sec. 3.6 uncertainty, fault model, \
+              golden fingerprint, sample fraction, provenance) as a CRC-enveloped \
+              content-addressed artifact. $(b,query) answers one (site, bit) case \
+              with zero kernel execution; $(b,list), $(b,export) and $(b,gc) \
+              inspect and bound the store.";
+         ])
+    [
+      boundary_infer_cmd;
+      boundary_query_cmd;
+      boundary_list_cmd;
+      boundary_export_cmd;
+      boundary_gc_cmd;
+    ]
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,6 +1,8 @@
 module Fault = Ftb_trace.Fault
 module Golden = Ftb_trace.Golden
 module Runner = Ftb_trace.Runner
+module Ground_truth = Ftb_inject.Ground_truth
+module Models = Ftb_inject.Models
 module Sample_run = Ftb_inject.Sample_run
 
 type config = {
@@ -15,6 +17,17 @@ let default_config =
   { round_fraction = 0.001; stop_sdc_fraction = 0.95; max_rounds = 200; filter = true; bias = true }
 
 type stop_reason = Converged | Pool_exhausted | Round_cap
+
+let stop_reason_to_string = function
+  | Converged -> "converged"
+  | Pool_exhausted -> "pool-exhausted"
+  | Round_cap -> "round-cap"
+
+let stop_reason_of_string = function
+  | "converged" -> Some Converged
+  | "pool-exhausted" -> Some Pool_exhausted
+  | "round-cap" -> Some Round_cap
+  | _ -> None
 
 type result = {
   boundary : Boundary.t;
@@ -31,87 +44,177 @@ let check_config config =
     invalid_arg "Adaptive.run: stop_sdc_fraction must be in (0, 1]";
   if config.max_rounds <= 0 then invalid_arg "Adaptive.run: max_rounds must be positive"
 
-let run ?(config = default_config) ?on_round rng golden =
+(* The round state machine. [run] below is a thin serial driver over it;
+   the distributed planner ([Ftb_plan.Adaptive_engine]) drives the same
+   machine with fleet-executed rounds. Keeping plan and fold here — and
+   the RNG consumed by nothing but [plan_round] — is what makes the
+   distributed path bit-identical to the serial oracle: outcomes are pure
+   functions of (golden, spec, case), so *where* a case runs cannot
+   change what the next round draws. *)
+
+type state = {
+  config : config;
+  spec : Models.spec;
+  golden : Golden.t;
+  total : int;
+  round_size : int;
+  sampled : (int, unit) Hashtbl.t;
+  mutable samples_rev : Sample_run.t list;
+  mutable sample_count : int;
+  mutable boundary : Boundary.t;
+  mutable info : float array;
+  mutable rounds : int;
+}
+
+let state_create ?(config = default_config) ?(spec = Models.default_spec) golden =
   check_config config;
   let sites = Golden.sites golden in
-  let total = Golden.cases golden in
-  let round_size = max 1 (int_of_float (Float.ceil (config.round_fraction *. float_of_int total))) in
-  let sampled = Hashtbl.create (4 * round_size) in
-  let samples = ref [] in
-  let sample_count = ref 0 in
-  let boundary = ref (Boundary.create ~sites) in
-  let info = ref (Array.make sites 0.) in
-  let stop_reason = ref Round_cap in
-  let rounds_done = ref 0 in
+  let total = Models.total_cases spec ~sites in
+  let round_size =
+    max 1 (int_of_float (Float.ceil (config.round_fraction *. float_of_int total)))
+  in
+  {
+    config;
+    spec;
+    golden;
+    total;
+    round_size;
+    sampled = Hashtbl.create (4 * round_size);
+    samples_rev = [];
+    sample_count = 0;
+    boundary = Boundary.create ~sites;
+    info = Array.make sites 0.;
+    rounds = 0;
+  }
+
+(* Rebuild boundary and information from scratch: the filter operation can
+   retroactively disqualify earlier propagation data once a smaller SDC
+   error is known, so incremental updates would drift. The sample set is
+   small by construction. *)
+let refresh state =
+  let sites = Golden.sites state.golden in
+  let all = Array.of_list (List.rev state.samples_rev) in
+  if Array.length all = 0 then begin
+    state.boundary <- Boundary.create ~sites;
+    state.info <- Array.make sites 0.
+  end
+  else begin
+    state.boundary <- Boundary.infer ~filter:state.config.filter ~sites all;
+    state.info <- Info.total (Info.collect state.golden all)
+  end
+
+let case_of_sample state (s : Sample_run.t) =
+  let width = Models.spec_width state.spec in
+  (s.Sample_run.fault.Fault.site * width) + s.Sample_run.fault.Fault.bit
+
+let state_restore ?config ?spec golden ~rounds samples =
+  let state = state_create ?config ?spec golden in
+  Array.iter
+    (fun s ->
+      Hashtbl.replace state.sampled (case_of_sample state s) ();
+      state.samples_rev <- s :: state.samples_rev;
+      state.sample_count <- state.sample_count + 1)
+    samples;
+  state.rounds <- rounds;
+  refresh state;
+  state
+
+let state_rounds state = state.rounds
+let state_sample_count state = state.sample_count
+let state_total state = state.total
+let state_boundary state = state.boundary
+let state_samples state = Array.of_list (List.rev state.samples_rev)
+
+let plan_round state rng =
+  (* Candidate pool: unsampled cases the current boundary does not
+     already predict masked — injecting those would teach us nothing
+     new about the boundary's upper side. *)
+  let width = Models.spec_width state.spec in
+  let candidates = ref [] in
+  let candidate_count = ref 0 in
+  for case = state.total - 1 downto 0 do
+    if not (Hashtbl.mem state.sampled case) then begin
+      let err = Ground_truth.injected_error_model state.spec state.golden ~case in
+      if not (err <= Boundary.threshold state.boundary (case / width)) then begin
+        candidates := case :: !candidates;
+        incr candidate_count
+      end
+    end
+  done;
+  if !candidate_count = 0 then None
+  else begin
+    let pool = Array.of_list !candidates in
+    let k = min state.round_size !candidate_count in
+    let drawn_indices =
+      if state.config.bias then begin
+        let weights =
+          Array.map
+            (fun case -> 1. /. Float.max state.info.(case / width) 1.)
+            pool
+        in
+        Ftb_util.Sampling.weighted_without_replacement rng ~weights ~k
+      end
+      else Ftb_util.Sampling.uniform rng ~n:!candidate_count ~k
+    in
+    Some (Array.map (fun idx -> pool.(idx)) drawn_indices)
+  end
+
+let fold_round ?on_round state ~cases ~samples =
+  let k = Array.length cases in
+  if Array.length samples <> k then
+    invalid_arg
+      (Printf.sprintf "Adaptive.fold_round: %d samples for %d drawn cases"
+         (Array.length samples) k);
+  if k = 0 then invalid_arg "Adaptive.fold_round: empty round";
+  Array.iter (fun case -> Hashtbl.replace state.sampled case ()) cases;
+  let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
+  Array.iter
+    (fun (s : Sample_run.t) ->
+      (match s.Sample_run.outcome with
+      | Runner.Masked -> incr masked
+      | Runner.Sdc -> incr sdc
+      | Runner.Crash -> incr crash);
+      state.samples_rev <- s :: state.samples_rev;
+      state.sample_count <- state.sample_count + 1)
+    samples;
+  state.rounds <- state.rounds + 1;
+  (match on_round with
+  | Some f -> f ~round:state.rounds ~drawn:k ~masked:!masked ~sdc:!sdc ~crash:!crash
+  | None -> ());
+  refresh state;
+  let sdc_fraction = float_of_int !sdc /. float_of_int k in
+  if !masked = 0 || sdc_fraction >= state.config.stop_sdc_fraction then `Stop Converged
+  else if state.rounds >= state.config.max_rounds then `Stop Round_cap
+  else `Continue
+
+let finish state stop_reason =
+  {
+    boundary = state.boundary;
+    samples = state_samples state;
+    rounds = state.rounds;
+    sample_fraction = float_of_int state.sample_count /. float_of_int state.total;
+    stop_reason;
+  }
+
+let run_model ?(config = default_config) ?on_round ?(spec = Models.default_spec) ?fuel rng
+    golden =
+  let state = state_create ~config ~spec golden in
+  let stop = ref Round_cap in
   (try
-     for round = 1 to config.max_rounds do
-       (* Candidate pool: unsampled cases the current boundary does not
-          already predict masked — injecting those would teach us nothing
-          new about the boundary's upper side. *)
-       let candidates = ref [] in
-       let candidate_count = ref 0 in
-       for case = total - 1 downto 0 do
-         if not (Hashtbl.mem sampled case) then begin
-           let fault = Fault.of_case case in
-           if not (Predict.predicted_masked !boundary golden fault) then begin
-             candidates := case :: !candidates;
-             incr candidate_count
-           end
-         end
-       done;
-       if !candidate_count = 0 then begin
-         stop_reason := Pool_exhausted;
-         raise Exit
-       end;
-       let pool = Array.of_list !candidates in
-       let k = min round_size !candidate_count in
-       let drawn_indices =
-         if config.bias then begin
-           let weights =
-             Array.map
-               (fun case -> 1. /. Float.max !info.((Fault.of_case case).Fault.site) 1.)
-               pool
-           in
-           Ftb_util.Sampling.weighted_without_replacement rng ~weights ~k
-         end
-         else Ftb_util.Sampling.uniform rng ~n:!candidate_count ~k
-       in
-       let masked = ref 0 and sdc = ref 0 and crash = ref 0 in
-       Array.iter
-         (fun idx ->
-           let case = pool.(idx) in
-           Hashtbl.replace sampled case ();
-           let sample = Sample_run.run_case golden case in
-           (match sample.Sample_run.outcome with
-           | Runner.Masked -> incr masked
-           | Runner.Sdc -> incr sdc
-           | Runner.Crash -> incr crash);
-           samples := sample :: !samples;
-           incr sample_count)
-         drawn_indices;
-       rounds_done := round;
-       (match on_round with
-       | Some f -> f ~round ~drawn:k ~masked:!masked ~sdc:!sdc ~crash:!crash
-       | None -> ());
-       (* Rebuild boundary and information from scratch: the filter
-          operation can retroactively disqualify earlier propagation data
-          once a smaller SDC error is known, so incremental updates would
-          drift. The sample set is small by construction. *)
-       let all = Array.of_list (List.rev !samples) in
-       boundary := Boundary.infer ~filter:config.filter ~sites all;
-       info := Info.total (Info.collect golden all);
-       let sdc_fraction = float_of_int !sdc /. float_of_int k in
-       if !masked = 0 || sdc_fraction >= config.stop_sdc_fraction then begin
-         stop_reason := Converged;
-         raise Exit
-       end
+     while state.rounds < config.max_rounds do
+       match plan_round state rng with
+       | None ->
+           stop := Pool_exhausted;
+           raise Exit
+       | Some cases -> (
+           let samples = Array.map (Sample_run.run_case_model ?fuel spec golden) cases in
+           match fold_round ?on_round state ~cases ~samples with
+           | `Stop reason ->
+               stop := reason;
+               raise Exit
+           | `Continue -> ())
      done
    with Exit -> ());
-  let all = Array.of_list (List.rev !samples) in
-  {
-    boundary = !boundary;
-    samples = all;
-    rounds = !rounds_done;
-    sample_fraction = float_of_int !sample_count /. float_of_int total;
-    stop_reason = !stop_reason;
-  }
+  finish state !stop
+
+let run ?config ?on_round rng golden = run_model ?config ?on_round rng golden

@@ -30,6 +30,10 @@ type audit_record = {
   r_name : string;
   r_digest : string;
   r_attested : bool;
+  r_cases : int array option;
+      (* [Some cases] for a sparse sampled shard: the audit oracle
+         re-executes exactly these case indices with tracing and compares
+         codec blobs, not dense outcome bytes. *)
   mutable r_audited : bool;
   mutable r_overwritten : bool;
 }
@@ -46,6 +50,11 @@ type active = {
   a_fingerprint : string;
   table : Lease.t;
   a_commit : shard:int -> Bytes.t -> unit;
+  a_cases : int array option;
+      (* [Some cases] marks the active wave as a sparse sampled round (the
+         adaptive planner's drawn case list): grants slice [cases.(lo..hi)]
+         and results carry [Samples] codec blobs, not dense outcome
+         bytes. *)
 }
 
 type stats = {
@@ -297,6 +306,11 @@ let handle_lease t json =
                     lo = g.Lease.lo;
                     hi = g.Lease.hi;
                     ttl = t.lease_ttl;
+                    cases =
+                      Option.map
+                        (fun cases ->
+                          Array.sub cases g.Lease.lo (g.Lease.hi - g.Lease.lo))
+                        a.a_cases;
                   }))
 
 let handle_heartbeat t json =
@@ -354,9 +368,74 @@ let handle_result t json =
                   t.stale <- t.stale + 1;
                   P.result_ack_frame ~committed:false ~stale:true)
           | None -> (
-              match P.opt_str "data" json with
-              | None -> P.error_frame "bad_request" "result carries neither data nor error"
-              | Some hex -> (
+              (* Shared tail for both payload kinds once [bytes] passed the
+                 shard's structural validation. Attestation: recompute the
+                 digest over the decoded bytes. A frame whose own digest
+                 disagrees was corrupted in transit or encoding — reject it
+                 typed and release the lease so the shard is retried; this
+                 is not a dispute (the worker's execution is not in
+                 question, its frame is). *)
+              let accept ~lo ~hi ~r_cases bytes =
+                let sdigest =
+                  P.outcome_digest ~job ~shard ~lo ~hi
+                    ~fingerprint:a.a_fingerprint bytes
+                in
+                let frame_digest = P.opt_str "digest" json in
+                match frame_digest with
+                | Some d when d <> sdigest ->
+                    t.bad_digest <- t.bad_digest + 1;
+                    ignore
+                      (Lease.fail a.table ~lease_id
+                         ~message:"attestation digest mismatch"
+                        : [ `Committed | `Stale ]);
+                    P.error_frame "digest_mismatch"
+                      (Printf.sprintf
+                         "shard %d outcome bytes do not match their attestation digest"
+                         shard)
+                | Some _ | None -> (
+                    match Lease.commit a.table ~shard with
+                    | `Committed ->
+                        a.a_commit ~shard bytes;
+                        t.remote_committed <- t.remote_committed + 1;
+                        let r_name =
+                          match find_worker_locked t wid with
+                          | Some w ->
+                              w.w_committed <- w.w_committed + 1;
+                              w.w_name
+                          | None -> Printf.sprintf "worker-%d" wid
+                        in
+                        t.audit_records <-
+                          {
+                            r_shard = shard;
+                            r_lo = lo;
+                            r_hi = hi;
+                            r_wid = wid;
+                            r_name;
+                            r_digest = sdigest;
+                            r_attested = frame_digest <> None;
+                            r_cases;
+                            r_audited = false;
+                            r_overwritten = false;
+                          }
+                          :: t.audit_records;
+                        P.result_ack_frame ~committed:true ~stale:false
+                    | `Stale | `Unknown ->
+                        t.stale <- t.stale + 1;
+                        P.result_ack_frame ~committed:false ~stale:true)
+              in
+              match (P.opt_str "data" json, P.opt_str "samples" json, a.a_cases) with
+              | None, None, _ ->
+                  P.error_frame "bad_request" "result carries neither data nor error"
+              | Some _, _, Some _ ->
+                  P.error_frame "bad_result"
+                    (Printf.sprintf
+                       "shard %d belongs to a sparse sampled round; dense outcome bytes refused"
+                       shard)
+              | _, Some _, None ->
+                  P.error_frame "bad_result"
+                    (Printf.sprintf
+                       "shard %d is a dense range shard; sparse samples refused" shard)
+              | Some hex, _, None -> (
                   match Lease.bounds a.table ~shard with
                   | None ->
                       t.stale <- t.stale + 1;
@@ -381,59 +460,54 @@ let handle_result t json =
                         in
                         (match bytes with
                         | None -> P.error_frame "bad_result" "result blob is not valid hex"
-                        | Some bytes ->
-                            (* Attestation: recompute the digest over the
-                               decoded bytes. A frame whose own digest
-                               disagrees was corrupted in transit or
-                               encoding — reject it typed and release the
-                               lease so the shard is retried; this is not
-                               a dispute (the worker's execution is not in
-                               question, its frame is). *)
-                            let sdigest =
-                              P.outcome_digest ~job ~shard ~lo ~hi
-                                ~fingerprint:a.a_fingerprint bytes
-                            in
-                            let frame_digest = P.opt_str "digest" json in
-                            (match frame_digest with
-                            | Some d when d <> sdigest ->
-                                t.bad_digest <- t.bad_digest + 1;
-                                ignore
-                                  (Lease.fail a.table ~lease_id
-                                     ~message:"attestation digest mismatch"
-                                    : [ `Committed | `Stale ]);
-                                P.error_frame "digest_mismatch"
+                        | Some bytes -> accept ~lo ~hi ~r_cases:None bytes))
+              | None, Some hex, Some wave_cases -> (
+                  match Lease.bounds a.table ~shard with
+                  | None ->
+                      t.stale <- t.stale + 1;
+                      P.result_ack_frame ~committed:false ~stale:true
+                  | Some (lo, hi) -> (
+                      let bytes =
+                        try Some (P.bytes_of_hex hex) with P.Decode_error _ -> None
+                      in
+                      match bytes with
+                      | None ->
+                          P.error_frame "bad_result" "samples blob is not valid hex"
+                      | Some bytes -> (
+                          (* Structural validation before any sample can
+                             reach the boundary fold: the blob must decode,
+                             cover exactly this shard's slice of the drawn
+                             round, and name the granted cases in grant
+                             order. *)
+                          match Ftb_inject.Sample_codec.decode (Bytes.to_string bytes) with
+                          | exception Ftb_inject.Sample_codec.Format_error msg ->
+                              P.error_frame "bad_result"
+                                (Printf.sprintf "shard %d samples blob is corrupt: %s"
+                                   shard msg)
+                          | samples ->
+                              if Array.length samples <> hi - lo then
+                                P.error_frame "bad_result"
                                   (Printf.sprintf
-                                     "shard %d outcome bytes do not match their attestation digest"
-                                     shard)
-                            | Some _ | None -> (
-                                match Lease.commit a.table ~shard with
-                                | `Committed ->
-                                    a.a_commit ~shard bytes;
-                                    t.remote_committed <- t.remote_committed + 1;
-                                    let r_name =
-                                      match find_worker_locked t wid with
-                                      | Some w ->
-                                          w.w_committed <- w.w_committed + 1;
-                                          w.w_name
-                                      | None -> Printf.sprintf "worker-%d" wid
+                                     "shard %d carries %d samples; expected %d" shard
+                                     (Array.length samples) (hi - lo))
+                              else
+                                let width = Ftb_inject.Models.spec_width a.a_model in
+                                let aligned = ref true in
+                                Array.iteri
+                                  (fun i s ->
+                                    let case =
+                                      (s.Ftb_inject.Sample_run.fault.Ftb_trace.Fault.site
+                                      * width)
+                                      + s.Ftb_inject.Sample_run.fault.Ftb_trace.Fault.bit
                                     in
-                                    t.audit_records <-
-                                      {
-                                        r_shard = shard;
-                                        r_lo = lo;
-                                        r_hi = hi;
-                                        r_wid = wid;
-                                        r_name;
-                                        r_digest = sdigest;
-                                        r_attested = frame_digest <> None;
-                                        r_audited = false;
-                                        r_overwritten = false;
-                                      }
-                                      :: t.audit_records;
-                                    P.result_ack_frame ~committed:true ~stale:false
-                                | `Stale | `Unknown ->
-                                    t.stale <- t.stale + 1;
-                                    P.result_ack_frame ~committed:false ~stale:true)))))))
+                                    if case <> wave_cases.(lo + i) then aligned := false)
+                                  samples;
+                                if not !aligned then
+                                  P.error_frame "bad_result"
+                                    (Printf.sprintf
+                                       "shard %d samples do not match the granted case list"
+                                       shard)
+                                else accept ~lo ~hi ~r_cases:(Some (Array.sub wave_cases lo (hi - lo))) bytes))))))
 
 let handle_detach t json =
   let wid = P.req_int "worker" json in
@@ -541,10 +615,25 @@ let audit_job_locked_free t ~fuel ~model ~golden ~fingerprint ~commit =
     let job = match t.audit_job with Some j -> j | None -> -1 in
     let audit_one r =
       with_lock t (fun () -> t.audited <- t.audited + 1);
-      let n = r.r_hi - r.r_lo in
-      let buf = Bytes.create n in
-      Ftb_inject.Executor.range_into_model ?fuel model golden ~lo:r.r_lo
-        ~hi:r.r_hi buf ~off:0;
+      let buf =
+        match r.r_cases with
+        | None ->
+            let n = r.r_hi - r.r_lo in
+            let buf = Bytes.create n in
+            Ftb_inject.Executor.range_into_model ?fuel model golden ~lo:r.r_lo
+              ~hi:r.r_hi buf ~off:0;
+            buf
+        | Some cases ->
+            (* Sparse sampled shard: the oracle re-runs the granted cases
+               with tracing and compares codec blobs — bit-identical floats
+               are the codec's contract, so an honest worker's blob matches
+               byte for byte. *)
+            Bytes.of_string
+              (Ftb_inject.Sample_codec.encode
+                 (Array.map
+                    (fun case -> Ftb_inject.Sample_run.run_case_model ?fuel model golden case)
+                    cases))
+      in
       let expect =
         P.outcome_digest ~job ~shard:r.r_shard ~lo:r.r_lo ~hi:r.r_hi
           ~fingerprint buf
@@ -705,6 +794,7 @@ let wave_runner t ~job_id ~bench ~fuel ~model ~golden =
                     a_fingerprint = fingerprint;
                     table;
                     a_commit = commit;
+                    a_cases = None;
                   };
               table)
         in
@@ -777,3 +867,147 @@ let wave_runner t ~job_id ~bench ~fuel ~model ~golden =
       end
     in
     Some { Engine.wave_size; run_wave }
+
+(* ------------------------------------------------------------------ *)
+(* The adaptive planner's round runner (scheduler thread). Where
+   [wave_runner] distributes dense case ranges, this distributes one
+   round's *drawn case list*: shards are slices of the draw (sized so a
+   worst-case codec blob still fits a wire frame), grants carry the case
+   slice, workers reply with {!Ftb_inject.Sample_codec} blobs, and the
+   samples come back aligned index-for-index with the draw — the planner
+   folds them in draw order, so the distributed round is bit-identical
+   to the serial one. The same lease / expire / local-fallback / audit
+   machinery applies; a round with no live workers (or whose workers all
+   die mid-round) is simply executed by the local oracle. *)
+
+let round_runner t ~job_id ~bench ~fuel ~model ~golden =
+  let fingerprint = Checkpoint.fingerprint_of_golden golden in
+  let sites = Ftb_trace.Golden.sites golden in
+  let run_local_case case =
+    Ftb_inject.Sample_run.run_case_model ?fuel model golden case
+  in
+  (* Conservative shard sizing: a masked sample can carry a deviation per
+     site, so the per-sample bound is the codec's worst case; the hex
+     doubling is the same arithmetic as the dense path's
+     [max_result_cases]. *)
+  let per_sample = Ftb_inject.Sample_codec.encoded_size_upper_bound ~sites in
+  let shard_cap = max 1 (P.max_result_cases / per_sample) in
+  fun ~round:_ ~cases ->
+    let n = Array.length cases in
+    if n = 0 then [||]
+    else if live_workers t = 0 then Array.map run_local_case cases
+    else begin
+      with_lock t (fun () ->
+          if t.audit_job <> Some job_id then begin
+            t.audit_job <- Some job_id;
+            t.audit_records <- [];
+            t.audited_wids <- []
+          end);
+      let nshards = ((n + shard_cap - 1) / shard_cap) in
+      let tasks =
+        Array.init nshards (fun i ->
+            let lo = i * shard_cap in
+            (i, lo, min n (lo + shard_cap)))
+      in
+      let slots = Array.make nshards None in
+      (* Commits arrive as codec blobs already validated (decode, count,
+         case alignment) by [handle_result], or produced by the audit
+         oracle itself, so a decode failure here is unreachable; dropping
+         the blob (leaving the slot to the post-drive local pass) is the
+         safe refusal. *)
+      let commit ~shard bytes =
+        match Ftb_inject.Sample_codec.decode (Bytes.to_string bytes) with
+        | samples -> slots.(shard) <- Some samples
+        | exception Ftb_inject.Sample_codec.Format_error _ -> ()
+      in
+      let table =
+        with_lock t (fun () ->
+            let table = Lease.create ~first_lease:t.next_lease tasks in
+            t.active <-
+              Some
+                {
+                  a_job = job_id;
+                  a_bench = bench;
+                  a_fuel = fuel;
+                  a_model = model;
+                  a_fingerprint = fingerprint;
+                  table;
+                  a_commit = commit;
+                  a_cases = Some cases;
+                };
+            table)
+      in
+      let finish () =
+        with_lock t (fun () ->
+            t.next_lease <- Lease.next_lease table;
+            t.active <- None;
+            Lease.results table)
+      in
+      let rec drive () =
+        let claim =
+          with_lock t (fun () ->
+              let t_now = now () in
+              prune_workers_locked t ~now:t_now;
+              t.expired <- t.expired + Lease.expire table ~now:t_now;
+              if Lease.outstanding table = 0 then `Finished
+              else if live_workers_locked t ~now:t_now = [] then
+                match
+                  Lease.acquire table ~holder:local_holder ~now:t_now
+                    ~ttl:infinity
+                with
+                | Some g -> `Local g
+                | None -> `Wait
+              else `Wait)
+        in
+        match claim with
+        | `Finished -> finish ()
+        | `Local g ->
+            (* Compute outside the lock, commit under it: if a straggler's
+               validated blob won the first-result race meanwhile, its
+               samples stay (byte-identical anyway for an honest worker)
+               and this slice is dropped as stale. *)
+            let samples =
+              Array.map run_local_case
+                (Array.sub cases g.Lease.lo (g.Lease.hi - g.Lease.lo))
+            in
+            with_lock t (fun () ->
+                match Lease.commit table ~shard:g.Lease.shard with
+                | `Committed ->
+                    slots.(g.Lease.shard) <- Some samples;
+                    t.local_committed <- t.local_committed + 1
+                | `Stale | `Unknown -> t.stale <- t.stale + 1);
+            drive ()
+        | `Wait ->
+            Thread.delay (min t.poll (t.lease_ttl /. 4.));
+            drive ()
+      in
+      let results = drive () in
+      (* [Lease.fail] is permanent — a worker-reported failure leaves its
+         shard [Done (Error _)] — so the oracle re-runs those slices
+         locally; the round always completes. *)
+      List.iter
+        (fun (shard, r) ->
+          match r with
+          | Ok () -> ()
+          | Error _ ->
+              let _, lo, hi = tasks.(shard) in
+              slots.(shard) <-
+                Some (Array.map run_local_case (Array.sub cases lo (hi - lo)));
+              with_lock t (fun () -> t.local_committed <- t.local_committed + 1))
+        results;
+      (* Trust-but-verify before a single sample folds into the boundary:
+         a disputed blob is overwritten with the oracle's samples through
+         [commit] above. *)
+      let quarantined_now =
+        audit_job_locked_free t ~fuel ~model ~golden ~fingerprint ~commit
+      in
+      (match with_lock t (fun () -> t.on_quarantine) with
+      | Some hook ->
+          List.iter (fun (name, disputes) -> hook ~name ~disputes) quarantined_now
+      | None -> ());
+      Array.init n (fun i ->
+          let shard = i / shard_cap in
+          match slots.(shard) with
+          | Some samples -> samples.(i - (shard * shard_cap))
+          | None -> run_local_case cases.(i))
+    end

@@ -115,6 +115,31 @@ val wave_runner :
     slots and whose [run_wave] leases shards out, renews/expires
     deadlines, reassigns abandoned shards and merges results. *)
 
+val round_runner :
+  t ->
+  job_id:int ->
+  bench:string ->
+  fuel:int option ->
+  model:Ftb_inject.Models.spec ->
+  golden:Ftb_trace.Golden.t ->
+  round:int ->
+  cases:int array ->
+  Ftb_inject.Sample_run.t array
+(** Adaptive-round counterpart of {!wave_runner}: an
+    {!Ftb_plan.Adaptive_engine.exec}-shaped executor that distributes one
+    round's drawn case list over the fleet. The draw is sliced into
+    sparse shards (sized so a worst-case {!Ftb_inject.Sample_codec} blob
+    fits a wire frame), leased through the same table as dense waves —
+    grants carry the case slice, workers reply with codec blobs that are
+    structurally validated (decode, count, case alignment) and
+    attestation-checked before committing — and audited by local
+    re-execution before any sample is returned. The samples come back
+    aligned index-for-index with [cases], so folding them is
+    bit-identical to the serial planner. Rounds with no live workers, and
+    slices abandoned by dead or failing workers, run on the local oracle:
+    the round always completes. Partially apply through [golden] once per
+    job and hand the closure to the engine. *)
+
 val live_workers : t -> int
 (** Workers currently attached and heard from within the liveness
     window. *)

@@ -60,6 +60,23 @@ let run_shard cfg pool golden ~model ~fuel ~lo ~hi =
             ~hi:(lo + b) buf ~off:a));
   buf
 
+(* Sparse sampled shards (the adaptive planner's drawn case lists) run
+   each granted case as a traced experiment — the pool splits the case
+   list, not a dense range — and ship the samples as one codec blob. *)
+let run_sparse cfg pool golden ~model ~fuel cases =
+  let n = Array.length cases in
+  let out = Array.make n None in
+  let run a b =
+    for i = a to b - 1 do
+      out.(i) <-
+        Some (Ftb_inject.Sample_run.run_case_model ?fuel model golden cases.(i))
+    done
+  in
+  (match pool with
+  | None -> run 0 n
+  | Some pool -> Pool.run pool ~participants:cfg.domains ~total:n run);
+  Bytes.of_string (Ftb_inject.Sample_codec.encode (Array.map Option.get out))
+
 let run cfg =
   (* A daemon hanging up mid-write must surface as EPIPE (a clean exit
      with stats, like Server.run's own handling), not kill the process. *)
@@ -151,28 +168,53 @@ let run cfg =
                   (Printf.sprintf
                      "golden fingerprint mismatch for %S (worker binary diverges from daemon)"
                      g.P.bench)
-              else if not (P.result_fits ~cases:(g.P.hi - g.P.lo)) then
-                (* Typed refusal on the sending end: never emit a frame the
-                   transport bound would kill mid-connection. *)
-                P.Failed
-                  (Printf.sprintf "shard %d result would exceed Wire.max_frame"
-                     g.P.shard)
-              else begin
-                let b =
-                  run_shard cfg pool golden ~model:g.P.model ~fuel:g.P.fuel
-                    ~lo:g.P.lo ~hi:g.P.hi
-                in
-                (* The tamper hook models a silently-corrupt worker (chaos
-                   drills): corruption happens before the digest, exactly
-                   like bad RAM upstream of the hash, so the frame-layer
-                   check passes and only audit re-execution can catch it. *)
-                let b =
-                  match cfg.tamper with
-                  | None -> b
-                  | Some f -> f ~bench:g.P.bench ~shard:g.P.shard b
-                in
-                P.Outcomes b
-              end
+              else
+                match g.P.cases with
+                | None ->
+                    if not (P.result_fits ~cases:(g.P.hi - g.P.lo)) then
+                      (* Typed refusal on the sending end: never emit a frame
+                         the transport bound would kill mid-connection. *)
+                      P.Failed
+                        (Printf.sprintf
+                           "shard %d result would exceed Wire.max_frame"
+                           g.P.shard)
+                    else begin
+                      let b =
+                        run_shard cfg pool golden ~model:g.P.model
+                          ~fuel:g.P.fuel ~lo:g.P.lo ~hi:g.P.hi
+                      in
+                      (* The tamper hook models a silently-corrupt worker
+                         (chaos drills): corruption happens before the
+                         digest, exactly like bad RAM upstream of the hash,
+                         so the frame-layer check passes and only audit
+                         re-execution can catch it. *)
+                      let b =
+                        match cfg.tamper with
+                        | None -> b
+                        | Some f -> f ~bench:g.P.bench ~shard:g.P.shard b
+                      in
+                      P.Outcomes b
+                    end
+                | Some cs ->
+                    let blob =
+                      run_sparse cfg pool golden ~model:g.P.model
+                        ~fuel:g.P.fuel cs
+                    in
+                    let blob =
+                      match cfg.tamper with
+                      | None -> blob
+                      | Some f -> f ~bench:g.P.bench ~shard:g.P.shard blob
+                    in
+                    (* The scheduler sizes sparse shards against the codec's
+                       worst case, so a real blob always fits; the guard
+                       stays as a typed refusal (same hex-doubling
+                       arithmetic as the dense bound). *)
+                    if not (P.result_fits ~cases:(Bytes.length blob)) then
+                      P.Failed
+                        (Printf.sprintf
+                           "shard %d samples blob would exceed Wire.max_frame"
+                           g.P.shard)
+                    else P.Samples (Bytes.to_string blob)
             with e -> P.Failed (Printexc.to_string e)
           in
           let digest =
@@ -181,6 +223,11 @@ let run cfg =
                 Some
                   (P.outcome_digest ~job:g.P.job_id ~shard:g.P.shard ~lo:g.P.lo
                      ~hi:g.P.hi ~fingerprint:g.P.fingerprint b)
+            | P.Samples blob ->
+                Some
+                  (P.outcome_digest ~job:g.P.job_id ~shard:g.P.shard ~lo:g.P.lo
+                     ~hi:g.P.hi ~fingerprint:g.P.fingerprint
+                     (Bytes.of_string blob))
             | P.Failed _ -> None
           in
           (* A typed server-side rejection (oversized_result / bad_result /
@@ -206,6 +253,9 @@ let run cfg =
               | P.Outcomes b ->
                   incr shards;
                   cases := !cases + Bytes.length b
+              | P.Samples _ ->
+                  incr shards;
+                  cases := !cases + (g.P.hi - g.P.lo)
               | P.Failed msg ->
                   incr failures;
                   logf cfg "worker %d: shard %d failed: %s" wid g.P.shard msg);

@@ -98,7 +98,7 @@ let heartbeat ~worker ~lease =
     ([ ("cmd", Json.String "worker_heartbeat"); ("worker", Json.Int worker) ]
     @ match lease with Some l -> [ ("lease", Json.Int l) ] | None -> [])
 
-type result_payload = Outcomes of Bytes.t | Failed of string
+type result_payload = Outcomes of Bytes.t | Samples of string | Failed of string
 
 let result ?digest ~worker ~job ~lease ~shard payload =
   Json.Obj
@@ -113,6 +113,7 @@ let result ?digest ~worker ~job ~lease ~shard payload =
     @
     match payload with
     | Outcomes b -> [ ("data", Json.String (hex_of_bytes b)) ]
+    | Samples blob -> [ ("samples", Json.String (hex_of_bytes (Bytes.of_string blob))) ]
     | Failed msg -> [ ("error", Json.String msg) ])
 
 let detach ~worker =
@@ -154,6 +155,11 @@ type grant = {
   lo : int;
   hi : int;
   ttl : float;
+  cases : int array option;
+      (* [Some cases] marks a sparse sampled shard: run exactly these
+         dense case indices (in order — |cases| = hi - lo, positions
+         lo..hi of the planner's drawn round) with tracing and return a
+         [Samples] blob instead of dense outcome bytes. *)
 }
 
 type lease_reply = Granted of grant | Wait of float
@@ -175,7 +181,12 @@ let grant_frame (g : grant) =
              ("hi", Json.Int g.hi);
              ("ttl", Json.Float g.ttl);
            ]
-          @ match g.fuel with Some f -> [ ("fuel", Json.Int f) ] | None -> []) );
+          @ (match g.fuel with Some f -> [ ("fuel", Json.Int f) ] | None -> [])
+          @
+          match g.cases with
+          | Some cases ->
+              [ ("cases", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) cases))) ]
+          | None -> []) );
     ]
 
 let wait_frame ~poll =
@@ -205,6 +216,19 @@ let parse_lease_reply json =
           lo = req_int "lo" g;
           hi = req_int "hi" g;
           ttl = req_float "ttl" g;
+          cases =
+            (match Json.member "cases" g with
+            | Some (Json.List items) ->
+                Some
+                  (Array.of_list
+                     (List.map
+                        (fun item ->
+                          match Json.to_int item with
+                          | Some c -> c
+                          | None -> raise (Decode_error "non-integer case in sparse grant"))
+                        items))
+            | Some _ -> raise (Decode_error "sparse grant cases must be a list")
+            | None -> None);
         }
   | None ->
       if flag "wait" json then Wait (req_float "poll" json)

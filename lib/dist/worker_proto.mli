@@ -58,6 +58,9 @@ val heartbeat : worker:int -> lease:int option -> Ftb_service.Json.t
 
 type result_payload =
   | Outcomes of Bytes.t  (** the shard's [hi - lo] outcome bytes *)
+  | Samples of string
+      (** a sparse sampled shard's {!Ftb_inject.Sample_codec} blob — one
+          traced sample per granted case, in grant order *)
   | Failed of string  (** typed worker-side failure; the shard is retried *)
 
 val result :
@@ -102,6 +105,13 @@ type grant = {
   lo : int;
   hi : int;
   ttl : float;  (** renew the lease at least this often *)
+  cases : int array option;
+      (** [Some cases] marks a sparse sampled shard (the adaptive
+          planner's case lists): run exactly these dense case indices,
+          in order, with tracing, and reply with a [Samples] blob. The
+          indices are positions [lo..hi) of the planner's drawn round,
+          so [Array.length cases = hi - lo]. Absent (dense range shard)
+          from pre-adaptive servers and exhaustive campaigns. *)
 }
 
 type lease_reply =

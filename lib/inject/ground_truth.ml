@@ -87,6 +87,15 @@ let injected_error golden (fault : Fault.t) =
   let err = Ftb_util.Bits.error_of_flip ~bit:fault.Fault.bit v in
   if Float.is_nan err then infinity else err
 
+let injected_error_model (spec : Models.spec) golden ~case =
+  match spec.Models.model with
+  | Models.Bit_flip_64 -> injected_error golden (Fault.of_case case)
+  | _ ->
+      let site = case / Models.spec_width spec in
+      let v = Golden.value golden site in
+      let err = abs_float (Models.case_corrupt spec ~case v -. v) in
+      if Float.is_nan err then infinity else err
+
 let counts t ~masked ~sdc ~crash =
   Bytes.iter
     (fun b ->

@@ -91,6 +91,14 @@ val injected_error : Ftb_trace.Golden.t -> Ftb_trace.Fault.t -> float
     is exact for any run because execution is deterministic up to the
     injection point. *)
 
+val injected_error_model : Models.spec -> Ftb_trace.Golden.t -> case:int -> float
+(** {!injected_error} generalized to an arbitrary fault model:
+    |corrupt(v) − v| for the model's corruption of the golden value at the
+    case's site, [infinity] when non-finite. For [Bit_flip_64] this is
+    exactly {!injected_error} of the case's fault — float-identical to
+    every pre-model prediction path. Deterministic for stochastic models
+    (the per-case corruption is derived from the dense case index). *)
+
 val counts : t -> masked:int ref -> sdc:int ref -> crash:int ref -> unit
 (** Accumulate global outcome counts into the given refs. *)
 

@@ -1,0 +1,27 @@
+(** Bit-exact binary codec for sampled propagation experiments.
+
+    The distributed adaptive planner ships a round's drawn cases to fleet
+    workers and gets {!Sample_run.t} values back; this codec is the wire
+    and checkpoint format for those samples. All float fields travel as
+    raw IEEE-754 images, so a blob encoded on a worker decodes to samples
+    that fold into the *exact* boundary the serial oracle infers —
+    byte-identity is the contract, not an optimization. The outcome byte
+    reuses the {!Ground_truth} encoding ('\000'..'\005', crash taxonomy
+    included). *)
+
+exception Format_error of string
+(** Structural corruption: bad magic, truncation, out-of-range fields,
+    trailing bytes. Callers follow the store convention — quarantine the
+    blob, never crash. *)
+
+val encode : Sample_run.t array -> string
+(** Serialize samples in order. [decode (encode s)] reproduces [s] with
+    bit-identical floats. *)
+
+val decode : string -> Sample_run.t array
+(** Parse a blob; raises {!Format_error} on any structural defect. *)
+
+val encoded_size_upper_bound : sites:int -> int
+(** Worst-case encoded bytes of one sample of a program with [sites]
+    dynamic instructions — the planner's conservative shard-sizing input
+    (a masked sample can carry a deviation per remaining site). *)

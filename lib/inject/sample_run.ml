@@ -17,10 +17,7 @@ type t = {
    returns, so the sink never escapes. *)
 let domain_sink = Domain.DLS.new_key (fun () -> Ftb_trace.Ctx.create_sink ())
 
-let run_case ?fuel golden case =
-  let fault = Fault.of_case case in
-  let sink = Domain.DLS.get domain_sink in
-  let prop = Runner.run_propagation ?fuel ~sink golden fault in
+let of_propagation fault (prop : Runner.propagation) =
   let result = prop.Runner.result in
   let propagation =
     match result.Runner.outcome with
@@ -34,6 +31,25 @@ let run_case ?fuel golden case =
     injected_error = result.Runner.injected_error;
     propagation;
   }
+
+let run_case ?fuel golden case =
+  let fault = Fault.of_case case in
+  let sink = Domain.DLS.get domain_sink in
+  of_propagation fault (Runner.run_propagation ?fuel ~sink golden fault)
+
+let run_case_model ?fuel (spec : Models.spec) golden case =
+  match spec.Models.model with
+  | Models.Bit_flip_64 ->
+      (* The default spec must stay byte-identical to every pre-model
+         sampling path, so it goes through the exact same runner. *)
+      run_case ?fuel golden case
+  | _ ->
+      let width = Models.spec_width spec in
+      let fault = Fault.make ~site:(case / width) ~bit:(case mod width) in
+      let sink = Domain.DLS.get domain_sink in
+      of_propagation fault
+        (Runner.run_propagation_custom ?fuel ~sink golden ~fault
+           ~corrupt:(Models.case_corrupt spec ~case))
 
 let run_cases ?progress ?fuel golden cases =
   let total = Array.length cases in

@@ -22,6 +22,13 @@ val run_case : ?fuel:int -> Ftb_trace.Golden.t -> int -> t
 (** Run one dense case index as a propagation experiment, optionally
     bounded by the [fuel] watchdog. *)
 
+val run_case_model : ?fuel:int -> Models.spec -> Ftb_trace.Golden.t -> int -> t
+(** {!run_case} generalized to an arbitrary fault model: run the dense
+    case of the model's case space (site [case / spec_width], local bit
+    [case mod spec_width]) with tracing, applying {!Models.case_corrupt}.
+    For [Bit_flip_64] this is exactly {!run_case} — byte-identical to
+    every pre-model sampling path. Deterministic for stochastic models. *)
+
 val run_cases :
   ?progress:(done_:int -> total:int -> unit) ->
   ?fuel:int ->

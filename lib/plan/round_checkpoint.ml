@@ -1,0 +1,214 @@
+module Adaptive = Ftb_core.Adaptive
+module Models = Ftb_inject.Models
+module Persist = Ftb_inject.Persist
+module Sample_codec = Ftb_inject.Sample_codec
+module Sample_run = Ftb_inject.Sample_run
+module Fingerprint = Ftb_util.Fingerprint
+
+type t = {
+  name : string;
+  sites : int;
+  spec : Models.spec;
+  fuel : int option;
+  fingerprint : string;
+  config : Adaptive.config;
+  seed : int;
+  rng_state : int64;
+  rounds : int;
+  samples : Sample_run.t array;
+  pending : int array option;
+  stop : Adaptive.stop_reason option;
+}
+
+let magic = "ftb-adaptive-v1"
+
+let fail path fmt =
+  Printf.ksprintf (fun msg -> raise (Persist.Format_error (path ^ ": " ^ msg))) fmt
+
+(* Lowercase hex of raw bytes — the samples blob must survive a
+   line-oriented text format. *)
+let hex_of_string s =
+  let out = Bytes.create (2 * String.length s) in
+  String.iteri
+    (fun i c ->
+      let b = Char.code c in
+      let digit n = "0123456789abcdef".[n] in
+      Bytes.set out (2 * i) (digit (b lsr 4));
+      Bytes.set out ((2 * i) + 1) (digit (b land 0xF)))
+    s;
+  Bytes.unsafe_to_string out
+
+let string_of_hex path hex =
+  let n = String.length hex in
+  if n land 1 <> 0 then fail path "odd-length hex payload";
+  let nibble i =
+    match hex.[i] with
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | c -> fail path "bad hex digit %C" c
+  in
+  String.init (n / 2) (fun i -> Char.chr ((nibble (2 * i) lsl 4) lor nibble ((2 * i) + 1)))
+
+let check_name name =
+  if
+    name = ""
+    || String.exists (function ' ' | '\n' | '\r' | '\t' -> true | _ -> false) name
+  then invalid_arg "Round_checkpoint: program name must be a non-empty space-free token"
+
+let fuel_token = function None -> "none" | Some n -> string_of_int n
+
+let save ~path t =
+  check_name t.name;
+  Persist.save_enveloped ~path (fun buf ->
+      Printf.bprintf buf "%s %s %d %s %s %s %h %h %d %d %d %d %Lx %d %s\n" magic t.name
+        t.sites
+        (Models.spec_to_string t.spec)
+        (fuel_token t.fuel) t.fingerprint t.config.Adaptive.round_fraction
+        t.config.Adaptive.stop_sdc_fraction t.config.Adaptive.max_rounds
+        (if t.config.Adaptive.filter then 1 else 0)
+        (if t.config.Adaptive.bias then 1 else 0)
+        t.seed t.rng_state t.rounds
+        (match t.stop with
+        | None -> "-"
+        | Some reason -> Adaptive.stop_reason_to_string reason);
+      Printf.bprintf buf "samples %s\n" (hex_of_string (Sample_codec.encode t.samples));
+      match t.pending with
+      | None -> ()
+      | Some cases ->
+          Printf.bprintf buf "pending %d" (Array.length cases);
+          Array.iter (fun case -> Printf.bprintf buf " %d" case) cases;
+          Buffer.add_char buf '\n')
+
+let int_field path what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail path "bad %s field %S" what s
+
+let float_field path what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail path "bad %s field %S" what s
+
+let bool_field path what s =
+  match s with
+  | "0" -> false
+  | "1" -> true
+  | _ -> fail path "bad %s flag %S" what s
+
+let load ~path =
+  let contents = Persist.load_enveloped ~path in
+  let lines = String.split_on_char '\n' contents in
+  let header, rest =
+    match lines with
+    | header :: rest -> (header, rest)
+    | [] -> fail path "empty checkpoint"
+  in
+  let t =
+    match String.split_on_char ' ' header with
+    | [
+        m; name; sites; model; fuel; fp; rf; stop_frac; max_rounds; filter; bias; seed;
+        rng_state; rounds; stop;
+      ]
+      when m = magic ->
+        let spec =
+          match Models.spec_of_string model with
+          | Ok spec -> spec
+          | Error msg -> fail path "%s" msg
+        in
+        let fuel =
+          if fuel = "none" then None
+          else
+            let n = int_field path "fuel" fuel in
+            if n <= 0 then fail path "fuel must be positive" else Some n
+        in
+        let sites = int_field path "sites" sites in
+        if sites <= 0 then fail path "sites must be positive";
+        if not (Fingerprint.is_hex fp) then fail path "bad golden fingerprint %S" fp;
+        let config =
+          {
+            Adaptive.round_fraction = float_field path "round_fraction" rf;
+            stop_sdc_fraction = float_field path "stop_sdc_fraction" stop_frac;
+            max_rounds = int_field path "max_rounds" max_rounds;
+            filter = bool_field path "filter" filter;
+            bias = bool_field path "bias" bias;
+          }
+        in
+        (match Adaptive.check_config config with
+        | () -> ()
+        | exception Invalid_argument msg -> fail path "%s" msg);
+        let rng_state =
+          match Int64.of_string_opt ("0x" ^ rng_state) with
+          | Some v -> v
+          | None -> fail path "bad rng state %S" rng_state
+        in
+        let rounds = int_field path "rounds" rounds in
+        if rounds < 0 then fail path "negative round count";
+        let stop =
+          if stop = "-" then None
+          else
+            match Adaptive.stop_reason_of_string stop with
+            | Some reason -> Some reason
+            | None -> fail path "bad stop reason %S" stop
+        in
+        {
+          name;
+          sites;
+          spec;
+          fuel;
+          fingerprint = fp;
+          config;
+          seed = int_field path "seed" seed;
+          rng_state;
+          rounds;
+          samples = [||];
+          pending = None;
+          stop;
+        }
+    | m :: _ when m <> magic -> fail path "unknown checkpoint magic %S" m
+    | _ -> fail path "malformed checkpoint header"
+  in
+  let samples = ref None in
+  let pending = ref None in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "samples"; hex ] -> (
+            if !samples <> None then fail path "duplicate samples line";
+            match Sample_codec.decode (string_of_hex path hex) with
+            | decoded -> samples := Some decoded
+            | exception Sample_codec.Format_error msg -> fail path "samples: %s" msg)
+        | "pending" :: count :: cases ->
+            if !pending <> None then fail path "duplicate pending line";
+            let count = int_field path "pending count" count in
+            if count <> List.length cases then
+              fail path "pending count %d does not match %d listed cases" count
+                (List.length cases);
+            if count = 0 then fail path "empty pending round";
+            pending :=
+              Some (Array.of_list (List.map (int_field path "pending case") cases))
+        | _ -> fail path "unrecognized checkpoint line %S" line)
+    rest;
+  let samples =
+    match !samples with Some s -> s | None -> fail path "missing samples line"
+  in
+  let total = Models.total_cases t.spec ~sites:t.sites in
+  Array.iter
+    (fun (s : Sample_run.t) ->
+      let width = Models.spec_width t.spec in
+      let fault = s.Sample_run.fault in
+      let case = (fault.Ftb_trace.Fault.site * width) + fault.Ftb_trace.Fault.bit in
+      if fault.Ftb_trace.Fault.site >= t.sites || fault.Ftb_trace.Fault.bit >= width then
+        fail path "sample case %d outside the model's %d-case space" case total)
+    samples;
+  (match !pending with
+  | Some cases ->
+      Array.iter
+        (fun case ->
+          if case < 0 || case >= total then
+            fail path "pending case %d outside the model's %d-case space" case total)
+        cases
+  | None -> ());
+  if t.stop <> None && !pending <> None then
+    fail path "finished checkpoint still has a pending round";
+  { t with samples; pending = !pending }

@@ -1,0 +1,38 @@
+(** Per-round durable state of an adaptive campaign.
+
+    The distributed planner checkpoints twice per round: right after
+    drawing the round's cases (the [pending] line carries the draw, and
+    [rng_state] is the generator *after* the draw) and right after folding
+    the executed round ([pending] absent, [rounds] incremented, samples
+    extended). A SIGKILL at any point therefore resumes at the same round
+    with the same drawn cases — the draws are never re-made, which is what
+    keeps a killed-and-restarted campaign bit-identical to an undisturbed
+    one. A finished campaign writes a final checkpoint with [stop] set, so
+    re-submitting a completed job replays the result without sampling.
+
+    The envelope, atomic-write and quarantine conventions are
+    {!Ftb_inject.Persist}'s; samples travel as hex of the bit-exact
+    {!Ftb_inject.Sample_codec} blob. *)
+
+type t = {
+  name : string;  (** program name (space-free token) *)
+  sites : int;
+  spec : Ftb_inject.Models.spec;
+  fuel : int option;
+  fingerprint : string;  (** golden-trace fingerprint *)
+  config : Ftb_core.Adaptive.config;
+  seed : int;
+  rng_state : int64;  (** campaign RNG after the last completed draw *)
+  rounds : int;  (** rounds folded so far *)
+  samples : Ftb_inject.Sample_run.t array;  (** accumulated, draw order *)
+  pending : int array option;  (** drawn but not yet folded round *)
+  stop : Ftb_core.Adaptive.stop_reason option;  (** set on the final checkpoint *)
+}
+
+val save : path:string -> t -> unit
+(** Atomic enveloped write. Raises [Invalid_argument] when [name] is not a
+    space-free token. *)
+
+val load : path:string -> t
+(** Raises {!Ftb_inject.Persist.Format_error} on corruption or any
+    structural defect (callers quarantine and restart cold). *)

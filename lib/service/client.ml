@@ -14,6 +14,16 @@ type event =
       crash : int;
       cases_per_sec : float;
     }
+  | Round of {
+      seq : int;
+      round : int;
+      drawn : int;
+      masked : int;
+      sdc : int;
+      crash : int;
+      samples_total : int;
+      cases_total : int;
+    }
   | Worker_quarantined of { seq : int; worker : string; disputes : int }
 
 let of_fd fd = { fd }
@@ -133,6 +143,27 @@ let decode_progress json =
         | None -> 0.);
     }
 
+let decode_round json =
+  let int name =
+    match Option.bind (Json.member name json) Json.to_int with
+    | Some v -> v
+    | None -> bad_frame (Printf.sprintf "round event missing %S" name)
+  in
+  Round
+    {
+      seq =
+        (match Option.bind (Json.member "seq" json) Json.to_int with
+        | Some s -> s
+        | None -> 0);
+      round = int "round";
+      drawn = int "drawn";
+      masked = int "masked";
+      sdc = int "sdc";
+      crash = int "crash";
+      samples_total = int "samples_total";
+      cases_total = int "cases_total";
+    }
+
 let decode_quarantine json =
   Worker_quarantined
     {
@@ -162,6 +193,9 @@ let watch ?(on_event = fun _ -> ()) ?(after = 0) t id =
         match Option.bind (Json.member "event" frame) Json.to_str with
         | Some "progress" ->
             on_event (decode_progress frame);
+            stream ()
+        | Some "round" ->
+            on_event (decode_round frame);
             stream ()
         | Some "worker_quarantined" ->
             on_event (decode_quarantine frame);
@@ -231,6 +265,7 @@ let watch_retry ?policy ?rng ?(sleep = Unix.sleepf) ?(on_event = fun _ -> ())
     let seq =
       match event with
       | Progress p -> p.seq
+      | Round r -> r.seq
       | Worker_quarantined q -> q.seq
     in
     if seq > !last || seq = 0 then begin

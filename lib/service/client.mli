@@ -33,6 +33,18 @@ type event =
       cases_per_sec : float;
     }
       (** one frame per completed shard wave, plus an initial snapshot *)
+  | Round of {
+      seq : int;
+      round : int;  (** 1-based §3.4 round number *)
+      drawn : int;  (** cases drawn (and executed) this round *)
+      masked : int;  (** this round's outcome tallies *)
+      sdc : int;
+      crash : int;
+      samples_total : int;  (** cumulative samples across the campaign *)
+      cases_total : int;  (** dense case-space size, for fractions *)
+    }
+      (** one frame per adaptive round — watchers of an adaptive job see
+          §3.4 convergence live, interleaved with {!Progress} frames *)
   | Worker_quarantined of { seq : int; worker : string; disputes : int }
       (** a fleet audit convicted [worker] of [disputes] silently corrupt
           shard results while this job was running; its commits have been

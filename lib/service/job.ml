@@ -1,4 +1,7 @@
-type mode = Exhaustive | Sample of { fraction : float; seed : int }
+type mode =
+  | Exhaustive
+  | Sample of { fraction : float; seed : int }
+  | Adaptive of { config : Ftb_core.Adaptive.config; seed : int }
 
 type spec = {
   bench : string;
@@ -109,6 +112,16 @@ let spec_to_json s =
           ("fraction", Json.Float fraction);
           ("seed", Json.Int seed);
         ]
+    | Adaptive { config; seed } ->
+        [
+          ("mode", Json.String "adaptive");
+          ("round_fraction", Json.Float config.Ftb_core.Adaptive.round_fraction);
+          ("stop_sdc_fraction", Json.Float config.Ftb_core.Adaptive.stop_sdc_fraction);
+          ("max_rounds", Json.Int config.Ftb_core.Adaptive.max_rounds);
+          ("filter", Json.Bool config.Ftb_core.Adaptive.filter);
+          ("bias", Json.Bool config.Ftb_core.Adaptive.bias);
+          ("seed", Json.Int seed);
+        ]
   in
   Json.Obj
     ([ ("bench", Json.String s.bench) ]
@@ -132,6 +145,27 @@ let spec_of_json json =
         if not (fraction > 0. && fraction <= 1.) then
           fail "fraction %g outside (0, 1]" fraction;
         Sample { fraction; seed = get_int json "seed" }
+    | "adaptive" ->
+        let opt decode field default =
+          Option.value ~default (opt_field decode json field)
+        in
+        let d = Ftb_core.Adaptive.default_config in
+        let config =
+          {
+            Ftb_core.Adaptive.round_fraction =
+              opt Json.to_float "round_fraction" d.Ftb_core.Adaptive.round_fraction;
+            stop_sdc_fraction =
+              opt Json.to_float "stop_sdc_fraction" d.Ftb_core.Adaptive.stop_sdc_fraction;
+            max_rounds = opt Json.to_int "max_rounds" d.Ftb_core.Adaptive.max_rounds;
+            filter = opt Json.to_bool "filter" d.Ftb_core.Adaptive.filter;
+            bias = opt Json.to_bool "bias" d.Ftb_core.Adaptive.bias;
+          }
+        in
+        (* Shared-range validation: the daemon rejects what the library
+           entry points reject, with the same usage-error text. *)
+        (try Ftb_core.Adaptive.check_config config
+         with Invalid_argument msg -> fail "%s" msg);
+        Adaptive { config; seed = get_int json "seed" }
     | m -> fail "unknown mode %S" m
   in
   let shard_size = get_int json "shard_size" in

@@ -35,6 +35,14 @@ type mode =
   | Sample of { fraction : float; seed : int }
       (** a uniform sample of the case space; cheap, so interrupted sample
           jobs restart from scratch instead of checkpointing *)
+  | Adaptive of { config : Ftb_core.Adaptive.config; seed : int }
+      (** §3.4 progressive rounds ({!Ftb_core.Adaptive}), checkpointed per
+          round ({!Ftb_plan.Adaptive_engine}) and resumable bit-identically.
+          JSON mode ["adaptive"] with fields [round_fraction],
+          [stop_sdc_fraction], [max_rounds], [filter], [bias] (each
+          defaulting to {!Ftb_core.Adaptive.default_config}) and a
+          mandatory [seed]; decoding validates ranges via
+          {!Ftb_core.Adaptive.check_config} *)
 
 type spec = {
   bench : string;  (** benchmark name, resolved by the server *)

@@ -5,6 +5,9 @@ module Models = Ftb_inject.Models
 module Pool = Ftb_inject.Parallel.Pool
 module Compose = Ftb_compose.Compose
 module Store = Ftb_compose.Store
+module Adaptive = Ftb_core.Adaptive
+module Adaptive_engine = Ftb_plan.Adaptive_engine
+module Bstore = Ftb_plan.Boundary_store
 
 type config = {
   state_dir : string;
@@ -24,6 +27,14 @@ type config = {
     golden:Golden.t ->
     Engine.wave_runner option)
     option;
+  round_runner :
+    (job_id:int ->
+    bench:string ->
+    fuel:int option ->
+    model:Models.spec ->
+    golden:Golden.t ->
+    Adaptive_engine.exec)
+    option;
   provenance : (job_id:int -> (string list * bool) option) option;
 }
 
@@ -39,10 +50,12 @@ let default_config ~state_dir =
     cache = true;
     extension = None;
     wave_runner = None;
+    round_runner = None;
     provenance = None;
   }
 
 let cache_dir ~state_dir = Filename.concat state_dir "cache"
+let boundaries_dir ~state_dir = Filename.concat state_dir "boundaries"
 
 (* Why a running job was asked to stop: a user [cancel] is terminal, a
    [Drain] (shutdown/SIGTERM) suspends the job back to the queue so a
@@ -81,6 +94,7 @@ type t = {
   sigterm : bool Atomic.t;
   pool : Pool.t option;  (* one warm handle shared by every campaign *)
   store : Store.t option;  (* compositional profile cache, under <state>/cache *)
+  bstore : Bstore.t option;  (* adaptive boundary store, under <state>/boundaries *)
   seqs : (int, int) Hashtbl.t;  (* job id -> last event sequence number *)
   idems : (string, int) Hashtbl.t;  (* idempotency key -> job id *)
 }
@@ -181,6 +195,10 @@ let create config =
         (if config.cache then
            Some (Store.open_ ~root:(cache_dir ~state_dir:config.state_dir))
          else None);
+      bstore =
+        (if config.cache then
+           Some (Bstore.open_ ~root:(boundaries_dir ~state_dir:config.state_dir))
+         else None);
       seqs = Hashtbl.create 64;
       idems;
     }
@@ -236,6 +254,25 @@ let done_event ~seq (job : Job.info) =
       ("event", Json.String "done");
       ("seq", Json.Int seq);
       ("job", Job.info_to_json job);
+    ]
+
+(* One adaptive round as its watchers see it: the round's own draw and
+   outcome tallies plus the campaign-cumulative sample count, so a
+   watcher can follow §3.4 convergence live without reconstructing it
+   from progress deltas. *)
+let round_event ~id ~seq ~round ~drawn ~masked ~sdc ~crash ~samples ~total =
+  Json.Obj
+    [
+      ("event", Json.String "round");
+      ("id", Json.Int id);
+      ("seq", Json.Int seq);
+      ("round", Json.Int round);
+      ("drawn", Json.Int drawn);
+      ("masked", Json.Int masked);
+      ("sdc", Json.Int sdc);
+      ("crash", Json.Int crash);
+      ("samples_total", Json.Int samples);
+      ("cases_total", Json.Int total);
     ]
 
 let quarantine_event ~id ~seq ~worker ~disputes =
@@ -303,6 +340,7 @@ let notify_quarantine t ~worker ~disputes =
       stream_to_subs t id ~seq (quarantine_event ~id ~seq ~worker ~disputes)
 
 let store t = t.store
+let boundary_store t = t.bstore
 
 (* ------------------------------------------------------------------ *)
 (* Job execution (scheduler thread only)                               *)
@@ -569,12 +607,155 @@ let run_sample t (job : Job.info) cancel ~heartbeat ~fraction ~seed =
       in
       { job with Job.status = Job.Cancelled; counts; finished = Some (now ()) }
 
+(* Provenance token for a fleet-assisted campaign (shared with the
+   exhaustive harvest path): [prov_local] unless remote workers computed
+   surviving bytes, then the compose [fleet:*] token so downstream trust
+   decisions see audit coverage. *)
+let prov_of_job t ~job_id =
+  match t.config.provenance with
+  | None -> Bstore.prov_local
+  | Some f -> (
+      match f ~job_id with
+      | None | Some ([], _) -> Bstore.prov_local
+      | Some (workers, audited) -> (
+          try Ftb_compose.Profile.prov_fleet ~audited ~workers
+          with Invalid_argument _ ->
+            Ftb_compose.Profile.prov_fleet ~audited:false ~workers:[]))
+
+let run_adaptive t (job : Job.info) cancel ~heartbeat ~aconfig ~seed =
+  let spec = job.Job.spec in
+  let golden = Golden.run (t.config.resolve spec.Job.bench) in
+  let total = Models.total_cases spec.Job.model ~sites:(Golden.sites golden) in
+  let key =
+    Bstore.key_of ~bench:spec.Job.bench
+      ~fingerprint:(Ftb_util.Fingerprint.of_floats golden.Golden.values)
+      ~spec:spec.Job.model ~fuel:spec.Job.fuel ~config:aconfig ~seed
+  in
+  match Option.bind t.bstore (fun bs -> Bstore.find bs ~key) with
+  | Some entry ->
+      (* Warm start, strongest form: the store key hashes the complete
+         campaign identity, so this entry *is* the converged result of
+         the submitted campaign — serve it without drawing a single
+         fresh sample. *)
+      let counts =
+        {
+          Job.cases_done = entry.Bstore.samples;
+          cases_total = total;
+          masked = entry.Bstore.masked;
+          sdc = entry.Bstore.sdc;
+          crash = entry.Bstore.crash;
+        }
+      in
+      {
+        job with
+        Job.status = Job.Completed;
+        counts;
+        cache = Job.Cache_full;
+        finished = Some (now ());
+      }
+  | None -> (
+      let checkpoint = Job.checkpoint_path ~state_dir:t.config.state_dir job.Job.id in
+      let exec =
+        Option.map
+          (fun make ->
+            make ~job_id:job.Job.id ~bench:spec.Job.bench ~fuel:spec.Job.fuel
+              ~model:spec.Job.model ~golden)
+          t.config.round_runner
+      in
+      (* Running tallies for progress frames and cancel-time counts; the
+         completed job recounts from the result, which also covers rounds
+         resumed from a checkpoint (they never fire on_round). *)
+      let done_ = ref 0 and m = ref 0 and s = ref 0 and c = ref 0 in
+      let last = ref (now (), 0) in
+      let on_round ~round ~drawn ~masked ~sdc ~crash =
+        done_ := !done_ + drawn;
+        m := !m + masked;
+        s := !s + sdc;
+        c := !c + crash;
+        let t_now = now () in
+        let t_prev, prev_done = !last in
+        let rate =
+          if t_now > t_prev then float_of_int (!done_ - prev_done) /. (t_now -. t_prev)
+          else 0.
+        in
+        last := (t_now, !done_);
+        let p =
+          {
+            Engine.cases_done = !done_;
+            cases_total = total;
+            shards_done = round;
+            shards_total = aconfig.Adaptive.max_rounds;
+            masked = !m;
+            sdc = !s;
+            crash = !c;
+          }
+        in
+        publish_progress t job.Job.id ~heartbeat ~p ~rate;
+        let seq = with_lock t (fun () -> next_seq t job.Job.id) in
+        stream_to_subs t job.Job.id ~seq
+          (round_event ~id:job.Job.id ~seq ~round ~drawn ~masked ~sdc ~crash
+             ~samples:!done_ ~total)
+      in
+      match
+        Adaptive_engine.run ~config:aconfig ~spec:spec.Job.model ?fuel:spec.Job.fuel
+          ~checkpoint ?exec ~on_round
+          ~cancel:(fun () -> Atomic.get cancel <> None)
+          ~name:spec.Job.bench ~seed golden
+      with
+      | result, _stats ->
+          let masked, sdc, crash =
+            Ftb_inject.Sample_run.count_outcomes result.Adaptive.samples
+          in
+          let counts =
+            {
+              Job.cases_done = Array.length result.Adaptive.samples;
+              cases_total = total;
+              masked;
+              sdc;
+              crash;
+            }
+          in
+          (* Publish the converged boundary. Best-effort like the compose
+             harvest: a full disk costs the next submission its warm
+             start, never this job its result. *)
+          (match t.bstore with
+          | None -> ()
+          | Some bs -> (
+              try
+                Bstore.put bs
+                  (Bstore.entry_of_result
+                     ~prov:(prov_of_job t ~job_id:job.Job.id)
+                     ~bench:spec.Job.bench ~spec:spec.Job.model ~fuel:spec.Job.fuel
+                     ~config:aconfig ~seed ~created:(now ()) golden result)
+              with _ -> ()));
+          { job with Job.status = Job.Completed; counts; finished = Some (now ()) }
+      | exception Adaptive_engine.Cancelled -> (
+          let counts =
+            {
+              Job.cases_done = !done_;
+              cases_total = total;
+              masked = !m;
+              sdc = !s;
+              crash = !c;
+            }
+          in
+          match Atomic.get cancel with
+          | Some Drain ->
+              (* The engine checkpointed (round granularity, pending draw
+                 included) before raising: re-queue and resume
+                 bit-identically on the next daemon start. *)
+              { job with Job.status = Job.Queued; counts }
+          | Some User | None ->
+              { job with Job.status = Job.Cancelled; counts; finished = Some (now ()) }))
+
 let run_job t (job : Job.info) cancel ~heartbeat =
   match
     match job.Job.spec.Job.mode with
     | Job.Exhaustive -> run_exhaustive t job cancel ~heartbeat
     | Job.Sample { fraction; seed } ->
         run_sample t job cancel ~heartbeat ~fraction ~seed
+    | Job.Adaptive { config; seed } ->
+        run_adaptive t job cancel ~heartbeat ~aconfig:config ~seed
   with
   | outcome -> outcome
   | exception e ->
@@ -983,6 +1164,83 @@ let handle_watch t fd json =
                   done);
               `Handled))
 
+let boundary_entry_json (e : Bstore.entry) =
+  Json.Obj
+    [
+      ("key", Json.String e.Bstore.key);
+      ("bench", Json.String e.Bstore.bench);
+      ("model", Json.String (Models.spec_to_string e.Bstore.spec));
+      ("sites", Json.Int e.Bstore.sites);
+      ("seed", Json.Int e.Bstore.seed);
+      ("rounds", Json.Int e.Bstore.rounds);
+      ("samples", Json.Int e.Bstore.samples);
+      ("sample_fraction", Json.Float e.Bstore.sample_fraction);
+      ("uncertainty", Json.Float e.Bstore.uncertainty);
+      ("stop", Json.String (Adaptive.stop_reason_to_string e.Bstore.stop));
+      ("prov", Json.String e.Bstore.prov);
+      ("created", Json.Float e.Bstore.created);
+    ]
+
+(* Answer one (site, bit) prediction from the stored boundary alone —
+   the store query never executes a kernel, so this verb is safe to
+   serve from a connection thread while a campaign runs. *)
+let handle_boundary_query t json =
+  match t.bstore with
+  | None ->
+      error_frame "no_store" "boundary store disabled (daemon started without cache)"
+  | Some bs -> (
+      match
+        ( Option.bind (Json.member "bench" json) Json.to_str,
+          Option.bind (Json.member "site" json) Json.to_int,
+          Option.bind (Json.member "bit" json) Json.to_int )
+      with
+      | None, _, _ -> error_frame "bad_request" "missing string field \"bench\""
+      | _, None, _ | _, _, None ->
+          error_frame "bad_request" "missing integer field \"site\" or \"bit\""
+      | Some bench, Some site, Some bit -> (
+          let spec =
+            match Option.bind (Json.member "model" json) Json.to_str with
+            | None -> Ok None
+            | Some s -> (
+                match Models.spec_of_string s with
+                | Ok spec -> Ok (Some spec)
+                | Error msg -> Error msg)
+          in
+          match spec with
+          | Error msg -> error_frame "bad_request" msg
+          | Ok spec -> (
+              match Bstore.find_latest bs ~bench ?spec () with
+              | None ->
+                  error_frame "not_found"
+                    (Printf.sprintf "no stored boundary for %S" bench)
+              | Some entry -> (
+                  match Bstore.query entry ~site ~bit with
+                  | exception Invalid_argument msg -> error_frame "bad_request" msg
+                  | p ->
+                      ok_frame
+                        [
+                          ("site", Json.Int site);
+                          ("bit", Json.Int bit);
+                          ( "outcome",
+                            Json.String
+                              (match p.Bstore.outcome with
+                              | `Masked -> "masked"
+                              | `Sdc -> "sdc") );
+                          ("threshold", Json.Float p.Bstore.threshold);
+                          ("injected_error", Json.Float p.Bstore.injected_error);
+                          ("support", Json.Int p.Bstore.site_support);
+                          ("uncertainty", Json.Float p.Bstore.entry_uncertainty);
+                          ("entry", boundary_entry_json entry);
+                        ]))))
+
+let handle_boundary_list t =
+  match t.bstore with
+  | None ->
+      error_frame "no_store" "boundary store disabled (daemon started without cache)"
+  | Some bs ->
+      ok_frame
+        [ ("entries", Json.List (List.map boundary_entry_json (Bstore.list bs))) ]
+
 let handle_request t fd json =
   match Option.bind (Json.member "cmd" json) Json.to_str with
   | None -> Wire.write fd (error_frame "bad_request" "missing string field \"cmd\"")
@@ -990,6 +1248,8 @@ let handle_request t fd json =
   | Some "status" -> Wire.write fd (handle_status t json)
   | Some "list" -> Wire.write fd (handle_list t)
   | Some "cancel" -> Wire.write fd (handle_cancel t json)
+  | Some "boundary_query" -> Wire.write fd (handle_boundary_query t json)
+  | Some "boundary_list" -> Wire.write fd (handle_boundary_list t)
   | Some "watch" -> ignore (handle_watch t fd json : [ `Handled ])
   | Some "shutdown" ->
       Wire.write fd (ok_frame []);

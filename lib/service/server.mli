@@ -21,13 +21,24 @@
     {"cmd":"cancel","id":N}         -> {"ok":true,"job":{...}}
     {"cmd":"watch","id":N[,"after":S]}
                                     -> {"ok":true,"job":{...}} + event stream
+    {"cmd":"boundary_query","bench":B,"site":I,"bit":J[,"model":M]}
+                                    -> {"ok":true,"outcome":...,"threshold":...,
+                                        "injected_error":...,"support":...,
+                                        "uncertainty":...,"entry":{...}}
+    {"cmd":"boundary_list"}         -> {"ok":true,"entries":[...]}
     {"cmd":"shutdown"}              -> {"ok":true}
     v}
 
     Failures are [{"ok":false,"error":{"code":...,"message":...}}] with
     codes [bad_request], [unknown_bench], [not_found], [queue_full]
     (backpressure: the bounded queue rejects, it never blocks),
-    [not_cancellable] and [shutting_down].
+    [not_cancellable], [no_store] (boundary verbs on a cache-less daemon)
+    and [shutting_down].
+
+    [boundary_query] predicts one (site, bit) case from the newest stored
+    adaptive boundary of a kernel ({!Ftb_plan.Boundary_store.query}) —
+    zero kernel execution, served from a connection thread even while a
+    campaign runs.
 
     [submit] is idempotent when the client supplies an ["idem"] key: a
     retried submission whose first ACK was lost maps to the job it
@@ -37,9 +48,13 @@
 
     After a successful [watch] the server pushes one immediate
     ["progress"] snapshot (so every watcher observes at least one event),
-    then one ["progress"] frame per completed shard wave (interleaved
-    with ["worker_quarantined"] frames when a fleet audit convicts a
-    worker mid-job — clients must skip event types they do not know),
+    then one ["progress"] frame per completed shard wave — adaptive jobs
+    additionally stream one ["round"] frame per §3.4 round (fields
+    ["round"], ["drawn"], ["masked"], ["sdc"], ["crash"],
+    ["samples_total"], ["cases_total"]) so watchers follow convergence
+    live (interleaved with ["worker_quarantined"] frames when a fleet
+    audit convicts a worker mid-job — clients must skip event types they
+    do not know),
     then a final ["done"] frame carrying the job descriptor, after which
     the connection reverts to request/response. Every event frame carries a
     per-job, strictly increasing ["seq"]; a reconnecting watcher passes
@@ -107,6 +122,22 @@ type config = {
           engine's built-in local-pool path.
           {!Ftb_dist.Fleet.wave_runner} returns a runner that leases
           the job's shards to attached worker processes. *)
+  round_runner :
+    (job_id:int ->
+    bench:string ->
+    fuel:int option ->
+    model:Ftb_inject.Models.spec ->
+    golden:Ftb_trace.Golden.t ->
+    Ftb_plan.Adaptive_engine.exec)
+    option;
+      (** pluggable round execution for adaptive jobs, queried once per
+          job start: the returned {!Ftb_plan.Adaptive_engine.exec} runs
+          each round's drawn case list. [None] runs rounds in-process on
+          the scheduler thread (the engine's serial default).
+          {!Ftb_dist.Fleet.round_runner} leases each round's draw to
+          attached workers as sparse shards and falls back to the local
+          oracle when none are live — either way the samples are
+          bit-identical to the serial run. *)
   provenance : (job_id:int -> (string list * bool) option) option;
       (** who computed a just-finished job's bytes, queried once at
           harvest time: [Some (workers, audited)] stamps every profile
@@ -129,6 +160,11 @@ val cache_dir : state_dir:string -> string
 (** Where the profile cache of a state directory lives
     ([<state_dir>/cache]) — the [ftb cache] CLI opens the store there
     directly. *)
+
+val boundaries_dir : state_dir:string -> string
+(** Where the adaptive boundary store of a state directory lives
+    ([<state_dir>/boundaries]) — the [ftb boundary] CLI opens the store
+    there directly for offline query / list / export / gc. *)
 
 type t
 
@@ -154,6 +190,14 @@ val store : t -> Ftb_compose.Store.t option
     the CLI's quarantine hook purges poisoned profiles through this
     handle ({!Ftb_compose.Store.invalidate_worker}) without racing the
     daemon's own store writes (the store serializes internally). *)
+
+val boundary_store : t -> Ftb_plan.Boundary_store.t option
+(** The daemon's open adaptive boundary store, when [config.cache]
+    enabled one. Completed adaptive jobs publish their converged boundary
+    here; an adaptive submission whose exact campaign identity (kernel,
+    golden fingerprint, model, fuel, config, seed) is already stored is
+    served [Completed] with ["served_from_cache":"full"] and zero fresh
+    samples. *)
 
 val notify_quarantine : t -> worker:string -> disputes:int -> unit
 (** Stream a ["worker_quarantined"] event (fields ["worker"] and

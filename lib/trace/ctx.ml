@@ -130,7 +130,7 @@ let outcome_custom ?fuel ~site ~corrupt () =
 let outcome_only ?fuel ~fault () =
   outcome_custom ?fuel ~site:fault.Fault.site ~corrupt:(flip_of_fault fault) ()
 
-let propagation ?fuel ?sink ~fault ~golden_statics () =
+let propagation_custom ?fuel ?sink ~site ~corrupt ~golden_statics () =
   let sink =
     match sink with
     | Some sink ->
@@ -144,14 +144,18 @@ let propagation ?fuel ?sink ~fault ~golden_statics () =
     mode =
       Inject_pre
         {
-          site = fault.Fault.site;
-          corrupt = flip_of_fault fault;
+          site;
+          corrupt;
           sink = Some sink;
           golden_statics = Some golden_statics;
           injected = None;
           diverged_at = None;
         };
   }
+
+let propagation ?fuel ?sink ~fault ~golden_statics () =
+  propagation_custom ?fuel ?sink ~site:fault.Fault.site
+    ~corrupt:(flip_of_fault fault) ~golden_statics ()
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / resume: the prefix-snapshot batched executor runs the shared

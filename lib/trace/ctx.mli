@@ -75,6 +75,18 @@ val propagation :
     allocating fresh ones; the context's trace is then only valid until the
     sink's next reuse. *)
 
+val propagation_custom :
+  ?fuel:int ->
+  ?sink:sink ->
+  site:int ->
+  corrupt:(float -> float) ->
+  golden_statics:int array ->
+  unit ->
+  t
+(** {!propagation} generalized to an arbitrary corruption function,
+    mirroring {!outcome_custom}: the model-aware adaptive sampler uses it
+    to record propagation traces under any fault model's cases. *)
+
 val counting : ?fuel:int -> unit -> t
 (** A context that performs only bookkeeping (dynamic-instruction count and
     fuel); every {!record} returns its argument unchanged and nothing is

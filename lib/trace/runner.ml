@@ -101,9 +101,9 @@ let run_outcome_custom_contained ?fuel (golden : Golden.t) ~site ~corrupt =
   let ctx = Ctx.outcome_custom ?fuel ~site ~corrupt () in
   outcome_of_run_contained golden fault ctx golden.Golden.program.Program.body
 
-let run_propagation ?fuel ?sink (golden : Golden.t) fault =
-  check_fault golden fault;
-  let ctx = Ctx.propagation ?fuel ?sink ~fault ~golden_statics:golden.Golden.statics () in
+(* Shared tail of the propagation runners: execute the body under an
+   already-constructed propagation context and diff the faulty trace. *)
+let finish_propagation (golden : Golden.t) (fault : Fault.t) ctx =
   let outcome, crash_reason, output_error =
     match golden.Golden.program.Program.body ctx with
     | output -> classify golden output
@@ -128,3 +128,16 @@ let run_propagation ?fuel ?sink (golden : Golden.t) fault =
         if Float.is_nan d then infinity else d)
   in
   { result; start; stop; deviations }
+
+let run_propagation ?fuel ?sink (golden : Golden.t) fault =
+  check_fault golden fault;
+  let ctx = Ctx.propagation ?fuel ?sink ~fault ~golden_statics:golden.Golden.statics () in
+  finish_propagation golden fault ctx
+
+let run_propagation_custom ?fuel ?sink (golden : Golden.t) ~(fault : Fault.t) ~corrupt =
+  check_fault golden fault;
+  let ctx =
+    Ctx.propagation_custom ?fuel ?sink ~site:fault.Fault.site ~corrupt
+      ~golden_statics:golden.Golden.statics ()
+  in
+  finish_propagation golden fault ctx

@@ -92,3 +92,16 @@ val run_propagation : ?fuel:int -> ?sink:Ctx.sink -> Golden.t -> Fault.t -> prop
     ({!Ctx.create_sink}) instead of allocating fresh buffers — campaign
     loops keep one sink per domain. The returned deviations are always
     freshly allocated, so reusing the sink afterwards is safe. *)
+
+val run_propagation_custom :
+  ?fuel:int ->
+  ?sink:Ctx.sink ->
+  Golden.t ->
+  fault:Fault.t ->
+  corrupt:(float -> float) ->
+  propagation
+(** {!run_propagation} with an arbitrary corruption function applied at the
+    fault's site, mirroring {!run_outcome_custom}: the model-aware adaptive
+    sampler traces propagation under any fault model's cases. [fault]
+    carries the case's (site, local-bit) identity for bookkeeping; the
+    corruption actually applied is [corrupt], not the fault's bit flip. *)

@@ -14,6 +14,13 @@ val create : seed:int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
+val state : t -> int64
+(** Raw generator state, for checkpointing. [of_state (state t)] resumes
+    the stream exactly where [t] left off. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a checkpointed [state]. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)

@@ -196,7 +196,7 @@ let lying_worker_drill () =
       let final =
         get_ok "liar: watch"
           (Client.watch client id ~on_event:(function
-             | Client.Progress _ -> ()
+             | Client.Progress _ | Client.Round _ -> ()
              | Client.Worker_quarantined { worker; disputes; _ } ->
                  quarantine_events := (worker, disputes) :: !quarantine_events))
       in

@@ -321,7 +321,7 @@ let run_schedule reference_for idx s =
                 killed := true;
                 Unix.kill !pid Sys.sigkill
               end
-          | Client.Worker_quarantined _ -> ())
+          | Client.Round _ | Client.Worker_quarantined _ -> ())
       with
       | Ok _ | Error _ -> ()
       | exception (Wire.Closed | Wire.Protocol_error _) -> ()
@@ -512,6 +512,7 @@ let lying_fleet_drill () =
   let killed = ref false in
   (match
      Client.watch client id ~on_event:(function
+       | Client.Round _ -> ()
        | Client.Progress { shards_done; cases_done; cases_total; _ } ->
            if (not !killed) && shards_done >= 2 && (cases_total = 0 || cases_done < cases_total)
            then begin
@@ -547,7 +548,7 @@ let lying_fleet_drill () =
   let final =
     match
       Client.watch client2 id ~on_event:(function
-        | Client.Progress _ -> ()
+        | Client.Progress _ | Client.Round _ -> ()
         | Client.Worker_quarantined { worker; _ } ->
             quarantined := worker :: !quarantined)
     with

@@ -188,7 +188,7 @@ let run_job_killing client ~what ~victim =
                killed := true;
                Unix.kill victim Sys.sigkill
              end
-         | Client.Worker_quarantined _ -> ()))
+         | Client.Round _ | Client.Worker_quarantined _ -> ()))
   in
   check (what ^ ": worker killed mid-campaign") !killed;
   if not !killed then (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ());

@@ -193,7 +193,7 @@ let daemon_test golden (spec : Models.spec) (reference : Ground_truth.t) =
              killed := true;
              Unix.kill !pid Sys.sigkill
            end
-       | Client.Worker_quarantined _ -> ())
+       | Client.Round _ | Client.Worker_quarantined _ -> ())
    with
   | Ok _ | Error _ -> ()
   | exception _ -> ());
@@ -310,7 +310,7 @@ let fleet_test golden references =
                    killed := true;
                    Unix.kill victim Sys.sigkill
                  end
-             | Client.Worker_quarantined _ -> ()))
+             | Client.Round _ | Client.Worker_quarantined _ -> ()))
       in
       check (what ^ ": worker killed mid-campaign") !killed;
       if not !killed then (try Unix.kill victim Sys.sigkill with Unix.Unix_error _ -> ());

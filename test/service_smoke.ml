@@ -156,7 +156,7 @@ let crash_restart_test () =
              killed := true;
              Unix.kill pid Sys.sigkill
            end
-       | Client.Worker_quarantined _ -> ())
+       | Client.Round _ | Client.Worker_quarantined _ -> ())
    with
   | Ok _ | Error _ -> ()
   | exception (Ftb_service.Wire.Closed | Ftb_service.Wire.Protocol_error _) -> ()
@@ -414,7 +414,7 @@ let resilience_test () =
           | Client.Progress { seq; _ } ->
               incr fresh_events;
               if seq > !last_seq then last_seq := seq
-          | Client.Worker_quarantined _ -> ())));
+          | Client.Round _ | Client.Worker_quarantined _ -> ())));
   check "fresh watch of a terminal job delivers a sequenced snapshot"
     (!fresh_events >= 1 && !last_seq > 0);
   let resumed_events = ref 0 in

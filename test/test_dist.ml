@@ -36,6 +36,7 @@ let test_grant_roundtrip () =
       lo = 12288;
       hi = 16384;
       ttl = 2.5;
+      cases = None;
     }
   in
   (match P.parse_lease_reply (P.grant_frame g) with
@@ -44,6 +45,10 @@ let test_grant_roundtrip () =
   (match P.parse_lease_reply (P.wait_frame ~poll:0.25) with
   | P.Wait poll -> Alcotest.(check (float 1e-9)) "poll" 0.25 poll
   | P.Granted _ -> Alcotest.fail "wait parsed as grant");
+  (let sparse = { g with P.lo = 0; hi = 4; cases = Some [| 9; 131; 7; 4096 |] } in
+   match P.parse_lease_reply (P.grant_frame sparse) with
+   | P.Granted g' -> Alcotest.(check bool) "sparse grant round-trips" true (sparse = g')
+   | P.Wait _ -> Alcotest.fail "sparse grant parsed as wait");
   let no_fuel = { g with P.fuel = None } in
   match P.parse_lease_reply (P.grant_frame no_fuel) with
   | P.Granted g' -> Alcotest.(check bool) "fuel-less grant" true (no_fuel = g')

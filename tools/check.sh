@@ -27,6 +27,6 @@ echo "== dune runtest"
 dune runtest
 
 echo "== smoke aliases"
-dune build @campaign-smoke @bench-smoke @service-smoke @chaos-smoke @fleet-smoke @model-smoke @ir-smoke @compose-smoke @audit-smoke --force
+dune build @campaign-smoke @bench-smoke @service-smoke @chaos-smoke @fleet-smoke @model-smoke @ir-smoke @compose-smoke @audit-smoke @adaptive-smoke --force
 
 echo "all checks passed"
